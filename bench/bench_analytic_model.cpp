@@ -1,0 +1,53 @@
+// E14 — analytic versus simulated blocking (Patel's delta-network model,
+// reference [37] of the paper, versus our Monte-Carlo measurements).
+//
+// Patel's recurrence p_{i+1} = 1 - (1 - p_i/2)^2 models conventional
+// address mapping with independent random destinations. Three curves per
+// load level:
+//   * analytic blocking of the model;
+//   * measured blocking of the address-mapped(independent) baseline — the
+//     regime the model describes (should track the analytic curve);
+//   * measured blocking of the flow-optimal scheduler — the RSIN's
+//     distributed scheduling (should sit far below both).
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/analytic.hpp"
+#include "sim/static_experiment.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E14: Patel's analytic banyan model vs measured blocking "
+               "(8x8 Omega, 3 stages) ===\n\n";
+
+  util::Table table({"load", "analytic %", "addr-mapped(independent) %",
+                     "addr-mapped(distinct) %", "optimal %"});
+
+  const topo::Network net = topo::make_omega(8);
+  for (const double load : {0.25, 0.5, 0.75, 1.0}) {
+    sim::StaticExperimentConfig config;
+    config.trials = 3000;
+    config.request_probability = load;
+    config.free_probability = 1.0;  // the model assumes all outputs usable
+    config.seed = 77;
+
+    core::RandomScheduler independent(util::Rng(1), true);
+    core::RandomScheduler distinct(util::Rng(2), false);
+    core::MaxFlowScheduler optimal;
+    const auto ind = sim::run_static_experiment(net, independent, config);
+    const auto dis = sim::run_static_experiment(net, distinct, config);
+    const auto opt = sim::run_static_experiment(net, optimal, config);
+    table.add(util::fixed(load, 2),
+              util::pct(sim::banyan_blocking(load, 3)),
+              util::pct(ind.blocking_probability()),
+              util::pct(dis.blocking_probability()),
+              util::pct(opt.blocking_probability()));
+  }
+  std::cout << table
+            << "\nthe independent-destination baseline tracks Patel's "
+               "model; distributed optimal scheduling eliminates nearly "
+               "all of that blocking\n";
+  return 0;
+}

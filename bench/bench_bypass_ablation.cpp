@@ -1,0 +1,102 @@
+// E18 — ablation of Transformation 2's bypass cost function.
+//
+// DESIGN.md documents a deliberate design choice: the paper's exact cost
+// assignment (T4) makes request priorities cost-neutral whenever F0 equals
+// the number of requests — every source arc is saturated whether or not its
+// request is allocated, so only resource *preferences* steer the optimum.
+// The kPriorityWeighted extension adds the request's priority to its bypass
+// arc, making urgency decide who wins under scarcity, at no loss of
+// count-optimality (Theorem 3 still holds; tested).
+//
+// This ablation measures the consequence: over random scarce instances
+// (more requests than resources), how often does the highest-priority
+// request end up allocated under each mode, and what schedule cost results?
+#include <algorithm>
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E18: bypass cost ablation — paper's T4 vs "
+               "priority-weighted extension ===\n\n";
+
+  const topo::Network net = topo::make_omega(8);
+  util::Table table({"mode", "algorithm", "instances", "count-optimal",
+                     "top-priority allocated", "mean schedule cost"});
+
+  struct Config {
+    core::BypassCostMode mode;
+    flow::MinCostFlowAlgorithm algorithm;
+    const char* mode_name;
+    const char* algorithm_name;
+  };
+  for (const Config& config :
+       {Config{core::BypassCostMode::kPaper, flow::MinCostFlowAlgorithm::kSsp,
+               "paper (T4)", "ssp"},
+        Config{core::BypassCostMode::kPaper,
+               flow::MinCostFlowAlgorithm::kCycleCancel, "paper (T4)",
+               "cycle-cancel"},
+        Config{core::BypassCostMode::kPriorityWeighted,
+               flow::MinCostFlowAlgorithm::kSsp, "priority-weighted", "ssp"},
+        Config{core::BypassCostMode::kPriorityWeighted,
+               flow::MinCostFlowAlgorithm::kCycleCancel, "priority-weighted",
+               "cycle-cancel"}}) {
+    util::Rng rng(1234);  // identical instance stream for every row
+    core::MinCostScheduler scheduler(config.algorithm, config.mode);
+    core::MaxFlowScheduler max_flow;
+
+    const int rounds = 400;
+    int count_optimal = 0;
+    int top_priority_won = 0;
+    int contested = 0;
+    std::int64_t total_cost = 0;
+    for (int round = 0; round < rounds; ++round) {
+      core::Problem problem;
+      problem.network = &net;
+      for (topo::ProcessorId p = 0; p < 8; ++p) {
+        if (!rng.bernoulli(0.8)) continue;
+        problem.requests.push_back(
+            {p, static_cast<std::int32_t>(rng.uniform_int(1, 10)), 0});
+      }
+      for (topo::ResourceId r = 0; r < 8; ++r) {
+        if (!rng.bernoulli(0.35)) continue;  // scarcity
+        problem.free_resources.push_back(
+            {r, static_cast<std::int32_t>(rng.uniform_int(1, 10)), 0});
+      }
+      if (problem.requests.size() <= problem.free_resources.size() ||
+          problem.free_resources.empty()) {
+        continue;  // only contested instances are informative
+      }
+      ++contested;
+
+      const core::ScheduleResult result = scheduler.schedule(problem);
+      total_cost += result.cost;
+      if (result.allocated() == max_flow.schedule(problem).allocated()) {
+        ++count_optimal;
+      }
+      const auto top = std::max_element(
+          problem.requests.begin(), problem.requests.end(),
+          [](const core::Request& a, const core::Request& b) {
+            return a.priority < b.priority;
+          });
+      if (result.processor_allocated(top->processor)) ++top_priority_won;
+    }
+    table.add(config.mode_name, config.algorithm_name, contested,
+              count_optimal, top_priority_won,
+              util::fixed(static_cast<double>(total_cost) / contested, 2));
+  }
+  std::cout << table
+            << "\nevery row is count-optimal (Theorem 3). Under the paper's "
+               "exact cost function the flow\nobjective is priority-neutral, "
+               "so WHICH request wins is an algorithmic accident: SSP's\n"
+               "cheapest-path order happens to favor urgent requests, while "
+               "cycle canceling settles on\nother equal-cost optima. The "
+               "priority-weighted bypass makes urgency part of the\n"
+               "objective, so every optimal solver protects the top-priority "
+               "request and reaches the\nminimum schedule cost.\n";
+  return 0;
+}

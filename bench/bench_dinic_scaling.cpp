@@ -1,0 +1,85 @@
+// E12 — Section III-B's complexity claim: on the unit-capacity networks
+// produced by Transformation 1, Dinic's algorithm runs in O(|V|^(2/3)|E|)
+// (versus O(|E|^3) general bounds for Ford–Fulkerson-style methods).
+//
+// google-benchmark timings over growing Omega MRSINs (full load), plus an
+// empirical scaling check: measured edge-operation counts divided by the
+// V^(2/3)*E bound must stay roughly constant.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/scheduler.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "topo/builders.hpp"
+
+namespace {
+
+using namespace rsin;
+
+core::Problem full_problem(const topo::Network& net) {
+  std::vector<topo::ProcessorId> requesting;
+  std::vector<topo::ResourceId> available;
+  for (std::int32_t i = 0; i < net.processor_count(); ++i) {
+    requesting.push_back(i);
+    available.push_back(i);
+  }
+  return core::make_problem(net, requesting, available);
+}
+
+void BM_DinicOnOmegaMrsin(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = full_problem(net);
+  const core::TransformResult transformed = core::transformation1(problem);
+  std::int64_t operations = 0;
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    const auto result = flow::max_flow_dinic(copy);
+    operations = result.operations;
+    benchmark::DoNotOptimize(result.value);
+  }
+  const double v = static_cast<double>(transformed.net.node_count());
+  const double e = static_cast<double>(transformed.net.arc_count());
+  state.counters["edge_ops"] = static_cast<double>(operations);
+  state.counters["ops/V^2/3*E"] =
+      static_cast<double>(operations) / (std::pow(v, 2.0 / 3.0) * e);
+}
+BENCHMARK(BM_DinicOnOmegaMrsin)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256);
+
+void BM_FordFulkersonOnOmegaMrsin(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = full_problem(net);
+  const core::TransformResult transformed = core::transformation1(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(flow::max_flow_ford_fulkerson(copy).value);
+  }
+}
+BENCHMARK(BM_FordFulkersonOnOmegaMrsin)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EndToEndSchedulingCycle(benchmark::State& state) {
+  // Transformation + max-flow + circuit extraction: the monitor's whole
+  // scheduling cycle.
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = full_problem(net);
+  core::MaxFlowScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(problem).allocated());
+  }
+}
+BENCHMARK(BM_EndToEndSchedulingCycle)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

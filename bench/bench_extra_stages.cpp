@@ -1,0 +1,50 @@
+// E9 — Section II's closing observation: "If extra stages are provided,
+// there will be more paths available. Resources may be fully allocated in
+// most cases even when an arbitrary resource-request mapping is used.
+// Finding an optimal mapping becomes less critical."
+//
+// We sweep the number of extra shuffle-exchange stages on an 8x8 Omega and
+// measure blocking for the optimal scheduler and the first-fit heuristic:
+// both should fall toward zero and the optimal/heuristic gap should close.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/static_experiment.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E9: extra stages reduce blocking and shrink the "
+               "optimal-vs-heuristic gap ===\n\n";
+
+  util::Table table({"extra stages", "paths per pair", "optimal %",
+                     "first-fit %", "address-mapped %", "gap (fit-opt)"});
+
+  for (const std::int32_t extra : {0, 1, 2, 3}) {
+    const topo::Network net = topo::make_omega(8, extra);
+    sim::StaticExperimentConfig config;
+    config.trials = 2000;
+    config.request_probability = 0.75;
+    config.free_probability = 0.75;
+    config.seed = 11;
+
+    core::MaxFlowScheduler optimal;
+    core::GreedyScheduler greedy;
+    core::RandomScheduler address_mapped{util::Rng(13)};
+    const auto opt = sim::run_static_experiment(net, optimal, config);
+    const auto fit = sim::run_static_experiment(net, greedy, config);
+    const auto adr = sim::run_static_experiment(net, address_mapped, config);
+
+    table.add(extra, 1 << extra, util::pct(opt.blocking_probability()),
+              util::pct(fit.blocking_probability()),
+              util::pct(adr.blocking_probability()),
+              util::pct(fit.blocking_probability() -
+                        opt.blocking_probability()));
+  }
+  std::cout << table
+            << "\nwith redundant paths even arbitrary mappings rarely "
+               "block; optimal scheduling matters most in the unique-path "
+               "(0 extra stage) fabric\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E7 — Section III's motivation: exhaustive scheduling is hopeless.
+//
+// The paper: "The scheduler has to try a maximum of C(x,y)*y! (for x >= y)
+// mappings to find the best one ... heuristics are only practical when x
+// and y are small." This binary tabulates that count against the measured
+// work of the flow-based scheduler on the same instance sizes.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "util/combinatorics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E7: exhaustive mapping count C(x,y)*y! vs network-flow "
+               "work ===\n\n";
+
+  util::Table table({"n (= x = y)", "mappings to try", "log10",
+                     "max-flow edge ops", "max-flow time (us)"});
+
+  for (const std::int32_t n : {2, 4, 8, 16, 32, 64, 128}) {
+    const topo::Network net = topo::make_omega(n);
+    std::vector<topo::ProcessorId> requesting;
+    std::vector<topo::ResourceId> available;
+    for (std::int32_t i = 0; i < n; ++i) {
+      requesting.push_back(i);
+      available.push_back(i);
+    }
+    const core::Problem problem =
+        core::make_problem(net, requesting, available);
+
+    core::MaxFlowScheduler scheduler;
+    util::Stopwatch watch;
+    const core::ScheduleResult result = scheduler.schedule(problem);
+    const double micros = watch.micros();
+
+    const auto count = util::exhaustive_mapping_count(
+        static_cast<unsigned>(n), static_cast<unsigned>(n));
+    const std::string count_text =
+        count ? std::to_string(*count) : std::string("> 2^64");
+    table.add(n, count_text,
+              util::fixed(util::exhaustive_mapping_count_log10(
+                              static_cast<unsigned>(n),
+                              static_cast<unsigned>(n)),
+                          1),
+              result.operations, util::fixed(micros, 0));
+  }
+  std::cout << table
+            << "\nthe flow formulation replaces factorial enumeration with "
+               "O(V^2/3 * E) work (Dinic, unit capacities)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E15 — the paper's conclusion: "the proposed method ... is applicable to
+// networks with multiple paths between source-destination pairs, such as
+// the data manipulator, augmented data manipulator, and gamma network. The
+// resource utilization, however, will depend on the network configuration."
+//
+// We run the same scheduling disciplines over the whole topology zoo —
+// unique-path delta networks, the redundant-path gamma, the rearrangeable
+// Benes, and the nonblocking crossbar — and tabulate blocking. Shape to
+// verify: utilization depends on the fabric; redundancy shrinks both
+// absolute blocking and the optimal-vs-heuristic gap; the flow method works
+// unchanged on every one of them.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/static_experiment.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E15: every topology, every discipline (8x8, load 0.75) "
+               "===\n\n";
+
+  util::Table table({"network", "paths", "optimal %", "token-machine %",
+                     "first-fit %", "address-mapped %"});
+
+  struct Row {
+    const char* name;
+    const char* paths;
+  };
+  for (const Row& row : {Row{"omega", "1"}, Row{"baseline", "1"},
+                         Row{"cube", "1"}, Row{"butterfly", "1"},
+                         Row{"gamma", ">=2"}, Row{"benes", "4"},
+                         Row{"crossbar", "1 (non-blocking)"}}) {
+    const topo::Network net = topo::make_named(row.name, 8);
+    sim::StaticExperimentConfig config;
+    config.trials = 1500;
+    config.request_probability = 0.75;
+    config.free_probability = 0.75;
+    config.seed = 99;
+
+    core::MaxFlowScheduler optimal;
+    token::TokenScheduler token_machine;
+    core::GreedyScheduler greedy;
+    core::RandomScheduler address_mapped{util::Rng(101)};
+    const auto opt = sim::run_static_experiment(net, optimal, config);
+    const auto tok = sim::run_static_experiment(net, token_machine, config);
+    const auto fit = sim::run_static_experiment(net, greedy, config);
+    const auto adr = sim::run_static_experiment(net, address_mapped, config);
+    table.add(row.name, row.paths, util::pct(opt.blocking_probability()),
+              util::pct(tok.blocking_probability()),
+              util::pct(fit.blocking_probability()),
+              util::pct(adr.blocking_probability()));
+  }
+  std::cout << table
+            << "\nthe token machine matches the optimal column exactly (it "
+               "realizes the same max-flow); redundant-path fabrics push "
+               "blocking toward the crossbar's zero\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E10 — Section II: "If the network is not completely free, then there
+// will be fewer paths available ... a heuristic routing algorithm may have
+// poor performance. An optimal scheduling algorithm will be able to better
+// utilize these paths, and result in a low blocking probability (although
+// higher than that of the case when the network is completely free)."
+//
+// We sweep the number of pre-established background circuits on an 8x8
+// cube MRSIN and measure blocking for each discipline.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/static_experiment.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E10: blocking vs background circuit occupancy (8x8 "
+               "cube) ===\n\n";
+
+  util::Table table({"background circuits", "optimal %", "first-fit %",
+                     "address-mapped %"});
+
+  for (const std::int32_t circuits : {0, 1, 2, 3}) {
+    const topo::Network net = topo::make_indirect_cube(8);
+    sim::StaticExperimentConfig config;
+    config.trials = 2000;
+    config.request_probability = 0.5;
+    config.free_probability = 0.5;
+    config.background_circuits = circuits;
+    config.seed = 21;
+
+    core::MaxFlowScheduler optimal;
+    core::GreedyScheduler greedy;
+    core::RandomScheduler address_mapped{util::Rng(23)};
+    const auto opt = sim::run_static_experiment(net, optimal, config);
+    const auto fit = sim::run_static_experiment(net, greedy, config);
+    const auto adr = sim::run_static_experiment(net, address_mapped, config);
+    table.add(circuits, util::pct(opt.blocking_probability()),
+              util::pct(fit.blocking_probability()),
+              util::pct(adr.blocking_probability()));
+  }
+  std::cout << table
+            << "\nblocking rises with occupancy for every discipline, but "
+               "the optimal scheduler degrades most gracefully — the "
+               "paper's Section II prediction\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E6 — Table II: the per-discipline scheduling algorithms, timed.
+//
+// Table II maps each scheduling discipline to its flow problem and
+// algorithm:
+//   homogeneous / no priority      -> max flow         (Ford-Fulkerson, Dinic)
+//   homogeneous + priority/pref    -> min-cost flow    (out-of-kilter)
+//   heterogeneous, restricted topo -> real/integer multicommodity (simplex)
+// This google-benchmark binary times each algorithm on MRSIN-derived
+// networks of growing size, regenerating the table's "equivalent flow
+// problem / algorithm" rows with measured costs.
+#include <benchmark/benchmark.h>
+
+#include "core/hetero.hpp"
+#include "core/scheduler.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/min_cost.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rsin;
+
+core::Problem dense_problem(const topo::Network& net, int priority_levels,
+                            int types, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::Problem problem;
+  problem.network = &net;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    if (!rng.bernoulli(0.7)) continue;
+    core::Request request;
+    request.processor = p;
+    request.priority = priority_levels > 0
+                           ? static_cast<std::int32_t>(
+                                 rng.uniform_int(1, priority_levels))
+                           : 0;
+    request.type =
+        types > 1 ? static_cast<std::int32_t>(rng.uniform_int(0, types - 1))
+                  : 0;
+    problem.requests.push_back(request);
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    if (!rng.bernoulli(0.7)) continue;
+    core::FreeResource resource;
+    resource.resource = r;
+    resource.preference = priority_levels > 0
+                              ? static_cast<std::int32_t>(
+                                    rng.uniform_int(1, priority_levels))
+                              : 0;
+    resource.type =
+        types > 1 ? static_cast<std::int32_t>(rng.uniform_int(0, types - 1))
+                  : 0;
+    problem.free_resources.push_back(resource);
+  }
+  return problem;
+}
+
+void BM_MaxFlow_FordFulkerson(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 0, 1, 1);
+  const core::TransformResult transformed = core::transformation1(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(flow::max_flow_ford_fulkerson(copy).value);
+  }
+}
+BENCHMARK(BM_MaxFlow_FordFulkerson)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MaxFlow_EdmondsKarp(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 0, 1, 1);
+  const core::TransformResult transformed = core::transformation1(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(flow::max_flow_edmonds_karp(copy).value);
+  }
+}
+BENCHMARK(BM_MaxFlow_EdmondsKarp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MaxFlow_Dinic(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 0, 1, 1);
+  const core::TransformResult transformed = core::transformation1(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(flow::max_flow_dinic(copy).value);
+  }
+}
+BENCHMARK(BM_MaxFlow_Dinic)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MinCost_OutOfKilter(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 10, 1, 2);
+  const core::TransformResult transformed = core::transformation2(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(
+        flow::min_cost_flow_out_of_kilter(copy, transformed.request_count)
+            .cost);
+  }
+}
+BENCHMARK(BM_MinCost_OutOfKilter)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MinCost_NetworkSimplex(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 10, 1, 2);
+  const core::TransformResult transformed = core::transformation2(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(
+        flow::min_cost_flow_network_simplex(copy, transformed.request_count)
+            .cost);
+  }
+}
+BENCHMARK(BM_MinCost_NetworkSimplex)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MinCost_Ssp(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 10, 1, 2);
+  const core::TransformResult transformed = core::transformation2(problem);
+  for (auto _ : state) {
+    flow::FlowNetwork copy = transformed.net;
+    benchmark::DoNotOptimize(
+        flow::min_cost_flow_ssp(copy, transformed.request_count).cost);
+  }
+}
+BENCHMARK(BM_MinCost_Ssp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Multicommodity_Simplex(benchmark::State& state) {
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 0, 3, 3);
+  core::HeteroLpScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule_detailed(problem).lp_value);
+  }
+}
+BENCHMARK(BM_Multicommodity_Simplex)->Arg(8)->Arg(16);
+
+void BM_Exhaustive_GroundTruth(benchmark::State& state) {
+  // The scheme Table II replaces: exponential enumeration (tiny sizes only).
+  const topo::Network net =
+      topo::make_omega(static_cast<std::int32_t>(state.range(0)));
+  const core::Problem problem = dense_problem(net, 0, 1, 4);
+  core::ExhaustiveScheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(problem).allocated());
+  }
+}
+BENCHMARK(BM_Exhaustive_GroundTruth)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

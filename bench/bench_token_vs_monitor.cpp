@@ -1,0 +1,103 @@
+// E8 — Section IV / Table I / Fig. 10: the distributed token-propagation
+// architecture versus the centralized monitor.
+//
+// For growing Omega MRSINs under a fixed load, this harness reports:
+//   * allocations (must be identical — the token machine realizes Dinic);
+//   * the monitor's instruction count (its cost unit, per the paper);
+//   * the token machine's clock periods and iterations (its cost unit);
+//   * the instructions-per-clock ratio — the speedup proxy. The paper's
+//     claim is qualitative ("a much higher speed ... augmenting paths are
+//     searched in parallel; complexity measured in gate delays"), so the
+//     ratio growing with system size is the shape to look for.
+// It also prints one full status-bus trace (Table I vectors).
+#include <iostream>
+
+#include "sim/static_experiment.hpp"
+#include "token/element_machine.hpp"
+#include "token/monitor.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+  std::cout << "=== E8: token-propagation architecture vs monitor "
+               "architecture ===\n\n";
+
+  util::Table table({"omega n", "allocated (all)", "monitor instrs",
+                     "token clocks", "element-FSM clocks", "iterations",
+                     "instrs/clock"});
+
+  for (const std::int32_t n : {8, 16, 32, 64, 128}) {
+    const topo::Network net = topo::make_omega(n);
+    util::Rng rng(500 + static_cast<std::uint64_t>(n));
+    // Average over several random instances at 60% density.
+    std::int64_t monitor_instructions = 0;
+    std::int64_t token_clocks = 0;
+    std::int64_t element_clocks = 0;
+    std::int64_t iterations = 0;
+    std::int64_t allocated = 0;
+    bool all_equal = true;
+    const int rounds = 10;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<topo::ProcessorId> requesting;
+      std::vector<topo::ResourceId> available;
+      for (std::int32_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.6)) requesting.push_back(i);
+        if (rng.bernoulli(0.6)) available.push_back(i);
+      }
+      const core::Problem problem =
+          core::make_problem(net, requesting, available);
+
+      token::Monitor monitor;
+      token::MonitorStats monitor_stats;
+      const auto monitor_result = monitor.run(problem, &monitor_stats);
+
+      token::TokenMachine machine(problem);
+      token::TokenStats token_stats;
+      const auto token_result = machine.run(&token_stats);
+
+      token::ElementMachine element_machine(problem);
+      token::ElementStats element_stats;
+      const auto element_result = element_machine.run(&element_stats);
+
+      all_equal &= monitor_result.allocated() == token_result.allocated();
+      all_equal &= element_result.allocated() == token_result.allocated();
+      element_clocks += element_stats.clock_periods;
+      allocated += static_cast<std::int64_t>(token_result.allocated());
+      monitor_instructions += monitor_stats.total();
+      token_clocks += token_stats.clock_periods;
+      iterations += token_stats.iterations;
+    }
+    table.add(n, allocated / rounds,
+              monitor_instructions / rounds, token_clocks / rounds,
+              element_clocks / rounds, iterations / rounds,
+              util::fixed(static_cast<double>(monitor_instructions) /
+                              static_cast<double>(token_clocks),
+                          1));
+    if (!all_equal) {
+      std::cout << "MISMATCH: token machine diverged from Dinic at n=" << n
+                << "\n";
+      return 1;
+    }
+  }
+  std::cout << table << '\n';
+
+  // One bus trace, Fig. 10 / Table I style.
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem =
+      core::make_problem(net, {0, 2, 4, 6, 7}, {0, 2, 4, 6, 7});
+  token::TokenMachine machine(problem);
+  token::TokenStats stats;
+  machine.run(&stats);
+  std::cout << "status-bus trace for the Fig. 2 instance (E1..E6 + x):\n";
+  for (const token::BusSample& sample : stats.bus_trace) {
+    std::cout << "  clock " << sample.clock << "  "
+              << token::bus_vector_x(sample.bits) << "  " << sample.label
+              << '\n';
+  }
+  std::cout << "\n(the vectors 111000x / 111001x / 110100x / 110110x are the "
+               "states named in Section IV-B-3)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Dennis-style data flow machine as a resource sharing system (Fig. 1(b)).
+//
+// Cell blocks emit enabled instructions; an RSIN routes each instruction to
+// any free processing unit. This example runs the dynamic discrete-event
+// simulation over a range of instruction arrival rates and shows how the
+// scheduling discipline changes delivered throughput, utilization, and
+// blocking — the system-level payoff of optimal scheduling.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+
+  const topo::Network network = topo::make_omega(8);
+  std::cout << "Data flow machine: 8 cell blocks -> Omega RSIN -> 8 "
+               "processing units\n\n";
+
+  util::Table table({"arrival rate", "scheduler", "utilization",
+                     "blocking %", "response time", "completed"});
+
+  for (const double rate : {0.2, 0.5, 0.8}) {
+    sim::SystemConfig config;
+    config.arrival_rate = rate;          // enabled instructions per block
+    config.transmission_time = 0.05;     // instruction packet transfer
+    config.mean_service_time = 1.0;      // instruction execution
+    config.cycle_interval = 0.05;
+    config.warmup_time = 50.0;
+    config.measure_time = 500.0;
+    config.seed = 7;
+
+    core::MaxFlowScheduler optimal;
+    core::GreedyScheduler greedy;
+    for (core::Scheduler* scheduler :
+         {static_cast<core::Scheduler*>(&optimal),
+          static_cast<core::Scheduler*>(&greedy)}) {
+      const sim::SystemMetrics metrics =
+          sim::simulate_system(network, *scheduler, config);
+      table.add(util::fixed(rate, 1), scheduler->name(),
+                util::fixed(metrics.resource_utilization, 3),
+                util::pct(metrics.blocking_probability),
+                util::fixed(metrics.mean_response_time, 2),
+                metrics.tasks_completed);
+    }
+  }
+  std::cout << table;
+  std::cout << "\nAt light load the disciplines are indistinguishable; at\n"
+               "saturating load the optimal (max-flow) scheduler packs more\n"
+               "instructions per cycle and delivers them sooner (lower mean\n"
+               "response time). The static benchmark bench_blocking_cube\n"
+               "isolates the per-cycle blocking difference directly.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates the paper's figures as Graphviz files.
+//
+//   $ ./figures_to_dot [output-dir]      (default: current directory)
+//   $ dot -Tsvg fig2a_mrsin.dot -o fig2a.svg
+//
+// Produces:
+//   fig2a_mrsin.dot   — the 8x8 Omega MRSIN with the occupied circuits of
+//                       Fig. 2(a) highlighted;
+//   fig2b_flow.dot    — the Transformation-1 flow network with the maximum
+//                       flow drawn bold (Fig. 2(b));
+//   fig5b_flow.dot    — the Transformation-2 network with the min-cost
+//                       flow (Fig. 5(b); bypass node u included);
+//   fig8a_flow.dot    — the 4x4 MRSIN flow network with the initial
+//                       two-circuit flow of Fig. 8(a).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/routing.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/min_cost.hpp"
+#include "topo/builders.hpp"
+#include "topo/dot_export.hpp"
+
+namespace {
+
+void write_file(const std::string& path, const auto& writer) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  writer(out);
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rsin;
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "./";
+
+  // Fig. 2(a): the occupied MRSIN.
+  topo::Network omega = topo::make_omega(8);
+  omega.establish(core::enumerate_free_paths(omega, 1, 5).front());
+  omega.establish(core::enumerate_free_paths(omega, 3, 3).front());
+  write_file(dir + "fig2a_mrsin.dot",
+             [&](std::ostream& out) { topo::write_dot(out, omega); });
+
+  // Fig. 2(b): Transformation 1 + max flow.
+  const core::Problem fig2 =
+      core::make_problem(omega, {0, 2, 4, 6, 7}, {0, 2, 4, 6, 7});
+  core::TransformResult t1 = core::transformation1(fig2);
+  flow::max_flow_dinic(t1.net);
+  write_file(dir + "fig2b_flow.dot",
+             [&](std::ostream& out) { flow::write_dot(out, t1.net); });
+
+  // Fig. 5(b): Transformation 2 + min-cost flow (out-of-kilter).
+  const topo::Network omega_free = topo::make_omega(8);
+  core::Problem fig5;
+  fig5.network = &omega_free;
+  fig5.requests = {{2, 6, 0}, {4, 4, 0}, {7, 9, 0}};
+  fig5.free_resources = {
+      {0, 9, 0}, {3, 2, 0}, {4, 3, 0}, {6, 8, 0}, {7, 10, 0}};
+  core::TransformResult t2 = core::transformation2(fig5);
+  flow::min_cost_flow_out_of_kilter(t2.net, t2.request_count);
+  write_file(dir + "fig5b_flow.dot",
+             [&](std::ostream& out) { flow::write_dot(out, t2.net); });
+
+  // Fig. 8(a): the 4x4 MRSIN flow network with the initial assignment.
+  const topo::Network cube = topo::make_indirect_cube(4);
+  const core::Problem fig8 = core::make_problem(cube, {0, 1, 3}, {0, 2, 3});
+  core::TransformResult t3 = core::transformation1(fig8);
+  for (const auto& [p, r] : {std::pair<int, int>{0, 0}, {3, 3}}) {
+    const auto paths = core::enumerate_free_paths(cube, p, r);
+    for (std::size_t a = 0; a < t3.net.arc_count(); ++a) {
+      const auto arc = static_cast<flow::ArcId>(a);
+      const bool on_path =
+          t3.arc_processor[a] == p || t3.arc_resource[a] == r ||
+          (t3.arc_link[a] != topo::kInvalidId &&
+           std::find(paths.front().links.begin(), paths.front().links.end(),
+                     t3.arc_link[a]) != paths.front().links.end());
+      if (on_path) t3.net.set_flow(arc, 1);
+    }
+  }
+  write_file(dir + "fig8a_flow.dot",
+             [&](std::ostream& out) { flow::write_dot(out, t3.net); });
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Load balancing through an RSIN (Section I: "In a resource sharing system
+// with load balancing, processors are considered as resources; requests are
+// queued at the processors as well as the resources").
+//
+// Sixteen processors double as servers behind an Omega RSIN. Each
+// scheduling cycle, overloaded nodes emit migration requests and lightly
+// loaded nodes advertise as free resources; resource *preference* encodes
+// how idle the receiver is, and the min-cost scheduler steers migrations to
+// the idlest reachable receivers. Over rounds the load spread narrows.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rsin;
+
+  constexpr int kNodes = 16;
+  const topo::Network network = topo::make_omega(kNodes);
+  util::Rng rng(9);
+
+  // Initial imbalanced queue lengths.
+  std::vector<int> load(kNodes);
+  for (int& l : load) l = static_cast<int>(rng.uniform_int(0, 12));
+
+  const auto spread = [&] {
+    const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+    return *hi - *lo;
+  };
+  const auto mean_load = [&] {
+    return static_cast<double>(
+               std::accumulate(load.begin(), load.end(), 0)) /
+           kNodes;
+  };
+
+  util::Table table({"round", "max-min spread", "mean load", "migrations"});
+  table.add(0, spread(), util::fixed(mean_load(), 2), 0);
+
+  core::MinCostScheduler scheduler;
+  for (int round = 1; round <= 6; ++round) {
+    const double mean = mean_load();
+    core::Problem problem;
+    problem.network = &network;
+    for (int n = 0; n < kNodes; ++n) {
+      if (load[static_cast<std::size_t>(n)] > mean + 1) {
+        // Overloaded: ask to migrate one task; urgency = surplus.
+        problem.requests.push_back(core::Request{
+            n, load[static_cast<std::size_t>(n)] -
+                   static_cast<std::int32_t>(mean),
+            0});
+      } else if (load[static_cast<std::size_t>(n)] < mean - 1) {
+        // Underloaded: volunteer as a resource; preference = idleness.
+        problem.free_resources.push_back(core::FreeResource{
+            n, static_cast<std::int32_t>(mean) -
+                   load[static_cast<std::size_t>(n)],
+            0});
+      }
+    }
+    int migrations = 0;
+    if (!problem.requests.empty() && !problem.free_resources.empty()) {
+      const core::ScheduleResult result = scheduler.schedule(problem);
+      for (const core::Assignment& a : result.assignments) {
+        --load[static_cast<std::size_t>(a.request.processor)];
+        ++load[static_cast<std::size_t>(a.resource.resource)];
+        ++migrations;
+      }
+    }
+    table.add(round, spread(), util::fixed(mean_load(), 2), migrations);
+  }
+  std::cout << "Load balancing over an Omega RSIN (" << kNodes
+            << " nodes; preference = receiver idleness):\n\n"
+            << table
+            << "\nthe max-min spread collapses within a few scheduling "
+               "rounds while total load is conserved\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Priority and preference scheduling with Transformation 2 (Section III-C).
+//
+// A homogeneous MRSIN where requests carry urgency levels and resources
+// carry preference values (faster units, lighter queues). Shows:
+//  * the min-cost flow picking the highest-preference resources;
+//  * the bypass node absorbing excess requests when demand exceeds supply;
+//  * the paper's cost function versus the priority-weighted extension when
+//    requests must compete (only the latter lets urgency decide who wins).
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_schedule(const std::string& title,
+                    const rsin::core::ScheduleResult& result) {
+  std::cout << title << ": " << result.allocated() << " allocated, cost "
+            << result.cost << "\n";
+  for (const rsin::core::Assignment& a : result.assignments) {
+    std::cout << "  p" << a.request.processor + 1 << " (priority "
+              << a.request.priority << ") -> r" << a.resource.resource + 1
+              << " (preference " << a.resource.preference << ")\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rsin;
+
+  const topo::Network network = topo::make_omega(8);
+
+  // Scenario 1 — the paper's Fig. 5 shape: three requests, five free
+  // resources with distinct preferences. The optimal mapping must pick the
+  // three most-preferred resources (r8, r1, r7).
+  {
+    core::Problem problem;
+    problem.network = &network;
+    problem.requests = {{2, 6, 0}, {4, 4, 0}, {7, 9, 0}};
+    problem.free_resources = {
+        {0, 9, 0}, {3, 2, 0}, {4, 3, 0}, {6, 8, 0}, {7, 10, 0}};
+    core::MinCostScheduler scheduler(flow::MinCostFlowAlgorithm::kOutOfKilter);
+    print_schedule("scenario 1 (out-of-kilter, surplus resources)",
+                   scheduler.schedule(problem));
+  }
+
+  // Scenario 2 — more requests than resources: the bypass node absorbs the
+  // overflow; allocation count stays maximal (Theorem 3).
+  {
+    core::Problem problem;
+    problem.network = &network;
+    problem.requests = {{0, 2, 0}, {1, 7, 0}, {2, 4, 0},
+                        {4, 9, 0}, {6, 1, 0}};
+    problem.free_resources = {{2, 5, 0}, {5, 8, 0}};
+    core::MinCostScheduler paper_mode;
+    print_schedule("\nscenario 2 (paper cost function, scarce resources)",
+                   paper_mode.schedule(problem));
+    core::MinCostScheduler weighted(flow::MinCostFlowAlgorithm::kSsp,
+                                    core::BypassCostMode::kPriorityWeighted);
+    print_schedule("scenario 2 (priority-weighted bypass)",
+                   weighted.schedule(problem));
+    std::cout << "with the priority-weighted extension the urgency-9 and\n"
+                 "urgency-7 requests are the ones allocated.\n";
+  }
+  return 0;
+}

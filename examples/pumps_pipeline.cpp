@@ -1,0 +1,83 @@
+// PUMPS-style heterogeneous resource sharing (the paper's Fig. 1(a)).
+//
+// PUMPS organizes VLSI systolic arrays — FFT units, convolvers, histogram
+// units — into a pool shared by general-purpose processors through an RSIN.
+// This example models a 16-terminal Omega MRSIN whose output ports carry
+// three types of image-processing units, and drives one scheduling cycle
+// with typed requests through the multicommodity LP scheduler
+// (Section III-D) and the greedy per-type baseline.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/hetero.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+const char* kTypeNames[] = {"fft", "convolver", "histogram"};
+
+}  // namespace
+
+int main() {
+  using namespace rsin;
+
+  topo::Network network = topo::make_omega(16);
+
+  // Resource placement: stripe the three unit types across output ports
+  // and mark a few units busy with earlier tasks.
+  util::Rng rng(2026);
+  core::Problem problem;
+  problem.network = &network;
+  for (topo::ResourceId r = 0; r < network.resource_count(); ++r) {
+    if (rng.bernoulli(0.25)) continue;  // unit busy with an earlier task
+    core::FreeResource resource;
+    resource.resource = r;
+    resource.type = r % 3;
+    problem.free_resources.push_back(resource);
+  }
+
+  // Ten processors each request one unit of a specific type, as a pictorial
+  // query pipeline would (edge detection -> FFT -> histogram ...).
+  for (topo::ProcessorId p = 0; p < 10; ++p) {
+    core::Request request;
+    request.processor = p;
+    request.type = static_cast<std::int32_t>(rng.uniform_int(0, 2));
+    problem.requests.push_back(request);
+  }
+
+  std::map<std::int32_t, int> wanted;
+  for (const core::Request& request : problem.requests) ++wanted[request.type];
+  std::map<std::int32_t, int> available;
+  for (const core::FreeResource& resource : problem.free_resources) {
+    ++available[resource.type];
+  }
+  std::cout << "PUMPS cycle: " << problem.requests.size() << " requests over "
+            << problem.free_resources.size() << " free units\n";
+  for (int t = 0; t < 3; ++t) {
+    std::cout << "  " << kTypeNames[t] << ": " << wanted[t]
+              << " requested, " << available[t] << " free\n";
+  }
+
+  // Optimal: integral multicommodity flow via the simplex method.
+  core::HeteroLpScheduler lp;
+  const core::HeteroResult lp_result = lp.schedule_detailed(problem);
+  std::cout << "\n" << lp.name() << ": "
+            << lp_result.schedule.allocated() << " units allocated"
+            << (lp_result.lp_integral ? " (LP optimum integral)" : "")
+            << ", " << lp_result.simplex_iterations << " simplex pivots\n";
+  for (const core::Assignment& a : lp_result.schedule.assignments) {
+    std::cout << "  p" << a.request.processor + 1 << " -> "
+              << kTypeNames[a.resource.type] << " unit at port "
+              << a.resource.resource + 1 << "\n";
+  }
+
+  // Baseline: schedule the types one after another (earlier types can
+  // block later ones in the shared fabric).
+  core::HeteroSequentialScheduler sequential;
+  const core::ScheduleResult seq = sequential.schedule(problem);
+  std::cout << sequential.name() << ": " << seq.allocated()
+            << " units allocated\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// rsin_cli — command-line driver over the library's main entry points.
+//
+// Usage:
+//   rsin_cli blocking [topology] [n] [scheduler] [trials] [load]
+//   rsin_cli system   [topology] [n] [scheduler] [arrival_rate]
+//   rsin_cli dot      [topology] [n]
+//
+// schedulers: dinic | ford-fulkerson | edmonds-karp | push-relabel |
+//             mincost | greedy | random | token
+// Every argument is optional; defaults are omega 8 dinic.
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/hetero.hpp"
+#include "core/scheduler.hpp"
+#include "sim/static_experiment.hpp"
+#include "sim/system_sim.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+#include "topo/dot_export.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rsin;
+
+std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "dinic") {
+    return std::make_unique<core::MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kDinic);
+  }
+  if (name == "ford-fulkerson") {
+    return std::make_unique<core::MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kFordFulkerson);
+  }
+  if (name == "edmonds-karp") {
+    return std::make_unique<core::MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kEdmondsKarp);
+  }
+  if (name == "push-relabel") {
+    return std::make_unique<core::MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kPushRelabel);
+  }
+  if (name == "mincost") return std::make_unique<core::MinCostScheduler>();
+  if (name == "greedy") return std::make_unique<core::GreedyScheduler>();
+  if (name == "random") {
+    return std::make_unique<core::RandomScheduler>(util::Rng(1));
+  }
+  if (name == "token") return std::make_unique<token::TokenScheduler>();
+  if (name == "hetero-lp") return std::make_unique<core::HeteroLpScheduler>();
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+int usage() {
+  std::cerr
+      << "usage: rsin_cli blocking [topology] [n] [scheduler] [trials] "
+         "[load]\n"
+         "       rsin_cli system   [topology] [n] [scheduler] [arrival]\n"
+         "       rsin_cli dot      [topology] [n]\n"
+         "topologies: omega baseline cube butterfly benes crossbar gamma\n"
+         "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
+         "            mincost greedy random token hetero-lp\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string mode = argc > 1 ? argv[1] : "blocking";
+    const std::string topology = argc > 2 ? argv[2] : "omega";
+    const std::int32_t n = argc > 3 ? std::stoi(argv[3]) : 8;
+    const std::string scheduler_name = argc > 4 ? argv[4] : "dinic";
+
+    const topo::Network net = topo::make_named(topology, n);
+
+    if (mode == "dot") {
+      topo::write_dot(std::cout, net);
+      return 0;
+    }
+
+    const auto scheduler = make_scheduler(scheduler_name);
+    if (mode == "blocking") {
+      sim::StaticExperimentConfig config;
+      config.trials = argc > 5 ? std::stoll(argv[5]) : 2000;
+      const double load = argc > 6 ? std::stod(argv[6]) : 0.75;
+      config.request_probability = load;
+      config.free_probability = load;
+      const auto result = sim::run_static_experiment(net, *scheduler, config);
+      util::Table table({"topology", "n", "scheduler", "trials", "load",
+                         "blocking %"});
+      table.add(topology, n, scheduler->name(), result.trials,
+                util::fixed(load, 2),
+                util::pct(result.blocking_probability()));
+      std::cout << table;
+      return 0;
+    }
+    if (mode == "system") {
+      sim::SystemConfig config;
+      config.arrival_rate = argc > 5 ? std::stod(argv[5]) : 0.5;
+      const auto metrics = sim::simulate_system(net, *scheduler, config);
+      util::Table table({"metric", "value"});
+      table.add("utilization", util::fixed(metrics.resource_utilization, 3));
+      table.add("blocking %", util::pct(metrics.blocking_probability));
+      table.add("mean response", util::fixed(metrics.mean_response_time, 3));
+      table.add("mean wait", util::fixed(metrics.mean_wait_time, 3));
+      table.add("tasks completed", metrics.tasks_completed);
+      std::cout << table;
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return usage();
+  }
+}

@@ -1,0 +1,261 @@
+#include "core/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/multicommodity.hpp"
+#include "util/error.hpp"
+
+namespace rsin::core {
+namespace {
+
+using flow::FlowNetwork;
+using flow::NodeId;
+using topo::kInvalidId;
+using topo::LinkId;
+using topo::NodeKind;
+
+/// The superposed multicommodity network: shared fabric arcs plus one
+/// source/sink (and optional bypass) per resource type.
+struct HeteroNet {
+  FlowNetwork net;
+  std::vector<flow::Commodity> commodities;      // one per type
+  std::vector<std::int32_t> commodity_type;      // type id per commodity
+  std::vector<LinkId> arc_link;                  // per arc
+  std::vector<topo::ProcessorId> arc_processor;  // source arcs only
+  std::vector<topo::ResourceId> arc_resource;    // sink arcs only
+  std::vector<NodeId> bypass;                    // per commodity (or invalid)
+  bool with_costs = false;
+};
+
+HeteroNet build_hetero_net(const Problem& problem, bool with_costs) {
+  problem.validate();
+  const topo::Network& net = *problem.network;
+  HeteroNet built;
+
+  const std::vector<std::int32_t> types = problem.types();
+  const auto commodity_of = [&](std::int32_t type) {
+    const auto it = std::find(types.begin(), types.end(), type);
+    return static_cast<std::size_t>(it - types.begin());
+  };
+
+  const auto y_max = static_cast<flow::Cost>(problem.max_priority());
+  const auto q_max = static_cast<flow::Cost>(problem.max_preference());
+  const flow::Cost bypass_cost = std::max(y_max + 1, q_max + 1);
+
+  // Shared structural nodes.
+  std::vector<NodeId> processor_node(
+      static_cast<std::size_t>(net.processor_count()), flow::kInvalidNode);
+  for (const Request& request : problem.requests) {
+    processor_node[static_cast<std::size_t>(request.processor)] =
+        built.net.add_node("p" + std::to_string(request.processor + 1));
+  }
+  std::vector<NodeId> switch_node(static_cast<std::size_t>(net.switch_count()));
+  for (std::int32_t sw = 0; sw < net.switch_count(); ++sw) {
+    switch_node[static_cast<std::size_t>(sw)] =
+        built.net.add_node("x" + std::to_string(sw));
+  }
+  std::vector<NodeId> resource_node(
+      static_cast<std::size_t>(net.resource_count()), flow::kInvalidNode);
+  for (const FreeResource& resource : problem.free_resources) {
+    resource_node[static_cast<std::size_t>(resource.resource)] =
+        built.net.add_node("r" + std::to_string(resource.resource + 1));
+  }
+
+  const auto add_arc = [&](NodeId from, NodeId to, flow::Capacity cap,
+                           LinkId link, topo::ProcessorId p,
+                           topo::ResourceId r, flow::Cost cost) {
+    built.net.add_arc(from, to, cap, cost);
+    built.arc_link.push_back(link);
+    built.arc_processor.push_back(p);
+    built.arc_resource.push_back(r);
+  };
+
+  // Per-type sources/sinks (and bypass nodes when costs are in play).
+  for (const std::int32_t type : types) {
+    flow::Commodity commodity;
+    commodity.source =
+        built.net.add_node("s" + std::to_string(type));
+    commodity.sink = built.net.add_node("t" + std::to_string(type));
+    built.commodities.push_back(commodity);
+    built.commodity_type.push_back(type);
+    built.bypass.push_back(flow::kInvalidNode);
+    if (with_costs) {
+      built.bypass.back() = built.net.add_node("u" + std::to_string(type));
+    }
+  }
+
+  // Source arcs, fabric arcs, sink arcs, bypass arcs.
+  std::vector<flow::Capacity> demand(types.size(), 0);
+  for (const Request& request : problem.requests) {
+    const std::size_t k = commodity_of(request.type);
+    ++demand[k];
+    add_arc(built.commodities[k].source,
+            processor_node[static_cast<std::size_t>(request.processor)], 1,
+            kInvalidId, request.processor, kInvalidId,
+            with_costs ? y_max - request.priority : 0);
+    if (with_costs) {
+      add_arc(processor_node[static_cast<std::size_t>(request.processor)],
+              built.bypass[k], 1, kInvalidId, kInvalidId, kInvalidId,
+              bypass_cost);
+    }
+  }
+  for (LinkId link = 0; link < net.link_count(); ++link) {
+    const topo::Link& l = net.link(link);
+    if (l.occupied) continue;
+    NodeId from = flow::kInvalidNode;
+    NodeId to = flow::kInvalidNode;
+    if (l.from.kind == NodeKind::kProcessor) {
+      from = processor_node[static_cast<std::size_t>(l.from.node)];
+    } else if (l.from.kind == NodeKind::kSwitch) {
+      from = switch_node[static_cast<std::size_t>(l.from.node)];
+    }
+    if (l.to.kind == NodeKind::kSwitch) {
+      to = switch_node[static_cast<std::size_t>(l.to.node)];
+    } else if (l.to.kind == NodeKind::kResource) {
+      to = resource_node[static_cast<std::size_t>(l.to.node)];
+    }
+    if (from == flow::kInvalidNode || to == flow::kInvalidNode) continue;
+    add_arc(from, to, 1, link, kInvalidId, kInvalidId, 0);
+  }
+  for (const FreeResource& resource : problem.free_resources) {
+    const std::size_t k = commodity_of(resource.type);
+    add_arc(resource_node[static_cast<std::size_t>(resource.resource)],
+            built.commodities[k].sink, 1, kInvalidId, kInvalidId,
+            resource.resource, with_costs ? q_max - resource.preference : 0);
+  }
+  for (std::size_t k = 0; k < types.size(); ++k) {
+    built.commodities[k].demand = demand[k];
+    if (with_costs) {
+      add_arc(built.bypass[k], built.commodities[k].sink, demand[k],
+              kInvalidId, kInvalidId, kInvalidId, bypass_cost);
+    }
+  }
+  built.with_costs = with_costs;
+  return built;
+}
+
+/// Traces integral per-commodity flows into assignments, mirroring
+/// extract_schedule() but over the superposed network.
+ScheduleResult extract_hetero(const Problem& problem, const HeteroNet& built,
+                              const std::vector<std::vector<double>>& flows) {
+  ScheduleResult result;
+  for (std::size_t k = 0; k < built.commodities.size(); ++k) {
+    std::vector<std::int64_t> remaining(built.net.arc_count(), 0);
+    for (std::size_t a = 0; a < built.net.arc_count(); ++a) {
+      remaining[a] = std::llround(flows[k][a]);
+    }
+    for (std::size_t a = 0; a < built.net.arc_count(); ++a) {
+      const topo::ProcessorId processor = built.arc_processor[a];
+      if (processor == kInvalidId || remaining[a] == 0) continue;
+      if (built.net.arc(static_cast<flow::ArcId>(a)).from !=
+          built.commodities[k].source) {
+        continue;  // another commodity's source arc
+      }
+      remaining[a] = 0;
+      std::vector<LinkId> links;
+      NodeId at = built.net.arc(static_cast<flow::ArcId>(a)).to;
+      bool bypassed = false;
+      topo::ResourceId resource = kInvalidId;
+      while (at != built.commodities[k].sink) {
+        if (at == built.bypass[k]) bypassed = true;
+        bool advanced = false;
+        for (const flow::ArcId out : built.net.out_arcs(at)) {
+          const auto oa = static_cast<std::size_t>(out);
+          if (remaining[oa] == 0) continue;
+          remaining[oa] -= 1;
+          if (built.arc_link[oa] != kInvalidId) {
+            links.push_back(built.arc_link[oa]);
+          }
+          if (built.arc_resource[oa] != kInvalidId) {
+            resource = built.arc_resource[oa];
+          }
+          at = built.net.arc(out).to;
+          advanced = true;
+          break;
+        }
+        RSIN_ENSURE(advanced, "commodity flow conservation violated");
+      }
+      if (bypassed) continue;
+      RSIN_ENSURE(resource != kInvalidId, "commodity path missed a sink arc");
+
+      Assignment assignment;
+      const auto request_it = std::find_if(
+          problem.requests.begin(), problem.requests.end(),
+          [&](const Request& r) { return r.processor == processor; });
+      const auto resource_it = std::find_if(
+          problem.free_resources.begin(), problem.free_resources.end(),
+          [&](const FreeResource& r) { return r.resource == resource; });
+      RSIN_ENSURE(request_it != problem.requests.end(), "unknown request");
+      RSIN_ENSURE(resource_it != problem.free_resources.end(),
+                  "unknown resource");
+      assignment.request = *request_it;
+      assignment.resource = *resource_it;
+      assignment.circuit.processor = processor;
+      assignment.circuit.resource = resource;
+      assignment.circuit.links = std::move(links);
+      result.assignments.push_back(std::move(assignment));
+    }
+  }
+  result.cost = schedule_cost(problem, result);
+  return result;
+}
+
+}  // namespace
+
+HeteroResult HeteroLpScheduler::schedule_detailed(const Problem& problem) {
+  const bool with_costs =
+      problem.max_priority() > 0 || problem.max_preference() > 0;
+  const HeteroNet built = build_hetero_net(problem, with_costs);
+
+  const flow::MultiCommodityResult lp =
+      with_costs
+          ? flow::min_cost_multicommodity_flow(built.net, built.commodities)
+          : flow::max_multicommodity_flow(built.net, built.commodities);
+
+  HeteroResult result;
+  result.simplex_iterations = lp.simplex_iterations;
+  result.lp_value = lp.total_value;
+  if (lp.status == lp::SolveStatus::kOptimal && lp.integral) {
+    result.lp_integral = true;
+    result.schedule = extract_hetero(problem, built, lp.flows);
+    result.schedule.operations = lp.simplex_iterations;
+    return result;
+  }
+  // Fractional or failed LP: fall back to the combinatorial baseline so the
+  // caller always receives a realizable schedule.
+  HeteroSequentialScheduler fallback;
+  result.lp_integral = false;
+  result.schedule = fallback.schedule(problem);
+  return result;
+}
+
+ScheduleResult HeteroSequentialScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  topo::Network net = *problem.network;  // working copy accumulates circuits
+
+  ScheduleResult result;
+  for (const std::int32_t type : problem.types()) {
+    Problem sub;
+    sub.network = &net;
+    for (const Request& request : problem.requests) {
+      if (request.type == type) sub.requests.push_back(request);
+    }
+    for (const FreeResource& resource : problem.free_resources) {
+      if (resource.type == type) sub.free_resources.push_back(resource);
+    }
+    if (sub.requests.empty() || sub.free_resources.empty()) continue;
+
+    MaxFlowScheduler inner(flow::MaxFlowAlgorithm::kDinic);
+    ScheduleResult sub_result = inner.schedule(sub);
+    result.operations += sub_result.operations;
+    for (Assignment& assignment : sub_result.assignments) {
+      net.establish(assignment.circuit);
+      result.assignments.push_back(std::move(assignment));
+    }
+  }
+  result.cost = schedule_cost(problem, result);
+  return result;
+}
+
+}  // namespace rsin::core

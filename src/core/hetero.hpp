@@ -1,0 +1,55 @@
+// Heterogeneous MRSIN scheduling (Section III-D of the paper).
+//
+// With k resource types the scheduling problem becomes a k-commodity flow
+// problem: one source/sink pair per type superposed on the shared fabric.
+// The paper notes the general integral problem is NP-hard but that MIN-class
+// topologies fall in the Evans–Jarvis family whose LP optima are integral,
+// so the Simplex method suffices.
+//
+//  * HeteroLpScheduler         — builds the multicommodity LP (max-flow form,
+//    or min-cost form with per-commodity bypass nodes when priorities or
+//    preferences are present) and extracts circuits from the integral
+//    optimum. If the LP optimum happens to be fractional (possible outside
+//    the restricted topology class), it falls back to the sequential solver
+//    and records that in the result.
+//  * HeteroSequentialScheduler — greedy per-type baseline: solves each type
+//    with Transformation 1 + Dinic in type order, committing circuits
+//    between types. Earlier types can block later ones, so it lower-bounds
+//    the LP optimum.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace rsin::core {
+
+struct HeteroResult {
+  ScheduleResult schedule;
+  /// True when the LP optimum was integral and used directly.
+  bool lp_integral = false;
+  /// LP objective (total commodity value) before rounding; equals the
+  /// allocation count when integral.
+  double lp_value = 0.0;
+  std::int64_t simplex_iterations = 0;
+};
+
+class HeteroLpScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "hetero-lp(simplex)";
+  }
+  ScheduleResult schedule(const Problem& problem) override {
+    return schedule_detailed(problem).schedule;
+  }
+  /// Full result including LP diagnostics.
+  HeteroResult schedule_detailed(const Problem& problem);
+};
+
+class HeteroSequentialScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "hetero-sequential(dinic)";
+  }
+  ScheduleResult schedule(const Problem& problem) override;
+};
+
+}  // namespace rsin::core

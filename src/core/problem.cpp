@@ -1,0 +1,77 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+std::int32_t Problem::max_priority() const {
+  std::int32_t best = 0;
+  for (const Request& request : requests) {
+    best = std::max(best, request.priority);
+  }
+  return best;
+}
+
+std::int32_t Problem::max_preference() const {
+  std::int32_t best = 0;
+  for (const FreeResource& resource : free_resources) {
+    best = std::max(best, resource.preference);
+  }
+  return best;
+}
+
+std::vector<std::int32_t> Problem::types() const {
+  std::vector<std::int32_t> result;
+  for (const Request& request : requests) result.push_back(request.type);
+  for (const FreeResource& resource : free_resources) {
+    result.push_back(resource.type);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+void Problem::validate() const {
+  RSIN_REQUIRE(network != nullptr, "problem needs a network");
+  std::vector<char> seen_processor(
+      static_cast<std::size_t>(network->processor_count()), 0);
+  for (const Request& request : requests) {
+    RSIN_REQUIRE(network->valid_processor(request.processor),
+                 "request names an unknown processor");
+    RSIN_REQUIRE(!seen_processor[static_cast<std::size_t>(request.processor)],
+                 "a processor transmits one task at a time (model point 5)");
+    seen_processor[static_cast<std::size_t>(request.processor)] = 1;
+    RSIN_REQUIRE(request.priority >= 0, "priorities must be non-negative");
+  }
+  std::vector<char> seen_resource(
+      static_cast<std::size_t>(network->resource_count()), 0);
+  for (const FreeResource& resource : free_resources) {
+    RSIN_REQUIRE(network->valid_resource(resource.resource),
+                 "free resource has an unknown id");
+    RSIN_REQUIRE(!seen_resource[static_cast<std::size_t>(resource.resource)],
+                 "a resource cannot be listed free twice");
+    seen_resource[static_cast<std::size_t>(resource.resource)] = 1;
+    RSIN_REQUIRE(resource.preference >= 0, "preferences must be non-negative");
+  }
+}
+
+Problem make_problem(const topo::Network& network,
+                     std::vector<topo::ProcessorId> requesting,
+                     std::vector<topo::ResourceId> available) {
+  Problem problem;
+  problem.network = &network;
+  problem.requests.reserve(requesting.size());
+  for (const topo::ProcessorId p : requesting) {
+    problem.requests.push_back(Request{p, 0, 0});
+  }
+  problem.free_resources.reserve(available.size());
+  for (const topo::ResourceId r : available) {
+    problem.free_resources.push_back(FreeResource{r, 0, 0});
+  }
+  problem.validate();
+  return problem;
+}
+
+}  // namespace rsin::core

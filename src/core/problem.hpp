@@ -1,0 +1,57 @@
+// The resource-scheduling problem of Section II.
+//
+// A Problem is one scheduling-cycle snapshot of an MRSIN: the network (whose
+// links may be partially occupied by previously established circuits), the
+// set of processors with pending requests, and the set of free resources.
+// Requests carry a priority level and resources a preference value
+// (Section II, model point 3); both default to zero for the homogeneous
+// equal-priority discipline. A resource *type* per request/resource supports
+// the heterogeneous MRSIN of Section III-D (type 0 everywhere = homogeneous).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace rsin::core {
+
+struct Request {
+  topo::ProcessorId processor = topo::kInvalidId;
+  std::int32_t priority = 0;  ///< Higher = more urgent (y_p in the paper).
+  std::int32_t type = 0;      ///< Requested resource type (heterogeneous).
+};
+
+struct FreeResource {
+  topo::ResourceId resource = topo::kInvalidId;
+  std::int32_t preference = 0;  ///< Higher = more desirable (q_w).
+  std::int32_t type = 0;        ///< Resource type.
+};
+
+/// One scheduling-cycle instance. The network pointer is non-owning; the
+/// network's current link occupancy is part of the problem.
+struct Problem {
+  const topo::Network* network = nullptr;
+  std::vector<Request> requests;
+  std::vector<FreeResource> free_resources;
+
+  /// Highest priority level among requests (y_max), 0 when empty.
+  [[nodiscard]] std::int32_t max_priority() const;
+  /// Highest preference among free resources (q_max), 0 when empty.
+  [[nodiscard]] std::int32_t max_preference() const;
+  /// Distinct resource types appearing in requests or resources, sorted.
+  [[nodiscard]] std::vector<std::int32_t> types() const;
+
+  /// Throws std::invalid_argument when ids are out of range, a processor
+  /// requests twice, a resource is listed free twice, or priorities /
+  /// preferences are negative.
+  void validate() const;
+};
+
+/// Convenience constructor for the homogeneous no-priority case: processors
+/// in `requesting` each issue one request; `available` resources are free.
+Problem make_problem(const topo::Network& network,
+                     std::vector<topo::ProcessorId> requesting,
+                     std::vector<topo::ResourceId> available);
+
+}  // namespace rsin::core

@@ -1,0 +1,123 @@
+#include "core/routing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsin::core {
+namespace {
+
+using topo::kInvalidId;
+using topo::LinkId;
+using topo::Network;
+using topo::NodeKind;
+
+/// Depth-first walk from a processor over free links. `visit_resource` is
+/// called with the circuit each time a resource is reached; returning true
+/// stops the whole search. With `persistent_visited` each switch is entered
+/// at most once overall (reachability semantics); without it, marks are
+/// undone on backtrack so every simple path is explored (enumeration
+/// semantics). Either way a switch never repeats within one path, so the
+/// walk terminates on any topology.
+bool dfs_walk(const Network& net, topo::ProcessorId processor,
+              const std::function<bool(const topo::Circuit&)>& visit_resource,
+              std::int64_t* operations, bool persistent_visited) {
+  const LinkId start = net.processor_link(processor);
+  if (start == kInvalidId || !net.link_free(start)) return false;
+
+  std::vector<char> visited(static_cast<std::size_t>(net.switch_count()), 0);
+  std::vector<LinkId> path;
+
+  const std::function<bool(LinkId)> descend = [&](LinkId link) -> bool {
+    if (operations) ++*operations;
+    path.push_back(link);
+    const topo::Link& l = net.link(link);
+    bool stop = false;
+    if (l.to.kind == NodeKind::kResource) {
+      topo::Circuit circuit;
+      circuit.processor = processor;
+      circuit.resource = l.to.node;
+      circuit.links = path;
+      stop = visit_resource(circuit);
+    } else {
+      const topo::SwitchId sw = l.to.node;
+      if (!visited[static_cast<std::size_t>(sw)]) {
+        visited[static_cast<std::size_t>(sw)] = 1;
+        for (const LinkId out : net.switch_out_links(sw)) {
+          if (out == kInvalidId || !net.link_free(out)) continue;
+          if (descend(out)) {
+            stop = true;
+            break;
+          }
+        }
+        if (!persistent_visited) visited[static_cast<std::size_t>(sw)] = 0;
+      }
+    }
+    path.pop_back();
+    return stop;
+  };
+
+  return descend(start);
+}
+
+}  // namespace
+
+std::vector<topo::Circuit> enumerate_free_paths(const Network& net,
+                                                topo::ProcessorId processor,
+                                                topo::ResourceId resource,
+                                                std::size_t limit) {
+  RSIN_REQUIRE(net.valid_processor(processor), "unknown processor");
+  RSIN_REQUIRE(net.valid_resource(resource), "unknown resource");
+  std::vector<topo::Circuit> found;
+  if (limit == 0) return found;
+  dfs_walk(
+      net, processor,
+      [&](const topo::Circuit& circuit) {
+        if (circuit.resource == resource) {
+          found.push_back(circuit);
+          if (found.size() >= limit) return true;
+        }
+        return false;
+      },
+      nullptr, /*persistent_visited=*/false);
+  return found;
+}
+
+std::optional<topo::Circuit> first_free_path(
+    const Network& net, topo::ProcessorId processor,
+    const std::function<bool(topo::ResourceId)>& resource_wanted,
+    std::int64_t* operations) {
+  RSIN_REQUIRE(net.valid_processor(processor), "unknown processor");
+  std::optional<topo::Circuit> found;
+  dfs_walk(
+      net, processor,
+      [&](const topo::Circuit& circuit) {
+        if (resource_wanted(circuit.resource)) {
+          found = circuit;
+          return true;
+        }
+        return false;
+      },
+      operations, /*persistent_visited=*/true);
+  return found;
+}
+
+std::vector<topo::ResourceId> reachable_free_resources(
+    const Network& net, topo::ProcessorId processor) {
+  RSIN_REQUIRE(net.valid_processor(processor), "unknown processor");
+  std::vector<char> seen(static_cast<std::size_t>(net.resource_count()), 0);
+  dfs_walk(
+      net, processor,
+      [&](const topo::Circuit& circuit) {
+        seen[static_cast<std::size_t>(circuit.resource)] = 1;
+        return false;
+      },
+      nullptr, /*persistent_visited=*/true);
+  std::vector<topo::ResourceId> result;
+  for (std::size_t r = 0; r < seen.size(); ++r) {
+    if (seen[r]) result.push_back(static_cast<topo::ResourceId>(r));
+  }
+  return result;
+}
+
+}  // namespace rsin::core

@@ -1,0 +1,38 @@
+// Circuit search over the physical network.
+//
+// These helpers walk the switch fabric along *free* links only. They power
+// the heuristic baseline schedulers (first-free-path routing, the scheme
+// whose blocking the paper reports at ~20%) and the exhaustive ground-truth
+// scheduler used to validate the flow-based optimum on small instances.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace rsin::core {
+
+/// Enumerates circuits from `processor` to `resource` that use only free
+/// links, up to `limit` of them (depth-first order). Switches are not
+/// revisited within one path, so the walk terminates on any topology.
+std::vector<topo::Circuit> enumerate_free_paths(const topo::Network& net,
+                                                topo::ProcessorId processor,
+                                                topo::ResourceId resource,
+                                                std::size_t limit = SIZE_MAX);
+
+/// First free circuit (depth-first order) from `processor` to any resource
+/// for which `resource_wanted(r)` is true. Returns nullopt when every such
+/// resource is unreachable over free links. `operations`, when non-null,
+/// accumulates the number of links inspected.
+std::optional<topo::Circuit> first_free_path(
+    const topo::Network& net, topo::ProcessorId processor,
+    const std::function<bool(topo::ResourceId)>& resource_wanted,
+    std::int64_t* operations = nullptr);
+
+/// All resources reachable from `processor` over free links.
+std::vector<topo::ResourceId> reachable_free_resources(
+    const topo::Network& net, topo::ProcessorId processor);
+
+}  // namespace rsin::core

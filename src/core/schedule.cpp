@@ -1,0 +1,106 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+bool ScheduleResult::processor_allocated(topo::ProcessorId processor) const {
+  return resource_of(processor) != topo::kInvalidId;
+}
+
+topo::ResourceId ScheduleResult::resource_of(
+    topo::ProcessorId processor) const {
+  for (const Assignment& assignment : assignments) {
+    if (assignment.request.processor == processor) {
+      return assignment.resource.resource;
+    }
+  }
+  return topo::kInvalidId;
+}
+
+std::optional<std::string> verify_schedule(const Problem& problem,
+                                           const ScheduleResult& result) {
+  const topo::Network& net = *problem.network;
+
+  const auto fail = [](const std::string& message) {
+    return std::optional<std::string>(message);
+  };
+
+  std::unordered_set<std::int32_t> used_processors;
+  std::unordered_set<std::int32_t> used_resources;
+  std::unordered_set<std::int32_t> used_links;
+
+  for (std::size_t i = 0; i < result.assignments.size(); ++i) {
+    const Assignment& assignment = result.assignments[i];
+    std::ostringstream where;
+    where << "assignment " << i << " (p" << assignment.request.processor + 1
+          << " -> r" << assignment.resource.resource + 1 << "): ";
+
+    // The pair must come from the problem.
+    const bool request_known = std::any_of(
+        problem.requests.begin(), problem.requests.end(),
+        [&](const Request& r) {
+          return r.processor == assignment.request.processor;
+        });
+    if (!request_known) return fail(where.str() + "processor not requesting");
+    const bool resource_known = std::any_of(
+        problem.free_resources.begin(), problem.free_resources.end(),
+        [&](const FreeResource& r) {
+          return r.resource == assignment.resource.resource;
+        });
+    if (!resource_known) return fail(where.str() + "resource not free");
+
+    if (assignment.request.type != assignment.resource.type) {
+      return fail(where.str() + "resource type mismatch");
+    }
+    if (!used_processors.insert(assignment.request.processor).second) {
+      return fail(where.str() + "processor allocated twice");
+    }
+    if (!used_resources.insert(assignment.resource.resource).second) {
+      return fail(where.str() + "resource allocated twice");
+    }
+
+    const topo::Circuit& circuit = assignment.circuit;
+    if (circuit.processor != assignment.request.processor ||
+        circuit.resource != assignment.resource.resource) {
+      return fail(where.str() + "circuit endpoints disagree with assignment");
+    }
+    if (!net.circuit_contiguous(circuit)) {
+      return fail(where.str() + "circuit is not contiguous");
+    }
+    if (!net.circuit_free(circuit)) {
+      return fail(where.str() + "circuit uses an occupied link");
+    }
+    for (const topo::LinkId link : circuit.links) {
+      if (!used_links.insert(link).second) {
+        return fail(where.str() + "circuits share link " +
+                    std::to_string(link));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::int64_t schedule_cost(const Problem& problem,
+                           const ScheduleResult& result) {
+  const std::int64_t y_max = problem.max_priority();
+  const std::int64_t q_max = problem.max_preference();
+  std::int64_t cost = 0;
+  for (const Assignment& assignment : result.assignments) {
+    cost += (y_max - assignment.request.priority) +
+            (q_max - assignment.resource.preference);
+  }
+  return cost;
+}
+
+void establish_schedule(topo::Network& network, const ScheduleResult& result) {
+  for (const Assignment& assignment : result.assignments) {
+    network.establish(assignment.circuit);
+  }
+}
+
+}  // namespace rsin::core

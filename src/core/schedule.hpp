@@ -1,0 +1,59 @@
+// Scheduling results and their verification.
+//
+// A ScheduleResult is a request-resource mapping together with the physical
+// circuits realizing it. verify_schedule() checks *realizability*: every
+// circuit is contiguous, uses only links free in the problem's network, all
+// circuits are pairwise link-disjoint, each request/resource is used at most
+// once, and resource types match. These are exactly the feasibility
+// conditions Theorems 1-2 equate with legal integral flows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace rsin::core {
+
+/// One allocated pair plus the circuit that realizes it.
+struct Assignment {
+  Request request;
+  FreeResource resource;
+  topo::Circuit circuit;
+};
+
+struct ScheduleResult {
+  std::vector<Assignment> assignments;
+  /// The paper's allocation cost: sum over assignments of
+  /// (y_max - y_p) + (q_max - q_w); lower is better. Zero for the
+  /// no-priority discipline.
+  std::int64_t cost = 0;
+  /// Elementary operations the scheduler performed (algorithm-specific;
+  /// used as the monitor architecture's instruction-count proxy).
+  std::int64_t operations = 0;
+
+  [[nodiscard]] std::size_t allocated() const { return assignments.size(); }
+
+  /// True when `processor` received a resource in this schedule.
+  [[nodiscard]] bool processor_allocated(topo::ProcessorId processor) const;
+  /// Resource allocated to `processor`, or kInvalidId.
+  [[nodiscard]] topo::ResourceId resource_of(topo::ProcessorId processor) const;
+};
+
+/// Returns std::nullopt when the schedule is realizable for the problem;
+/// otherwise a description of the first violated condition.
+std::optional<std::string> verify_schedule(const Problem& problem,
+                                           const ScheduleResult& result);
+
+/// Computes the paper's allocation cost of a schedule under the problem's
+/// priority/preference levels.
+std::int64_t schedule_cost(const Problem& problem,
+                           const ScheduleResult& result);
+
+/// Establishes every circuit of the schedule in the network (occupying
+/// links). The schedule must verify cleanly first.
+void establish_schedule(topo::Network& network, const ScheduleResult& result);
+
+}  // namespace rsin::core

@@ -1,0 +1,257 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/routing.hpp"
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+std::string MaxFlowScheduler::name() const {
+  switch (algorithm_) {
+    case flow::MaxFlowAlgorithm::kFordFulkerson:
+      return "max-flow(ford-fulkerson)";
+    case flow::MaxFlowAlgorithm::kEdmondsKarp:
+      return "max-flow(edmonds-karp)";
+    case flow::MaxFlowAlgorithm::kDinic:
+      return "max-flow(dinic)";
+    case flow::MaxFlowAlgorithm::kCapacityScaling:
+      return "max-flow(capacity-scaling)";
+    case flow::MaxFlowAlgorithm::kPushRelabel:
+      return "max-flow(push-relabel)";
+  }
+  return "max-flow";
+}
+
+ScheduleResult MaxFlowScheduler::schedule(const Problem& problem) {
+  TransformResult transformed = transformation1(problem);
+  const flow::MaxFlowResult stats = flow::max_flow(transformed.net, algorithm_);
+  ScheduleResult result = extract_schedule(problem, transformed);
+  RSIN_ENSURE(static_cast<flow::Capacity>(result.allocated()) == stats.value,
+              "allocation count must equal the max-flow value (Theorem 2)");
+  result.operations = stats.operations;
+  return result;
+}
+
+std::string MinCostScheduler::name() const {
+  std::string base;
+  switch (algorithm_) {
+    case flow::MinCostFlowAlgorithm::kSsp:
+      base = "min-cost(ssp)";
+      break;
+    case flow::MinCostFlowAlgorithm::kCycleCancel:
+      base = "min-cost(cycle-cancel)";
+      break;
+    case flow::MinCostFlowAlgorithm::kOutOfKilter:
+      base = "min-cost(out-of-kilter)";
+      break;
+    case flow::MinCostFlowAlgorithm::kNetworkSimplex:
+      base = "min-cost(network-simplex)";
+      break;
+  }
+  if (mode_ == BypassCostMode::kPriorityWeighted) base += "+priority";
+  return base;
+}
+
+ScheduleResult MinCostScheduler::schedule(const Problem& problem) {
+  TransformResult transformed = transformation2(problem, mode_);
+  const flow::MinCostFlowResult stats =
+      flow::min_cost_flow(transformed.net, transformed.request_count,
+                          algorithm_);
+  RSIN_ENSURE(stats.feasible,
+              "Transformation 2 always admits F0 via the bypass node");
+  ScheduleResult result = extract_schedule(problem, transformed);
+  result.operations = stats.operations;
+  return result;
+}
+
+ScheduleResult GreedyScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  // Work on a private copy of the network so established trial circuits
+  // never leak into the caller's state.
+  topo::Network net = *problem.network;
+
+  std::vector<char> resource_used(
+      static_cast<std::size_t>(net.resource_count()), 0);
+  std::vector<std::int32_t> resource_type(
+      static_cast<std::size_t>(net.resource_count()), -1);
+  std::vector<const FreeResource*> resource_info(
+      static_cast<std::size_t>(net.resource_count()), nullptr);
+  for (const FreeResource& resource : problem.free_resources) {
+    resource_type[static_cast<std::size_t>(resource.resource)] = resource.type;
+    resource_info[static_cast<std::size_t>(resource.resource)] = &resource;
+  }
+
+  ScheduleResult result;
+  for (const Request& request : problem.requests) {
+    auto circuit = first_free_path(
+        net, request.processor,
+        [&](topo::ResourceId r) {
+          return resource_info[static_cast<std::size_t>(r)] != nullptr &&
+                 !resource_used[static_cast<std::size_t>(r)] &&
+                 resource_type[static_cast<std::size_t>(r)] == request.type;
+        },
+        &result.operations);
+    if (!circuit) continue;
+    net.establish(*circuit);
+    resource_used[static_cast<std::size_t>(circuit->resource)] = 1;
+    Assignment assignment;
+    assignment.request = request;
+    assignment.resource =
+        *resource_info[static_cast<std::size_t>(circuit->resource)];
+    assignment.circuit = std::move(*circuit);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = schedule_cost(problem, result);
+  return result;
+}
+
+ScheduleResult RandomScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  topo::Network net = *problem.network;
+
+  std::vector<char> resource_used(
+      static_cast<std::size_t>(net.resource_count()), 0);
+  std::vector<const FreeResource*> resource_info(
+      static_cast<std::size_t>(net.resource_count()), nullptr);
+  for (const FreeResource& resource : problem.free_resources) {
+    resource_info[static_cast<std::size_t>(resource.resource)] = &resource;
+  }
+
+  ScheduleResult result;
+  for (const Request& request : problem.requests) {
+    // The address-mapping step: pick a random free resource of the right
+    // type, unaware of the network state. With independent destinations
+    // the draw ignores earlier picks, so collisions are possible (only the
+    // first request to claim a resource wins).
+    std::vector<const FreeResource*> candidates;
+    for (const FreeResource& resource : problem.free_resources) {
+      if ((independent_destinations_ ||
+           !resource_used[static_cast<std::size_t>(resource.resource)]) &&
+          resource.type == request.type) {
+        candidates.push_back(&resource);
+      }
+    }
+    if (candidates.empty()) continue;
+    const FreeResource& chosen = *candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    if (independent_destinations_ &&
+        resource_used[static_cast<std::size_t>(chosen.resource)]) {
+      continue;  // destination collision: request lost this cycle
+    }
+
+    // The network then routes to that exact destination or blocks.
+    auto paths = enumerate_free_paths(net, request.processor, chosen.resource,
+                                      /*limit=*/1);
+    result.operations += static_cast<std::int64_t>(net.link_count());
+    // The resource is committed by the address mapping even if routing
+    // fails: a blocked circuit still leaves the resource assigned-but-
+    // unreachable for this cycle.
+    resource_used[static_cast<std::size_t>(chosen.resource)] = 1;
+    if (paths.empty()) continue;
+    net.establish(paths.front());
+    Assignment assignment;
+    assignment.request = request;
+    assignment.resource = chosen;
+    assignment.circuit = std::move(paths.front());
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = schedule_cost(problem, result);
+  return result;
+}
+
+namespace {
+
+/// Backtracking search used by ExhaustiveScheduler.
+struct ExhaustiveSearch {
+  const Problem& problem;
+  topo::Network net;  // mutable working copy
+  std::vector<char> resource_used;
+  std::int64_t work_limit;
+  std::int64_t work = 0;
+
+  std::vector<Assignment> current;
+  std::vector<Assignment> best;
+  std::int64_t best_cost = 0;
+
+  explicit ExhaustiveSearch(const Problem& p, std::int64_t limit)
+      : problem(p),
+        net(*p.network),
+        resource_used(static_cast<std::size_t>(p.network->resource_count()),
+                      0),
+        work_limit(limit) {}
+
+  void run() { recurse(0); }
+
+  void consider_current() {
+    const std::int64_t cost = [&] {
+      ScheduleResult tmp;
+      tmp.assignments = current;
+      return schedule_cost(problem, tmp);
+    }();
+    if (current.size() > best.size() ||
+        (current.size() == best.size() && cost < best_cost)) {
+      best = current;
+      best_cost = cost;
+    }
+  }
+
+  void recurse(std::size_t request_index) {
+    if (++work > work_limit) {
+      throw std::runtime_error(
+          "exhaustive scheduler exceeded its work limit; use a flow-based "
+          "scheduler for instances of this size");
+    }
+    if (request_index == problem.requests.size()) {
+      consider_current();
+      return;
+    }
+    // Upper-bound prune: even allocating every remaining request cannot
+    // beat the incumbent.
+    const std::size_t remaining = problem.requests.size() - request_index;
+    if (current.size() + remaining < best.size()) return;
+
+    const Request& request = problem.requests[request_index];
+    for (const FreeResource& resource : problem.free_resources) {
+      if (resource.type != request.type ||
+          resource_used[static_cast<std::size_t>(resource.resource)]) {
+        continue;
+      }
+      // Try every free path to this resource under current occupancy.
+      const auto paths =
+          enumerate_free_paths(net, request.processor, resource.resource);
+      for (const topo::Circuit& circuit : paths) {
+        net.establish(circuit);
+        resource_used[static_cast<std::size_t>(resource.resource)] = 1;
+        Assignment assignment;
+        assignment.request = request;
+        assignment.resource = resource;
+        assignment.circuit = circuit;
+        current.push_back(std::move(assignment));
+
+        recurse(request_index + 1);
+
+        current.pop_back();
+        resource_used[static_cast<std::size_t>(resource.resource)] = 0;
+        net.release(circuit);
+      }
+    }
+    // Option: leave this request unallocated.
+    recurse(request_index + 1);
+  }
+};
+
+}  // namespace
+
+ScheduleResult ExhaustiveScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  ExhaustiveSearch search(problem, work_limit_);
+  search.run();
+  ScheduleResult result;
+  result.assignments = std::move(search.best);
+  result.cost = schedule_cost(problem, result);
+  result.operations = search.work;
+  return result;
+}
+
+}  // namespace rsin::core

@@ -1,0 +1,119 @@
+// Scheduler interface and the concrete scheduling disciplines.
+//
+// The paper's thesis is that optimal request-resource mapping is a network
+// flow computation; the baselines here are the schemes it argues against:
+//  * MaxFlowScheduler   — Transformation 1 + max-flow (optimal count;
+//                         Section III-B; the scheme with ~2% blocking).
+//  * MinCostScheduler   — Transformation 2 + min-cost flow (optimal count,
+//                         then priorities/preferences; Section III-C).
+//  * GreedyScheduler    — heuristic routing: route each request along the
+//                         first free path found, never reconsidering
+//                         (the ~20%-blocking heuristic of Section II).
+//  * RandomScheduler    — conventional address mapping: pick a random free
+//                         resource first, then try to route to exactly that
+//                         destination; no rerouting on blockage.
+//  * ExhaustiveScheduler— ground truth by backtracking over all mappings
+//                         and path choices (exponential; small instances
+//                         only; used to validate Theorems 1-2 in tests).
+//
+// All schedulers are stateless with respect to the network: they never
+// mutate the problem's network; establishing the returned circuits is the
+// caller's decision (core/schedule.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/min_cost.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::core {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Computes a realizable schedule for the problem. Implementations must
+  /// return results that pass verify_schedule().
+  virtual ScheduleResult schedule(const Problem& problem) = 0;
+};
+
+/// Optimal allocation count via Transformation 1 + a max-flow algorithm.
+class MaxFlowScheduler final : public Scheduler {
+ public:
+  explicit MaxFlowScheduler(
+      flow::MaxFlowAlgorithm algorithm = flow::MaxFlowAlgorithm::kDinic)
+      : algorithm_(algorithm) {}
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+
+ private:
+  flow::MaxFlowAlgorithm algorithm_;
+};
+
+/// Optimal count + minimal priority/preference cost via Transformation 2.
+class MinCostScheduler final : public Scheduler {
+ public:
+  explicit MinCostScheduler(
+      flow::MinCostFlowAlgorithm algorithm = flow::MinCostFlowAlgorithm::kSsp,
+      BypassCostMode mode = BypassCostMode::kPaper)
+      : algorithm_(algorithm), mode_(mode) {}
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+
+ private:
+  flow::MinCostFlowAlgorithm algorithm_;
+  BypassCostMode mode_;
+};
+
+/// Heuristic routing baseline: requests in problem order, each takes the
+/// first free path (depth-first) to any unused free resource of its type.
+class GreedyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  ScheduleResult schedule(const Problem& problem) override;
+};
+
+/// Address-mapping baseline: each request draws a uniformly random free
+/// resource of its type and attempts the first free path to exactly that
+/// resource; a blocked path means the request fails (no rerouting).
+///
+/// With `independent_destinations` the draws are with replacement, so two
+/// requests can target the same resource and collide — the conventional
+/// random-address regime modeled analytically by sim::banyan_blocking.
+/// Without it (default) a centralized allocator hands out distinct
+/// resources, isolating pure link blocking.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(util::Rng rng, bool independent_destinations = false)
+      : rng_(rng), independent_destinations_(independent_destinations) {}
+  [[nodiscard]] std::string name() const override {
+    return independent_destinations_ ? "address-mapped(independent)"
+                                     : "address-mapped";
+  }
+  ScheduleResult schedule(const Problem& problem) override;
+
+ private:
+  util::Rng rng_;
+  bool independent_destinations_;
+};
+
+/// Exponential ground truth: maximizes allocation count (tie-broken by
+/// minimal cost) over every mapping and every path choice. Throws
+/// std::runtime_error if the search exceeds `work_limit` recursion steps.
+class ExhaustiveScheduler final : public Scheduler {
+ public:
+  explicit ExhaustiveScheduler(std::int64_t work_limit = 50'000'000)
+      : work_limit_(work_limit) {}
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+  ScheduleResult schedule(const Problem& problem) override;
+
+ private:
+  std::int64_t work_limit_;
+};
+
+}  // namespace rsin::core

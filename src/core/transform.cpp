@@ -1,0 +1,238 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+
+#include "flow/validate.hpp"
+#include "util/error.hpp"
+
+namespace rsin::core {
+namespace {
+
+using flow::FlowNetwork;
+using flow::NodeId;
+using topo::kInvalidId;
+using topo::LinkId;
+using topo::Network;
+using topo::NodeKind;
+
+/// Shared construction of the (T1)-(T3) node/arc sets. Costs are zero; the
+/// Transformation 2 wrapper overlays costs and the bypass node.
+struct Builder {
+  const Problem& problem;
+  TransformResult out;
+  NodeId source = flow::kInvalidNode;
+  NodeId sink = flow::kInvalidNode;
+  std::vector<NodeId> processor_node;  // per processor, kInvalidNode unless requesting
+  std::vector<NodeId> switch_node;     // per switch
+  std::vector<NodeId> resource_node;   // per resource, kInvalidNode unless free
+
+  explicit Builder(const Problem& p) : problem(p) {
+    p.validate();
+    RSIN_REQUIRE(p.types().size() <= 1,
+                 "transformations 1-2 require a homogeneous problem; use the "
+                 "heterogeneous scheduler for multiple types");
+  }
+
+  void add_arc(NodeId from, NodeId to, flow::Capacity capacity, LinkId link,
+               topo::ProcessorId processor, topo::ResourceId resource,
+               flow::Cost cost = 0) {
+    out.net.add_arc(from, to, capacity, cost);
+    out.arc_link.push_back(link);
+    out.arc_processor.push_back(processor);
+    out.arc_resource.push_back(resource);
+  }
+
+  /// (T1): node sets P, X, R plus source and sink.
+  void build_nodes() {
+    const Network& net = *problem.network;
+    source = out.net.add_node("s");
+    sink = out.net.add_node("t");
+    out.net.set_source(source);
+    out.net.set_sink(sink);
+
+    processor_node.assign(static_cast<std::size_t>(net.processor_count()),
+                          flow::kInvalidNode);
+    for (const Request& request : problem.requests) {
+      processor_node[static_cast<std::size_t>(request.processor)] =
+          out.net.add_node("p" + std::to_string(request.processor + 1));
+    }
+    switch_node.resize(static_cast<std::size_t>(net.switch_count()));
+    for (std::int32_t sw = 0; sw < net.switch_count(); ++sw) {
+      switch_node[static_cast<std::size_t>(sw)] =
+          out.net.add_node("x" + std::to_string(sw));
+    }
+    resource_node.assign(static_cast<std::size_t>(net.resource_count()),
+                         flow::kInvalidNode);
+    for (const FreeResource& resource : problem.free_resources) {
+      resource_node[static_cast<std::size_t>(resource.resource)] =
+          out.net.add_node("r" + std::to_string(resource.resource + 1));
+    }
+  }
+
+  /// (T2)+(T3): arc sets S, B, T with the capacity function applied — arcs
+  /// that (T3) would give zero capacity (occupied links, silent processors,
+  /// busy resources) are simply never created, which also realizes (T4).
+  void build_arcs(flow::Cost source_cost_base, flow::Cost sink_cost_base) {
+    const Network& net = *problem.network;
+
+    // S: source -> requesting processors. Cost y_max - y_p.
+    for (const Request& request : problem.requests) {
+      const flow::Cost cost =
+          source_cost_base > 0 ? source_cost_base - request.priority : 0;
+      add_arc(source,
+              processor_node[static_cast<std::size_t>(request.processor)], 1,
+              kInvalidId, request.processor, kInvalidId, cost);
+    }
+
+    // B: one arc per free physical link whose endpoints both exist.
+    for (LinkId link = 0; link < net.link_count(); ++link) {
+      const topo::Link& l = net.link(link);
+      if (l.occupied) continue;
+      NodeId from = flow::kInvalidNode;
+      NodeId to = flow::kInvalidNode;
+      switch (l.from.kind) {
+        case NodeKind::kProcessor:
+          from = processor_node[static_cast<std::size_t>(l.from.node)];
+          break;
+        case NodeKind::kSwitch:
+          from = switch_node[static_cast<std::size_t>(l.from.node)];
+          break;
+        case NodeKind::kResource:
+          break;
+      }
+      switch (l.to.kind) {
+        case NodeKind::kSwitch:
+          to = switch_node[static_cast<std::size_t>(l.to.node)];
+          break;
+        case NodeKind::kResource:
+          to = resource_node[static_cast<std::size_t>(l.to.node)];
+          break;
+        case NodeKind::kProcessor:
+          break;
+      }
+      if (from == flow::kInvalidNode || to == flow::kInvalidNode) continue;
+      add_arc(from, to, 1, link, kInvalidId, kInvalidId, 0);
+    }
+
+    // T: free resources -> sink. Cost q_max - q_w.
+    for (const FreeResource& resource : problem.free_resources) {
+      const flow::Cost cost =
+          sink_cost_base > 0 ? sink_cost_base - resource.preference : 0;
+      add_arc(resource_node[static_cast<std::size_t>(resource.resource)], sink,
+              1, kInvalidId, kInvalidId, resource.resource, cost);
+    }
+  }
+};
+
+}  // namespace
+
+TransformResult transformation1(const Problem& problem) {
+  Builder builder(problem);
+  builder.build_nodes();
+  builder.build_arcs(/*source_cost_base=*/0, /*sink_cost_base=*/0);
+  builder.out.request_count =
+      static_cast<flow::Capacity>(problem.requests.size());
+  return std::move(builder.out);
+}
+
+TransformResult transformation2(const Problem& problem, BypassCostMode mode) {
+  Builder builder(problem);
+  builder.build_nodes();
+
+  const std::int32_t y_max = problem.max_priority();
+  const std::int32_t q_max = problem.max_preference();
+  builder.build_arcs(/*source_cost_base=*/y_max, /*sink_cost_base=*/q_max);
+
+  // The bypass node u and the L arcs. The paper's cost keeps bypassing
+  // strictly costlier than any fabric path; the priority-weighted extension
+  // additionally makes bypassing a high-priority request costlier than
+  // bypassing a low-priority one.
+  const flow::Cost bypass_base = std::max(y_max + 1, q_max + 1);
+  builder.out.bypass = builder.out.net.add_node("u");
+  for (const Request& request : problem.requests) {
+    flow::Cost cost = bypass_base;
+    if (mode == BypassCostMode::kPriorityWeighted) cost += request.priority;
+    builder.add_arc(
+        builder.processor_node[static_cast<std::size_t>(request.processor)],
+        builder.out.bypass, 1, kInvalidId, kInvalidId, kInvalidId, cost);
+  }
+  builder.add_arc(builder.out.bypass, builder.sink,
+                  static_cast<flow::Capacity>(problem.requests.size()),
+                  kInvalidId, kInvalidId, kInvalidId, bypass_base);
+
+  builder.out.request_count =
+      static_cast<flow::Capacity>(problem.requests.size());
+  return std::move(builder.out);
+}
+
+ScheduleResult extract_schedule(const Problem& problem,
+                                const TransformResult& transformed) {
+  const FlowNetwork& net = transformed.net;
+  RSIN_REQUIRE(!flow::validate_flow(net),
+               "extract_schedule requires a legal flow assignment");
+  // Every physical arc has unit capacity, so legality already forces 0/1
+  // flow everywhere except the bypass->sink arc, which may carry one unit
+  // per unallocated request.
+
+  // Remaining flow per arc; consumed as circuits are traced so that two
+  // paths sharing a node never reuse an arc.
+  std::vector<flow::Capacity> remaining(net.arc_count());
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    remaining[a] = net.arc(static_cast<flow::ArcId>(a)).flow;
+  }
+
+  ScheduleResult result;
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const topo::ProcessorId processor = transformed.arc_processor[a];
+    if (processor == kInvalidId || remaining[a] == 0) continue;
+    // This is a saturated source arc: trace its unit of flow to the sink.
+    remaining[a] = 0;
+    std::vector<topo::LinkId> links;
+    NodeId at = net.arc(static_cast<flow::ArcId>(a)).to;
+    bool bypassed = false;
+    topo::ResourceId resource = kInvalidId;
+    while (at != net.sink()) {
+      if (at == transformed.bypass) bypassed = true;
+      bool advanced = false;
+      for (const flow::ArcId out : net.out_arcs(at)) {
+        if (remaining[static_cast<std::size_t>(out)] == 0) continue;
+        remaining[static_cast<std::size_t>(out)] -= 1;
+        const std::size_t oa = static_cast<std::size_t>(out);
+        if (transformed.arc_link[oa] != kInvalidId) {
+          links.push_back(transformed.arc_link[oa]);
+        }
+        if (transformed.arc_resource[oa] != kInvalidId) {
+          resource = transformed.arc_resource[oa];
+        }
+        at = net.arc(out).to;
+        advanced = true;
+        break;
+      }
+      RSIN_ENSURE(advanced, "flow conservation violated while tracing");
+    }
+    if (bypassed) continue;  // request deliberately unallocated
+    RSIN_ENSURE(resource != kInvalidId, "fabric path missed the sink arc");
+
+    Assignment assignment;
+    const auto request_it =
+        std::find_if(problem.requests.begin(), problem.requests.end(),
+                     [&](const Request& r) { return r.processor == processor; });
+    const auto resource_it = std::find_if(
+        problem.free_resources.begin(), problem.free_resources.end(),
+        [&](const FreeResource& r) { return r.resource == resource; });
+    RSIN_ENSURE(request_it != problem.requests.end(),
+                "traced flow for an unknown request");
+    RSIN_ENSURE(resource_it != problem.free_resources.end(),
+                "traced flow to an unknown resource");
+    assignment.request = *request_it;
+    assignment.resource = *resource_it;
+    assignment.circuit.processor = processor;
+    assignment.circuit.resource = resource;
+    assignment.circuit.links = std::move(links);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = schedule_cost(problem, result);
+  return result;
+}
+
+}  // namespace rsin::core

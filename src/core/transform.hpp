@@ -1,0 +1,65 @@
+// Transformations 1 and 2 (Section III of the paper): MRSIN -> flow network.
+//
+// Transformation 1 (homogeneous, no priorities): source -> requesting
+// processors -> free-link fabric -> free resources -> sink, all arcs unit
+// capacity. Theorem 2: the number of resources an MRSIN mapping can allocate
+// equals the value of an integral flow here, so a maximum flow yields the
+// optimal request-resource mapping.
+//
+// Transformation 2 (priorities/preferences): adds a bypass node u reachable
+// from every requesting processor, with arc costs chosen so that
+// (a) bypassing is always costlier than any real path (count-optimality
+// first, Theorem 3) and (b) among count-optimal mappings the cheaper
+// priorities/preferences win. The exact cost function of the paper makes
+// request priorities cost-neutral when F0 equals the number of requests
+// (every source arc is saturated either way); the kPriorityWeighted mode is
+// a documented extension that adds the request's priority to its bypass arc
+// so that, when not every request fits, high-priority requests are the ones
+// allocated. The paper itself licenses this ("any cost function that is
+// inversely related to priorities and preferences can be used").
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "flow/network.hpp"
+
+namespace rsin::core {
+
+/// A transformed flow network plus the bookkeeping needed to pull circuits
+/// back out of a flow assignment.
+struct TransformResult {
+  flow::FlowNetwork net;
+  flow::NodeId bypass = flow::kInvalidNode;  ///< Set by Transformation 2.
+  /// For every flow arc: the physical link it models, or kInvalidId for the
+  /// synthetic source/sink/bypass arcs.
+  std::vector<topo::LinkId> arc_link;
+  /// For source->processor arcs: the requesting processor; else kInvalidId.
+  std::vector<topo::ProcessorId> arc_processor;
+  /// For resource->sink arcs: the resource; else kInvalidId.
+  std::vector<topo::ResourceId> arc_resource;
+  /// F0 of Transformation 2: the number of pending requests.
+  flow::Capacity request_count = 0;
+};
+
+/// Transformation 1. The problem must be homogeneous (single type).
+TransformResult transformation1(const Problem& problem);
+
+enum class BypassCostMode {
+  kPaper,             ///< w(L) = max(y_max+1, q_max+1) on both bypass arcs.
+  kPriorityWeighted,  ///< w(p->u) additionally grows with p's priority.
+};
+
+/// Transformation 2. The problem must be homogeneous (single type).
+TransformResult transformation2(const Problem& problem,
+                                BypassCostMode mode = BypassCostMode::kPaper);
+
+/// Converts the flow currently assigned in `transformed.net` into a
+/// schedule: one assignment (with its physical circuit) per unit of flow
+/// that reaches the sink through the fabric. Flow through the bypass node
+/// produces no assignment. The flow must be legal and 0/1-valued.
+ScheduleResult extract_schedule(const Problem& problem,
+                                const TransformResult& transformed);
+
+}  // namespace rsin::core

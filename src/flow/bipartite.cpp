@@ -1,0 +1,108 @@
+#include "flow/bipartite.hpp"
+
+#include <deque>
+#include <functional>
+#include <limits>
+
+namespace rsin::flow {
+namespace {
+
+constexpr std::int32_t kUnmatched = -1;
+constexpr std::int32_t kInfDistance = std::numeric_limits<std::int32_t>::max();
+
+}  // namespace
+
+namespace {
+
+std::size_t checked_vertex_count(std::int32_t count) {
+  RSIN_REQUIRE(count >= 0, "vertex counts must be non-negative");
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
+BipartiteGraph::BipartiteGraph(std::int32_t left_count,
+                               std::int32_t right_count)
+    : adjacency_(checked_vertex_count(left_count)),
+      right_count_(right_count) {
+  RSIN_REQUIRE(right_count >= 0, "vertex counts must be non-negative");
+}
+
+void BipartiteGraph::add_edge(std::int32_t left, std::int32_t right) {
+  RSIN_REQUIRE(left >= 0 && static_cast<std::size_t>(left) < adjacency_.size(),
+               "left vertex out of range");
+  RSIN_REQUIRE(right >= 0 && right < right_count_,
+               "right vertex out of range");
+  adjacency_[static_cast<std::size_t>(left)].push_back(right);
+}
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  const auto n_left = static_cast<std::size_t>(graph.left_count());
+  const auto n_right = static_cast<std::size_t>(graph.right_count());
+  MatchingResult result;
+  result.match_left.assign(n_left, kUnmatched);
+  result.match_right.assign(n_right, kUnmatched);
+
+  std::vector<std::int32_t> distance(n_left);
+
+  // BFS layering over free left vertices; returns true when an augmenting
+  // path exists (some free right vertex is reachable).
+  const auto bfs = [&] {
+    std::deque<std::int32_t> queue;
+    bool found = false;
+    for (std::size_t l = 0; l < n_left; ++l) {
+      if (result.match_left[l] == kUnmatched) {
+        distance[l] = 0;
+        queue.push_back(static_cast<std::int32_t>(l));
+      } else {
+        distance[l] = kInfDistance;
+      }
+    }
+    while (!queue.empty()) {
+      const std::int32_t l = queue.front();
+      queue.pop_front();
+      for (const std::int32_t r : graph.neighbors(l)) {
+        const std::int32_t next = result.match_right[static_cast<std::size_t>(r)];
+        if (next == kUnmatched) {
+          found = true;
+        } else if (distance[static_cast<std::size_t>(next)] == kInfDistance) {
+          distance[static_cast<std::size_t>(next)] =
+              distance[static_cast<std::size_t>(l)] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // Layered DFS augmentation.
+  const std::function<bool(std::int32_t)> dfs = [&](std::int32_t l) {
+    for (const std::int32_t r : graph.neighbors(l)) {
+      const std::int32_t next = result.match_right[static_cast<std::size_t>(r)];
+      if (next == kUnmatched ||
+          (distance[static_cast<std::size_t>(next)] ==
+               distance[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next))) {
+        result.match_left[static_cast<std::size_t>(l)] = r;
+        result.match_right[static_cast<std::size_t>(r)] =
+            static_cast<std::int32_t>(l);
+        return true;
+      }
+    }
+    distance[static_cast<std::size_t>(l)] = kInfDistance;  // dead end
+    return false;
+  };
+
+  while (bfs()) {
+    ++result.phases;
+    for (std::size_t l = 0; l < n_left; ++l) {
+      if (result.match_left[l] == kUnmatched &&
+          dfs(static_cast<std::int32_t>(l))) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,138 @@
+#include "flow/decompose.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "flow/validate.hpp"
+
+namespace rsin::flow {
+
+Capacity FlowDecomposition::total_path_flow() const {
+  Capacity total = 0;
+  for (const FlowPath& path : paths) total += path.amount;
+  return total;
+}
+
+FlowDecomposition decompose_flow(const FlowNetwork& net) {
+  RSIN_REQUIRE(!validate_flow(net).has_value(),
+               "decomposition requires a legal flow");
+  FlowDecomposition result;
+  std::vector<Capacity> remaining(net.arc_count());
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    remaining[a] = net.arc(static_cast<ArcId>(a)).flow;
+  }
+
+  const auto first_positive_out = [&](NodeId v) -> ArcId {
+    for (const ArcId a : net.out_arcs(v)) {
+      if (remaining[static_cast<std::size_t>(a)] > 0) return a;
+    }
+    return kInvalidArc;
+  };
+
+  // Phase 1: peel source->sink paths. Conservation guarantees that any
+  // walk following positive arcs from the source either reaches the sink
+  // or closes a cycle; cycles found on the way are peeled immediately so
+  // the walk always makes progress.
+  if (net.valid_node(net.source()) && net.valid_node(net.sink())) {
+    while (first_positive_out(net.source()) != kInvalidArc) {
+      std::vector<ArcId> walk;
+      std::vector<int> position(net.node_count(), -1);
+      NodeId at = net.source();
+      position[static_cast<std::size_t>(at)] = 0;
+      while (at != net.sink()) {
+        const ArcId a = first_positive_out(at);
+        RSIN_ENSURE(a != kInvalidArc,
+                    "conservation violated during decomposition");
+        walk.push_back(a);
+        at = net.arc(a).to;
+        const auto idx = static_cast<std::size_t>(at);
+        if (position[idx] != -1) {
+          // Found a cycle: peel it, rewind the walk, and continue.
+          const auto start = static_cast<std::size_t>(position[idx]);
+          FlowCycle cycle;
+          cycle.arcs.assign(walk.begin() + static_cast<std::ptrdiff_t>(start),
+                            walk.end());
+          cycle.amount = std::numeric_limits<Capacity>::max();
+          for (const ArcId arc : cycle.arcs) {
+            cycle.amount = std::min(cycle.amount,
+                                    remaining[static_cast<std::size_t>(arc)]);
+          }
+          for (const ArcId arc : cycle.arcs) {
+            remaining[static_cast<std::size_t>(arc)] -= cycle.amount;
+          }
+          result.cycles.push_back(std::move(cycle));
+          // Rewind to the cycle entry point and clear position marks.
+          for (std::size_t i = start; i < walk.size(); ++i) {
+            position[static_cast<std::size_t>(net.arc(walk[i]).to)] = -1;
+          }
+          position[idx] = static_cast<int>(start);
+          walk.resize(start);
+          at = walk.empty() ? net.source() : net.arc(walk.back()).to;
+          continue;
+        }
+        position[idx] = static_cast<int>(walk.size());
+      }
+      FlowPath path;
+      path.amount = std::numeric_limits<Capacity>::max();
+      for (const ArcId arc : walk) {
+        path.amount =
+            std::min(path.amount, remaining[static_cast<std::size_t>(arc)]);
+      }
+      for (const ArcId arc : walk) {
+        remaining[static_cast<std::size_t>(arc)] -= path.amount;
+      }
+      path.arcs = std::move(walk);
+      result.paths.push_back(std::move(path));
+    }
+  }
+
+  // Phase 2: peel residual cycles (circulation components).
+  for (std::size_t seed = 0; seed < net.arc_count(); ++seed) {
+    while (remaining[seed] > 0) {
+      std::vector<ArcId> walk{static_cast<ArcId>(seed)};
+      std::vector<int> position(net.node_count(), -1);
+      position[static_cast<std::size_t>(net.arc(static_cast<ArcId>(seed)).from)] =
+          0;
+      NodeId at = net.arc(static_cast<ArcId>(seed)).to;
+      while (position[static_cast<std::size_t>(at)] == -1) {
+        position[static_cast<std::size_t>(at)] =
+            static_cast<int>(walk.size());
+        const ArcId a = first_positive_out(at);
+        RSIN_ENSURE(a != kInvalidArc,
+                    "conservation violated during cycle peeling");
+        walk.push_back(a);
+        at = net.arc(a).to;
+      }
+      const auto start =
+          static_cast<std::size_t>(position[static_cast<std::size_t>(at)]);
+      FlowCycle cycle;
+      cycle.arcs.assign(walk.begin() + static_cast<std::ptrdiff_t>(start),
+                        walk.end());
+      cycle.amount = std::numeric_limits<Capacity>::max();
+      for (const ArcId arc : cycle.arcs) {
+        cycle.amount =
+            std::min(cycle.amount, remaining[static_cast<std::size_t>(arc)]);
+      }
+      for (const ArcId arc : cycle.arcs) {
+        remaining[static_cast<std::size_t>(arc)] -= cycle.amount;
+      }
+      result.cycles.push_back(std::move(cycle));
+    }
+  }
+  return result;
+}
+
+void recompose_flow(FlowNetwork& net, const FlowDecomposition& decomposition) {
+  net.clear_flow();
+  const auto add = [&](const std::vector<ArcId>& arcs, Capacity amount) {
+    for (const ArcId a : arcs) {
+      net.set_flow(a, net.arc(a).flow + amount);
+    }
+  };
+  for (const FlowPath& path : decomposition.paths) add(path.arcs, path.amount);
+  for (const FlowCycle& cycle : decomposition.cycles) {
+    add(cycle.arcs, cycle.amount);
+  }
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,43 @@
+// Flow decomposition: any legal flow splits into at most |E| source-to-sink
+// paths and cycles (Ford–Fulkerson). In the MRSIN setting the path terms
+// ARE the allocated circuits (Theorem 2's "every legal integral flow
+// defines a set of F nonoverlapping paths from s to t"), so this module
+// gives an algorithm-independent way to audit any flow a solver produces;
+// the property tests recompose the terms and demand the original arc flows
+// back.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rsin::flow {
+
+struct FlowPath {
+  std::vector<ArcId> arcs;  ///< In order from source to sink.
+  Capacity amount = 0;
+};
+
+struct FlowCycle {
+  std::vector<ArcId> arcs;  ///< In cyclic order.
+  Capacity amount = 0;
+};
+
+struct FlowDecomposition {
+  std::vector<FlowPath> paths;
+  std::vector<FlowCycle> cycles;
+
+  /// Sum of the path amounts (equals the flow value).
+  [[nodiscard]] Capacity total_path_flow() const;
+};
+
+/// Decomposes the current (legal) flow assignment of `net`. Throws
+/// std::invalid_argument when the assignment violates conservation or
+/// capacity.
+FlowDecomposition decompose_flow(const FlowNetwork& net);
+
+/// Reapplies a decomposition to zeroed arc flows; used by tests to verify
+/// decompose/recompose is the identity.
+void recompose_flow(FlowNetwork& net, const FlowDecomposition& decomposition);
+
+}  // namespace rsin::flow

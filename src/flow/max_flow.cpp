@@ -1,0 +1,284 @@
+#include "flow/max_flow.hpp"
+
+#include "flow/push_relabel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace rsin::flow {
+namespace {
+
+constexpr Capacity kInf = std::numeric_limits<Capacity>::max();
+
+void require_st(const FlowNetwork& net) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+}
+
+/// DFS for one augmenting path using only residual edges with capacity at
+/// least `threshold`; returns the bottleneck (0 if none found). Marks
+/// visited nodes to avoid cycles; counts edge inspections in `ops`.
+Capacity dfs_augment(ResidualGraph& residual, NodeId v, NodeId sink,
+                     Capacity limit, Capacity threshold,
+                     std::vector<char>& visited, std::int64_t& ops) {
+  if (v == sink) return limit;
+  visited[static_cast<std::size_t>(v)] = 1;
+  for (const auto e : residual.edges_from(v)) {
+    ++ops;
+    const NodeId next = residual.head(e);
+    if (visited[static_cast<std::size_t>(next)] ||
+        residual.residual(e) < threshold) {
+      continue;
+    }
+    const Capacity pushed =
+        dfs_augment(residual, next, sink,
+                    std::min(limit, residual.residual(e)), threshold, visited,
+                    ops);
+    if (pushed > 0) {
+      residual.push(e, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+MaxFlowResult max_flow_ford_fulkerson(FlowNetwork& net) {
+  require_st(net);
+  ResidualGraph residual(net);
+  MaxFlowResult result;
+  std::vector<char> visited(net.node_count(), 0);
+  while (true) {
+    std::fill(visited.begin(), visited.end(), 0);
+    const Capacity pushed = dfs_augment(residual, net.source(), net.sink(),
+                                        kInf, 1, visited, result.operations);
+    if (pushed == 0) break;
+    result.value += pushed;
+    ++result.augmentations;
+  }
+  residual.apply_to(net);
+  return result;
+}
+
+MaxFlowResult max_flow_capacity_scaling(FlowNetwork& net) {
+  require_st(net);
+  ResidualGraph residual(net);
+  MaxFlowResult result;
+  std::vector<char> visited(net.node_count(), 0);
+
+  Capacity max_capacity = 0;
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    max_capacity =
+        std::max(max_capacity, net.arc(static_cast<ArcId>(a)).capacity);
+  }
+  Capacity delta = 1;
+  while (delta * 2 <= max_capacity) delta *= 2;
+
+  for (; delta >= 1; delta /= 2) {
+    while (true) {
+      std::fill(visited.begin(), visited.end(), 0);
+      const Capacity pushed =
+          dfs_augment(residual, net.source(), net.sink(), kInf, delta,
+                      visited, result.operations);
+      if (pushed == 0) break;
+      result.value += pushed;
+      ++result.augmentations;
+    }
+  }
+  residual.apply_to(net);
+  return result;
+}
+
+MaxFlowResult max_flow_edmonds_karp(FlowNetwork& net) {
+  require_st(net);
+  ResidualGraph residual(net);
+  MaxFlowResult result;
+  const std::size_t n = net.node_count();
+  std::vector<ResidualGraph::EdgeId> parent_edge(n);
+
+  while (true) {
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    std::deque<NodeId> queue{net.source()};
+    std::vector<char> seen(n, 0);
+    seen[static_cast<std::size_t>(net.source())] = 1;
+    bool reached = false;
+    while (!queue.empty() && !reached) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const auto e : residual.edges_from(v)) {
+        ++result.operations;
+        const NodeId next = residual.head(e);
+        if (seen[static_cast<std::size_t>(next)] || residual.residual(e) <= 0) {
+          continue;
+        }
+        seen[static_cast<std::size_t>(next)] = 1;
+        parent_edge[static_cast<std::size_t>(next)] = e;
+        if (next == net.sink()) {
+          reached = true;
+          break;
+        }
+        queue.push_back(next);
+      }
+    }
+    if (!reached) break;
+
+    // Walk back along parent edges to find the bottleneck, then push.
+    Capacity bottleneck = kInf;
+    for (NodeId v = net.sink(); v != net.source();
+         v = residual.tail(parent_edge[static_cast<std::size_t>(v)])) {
+      bottleneck = std::min(
+          bottleneck, residual.residual(parent_edge[static_cast<std::size_t>(v)]));
+    }
+    for (NodeId v = net.sink(); v != net.source();) {
+      const auto e = parent_edge[static_cast<std::size_t>(v)];
+      residual.push(e, bottleneck);
+      v = residual.tail(e);
+    }
+    result.value += bottleneck;
+    ++result.augmentations;
+  }
+  residual.apply_to(net);
+  return result;
+}
+
+LayeredNetwork build_layered_network(const ResidualGraph& residual,
+                                     NodeId source, NodeId sink) {
+  LayeredNetwork layered;
+  layered.level.assign(residual.node_count(), -1);
+  layered.level[static_cast<std::size_t>(source)] = 0;
+  layered.layers.push_back({source});
+
+  // Breadth-first construction, layer by layer, mirroring the paper's
+  // request-token-propagation description: each layer consists of nodes not
+  // previously reached that have a useful (residual > 0) link from the
+  // current layer. Construction stops with the layer that contains the
+  // sink; deeper layers are irrelevant to shortest augmenting paths.
+  bool sink_reached = false;
+  while (!sink_reached) {
+    const auto& frontier = layered.layers.back();
+    std::vector<NodeId> next;
+    for (const NodeId v : frontier) {
+      for (const auto e : residual.edges_from(v)) {
+        if (residual.residual(e) <= 0) continue;
+        const NodeId w = residual.head(e);
+        if (layered.level[static_cast<std::size_t>(w)] != -1) continue;
+        layered.level[static_cast<std::size_t>(w)] =
+            static_cast<int>(layered.layers.size());
+        next.push_back(w);
+        if (w == sink) sink_reached = true;
+      }
+    }
+    if (next.empty()) break;
+    layered.layers.push_back(std::move(next));
+  }
+
+  // Collect useful links: residual edges that descend exactly one layer.
+  for (std::size_t v = 0; v < residual.node_count(); ++v) {
+    if (layered.level[v] == -1) continue;
+    for (const auto e : residual.edges_from(static_cast<NodeId>(v))) {
+      if (residual.residual(e) <= 0) continue;
+      const NodeId w = residual.head(e);
+      if (layered.level[static_cast<std::size_t>(w)] == layered.level[v] + 1) {
+        layered.useful_links.push_back(e);
+      }
+    }
+  }
+  return layered;
+}
+
+MaxFlowResult max_flow_dinic(FlowNetwork& net, DinicTrace* trace) {
+  require_st(net);
+  ResidualGraph residual(net);
+  MaxFlowResult result;
+  const std::size_t n = net.node_count();
+  const NodeId s = net.source();
+  const NodeId t = net.sink();
+
+  std::vector<int> level(n);
+  std::vector<std::size_t> next_edge(n);
+
+  // Iterative blocking-flow DFS over the layered network. Returns the
+  // amount pushed for a single path (0 when the layered network is dry).
+  const auto advance_one_path = [&]() -> Capacity {
+    std::vector<ResidualGraph::EdgeId> path;
+    NodeId v = s;
+    while (true) {
+      if (v == t) {
+        Capacity bottleneck = kInf;
+        for (const auto e : path) {
+          bottleneck = std::min(bottleneck, residual.residual(e));
+        }
+        for (const auto e : path) residual.push(e, bottleneck);
+        return bottleneck;
+      }
+      const auto edges = residual.edges_from(v);
+      bool advanced = false;
+      while (next_edge[static_cast<std::size_t>(v)] < edges.size()) {
+        const auto e = edges[next_edge[static_cast<std::size_t>(v)]];
+        ++result.operations;
+        const NodeId w = residual.head(e);
+        if (residual.residual(e) > 0 &&
+            level[static_cast<std::size_t>(w)] ==
+                level[static_cast<std::size_t>(v)] + 1) {
+          path.push_back(e);
+          v = w;
+          advanced = true;
+          break;
+        }
+        ++next_edge[static_cast<std::size_t>(v)];
+      }
+      if (advanced) continue;
+      // Dead end: retreat (or give up if we are back at the source).
+      level[static_cast<std::size_t>(v)] = -1;  // prune from this phase
+      if (path.empty()) return 0;
+      v = residual.tail(path.back());
+      path.pop_back();
+      ++next_edge[static_cast<std::size_t>(v)];
+    }
+  };
+
+  while (true) {
+    LayeredNetwork layered = build_layered_network(residual, s, t);
+    result.operations +=
+        static_cast<std::int64_t>(layered.useful_links.size());
+    if (layered.level[static_cast<std::size_t>(t)] == -1) {
+      if (trace) trace->phases.push_back(std::move(layered));
+      break;
+    }
+    level = layered.level;
+    if (trace) trace->phases.push_back(std::move(layered));
+    std::fill(next_edge.begin(), next_edge.end(), 0);
+    ++result.phases;
+
+    while (true) {
+      const Capacity pushed = advance_one_path();
+      if (pushed == 0) break;
+      result.value += pushed;
+      ++result.augmentations;
+    }
+  }
+  residual.apply_to(net);
+  return result;
+}
+
+MaxFlowResult max_flow(FlowNetwork& net, MaxFlowAlgorithm algorithm) {
+  switch (algorithm) {
+    case MaxFlowAlgorithm::kFordFulkerson:
+      return max_flow_ford_fulkerson(net);
+    case MaxFlowAlgorithm::kEdmondsKarp:
+      return max_flow_edmonds_karp(net);
+    case MaxFlowAlgorithm::kDinic:
+      return max_flow_dinic(net);
+    case MaxFlowAlgorithm::kCapacityScaling:
+      return max_flow_capacity_scaling(net);
+    case MaxFlowAlgorithm::kPushRelabel:
+      return max_flow_push_relabel(net);
+  }
+  RSIN_ENSURE(false, "unknown max-flow algorithm");
+  return {};
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,83 @@
+// Maximum-flow solvers (Section III-B of the paper).
+//
+// Three algorithms are provided:
+//  * Ford–Fulkerson with depth-first augmenting-path search — the primal-dual
+//    scheme the paper cites from [17];
+//  * Edmonds–Karp (breadth-first / shortest augmenting path);
+//  * Dinic's algorithm with explicit layered networks — the algorithm the
+//    paper's distributed token architecture realizes (Section IV, Fig. 7).
+//
+// All solvers augment on top of whatever flow is already assigned in the
+// network (call FlowNetwork::clear_flow() first for a cold start) and write
+// the final assignment back into the arcs. Each returns statistics that the
+// monitor-architecture model (rsin::token::Monitor) uses as its sequential
+// work measure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/network.hpp"
+#include "flow/residual.hpp"
+
+namespace rsin::flow {
+
+/// Statistics common to all max-flow runs.
+struct MaxFlowResult {
+  Capacity value = 0;           ///< Total flow advanced from source to sink.
+  std::int64_t augmentations = 0;  ///< Number of augmenting paths used.
+  std::int64_t phases = 0;         ///< Layered-network phases (Dinic only).
+  std::int64_t operations = 0;     ///< Elementary edge inspections performed.
+};
+
+/// One layered network, as built by a Dinic phase (Section IV-A).
+/// layers[0] holds the source; the last layer contains the sink when an
+/// augmenting path exists. `level[v] == -1` marks unreachable nodes.
+struct LayeredNetwork {
+  std::vector<std::vector<NodeId>> layers;
+  std::vector<int> level;
+  /// Residual edges admitted as "useful links": tail one layer above head.
+  std::vector<ResidualGraph::EdgeId> useful_links;
+};
+
+/// Optional trace of a Dinic run: the layered network of every phase.
+struct DinicTrace {
+  std::vector<LayeredNetwork> phases;
+};
+
+/// Ford–Fulkerson with DFS path search. Pseudo-polynomial in general but
+/// fine on unit-capacity MRSIN networks; kept as the paper's reference
+/// algorithm and as a differential-testing oracle.
+MaxFlowResult max_flow_ford_fulkerson(FlowNetwork& net);
+
+/// Edmonds–Karp: BFS shortest augmenting paths, O(V * E^2).
+MaxFlowResult max_flow_edmonds_karp(FlowNetwork& net);
+
+/// Dinic's algorithm, O(V^2 E) in general and O(V^(2/3) E) on the
+/// unit-capacity networks produced by Transformation 1 (the bound quoted in
+/// Section III-B). Pass `trace` to capture each phase's layered network.
+MaxFlowResult max_flow_dinic(FlowNetwork& net, DinicTrace* trace = nullptr);
+
+/// Ford–Fulkerson with capacity scaling: augments only along paths whose
+/// bottleneck is at least the current threshold Delta, halving Delta until
+/// it reaches one; O(E^2 log C). Degenerates to plain Ford–Fulkerson on
+/// the unit-capacity MRSIN networks.
+MaxFlowResult max_flow_capacity_scaling(FlowNetwork& net);
+
+/// Algorithm selector for callers that want to parameterize.
+enum class MaxFlowAlgorithm {
+  kFordFulkerson,
+  kEdmondsKarp,
+  kDinic,
+  kCapacityScaling,
+  kPushRelabel,
+};
+
+MaxFlowResult max_flow(FlowNetwork& net, MaxFlowAlgorithm algorithm);
+
+/// Builds the layered network of the current residual graph without running
+/// any augmentation — used by tests and by the Fig. 8 reproduction.
+LayeredNetwork build_layered_network(const ResidualGraph& residual,
+                                     NodeId source, NodeId sink);
+
+}  // namespace rsin::flow

@@ -1,0 +1,193 @@
+#include "flow/min_cost.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "flow/max_flow.hpp"
+#include "flow/residual.hpp"
+
+namespace rsin::flow {
+namespace {
+
+constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+constexpr Capacity kInfCap = std::numeric_limits<Capacity>::max() / 4;
+
+/// Bellman–Ford (SPFA variant) shortest path by cost over the residual
+/// graph. Fills dist/parent; returns true when the sink is reachable.
+bool spfa_shortest_path(const ResidualGraph& residual, NodeId source,
+                        NodeId sink, std::vector<Cost>& dist,
+                        std::vector<ResidualGraph::EdgeId>& parent,
+                        std::int64_t& ops) {
+  const std::size_t n = residual.node_count();
+  dist.assign(n, kInfCost);
+  parent.assign(n, -1);
+  std::vector<char> in_queue(n, 0);
+  dist[static_cast<std::size_t>(source)] = 0;
+  std::deque<NodeId> queue{source};
+  in_queue[static_cast<std::size_t>(source)] = 1;
+
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(v)] = 0;
+    for (const auto e : residual.edges_from(v)) {
+      ++ops;
+      if (residual.residual(e) <= 0) continue;
+      const NodeId w = residual.head(e);
+      const Cost candidate = dist[static_cast<std::size_t>(v)] +
+                             residual.cost(e);
+      if (candidate < dist[static_cast<std::size_t>(w)]) {
+        dist[static_cast<std::size_t>(w)] = candidate;
+        parent[static_cast<std::size_t>(w)] = e;
+        if (!in_queue[static_cast<std::size_t>(w)]) {
+          in_queue[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(sink)] < kInfCost;
+}
+
+void require_st(const FlowNetwork& net) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+}
+
+}  // namespace
+
+MinCostFlowResult min_cost_flow_ssp(FlowNetwork& net, Capacity target) {
+  require_st(net);
+  RSIN_REQUIRE(target >= 0, "target flow must be non-negative");
+  ResidualGraph residual(net);
+  MinCostFlowResult result;
+  std::vector<Cost> dist;
+  std::vector<ResidualGraph::EdgeId> parent;
+
+  while (result.value < target) {
+    if (!spfa_shortest_path(residual, net.source(), net.sink(), dist, parent,
+                            result.operations)) {
+      break;  // No more augmenting paths; target not fully reachable.
+    }
+    // Bottleneck along the shortest path, capped by the remaining demand.
+    Capacity bottleneck = target - result.value;
+    for (NodeId v = net.sink(); v != net.source();
+         v = residual.tail(parent[static_cast<std::size_t>(v)])) {
+      bottleneck = std::min(
+          bottleneck, residual.residual(parent[static_cast<std::size_t>(v)]));
+    }
+    for (NodeId v = net.sink(); v != net.source();) {
+      const auto e = parent[static_cast<std::size_t>(v)];
+      residual.push(e, bottleneck);
+      v = residual.tail(e);
+    }
+    result.value += bottleneck;
+    result.cost += bottleneck * dist[static_cast<std::size_t>(net.sink())];
+    ++result.augmentations;
+  }
+  residual.apply_to(net);
+  result.feasible = result.value == target;
+  return result;
+}
+
+MinCostFlowResult min_cost_flow_cycle_cancel(FlowNetwork& net,
+                                             Capacity target) {
+  require_st(net);
+  RSIN_REQUIRE(target >= 0, "target flow must be non-negative");
+
+  // Phase 1: any feasible flow of min(target, maxflow) units. We build a
+  // value-capped copy: a super-source with one arc of capacity `target`.
+  FlowNetwork capped;
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    capped.add_node(net.label(static_cast<NodeId>(v)));
+  }
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    capped.add_arc(arc.from, arc.to, arc.capacity, arc.cost);
+  }
+  const NodeId super = capped.add_node("super-source");
+  capped.add_arc(super, net.source(), target, 0);
+  capped.set_source(super);
+  capped.set_sink(net.sink());
+
+  MinCostFlowResult result;
+  const MaxFlowResult feasible = max_flow_edmonds_karp(capped);
+  result.operations += feasible.operations;
+  result.value = feasible.value;
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    net.set_flow(static_cast<ArcId>(a), capped.arc(static_cast<ArcId>(a)).flow);
+  }
+
+  // Phase 2: cancel negative-cost cycles in the residual graph until none
+  // remain. Bellman–Ford over all residual edges; any relaxation in the
+  // n-th pass exposes a cycle reachable by walking parents n times.
+  while (true) {
+    ResidualGraph residual(net);
+    const std::size_t n = residual.node_count();
+    std::vector<Cost> dist(n, 0);  // all-zero start finds any negative cycle
+    std::vector<ResidualGraph::EdgeId> parent(n, -1);
+    NodeId relaxed = kInvalidNode;
+    for (std::size_t pass = 0; pass < n; ++pass) {
+      relaxed = kInvalidNode;
+      for (std::size_t v = 0; v < n; ++v) {
+        for (const auto e : residual.edges_from(static_cast<NodeId>(v))) {
+          ++result.operations;
+          if (residual.residual(e) <= 0) continue;
+          const NodeId w = residual.head(e);
+          if (dist[v] + residual.cost(e) < dist[static_cast<std::size_t>(w)]) {
+            dist[static_cast<std::size_t>(w)] = dist[v] + residual.cost(e);
+            parent[static_cast<std::size_t>(w)] = e;
+            relaxed = w;
+          }
+        }
+      }
+      if (relaxed == kInvalidNode) break;
+    }
+    if (relaxed == kInvalidNode) break;  // no negative cycle remains
+
+    // Walk n parents back from the last relaxed node to land on the cycle.
+    NodeId on_cycle = relaxed;
+    for (std::size_t i = 0; i < n; ++i) {
+      on_cycle = residual.tail(parent[static_cast<std::size_t>(on_cycle)]);
+    }
+    // Collect the cycle's edges and its bottleneck.
+    std::vector<ResidualGraph::EdgeId> cycle;
+    Capacity bottleneck = kInfCap;
+    NodeId v = on_cycle;
+    do {
+      const auto e = parent[static_cast<std::size_t>(v)];
+      cycle.push_back(e);
+      bottleneck = std::min(bottleneck, residual.residual(e));
+      v = residual.tail(e);
+    } while (v != on_cycle);
+    RSIN_ENSURE(bottleneck > 0, "negative cycle with zero bottleneck");
+    for (const auto e : cycle) residual.push(e, bottleneck);
+    residual.apply_to(net);
+    ++result.augmentations;
+  }
+
+  result.cost = net.flow_cost();
+  result.feasible = result.value == target;
+  return result;
+}
+
+MinCostFlowResult min_cost_flow(FlowNetwork& net, Capacity target,
+                                MinCostFlowAlgorithm algorithm) {
+  switch (algorithm) {
+    case MinCostFlowAlgorithm::kSsp:
+      return min_cost_flow_ssp(net, target);
+    case MinCostFlowAlgorithm::kCycleCancel:
+      return min_cost_flow_cycle_cancel(net, target);
+    case MinCostFlowAlgorithm::kOutOfKilter:
+      return min_cost_flow_out_of_kilter(net, target);
+    case MinCostFlowAlgorithm::kNetworkSimplex:
+      return min_cost_flow_network_simplex(net, target);
+  }
+  RSIN_ENSURE(false, "unknown min-cost-flow algorithm");
+  return {};
+}
+
+}  // namespace rsin::flow

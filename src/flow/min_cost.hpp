@@ -1,0 +1,67 @@
+// Minimum-cost flow solvers (Section III-C of the paper).
+//
+// Transformation 2 reduces priority/preference scheduling to: advance a
+// fixed amount of flow F0 (the number of pending requests) from source to
+// sink at minimum total cost. The paper cites Fulkerson's out-of-kilter
+// method with the Edmonds–Karp scaling bound O(|V| |E|^2) for 0-1 networks;
+// we provide that algorithm plus two independent solvers used for
+// differential testing:
+//
+//  * min_cost_flow_ssp          — successive shortest paths (label-correcting
+//                                 Bellman–Ford on the residual network);
+//  * min_cost_flow_cycle_cancel — feasible flow first, then negative-cycle
+//                                 canceling (Klein's method);
+//  * min_cost_flow_out_of_kilter— Fulkerson's out-of-kilter method on the
+//                                 circulation formulation (arc t->s with
+//                                 lower bound = upper bound = F0).
+//
+// All three write the optimal assignment back into the arcs and agree on the
+// optimal cost (tested). The SSP solver requires the network to contain no
+// negative-cost cycle of positive capacity (true for Transformation 2, whose
+// costs are all non-negative); the other two have no such restriction.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/network.hpp"
+
+namespace rsin::flow {
+
+struct MinCostFlowResult {
+  Capacity value = 0;  ///< Amount of flow actually advanced.
+  Cost cost = 0;       ///< Total cost sum_e w(e) f(e) of the assignment.
+  bool feasible = false;  ///< True when value == requested target.
+  std::int64_t augmentations = 0;
+  std::int64_t operations = 0;  ///< Elementary edge inspections.
+};
+
+/// Successive shortest paths. Optimal for networks whose zero-flow residual
+/// has no negative cycles. If fewer than `target` units fit, advances the
+/// maximum possible amount (still at minimum cost for that amount).
+MinCostFlowResult min_cost_flow_ssp(FlowNetwork& net, Capacity target);
+
+/// Klein's negative-cycle canceling on top of any feasible flow of the
+/// target value (found with Edmonds–Karp through a value-capped source).
+MinCostFlowResult min_cost_flow_cycle_cancel(FlowNetwork& net,
+                                             Capacity target);
+
+/// Fulkerson's out-of-kilter method (the algorithm named by the paper).
+MinCostFlowResult min_cost_flow_out_of_kilter(FlowNetwork& net,
+                                              Capacity target);
+
+/// Network simplex (declared in flow/network_simplex.hpp; listed here for
+/// the dispatch enum).
+MinCostFlowResult min_cost_flow_network_simplex(FlowNetwork& net,
+                                                Capacity target);
+
+enum class MinCostFlowAlgorithm {
+  kSsp,
+  kCycleCancel,
+  kOutOfKilter,
+  kNetworkSimplex,
+};
+
+MinCostFlowResult min_cost_flow(FlowNetwork& net, Capacity target,
+                                MinCostFlowAlgorithm algorithm);
+
+}  // namespace rsin::flow

@@ -1,0 +1,45 @@
+#include "flow/min_cut.hpp"
+
+#include <deque>
+
+#include "flow/residual.hpp"
+
+namespace rsin::flow {
+
+MinCut min_cut_from_flow(const FlowNetwork& net) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+
+  const ResidualGraph residual(net);
+  std::vector<char> reachable(net.node_count(), 0);
+  std::deque<NodeId> queue{net.source()};
+  reachable[static_cast<std::size_t>(net.source())] = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const auto e : residual.edges_from(v)) {
+      if (residual.residual(e) <= 0) continue;
+      const NodeId w = residual.head(e);
+      if (!reachable[static_cast<std::size_t>(w)]) {
+        reachable[static_cast<std::size_t>(w)] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  MinCut cut;
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    if (reachable[v]) cut.source_side.push_back(static_cast<NodeId>(v));
+  }
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    if (reachable[static_cast<std::size_t>(arc.from)] &&
+        !reachable[static_cast<std::size_t>(arc.to)]) {
+      cut.cut_arcs.push_back(static_cast<ArcId>(a));
+      cut.capacity += arc.capacity;
+    }
+  }
+  return cut;
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,31 @@
+// Minimum-cut extraction (max-flow/min-cut duality).
+//
+// After a max-flow run, the nodes reachable from the source in the residual
+// graph define the source side of a minimum cut; the saturated arcs crossing
+// it form the bottleneck the paper describes ("no more flow can be advanced
+// since the minimum cut-set is saturated"). In an MRSIN this cut identifies
+// the set of links that limit resource allocation — useful both for tests
+// (value == cut capacity) and for diagnosing blocking networks.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rsin::flow {
+
+struct MinCut {
+  /// Nodes on the source side of the cut.
+  std::vector<NodeId> source_side;
+  /// Arcs from the source side to the sink side (all saturated).
+  std::vector<ArcId> cut_arcs;
+  /// Total capacity of the cut arcs.
+  Capacity capacity = 0;
+};
+
+/// Computes a minimum s-t cut from the *current* flow assignment of `net`.
+/// The assignment must be a maximum flow; otherwise the returned partition
+/// is still a valid cut certificate check will fail (capacity > flow value).
+MinCut min_cut_from_flow(const FlowNetwork& net);
+
+}  // namespace rsin::flow

@@ -1,0 +1,67 @@
+// Multicommodity flow (Section III-D of the paper).
+//
+// A heterogeneous MRSIN with k resource types maps to a k-commodity flow
+// network: one source/sink pair per type, all commodities sharing the
+// physical links ("bundle" capacities). The paper formulates both the
+// maximum-flow and the minimum-cost variants as linear programs and relies
+// on the Evans–Jarvis result that restricted topologies (the MIN class)
+// admit integral optimal basic solutions; the general integral problem is
+// NP-hard.
+//
+// This module builds those LPs over a shared FlowNetwork and solves them
+// with rsin::lp. A sequential per-commodity combinatorial solver is also
+// provided as the natural greedy baseline (its value can be strictly worse
+// than the LP optimum because early commodities can block later ones).
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+#include "lp/simplex.hpp"
+
+namespace rsin::flow {
+
+/// One commodity: a source/sink pair, an optional demand cap, and optional
+/// per-arc costs (defaults to the arc's own cost when empty).
+struct Commodity {
+  NodeId source = kInvalidNode;
+  NodeId sink = kInvalidNode;
+  /// Upper bound on this commodity's flow value; negative = uncapped.
+  Capacity demand = -1;
+  /// Per-arc cost override (size must equal net.arc_count() when set).
+  std::vector<Cost> costs;
+};
+
+struct MultiCommodityResult {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  /// flows[i][a] = flow of commodity i on arc a.
+  std::vector<std::vector<double>> flows;
+  /// Per-commodity total flow value F_i.
+  std::vector<double> commodity_values;
+  double total_value = 0.0;
+  double total_cost = 0.0;
+  /// True when every per-commodity arc flow is integral (within 1e-6) —
+  /// the Evans–Jarvis property the paper leans on for MIN topologies.
+  bool integral = false;
+  std::int64_t simplex_iterations = 0;
+};
+
+/// Maximizes sum_i F_i subject to conservation per commodity and bundle
+/// capacity per arc (the "Multicommodity Maximum Flow Problem" of the
+/// paper). The network's arc capacities are the bundle capacities.
+MultiCommodityResult max_multicommodity_flow(
+    const FlowNetwork& net, const std::vector<Commodity>& commodities);
+
+/// Minimizes total cost subject to each commodity advancing exactly its
+/// demand (the "Multicommodity Minimum Cost Flow Problem"). Every commodity
+/// must have demand >= 0.
+MultiCommodityResult min_cost_multicommodity_flow(
+    const FlowNetwork& net, const std::vector<Commodity>& commodities);
+
+/// Greedy baseline: routes commodities one at a time with Dinic on the
+/// remaining capacities, in the given order. Returns per-commodity values;
+/// can be suboptimal because earlier commodities may block later ones.
+std::vector<Capacity> sequential_multicommodity_flow(
+    FlowNetwork net, const std::vector<Commodity>& commodities);
+
+}  // namespace rsin::flow

@@ -1,0 +1,99 @@
+#include "flow/network.hpp"
+
+#include <ostream>
+
+namespace rsin::flow {
+
+NodeId FlowNetwork::add_node(std::string label) {
+  const auto id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(std::move(label));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+ArcId FlowNetwork::add_arc(NodeId from, NodeId to, Capacity capacity,
+                           Cost cost) {
+  RSIN_REQUIRE(valid_node(from), "arc tail is not a node");
+  RSIN_REQUIRE(valid_node(to), "arc head is not a node");
+  RSIN_REQUIRE(from != to, "self-loop arcs are not allowed");
+  RSIN_REQUIRE(capacity >= 0, "arc capacity must be non-negative");
+  const auto id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(Arc{from, to, capacity, cost, 0});
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+void FlowNetwork::set_source(NodeId s) {
+  RSIN_REQUIRE(valid_node(s), "source must be a node");
+  source_ = s;
+}
+
+void FlowNetwork::set_sink(NodeId t) {
+  RSIN_REQUIRE(valid_node(t), "sink must be a node");
+  sink_ = t;
+}
+
+void FlowNetwork::set_flow(ArcId id, Capacity flow) {
+  RSIN_REQUIRE(valid_arc(id), "arc id out of range");
+  auto& arc = arcs_[static_cast<std::size_t>(id)];
+  RSIN_REQUIRE(flow >= 0 && flow <= arc.capacity,
+               "flow must satisfy 0 <= f(e) <= c(e)");
+  arc.flow = flow;
+}
+
+void FlowNetwork::clear_flow() {
+  for (auto& arc : arcs_) arc.flow = 0;
+}
+
+Capacity FlowNetwork::flow_value() const {
+  RSIN_REQUIRE(valid_node(source_), "flow_value requires a source");
+  Capacity total = 0;
+  for (const ArcId id : out_arcs(source_)) total += arc(id).flow;
+  for (const ArcId id : in_arcs(source_)) total -= arc(id).flow;
+  return total;
+}
+
+Cost FlowNetwork::flow_cost() const {
+  Cost total = 0;
+  for (const auto& arc : arcs_) total += arc.cost * arc.flow;
+  return total;
+}
+
+bool FlowNetwork::is_unit_capacity() const {
+  for (const auto& arc : arcs_) {
+    if (arc.capacity > 1) return false;
+  }
+  return true;
+}
+
+NodeId FlowNetwork::find_node(const std::string& label) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+void FlowNetwork::print(std::ostream& out) const {
+  out << "FlowNetwork: " << node_count() << " nodes, " << arc_count()
+      << " arcs";
+  if (valid_node(source_)) out << ", source=" << label(source_);
+  if (valid_node(sink_)) out << ", sink=" << label(sink_);
+  out << '\n';
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    const Arc& a = arcs_[i];
+    out << "  [" << i << "] " << label(a.from) << " -> " << label(a.to)
+        << "  cap=" << a.capacity;
+    if (a.cost != 0) out << " cost=" << a.cost;
+    if (a.flow != 0) out << " flow=" << a.flow;
+    out << '\n';
+  }
+}
+
+std::ostream& operator<<(std::ostream& out, const FlowNetwork& net) {
+  net.print(out);
+  return out;
+}
+
+}  // namespace rsin::flow

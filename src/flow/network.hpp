@@ -1,0 +1,122 @@
+// Flow-network representation used by every algorithm in rsin::flow.
+//
+// This is the "G(V, E, s, t, c, w)" object of Section III of the paper: a
+// digraph with per-arc capacities, optional per-arc costs, a distinguished
+// source and sink, and a (mutable) flow assignment. The MRSIN-to-flow
+// transformations in rsin::core produce these networks; the algorithms in
+// ford_fulkerson.*, dinic.*, and min_cost.* consume them and write the
+// resulting flow assignment back into the arcs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::flow {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+using Capacity = std::int64_t;
+using Cost = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ArcId kInvalidArc = -1;
+
+/// A directed arc with capacity, cost-per-unit-flow, and current flow.
+struct Arc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Capacity capacity = 0;
+  Cost cost = 0;
+  Capacity flow = 0;
+};
+
+/// A flow network: digraph + source + sink + capacities (+ costs) + flow.
+///
+/// Node and arc ids are dense indices assigned in creation order, so they
+/// can be used directly as vector indices by algorithms. The class keeps
+/// per-node in/out adjacency (the alpha(v) / beta(v) arc sets of the paper).
+class FlowNetwork {
+ public:
+  FlowNetwork() = default;
+
+  /// Adds a node; `label` is kept for diagnostics and figure printing.
+  NodeId add_node(std::string label = {});
+
+  /// Adds an arc from `from` to `to`. Capacity must be non-negative.
+  ArcId add_arc(NodeId from, NodeId to, Capacity capacity, Cost cost = 0);
+
+  void set_source(NodeId s);
+  void set_sink(NodeId t);
+
+  [[nodiscard]] NodeId source() const { return source_; }
+  [[nodiscard]] NodeId sink() const { return sink_; }
+  [[nodiscard]] std::size_t node_count() const { return labels_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+
+  [[nodiscard]] const Arc& arc(ArcId id) const {
+    RSIN_REQUIRE(valid_arc(id), "arc id out of range");
+    return arcs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::string& label(NodeId id) const {
+    RSIN_REQUIRE(valid_node(id), "node id out of range");
+    return labels_[static_cast<std::size_t>(id)];
+  }
+
+  /// Outgoing arc ids of `v` — the beta(v) set of the paper.
+  [[nodiscard]] std::span<const ArcId> out_arcs(NodeId v) const {
+    RSIN_REQUIRE(valid_node(v), "node id out of range");
+    return out_[static_cast<std::size_t>(v)];
+  }
+  /// Incoming arc ids of `v` — the alpha(v) set of the paper.
+  [[nodiscard]] std::span<const ArcId> in_arcs(NodeId v) const {
+    RSIN_REQUIRE(valid_node(v), "node id out of range");
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] bool valid_node(NodeId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < labels_.size();
+  }
+  [[nodiscard]] bool valid_arc(ArcId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < arcs_.size();
+  }
+
+  /// Overwrites the flow on one arc. Algorithms use this to publish results;
+  /// the value must respect 0 <= flow <= capacity.
+  void set_flow(ArcId id, Capacity flow);
+
+  /// Resets every arc's flow to zero.
+  void clear_flow();
+
+  /// Total flow currently leaving the source (equals flow into the sink for
+  /// any conservative assignment).
+  [[nodiscard]] Capacity flow_value() const;
+
+  /// Total cost of the current assignment: sum over arcs of cost * flow.
+  [[nodiscard]] Cost flow_cost() const;
+
+  /// True if every arc has capacity <= 1 (the MRSIN case).
+  [[nodiscard]] bool is_unit_capacity() const;
+
+  /// Finds the first node carrying `label`, or kInvalidNode.
+  [[nodiscard]] NodeId find_node(const std::string& label) const;
+
+  /// Renders a human-readable dump (one line per arc) for figure benches.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<ArcId>> out_;
+  std::vector<std::vector<ArcId>> in_;
+  NodeId source_ = kInvalidNode;
+  NodeId sink_ = kInvalidNode;
+};
+
+std::ostream& operator<<(std::ostream& out, const FlowNetwork& net);
+
+}  // namespace rsin::flow

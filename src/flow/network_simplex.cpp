@@ -1,0 +1,295 @@
+#include "flow/network_simplex.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace rsin::flow {
+namespace {
+
+enum class ArcState : std::uint8_t { kLower, kUpper, kTree };
+
+struct SArc {
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  Capacity capacity = 0;
+  Cost cost = 0;
+  Capacity flow = 0;
+  ArcState state = ArcState::kLower;
+};
+
+/// One step of a pivot cycle: the arc and whether the cycle's augmenting
+/// direction traverses it forward (from -> to).
+struct CycleStep {
+  std::size_t arc;
+  bool forward;
+};
+
+class NetworkSimplex {
+ public:
+  NetworkSimplex(std::vector<SArc> arcs, std::int32_t node_count,
+                 std::size_t artificial_begin)
+      : arcs_(std::move(arcs)),
+        nodes_(node_count),  // includes the artificial root (last id)
+        root_(node_count - 1),
+        artificial_begin_(artificial_begin),
+        parent_(static_cast<std::size_t>(node_count), -1),
+        parent_arc_(static_cast<std::size_t>(node_count), 0),
+        depth_(static_cast<std::size_t>(node_count), 0),
+        potential_(static_cast<std::size_t>(node_count), 0) {
+    rebuild_tree();
+  }
+
+  std::int64_t solve() {
+    // Generous pivot budget: network simplex needs far fewer in practice;
+    // Cunningham's rule rules out cycling, so this is a pure backstop.
+    const std::int64_t budget =
+        1000 + 64 * static_cast<std::int64_t>(arcs_.size()) *
+                   static_cast<std::int64_t>(nodes_);
+    std::int64_t pivots = 0;
+    std::int64_t degenerate_streak = 0;
+    while (true) {
+      RSIN_ENSURE(pivots < budget, "network simplex exceeded pivot budget");
+      const bool bland = degenerate_streak > 64;
+      const auto entering = select_entering(bland);
+      if (!entering) break;
+      ++pivots;
+      operations_ += static_cast<std::int64_t>(arcs_.size());
+      const bool degenerate = pivot(*entering);
+      degenerate_streak = degenerate ? degenerate_streak + 1 : 0;
+    }
+    return pivots;
+  }
+
+  [[nodiscard]] const std::vector<SArc>& arcs() const { return arcs_; }
+  [[nodiscard]] std::int64_t operations() const { return operations_; }
+
+ private:
+  [[nodiscard]] Cost reduced_cost(const SArc& arc) const {
+    return arc.cost + potential_[static_cast<std::size_t>(arc.from)] -
+           potential_[static_cast<std::size_t>(arc.to)];
+  }
+
+  /// Dantzig pricing (largest violation) or Bland (first violating index).
+  std::optional<std::size_t> select_entering(bool bland) const {
+    std::optional<std::size_t> best;
+    Cost best_violation = 0;
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      const SArc& arc = arcs_[a];
+      if (arc.state == ArcState::kTree || arc.capacity == 0) continue;
+      const Cost rc = reduced_cost(arc);
+      Cost violation = 0;
+      if (arc.state == ArcState::kLower && rc < 0) violation = -rc;
+      if (arc.state == ArcState::kUpper && rc > 0) violation = rc;
+      if (violation > 0) {
+        if (bland) return a;
+        if (violation > best_violation) {
+          best_violation = violation;
+          best = a;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Executes one pivot; returns true when it was degenerate (delta == 0).
+  bool pivot(std::size_t entering) {
+    const SArc& e = arcs_[entering];
+    const bool increase = e.state == ArcState::kLower;
+    // Augmenting direction traverses `entering` forward when it enters at
+    // its lower bound, backward when at its upper bound.
+    const std::int32_t start = increase ? e.to : e.from;   // after e
+    const std::int32_t finish = increase ? e.from : e.to;  // before e
+
+    // Find the apex (LCA of the entering arc's endpoints).
+    std::int32_t x = e.from;
+    std::int32_t y = e.to;
+    while (depth_[static_cast<std::size_t>(x)] >
+           depth_[static_cast<std::size_t>(y)]) {
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    while (depth_[static_cast<std::size_t>(y)] >
+           depth_[static_cast<std::size_t>(x)]) {
+      y = parent_[static_cast<std::size_t>(y)];
+    }
+    while (x != y) {
+      x = parent_[static_cast<std::size_t>(x)];
+      y = parent_[static_cast<std::size_t>(y)];
+    }
+    const std::int32_t apex = x;
+
+    // Assemble the cycle in augmenting order starting at the apex:
+    // apex -> finish (down the tree), entering arc, start -> apex (up).
+    std::vector<CycleStep> cycle;
+    {
+      std::vector<CycleStep> down;
+      for (std::int32_t v = finish; v != apex;
+           v = parent_[static_cast<std::size_t>(v)]) {
+        const std::size_t a = parent_arc_[static_cast<std::size_t>(v)];
+        // Traversal is parent -> v; forward when the arc points that way.
+        down.push_back(CycleStep{
+            a, arcs_[a].from == parent_[static_cast<std::size_t>(v)]});
+      }
+      std::reverse(down.begin(), down.end());
+      cycle = std::move(down);
+      cycle.push_back(CycleStep{entering, increase});
+      for (std::int32_t v = start; v != apex;
+           v = parent_[static_cast<std::size_t>(v)]) {
+        const std::size_t a = parent_arc_[static_cast<std::size_t>(v)];
+        // Traversal is v -> parent; forward when the arc points that way.
+        cycle.push_back(CycleStep{a, arcs_[a].from == v});
+      }
+    }
+
+    // Bottleneck and the leaving arc (last blocking step from the apex —
+    // Cunningham's strongly-feasible rule).
+    Capacity delta = std::numeric_limits<Capacity>::max();
+    std::size_t leaving_step = 0;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const SArc& arc = arcs_[cycle[i].arc];
+      const Capacity residual =
+          cycle[i].forward ? arc.capacity - arc.flow : arc.flow;
+      if (residual <= delta) {
+        // <= keeps the LAST minimizer.
+        delta = residual;
+        leaving_step = i;
+      }
+    }
+    RSIN_ENSURE(delta < std::numeric_limits<Capacity>::max(),
+                "unbounded pivot cycle");
+
+    for (const CycleStep& step : cycle) {
+      arcs_[step.arc].flow += step.forward ? delta : -delta;
+    }
+
+    const std::size_t leaving = cycle[leaving_step].arc;
+    if (leaving != entering) {
+      arcs_[entering].state = ArcState::kTree;
+      arcs_[leaving].state =
+          arcs_[leaving].flow == 0 ? ArcState::kLower : ArcState::kUpper;
+      RSIN_ENSURE(arcs_[leaving].state == ArcState::kLower ||
+                      arcs_[leaving].flow == arcs_[leaving].capacity,
+                  "leaving arc is not at a bound");
+      rebuild_tree();
+    } else {
+      // The entering arc blocks itself: it flips bound without entering
+      // the basis (the tree is unchanged).
+      arcs_[entering].state =
+          arcs_[entering].flow == 0 ? ArcState::kLower : ArcState::kUpper;
+    }
+    return delta == 0;
+  }
+
+  /// Recomputes parents, depths, and potentials from the tree arcs.
+  void rebuild_tree() {
+    std::vector<std::vector<std::size_t>> adjacency(
+        static_cast<std::size_t>(nodes_));
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      if (arcs_[a].state != ArcState::kTree) continue;
+      adjacency[static_cast<std::size_t>(arcs_[a].from)].push_back(a);
+      adjacency[static_cast<std::size_t>(arcs_[a].to)].push_back(a);
+    }
+    std::fill(parent_.begin(), parent_.end(), -1);
+    std::vector<char> seen(static_cast<std::size_t>(nodes_), 0);
+    seen[static_cast<std::size_t>(root_)] = 1;
+    depth_[static_cast<std::size_t>(root_)] = 0;
+    potential_[static_cast<std::size_t>(root_)] = 0;
+    std::deque<std::int32_t> queue{root_};
+    std::int32_t reached = 1;
+    while (!queue.empty()) {
+      const std::int32_t v = queue.front();
+      queue.pop_front();
+      for (const std::size_t a : adjacency[static_cast<std::size_t>(v)]) {
+        operations_ += 1;
+        const SArc& arc = arcs_[a];
+        const std::int32_t w = arc.from == v ? arc.to : arc.from;
+        if (seen[static_cast<std::size_t>(w)]) continue;
+        seen[static_cast<std::size_t>(w)] = 1;
+        ++reached;
+        parent_[static_cast<std::size_t>(w)] = v;
+        parent_arc_[static_cast<std::size_t>(w)] = a;
+        depth_[static_cast<std::size_t>(w)] =
+            depth_[static_cast<std::size_t>(v)] + 1;
+        // Tree arcs have zero reduced cost: cost + pi(from) - pi(to) == 0.
+        potential_[static_cast<std::size_t>(w)] =
+            arc.from == v
+                ? potential_[static_cast<std::size_t>(v)] + arc.cost
+                : potential_[static_cast<std::size_t>(v)] - arc.cost;
+        queue.push_back(w);
+      }
+    }
+    RSIN_ENSURE(reached == nodes_, "basis is not a spanning tree");
+  }
+
+  std::vector<SArc> arcs_;
+  std::int32_t nodes_;
+  std::int32_t root_;
+  std::size_t artificial_begin_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::size_t> parent_arc_;
+  std::vector<std::int32_t> depth_;
+  std::vector<Cost> potential_;
+  std::int64_t operations_ = 0;
+};
+
+}  // namespace
+
+MinCostFlowResult min_cost_flow_network_simplex(FlowNetwork& net,
+                                                Capacity target) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+  RSIN_REQUIRE(target >= 0, "target flow must be non-negative");
+
+  // Circulation formulation: return arc t->s with cost -B (B larger than
+  // any simple-path cost, so value is maximized first), plus an artificial
+  // root whose big-M spokes form the initial strongly feasible basis.
+  Cost abs_costs = 1;
+  Capacity total_capacity = target + 1;
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    abs_costs += arc.cost < 0 ? -arc.cost : arc.cost;
+    total_capacity += arc.capacity;
+  }
+  const Cost big_b = abs_costs;
+  const Cost big_m = (abs_costs + big_b + 1);
+
+  const auto n = static_cast<std::int32_t>(net.node_count());
+  const std::int32_t root = n;  // artificial root id
+
+  std::vector<SArc> arcs;
+  arcs.reserve(net.arc_count() + 1 + static_cast<std::size_t>(n));
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    arcs.push_back(SArc{arc.from, arc.to, arc.capacity, arc.cost, 0,
+                        ArcState::kLower});
+  }
+  arcs.push_back(SArc{net.sink(), net.source(), target, -big_b, 0,
+                      ArcState::kLower});
+  const std::size_t artificial_begin = arcs.size();
+  for (std::int32_t v = 0; v < n; ++v) {
+    arcs.push_back(SArc{v, root, total_capacity, big_m, 0, ArcState::kTree});
+  }
+
+  NetworkSimplex solver(std::move(arcs), n + 1, artificial_begin);
+  MinCostFlowResult result;
+  result.augmentations = solver.solve();
+  result.operations = solver.operations();
+
+  for (std::size_t a = artificial_begin; a < solver.arcs().size(); ++a) {
+    RSIN_ENSURE(solver.arcs()[a].flow == 0,
+                "artificial arc carries flow at optimum");
+  }
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    net.set_flow(static_cast<ArcId>(a), solver.arcs()[a].flow);
+  }
+  result.value = solver.arcs()[net.arc_count()].flow;  // return arc
+  result.cost = net.flow_cost();
+  result.feasible = result.value == target;
+  return result;
+}
+
+}  // namespace rsin::flow

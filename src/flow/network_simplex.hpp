@@ -1,0 +1,29 @@
+// Network simplex for minimum-cost flow.
+//
+// The specialization of the simplex method to flow networks: the basis is a
+// spanning tree (rooted at an artificial node), non-basic arcs sit at their
+// lower or upper bound, and a pivot pushes flow around the unique cycle the
+// entering arc closes with the tree. This is the algorithm behind the
+// "linear programming" column of the paper's Table II when applied to a
+// single commodity, and the fourth independently implemented min-cost
+// solver in this library (differentially tested against out-of-kilter,
+// successive shortest paths, and cycle canceling).
+//
+// Anti-cycling: the basis is kept *strongly feasible* (every zero-flow tree
+// arc points toward the root) by Cunningham's leaving-arc rule — among the
+// blocking arcs of a pivot cycle, the last one encountered when walking the
+// cycle in its augmenting direction starting from the apex leaves the
+// basis. Entering arcs use Dantzig pricing with a Bland fallback.
+#pragma once
+
+#include "flow/min_cost.hpp"
+
+namespace rsin::flow {
+
+/// Same contract as the other min-cost solvers: advance up to `target`
+/// units from source to sink at minimum cost (value capped by the max
+/// flow), writing the assignment back into the arcs.
+MinCostFlowResult min_cost_flow_network_simplex(FlowNetwork& net,
+                                                Capacity target);
+
+}  // namespace rsin::flow

@@ -1,0 +1,302 @@
+// Fulkerson's out-of-kilter algorithm (cited by the paper for the
+// priority/preference scheduling problem of Section III-C).
+//
+// The min-cost s-t flow instance is converted to a min-cost circulation by
+// adding a return arc t->s whose cost is a large negative constant -B, with
+// B chosen larger than the cost of any simple s-t path. The optimal
+// circulation therefore advances as much flow as possible (up to the
+// requested target) before minimizing the path costs — the same semantics as
+// the successive-shortest-path solver, which the tests exploit for
+// differential checking.
+//
+// The implementation follows the classical description (Lawler, ch. 4):
+// every arc is in one of the kilter states determined by its reduced cost
+// c̄(e) = w(e) + π(tail) - π(head) and flow; out-of-kilter arcs are brought
+// into kilter by augmenting along admissible cycles, with node-potential
+// updates when the labeling search stalls. Kilter numbers never increase,
+// which gives termination for integral data.
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "flow/min_cost.hpp"
+
+namespace rsin::flow {
+namespace {
+
+constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+struct KilterArc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Capacity lower = 0;
+  Capacity upper = 0;
+  Capacity flow = 0;
+  Cost cost = 0;
+};
+
+class OutOfKilterSolver {
+ public:
+  OutOfKilterSolver(std::vector<KilterArc> arcs, std::size_t node_count)
+      : arcs_(std::move(arcs)),
+        potential_(node_count, 0),
+        out_(node_count),
+        in_(node_count) {
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      out_[static_cast<std::size_t>(arcs_[a].from)].push_back(a);
+      in_[static_cast<std::size_t>(arcs_[a].to)].push_back(a);
+    }
+  }
+
+  /// Runs to completion; returns total elementary operations performed.
+  std::int64_t solve() {
+    while (true) {
+      const auto culprit = find_out_of_kilter_arc();
+      if (!culprit) break;
+      fix_arc(*culprit);
+    }
+    return operations_;
+  }
+
+  [[nodiscard]] const std::vector<KilterArc>& arcs() const { return arcs_; }
+  [[nodiscard]] std::int64_t augmentations() const { return augmentations_; }
+
+ private:
+  [[nodiscard]] Cost reduced_cost(const KilterArc& arc) const {
+    return arc.cost + potential_[static_cast<std::size_t>(arc.from)] -
+           potential_[static_cast<std::size_t>(arc.to)];
+  }
+
+  [[nodiscard]] bool in_kilter(const KilterArc& arc) const {
+    const Cost rc = reduced_cost(arc);
+    if (rc > 0) return arc.flow == arc.lower;
+    if (rc < 0) return arc.flow == arc.upper;
+    return arc.flow >= arc.lower && arc.flow <= arc.upper;
+  }
+
+  /// True when bringing `arc` into kilter requires *increasing* its flow.
+  [[nodiscard]] bool needs_increase(const KilterArc& arc) const {
+    if (arc.flow < arc.lower) return true;
+    if (arc.flow > arc.upper) return false;
+    return reduced_cost(arc) < 0;  // rc < 0 with flow < upper
+  }
+
+  std::optional<std::size_t> find_out_of_kilter_arc() const {
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      if (!in_kilter(arcs_[a])) return a;
+    }
+    return std::nullopt;
+  }
+
+  /// Max admissible flow increase on `arc` (kilter-number non-increasing).
+  [[nodiscard]] Capacity increase_allowance(const KilterArc& arc) const {
+    if (arc.flow < arc.lower && reduced_cost(arc) > 0) {
+      return arc.lower - arc.flow;
+    }
+    return arc.upper - arc.flow;
+  }
+
+  /// Max admissible flow decrease on `arc`.
+  [[nodiscard]] Capacity decrease_allowance(const KilterArc& arc) const {
+    if (arc.flow > arc.upper && reduced_cost(arc) < 0) {
+      return arc.flow - arc.upper;
+    }
+    return arc.flow - arc.lower;
+  }
+
+  [[nodiscard]] bool forward_admissible(const KilterArc& arc) const {
+    if (arc.flow < arc.lower) return true;
+    return reduced_cost(arc) <= 0 && arc.flow < arc.upper;
+  }
+
+  [[nodiscard]] bool reverse_admissible(const KilterArc& arc) const {
+    if (arc.flow > arc.upper) return true;
+    return reduced_cost(arc) >= 0 && arc.flow > arc.lower;
+  }
+
+  /// Brings arcs_[index] into kilter via repeated search / potential update.
+  void fix_arc(std::size_t index) {
+    while (!in_kilter(arcs_[index])) {
+      const bool increase = needs_increase(arcs_[index]);
+      const NodeId from = arcs_[index].from;
+      const NodeId to = arcs_[index].to;
+      // To increase flow on (p, q), augment along a q->p admissible path;
+      // to decrease, along a p->q path (then cancel through the arc).
+      const NodeId search_root = increase ? to : from;
+      const NodeId search_goal = increase ? from : to;
+
+      if (label_search(search_root, search_goal)) {
+        augment_cycle(index, increase, search_root, search_goal);
+        ++augmentations_;
+      } else if (!update_potentials(index, increase)) {
+        // No admissible step and no potential change can help: the
+        // circulation constraints are infeasible. With the lower bounds
+        // used by min_cost_flow_out_of_kilter (all zero) this is
+        // unreachable; it can only fire for caller-supplied lower bounds.
+        throw std::logic_error(
+            "out-of-kilter: infeasible circulation (lower bounds "
+            "unsatisfiable)");
+      }
+    }
+  }
+
+  /// BFS over admissible residual edges from `root`; fills parent_ labels.
+  /// Returns true when `goal` is labeled.
+  bool label_search(NodeId root, NodeId goal) {
+    parent_arc_.assign(potential_.size(), -1);
+    parent_forward_.assign(potential_.size(), 0);
+    labeled_.assign(potential_.size(), 0);
+    labeled_[static_cast<std::size_t>(root)] = 1;
+    std::deque<NodeId> queue{root};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const std::size_t a : out_[static_cast<std::size_t>(v)]) {
+        ++operations_;
+        const KilterArc& arc = arcs_[a];
+        if (labeled_[static_cast<std::size_t>(arc.to)] ||
+            !forward_admissible(arc)) {
+          continue;
+        }
+        label(arc.to, a, true, queue);
+        if (arc.to == goal) return true;
+      }
+      for (const std::size_t a : in_[static_cast<std::size_t>(v)]) {
+        ++operations_;
+        const KilterArc& arc = arcs_[a];
+        if (labeled_[static_cast<std::size_t>(arc.from)] ||
+            !reverse_admissible(arc)) {
+          continue;
+        }
+        label(arc.from, a, false, queue);
+        if (arc.from == goal) return true;
+      }
+    }
+    return false;
+  }
+
+  void label(NodeId v, std::size_t arc, bool forward, std::deque<NodeId>& q) {
+    labeled_[static_cast<std::size_t>(v)] = 1;
+    parent_arc_[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(arc);
+    parent_forward_[static_cast<std::size_t>(v)] = forward ? 1 : 0;
+    q.push_back(v);
+  }
+
+  /// Augments around the cycle (search path + the out-of-kilter arc).
+  void augment_cycle(std::size_t index, bool increase, NodeId root,
+                     NodeId goal) {
+    // Gather the path root -> goal.
+    struct Step {
+      std::size_t arc;
+      bool forward;
+    };
+    std::vector<Step> path;
+    for (NodeId v = goal; v != root;) {
+      const auto a = static_cast<std::size_t>(
+          parent_arc_[static_cast<std::size_t>(v)]);
+      const bool forward = parent_forward_[static_cast<std::size_t>(v)] != 0;
+      path.push_back({a, forward});
+      v = forward ? arcs_[a].from : arcs_[a].to;
+    }
+
+    Capacity delta = increase ? increase_allowance(arcs_[index])
+                              : decrease_allowance(arcs_[index]);
+    for (const auto& [a, forward] : path) {
+      delta = std::min(delta, forward ? increase_allowance(arcs_[a])
+                                      : decrease_allowance(arcs_[a]));
+    }
+    RSIN_ENSURE(delta > 0, "out-of-kilter augmentation with zero delta");
+
+    arcs_[index].flow += increase ? delta : -delta;
+    for (const auto& [a, forward] : path) {
+      arcs_[a].flow += forward ? delta : -delta;
+    }
+  }
+
+  /// Lowers the potential of every labeled node by delta, where delta is the
+  /// smallest reduced-cost step that admits a new edge (or brings the
+  /// culprit arc itself into kilter). Returns false when delta is infinite.
+  bool update_potentials(std::size_t index, bool increase) {
+    Cost delta = kInfCost;
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      ++operations_;
+      const KilterArc& arc = arcs_[a];
+      const bool from_in = labeled_[static_cast<std::size_t>(arc.from)] != 0;
+      const bool to_in = labeled_[static_cast<std::size_t>(arc.to)] != 0;
+      const Cost rc = reduced_cost(arc);
+      if (from_in && !to_in && rc > 0 && arc.flow < arc.upper) {
+        delta = std::min(delta, rc);
+      } else if (!from_in && to_in && rc < 0 && arc.flow > arc.lower) {
+        delta = std::min(delta, -rc);
+      }
+    }
+    // The culprit arc itself comes into kilter once its reduced cost
+    // reaches zero (its flow already lies within [lower, upper] bounds in
+    // the rc-driven cases).
+    const KilterArc& culprit = arcs_[index];
+    const Cost rc = reduced_cost(culprit);
+    if (increase && rc < 0 && culprit.flow >= culprit.lower) {
+      delta = std::min(delta, -rc);
+    } else if (!increase && rc > 0 && culprit.flow <= culprit.upper) {
+      delta = std::min(delta, rc);
+    }
+    if (delta >= kInfCost) return false;
+    for (std::size_t v = 0; v < potential_.size(); ++v) {
+      if (labeled_[v]) potential_[v] -= delta;
+    }
+    return true;
+  }
+
+  std::vector<KilterArc> arcs_;
+  std::vector<Cost> potential_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::vector<std::int64_t> parent_arc_;
+  std::vector<char> parent_forward_;
+  std::vector<char> labeled_;
+  std::int64_t operations_ = 0;
+  std::int64_t augmentations_ = 0;
+};
+
+}  // namespace
+
+MinCostFlowResult min_cost_flow_out_of_kilter(FlowNetwork& net,
+                                              Capacity target) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+  RSIN_REQUIRE(target >= 0, "target flow must be non-negative");
+
+  // B exceeds the absolute cost of any simple path, so the return arc's
+  // -B cost makes the optimal circulation maximize flow value first.
+  Cost big = 1;
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Cost c = net.arc(static_cast<ArcId>(a)).cost;
+    big += c < 0 ? -c : c;
+  }
+
+  std::vector<KilterArc> arcs;
+  arcs.reserve(net.arc_count() + 1);
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    arcs.push_back(KilterArc{arc.from, arc.to, 0, arc.capacity, 0, arc.cost});
+  }
+  arcs.push_back(KilterArc{net.sink(), net.source(), 0, target, 0, -big});
+
+  OutOfKilterSolver solver(std::move(arcs), net.node_count());
+  MinCostFlowResult result;
+  result.operations = solver.solve();
+  result.augmentations = solver.augmentations();
+
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    net.set_flow(static_cast<ArcId>(a), solver.arcs()[a].flow);
+  }
+  result.value = solver.arcs().back().flow;
+  result.cost = net.flow_cost();
+  result.feasible = result.value == target;
+  return result;
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,112 @@
+#include "flow/push_relabel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace rsin::flow {
+
+MaxFlowResult max_flow_push_relabel(FlowNetwork& net) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+
+  ResidualGraph residual(net);
+  MaxFlowResult result;
+  const std::size_t n = residual.node_count();
+  const auto s = static_cast<std::size_t>(net.source());
+  const auto t = static_cast<std::size_t>(net.sink());
+
+  std::vector<Capacity> excess(n, 0);
+  std::vector<std::size_t> height(n, 0);
+  std::vector<std::size_t> current(n, 0);  // current-arc pointers
+  std::vector<std::size_t> height_count(2 * n + 1, 0);
+  height[s] = n;
+  height_count[0] = n - 1;
+  height_count[n] = 1;
+
+  std::deque<NodeId> active;
+  std::vector<char> in_queue(n, 0);
+  const auto activate = [&](NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (i == s || i == t || in_queue[i] || excess[i] <= 0) return;
+    in_queue[i] = 1;
+    active.push_back(v);
+  };
+
+  // Saturate every residual edge out of the source.
+  for (const auto e : residual.edges_from(net.source())) {
+    const Capacity amount = residual.residual(e);
+    if (amount <= 0) continue;
+    residual.push(e, amount);
+    excess[static_cast<std::size_t>(residual.head(e))] += amount;
+    excess[s] -= amount;
+    ++result.operations;
+    activate(residual.head(e));
+  }
+
+  const auto relabel = [&](std::size_t v) {
+    // Gap heuristic: if v leaves its height level empty, every node above
+    // that level (below n) can never reach the sink again — lift them all.
+    const std::size_t old_height = height[v];
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const auto e : residual.edges_from(static_cast<NodeId>(v))) {
+      ++result.operations;
+      if (residual.residual(e) > 0) {
+        best = std::min(best,
+                        height[static_cast<std::size_t>(residual.head(e))]);
+      }
+    }
+    RSIN_ENSURE(best != std::numeric_limits<std::size_t>::max(),
+                "relabel of a node with no residual edges");
+    --height_count[old_height];
+    height[v] = best + 1;
+    ++height_count[height[v]];
+    current[v] = 0;
+    if (height_count[old_height] == 0 && old_height < n) {
+      for (std::size_t w = 0; w < n; ++w) {
+        if (height[w] > old_height && height[w] <= n && w != s) {
+          --height_count[height[w]];
+          height[w] = n + 1;
+          ++height_count[height[w]];
+        }
+      }
+    }
+  };
+
+  while (!active.empty()) {
+    const NodeId v_id = active.front();
+    active.pop_front();
+    const auto v = static_cast<std::size_t>(v_id);
+    in_queue[v] = 0;
+
+    // Discharge v completely.
+    while (excess[v] > 0) {
+      const auto edges = residual.edges_from(v_id);
+      if (current[v] == edges.size()) {
+        relabel(v);
+        if (height[v] > 2 * n) break;  // defensive; cannot happen
+        continue;
+      }
+      const auto e = edges[current[v]];
+      ++result.operations;
+      const auto w = static_cast<std::size_t>(residual.head(e));
+      if (residual.residual(e) > 0 && height[v] == height[w] + 1) {
+        const Capacity amount = std::min(excess[v], residual.residual(e));
+        residual.push(e, amount);
+        excess[v] -= amount;
+        excess[w] += amount;
+        activate(residual.head(e));
+      } else {
+        ++current[v];
+      }
+    }
+  }
+
+  result.value = excess[t];
+  residual.apply_to(net);
+  return result;
+}
+
+}  // namespace rsin::flow

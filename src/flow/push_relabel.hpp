@@ -1,0 +1,20 @@
+// Preflow-push (push-relabel) maximum flow, FIFO variant with the gap
+// heuristic.
+//
+// The paper predates push-relabel, but a production flow library needs a
+// non-augmenting-path solver both for performance on dense networks and as
+// an algorithmically independent differential-testing oracle for the
+// Ford-Fulkerson family (the tests cross-check all four max-flow solvers on
+// random networks).
+#pragma once
+
+#include "flow/max_flow.hpp"
+
+namespace rsin::flow {
+
+/// FIFO push-relabel with gap relabeling; O(V^3). Augments on top of any
+/// existing flow like the other solvers; `operations` counts push/relabel
+/// steps plus edge scans.
+MaxFlowResult max_flow_push_relabel(FlowNetwork& net);
+
+}  // namespace rsin::flow

@@ -1,0 +1,38 @@
+#include "flow/residual.hpp"
+
+namespace rsin::flow {
+
+ResidualGraph::ResidualGraph(const FlowNetwork& net) {
+  const std::size_t n = net.node_count();
+  const std::size_t m = net.arc_count();
+  head_.reserve(2 * m);
+  residual_.reserve(2 * m);
+  cost_.reserve(2 * m);
+  adjacency_.assign(n, {});
+
+  for (std::size_t a = 0; a < m; ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    // Forward copy: remaining capacity; reverse copy: cancellable flow.
+    head_.push_back(arc.to);
+    residual_.push_back(arc.capacity - arc.flow);
+    cost_.push_back(arc.cost);
+    head_.push_back(arc.from);
+    residual_.push_back(arc.flow);
+    cost_.push_back(-arc.cost);
+
+    const auto fwd = static_cast<EdgeId>(2 * a);
+    adjacency_[static_cast<std::size_t>(arc.from)].push_back(fwd);
+    adjacency_[static_cast<std::size_t>(arc.to)].push_back(partner(fwd));
+  }
+}
+
+void ResidualGraph::apply_to(FlowNetwork& net) const {
+  RSIN_REQUIRE(net.arc_count() * 2 == head_.size(),
+               "residual graph was built from a different network");
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const auto id = static_cast<ArcId>(a);
+    net.set_flow(id, flow_on(id));
+  }
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,75 @@
+// Residual-graph scaffolding shared by the augmenting-path algorithms.
+//
+// Edges are stored in partner pairs: edge 2k is a forward copy of original
+// arc k and edge 2k+1 is its reverse. Pushing x units along edge e removes
+// x of residual capacity from e and adds x to e^1 — exactly the "advance or
+// cancel flow" rule of Section III-B of the paper. The reverse copy's
+// residual capacity always equals the current flow on the original arc, so
+// publishing results is a straight copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rsin::flow {
+
+class ResidualGraph {
+ public:
+  using EdgeId = std::int32_t;
+
+  /// Builds the residual graph of `net`, honoring any flow already assigned
+  /// to its arcs (so algorithms can warm-start from a partial assignment).
+  explicit ResidualGraph(const FlowNetwork& net);
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return head_.size(); }
+
+  /// Residual edges leaving `v` (both forward and reverse copies).
+  [[nodiscard]] std::span<const EdgeId> edges_from(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] NodeId head(EdgeId e) const {
+    return head_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] NodeId tail(EdgeId e) const { return head(partner(e)); }
+  [[nodiscard]] Capacity residual(EdgeId e) const {
+    return residual_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Cost cost(EdgeId e) const {
+    return cost_[static_cast<std::size_t>(e)];
+  }
+  /// The partner (reverse) edge of `e`.
+  [[nodiscard]] static EdgeId partner(EdgeId e) { return e ^ 1; }
+  /// True for the forward copy of an original arc.
+  [[nodiscard]] static bool is_forward(EdgeId e) { return (e & 1) == 0; }
+  /// Original arc id underlying residual edge `e`.
+  [[nodiscard]] static ArcId original_arc(EdgeId e) { return e >> 1; }
+
+  /// Moves `amount` units of flow across residual edge `e`.
+  void push(EdgeId e, Capacity amount) {
+    RSIN_REQUIRE(amount >= 0 && amount <= residual(e),
+                 "push exceeds residual capacity");
+    residual_[static_cast<std::size_t>(e)] -= amount;
+    residual_[static_cast<std::size_t>(partner(e))] += amount;
+  }
+
+  /// Current flow assigned to original arc `a` (the reverse edge residual).
+  [[nodiscard]] Capacity flow_on(ArcId a) const {
+    return residual_[static_cast<std::size_t>(2 * a + 1)];
+  }
+
+  /// Publishes the accumulated flow assignment back into `net`.
+  void apply_to(FlowNetwork& net) const;
+
+ private:
+  std::vector<NodeId> head_;
+  std::vector<Capacity> residual_;
+  std::vector<Cost> cost_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+};
+
+}  // namespace rsin::flow

@@ -1,0 +1,53 @@
+#include "flow/validate.hpp"
+
+#include <sstream>
+
+namespace rsin::flow {
+
+std::optional<FlowViolation> validate_flow(
+    const FlowNetwork& net, std::optional<Capacity> expected_value) {
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    if (arc.flow < 0 || arc.flow > arc.capacity) {
+      std::ostringstream detail;
+      detail << "arc " << a << " has flow " << arc.flow << " outside [0, "
+             << arc.capacity << ']';
+      return FlowViolation{FlowViolation::Kind::kCapacity,
+                           static_cast<std::int32_t>(a), detail.str()};
+    }
+  }
+
+  const Capacity value = expected_value
+                             ? *expected_value
+                             : (net.valid_node(net.source())
+                                    ? net.flow_value()
+                                    : 0);
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    const auto node = static_cast<NodeId>(v);
+    Capacity out = 0;
+    Capacity in = 0;
+    for (const ArcId id : net.out_arcs(node)) out += net.arc(id).flow;
+    for (const ArcId id : net.in_arcs(node)) in += net.arc(id).flow;
+    Capacity expected_net = 0;
+    if (node == net.source()) expected_net = value;
+    if (node == net.sink()) expected_net = -value;
+    if (out - in != expected_net) {
+      std::ostringstream detail;
+      detail << "node " << net.label(node) << " violates conservation: out="
+             << out << " in=" << in << " expected net=" << expected_net;
+      return FlowViolation{FlowViolation::Kind::kConservation,
+                           static_cast<std::int32_t>(v), detail.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_zero_one_flow(const FlowNetwork& net) {
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Capacity f = net.arc(static_cast<ArcId>(a)).flow;
+    if (f != 0 && f != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,34 @@
+// Legal-flow validation (the two constraints of Section III-A).
+//
+// A flow assignment is *legal* when it satisfies capacity limitation
+// (0 <= f(e) <= c(e)) and flow conservation (net flow zero at every node
+// except the source, which emits F, and the sink, which absorbs F). These
+// checks back the library's property tests and guard the transformations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/network.hpp"
+
+namespace rsin::flow {
+
+struct FlowViolation {
+  enum class Kind { kCapacity, kConservation } kind;
+  /// Offending arc (capacity) or node (conservation).
+  std::int32_t id;
+  std::string detail;
+};
+
+/// Returns the first violated constraint, or nullopt if the current flow
+/// assignment of `net` is legal. `expected_value`, when given, additionally
+/// requires the source to emit exactly that amount.
+std::optional<FlowViolation> validate_flow(
+    const FlowNetwork& net, std::optional<Capacity> expected_value = {});
+
+/// True when every arc carries an integral... all Capacity values are
+/// integers by construction here, so this checks the MRSIN-specific
+/// property instead: every arc's flow is 0 or 1 (unit flows, Theorem 1).
+bool is_zero_one_flow(const FlowNetwork& net);
+
+}  // namespace rsin::flow

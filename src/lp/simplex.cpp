@@ -1,0 +1,296 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rsin::lp {
+
+int LinearProgram::add_variable(double objective_coefficient,
+                                std::string name) {
+  const int index = static_cast<int>(objective_.size());
+  objective_.push_back(objective_coefficient);
+  if (name.empty()) name = "x" + std::to_string(index);
+  names_.push_back(std::move(name));
+  return index;
+}
+
+void LinearProgram::add_constraint(Constraint constraint) {
+  for (const auto& [var, coeff] : constraint.terms) {
+    RSIN_REQUIRE(var >= 0 && static_cast<std::size_t>(var) < objective_.size(),
+                 "constraint references unknown variable");
+    (void)coeff;
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+namespace {
+
+/// Dense simplex tableau. Rows 0..m-1 are constraints; `z` is the objective
+/// row of reduced costs; the last column is the right-hand side.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), cells_((rows + 1) * (cols + 1), 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return cells_[r * (cols_ + 1) + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return cells_[r * (cols_ + 1) + c];
+  }
+  double& rhs(std::size_t r) { return at(r, cols_); }
+  double& z(std::size_t c) { return at(rows_, c); }
+  double& z_value() { return at(rows_, cols_); }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  /// Gauss–Jordan pivot on (row, col), normalizing the pivot to one and
+  /// clearing the column elsewhere, including the objective row.
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = at(row, col);
+    RSIN_ENSURE(std::fabs(p) > 1e-12, "pivot on (near-)zero element");
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c <= cols_; ++c) at(row, c) *= inv;
+    for (std::size_t r = 0; r <= rows_; ++r) {
+      if (r == row) continue;
+      const double factor = at(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= cols_; ++c) {
+        at(r, c) -= factor * at(row, c);
+      }
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+struct PivotResult {
+  SolveStatus status = SolveStatus::kOptimal;
+  std::int64_t iterations = 0;
+};
+
+/// Runs simplex pivots until the objective row is non-negative (optimal),
+/// unboundedness is detected, or the iteration budget is exhausted.
+/// `allowed[c]` masks columns eligible to enter the basis.
+PivotResult run_pivots(Tableau& tableau, std::vector<std::size_t>& basis,
+                       const std::vector<char>& allowed,
+                       const SimplexOptions& options) {
+  PivotResult result;
+  std::int64_t stalled = 0;
+  double last_objective = -std::numeric_limits<double>::infinity();
+
+  while (result.iterations < options.max_iterations) {
+    const bool bland = stalled > options.bland_threshold;
+
+    // Entering column: most negative reduced cost (Dantzig), or the first
+    // negative one (Bland, anti-cycling).
+    std::size_t enter = tableau.cols();
+    double best = -options.tolerance;
+    for (std::size_t c = 0; c < tableau.cols(); ++c) {
+      if (!allowed[c]) continue;
+      const double rc = tableau.z(c);
+      if (rc < best) {
+        enter = c;
+        if (bland) break;
+        best = rc;
+      }
+    }
+    if (enter == tableau.cols()) return result;  // optimal
+
+    // Leaving row: minimum ratio test over positive column entries.
+    std::size_t leave = tableau.rows();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < tableau.rows(); ++r) {
+      const double a = tableau.at(r, enter);
+      if (a <= options.tolerance) continue;
+      const double ratio = tableau.rhs(r) / a;
+      if (ratio < best_ratio - options.tolerance ||
+          (ratio < best_ratio + options.tolerance &&
+           (leave == tableau.rows() || basis[r] < basis[leave]))) {
+        best_ratio = ratio;
+        leave = r;
+      }
+    }
+    if (leave == tableau.rows()) {
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+
+    tableau.pivot(leave, enter);
+    basis[leave] = enter;
+    ++result.iterations;
+
+    // z_value tracks the maximized objective (it only grows across pivots).
+    const double objective = tableau.z_value();
+    if (objective > last_objective + options.tolerance) {
+      stalled = 0;
+      last_objective = objective;
+    } else {
+      ++stalled;
+    }
+  }
+  result.status = SolveStatus::kIterationLimit;
+  return result;
+}
+
+}  // namespace
+
+Solution solve(const LinearProgram& program, const SimplexOptions& options) {
+  const std::size_t n = program.variable_count();
+  const std::size_t m = program.constraint_count();
+
+  // Normalize rows: rhs >= 0; count the auxiliary columns needed.
+  struct Row {
+    std::vector<double> coeff;  // dense over structural variables
+    Relation relation;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(m);
+  std::size_t slack_count = 0;
+  std::size_t artificial_count = 0;
+  for (const Constraint& constraint : program.constraints()) {
+    Row row{std::vector<double>(n, 0.0), constraint.relation, constraint.rhs};
+    for (const auto& [var, coeff] : constraint.terms) {
+      row.coeff[static_cast<std::size_t>(var)] += coeff;
+    }
+    if (row.rhs < 0) {
+      for (double& c : row.coeff) c = -c;
+      row.rhs = -row.rhs;
+      row.relation = row.relation == Relation::kLessEqual
+                         ? Relation::kGreaterEqual
+                         : row.relation == Relation::kGreaterEqual
+                               ? Relation::kLessEqual
+                               : Relation::kEqual;
+    }
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        ++slack_count;
+        break;
+      case Relation::kGreaterEqual:
+        ++slack_count;  // surplus
+        ++artificial_count;
+        break;
+      case Relation::kEqual:
+        ++artificial_count;
+        break;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const std::size_t total_cols = n + slack_count + artificial_count;
+  Tableau tableau(m, total_cols);
+  std::vector<std::size_t> basis(m, 0);
+  std::vector<char> is_artificial(total_cols, 0);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + slack_count;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Row& row = rows[r];
+    for (std::size_t c = 0; c < n; ++c) tableau.at(r, c) = row.coeff[c];
+    tableau.rhs(r) = row.rhs;
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        tableau.at(r, next_slack) = 1.0;
+        basis[r] = next_slack++;
+        break;
+      case Relation::kGreaterEqual:
+        tableau.at(r, next_slack) = -1.0;
+        ++next_slack;
+        tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = 1;
+        basis[r] = next_artificial++;
+        break;
+      case Relation::kEqual:
+        tableau.at(r, next_artificial) = 1.0;
+        is_artificial[next_artificial] = 1;
+        basis[r] = next_artificial++;
+        break;
+    }
+  }
+
+  Solution solution;
+
+  // Phase 1: minimize the sum of artificials, i.e. maximize -sum. The
+  // z-row holds reduced costs; basic artificial columns must be priced out.
+  if (artificial_count > 0) {
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      tableau.z(c) = is_artificial[c] ? 1.0 : 0.0;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      for (std::size_t c = 0; c <= total_cols; ++c) {
+        tableau.z(c) -= tableau.at(r, c);
+      }
+    }
+    std::vector<char> allowed(total_cols, 1);
+    const PivotResult phase1 = run_pivots(tableau, basis, allowed, options);
+    solution.iterations += phase1.iterations;
+    if (phase1.status != SolveStatus::kOptimal) {
+      solution.status = phase1.status;
+      return solution;
+    }
+    if (-tableau.z_value() > options.tolerance * 100) {
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    // Pivot any artificial still in the basis (at zero level) out of it.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      for (std::size_t c = 0; c < n + slack_count; ++c) {
+        if (std::fabs(tableau.at(r, c)) > options.tolerance) {
+          tableau.pivot(r, c);
+          basis[r] = c;
+          break;
+        }
+      }
+      // If no pivot column exists the row is redundant; the artificial
+      // stays basic at value zero, which is harmless as long as it never
+      // re-enters (it is excluded from phase 2's allowed set).
+    }
+  }
+
+  // Phase 2: the real objective. Rebuild the z-row: z(c) = cB·B^-1·A_c - c_c.
+  for (std::size_t c = 0; c <= total_cols; ++c) tableau.z(c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) tableau.z(c) = -program.objective()[c];
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t b = basis[r];
+    if (b >= n) continue;  // slack/artificial: zero objective coefficient
+    const double cb = program.objective()[b];
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c <= total_cols; ++c) {
+      tableau.z(c) += cb * tableau.at(r, c);
+    }
+  }
+  // Basic columns must read exactly zero in the z-row.
+  for (std::size_t r = 0; r < m; ++r) tableau.z(basis[r]) = 0.0;
+
+  std::vector<char> allowed(total_cols, 1);
+  for (std::size_t c = 0; c < total_cols; ++c) {
+    if (is_artificial[c]) allowed[c] = 0;
+  }
+  const PivotResult phase2 = run_pivots(tableau, basis, allowed, options);
+  solution.iterations += phase2.iterations;
+  if (phase2.status != SolveStatus::kOptimal) {
+    solution.status = phase2.status;
+    return solution;
+  }
+
+  solution.status = SolveStatus::kOptimal;
+  solution.values.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.values[basis[r]] = tableau.rhs(r);
+  }
+  solution.objective = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    solution.objective += program.objective()[c] * solution.values[c];
+  }
+  return solution;
+}
+
+}  // namespace rsin::lp

@@ -1,0 +1,82 @@
+// A self-contained two-phase primal simplex solver.
+//
+// Section III-D of the paper formulates heterogeneous (multi-resource-type)
+// scheduling as multicommodity flow LPs and notes that on restricted MIN
+// topologies the optimal basic solutions are integral and "the Simplex
+// Method ... has been shown empirically to be a linear time algorithm".
+// This module is the substrate that makes those formulations runnable.
+//
+// Model: maximize c^T x subject to a set of <=, >=, or == row constraints
+// over non-negative variables. Internally the solver builds a dense tableau
+// with slack/surplus variables, runs phase 1 with artificial variables to
+// find a basic feasible solution, then phase 2 on the real objective.
+// Dantzig pricing is used by default, switching to Bland's rule after a
+// degeneracy threshold to guarantee termination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsin::lp {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// One row constraint: sum_i coefficient_i * x_{variable_i}  (rel)  rhs.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program over non-negative variables, built incrementally.
+class LinearProgram {
+ public:
+  /// Adds a variable with the given objective coefficient (maximization).
+  int add_variable(double objective_coefficient, std::string name = {});
+
+  /// Adds a constraint; variable indices must already exist. Duplicate
+  /// indices within one constraint are summed.
+  void add_constraint(Constraint constraint);
+
+  [[nodiscard]] std::size_t variable_count() const { return objective_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const {
+    return constraints_.size();
+  }
+  [[nodiscard]] const std::vector<double>& objective() const {
+    return objective_;
+  }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const std::string& variable_name(int index) const {
+    return names_[static_cast<std::size_t>(index)];
+  }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< One entry per LP variable.
+  std::int64_t iterations = 0;  ///< Total simplex pivots (both phases).
+};
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  std::int64_t max_iterations = 1'000'000;
+  /// Switch from Dantzig to Bland pricing after this many pivots without
+  /// objective improvement (anti-cycling).
+  std::int64_t bland_threshold = 64;
+};
+
+/// Solves the LP; `values` is populated for kOptimal only.
+Solution solve(const LinearProgram& program, const SimplexOptions& options = {});
+
+}  // namespace rsin::lp

@@ -1,0 +1,60 @@
+// Umbrella header: the full rsin public API in one include.
+//
+//   #include "rsin.hpp"
+//
+// Fine-grained headers remain available (and are what the library's own
+// code uses); this aggregate exists for quickstart users and examples.
+#pragma once
+
+// util — RNG, combinatorics, tables, CSV, errors.
+#include "util/combinatorics.hpp"  // IWYU pragma: export
+#include "util/csv.hpp"            // IWYU pragma: export
+#include "util/error.hpp"          // IWYU pragma: export
+#include "util/rng.hpp"            // IWYU pragma: export
+#include "util/stopwatch.hpp"      // IWYU pragma: export
+#include "util/table.hpp"          // IWYU pragma: export
+
+// flow — networks and flow algorithms.
+#include "flow/bipartite.hpp"       // IWYU pragma: export
+#include "flow/decompose.hpp"       // IWYU pragma: export
+#include "flow/max_flow.hpp"        // IWYU pragma: export
+#include "flow/min_cost.hpp"        // IWYU pragma: export
+#include "flow/min_cut.hpp"         // IWYU pragma: export
+#include "flow/multicommodity.hpp"  // IWYU pragma: export
+#include "flow/network.hpp"         // IWYU pragma: export
+#include "flow/network_simplex.hpp"  // IWYU pragma: export
+#include "flow/push_relabel.hpp"    // IWYU pragma: export
+#include "flow/validate.hpp"        // IWYU pragma: export
+
+// lp — the simplex solver.
+#include "lp/simplex.hpp"  // IWYU pragma: export
+
+// topo — interconnection networks.
+#include "topo/benes_routing.hpp"    // IWYU pragma: export
+#include "topo/builders.hpp"         // IWYU pragma: export
+#include "topo/dot_export.hpp"       // IWYU pragma: export
+#include "topo/network.hpp"          // IWYU pragma: export
+#include "topo/switch_settings.hpp"  // IWYU pragma: export
+#include "topo/tag_routing.hpp"      // IWYU pragma: export
+
+// core — the paper's transformations and schedulers.
+#include "core/hetero.hpp"     // IWYU pragma: export
+#include "core/problem.hpp"    // IWYU pragma: export
+#include "core/routing.hpp"    // IWYU pragma: export
+#include "core/schedule.hpp"   // IWYU pragma: export
+#include "core/scheduler.hpp"  // IWYU pragma: export
+#include "core/transform.hpp"  // IWYU pragma: export
+
+// token — the distributed architecture.
+#include "token/element_machine.hpp"  // IWYU pragma: export
+#include "token/hardware_model.hpp"   // IWYU pragma: export
+#include "token/monitor.hpp"          // IWYU pragma: export
+#include "token/status_bus.hpp"       // IWYU pragma: export
+#include "token/token_machine.hpp"    // IWYU pragma: export
+
+// sim — experiments and system simulation.
+#include "sim/analytic.hpp"           // IWYU pragma: export
+#include "sim/des.hpp"                // IWYU pragma: export
+#include "sim/metrics.hpp"            // IWYU pragma: export
+#include "sim/static_experiment.hpp"  // IWYU pragma: export
+#include "sim/system_sim.hpp"         // IWYU pragma: export

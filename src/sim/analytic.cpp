@@ -1,0 +1,36 @@
+#include "sim/analytic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rsin::sim {
+
+double delta_stage_rate(double input_rate, int fan_in, int fan_out) {
+  RSIN_REQUIRE(input_rate >= 0.0 && input_rate <= 1.0,
+               "input rate must be a probability");
+  RSIN_REQUIRE(fan_in > 0 && fan_out > 0, "crossbar dimensions are positive");
+  // Each of the fan_out outputs receives a given input's request with
+  // probability input_rate / fan_out; it is busy unless all fan_in inputs
+  // miss it.
+  return 1.0 - std::pow(1.0 - input_rate / static_cast<double>(fan_out),
+                        static_cast<double>(fan_in));
+}
+
+double banyan_output_rate(double input_rate, int stages) {
+  RSIN_REQUIRE(stages >= 0, "stage count must be non-negative");
+  double rate = input_rate;
+  for (int s = 0; s < stages; ++s) rate = delta_stage_rate(rate, 2, 2);
+  return rate;
+}
+
+double banyan_acceptance(double input_rate, int stages) {
+  if (input_rate <= 0.0) return 1.0;
+  return banyan_output_rate(input_rate, stages) / input_rate;
+}
+
+double banyan_blocking(double input_rate, int stages) {
+  return 1.0 - banyan_acceptance(input_rate, stages);
+}
+
+}  // namespace rsin::sim

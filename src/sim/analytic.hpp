@@ -1,0 +1,32 @@
+// Closed-form blocking model for delta/banyan networks (Patel's analysis,
+// reference [37] of the paper).
+//
+// For an m-stage network of a x b crossbars under *independent uniform*
+// random routing, the probability that an output link of stage i carries a
+// request follows the recurrence
+//
+//     p_{i+1} = 1 - (1 - p_i * a / b)^a        (2x2: 1 - (1 - p_i/2)^2)
+//
+// with p_0 the per-input offered load. The acceptance ratio p_m / p_0 is
+// the throughput of conventional random address mapping when destination
+// collisions are possible — the regime the RSIN's distributed scheduling is
+// designed to beat. bench_analytic_model compares this curve against the
+// measured address-mapped baseline with independent destinations.
+#pragma once
+
+namespace rsin::sim {
+
+/// One step of the recurrence for an a x b crossbar stage.
+double delta_stage_rate(double input_rate, int fan_in, int fan_out);
+
+/// Probability an output of the final stage carries a request, for an
+/// m-stage network of 2x2 switches with per-input offered load p0 in [0,1].
+double banyan_output_rate(double input_rate, int stages);
+
+/// Expected fraction of offered requests accepted: p_m / p_0 (1 when p0=0).
+double banyan_acceptance(double input_rate, int stages);
+
+/// 1 - acceptance: the analytic blocking probability of random routing.
+double banyan_blocking(double input_rate, int stages);
+
+}  // namespace rsin::sim

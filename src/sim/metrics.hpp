@@ -1,0 +1,77 @@
+// Streaming statistics for simulation outputs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace rsin::sim {
+
+/// Welford-style running mean/variance over observations.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  /// Half-width of the ~95% normal confidence interval of the mean.
+  [[nodiscard]] double ci95_half_width() const {
+    if (count_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. number of
+/// busy resources), for utilization measurements.
+class TimeWeightedStat {
+ public:
+  explicit TimeWeightedStat(double start_time = 0.0, double value = 0.0)
+      : last_time_(start_time), value_(value) {}
+
+  /// Records that the signal changed to `value` at time `time`.
+  void update(double time, double value) {
+    RSIN_REQUIRE(time >= last_time_, "time must be non-decreasing");
+    integral_ += value_ * (time - last_time_);
+    last_time_ = time;
+    value_ = value;
+  }
+
+  /// Restarts measurement at `time` (e.g. at the end of warmup).
+  void reset(double time) {
+    last_time_ = time;
+    start_time_ = time;
+    integral_ = 0.0;
+  }
+
+  /// Average value over [reset_time, end_time].
+  [[nodiscard]] double average(double end_time) const {
+    const double span = end_time - start_time_;
+    if (span <= 0.0) return 0.0;
+    return (integral_ + value_ * (end_time - last_time_)) / span;
+  }
+
+  [[nodiscard]] double current() const { return value_; }
+
+ private:
+  double last_time_ = 0.0;
+  double start_time_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace rsin::sim

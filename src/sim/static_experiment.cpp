@@ -1,0 +1,209 @@
+#include "sim/static_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "core/routing.hpp"
+#include "core/schedule.hpp"
+#include "util/error.hpp"
+
+namespace rsin::sim {
+namespace {
+
+/// Runs `trials` trials with a dedicated RNG stream, accumulating into a
+/// fresh partial result (batch_blocking gets exactly one entry).
+StaticExperimentResult run_batch(const topo::Network& net,
+                                 core::Scheduler& scheduler,
+                                 const StaticExperimentConfig& config,
+                                 util::Rng rng, std::int64_t trials) {
+  StaticExperimentResult result;
+  for (std::int64_t trial = 0; trial < trials; ++trial) {
+    topo::Network work = net;  // fresh free network each trial
+    work.release_all();
+
+    // Draw the instance.
+    std::vector<topo::ProcessorId> requesting;
+    std::vector<topo::ProcessorId> silent;
+    for (topo::ProcessorId p = 0; p < work.processor_count(); ++p) {
+      (rng.bernoulli(config.request_probability) ? requesting : silent)
+          .push_back(p);
+    }
+    std::vector<topo::ResourceId> free_resources;
+    std::vector<topo::ResourceId> busy_resources;
+    for (topo::ResourceId r = 0; r < work.resource_count(); ++r) {
+      (rng.bernoulli(config.free_probability) ? free_resources
+                                              : busy_resources)
+          .push_back(r);
+    }
+
+    // Background traffic: circuits between silent processors and busy
+    // resources, routed greedily over the still-free fabric.
+    std::int32_t placed = 0;
+    rng.shuffle(silent);
+    rng.shuffle(busy_resources);
+    for (std::size_t i = 0;
+         placed < config.background_circuits &&
+         i < std::min(silent.size(), busy_resources.size());
+         ++i) {
+      const auto circuit = core::first_free_path(
+          work, silent[i],
+          [&](topo::ResourceId r) { return r == busy_resources[i]; });
+      if (!circuit) continue;
+      work.establish(*circuit);
+      ++placed;
+    }
+
+    // Assemble the problem with random types/priorities.
+    core::Problem problem;
+    problem.network = &work;
+    for (const topo::ProcessorId p : requesting) {
+      core::Request request;
+      request.processor = p;
+      request.type = static_cast<std::int32_t>(
+          rng.uniform_int(0, config.resource_types - 1));
+      if (config.priority_levels > 0) {
+        request.priority = static_cast<std::int32_t>(
+            rng.uniform_int(1, config.priority_levels));
+      }
+      problem.requests.push_back(request);
+    }
+    for (const topo::ResourceId r : free_resources) {
+      core::FreeResource resource;
+      resource.resource = r;
+      resource.type = static_cast<std::int32_t>(
+          rng.uniform_int(0, config.resource_types - 1));
+      if (config.priority_levels > 0) {
+        resource.preference = static_cast<std::int32_t>(
+            rng.uniform_int(1, config.priority_levels));
+      }
+      problem.free_resources.push_back(resource);
+    }
+
+    // Per-type allocation opportunities: sum of min(requests, resources).
+    std::map<std::int32_t, std::pair<std::int64_t, std::int64_t>> by_type;
+    for (const core::Request& request : problem.requests) {
+      ++by_type[request.type].first;
+    }
+    for (const core::FreeResource& resource : problem.free_resources) {
+      ++by_type[resource.type].second;
+    }
+    std::int64_t opportunities = 0;
+    for (const auto& [type, counts] : by_type) {
+      opportunities += std::min(counts.first, counts.second);
+    }
+
+    const core::ScheduleResult schedule = scheduler.schedule(problem);
+    const auto violation = core::verify_schedule(problem, schedule);
+    RSIN_ENSURE(!violation, "scheduler produced an unrealizable schedule: " +
+                                violation.value_or(""));
+
+    result.total_requests += static_cast<std::int64_t>(problem.requests.size());
+    result.total_free_resources +=
+        static_cast<std::int64_t>(problem.free_resources.size());
+    result.total_opportunities += opportunities;
+    result.total_allocated += static_cast<std::int64_t>(schedule.allocated());
+    result.total_cost += schedule.cost;
+    ++result.trials;
+  }
+  if (result.total_opportunities > 0) {
+    result.batch_blocking.push_back(
+        1.0 - static_cast<double>(result.total_allocated) /
+                  static_cast<double>(result.total_opportunities));
+  }
+  return result;
+}
+
+void merge(StaticExperimentResult& into, const StaticExperimentResult& part) {
+  into.trials += part.trials;
+  into.total_requests += part.total_requests;
+  into.total_free_resources += part.total_free_resources;
+  into.total_opportunities += part.total_opportunities;
+  into.total_allocated += part.total_allocated;
+  into.total_cost += part.total_cost;
+  into.batch_blocking.insert(into.batch_blocking.end(),
+                             part.batch_blocking.begin(),
+                             part.batch_blocking.end());
+}
+
+/// Splits trials into ~10 equal batches (the batch-means granularity).
+std::vector<std::int64_t> batch_sizes(std::int64_t trials) {
+  const std::int64_t batches = std::min<std::int64_t>(10, trials);
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(batches),
+                                  trials / batches);
+  for (std::int64_t i = 0; i < trials % batches; ++i) {
+    ++sizes[static_cast<std::size_t>(i)];
+  }
+  return sizes;
+}
+
+void validate(const StaticExperimentConfig& config) {
+  RSIN_REQUIRE(config.trials > 0, "experiment needs at least one trial");
+  RSIN_REQUIRE(config.resource_types >= 1, "need at least one resource type");
+}
+
+}  // namespace
+
+double StaticExperimentResult::blocking_ci95() const {
+  if (batch_blocking.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (const double b : batch_blocking) mean += b;
+  mean /= static_cast<double>(batch_blocking.size());
+  double variance = 0.0;
+  for (const double b : batch_blocking) variance += (b - mean) * (b - mean);
+  variance /= static_cast<double>(batch_blocking.size() - 1);
+  return 1.96 * std::sqrt(variance /
+                          static_cast<double>(batch_blocking.size()));
+}
+
+StaticExperimentResult run_static_experiment(
+    const topo::Network& net, core::Scheduler& scheduler,
+    const StaticExperimentConfig& config) {
+  validate(config);
+  const util::Rng root(config.seed);
+  StaticExperimentResult result;
+  const auto sizes = batch_sizes(config.trials);
+  for (std::size_t batch = 0; batch < sizes.size(); ++batch) {
+    merge(result, run_batch(net, scheduler, config, root.split(batch),
+                            sizes[batch]));
+  }
+  return result;
+}
+
+StaticExperimentResult run_static_experiment_parallel(
+    const topo::Network& net, const SchedulerFactory& factory,
+    const StaticExperimentConfig& config, int threads) {
+  validate(config);
+  RSIN_REQUIRE(threads >= 1, "need at least one worker");
+  const util::Rng root(config.seed);
+  const auto sizes = batch_sizes(config.trials);
+
+  std::vector<StaticExperimentResult> parts(sizes.size());
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next_batch{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t batch = next_batch.fetch_add(1);
+      if (batch >= sizes.size()) break;
+      // One scheduler instance per batch: stateful schedulers then behave
+      // identically no matter which worker picks the batch up.
+      const auto scheduler = factory();
+      parts[batch] = run_batch(net, *scheduler, config, root.split(batch),
+                               sizes[batch]);
+    }
+  };
+  const auto worker_count = std::min<std::size_t>(
+      static_cast<std::size_t>(threads), sizes.size());
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) workers.emplace_back(worker);
+  for (std::thread& thread : workers) thread.join();
+
+  // Deterministic combination in batch order, independent of scheduling.
+  StaticExperimentResult result;
+  for (const StaticExperimentResult& part : parts) merge(result, part);
+  return result;
+}
+
+}  // namespace rsin::sim

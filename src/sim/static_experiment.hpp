@@ -1,0 +1,96 @@
+// Monte-Carlo blocking-probability experiment (the setting behind the
+// paper's Section II numbers).
+//
+// Each trial draws a random scheduling instance: every processor requests
+// with probability `request_probability`, every resource is free with
+// probability `free_probability`, and (optionally) some background circuits
+// already occupy links. A scheduler then maps requests to resources. With
+// x requests and y free resources, at most min(x, y) allocations are
+// possible even on a nonblocking fabric, so the *blocking probability* is
+//
+//   1 - (allocations made) / (sum over trials of min(x, y)),
+//
+// i.e. the fraction of allocation opportunities lost to circuit blocking —
+// the quantity the paper reports as "average blocking probability" (~2% for
+// the optimal scheduler on an 8x8 cube, ~20% for heuristic routing, <5% on
+// an Omega).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::sim {
+
+struct StaticExperimentConfig {
+  std::int64_t trials = 1000;
+  double request_probability = 0.5;
+  double free_probability = 0.5;
+  /// Number of background circuits established before each trial between
+  /// non-requesting processors and busy resources (Section II's "network is
+  /// not completely free" discussion). Circuits that cannot be routed are
+  /// skipped.
+  std::int32_t background_circuits = 0;
+  /// Number of distinct resource types; requests/resources draw types
+  /// uniformly. 1 = homogeneous.
+  std::int32_t resource_types = 1;
+  /// When > 0, priorities/preferences are drawn uniformly from
+  /// [1, priority_levels]; otherwise everything has priority 0.
+  std::int32_t priority_levels = 0;
+  std::uint64_t seed = 1;
+};
+
+struct StaticExperimentResult {
+  std::int64_t trials = 0;
+  std::int64_t total_requests = 0;
+  std::int64_t total_free_resources = 0;
+  std::int64_t total_opportunities = 0;  ///< sum of per-type min(x, y)
+  std::int64_t total_allocated = 0;
+  std::int64_t total_cost = 0;
+  /// Per-batch blocking probabilities (trials split into ~10 batches) for
+  /// the batch-means confidence interval below.
+  std::vector<double> batch_blocking;
+
+  /// Half-width of the ~95% batch-means confidence interval of the
+  /// blocking probability (0 when fewer than 2 batches have data).
+  [[nodiscard]] double blocking_ci95() const;
+  /// 1 - allocated / opportunities.
+  [[nodiscard]] double blocking_probability() const {
+    if (total_opportunities == 0) return 0.0;
+    return 1.0 - static_cast<double>(total_allocated) /
+                     static_cast<double>(total_opportunities);
+  }
+  /// allocated / free resources (how full the resource pool was driven).
+  [[nodiscard]] double resource_allocation_ratio() const {
+    if (total_free_resources == 0) return 0.0;
+    return static_cast<double>(total_allocated) /
+           static_cast<double>(total_free_resources);
+  }
+};
+
+/// Runs the experiment on (a private copy of) `net` with `scheduler`,
+/// single-threaded. Trials are processed in batches of ~trials/10, each
+/// batch with its own derived RNG stream, so results depend only on the
+/// seed (and match run_static_experiment_parallel with any thread count
+/// when the scheduler is stateless).
+StaticExperimentResult run_static_experiment(
+    const topo::Network& net, core::Scheduler& scheduler,
+    const StaticExperimentConfig& config);
+
+/// Creates one scheduler per worker; must be callable concurrently.
+using SchedulerFactory = std::function<std::unique_ptr<core::Scheduler>()>;
+
+/// Parallel variant: batches are distributed over `threads` workers, each
+/// with its own scheduler instance (from `factory`) and its own derived RNG
+/// stream. The aggregate result is bit-identical for every thread count —
+/// batch k always uses stream k — which the tests verify.
+StaticExperimentResult run_static_experiment_parallel(
+    const topo::Network& net, const SchedulerFactory& factory,
+    const StaticExperimentConfig& config, int threads);
+
+}  // namespace rsin::sim

@@ -1,0 +1,241 @@
+#include "sim/system_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "core/schedule.hpp"
+#include "sim/des.hpp"
+#include "util/error.hpp"
+
+namespace rsin::sim {
+namespace {
+
+struct Task {
+  double arrival = 0.0;
+  std::int32_t type = 0;
+  std::int32_t priority = 0;
+};
+
+/// Full mutable state of the simulated system.
+struct SystemState {
+  topo::Network net;
+  util::Rng rng;
+  EventQueue events;
+
+  std::vector<std::deque<Task>> queue;      // per processor
+  std::vector<char> transmitting;           // per processor
+  std::vector<char> resource_busy;          // per resource
+  std::vector<std::int32_t> resource_type;  // fixed per resource
+  std::vector<std::int32_t> resource_pref;  // fixed per resource
+
+  TimeWeightedStat busy_resources;
+  TimeWeightedStat queued_tasks;
+  RunningStat response_time;
+  RunningStat wait_time;
+  std::map<std::int32_t, RunningStat> wait_by_priority;
+  std::int64_t opportunities = 0;
+  std::int64_t allocated = 0;
+  std::int64_t tasks_arrived = 0;
+  std::int64_t tasks_completed = 0;
+  std::int64_t cycles = 0;
+  bool measuring = false;
+
+  explicit SystemState(const topo::Network& base, const SystemConfig& config)
+      : net(base), rng(config.seed) {
+    net.release_all();
+    queue.resize(static_cast<std::size_t>(net.processor_count()));
+    transmitting.assign(static_cast<std::size_t>(net.processor_count()), 0);
+    resource_busy.assign(static_cast<std::size_t>(net.resource_count()), 0);
+    resource_type.resize(static_cast<std::size_t>(net.resource_count()));
+    resource_pref.resize(static_cast<std::size_t>(net.resource_count()));
+    for (std::size_t r = 0; r < resource_type.size(); ++r) {
+      // Types striped round-robin so every type is equally provisioned.
+      resource_type[r] =
+          static_cast<std::int32_t>(r) % std::max(1, config.resource_types);
+      resource_pref[r] =
+          config.priority_levels > 0
+              ? static_cast<std::int32_t>(
+                    rng.uniform_int(1, config.priority_levels))
+              : 0;
+    }
+  }
+
+  [[nodiscard]] double total_queued() const {
+    double total = 0;
+    for (const auto& q : queue) total += static_cast<double>(q.size());
+    return total;
+  }
+};
+
+void schedule_arrival(SystemState& state, const SystemConfig& config,
+                      topo::ProcessorId p);
+
+void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
+                          core::Scheduler& scheduler) {
+  // Snapshot: head-of-queue task of every non-transmitting processor is a
+  // pending request; resources not busy are free.
+  core::Problem problem;
+  problem.network = &state.net;
+  double oldest_wait = 0.0;
+  for (std::size_t p = 0; p < state.queue.size(); ++p) {
+    if (state.transmitting[p] || state.queue[p].empty()) continue;
+    const Task& task = state.queue[p].front();
+    oldest_wait = std::max(oldest_wait, state.events.now() - task.arrival);
+    problem.requests.push_back(core::Request{
+        static_cast<topo::ProcessorId>(p), task.priority, task.type});
+  }
+  // Batching (Fig. 10's wait states): hold off until enough requests have
+  // accumulated, unless one has already waited past the override.
+  const bool batch_ready =
+      static_cast<std::int32_t>(problem.requests.size()) >=
+          config.min_pending_requests ||
+      (config.max_batch_wait > 0.0 && oldest_wait >= config.max_batch_wait);
+  if (!batch_ready) problem.requests.clear();
+  for (std::size_t r = 0; r < state.resource_busy.size(); ++r) {
+    if (state.resource_busy[r]) continue;
+    problem.free_resources.push_back(
+        core::FreeResource{static_cast<topo::ResourceId>(r),
+                           state.resource_pref[r], state.resource_type[r]});
+  }
+  if (!problem.requests.empty() && !problem.free_resources.empty()) {
+    std::map<std::int32_t, std::pair<std::int64_t, std::int64_t>> by_type;
+    for (const core::Request& rq : problem.requests) ++by_type[rq.type].first;
+    for (const core::FreeResource& fr : problem.free_resources) {
+      ++by_type[fr.type].second;
+    }
+    std::int64_t opportunities = 0;
+    for (const auto& [type, counts] : by_type) {
+      opportunities += std::min(counts.first, counts.second);
+    }
+
+    const core::ScheduleResult result = scheduler.schedule(problem);
+    const auto violation = core::verify_schedule(problem, result);
+    RSIN_ENSURE(!violation, "scheduler produced an unrealizable schedule: " +
+                                violation.value_or(""));
+
+    if (state.measuring) {
+      state.opportunities += opportunities;
+      state.allocated += static_cast<std::int64_t>(result.allocated());
+      ++state.cycles;
+    }
+
+    const double now = state.events.now();
+    for (const core::Assignment& assignment : result.assignments) {
+      const auto p = static_cast<std::size_t>(assignment.request.processor);
+      const auto r = static_cast<std::size_t>(assignment.resource.resource);
+      Task task = state.queue[p].front();
+      state.queue[p].pop_front();
+      state.queued_tasks.update(now, state.total_queued());
+      state.transmitting[p] = 1;
+      state.resource_busy[r] = 1;
+      state.busy_resources.update(
+          now, std::count(state.resource_busy.begin(),
+                          state.resource_busy.end(), char{1}));
+      if (state.measuring) {
+        state.wait_time.add(now - task.arrival);
+        if (task.priority > 0) {
+          state.wait_by_priority[task.priority].add(now - task.arrival);
+        }
+      }
+
+      // Circuit released after transmission; resource completes after
+      // transmission + service.
+      const topo::Circuit circuit = assignment.circuit;
+      state.net.establish(circuit);
+      state.events.schedule_in(config.transmission_time, [&state, circuit] {
+        state.net.release(circuit);
+        state.transmitting[static_cast<std::size_t>(circuit.processor)] = 0;
+      });
+      const double service =
+          state.rng.exponential(1.0 / config.mean_service_time);
+      state.events.schedule_in(
+          config.transmission_time + service, [&state, r, task] {
+            state.resource_busy[r] = 0;
+            state.busy_resources.update(
+                state.events.now(),
+                std::count(state.resource_busy.begin(),
+                           state.resource_busy.end(), char{1}));
+            ++state.tasks_completed;
+            if (state.measuring) {
+              state.response_time.add(state.events.now() - task.arrival);
+            }
+          });
+    }
+  }
+  state.events.schedule_in(config.cycle_interval, [&state, &config,
+                                                   &scheduler] {
+    run_scheduling_cycle(state, config, scheduler);
+  });
+}
+
+void schedule_arrival(SystemState& state, const SystemConfig& config,
+                      topo::ProcessorId p) {
+  const double gap = state.rng.exponential(config.arrival_rate);
+  state.events.schedule_in(gap, [&state, &config, p] {
+    Task task;
+    task.arrival = state.events.now();
+    task.type = config.resource_types > 1
+                    ? static_cast<std::int32_t>(
+                          state.rng.uniform_int(0, config.resource_types - 1))
+                    : 0;
+    task.priority = config.priority_levels > 0
+                        ? static_cast<std::int32_t>(state.rng.uniform_int(
+                              1, config.priority_levels))
+                        : 0;
+    state.queue[static_cast<std::size_t>(p)].push_back(task);
+    state.queued_tasks.update(state.events.now(), state.total_queued());
+    ++state.tasks_arrived;
+    schedule_arrival(state, config, p);
+  });
+}
+
+}  // namespace
+
+SystemMetrics simulate_system(const topo::Network& net,
+                              core::Scheduler& scheduler,
+                              const SystemConfig& config) {
+  RSIN_REQUIRE(config.arrival_rate > 0, "arrival rate must be positive");
+  RSIN_REQUIRE(config.cycle_interval > 0, "cycle interval must be positive");
+  SystemState state(net, config);
+
+  for (topo::ProcessorId p = 0; p < state.net.processor_count(); ++p) {
+    schedule_arrival(state, config, p);
+  }
+  state.events.schedule_in(config.cycle_interval, [&state, &config,
+                                                   &scheduler] {
+    run_scheduling_cycle(state, config, scheduler);
+  });
+
+  state.events.run_until(config.warmup_time);
+  state.measuring = true;
+  state.busy_resources.reset(state.events.now());
+  state.queued_tasks.reset(state.events.now());
+  state.tasks_arrived = 0;
+  state.tasks_completed = 0;
+
+  const double end_time = config.warmup_time + config.measure_time;
+  state.events.run_until(end_time);
+
+  SystemMetrics metrics;
+  metrics.resource_utilization =
+      state.busy_resources.average(end_time) /
+      static_cast<double>(state.net.resource_count());
+  metrics.mean_response_time = state.response_time.mean();
+  metrics.mean_wait_time = state.wait_time.mean();
+  metrics.blocking_probability =
+      state.opportunities > 0
+          ? 1.0 - static_cast<double>(state.allocated) /
+                      static_cast<double>(state.opportunities)
+          : 0.0;
+  metrics.mean_queue_length = state.queued_tasks.average(end_time);
+  for (const auto& [priority, stat] : state.wait_by_priority) {
+    metrics.mean_wait_by_priority[priority] = stat.mean();
+  }
+  metrics.tasks_arrived = state.tasks_arrived;
+  metrics.tasks_completed = state.tasks_completed;
+  metrics.scheduling_cycles = state.cycles;
+  return metrics;
+}
+
+}  // namespace rsin::sim

@@ -1,0 +1,519 @@
+#include "token/element_machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "token/registered_trace.hpp"
+#include "util/error.hpp"
+
+namespace rsin::token {
+namespace {
+
+using topo::kInvalidId;
+using topo::LinkId;
+using topo::NodeKind;
+
+/// Anonymous token signals on a link wire. kReqForward travels from->to;
+/// kReqBackward to->from; resource tokens and backtracks travel whichever
+/// way the driving end faces, so the wire records who drove it.
+enum class Signal : std::uint8_t {
+  kNone,
+  kReqForward,
+  kReqBackward,
+  kResToken,
+  kResBacktrack,
+};
+
+struct Wire {
+  Signal signal = Signal::kNone;
+  bool driven_by_from = false;  ///< True when the link's from-end drove it.
+};
+
+/// The phase register every element derives, identically, from the latched
+/// status-bus value (the synchronization theorem of Section IV-B-3).
+enum class Phase : std::uint8_t {
+  kIdle,
+  kReq,     // request-token propagation (E3)
+  kSettle,  // one clock after E6
+  kRes,     // resource-token propagation (E4)
+  kReg,     // path registration (E5)
+  kAlloc,   // bonding / cycle end
+  kDone,
+};
+
+Phase next_phase(Phase phase, std::uint8_t bus) {
+  switch (phase) {
+    case Phase::kIdle:
+      return (bus & kRequestPending) && (bus & kResourceReady) ? Phase::kReq
+                                                               : Phase::kIdle;
+    case Phase::kReq:
+      if (bus & kResourceReached) return Phase::kSettle;
+      if (!(bus & kRequestTokenPhase)) return Phase::kAlloc;
+      return Phase::kReq;
+    case Phase::kSettle:
+      return Phase::kRes;
+    case Phase::kRes:
+      return (bus & kResourceTokenPhase) ? Phase::kRes : Phase::kReg;
+    case Phase::kReg:
+      return Phase::kReq;
+    case Phase::kAlloc:
+      return Phase::kDone;
+    case Phase::kDone:
+      return Phase::kDone;
+  }
+  return Phase::kDone;
+}
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kIdle:
+      return "idle";
+    case Phase::kReq:
+      return "request-token propagation";
+    case Phase::kSettle:
+      return "RS reached (E6 settle)";
+    case Phase::kRes:
+      return "resource-token propagation";
+    case Phase::kReg:
+      return "path registration";
+    case Phase::kAlloc:
+      return "allocation";
+    case Phase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+enum class LState : std::uint8_t { kFree, kRegistered, kOccupied };
+
+/// One switchbox port: its link plus the NS-local registers of Section IV
+/// (marking bit, reservation bit, pairing — the pairing register doubles as
+/// the final switch setting).
+struct Port {
+  LinkId link = kInvalidId;
+  bool is_in = false;       ///< This NS is the link's to-end.
+  bool sent_request = false;  ///< We drove the request token over this port.
+  bool recv_request = false;  ///< Request token accepted via this port.
+  bool cleared = false;       ///< Recv mark erased by a backtrack.
+  bool reserved = false;      ///< Resource-token exit reservation.
+  bool res_passed = false;    ///< A resource token passed (send side).
+  int arrival = -1;  ///< Exit ports: index of the token's arrival port.
+};
+
+struct NsElement {
+  std::vector<Port> ports;
+  bool visited = false;
+
+  void reset() {
+    visited = false;
+    for (Port& port : ports) {
+      port.sent_request = port.recv_request = port.cleared = false;
+      port.reserved = port.res_passed = false;
+      port.arrival = -1;
+    }
+  }
+};
+
+struct RqElement {
+  LinkId link = kInvalidId;
+  bool pending = false;
+  bool bonded = false;
+  bool res_passed = false;  ///< Resource token arrived (register at kReg).
+};
+
+struct RsElement {
+  LinkId link = kInvalidId;
+  bool ready = false;
+  bool bonded = false;
+  bool accepted = false;  ///< Received a request token this iteration.
+};
+
+}  // namespace
+
+struct ElementMachine::Impl {
+  const core::Problem& problem;
+  const topo::Network& net;
+
+  std::vector<LState> link_state;
+  std::vector<Wire> wires_now;
+  std::vector<Wire> wires_next;
+  std::vector<RqElement> rqs;
+  std::vector<RsElement> rss;
+  std::vector<NsElement> nss;
+
+  Phase phase = Phase::kIdle;
+  std::uint8_t bus_prev = 0;
+  std::uint8_t bus_now = 0;
+  ElementStats* stats = nullptr;
+  std::int64_t clock = 0;
+
+  explicit Impl(const core::Problem& p) : problem(p), net(*p.network) {
+    link_state.assign(static_cast<std::size_t>(net.link_count()),
+                      LState::kFree);
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      if (net.link(l).occupied) {
+        link_state[static_cast<std::size_t>(l)] = LState::kOccupied;
+      }
+    }
+    wires_now.assign(static_cast<std::size_t>(net.link_count()), {});
+    wires_next.assign(static_cast<std::size_t>(net.link_count()), {});
+
+    rqs.resize(static_cast<std::size_t>(net.processor_count()));
+    for (topo::ProcessorId p_id = 0; p_id < net.processor_count(); ++p_id) {
+      rqs[static_cast<std::size_t>(p_id)].link = net.processor_link(p_id);
+    }
+    for (const core::Request& request : problem.requests) {
+      rqs[static_cast<std::size_t>(request.processor)].pending = true;
+    }
+    rss.resize(static_cast<std::size_t>(net.resource_count()));
+    for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+      rss[static_cast<std::size_t>(r)].link = net.resource_link(r);
+    }
+    for (const core::FreeResource& resource : problem.free_resources) {
+      rss[static_cast<std::size_t>(resource.resource)].ready = true;
+    }
+    nss.resize(static_cast<std::size_t>(net.switch_count()));
+    for (topo::SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+      NsElement& ns = nss[static_cast<std::size_t>(sw)];
+      for (const LinkId l : net.switch_in_links(sw)) {
+        ns.ports.push_back(Port{l, true, false, false, false, false, false,
+                                -1});
+      }
+      for (const LinkId l : net.switch_out_links(sw)) {
+        ns.ports.push_back(Port{l, false, false, false, false, false, false,
+                                -1});
+      }
+    }
+  }
+
+  // --- wire helpers -------------------------------------------------------
+
+  /// Drives `signal` on `link` from the given end (next clock's value).
+  void drive(LinkId link, Signal signal, bool from_end) {
+    RSIN_ENSURE(link != kInvalidId, "drive on an unwired port");
+    Wire& wire = wires_next[static_cast<std::size_t>(link)];
+    RSIN_ENSURE(wire.signal == Signal::kNone,
+                "two elements drove one wire in one clock");
+    wire.signal = signal;
+    wire.driven_by_from = from_end;
+    if (stats) ++stats->signals_driven;
+  }
+
+  [[nodiscard]] LState state_of(LinkId link) const {
+    return link_state[static_cast<std::size_t>(link)];
+  }
+
+  // --- per-phase element behaviour ---------------------------------------
+
+  void reset_iteration_marks() {
+    for (NsElement& ns : nss) ns.reset();
+    for (RqElement& rq : rqs) rq.res_passed = false;
+    for (RsElement& rs : rss) rs.accepted = false;
+  }
+
+  /// RQs launch request tokens (entry into kReq).
+  void launch_requests() {
+    for (RqElement& rq : rqs) {
+      if (!rq.pending || rq.bonded || rq.link == kInvalidId) continue;
+      if (state_of(rq.link) != LState::kFree) continue;
+      drive(rq.link, Signal::kReqForward, /*from_end=*/true);
+      bus_now |= kRequestTokenPhase;
+    }
+  }
+
+  /// Handles all request-token deliveries of this clock.
+  void deliver_request_tokens() {
+    // Group arrivals per switch so the first-batch rule sees them together.
+    std::map<topo::SwitchId, std::vector<std::size_t>> ns_arrivals;
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      const Wire& wire = wires_now[static_cast<std::size_t>(l)];
+      if (wire.signal != Signal::kReqForward &&
+          wire.signal != Signal::kReqBackward) {
+        continue;
+      }
+      const bool forward = wire.signal == Signal::kReqForward;
+      const topo::PortRef& receiver_ref =
+          forward ? net.link(l).to : net.link(l).from;
+      switch (receiver_ref.kind) {
+        case NodeKind::kSwitch: {
+          NsElement& ns = nss[static_cast<std::size_t>(receiver_ref.node)];
+          for (std::size_t i = 0; i < ns.ports.size(); ++i) {
+            if (ns.ports[i].link == l) {
+              ns_arrivals[receiver_ref.node].push_back(i);
+              break;
+            }
+          }
+          break;
+        }
+        case NodeKind::kResource: {
+          RsElement& rs = rss[static_cast<std::size_t>(receiver_ref.node)];
+          if (rs.ready && !rs.bonded && !rs.accepted) {
+            rs.accepted = true;
+            bus_now |= kResourceReached;  // E6
+          }
+          break;
+        }
+        case NodeKind::kProcessor:
+          break;  // backward token absorbed by a bonded RQ
+      }
+    }
+
+    for (auto& [sw, arrivals] : ns_arrivals) {
+      NsElement& ns = nss[static_cast<std::size_t>(sw)];
+      if (ns.visited) continue;  // not the first batch: tokens discarded
+      ns.visited = true;
+      for (const std::size_t i : arrivals) ns.ports[i].recv_request = true;
+      // Duplicate: forward onto free output ports, backward onto
+      // registered input ports (ports already carrying a mark excluded).
+      for (Port& port : ns.ports) {
+        if (port.recv_request || port.sent_request) continue;
+        if (!port.is_in && state_of(port.link) == LState::kFree) {
+          port.sent_request = true;
+          drive(port.link, Signal::kReqForward, /*from_end=*/true);
+          bus_now |= kRequestTokenPhase;
+        } else if (port.is_in && state_of(port.link) == LState::kRegistered) {
+          port.sent_request = true;
+          drive(port.link, Signal::kReqBackward, /*from_end=*/false);
+          bus_now |= kRequestTokenPhase;
+        }
+      }
+    }
+  }
+
+  /// RSs answer accepted request tokens (entry into kRes).
+  void launch_resource_tokens() {
+    for (RsElement& rs : rss) {
+      if (!rs.accepted) continue;
+      // The RS is its link's to-end; the token retraces toward the fabric.
+      drive(rs.link, Signal::kResToken, /*from_end=*/false);
+      bus_now |= kResourceTokenPhase;
+    }
+  }
+
+  /// Forwards a resource token that entered `ns` via port `entry`: picks an
+  /// unreserved accepted port as the exit, or backtracks.
+  void route_resource_token(NsElement& ns, std::size_t entry) {
+    Port& in_port = ns.ports[entry];
+    in_port.res_passed = true;
+    for (std::size_t i = 0; i < ns.ports.size(); ++i) {
+      Port& exit = ns.ports[i];
+      if (!exit.recv_request || exit.cleared || exit.reserved) continue;
+      exit.reserved = true;
+      exit.arrival = static_cast<int>(entry);
+      // The exit drives away from this NS: from-end when the port is an
+      // out port, to-end when it is an in port (cancellation retrace).
+      drive(exit.link, Signal::kResToken, /*from_end=*/!exit.is_in);
+      bus_now |= kResourceTokenPhase;
+      return;
+    }
+    // Dead end: retreat over the entry port, clearing its mark. This NS is
+    // the link's from-end exactly when the port is an out port.
+    in_port.res_passed = false;
+    in_port.sent_request = false;
+    drive(in_port.link, Signal::kResBacktrack, /*from_end=*/!in_port.is_in);
+    bus_now |= kResourceTokenPhase;
+  }
+
+  /// Handles all resource-token / backtrack deliveries of this clock.
+  void deliver_resource_tokens() {
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      const Wire& wire = wires_now[static_cast<std::size_t>(l)];
+      if (wire.signal != Signal::kResToken &&
+          wire.signal != Signal::kResBacktrack) {
+        continue;
+      }
+      const topo::PortRef& receiver_ref =
+          wire.driven_by_from ? net.link(l).to : net.link(l).from;
+      switch (receiver_ref.kind) {
+        case NodeKind::kProcessor: {
+          RSIN_ENSURE(wire.signal == Signal::kResToken,
+                      "backtrack delivered to an RQ");
+          RqElement& rq = rqs[static_cast<std::size_t>(receiver_ref.node)];
+          rq.bonded = true;
+          rq.res_passed = true;
+          break;
+        }
+        case NodeKind::kResource: {
+          RSIN_ENSURE(wire.signal == Signal::kResBacktrack,
+                      "resource token delivered back to an RS");
+          rss[static_cast<std::size_t>(receiver_ref.node)].accepted = false;
+          break;
+        }
+        case NodeKind::kSwitch: {
+          NsElement& ns = nss[static_cast<std::size_t>(receiver_ref.node)];
+          std::size_t index = ns.ports.size();
+          for (std::size_t i = 0; i < ns.ports.size(); ++i) {
+            if (ns.ports[i].link == l) {
+              index = i;
+              break;
+            }
+          }
+          RSIN_ENSURE(index < ns.ports.size(), "token on an unknown port");
+          if (wire.signal == Signal::kResToken) {
+            route_resource_token(ns, index);
+          } else {
+            // Backtrack arrived on an exit we reserved: clear it and try
+            // another exit for the token (whose arrival port we remember).
+            Port& exit = ns.ports[index];
+            RSIN_ENSURE(exit.reserved && exit.arrival >= 0,
+                        "backtrack on an unreserved port");
+            const auto entry = static_cast<std::size_t>(exit.arrival);
+            exit.reserved = false;
+            exit.cleared = true;
+            exit.arrival = -1;
+            route_resource_token(ns, entry);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  /// Path registration: every request-token sender toggles links a
+  /// surviving resource token passed over; RSs whose token never came back
+  /// bond.
+  void register_paths() {
+    bus_now |= kPathRegistration;
+    for (RqElement& rq : rqs) {
+      if (rq.res_passed) {
+        link_state[static_cast<std::size_t>(rq.link)] = LState::kRegistered;
+        rq.res_passed = false;
+      }
+    }
+    for (NsElement& ns : nss) {
+      for (Port& port : ns.ports) {
+        if (!port.sent_request || !port.res_passed) continue;
+        auto& state = link_state[static_cast<std::size_t>(port.link)];
+        if (port.is_in) {
+          RSIN_ENSURE(state == LState::kRegistered,
+                      "cancellation of a non-registered link");
+          state = LState::kFree;
+        } else {
+          RSIN_ENSURE(state == LState::kFree,
+                      "registration of a non-free link");
+          state = LState::kRegistered;
+        }
+      }
+    }
+    for (RsElement& rs : rss) {
+      if (rs.accepted) {
+        rs.bonded = true;
+        rs.accepted = false;
+      }
+    }
+  }
+
+  // --- the clock loop -----------------------------------------------------
+
+  [[nodiscard]] std::uint8_t static_bus_bits() const {
+    std::uint8_t bits = 0;
+    for (const RqElement& rq : rqs) {
+      if (rq.pending && !rq.bonded) bits |= kRequestPending;
+      if (rq.bonded) bits |= kBonded;
+    }
+    for (const RsElement& rs : rss) {
+      if (rs.ready && !rs.bonded) bits |= kResourceReady;
+    }
+    return bits;
+  }
+
+  core::ScheduleResult run(ElementStats* stats_out) {
+    stats = stats_out;
+    bus_prev = static_bus_bits();
+    if (stats) {
+      stats->bus_trace.push_back(BusSample{0, bus_prev, "idle"});
+    }
+
+    // Defensive bound: every phase makes progress within a few clocks per
+    // link, and there are at most min(P, R) iterations.
+    const std::int64_t limit =
+        64 + 8 * static_cast<std::int64_t>(net.link_count()) *
+                  (1 + std::min(net.processor_count(), net.resource_count()));
+
+    while (phase != Phase::kDone) {
+      RSIN_ENSURE(clock < limit, "element machine failed to converge");
+      ++clock;
+      if (stats) ++stats->clock_periods;
+
+      const Phase previous = phase;
+      phase = next_phase(phase, bus_prev);
+      (void)previous;
+      if (phase == Phase::kIdle) break;  // nothing to schedule
+      const bool entering = phase != previous;
+
+      std::swap(wires_now, wires_next);
+      for (Wire& wire : wires_next) wire = Wire{};
+      bus_now = static_bus_bits();
+
+      switch (phase) {
+        case Phase::kReq:
+          if (entering) {
+            reset_iteration_marks();
+            if (stats && previous == Phase::kReg) ++stats->iterations;
+            launch_requests();
+          } else {
+            deliver_request_tokens();
+          }
+          break;
+        case Phase::kSettle:
+          bus_now |= kResourceReached;
+          break;
+        case Phase::kRes:
+          if (entering) {
+            launch_resource_tokens();
+          } else {
+            deliver_resource_tokens();
+          }
+          break;
+        case Phase::kReg:
+          register_paths();
+          if (stats) ++stats->iterations;
+          break;
+        case Phase::kAlloc:
+        case Phase::kIdle:
+        case Phase::kDone:
+          break;
+      }
+
+      bus_prev = bus_now;
+      if (stats) {
+        stats->bus_trace.push_back(BusSample{clock, bus_now,
+                                             phase_name(phase)});
+      }
+    }
+
+    // Extraction: registered links + bonded terminals.
+    std::vector<std::uint8_t> registered(
+        static_cast<std::size_t>(net.link_count()), 0);
+    for (LinkId l = 0; l < net.link_count(); ++l) {
+      registered[static_cast<std::size_t>(l)] =
+          link_state[static_cast<std::size_t>(l)] == LState::kRegistered ? 1
+                                                                         : 0;
+    }
+    std::vector<std::uint8_t> rq_bonded(rqs.size(), 0);
+    for (std::size_t p = 0; p < rqs.size(); ++p) {
+      rq_bonded[p] = rqs[p].bonded ? 1 : 0;
+    }
+    std::vector<std::uint8_t> rs_bonded(rss.size(), 0);
+    for (std::size_t r = 0; r < rss.size(); ++r) {
+      rs_bonded[r] = rss[r].bonded ? 1 : 0;
+    }
+    return trace_registered_circuits(problem, registered, rq_bonded,
+                                     rs_bonded);
+  }
+};
+
+ElementMachine::ElementMachine(const core::Problem& problem)
+    : problem_(problem) {
+  problem.validate();
+  RSIN_REQUIRE(problem.types().size() <= 1,
+               "the element machine implements the homogeneous no-priority "
+               "discipline (Section IV-B)");
+}
+
+core::ScheduleResult ElementMachine::run(ElementStats* stats) {
+  Impl impl(problem_);
+  return impl.run(stats);
+}
+
+}  // namespace rsin::token

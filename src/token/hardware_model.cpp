@@ -1,0 +1,28 @@
+#include "token/hardware_model.hpp"
+
+namespace rsin::token {
+
+HardwareCost estimate_hardware(const topo::Network& net,
+                               const HardwareModel& model) {
+  HardwareCost cost;
+  const auto add_element = [&](std::int64_t ports) {
+    ++cost.elements;
+    cost.registers += model.state_bits + ports * model.flops_per_port;
+    cost.gates += model.gates_per_element + ports * model.gates_per_port;
+    cost.bus_taps += model.bus_taps_per_element;
+  };
+
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    add_element(1);  // RQ: one output port
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    add_element(1);  // RS: one input port
+  }
+  for (topo::SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    add_element(static_cast<std::int64_t>(net.switch_in_links(sw).size()) +
+                static_cast<std::int64_t>(net.switch_out_links(sw).size()));
+  }
+  return cost;
+}
+
+}  // namespace rsin::token

@@ -1,0 +1,51 @@
+// First-order hardware cost model for the distributed architecture.
+//
+// Section IV-B closes with: "a distributed process at an NS, RQ, or RS does
+// nothing but distribute the token according to the global status and local
+// conditions. It can be realized easily by a finite-state machine ... The
+// design has a very low gate count and a very short token propagation
+// delay." This model quantifies that claim so bench_hardware_cost can show
+// the per-switch overhead is a small constant and the total grows linearly
+// with the fabric (n log n elements for an n x n MIN), while the monitor
+// architecture needs a full processor plus status memory.
+//
+// Constants are first-order estimates, documented rather than synthesized:
+//   * one marking flip-flop per switch port (the paper's "bit array
+//     associated with each port"), plus one reservation flip-flop per port
+//     for the resource-token phase;
+//   * a 3-bit state register per element (the phases of Fig. 10 an element
+//     must distinguish locally);
+//   * ~6 combinational gates per port for the duplication/backtrack rules
+//     and ~10 per element of glue;
+//   * one wired-OR bus tap per Table-I event the element drives (3 for
+//     each of RQ, RS, NS).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/network.hpp"
+
+namespace rsin::token {
+
+struct HardwareCost {
+  std::int64_t elements = 0;   ///< RQs + RSs + NSs.
+  std::int64_t registers = 0;  ///< Flip-flops (state + markings).
+  std::int64_t gates = 0;      ///< Combinational gate estimate.
+  std::int64_t bus_taps = 0;   ///< Wired-OR connections to the status bus.
+};
+
+/// Per-element model constants (exposed for the tests and the bench).
+struct HardwareModel {
+  std::int32_t state_bits = 3;
+  std::int32_t flops_per_port = 2;   // marking + reservation
+  std::int32_t gates_per_port = 6;
+  std::int32_t gates_per_element = 10;
+  std::int32_t bus_taps_per_element = 3;
+};
+
+/// Totals for a network: one NS per switchbox (ports = its in + out), one
+/// RQ per processor (1 port), one RS per resource (1 port).
+HardwareCost estimate_hardware(const topo::Network& net,
+                               const HardwareModel& model = {});
+
+}  // namespace rsin::token

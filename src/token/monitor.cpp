@@ -1,0 +1,34 @@
+#include "token/monitor.hpp"
+
+#include "core/transform.hpp"
+
+namespace rsin::token {
+
+core::ScheduleResult Monitor::run(const core::Problem& problem,
+                                  MonitorStats* stats) const {
+  core::TransformResult transformed = core::transformation1(problem);
+  if (stats) {
+    // One instruction per node and arc materialized from the status scan.
+    stats->transform_instructions =
+        static_cast<std::int64_t>(transformed.net.node_count()) +
+        static_cast<std::int64_t>(transformed.net.arc_count());
+  }
+
+  const flow::MaxFlowResult flow_stats =
+      flow::max_flow(transformed.net, algorithm_);
+  if (stats) stats->flow_instructions = flow_stats.operations;
+
+  core::ScheduleResult result =
+      core::extract_schedule(problem, transformed);
+  if (stats) {
+    std::int64_t steps = 0;
+    for (const core::Assignment& assignment : result.assignments) {
+      steps += static_cast<std::int64_t>(assignment.circuit.links.size()) + 2;
+    }
+    stats->extract_instructions = steps;
+  }
+  result.operations = stats ? stats->total() : flow_stats.operations;
+  return result;
+}
+
+}  // namespace rsin::token

@@ -1,0 +1,45 @@
+// The monitor architecture of Section IV (Fig. 6): a dedicated sequential
+// processor that snapshots network status, builds the Transformation-1 flow
+// network, runs a software max-flow algorithm, and acknowledges the
+// allocated requests.
+//
+// Its cost model is the paper's: "the implementation is sequential, and the
+// overhead is measured by the number of instructions executed in the
+// algorithm". We count one instruction per flow-network arc constructed,
+// per residual-edge inspection inside the max-flow solver, and per arc
+// visited while extracting circuits. The token architecture's cost is
+// measured in clock periods instead; bench_token_vs_monitor compares the
+// two, reproducing the paper's claimed speedup factors ("augmenting paths
+// searched in parallel" and "gate delays instead of instruction cycles").
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "flow/max_flow.hpp"
+
+namespace rsin::token {
+
+struct MonitorStats {
+  std::int64_t transform_instructions = 0;  ///< Flow-network construction.
+  std::int64_t flow_instructions = 0;       ///< Max-flow edge inspections.
+  std::int64_t extract_instructions = 0;    ///< Circuit tracing.
+  [[nodiscard]] std::int64_t total() const {
+    return transform_instructions + flow_instructions + extract_instructions;
+  }
+};
+
+/// Runs one scheduling cycle of the monitor architecture.
+class Monitor {
+ public:
+  explicit Monitor(
+      flow::MaxFlowAlgorithm algorithm = flow::MaxFlowAlgorithm::kDinic)
+      : algorithm_(algorithm) {}
+
+  core::ScheduleResult run(const core::Problem& problem,
+                           MonitorStats* stats = nullptr) const;
+
+ private:
+  flow::MaxFlowAlgorithm algorithm_;
+};
+
+}  // namespace rsin::token

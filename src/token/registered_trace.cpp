@@ -1,0 +1,65 @@
+#include "token/registered_trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsin::token {
+
+core::ScheduleResult trace_registered_circuits(
+    const core::Problem& problem,
+    const std::vector<std::uint8_t>& link_registered,
+    const std::vector<std::uint8_t>& rq_bonded,
+    const std::vector<std::uint8_t>& rs_bonded) {
+  const topo::Network& net = *problem.network;
+  std::vector<std::uint8_t> consumed(
+      static_cast<std::size_t>(net.link_count()), 0);
+  core::ScheduleResult result;
+
+  for (const core::Request& request : problem.requests) {
+    if (!rq_bonded[static_cast<std::size_t>(request.processor)]) continue;
+    const topo::LinkId start = net.processor_link(request.processor);
+    RSIN_ENSURE(start != topo::kInvalidId &&
+                    link_registered[static_cast<std::size_t>(start)],
+                "bonded RQ without a registered output link");
+    topo::Circuit circuit;
+    circuit.processor = request.processor;
+    circuit.links.push_back(start);
+    consumed[static_cast<std::size_t>(start)] = 1;
+    topo::PortRef at = net.link(start).to;
+    while (at.kind == topo::NodeKind::kSwitch) {
+      bool advanced = false;
+      for (const topo::LinkId out : net.switch_out_links(at.node)) {
+        if (out == topo::kInvalidId) continue;
+        const auto i = static_cast<std::size_t>(out);
+        if (!link_registered[i] || consumed[i]) continue;
+        consumed[i] = 1;
+        circuit.links.push_back(out);
+        at = net.link(out).to;
+        advanced = true;
+        break;
+      }
+      RSIN_ENSURE(advanced, "registered-link conservation violated");
+    }
+    RSIN_ENSURE(at.kind == topo::NodeKind::kResource,
+                "registered path must end at a resource");
+    circuit.resource = at.node;
+    RSIN_ENSURE(rs_bonded[static_cast<std::size_t>(at.node)],
+                "registered path ends at an unbonded resource");
+
+    core::Assignment assignment;
+    assignment.request = request;
+    const auto resource_it = std::find_if(
+        problem.free_resources.begin(), problem.free_resources.end(),
+        [&](const core::FreeResource& r) { return r.resource == at.node; });
+    RSIN_ENSURE(resource_it != problem.free_resources.end(),
+                "bonded resource not in the free set");
+    assignment.resource = *resource_it;
+    assignment.circuit = std::move(circuit);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = core::schedule_cost(problem, result);
+  return result;
+}
+
+}  // namespace rsin::token

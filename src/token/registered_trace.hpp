@@ -1,0 +1,23 @@
+// Shared end-of-cycle extraction for the two distributed-machine
+// implementations: registered links form link-disjoint processor->resource
+// paths (flow conservation at every switch), which this helper traces into
+// a realizable schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace rsin::token {
+
+/// `link_registered[l]` marks the links carrying allocated circuits;
+/// `rq_bonded` / `rs_bonded` are indexed by processor / resource id.
+core::ScheduleResult trace_registered_circuits(
+    const core::Problem& problem,
+    const std::vector<std::uint8_t>& link_registered,
+    const std::vector<std::uint8_t>& rq_bonded,
+    const std::vector<std::uint8_t>& rs_bonded);
+
+}  // namespace rsin::token

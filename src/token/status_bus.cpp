@@ -1,0 +1,19 @@
+#include "token/status_bus.hpp"
+
+namespace rsin::token {
+
+std::string bus_vector(std::uint8_t bits) {
+  std::string out(7, '0');
+  for (int b = 0; b < 7; ++b) {
+    if (bits & (1u << (6 - b))) out[static_cast<std::size_t>(b)] = '1';
+  }
+  return out;
+}
+
+std::string bus_vector_x(std::uint8_t bits) {
+  std::string out = bus_vector(bits);
+  out.back() = 'x';
+  return out;
+}
+
+}  // namespace rsin::token

@@ -1,0 +1,51 @@
+// The seven-bit wired-OR status bus of Section IV-B(3) / Table I.
+//
+// Each bit is the logical OR of one status bit per participating element;
+// the bus value therefore encodes the global phase of the distributed
+// machine, and every element can react to a phase change in a single clock.
+// Bit assignments follow Table I (E1 is the MSB, E7 the LSB):
+//
+//   bit 6  E1  request pending                (RQs)
+//   bit 5  E2  resource ready                 (RSs)
+//   bit 4  E3  request-token propagation      (RQs, NSs)
+//   bit 3  E4  resource-token propagation     (RSs, NSs)
+//   bit 2  E5  path registration              (NSs)
+//   bit 1  E6  an RS has received a token     (RSs)
+//   bit 0  E7  an RQ is bonded to an RS       (RQs)
+//
+// The paper's example vectors — request-token propagation reads 111000x,
+// the E6 handshake 111001x, resource-token propagation 110100x, path
+// registration 110110x — are reproduced by TokenMachine's bus trace and
+// asserted in the tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsin::token {
+
+enum BusBit : std::uint8_t {
+  kRequestPending = 1u << 6,       // E1
+  kResourceReady = 1u << 5,        // E2
+  kRequestTokenPhase = 1u << 4,    // E3
+  kResourceTokenPhase = 1u << 3,   // E4
+  kPathRegistration = 1u << 2,     // E5
+  kResourceReached = 1u << 1,      // E6
+  kBonded = 1u << 0,               // E7
+};
+
+/// One observed bus state with the clock period at which it appeared.
+struct BusSample {
+  std::int64_t clock = 0;
+  std::uint8_t bits = 0;
+  std::string label;  ///< Human-readable phase name for traces.
+};
+
+/// Renders bits as the paper's 7-character vector, e.g. "1110001".
+std::string bus_vector(std::uint8_t bits);
+
+/// Renders with the LSB (E7) shown as the paper's don't-care 'x'.
+std::string bus_vector_x(std::uint8_t bits);
+
+}  // namespace rsin::token

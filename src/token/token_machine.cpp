@@ -1,0 +1,400 @@
+#include "token/token_machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsin::token {
+
+using topo::kInvalidId;
+using topo::LinkId;
+using topo::NodeKind;
+
+TokenMachine::TokenMachine(const core::Problem& problem)
+    : problem_(problem), net_(*problem.network) {
+  problem.validate();
+  RSIN_REQUIRE(problem.types().size() <= 1,
+               "the token architecture implements the homogeneous "
+               "no-priority discipline (Section IV-B)");
+}
+
+TokenMachine::Element TokenMachine::link_sender(LinkId link,
+                                                Traversal t) const {
+  const topo::Link& l = net_.link(link);
+  // Forward = the request token moved from the link's from-endpoint to its
+  // to-endpoint; backward = the reverse (a cancellation move).
+  const topo::PortRef& ref = t == Traversal::kBackward ? l.to : l.from;
+  return Element{ref.kind, ref.node};
+}
+
+TokenMachine::Element TokenMachine::link_receiver(LinkId link,
+                                                  Traversal t) const {
+  const topo::Link& l = net_.link(link);
+  const topo::PortRef& ref = t == Traversal::kBackward ? l.from : l.to;
+  return Element{ref.kind, ref.node};
+}
+
+void TokenMachine::start_cycle() {
+  link_state_.assign(static_cast<std::size_t>(net_.link_count()),
+                     LinkState::kFree);
+  for (LinkId l = 0; l < net_.link_count(); ++l) {
+    if (net_.link(l).occupied) {
+      link_state_[static_cast<std::size_t>(l)] = LinkState::kOccupied;
+    }
+  }
+  rq_pending_.assign(static_cast<std::size_t>(net_.processor_count()), 0);
+  rq_bonded_.assign(static_cast<std::size_t>(net_.processor_count()), 0);
+  for (const core::Request& request : problem_.requests) {
+    rq_pending_[static_cast<std::size_t>(request.processor)] = 1;
+  }
+  rs_ready_.assign(static_cast<std::size_t>(net_.resource_count()), 0);
+  rs_bonded_.assign(static_cast<std::size_t>(net_.resource_count()), 0);
+  for (const core::FreeResource& resource : problem_.free_resources) {
+    rs_ready_[static_cast<std::size_t>(resource.resource)] = 1;
+  }
+}
+
+std::uint8_t TokenMachine::bus_bits(bool e3, bool e4, bool e5,
+                                    bool e6) const {
+  std::uint8_t bits = 0;
+  for (std::size_t p = 0; p < rq_pending_.size(); ++p) {
+    if (rq_pending_[p] && !rq_bonded_[p]) {
+      bits |= kRequestPending;
+      break;
+    }
+  }
+  for (std::size_t r = 0; r < rs_ready_.size(); ++r) {
+    if (rs_ready_[r] && !rs_bonded_[r]) {
+      bits |= kResourceReady;
+      break;
+    }
+  }
+  if (e3) bits |= kRequestTokenPhase;
+  if (e4) bits |= kResourceTokenPhase;
+  if (e5) bits |= kPathRegistration;
+  if (e6) bits |= kResourceReached;
+  for (const char bonded : rq_bonded_) {
+    if (bonded) {
+      bits |= kBonded;
+      break;
+    }
+  }
+  return bits;
+}
+
+void TokenMachine::sample_bus(TokenStats* stats, std::int64_t clock, bool e3,
+                              bool e4, bool e5, bool e6,
+                              const std::string& label) const {
+  if (!stats) return;
+  stats->bus_trace.push_back(BusSample{clock, bus_bits(e3, e4, e5, e6), label});
+}
+
+std::vector<topo::ResourceId> TokenMachine::request_token_phase(
+    TokenStats* stats) {
+  traversed_.assign(static_cast<std::size_t>(net_.link_count()),
+                    Traversal::kNone);
+  recv_accepted_.assign(static_cast<std::size_t>(net_.link_count()), 0);
+  cleared_.assign(static_cast<std::size_t>(net_.link_count()), 0);
+  reserved_.assign(static_cast<std::size_t>(net_.link_count()), 0);
+
+  std::vector<char> visited_switch(
+      static_cast<std::size_t>(net_.switch_count()), 0);
+  std::vector<topo::ResourceId> reached;
+
+  // Clock 0: every pending, unbonded RQ with a free output link launches a
+  // request token onto that link.
+  std::vector<LinkId> in_flight;
+  for (std::size_t p = 0; p < rq_pending_.size(); ++p) {
+    if (!rq_pending_[p] || rq_bonded_[p]) continue;
+    const LinkId l = net_.processor_link(static_cast<topo::ProcessorId>(p));
+    if (l == kInvalidId || link_state_[static_cast<std::size_t>(l)] !=
+                               LinkState::kFree) {
+      continue;
+    }
+    traversed_[static_cast<std::size_t>(l)] = Traversal::kForward;
+    in_flight.push_back(l);
+  }
+
+  while (!in_flight.empty() && reached.empty()) {
+    if (stats) {
+      ++stats->clock_periods;
+      stats->tokens_propagated +=
+          static_cast<std::int64_t>(in_flight.size());
+    }
+    // Group this clock's arrivals by receiving element (deterministic order
+    // via map) so the "first batch" rule is applied per element.
+    std::map<std::pair<int, std::int32_t>, std::vector<LinkId>> arrivals;
+    for (const LinkId l : in_flight) {
+      const Element receiver =
+          link_receiver(l, traversed_[static_cast<std::size_t>(l)]);
+      arrivals[{static_cast<int>(receiver.kind), receiver.index}].push_back(l);
+    }
+    in_flight.clear();
+
+    for (const auto& [key, links] : arrivals) {
+      const auto kind = static_cast<NodeKind>(key.first);
+      const std::int32_t index = key.second;
+      switch (kind) {
+        case NodeKind::kSwitch: {
+          if (visited_switch[static_cast<std::size_t>(index)]) break;
+          visited_switch[static_cast<std::size_t>(index)] = 1;
+          for (const LinkId l : links) {
+            recv_accepted_[static_cast<std::size_t>(l)] = 1;
+          }
+          // Duplicate onto free output ports (forward) and registered
+          // input ports (backward / cancellation).
+          for (const LinkId out : net_.switch_out_links(index)) {
+            if (out == kInvalidId) continue;
+            if (link_state_[static_cast<std::size_t>(out)] !=
+                    LinkState::kFree ||
+                traversed_[static_cast<std::size_t>(out)] !=
+                    Traversal::kNone) {
+              continue;
+            }
+            traversed_[static_cast<std::size_t>(out)] = Traversal::kForward;
+            in_flight.push_back(out);
+          }
+          for (const LinkId in : net_.switch_in_links(index)) {
+            if (in == kInvalidId) continue;
+            if (link_state_[static_cast<std::size_t>(in)] !=
+                    LinkState::kRegistered ||
+                traversed_[static_cast<std::size_t>(in)] != Traversal::kNone) {
+              continue;
+            }
+            traversed_[static_cast<std::size_t>(in)] = Traversal::kBackward;
+            in_flight.push_back(in);
+          }
+          break;
+        }
+        case NodeKind::kResource: {
+          if (!rs_ready_[static_cast<std::size_t>(index)] ||
+              rs_bonded_[static_cast<std::size_t>(index)]) {
+            break;  // busy resource: token dies
+          }
+          for (const LinkId l : links) {
+            recv_accepted_[static_cast<std::size_t>(l)] = 1;
+          }
+          reached.push_back(index);
+          break;
+        }
+        case NodeKind::kProcessor:
+          // A token propagated backward to a bonded RQ is absorbed.
+          break;
+      }
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+  return reached;
+}
+
+std::vector<TokenMachine::FoundPath> TokenMachine::resource_token_phase(
+    const std::vector<topo::ResourceId>& reached, TokenStats* stats) {
+  struct ResourceToken {
+    topo::ResourceId origin;
+    Element at;
+    std::vector<LinkId> stack;
+    bool active = true;
+  };
+
+  std::vector<ResourceToken> tokens;
+  tokens.reserve(reached.size());
+  for (const topo::ResourceId r : reached) {
+    tokens.push_back(
+        ResourceToken{r, Element{NodeKind::kResource, r}, {}, true});
+  }
+
+  std::vector<FoundPath> found;
+  bool any_active = !tokens.empty();
+  while (any_active) {
+    if (stats) ++stats->clock_periods;
+    any_active = false;
+    for (ResourceToken& token : tokens) {
+      if (!token.active) continue;
+      any_active = true;
+
+      // Candidate exits from the current element: links whose request
+      // token was *accepted* here, not cleared by a backtrack, and not
+      // already claimed by another resource token.
+      LinkId exit = kInvalidId;
+      const auto usable = [&](LinkId l) {
+        const auto i = static_cast<std::size_t>(l);
+        if (l == kInvalidId || traversed_[i] == Traversal::kNone) return false;
+        if (!recv_accepted_[i] || cleared_[i] || reserved_[i]) return false;
+        const Element receiver = link_receiver(l, traversed_[i]);
+        return receiver.kind == token.at.kind &&
+               receiver.index == token.at.index;
+      };
+      if (token.at.kind == NodeKind::kResource) {
+        const LinkId l = net_.resource_link(token.at.index);
+        if (usable(l)) exit = l;
+      } else {
+        for (const LinkId l : net_.switch_in_links(token.at.index)) {
+          if (usable(l)) {
+            exit = l;
+            break;
+          }
+        }
+        // Backward-traversed request tokens leave a switch through an
+        // *output* port (they arrived there cancelling a registered link),
+        // so those ports are also legal resource-token exits.
+        if (exit == kInvalidId) {
+          for (const LinkId l : net_.switch_out_links(token.at.index)) {
+            if (usable(l)) {
+              exit = l;
+              break;
+            }
+          }
+        }
+      }
+
+      if (exit != kInvalidId) {
+        reserved_[static_cast<std::size_t>(exit)] = 1;
+        token.stack.push_back(exit);
+        token.at =
+            link_sender(exit, traversed_[static_cast<std::size_t>(exit)]);
+        if (stats) ++stats->tokens_propagated;
+        if (token.at.kind == NodeKind::kProcessor) {
+          // Success: bond RQ and RS, record the path.
+          rq_bonded_[static_cast<std::size_t>(token.at.index)] = 1;
+          rs_bonded_[static_cast<std::size_t>(token.origin)] = 1;
+          found.push_back(
+              FoundPath{token.origin, token.at.index, token.stack});
+          token.active = false;
+        }
+        continue;
+      }
+
+      // Dead end: backtrack one link, clearing its marking so no other
+      // token repeats the attempt.
+      if (token.stack.empty()) {
+        token.active = false;  // returned to its RS: discarded
+        continue;
+      }
+      const LinkId back = token.stack.back();
+      token.stack.pop_back();
+      cleared_[static_cast<std::size_t>(back)] = 1;
+      reserved_[static_cast<std::size_t>(back)] = 0;
+      token.at = link_receiver(back, traversed_[static_cast<std::size_t>(back)]);
+      if (stats) ++stats->tokens_propagated;
+    }
+  }
+  return found;
+}
+
+void TokenMachine::register_paths(const std::vector<FoundPath>& paths) {
+  for (const FoundPath& path : paths) {
+    for (const LinkId l : path.links) {
+      const auto i = static_cast<std::size_t>(l);
+      switch (traversed_[i]) {
+        case Traversal::kForward:
+          RSIN_ENSURE(link_state_[i] == LinkState::kFree,
+                      "forward registration over a non-free link");
+          link_state_[i] = LinkState::kRegistered;
+          break;
+        case Traversal::kBackward:
+          RSIN_ENSURE(link_state_[i] == LinkState::kRegistered,
+                      "cancellation of a non-registered link");
+          link_state_[i] = LinkState::kFree;
+          break;
+        case Traversal::kNone:
+          RSIN_ENSURE(false, "registered path uses an untraversed link");
+      }
+    }
+  }
+}
+
+core::ScheduleResult TokenMachine::trace_circuits() const {
+  // Registered links form link-disjoint processor->resource paths (flow
+  // conservation at every switch); trace them greedily.
+  std::vector<char> consumed(static_cast<std::size_t>(net_.link_count()), 0);
+  core::ScheduleResult result;
+
+  for (const core::Request& request : problem_.requests) {
+    if (!rq_bonded_[static_cast<std::size_t>(request.processor)]) continue;
+    const LinkId start = net_.processor_link(request.processor);
+    RSIN_ENSURE(start != kInvalidId &&
+                    link_state_[static_cast<std::size_t>(start)] ==
+                        LinkState::kRegistered,
+                "bonded RQ without a registered output link");
+    topo::Circuit circuit;
+    circuit.processor = request.processor;
+    circuit.links.push_back(start);
+    consumed[static_cast<std::size_t>(start)] = 1;
+    topo::PortRef at = net_.link(start).to;
+    while (at.kind == NodeKind::kSwitch) {
+      bool advanced = false;
+      for (const LinkId out : net_.switch_out_links(at.node)) {
+        if (out == kInvalidId) continue;
+        const auto i = static_cast<std::size_t>(out);
+        if (link_state_[i] != LinkState::kRegistered || consumed[i]) continue;
+        consumed[i] = 1;
+        circuit.links.push_back(out);
+        at = net_.link(out).to;
+        advanced = true;
+        break;
+      }
+      RSIN_ENSURE(advanced, "registered-link conservation violated");
+    }
+    RSIN_ENSURE(at.kind == NodeKind::kResource,
+                "registered path must end at a resource");
+    circuit.resource = at.node;
+    RSIN_ENSURE(rs_bonded_[static_cast<std::size_t>(at.node)],
+                "registered path ends at an unbonded resource");
+
+    core::Assignment assignment;
+    assignment.request = request;
+    const auto resource_it = std::find_if(
+        problem_.free_resources.begin(), problem_.free_resources.end(),
+        [&](const core::FreeResource& r) { return r.resource == at.node; });
+    RSIN_ENSURE(resource_it != problem_.free_resources.end(),
+                "bonded resource not in the free set");
+    assignment.resource = *resource_it;
+    assignment.circuit = std::move(circuit);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = core::schedule_cost(problem_, result);
+  return result;
+}
+
+core::ScheduleResult TokenMachine::run(TokenStats* stats) {
+  start_cycle();
+  std::int64_t clock = 0;
+  sample_bus(stats, clock, false, false, false, false, "idle/pending");
+
+  while (true) {
+    // Request-token propagation (E3).
+    sample_bus(stats, clock, true, false, false, false,
+               "request-token propagation");
+    const std::int64_t before = stats ? stats->clock_periods : 0;
+    const std::vector<topo::ResourceId> reached = request_token_phase(stats);
+    clock += stats ? stats->clock_periods - before : 0;
+    if (reached.empty()) break;  // no augmenting path: cycle complete
+    if (stats) ++stats->iterations;
+
+    // An RS raises E6; the machine holds one clock so tokens settle.
+    if (stats) ++stats->clock_periods;
+    ++clock;
+    sample_bus(stats, clock, true, false, false, true, "RS reached (E6)");
+
+    // Resource-token propagation (E4).
+    sample_bus(stats, clock, false, true, false, false,
+               "resource-token propagation");
+    const std::int64_t before2 = stats ? stats->clock_periods : 0;
+    const std::vector<FoundPath> paths = resource_token_phase(reached, stats);
+    clock += stats ? stats->clock_periods - before2 : 0;
+    RSIN_ENSURE(!paths.empty(),
+                "a reached RS guarantees at least one augmenting path");
+
+    // Path registration (E5): one clock.
+    sample_bus(stats, clock, false, true, true, false, "path registration");
+    register_paths(paths);
+    if (stats) ++stats->clock_periods;
+    ++clock;
+  }
+
+  sample_bus(stats, clock, false, false, false, false, "allocation/bonded");
+  return trace_circuits();
+}
+
+}  // namespace rsin::token

@@ -1,0 +1,119 @@
+// Clock-accurate simulation of the distributed MRSIN architecture
+// (Section IV-B of the paper).
+//
+// The machine realizes Dinic's max-flow algorithm with anonymous tokens:
+//
+//  * request-token propagation — every pending RQ floods a token into the
+//    fabric; NSs duplicate onto free output ports (forward) and registered
+//    input ports (backward = flow cancellation), accepting only the first
+//    batch. The set of markings after this phase IS the layered network
+//    (Theorem 4).
+//  * resource-token propagation — each reached RS sends one token back
+//    through marked ports; tokens are never duplicated, collide one-per-
+//    port, and backtrack (clearing markings) at dead ends. The surviving
+//    token paths are a maximal flow of the layered network.
+//  * path registration — surviving paths toggle link state (free <->
+//    registered), i.e. the flow augmentation; touched RQ/RS pairs bond.
+//
+// Iterations repeat until request tokens reach no RS; registered links then
+// become occupied circuits. The result provably allocates the same number
+// of resources as Transformation 1 + max-flow (tested property), while the
+// cost is measured in *clock periods* (token hops are gate-delay class)
+// rather than the instruction count of the centralized monitor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "token/status_bus.hpp"
+
+namespace rsin::token {
+
+/// Statistics of one scheduling cycle of the distributed machine.
+struct TokenStats {
+  std::int64_t iterations = 0;     ///< Layered-network build/augment rounds.
+  std::int64_t clock_periods = 0;  ///< Total synchronized clock ticks.
+  std::int64_t tokens_propagated = 0;  ///< Individual link traversals.
+  std::vector<BusSample> bus_trace;    ///< Status-bus states (Fig. 10).
+};
+
+/// The distributed scheduler. Stateless between calls; each run() simulates
+/// one full scheduling cycle on the problem's network snapshot.
+class TokenMachine {
+ public:
+  explicit TokenMachine(const core::Problem& problem);
+
+  /// Runs a scheduling cycle; returns the resulting (realizable) schedule.
+  core::ScheduleResult run(TokenStats* stats = nullptr);
+
+ private:
+  enum class LinkState : std::uint8_t { kFree, kRegistered, kOccupied };
+  /// Request-token traversal mark on a link within the current iteration.
+  enum class Traversal : std::uint8_t { kNone, kForward, kBackward };
+
+  struct Element {  // discriminated reference into the physical network
+    topo::NodeKind kind;
+    std::int32_t index;
+  };
+
+  [[nodiscard]] Element link_sender(topo::LinkId link, Traversal t) const;
+  [[nodiscard]] Element link_receiver(topo::LinkId link, Traversal t) const;
+
+  void start_cycle();
+  /// One request-token phase; returns ids of RSs reached (empty = done).
+  std::vector<topo::ResourceId> request_token_phase(TokenStats* stats);
+  /// One resource-token phase; returns the augmenting paths found, each as
+  /// the ordered links from RS back to the RQ it bonded.
+  struct FoundPath {
+    topo::ResourceId resource;
+    topo::ProcessorId processor;
+    std::vector<topo::LinkId> links;  // in traversal order (RS -> RQ)
+  };
+  std::vector<FoundPath> resource_token_phase(
+      const std::vector<topo::ResourceId>& reached, TokenStats* stats);
+  void register_paths(const std::vector<FoundPath>& paths);
+
+  [[nodiscard]] std::uint8_t bus_bits(bool e3, bool e4, bool e5,
+                                      bool e6) const;
+  void sample_bus(TokenStats* stats, std::int64_t clock, bool e3, bool e4,
+                  bool e5, bool e6, const std::string& label) const;
+
+  core::ScheduleResult trace_circuits() const;
+
+  const core::Problem& problem_;
+  const topo::Network& net_;
+
+  std::vector<LinkState> link_state_;
+  std::vector<char> rq_pending_;  // per processor
+  std::vector<char> rq_bonded_;
+  std::vector<char> rs_ready_;  // per resource
+  std::vector<char> rs_bonded_;
+
+  // Per-iteration marking state.
+  std::vector<Traversal> traversed_;  // request-token direction per link
+  std::vector<char> recv_accepted_;   // receiving element took the token
+  std::vector<char> cleared_;         // marking erased by a backtrack
+  std::vector<char> reserved_;        // claimed by a resource token
+};
+
+/// core::Scheduler adapter: lets the distributed architecture drive the
+/// discrete-event system simulation and the Monte-Carlo experiments side by
+/// side with the software schedulers. `operations` in the returned schedule
+/// holds the cycle's clock-period count (the architecture's cost unit).
+class TokenScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "token-machine"; }
+
+  core::ScheduleResult schedule(const core::Problem& problem) override {
+    TokenMachine machine(problem);
+    TokenStats stats;
+    core::ScheduleResult result = machine.run(&stats);
+    result.operations = stats.clock_periods;
+    return result;
+  }
+};
+
+}  // namespace rsin::token

@@ -1,0 +1,200 @@
+#include "topo/benes_routing.hpp"
+
+#include <bit>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsin::topo {
+namespace {
+
+struct RoutedRequest {
+  ProcessorId in = kInvalidId;
+  ResourceId out = kInvalidId;
+  /// Subnetwork choice per recursion level l (bit m-1-l), filled by the
+  /// looping recursion.
+  std::vector<std::int32_t> sigma;
+};
+
+/// Looping recursion: assigns sigma[level] (the half-size subnetwork) for
+/// every request in `members`, then recurses into the two halves.
+void loop_assign(std::vector<RoutedRequest>& requests,
+                 const std::vector<std::size_t>& members, std::int32_t level,
+                 std::int32_t m) {
+  if (level >= m - 1) return;  // innermost 2x2 stage needs no choice
+  const std::int32_t b = m - 1 - level;
+  const std::int32_t low_mask = (1 << b) - 1;
+
+  // Pairing keys: requests sharing an outer input (output) switch have the
+  // same low bits of in (out) below bit b within this subproblem.
+  std::map<std::int32_t, std::vector<std::size_t>> by_in;
+  std::map<std::int32_t, std::vector<std::size_t>> by_out;
+  for (const std::size_t r : members) {
+    by_in[requests[r].in & low_mask].push_back(r);
+    by_out[requests[r].out & low_mask].push_back(r);
+  }
+  for (const auto& [key, group] : by_in) {
+    RSIN_REQUIRE(group.size() <= 2, "more than two requests on one switch");
+    (void)key;
+  }
+  for (const auto& [key, group] : by_out) {
+    RSIN_REQUIRE(group.size() <= 2, "more than two requests on one switch");
+    (void)key;
+  }
+  const auto partner = [&](const std::map<std::int32_t,
+                                          std::vector<std::size_t>>& index,
+                           std::int32_t key, std::size_t self) {
+    const auto& group = index.at(key);
+    for (const std::size_t r : group) {
+      if (r != self) return static_cast<std::ptrdiff_t>(r);
+    }
+    return static_cast<std::ptrdiff_t>(-1);
+  };
+
+  // Chain-walk 2-coloring: alternate between "input partner must differ"
+  // and "output partner must differ" constraints until the chain ends or
+  // loops back.
+  std::map<std::size_t, std::int32_t> color;
+  for (const std::size_t seed : members) {
+    if (color.count(seed)) continue;
+    std::size_t current = seed;
+    std::int32_t assigned = 0;
+    bool via_input = true;  // next constraint to follow
+    while (true) {
+      color[current] = assigned;
+      const std::int32_t key = via_input
+                                   ? requests[current].in & low_mask
+                                   : requests[current].out & low_mask;
+      const auto next =
+          partner(via_input ? by_in : by_out, key, current);
+      via_input = !via_input;
+      if (next < 0) break;
+      const auto next_index = static_cast<std::size_t>(next);
+      if (color.count(next_index)) break;  // closed an (even) cycle
+      current = next_index;
+      assigned = 1 - assigned;
+    }
+    // The chain may also extend from the seed in the other direction
+    // (starting with the output constraint).
+    current = seed;
+    assigned = 0;
+    via_input = false;
+    while (true) {
+      const std::int32_t key = via_input
+                                   ? requests[current].in & low_mask
+                                   : requests[current].out & low_mask;
+      const auto next =
+          partner(via_input ? by_in : by_out, key, current);
+      via_input = !via_input;
+      if (next < 0) break;
+      const auto next_index = static_cast<std::size_t>(next);
+      if (color.count(next_index)) break;
+      assigned = 1 - assigned;
+      color[next_index] = assigned;
+      current = next_index;
+    }
+  }
+
+  std::vector<std::size_t> half0;
+  std::vector<std::size_t> half1;
+  for (const std::size_t r : members) {
+    requests[r].sigma[static_cast<std::size_t>(level)] = color.at(r);
+    (color.at(r) == 0 ? half0 : half1).push_back(r);
+  }
+  loop_assign(requests, half0, level + 1, m);
+  loop_assign(requests, half1, level + 1, m);
+}
+
+}  // namespace
+
+std::vector<Circuit> benes_route_permutation(
+    const Network& benes,
+    const std::vector<std::pair<ProcessorId, ResourceId>>& pairs) {
+  const std::int32_t n = benes.processor_count();
+  RSIN_REQUIRE(n == benes.resource_count() &&
+                   std::has_single_bit(static_cast<std::uint32_t>(n)),
+               "benes routing requires an n x n power-of-two network");
+  const std::int32_t m =
+      std::bit_width(static_cast<std::uint32_t>(n)) - 1;
+  RSIN_REQUIRE(benes.stage_count() == 2 * m - 1,
+               "network does not have the Benes stage count");
+
+  std::vector<RoutedRequest> requests;
+  std::vector<std::size_t> all;
+  std::vector<char> in_used(static_cast<std::size_t>(n), 0);
+  std::vector<char> out_used(static_cast<std::size_t>(n), 0);
+  for (const auto& [in, out] : pairs) {
+    RSIN_REQUIRE(benes.valid_processor(in) && benes.valid_resource(out),
+                 "pair ids out of range");
+    RSIN_REQUIRE(!in_used[static_cast<std::size_t>(in)],
+                 "processor appears twice");
+    RSIN_REQUIRE(!out_used[static_cast<std::size_t>(out)],
+                 "resource appears twice");
+    in_used[static_cast<std::size_t>(in)] = 1;
+    out_used[static_cast<std::size_t>(out)] = 1;
+    RoutedRequest request;
+    request.in = in;
+    request.out = out;
+    request.sigma.assign(static_cast<std::size_t>(std::max(0, m - 1)), 0);
+    all.push_back(requests.size());
+    requests.push_back(std::move(request));
+  }
+  loop_assign(requests, all, 0, m);
+
+  // Stage s of make_benes pairs bit m-1-s on the way down, bit s-m+1 on
+  // the way up; the channel on each boundary follows the sigma choices.
+  const auto stage_bit = [&](std::int32_t s) {
+    return s < m ? m - 1 - s : s - m + 1;
+  };
+  const std::int32_t stages = 2 * m - 1;
+
+  std::vector<Circuit> circuits;
+  circuits.reserve(requests.size());
+  for (const RoutedRequest& request : requests) {
+    // channels[j] = logical channel on the link entering stage j
+    // (j = stages is the delivery link).
+    std::vector<std::int32_t> channels(static_cast<std::size_t>(stages) + 1);
+    channels[0] = request.in;
+    for (std::int32_t j = 1; j <= m - 1; ++j) {
+      std::int32_t c = channels[static_cast<std::size_t>(j) - 1];
+      const std::int32_t bit = m - j;  // stage j-1 pairs bit m-1-(j-1)
+      c = (c & ~(1 << bit)) |
+          (request.sigma[static_cast<std::size_t>(j) - 1] << bit);
+      channels[static_cast<std::size_t>(j)] = c;
+    }
+    channels[static_cast<std::size_t>(stages)] = request.out;
+    for (std::int32_t j = stages - 1; j >= m; --j) {
+      std::int32_t c = channels[static_cast<std::size_t>(j) + 1];
+      const std::int32_t bit = stage_bit(j);  // stage j pairs this bit
+      const std::int32_t level = m - 1 - bit;
+      c = (c & ~(1 << bit)) |
+          (request.sigma[static_cast<std::size_t>(level)] << bit);
+      channels[static_cast<std::size_t>(j)] = c;
+    }
+
+    // Materialize links by walking the fabric with the per-stage port
+    // choices implied by the channel sequence.
+    Circuit circuit;
+    circuit.processor = request.in;
+    circuit.resource = request.out;
+    LinkId link = benes.processor_link(request.in);
+    circuit.links.push_back(link);
+    for (std::int32_t s = 0; s < stages; ++s) {
+      const Link& l = benes.link(link);
+      RSIN_ENSURE(l.to.kind == NodeKind::kSwitch,
+                  "walk left the fabric early");
+      const std::int32_t next_channel =
+          channels[static_cast<std::size_t>(s) + 1];
+      const std::int32_t port = (next_channel >> stage_bit(s)) & 1;
+      link = benes.switch_out_links(l.to.node)[static_cast<std::size_t>(port)];
+      circuit.links.push_back(link);
+    }
+    RSIN_ENSURE(benes.link(link).to.kind == NodeKind::kResource &&
+                    benes.link(link).to.node == request.out,
+                "looping walk missed its resource");
+    circuits.push_back(std::move(circuit));
+  }
+  return circuits;
+}
+
+}  // namespace rsin::topo

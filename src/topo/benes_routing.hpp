@@ -1,0 +1,35 @@
+// The looping algorithm for Benes networks.
+//
+// A Benes network is rearrangeably nonblocking: ANY set of disjoint
+// (processor, resource) pairs — up to a full permutation — can be realized
+// by link-disjoint circuits. The classical looping algorithm finds the
+// circuits in O(n log n): at each recursion level, requests sharing an
+// outer input switch must enter different half-size subnetworks, requests
+// sharing an outer output switch must leave different subnetworks, and the
+// resulting 2-coloring constraints form disjoint paths/even cycles that a
+// simple chain walk colors.
+//
+// In the paper's setting this is the strongest possible *centralized*
+// comparison point: on a Benes fabric a scheduler can always realize every
+// request-resource pairing, so the max-flow optimum equals min(x, y)
+// whenever the fabric is otherwise free (tested), and the routing below
+// constructs the circuits without search.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace rsin::topo {
+
+/// Routes the given disjoint pairs through a network produced by
+/// make_benes(n). Returns one circuit per pair; the circuits are pairwise
+/// link-disjoint and ready to establish. Throws std::invalid_argument when
+/// the network is not Benes-shaped, ids are out of range, or processors /
+/// resources repeat.
+std::vector<Circuit> benes_route_permutation(
+    const Network& benes,
+    const std::vector<std::pair<ProcessorId, ResourceId>>& pairs);
+
+}  // namespace rsin::topo

@@ -1,0 +1,425 @@
+#include "topo/builders.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace rsin::topo {
+namespace {
+
+bool is_power_of_two(std::int32_t n) {
+  return n > 0 && std::has_single_bit(static_cast<std::uint32_t>(n));
+}
+
+std::int32_t log2i(std::int32_t n) {
+  return std::bit_width(static_cast<std::uint32_t>(n)) - 1;
+}
+
+/// Perfect shuffle: rotate the m-bit address left by one.
+std::int32_t shuffle(std::int32_t c, std::int32_t m) {
+  const std::int32_t n = 1 << m;
+  return ((c << 1) | (c >> (m - 1))) & (n - 1);
+}
+
+/// Inverse perfect shuffle within aligned blocks of size 2^block_bits:
+/// rotate the low block_bits bits right by one.
+std::int32_t inverse_shuffle_block(std::int32_t c, std::int32_t block_bits) {
+  const std::int32_t block = 1 << block_bits;
+  const std::int32_t low = c & (block - 1);
+  const std::int32_t rotated = (low >> 1) | ((low & 1) << (block_bits - 1));
+  return (c & ~(block - 1)) | rotated;
+}
+
+/// Builds an n x n MIN of 2x2 switches from explicit boundary wirings.
+/// wiring[0] routes processor outputs into stage-0 input positions;
+/// wiring[s] (0 < s < stages) routes stage s-1 output positions into stage-s
+/// input positions; wiring[stages] routes last-stage output positions to
+/// resources. Input position q belongs to switch q/2, port q%2; output port
+/// p of switch k is position 2k+p.
+Network build_position_min(std::int32_t n,
+                           const std::vector<std::vector<std::int32_t>>& wiring) {
+  const auto stages = static_cast<std::int32_t>(wiring.size()) - 1;
+  RSIN_REQUIRE(stages >= 1, "a MIN needs at least one stage");
+  Network net(n, n);
+  std::vector<std::vector<SwitchId>> sw(static_cast<std::size_t>(stages));
+  for (std::int32_t s = 0; s < stages; ++s) {
+    for (std::int32_t k = 0; k < n / 2; ++k) {
+      sw[static_cast<std::size_t>(s)].push_back(net.add_switch(2, 2, s));
+    }
+  }
+  // Processor boundary.
+  for (std::int32_t c = 0; c < n; ++c) {
+    const std::int32_t q = wiring[0][static_cast<std::size_t>(c)];
+    net.add_link({NodeKind::kProcessor, c, 0},
+                 {NodeKind::kSwitch, sw[0][static_cast<std::size_t>(q / 2)],
+                  q % 2});
+  }
+  // Inter-stage boundaries.
+  for (std::int32_t s = 1; s < stages; ++s) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      const std::int32_t q = wiring[static_cast<std::size_t>(s)]
+                                   [static_cast<std::size_t>(c)];
+      net.add_link({NodeKind::kSwitch,
+                    sw[static_cast<std::size_t>(s - 1)]
+                      [static_cast<std::size_t>(c / 2)],
+                    c % 2},
+                   {NodeKind::kSwitch,
+                    sw[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(q / 2)],
+                    q % 2});
+    }
+  }
+  // Resource boundary.
+  for (std::int32_t c = 0; c < n; ++c) {
+    const std::int32_t r = wiring[static_cast<std::size_t>(stages)]
+                                 [static_cast<std::size_t>(c)];
+    net.add_link({NodeKind::kSwitch,
+                  sw[static_cast<std::size_t>(stages - 1)]
+                    [static_cast<std::size_t>(c / 2)],
+                  c % 2},
+                 {NodeKind::kResource, r, 0});
+  }
+  return net;
+}
+
+/// Deletes bit `b` from `c` (bits above b shift down) — the switch index of
+/// the pair {c, c ^ (1<<b)}.
+std::int32_t delete_bit(std::int32_t c, std::int32_t b) {
+  const std::int32_t high = c >> (b + 1);
+  const std::int32_t low = c & ((1 << b) - 1);
+  return (high << b) | low;
+}
+
+/// Builds an n x n MIN where stage s pairs logical channels differing in
+/// address bit pair_bits[s]; inter-stage wiring follows channel identity.
+Network build_paired_min(std::int32_t n,
+                         const std::vector<std::int32_t>& pair_bits) {
+  const auto stages = static_cast<std::int32_t>(pair_bits.size());
+  RSIN_REQUIRE(stages >= 1, "a MIN needs at least one stage");
+  Network net(n, n);
+  std::vector<std::vector<SwitchId>> sw(static_cast<std::size_t>(stages));
+  for (std::int32_t s = 0; s < stages; ++s) {
+    for (std::int32_t k = 0; k < n / 2; ++k) {
+      sw[static_cast<std::size_t>(s)].push_back(net.add_switch(2, 2, s));
+    }
+  }
+  const auto port_of = [&](std::int32_t c, std::int32_t s) {
+    return (c >> pair_bits[static_cast<std::size_t>(s)]) & 1;
+  };
+  const auto switch_of = [&](std::int32_t c, std::int32_t s) {
+    return sw[static_cast<std::size_t>(s)][static_cast<std::size_t>(
+        delete_bit(c, pair_bits[static_cast<std::size_t>(s)]))];
+  };
+
+  for (std::int32_t c = 0; c < n; ++c) {
+    net.add_link({NodeKind::kProcessor, c, 0},
+                 {NodeKind::kSwitch, switch_of(c, 0), port_of(c, 0)});
+  }
+  for (std::int32_t s = 1; s < stages; ++s) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      net.add_link(
+          {NodeKind::kSwitch, switch_of(c, s - 1), port_of(c, s - 1)},
+          {NodeKind::kSwitch, switch_of(c, s), port_of(c, s)});
+    }
+  }
+  for (std::int32_t c = 0; c < n; ++c) {
+    net.add_link({NodeKind::kSwitch, switch_of(c, stages - 1),
+                  port_of(c, stages - 1)},
+                 {NodeKind::kResource, c, 0});
+  }
+  return net;
+}
+
+}  // namespace
+
+Network make_omega(std::int32_t n, std::int32_t extra_stages) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 2, "omega requires n = 2^m >= 2");
+  RSIN_REQUIRE(extra_stages >= 0, "extra_stages must be non-negative");
+  const std::int32_t m = log2i(n);
+  const std::int32_t stages = m + extra_stages;
+  std::vector<std::vector<std::int32_t>> wiring(
+      static_cast<std::size_t>(stages) + 1,
+      std::vector<std::int32_t>(static_cast<std::size_t>(n)));
+  for (std::int32_t s = 0; s < stages; ++s) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      wiring[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+          shuffle(c, m);
+    }
+  }
+  for (std::int32_t c = 0; c < n; ++c) {
+    wiring[static_cast<std::size_t>(stages)][static_cast<std::size_t>(c)] = c;
+  }
+  return build_position_min(n, wiring);
+}
+
+Network make_baseline(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 2, "baseline requires n = 2^m >= 2");
+  const std::int32_t m = log2i(n);
+  // Processors connect straight to stage 0; after stage s-1 an inverse
+  // perfect shuffle on blocks of size n/2^(s-1) splits each subnetwork into
+  // halves (Wu & Feng), so the block size shrinks stage by stage.
+  std::vector<std::vector<std::int32_t>> wiring(
+      static_cast<std::size_t>(m) + 1,
+      std::vector<std::int32_t>(static_cast<std::size_t>(n)));
+  for (std::int32_t c = 0; c < n; ++c) {
+    wiring[0][static_cast<std::size_t>(c)] = c;
+    wiring[static_cast<std::size_t>(m)][static_cast<std::size_t>(c)] = c;
+  }
+  for (std::int32_t s = 1; s < m; ++s) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      wiring[static_cast<std::size_t>(s)][static_cast<std::size_t>(c)] =
+          inverse_shuffle_block(c, m - s + 1);
+    }
+  }
+  return build_position_min(n, wiring);
+}
+
+Network make_indirect_cube(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 2, "cube requires n = 2^m >= 2");
+  const std::int32_t m = log2i(n);
+  std::vector<std::int32_t> bits;
+  for (std::int32_t s = 0; s < m; ++s) bits.push_back(s);
+  return build_paired_min(n, bits);
+}
+
+Network make_butterfly(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 2,
+               "butterfly requires n = 2^m >= 2");
+  const std::int32_t m = log2i(n);
+  std::vector<std::int32_t> bits;
+  for (std::int32_t s = 0; s < m; ++s) bits.push_back(m - 1 - s);
+  return build_paired_min(n, bits);
+}
+
+Network make_benes(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 2, "benes requires n = 2^m >= 2");
+  const std::int32_t m = log2i(n);
+  std::vector<std::int32_t> bits;
+  for (std::int32_t b = m - 1; b >= 0; --b) bits.push_back(b);
+  for (std::int32_t b = 1; b < m; ++b) bits.push_back(b);
+  return build_paired_min(n, bits);
+}
+
+Network make_crossbar(std::int32_t processors, std::int32_t resources) {
+  Network net(processors, resources);
+  const SwitchId sw = net.add_switch(processors, resources, 0);
+  for (std::int32_t p = 0; p < processors; ++p) {
+    net.add_link({NodeKind::kProcessor, p, 0}, {NodeKind::kSwitch, sw, p});
+  }
+  for (std::int32_t r = 0; r < resources; ++r) {
+    net.add_link({NodeKind::kSwitch, sw, r}, {NodeKind::kResource, r, 0});
+  }
+  return net;
+}
+
+Network make_clos(std::int32_t n, std::int32_t m, std::int32_t r) {
+  RSIN_REQUIRE(n > 0 && m > 0 && r > 0, "clos parameters must be positive");
+  const std::int32_t terminals = n * r;
+  Network net(terminals, terminals);
+  std::vector<SwitchId> ingress, middle, egress;
+  for (std::int32_t i = 0; i < r; ++i) ingress.push_back(net.add_switch(n, m, 0));
+  for (std::int32_t j = 0; j < m; ++j) middle.push_back(net.add_switch(r, r, 1));
+  for (std::int32_t k = 0; k < r; ++k) egress.push_back(net.add_switch(m, n, 2));
+
+  for (std::int32_t p = 0; p < terminals; ++p) {
+    net.add_link({NodeKind::kProcessor, p, 0},
+                 {NodeKind::kSwitch, ingress[static_cast<std::size_t>(p / n)],
+                  p % n});
+  }
+  for (std::int32_t i = 0; i < r; ++i) {
+    for (std::int32_t j = 0; j < m; ++j) {
+      net.add_link({NodeKind::kSwitch, ingress[static_cast<std::size_t>(i)], j},
+                   {NodeKind::kSwitch, middle[static_cast<std::size_t>(j)], i});
+    }
+  }
+  for (std::int32_t j = 0; j < m; ++j) {
+    for (std::int32_t k = 0; k < r; ++k) {
+      net.add_link({NodeKind::kSwitch, middle[static_cast<std::size_t>(j)], k},
+                   {NodeKind::kSwitch, egress[static_cast<std::size_t>(k)], j});
+    }
+  }
+  for (std::int32_t q = 0; q < terminals; ++q) {
+    net.add_link({NodeKind::kSwitch, egress[static_cast<std::size_t>(q / n)],
+                  q % n},
+                 {NodeKind::kResource, q, 0});
+  }
+  return net;
+}
+
+namespace {
+
+/// Shared construction for the plus-minus-2^i family (gamma network, data
+/// manipulator): stage s switch i fans out to i - strides[s], i, and
+/// i + strides[s] (mod n) of the next stage.
+Network build_plus_minus_network(std::int32_t n,
+                                 const std::vector<std::int32_t>& strides);
+
+}  // namespace
+
+Network make_gamma(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 4, "gamma requires n = 2^m >= 4");
+  const std::int32_t m = log2i(n);
+  std::vector<std::int32_t> strides;
+  for (std::int32_t s = 0; s < m; ++s) strides.push_back(1 << s);
+  return build_plus_minus_network(n, strides);
+}
+
+Network make_data_manipulator(std::int32_t n) {
+  RSIN_REQUIRE(is_power_of_two(n) && n >= 4,
+               "data manipulator requires n = 2^m >= 4");
+  const std::int32_t m = log2i(n);
+  // Feng's data manipulator applies the strides most-significant first.
+  std::vector<std::int32_t> strides;
+  for (std::int32_t s = m - 1; s >= 0; --s) strides.push_back(1 << s);
+  return build_plus_minus_network(n, strides);
+}
+
+namespace {
+
+Network build_plus_minus_network(std::int32_t n,
+                                 const std::vector<std::int32_t>& strides) {
+  const auto m = static_cast<std::int32_t>(strides.size());
+  Network net(n, n);
+
+  // Stage 0: 1x3; stages 1..m-1: 3x3; stage m: 3x1.
+  std::vector<std::vector<SwitchId>> sw(static_cast<std::size_t>(m) + 1);
+  for (std::int32_t i = 0; i < n; ++i) sw[0].push_back(net.add_switch(1, 3, 0));
+  for (std::int32_t s = 1; s < m; ++s) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      sw[static_cast<std::size_t>(s)].push_back(net.add_switch(3, 3, s));
+    }
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    sw[static_cast<std::size_t>(m)].push_back(net.add_switch(3, 1, m));
+  }
+
+  for (std::int32_t p = 0; p < n; ++p) {
+    net.add_link({NodeKind::kProcessor, p, 0},
+                 {NodeKind::kSwitch, sw[0][static_cast<std::size_t>(p)], 0});
+  }
+  // Plus-minus-2^s fan-out between consecutive stages. Output ports:
+  // 0 = minus, 1 = straight, 2 = plus; the matching input port on the
+  // destination identifies which direction the link arrived from. At the
+  // last interior stage +2^(m-1) == -2^(m-1) (mod n), so two distinct links
+  // join the same pair of switches on different ports — the redundancy that
+  // gives the gamma network its multiple paths.
+  for (std::int32_t s = 0; s < m; ++s) {
+    const std::int32_t step = strides[static_cast<std::size_t>(s)];
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::int32_t minus = ((i - step) % n + n) % n;
+      const std::int32_t plus = (i + step) % n;
+      net.add_link({NodeKind::kSwitch, sw[static_cast<std::size_t>(s)]
+                                         [static_cast<std::size_t>(i)], 0},
+                   {NodeKind::kSwitch,
+                    sw[static_cast<std::size_t>(s) + 1]
+                      [static_cast<std::size_t>(minus)],
+                    2});
+      net.add_link({NodeKind::kSwitch, sw[static_cast<std::size_t>(s)]
+                                         [static_cast<std::size_t>(i)], 1},
+                   {NodeKind::kSwitch,
+                    sw[static_cast<std::size_t>(s) + 1]
+                      [static_cast<std::size_t>(i)],
+                    1});
+      net.add_link({NodeKind::kSwitch, sw[static_cast<std::size_t>(s)]
+                                         [static_cast<std::size_t>(i)], 2},
+                   {NodeKind::kSwitch,
+                    sw[static_cast<std::size_t>(s) + 1]
+                      [static_cast<std::size_t>(plus)],
+                    0});
+    }
+  }
+  for (std::int32_t r = 0; r < n; ++r) {
+    net.add_link({NodeKind::kSwitch,
+                  sw[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)],
+                  0},
+                 {NodeKind::kResource, r, 0});
+  }
+  return net;
+}
+
+}  // namespace
+
+Network make_radix_delta(std::int32_t radix, std::int32_t digits) {
+  RSIN_REQUIRE(radix >= 2, "delta radix must be at least 2");
+  RSIN_REQUIRE(digits >= 1, "delta needs at least one stage");
+  std::int64_t size = 1;
+  for (std::int32_t d = 0; d < digits; ++d) size *= radix;
+  RSIN_REQUIRE(size <= 1 << 20, "delta network too large");
+  const auto n = static_cast<std::int32_t>(size);
+  Network net(n, n);
+
+  // Stage s groups the r channels agreeing on all base-r digits except
+  // digit (digits-1-s); the port within a switch is that digit's value.
+  const std::int32_t switches_per_stage = n / radix;
+  std::vector<std::vector<SwitchId>> sw(static_cast<std::size_t>(digits));
+  for (std::int32_t s = 0; s < digits; ++s) {
+    for (std::int32_t k = 0; k < switches_per_stage; ++k) {
+      sw[static_cast<std::size_t>(s)].push_back(
+          net.add_switch(radix, radix, s));
+    }
+  }
+  const auto digit_weight = [&](std::int32_t digit) {
+    std::int32_t weight = 1;
+    for (std::int32_t d = 0; d < digit; ++d) weight *= radix;
+    return weight;
+  };
+  const auto port_of = [&](std::int32_t c, std::int32_t s) {
+    return (c / digit_weight(digits - 1 - s)) % radix;
+  };
+  const auto switch_of = [&](std::int32_t c, std::int32_t s) {
+    // Delete the paired digit: combine the higher and lower digit groups.
+    const std::int32_t weight = digit_weight(digits - 1 - s);
+    const std::int32_t high = c / (weight * radix);
+    const std::int32_t low = c % weight;
+    return sw[static_cast<std::size_t>(s)]
+             [static_cast<std::size_t>(high * weight + low)];
+  };
+
+  for (std::int32_t c = 0; c < n; ++c) {
+    net.add_link({NodeKind::kProcessor, c, 0},
+                 {NodeKind::kSwitch, switch_of(c, 0), port_of(c, 0)});
+  }
+  for (std::int32_t s = 1; s < digits; ++s) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      net.add_link({NodeKind::kSwitch, switch_of(c, s - 1), port_of(c, s - 1)},
+                   {NodeKind::kSwitch, switch_of(c, s), port_of(c, s)});
+    }
+  }
+  for (std::int32_t c = 0; c < n; ++c) {
+    net.add_link({NodeKind::kSwitch, switch_of(c, digits - 1),
+                  port_of(c, digits - 1)},
+                 {NodeKind::kResource, c, 0});
+  }
+  return net;
+}
+
+bool fully_wired(const Network& net) {
+  for (std::int32_t p = 0; p < net.processor_count(); ++p) {
+    if (net.processor_link(p) == kInvalidId) return false;
+  }
+  for (std::int32_t r = 0; r < net.resource_count(); ++r) {
+    if (net.resource_link(r) == kInvalidId) return false;
+  }
+  for (std::int32_t s = 0; s < net.switch_count(); ++s) {
+    for (const LinkId l : net.switch_in_links(s)) {
+      if (l == kInvalidId) return false;
+    }
+    for (const LinkId l : net.switch_out_links(s)) {
+      if (l == kInvalidId) return false;
+    }
+  }
+  return true;
+}
+
+Network make_named(const std::string& name, std::int32_t n) {
+  if (name == "omega") return make_omega(n);
+  if (name == "baseline") return make_baseline(n);
+  if (name == "cube") return make_indirect_cube(n);
+  if (name == "butterfly") return make_butterfly(n);
+  if (name == "benes") return make_benes(n);
+  if (name == "crossbar") return make_crossbar(n, n);
+  if (name == "gamma") return make_gamma(n);
+  if (name == "data-manipulator") return make_data_manipulator(n);
+  throw std::invalid_argument("unknown topology name: " + name);
+}
+
+}  // namespace rsin::topo

@@ -1,0 +1,80 @@
+// Generators for the classical interconnection topologies referenced by the
+// paper (Section I cites Omega, indirect binary n-cube, baseline, banyan /
+// delta / butterfly, Benes, and Clos; Section II's examples use an 8x8
+// Omega and an 8x8 cube network).
+//
+// All multistage generators produce networks of 2x2 crossbar switchboxes
+// between n processors and n resources. Two construction styles are used
+// internally:
+//  * position-wired: explicit inter-stage permutations (Omega = perfect
+//    shuffle everywhere, baseline = inverse shuffles on shrinking blocks);
+//  * logically-paired: stage s pairs channels that differ in one address
+//    bit (indirect cube pairs bit s, butterfly pairs bit m-1-s, Benes walks
+//    the bits down and back up).
+// The two styles produce members of the same delta-equivalent family but
+// with the physically faithful wiring of each named network.
+#pragma once
+
+#include "topo/network.hpp"
+
+namespace rsin::topo {
+
+/// n x n Omega network (Lawrie): log2(n) shuffle-exchange stages, plus
+/// `extra_stages` additional shuffle-exchange stages providing redundant
+/// paths (the "extra stages" discussed at the end of Section II).
+/// Requires n to be a power of two, n >= 2.
+Network make_omega(std::int32_t n, std::int32_t extra_stages = 0);
+
+/// n x n baseline network (Wu & Feng): stage s applies an inverse perfect
+/// shuffle within blocks of size n / 2^s.
+Network make_baseline(std::int32_t n);
+
+/// n x n indirect binary n-cube (Pease): stage s pairs channels differing
+/// in address bit s.
+Network make_indirect_cube(std::int32_t n);
+
+/// n x n butterfly (banyan/delta family): stage s pairs channels differing
+/// in address bit m-1-s.
+Network make_butterfly(std::int32_t n);
+
+/// n x n Benes network: 2*log2(n) - 1 stages, pairing bits
+/// m-1, m-2, ..., 1, 0, 1, ..., m-1. Rearrangeably nonblocking.
+Network make_benes(std::int32_t n);
+
+/// Full crossbar: a single processors x resources switchbox.
+Network make_crossbar(std::int32_t processors, std::int32_t resources);
+
+/// Three-stage Clos network C(n, m, r): r ingress switches (n x m),
+/// m middle switches (r x r), r egress switches (m x n); n*r terminals per
+/// side. Strictly nonblocking when m >= 2n - 1.
+Network make_clos(std::int32_t n, std::int32_t m, std::int32_t r);
+
+/// n x n gamma network (Parker & Raghavendra), one of the redundant-path
+/// networks the paper's conclusion names as targets for the method: m+1
+/// stages of n switches; stage s switch i fans out to switches
+/// (i - 2^s) mod n, i, and (i + 2^s) mod n of the next stage. The first
+/// stage is 1x3 and the last 3x1; interior switches are 3x3.
+Network make_gamma(std::int32_t n);
+
+/// n x n data manipulator (Feng) in the same plus-minus-2^i family, with
+/// the strides applied most-significant first (stage s uses 2^(m-1-s));
+/// the augmented data manipulator of the paper's conclusion shares this
+/// structure with per-switch independent control, which our model already
+/// provides (every switch is individually set).
+Network make_data_manipulator(std::int32_t n);
+
+/// Radix-r delta network (Patel): r^digits terminals per side, `digits`
+/// stages of r x r crossbars; stage s pairs channels differing in base-r
+/// digit digits-1-s. With r = 2 this is exactly make_butterfly. Unique
+/// path per source-destination pair (the delta property).
+Network make_radix_delta(std::int32_t radix, std::int32_t digits);
+
+/// True when every switch port, processor output, and resource input is
+/// wired — a structural sanity check used by the tests.
+bool fully_wired(const Network& net);
+
+/// Convenience dispatch by name ("omega", "baseline", "cube", "butterfly",
+/// "benes", "crossbar") for n x n fabrics; throws on unknown names.
+Network make_named(const std::string& name, std::int32_t n);
+
+}  // namespace rsin::topo

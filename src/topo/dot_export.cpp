@@ -1,0 +1,80 @@
+#include "topo/dot_export.hpp"
+
+#include <ostream>
+
+namespace rsin::topo {
+namespace {
+
+std::string node_id(const PortRef& ref) {
+  switch (ref.kind) {
+    case NodeKind::kProcessor:
+      return "p" + std::to_string(ref.node + 1);
+    case NodeKind::kResource:
+      return "r" + std::to_string(ref.node + 1);
+    case NodeKind::kSwitch:
+      return "sw" + std::to_string(ref.node);
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Network& net) {
+  out << "digraph mrsin {\n  rankdir=LR;\n  node [shape=box];\n";
+  out << "  { rank=same;";
+  for (std::int32_t p = 0; p < net.processor_count(); ++p) {
+    out << " p" << p + 1 << ';';
+  }
+  out << " }\n";
+  for (std::int32_t stage = 0; stage < net.stage_count(); ++stage) {
+    out << "  { rank=same;";
+    for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+      if (net.stage_of(sw) == stage) out << " sw" << sw << ';';
+    }
+    out << " }\n";
+  }
+  out << "  { rank=same;";
+  for (std::int32_t r = 0; r < net.resource_count(); ++r) {
+    out << " r" << r + 1 << ';';
+  }
+  out << " }\n";
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    out << "  sw" << sw << " [shape=square,label=\"x" << sw << "\"];\n";
+  }
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    const Link& link = net.link(l);
+    out << "  " << node_id(link.from) << " -> " << node_id(link.to);
+    if (link.occupied) out << " [style=bold,color=red]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace rsin::topo
+
+namespace rsin::flow {
+
+void write_dot(std::ostream& out, const FlowNetwork& net) {
+  out << "digraph flownet {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t v = 0; v < net.node_count(); ++v) {
+    out << "  n" << v << " [label=\"" << net.label(static_cast<NodeId>(v))
+        << "\"";
+    if (static_cast<NodeId>(v) == net.source() ||
+        static_cast<NodeId>(v) == net.sink()) {
+      out << ",shape=doublecircle";
+    }
+    out << "];\n";
+  }
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    out << "  n" << arc.from << " -> n" << arc.to << " [label=\"" << arc.flow
+        << '/' << arc.capacity;
+    if (arc.cost != 0) out << " @" << arc.cost;
+    out << '"';
+    if (arc.flow > 0) out << ",style=bold";
+    out << "];\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace rsin::flow

@@ -1,0 +1,26 @@
+// Graphviz DOT export for interconnection networks and transformed flow
+// networks — the practical replacement for the paper's hand-drawn figures
+// (Figs. 2, 5, 8). Occupied links and flow-carrying arcs render bold so a
+// `dot -Tsvg` of an MRSIN state reproduces the figures' shaded circuits.
+#pragma once
+
+#include <iosfwd>
+
+#include "flow/network.hpp"
+#include "topo/network.hpp"
+
+namespace rsin::topo {
+
+/// Writes the physical network: processors and resources as boxes, staged
+/// switches in ranked columns, occupied links bold.
+void write_dot(std::ostream& out, const Network& net);
+
+}  // namespace rsin::topo
+
+namespace rsin::flow {
+
+/// Writes a flow network; arcs carrying flow render bold with
+/// "flow/capacity [@cost]" labels — the Fig. 2(b) / Fig. 5(b) view.
+void write_dot(std::ostream& out, const FlowNetwork& net);
+
+}  // namespace rsin::flow

@@ -1,0 +1,198 @@
+#include "topo/network.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rsin::topo {
+
+Network::Network(std::int32_t processors, std::int32_t resources)
+    : processors_(processors), resources_(resources) {
+  RSIN_REQUIRE(processors > 0, "network needs at least one processor");
+  RSIN_REQUIRE(resources > 0, "network needs at least one resource");
+  processor_link_.assign(static_cast<std::size_t>(processors), kInvalidId);
+  resource_link_.assign(static_cast<std::size_t>(resources), kInvalidId);
+}
+
+SwitchId Network::add_switch(std::int32_t inputs, std::int32_t outputs,
+                             std::int32_t stage) {
+  RSIN_REQUIRE(inputs > 0 && outputs > 0, "switch needs input & output ports");
+  RSIN_REQUIRE(stage >= -1, "stage must be -1 (unstaged) or non-negative");
+  const auto id = static_cast<SwitchId>(switch_in_.size());
+  switch_stage_.push_back(stage);
+  switch_n_in_.push_back(inputs);
+  switch_n_out_.push_back(outputs);
+  switch_in_.emplace_back(static_cast<std::size_t>(inputs), kInvalidId);
+  switch_out_.emplace_back(static_cast<std::size_t>(outputs), kInvalidId);
+  if (stage >= 0) stage_count_ = std::max(stage_count_, stage + 1);
+  return id;
+}
+
+LinkId Network::add_link(PortRef from, PortRef to) {
+  const auto id = static_cast<LinkId>(links_.size());
+
+  switch (from.kind) {
+    case NodeKind::kProcessor:
+      RSIN_REQUIRE(valid_processor(from.node), "link from unknown processor");
+      RSIN_REQUIRE(from.port == 0, "processors have a single output port");
+      RSIN_REQUIRE(processor_link_[static_cast<std::size_t>(from.node)] ==
+                       kInvalidId,
+                   "processor output port already wired");
+      processor_link_[static_cast<std::size_t>(from.node)] = id;
+      break;
+    case NodeKind::kSwitch: {
+      RSIN_REQUIRE(valid_switch(from.node), "link from unknown switch");
+      auto& ports = switch_out_[static_cast<std::size_t>(from.node)];
+      RSIN_REQUIRE(from.port >= 0 &&
+                       from.port < switch_n_out_[static_cast<std::size_t>(
+                                       from.node)],
+                   "switch output port out of range");
+      RSIN_REQUIRE(ports[static_cast<std::size_t>(from.port)] == kInvalidId,
+                   "switch output port already wired");
+      ports[static_cast<std::size_t>(from.port)] = id;
+      break;
+    }
+    case NodeKind::kResource:
+      RSIN_REQUIRE(false, "a resource cannot be a link source");
+  }
+
+  switch (to.kind) {
+    case NodeKind::kProcessor:
+      RSIN_REQUIRE(false, "a processor cannot be a link destination");
+      break;
+    case NodeKind::kSwitch: {
+      RSIN_REQUIRE(valid_switch(to.node), "link to unknown switch");
+      auto& ports = switch_in_[static_cast<std::size_t>(to.node)];
+      RSIN_REQUIRE(
+          to.port >= 0 &&
+              to.port < switch_n_in_[static_cast<std::size_t>(to.node)],
+          "switch input port out of range");
+      RSIN_REQUIRE(ports[static_cast<std::size_t>(to.port)] == kInvalidId,
+                   "switch input port already wired");
+      ports[static_cast<std::size_t>(to.port)] = id;
+      break;
+    }
+    case NodeKind::kResource:
+      RSIN_REQUIRE(valid_resource(to.node), "link to unknown resource");
+      RSIN_REQUIRE(to.port == 0, "resources have a single input port");
+      RSIN_REQUIRE(
+          resource_link_[static_cast<std::size_t>(to.node)] == kInvalidId,
+          "resource input port already wired");
+      resource_link_[static_cast<std::size_t>(to.node)] = id;
+      break;
+  }
+
+  links_.push_back(Link{from, to, false});
+  return id;
+}
+
+std::int32_t Network::stage_of(SwitchId sw) const {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  return switch_stage_[static_cast<std::size_t>(sw)];
+}
+
+LinkId Network::processor_link(ProcessorId p) const {
+  RSIN_REQUIRE(valid_processor(p), "processor id out of range");
+  return processor_link_[static_cast<std::size_t>(p)];
+}
+
+LinkId Network::resource_link(ResourceId r) const {
+  RSIN_REQUIRE(valid_resource(r), "resource id out of range");
+  return resource_link_[static_cast<std::size_t>(r)];
+}
+
+std::span<const LinkId> Network::switch_in_links(SwitchId sw) const {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  return switch_in_[static_cast<std::size_t>(sw)];
+}
+
+std::span<const LinkId> Network::switch_out_links(SwitchId sw) const {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  return switch_out_[static_cast<std::size_t>(sw)];
+}
+
+void Network::occupy_link(LinkId id) {
+  RSIN_REQUIRE(valid_link(id), "link id out of range");
+  auto& link = links_[static_cast<std::size_t>(id)];
+  RSIN_REQUIRE(!link.occupied, "link is already occupied");
+  link.occupied = true;
+}
+
+void Network::release_link(LinkId id) {
+  RSIN_REQUIRE(valid_link(id), "link id out of range");
+  links_[static_cast<std::size_t>(id)].occupied = false;
+}
+
+void Network::release_all() {
+  for (auto& link : links_) link.occupied = false;
+}
+
+std::int32_t Network::occupied_link_count() const {
+  return static_cast<std::int32_t>(
+      std::count_if(links_.begin(), links_.end(),
+                    [](const Link& l) { return l.occupied; }));
+}
+
+bool Network::circuit_contiguous(const Circuit& circuit) const {
+  if (!valid_processor(circuit.processor) ||
+      !valid_resource(circuit.resource) || circuit.links.empty()) {
+    return false;
+  }
+  for (const LinkId id : circuit.links) {
+    if (!valid_link(id)) return false;
+  }
+  const Link& first = link(circuit.links.front());
+  if (first.from.kind != NodeKind::kProcessor ||
+      first.from.node != circuit.processor) {
+    return false;
+  }
+  const Link& last = link(circuit.links.back());
+  if (last.to.kind != NodeKind::kResource ||
+      last.to.node != circuit.resource) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < circuit.links.size(); ++i) {
+    const Link& a = link(circuit.links[i]);
+    const Link& b = link(circuit.links[i + 1]);
+    if (a.to.kind != NodeKind::kSwitch || b.from.kind != NodeKind::kSwitch ||
+        a.to.node != b.from.node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Network::circuit_free(const Circuit& circuit) const {
+  for (const LinkId id : circuit.links) {
+    if (!link_free(id)) return false;
+  }
+  return true;
+}
+
+void Network::establish(const Circuit& circuit) {
+  RSIN_REQUIRE(circuit_contiguous(circuit), "circuit is not contiguous");
+  RSIN_REQUIRE(circuit_free(circuit), "circuit uses an occupied link");
+  for (const LinkId id : circuit.links) occupy_link(id);
+}
+
+void Network::release(const Circuit& circuit) {
+  for (const LinkId id : circuit.links) release_link(id);
+}
+
+std::string Network::port_name(const PortRef& ref, bool input) const {
+  std::ostringstream out;
+  switch (ref.kind) {
+    case NodeKind::kProcessor:
+      out << 'p' << ref.node + 1;  // paper numbers processors from 1
+      break;
+    case NodeKind::kResource:
+      out << 'r' << ref.node + 1;
+      break;
+    case NodeKind::kSwitch:
+      out << "sw" << stage_of(ref.node) << '.' << ref.node
+          << (input ? ":in" : ":out") << ref.port;
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace rsin::topo

@@ -1,0 +1,152 @@
+// Circuit-switched interconnection-network substrate.
+//
+// Models the physical structure the paper's MRSIN lives on: processors on
+// the input side, resources on the output side, and a loop-free fabric of
+// crossbar switchboxes in between. Links carry circuit-switched state
+// (free / occupied); a circuit is a contiguous chain of links from a
+// processor to a resource. Because every switchbox is a crossbar without
+// broadcast (Section III-B), any set of pairwise link-disjoint circuits is
+// realizable by per-switch settings, so link occupancy is the complete
+// switching state.
+//
+// Topology generators for the classical multistage networks (Omega, indirect
+// binary n-cube, baseline, butterfly, Benes, extra-stage, Clos, crossbar)
+// live in topo/builders.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::topo {
+
+using ProcessorId = std::int32_t;
+using ResourceId = std::int32_t;
+using SwitchId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr std::int32_t kInvalidId = -1;
+
+enum class NodeKind : std::uint8_t { kProcessor, kSwitch, kResource };
+
+/// One endpoint of a link: a node of some kind plus a port number on it.
+struct PortRef {
+  NodeKind kind = NodeKind::kSwitch;
+  std::int32_t node = kInvalidId;
+  std::int32_t port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// A physical link. `occupied` is the circuit-switching state.
+struct Link {
+  PortRef from;
+  PortRef to;
+  bool occupied = false;
+};
+
+/// A circuit: an established (or candidate) path from a processor to a
+/// resource, given as the ordered chain of link ids it traverses.
+struct Circuit {
+  ProcessorId processor = kInvalidId;
+  ResourceId resource = kInvalidId;
+  std::vector<LinkId> links;
+};
+
+/// The interconnection network: nodes, links, and circuit state.
+class Network {
+ public:
+  /// Creates a network with the given terminal counts and no fabric yet.
+  Network(std::int32_t processors, std::int32_t resources);
+
+  /// Adds a switchbox with the given port counts; `stage` is metadata used
+  /// for printing and for the token architecture's clocked propagation
+  /// (use -1 for non-staged fabrics).
+  SwitchId add_switch(std::int32_t inputs, std::int32_t outputs,
+                      std::int32_t stage = -1);
+
+  /// Adds a directed link between two ports. Valid combinations: processor
+  /// output -> switch input, switch output -> switch input, and switch
+  /// output -> resource input. Each port carries at most one link.
+  LinkId add_link(PortRef from, PortRef to);
+
+  [[nodiscard]] std::int32_t processor_count() const { return processors_; }
+  [[nodiscard]] std::int32_t resource_count() const { return resources_; }
+  [[nodiscard]] std::int32_t switch_count() const {
+    return static_cast<std::int32_t>(switch_in_.size());
+  }
+  [[nodiscard]] std::int32_t link_count() const {
+    return static_cast<std::int32_t>(links_.size());
+  }
+  /// Number of distinct switch stages (0 when the fabric is not staged).
+  [[nodiscard]] std::int32_t stage_count() const { return stage_count_; }
+  [[nodiscard]] std::int32_t stage_of(SwitchId sw) const;
+
+  [[nodiscard]] const Link& link(LinkId id) const {
+    RSIN_REQUIRE(valid_link(id), "link id out of range");
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  /// Link leaving processor p, or kInvalidId if not wired.
+  [[nodiscard]] LinkId processor_link(ProcessorId p) const;
+  /// Link entering resource r, or kInvalidId if not wired.
+  [[nodiscard]] LinkId resource_link(ResourceId r) const;
+
+  [[nodiscard]] std::span<const LinkId> switch_in_links(SwitchId sw) const;
+  [[nodiscard]] std::span<const LinkId> switch_out_links(SwitchId sw) const;
+
+  [[nodiscard]] bool link_free(LinkId id) const { return !link(id).occupied; }
+  void occupy_link(LinkId id);
+  void release_link(LinkId id);
+  /// Releases every link (network completely free).
+  void release_all();
+  [[nodiscard]] std::int32_t occupied_link_count() const;
+
+  /// Checks structural validity of `circuit`: starts at its processor, ends
+  /// at its resource, and consecutive links meet at the same switch.
+  [[nodiscard]] bool circuit_contiguous(const Circuit& circuit) const;
+  /// True when every link of the (contiguous) circuit is currently free.
+  [[nodiscard]] bool circuit_free(const Circuit& circuit) const;
+
+  /// Occupies every link of the circuit. Requires circuit_contiguous and
+  /// circuit_free.
+  void establish(const Circuit& circuit);
+  /// Releases every link of the circuit.
+  void release(const Circuit& circuit);
+
+  [[nodiscard]] bool valid_processor(ProcessorId p) const {
+    return p >= 0 && p < processors_;
+  }
+  [[nodiscard]] bool valid_resource(ResourceId r) const {
+    return r >= 0 && r < resources_;
+  }
+  [[nodiscard]] bool valid_switch(SwitchId s) const {
+    return s >= 0 && s < switch_count();
+  }
+  [[nodiscard]] bool valid_link(LinkId l) const {
+    return l >= 0 && l < link_count();
+  }
+
+  /// Human-readable name for a link endpoint, e.g. "p3", "sw1.2:out0", "r5".
+  [[nodiscard]] std::string port_name(const PortRef& ref, bool input) const;
+
+ private:
+  std::int32_t processors_;
+  std::int32_t resources_;
+  std::int32_t stage_count_ = 0;
+
+  std::vector<Link> links_;
+  std::vector<std::int32_t> switch_stage_;
+  std::vector<std::int32_t> switch_n_in_;
+  std::vector<std::int32_t> switch_n_out_;
+  std::vector<std::vector<LinkId>> switch_in_;   // per switch, by port
+  std::vector<std::vector<LinkId>> switch_out_;  // per switch, by port
+  std::vector<LinkId> processor_link_;
+  std::vector<LinkId> resource_link_;
+};
+
+}  // namespace rsin::topo

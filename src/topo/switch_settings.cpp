@@ -1,0 +1,63 @@
+#include "topo/switch_settings.hpp"
+
+#include <algorithm>
+
+namespace rsin::topo {
+
+SwitchConfiguration SwitchConfiguration::from_circuits(
+    const Network& net, std::span<const Circuit> circuits) {
+  SwitchConfiguration config(static_cast<std::size_t>(net.switch_count()));
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    config.is_two_by_two_[static_cast<std::size_t>(sw)] =
+        net.switch_in_links(sw).size() == 2 &&
+        net.switch_out_links(sw).size() == 2;
+  }
+
+  for (const Circuit& circuit : circuits) {
+    RSIN_REQUIRE(net.circuit_contiguous(circuit),
+                 "switch settings require contiguous circuits");
+    for (std::size_t i = 0; i + 1 < circuit.links.size(); ++i) {
+      const Link& in = net.link(circuit.links[i]);
+      const Link& out = net.link(circuit.links[i + 1]);
+      const auto sw = static_cast<std::size_t>(in.to.node);
+      auto& setting = config.settings_[sw];
+      for (const auto& [used_in, used_out] : setting.connections) {
+        RSIN_REQUIRE(used_in != in.to.port,
+                     "two circuits enter one switch input port");
+        RSIN_REQUIRE(used_out != out.from.port,
+                     "two circuits leave one switch output port "
+                     "(non-broadcast constraint)");
+      }
+      setting.connections.emplace_back(in.to.port, out.from.port);
+    }
+  }
+  return config;
+}
+
+const SwitchSetting& SwitchConfiguration::setting(SwitchId sw) const {
+  RSIN_REQUIRE(sw >= 0 && static_cast<std::size_t>(sw) < settings_.size(),
+               "switch id out of range");
+  return settings_[static_cast<std::size_t>(sw)];
+}
+
+TwoByTwoState SwitchConfiguration::two_by_two_state(SwitchId sw) const {
+  const SwitchSetting& s = setting(sw);
+  if (!is_two_by_two_[static_cast<std::size_t>(sw)]) {
+    return TwoByTwoState::kMixed;
+  }
+  if (s.connections.empty()) return TwoByTwoState::kIdle;
+  // On a 2x2 box every connection is either straight (in == out) or
+  // crossed (in != out); two simultaneous connections are necessarily both
+  // of the same kind.
+  const bool straight = s.connections.front().first ==
+                        s.connections.front().second;
+  return straight ? TwoByTwoState::kStraight : TwoByTwoState::kExchange;
+}
+
+std::int32_t SwitchConfiguration::active_switch_count() const {
+  return static_cast<std::int32_t>(
+      std::count_if(settings_.begin(), settings_.end(),
+                    [](const SwitchSetting& s) { return !s.idle(); }));
+}
+
+}  // namespace rsin::topo

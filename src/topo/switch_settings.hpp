@@ -1,0 +1,66 @@
+// Switchbox setting realization (the constructive direction of Theorem 1).
+//
+// Theorem 1 equates a non-broadcast switch setting with an integral flow
+// assignment at the switch's node. This module closes the loop physically:
+// given a set of link-disjoint circuits (e.g. a schedule's assignments), it
+// derives the explicit input-port -> output-port connection of every
+// switchbox, validates the non-broadcast constraint (each port used at most
+// once), and classifies 2x2 boxes into the paper's "straight" / "exchange"
+// states (Section II's Omega example).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace rsin::topo {
+
+/// State of a 2x2 switchbox under a set of circuits.
+enum class TwoByTwoState {
+  kIdle,              ///< No circuit passes through.
+  kStraight,          ///< in0->out0 and in1->out1 (both or either one).
+  kExchange,          ///< in0->out1 and in1->out0 (both or either one).
+  kMixed,             ///< Not a 2x2 box, or a single-connection box whose
+                      ///< connection pattern is neither pure straight nor
+                      ///< pure exchange is impossible on 2x2 — kMixed marks
+                      ///< non-2x2 switches only.
+};
+
+/// The connection map of one switchbox: (input port, output port) pairs.
+struct SwitchSetting {
+  std::vector<std::pair<std::int32_t, std::int32_t>> connections;
+
+  [[nodiscard]] bool idle() const { return connections.empty(); }
+};
+
+/// Per-switch settings derived from link-disjoint circuits.
+class SwitchConfiguration {
+ public:
+  /// Derives the configuration. Throws std::invalid_argument when a circuit
+  /// is not contiguous or two circuits claim the same switch port (i.e. the
+  /// set is not link-disjoint / violates the non-broadcast constraint).
+  static SwitchConfiguration from_circuits(const Network& net,
+                                           std::span<const Circuit> circuits);
+
+  [[nodiscard]] const SwitchSetting& setting(SwitchId sw) const;
+
+  /// Classification for 2x2 boxes; kMixed for other sizes.
+  [[nodiscard]] TwoByTwoState two_by_two_state(SwitchId sw) const;
+
+  /// Number of switches with at least one connection.
+  [[nodiscard]] std::int32_t active_switch_count() const;
+
+  [[nodiscard]] std::size_t switch_count() const { return settings_.size(); }
+
+ private:
+  explicit SwitchConfiguration(std::size_t switches)
+      : settings_(switches), is_two_by_two_(switches, false) {}
+
+  std::vector<SwitchSetting> settings_;
+  std::vector<bool> is_two_by_two_;
+};
+
+}  // namespace rsin::topo

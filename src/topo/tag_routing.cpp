@@ -1,0 +1,50 @@
+#include "topo/tag_routing.hpp"
+
+#include <bit>
+
+namespace rsin::topo {
+
+Circuit omega_destination_tag_route(const Network& omega,
+                                    ProcessorId processor,
+                                    ResourceId resource) {
+  RSIN_REQUIRE(omega.valid_processor(processor), "unknown processor");
+  RSIN_REQUIRE(omega.valid_resource(resource), "unknown resource");
+  const std::int32_t n = omega.processor_count();
+  RSIN_REQUIRE(n == omega.resource_count() &&
+                   std::has_single_bit(static_cast<std::uint32_t>(n)),
+               "destination-tag routing requires an n x n power-of-two "
+               "network");
+  const std::int32_t m =
+      std::bit_width(static_cast<std::uint32_t>(n)) - 1;
+  RSIN_REQUIRE(omega.stage_count() == m,
+               "destination-tag routing requires log2(n) stages");
+
+  Circuit circuit;
+  circuit.processor = processor;
+  circuit.resource = resource;
+
+  LinkId link = omega.processor_link(processor);
+  RSIN_REQUIRE(link != kInvalidId, "processor is not wired");
+  circuit.links.push_back(link);
+
+  // At stage s the exchange setting is bit m-1-s of the destination.
+  for (std::int32_t s = 0; s < m; ++s) {
+    const Link& l = omega.link(link);
+    RSIN_REQUIRE(l.to.kind == NodeKind::kSwitch,
+                 "circuit left the fabric early");
+    const SwitchId sw = l.to.node;
+    RSIN_REQUIRE(omega.switch_out_links(sw).size() == 2,
+                 "destination-tag routing requires 2x2 switchboxes");
+    const std::int32_t port = (resource >> (m - 1 - s)) & 1;
+    link = omega.switch_out_links(sw)[static_cast<std::size_t>(port)];
+    RSIN_REQUIRE(link != kInvalidId, "switch output port is not wired");
+    circuit.links.push_back(link);
+  }
+  RSIN_ENSURE(omega.link(link).to.kind == NodeKind::kResource &&
+                  omega.link(link).to.node == resource,
+              "tag routing did not land on the requested resource; the "
+              "network is not an Omega");
+  return circuit;
+}
+
+}  // namespace rsin::topo

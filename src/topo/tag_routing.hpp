@@ -1,0 +1,24 @@
+// Destination-tag (bit-controlled) routing for the Omega network.
+//
+// Section I: conventional networks "operate with address mapping ...
+// routing is done by examining the address bits". For Lawrie's Omega the
+// unique circuit from any input to output r is obtained by switching each
+// stage s to the side given by bit m-1-s of r — no search required. This
+// is both the classical result our path enumerator is validated against and
+// the O(m) routing step used by the address-mapped baseline in spirit.
+#pragma once
+
+#include "topo/network.hpp"
+
+namespace rsin::topo {
+
+/// Computes the unique circuit from `processor` to `resource` in a network
+/// produced by make_omega(n) (no extra stages) by destination-tag routing.
+/// The circuit is returned regardless of link occupancy; callers check
+/// circuit_free() themselves. Throws std::invalid_argument when the network
+/// does not have the Omega shape (2x2 switches, log2(n) stages).
+Circuit omega_destination_tag_route(const Network& omega,
+                                    ProcessorId processor,
+                                    ResourceId resource);
+
+}  // namespace rsin::topo

@@ -1,0 +1,58 @@
+#include "util/combinatorics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rsin::util {
+
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) return std::nullopt;
+  return result;
+}
+
+std::optional<std::uint64_t> binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  // c * (n-k+i) / i is always integral; do the product in 128 bits so a
+  // representable result never trips over an intermediate overflow.
+  __uint128_t c = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    c = c * (n - k + i) / i;
+    if (c > std::numeric_limits<std::uint64_t>::max()) return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(c);
+}
+
+std::optional<std::uint64_t> falling_factorial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < k; ++i) {
+    auto prod = checked_mul(result, n - i);
+    if (!prod) return std::nullopt;
+    result = *prod;
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> exhaustive_mapping_count(unsigned requests,
+                                                      unsigned resources) {
+  // C(max, min) * min!  ==  P(max, min), the number of injections from the
+  // smaller set into the larger one (Section III of the paper).
+  const unsigned lo = std::min(requests, resources);
+  const unsigned hi = std::max(requests, resources);
+  return falling_factorial(hi, lo);
+}
+
+double exhaustive_mapping_count_log10(unsigned requests, unsigned resources) {
+  const unsigned lo = std::min(requests, resources);
+  const unsigned hi = std::max(requests, resources);
+  if (lo == 0) return 0.0;
+  // log10 P(hi, lo) = [lgamma(hi+1) - lgamma(hi-lo+1)] / ln(10).
+  const double ln = std::lgamma(static_cast<double>(hi) + 1.0) -
+                    std::lgamma(static_cast<double>(hi - lo) + 1.0);
+  return ln / std::log(10.0);
+}
+
+}  // namespace rsin::util

@@ -1,0 +1,36 @@
+// Counting helpers for the scheduling-search-space analysis of Section III.
+//
+// The paper observes that an exhaustive scheduler must try up to
+// C(x,y)*y! mappings (x requests, y resources, x >= y) or C(y,x)*x!
+// (y >= x) — i.e. the number of injective maps between the smaller and the
+// larger side. These helpers compute those counts with explicit saturation
+// instead of silent overflow so that bench_mapping_explosion can print
+// "> 2^64" honestly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace rsin::util {
+
+/// Saturating unsigned multiply: returns nullopt on overflow.
+std::optional<std::uint64_t> checked_mul(std::uint64_t a, std::uint64_t b);
+
+/// Binomial coefficient C(n, k); nullopt if the value overflows uint64.
+std::optional<std::uint64_t> binomial(unsigned n, unsigned k);
+
+/// Falling factorial n * (n-1) * ... * (n-k+1); nullopt on overflow.
+std::optional<std::uint64_t> falling_factorial(unsigned n, unsigned k);
+
+/// Number of candidate request->resource mappings an exhaustive scheduler
+/// must consider for x requests and y free resources (Section III):
+/// min(x,y) chosen from the larger side, times orderings = P(max, min).
+/// Returns nullopt when the count exceeds uint64 range.
+std::optional<std::uint64_t> exhaustive_mapping_count(unsigned requests,
+                                                      unsigned resources);
+
+/// log10 of the exhaustive mapping count, computed in floating point; exact
+/// enough for plotting growth curves far beyond uint64 range.
+double exhaustive_mapping_count_log10(unsigned requests, unsigned resources);
+
+}  // namespace rsin::util

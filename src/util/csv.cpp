@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace rsin::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  RSIN_REQUIRE(columns_ > 0, "csv needs at least one column");
+  write_row(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  RSIN_REQUIRE(cells.size() == columns_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace rsin::util

@@ -1,0 +1,33 @@
+// Minimal CSV writer for exporting experiment tables to files that plotting
+// scripts can consume (the benches print human tables; pass a CsvWriter the
+// same rows to keep a machine-readable copy).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsin::util {
+
+/// Writes RFC-4180-style CSV: fields containing commas, quotes, or
+/// newlines are quoted, quotes doubled.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the header row is emitted immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Escapes one field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace rsin::util

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking for the rsin libraries.
+//
+// Violations of documented API preconditions throw std::invalid_argument;
+// internal invariant failures throw std::logic_error. Both carry the failing
+// expression and source location so that failures in deeply nested algorithm
+// code (flow augmentation, token propagation) are diagnosable from the what()
+// string alone.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rsin::util {
+
+/// Builds the standard "expr (file:line): message" diagnostic string.
+inline std::string diagnostic(const char* expr, const char* file, int line,
+                              const std::string& message) {
+  std::ostringstream out;
+  out << expr << " (" << file << ':' << line << ')';
+  if (!message.empty()) out << ": " << message;
+  return out.str();
+}
+
+}  // namespace rsin::util
+
+/// Validates a caller-supplied argument; throws std::invalid_argument on
+/// failure. Use at public API boundaries.
+#define RSIN_REQUIRE(expr, message)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      throw std::invalid_argument(                                        \
+          ::rsin::util::diagnostic(#expr, __FILE__, __LINE__, (message))); \
+    }                                                                     \
+  } while (false)
+
+/// Validates an internal invariant; throws std::logic_error on failure.
+/// A firing RSIN_ENSURE always indicates a bug in this library.
+#define RSIN_ENSURE(expr, message)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      throw std::logic_error(                                             \
+          ::rsin::util::diagnostic(#expr, __FILE__, __LINE__, (message))); \
+    }                                                                     \
+  } while (false)

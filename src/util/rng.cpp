@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace rsin::util {
+
+double Rng::exponential(double rate) {
+  RSIN_REQUIRE(rate > 0.0, "exponential requires rate > 0");
+  // Inverse-CDF; 1 - uniform() is in (0, 1], so the log argument never hits 0.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+}  // namespace rsin::util

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse timing in benches and examples. The
+// google-benchmark harness does its own timing; this is for one-shot
+// experiment tables where a statistical benchmark run would be overkill.
+#pragma once
+
+#include <chrono>
+
+namespace rsin::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart, in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rsin::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsin::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  RSIN_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  RSIN_REQUIRE(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    out << '+';
+    for (const std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+std::ostream& operator<<(std::ostream& out, const Table& table) {
+  table.print(out);
+  return out;
+}
+
+std::string fixed(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string pct(double fraction, int precision) {
+  return fixed(fraction * 100.0, precision);
+}
+
+}  // namespace rsin::util

@@ -1,0 +1,66 @@
+// Console table rendering used by the benchmark/experiment harness to print
+// paper-style result tables (aligned columns, optional markdown flavor).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rsin::util {
+
+/// A simple column-aligned text table.
+///
+/// Usage:
+///   Table t({"network", "load", "blocking %"});
+///   t.add_row({"omega-8x8", "0.9", "3.2"});
+///   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with operator<< into a cell.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({format_cell(args)...});
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Renders with box-drawing separators.
+  void print(std::ostream& out) const;
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Table& table);
+
+/// Formats a double with the given precision (fixed notation).
+std::string fixed(double value, int precision = 2);
+
+/// Formats a fraction as a percentage string, e.g. pct(0.034) == "3.40".
+std::string pct(double fraction, int precision = 2);
+
+template <typename T>
+std::string Table::format_cell(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(value);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return fixed(static_cast<double>(value), 3);
+  } else {
+    return std::to_string(value);
+  }
+}
+
+}  // namespace rsin::util

@@ -1,0 +1,93 @@
+#include "sim/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "sim/static_experiment.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::sim {
+namespace {
+
+TEST(Analytic, StageRecurrenceKnownValues) {
+  // 2x2 at full load: 1 - (1 - 1/2)^2 = 0.75.
+  EXPECT_DOUBLE_EQ(delta_stage_rate(1.0, 2, 2), 0.75);
+  // Zero load stays zero; load is preserved through an idle network.
+  EXPECT_DOUBLE_EQ(delta_stage_rate(0.0, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ(banyan_output_rate(0.3, 0), 0.3);
+}
+
+TEST(Analytic, ThreeStageFullLoad) {
+  // p1=0.75, p2=1-(1-0.375)^2=0.609375, p3=1-(1-0.3046875)^2.
+  const double p3 = banyan_output_rate(1.0, 3);
+  EXPECT_NEAR(p3, 1.0 - (1.0 - 0.609375 / 2) * (1.0 - 0.609375 / 2), 1e-12);
+  EXPECT_NEAR(banyan_acceptance(1.0, 3), p3, 1e-12);
+}
+
+TEST(Analytic, AcceptanceDecreasesWithStages) {
+  double previous = 1.0;
+  for (int stages = 1; stages <= 8; ++stages) {
+    const double acceptance = banyan_acceptance(0.9, stages);
+    EXPECT_LT(acceptance, previous);
+    previous = acceptance;
+  }
+}
+
+TEST(Analytic, BlockingIncreasesWithLoad) {
+  double previous = -1.0;
+  for (const double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double blocking = banyan_blocking(load, 3);
+    EXPECT_GT(blocking, previous);
+    previous = blocking;
+  }
+}
+
+TEST(Analytic, ZeroLoadNeverBlocks) {
+  EXPECT_DOUBLE_EQ(banyan_blocking(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(banyan_acceptance(0.0, 5), 1.0);
+}
+
+TEST(Analytic, RejectsBadArguments) {
+  EXPECT_THROW(delta_stage_rate(1.5, 2, 2), std::invalid_argument);
+  EXPECT_THROW(delta_stage_rate(-0.1, 2, 2), std::invalid_argument);
+  EXPECT_THROW(delta_stage_rate(0.5, 0, 2), std::invalid_argument);
+  EXPECT_THROW(banyan_output_rate(0.5, -1), std::invalid_argument);
+}
+
+TEST(Analytic, TracksMeasuredIndependentAddressMapping) {
+  // The analytic model assumes independent random destinations; the
+  // measured independent-destination baseline on an 8x8 Omega must land in
+  // the same region (within a few points — the model ignores that our
+  // trials only route to *free* resources).
+  const topo::Network net = topo::make_omega(8);
+  core::RandomScheduler scheduler(util::Rng(3),
+                                  /*independent_destinations=*/true);
+  StaticExperimentConfig config;
+  config.trials = 3000;
+  config.request_probability = 1.0;
+  config.free_probability = 1.0;
+  config.seed = 9;
+  const auto measured = run_static_experiment(net, scheduler, config);
+  const double analytic = banyan_blocking(1.0, 3);
+  EXPECT_NEAR(measured.blocking_probability(), analytic, 0.08)
+      << "measured " << measured.blocking_probability() << " vs analytic "
+      << analytic;
+}
+
+TEST(Analytic, OptimalSchedulingBeatsTheAnalyticBound) {
+  // The whole point of the paper: distributed optimal scheduling blocks
+  // far less than conventional random address mapping predicts.
+  const topo::Network net = topo::make_omega(8);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 1500;
+  config.request_probability = 0.75;
+  config.free_probability = 0.75;
+  config.seed = 10;
+  const auto measured = run_static_experiment(net, scheduler, config);
+  EXPECT_LT(measured.blocking_probability(),
+            banyan_blocking(0.75, 3) / 4.0);
+}
+
+}  // namespace
+}  // namespace rsin::sim

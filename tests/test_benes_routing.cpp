@@ -1,0 +1,138 @@
+#include "topo/benes_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::topo {
+namespace {
+
+/// Establishes every circuit, asserting link-disjointness on the way.
+void establish_all(Network& net, const std::vector<Circuit>& circuits) {
+  for (const Circuit& circuit : circuits) {
+    ASSERT_TRUE(net.circuit_contiguous(circuit));
+    ASSERT_TRUE(net.circuit_free(circuit))
+        << "circuits are not link-disjoint";
+    net.establish(circuit);
+  }
+}
+
+std::vector<std::pair<ProcessorId, ResourceId>> permutation_pairs(
+    const std::vector<std::int32_t>& perm) {
+  std::vector<std::pair<ProcessorId, ResourceId>> pairs;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    pairs.emplace_back(static_cast<ProcessorId>(i), perm[i]);
+  }
+  return pairs;
+}
+
+TEST(BenesRouting, EveryPermutationOfFour) {
+  // Exhaustive rearrangeability proof for n=4: all 24 permutations route.
+  std::vector<std::int32_t> perm{0, 1, 2, 3};
+  int count = 0;
+  do {
+    Network net = make_benes(4);
+    const auto circuits =
+        benes_route_permutation(net, permutation_pairs(perm));
+    ASSERT_EQ(circuits.size(), 4u);
+    establish_all(net, circuits);
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(count, 24);
+}
+
+TEST(BenesRouting, IdentityAndReversalOfEight) {
+  for (const bool reverse : {false, true}) {
+    Network net = make_benes(8);
+    std::vector<std::int32_t> perm(8);
+    std::iota(perm.begin(), perm.end(), 0);
+    if (reverse) std::reverse(perm.begin(), perm.end());
+    const auto circuits =
+        benes_route_permutation(net, permutation_pairs(perm));
+    establish_all(net, circuits);
+    EXPECT_EQ(net.occupied_link_count(), 8 * 6)
+        << "full permutation saturates every boundary";
+  }
+}
+
+TEST(BenesRouting, RandomPermutationsOfSixteen) {
+  util::Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    Network net = make_benes(16);
+    std::vector<std::int32_t> perm(16);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.shuffle(perm);
+    const auto circuits =
+        benes_route_permutation(net, permutation_pairs(perm));
+    establish_all(net, circuits);
+  }
+}
+
+TEST(BenesRouting, PartialPairSets) {
+  util::Rng rng(43);
+  for (int round = 0; round < 20; ++round) {
+    Network net = make_benes(8);
+    std::vector<std::int32_t> ins{0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<std::int32_t> outs = ins;
+    rng.shuffle(ins);
+    rng.shuffle(outs);
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    std::vector<std::pair<ProcessorId, ResourceId>> pairs;
+    for (std::size_t i = 0; i < k; ++i) pairs.emplace_back(ins[i], outs[i]);
+    const auto circuits = benes_route_permutation(net, pairs);
+    ASSERT_EQ(circuits.size(), k);
+    establish_all(net, circuits);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(circuits[i].processor, ins[i]);
+      EXPECT_EQ(circuits[i].resource, outs[i]);
+    }
+  }
+}
+
+TEST(BenesRouting, TinyNetwork) {
+  Network net = make_benes(2);
+  const auto circuits = benes_route_permutation(net, {{0, 1}, {1, 0}});
+  establish_all(net, circuits);
+}
+
+TEST(BenesRouting, AgreesWithMaxFlowOnFreeFabric) {
+  // Rearrangeability implies the flow optimum is min(x, y) on a free Benes
+  // for any request/resource sets — and the looping circuits realize it.
+  util::Rng rng(44);
+  core::MaxFlowScheduler scheduler;
+  for (int round = 0; round < 10; ++round) {
+    const Network net = make_benes(8);
+    std::vector<ProcessorId> requesting;
+    std::vector<ResourceId> available;
+    for (std::int32_t i = 0; i < 8; ++i) {
+      if (rng.bernoulli(0.7)) requesting.push_back(i);
+      if (rng.bernoulli(0.7)) available.push_back(i);
+    }
+    const core::Problem problem =
+        core::make_problem(net, requesting, available);
+    const auto result = scheduler.schedule(problem);
+    EXPECT_EQ(result.allocated(),
+              std::min(requesting.size(), available.size()));
+  }
+}
+
+TEST(BenesRouting, RejectsBadInputs) {
+  const Network benes = make_benes(8);
+  EXPECT_THROW(benes_route_permutation(benes, {{0, 0}, {0, 1}}),
+               std::invalid_argument);  // duplicate processor
+  EXPECT_THROW(benes_route_permutation(benes, {{0, 3}, {1, 3}}),
+               std::invalid_argument);  // duplicate resource
+  EXPECT_THROW(benes_route_permutation(benes, {{0, 9}}),
+               std::invalid_argument);  // out of range
+  const Network omega = make_omega(8);
+  EXPECT_THROW(benes_route_permutation(omega, {{0, 0}}),
+               std::invalid_argument);  // wrong stage count
+}
+
+}  // namespace
+}  // namespace rsin::topo

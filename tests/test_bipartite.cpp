@@ -1,0 +1,134 @@
+#include "flow/bipartite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::flow {
+namespace {
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const BipartiteGraph graph(3, 3);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 0);
+  EXPECT_EQ(result.phases, 0);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  BipartiteGraph graph(4, 4);
+  for (std::int32_t i = 0; i < 4; ++i) graph.add_edge(i, i);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 4);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.match_left[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(result.match_right[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(HopcroftKarp, RequiresAugmentingChain) {
+  // l0-{r0}, l1-{r0,r1}, l2-{r1,r2}: perfect matching needs the chain.
+  BipartiteGraph graph(3, 3);
+  graph.add_edge(0, 0);
+  graph.add_edge(1, 0);
+  graph.add_edge(1, 1);
+  graph.add_edge(2, 1);
+  graph.add_edge(2, 2);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 3);
+  EXPECT_EQ(result.match_left[0], 0);
+  EXPECT_EQ(result.match_left[1], 1);
+  EXPECT_EQ(result.match_left[2], 2);
+}
+
+TEST(HopcroftKarp, DeficientSide) {
+  BipartiteGraph graph(2, 5);
+  for (std::int32_t r = 0; r < 5; ++r) {
+    graph.add_edge(0, r);
+    graph.add_edge(1, r);
+  }
+  EXPECT_EQ(hopcroft_karp(graph).size, 2);
+}
+
+TEST(HopcroftKarp, KonigStyleBottleneck) {
+  // Three lefts all restricted to the same two rights: matching 2.
+  BipartiteGraph graph(3, 4);
+  for (std::int32_t l = 0; l < 3; ++l) {
+    graph.add_edge(l, 0);
+    graph.add_edge(l, 1);
+  }
+  EXPECT_EQ(hopcroft_karp(graph).size, 2);
+}
+
+TEST(HopcroftKarp, MatchingIsConsistent) {
+  util::Rng rng(91);
+  BipartiteGraph graph(8, 8);
+  for (std::int32_t l = 0; l < 8; ++l) {
+    for (std::int32_t r = 0; r < 8; ++r) {
+      if (rng.bernoulli(0.4)) graph.add_edge(l, r);
+    }
+  }
+  const MatchingResult result = hopcroft_karp(graph);
+  std::int32_t counted = 0;
+  for (std::size_t l = 0; l < 8; ++l) {
+    const std::int32_t r = result.match_left[l];
+    if (r == -1) continue;
+    ++counted;
+    EXPECT_EQ(result.match_right[static_cast<std::size_t>(r)],
+              static_cast<std::int32_t>(l));
+  }
+  EXPECT_EQ(counted, result.size);
+}
+
+TEST(HopcroftKarp, RejectsBadVertices) {
+  BipartiteGraph graph(2, 2);
+  EXPECT_THROW(graph.add_edge(-1, 0), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(BipartiteGraph(-1, 2), std::invalid_argument);
+}
+
+class HopcroftKarpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HopcroftKarpSweep, MatchesMaxFlowOnRandomBipartiteGraphs) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const auto n_left = static_cast<std::int32_t>(rng.uniform_int(1, 10));
+    const auto n_right = static_cast<std::int32_t>(rng.uniform_int(1, 10));
+    const double density = rng.uniform(0.1, 0.7);
+
+    BipartiteGraph graph(n_left, n_right);
+    FlowNetwork net;
+    const NodeId s = net.add_node("s");
+    const NodeId t = net.add_node("t");
+    net.set_source(s);
+    net.set_sink(t);
+    std::vector<NodeId> lefts;
+    std::vector<NodeId> rights;
+    for (std::int32_t l = 0; l < n_left; ++l) {
+      lefts.push_back(net.add_node("l" + std::to_string(l)));
+      net.add_arc(s, lefts.back(), 1);
+    }
+    for (std::int32_t r = 0; r < n_right; ++r) {
+      rights.push_back(net.add_node("r" + std::to_string(r)));
+      net.add_arc(rights.back(), t, 1);
+    }
+    for (std::int32_t l = 0; l < n_left; ++l) {
+      for (std::int32_t r = 0; r < n_right; ++r) {
+        if (!rng.bernoulli(density)) continue;
+        graph.add_edge(l, r);
+        net.add_arc(lefts[static_cast<std::size_t>(l)],
+                    rights[static_cast<std::size_t>(r)], 1);
+      }
+    }
+    const MatchingResult matching = hopcroft_karp(graph);
+    EXPECT_EQ(static_cast<Capacity>(matching.size),
+              max_flow_dinic(net).value)
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpSweep,
+                         ::testing::Values(401, 402, 403, 404, 405, 406));
+
+}  // namespace
+}  // namespace rsin::flow

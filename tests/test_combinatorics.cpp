@@ -1,0 +1,87 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rsin::util {
+namespace {
+
+TEST(Combinatorics, BinomialSmallValues) {
+  EXPECT_EQ(binomial(0, 0).value(), 1u);
+  EXPECT_EQ(binomial(5, 0).value(), 1u);
+  EXPECT_EQ(binomial(5, 5).value(), 1u);
+  EXPECT_EQ(binomial(5, 2).value(), 10u);
+  EXPECT_EQ(binomial(10, 3).value(), 120u);
+  EXPECT_EQ(binomial(3, 5).value(), 0u);
+}
+
+TEST(Combinatorics, BinomialSymmetry) {
+  for (unsigned n = 1; n <= 30; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k).value(), binomial(n, n - k).value());
+    }
+  }
+}
+
+TEST(Combinatorics, BinomialPascalIdentity) {
+  for (unsigned n = 2; n <= 40; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_EQ(binomial(n, k).value(),
+                binomial(n - 1, k - 1).value() + binomial(n - 1, k).value());
+    }
+  }
+}
+
+TEST(Combinatorics, BinomialLargeStillExact) {
+  EXPECT_EQ(binomial(52, 5).value(), 2598960u);
+  EXPECT_EQ(binomial(60, 30).value(), 118264581564861424ull);
+}
+
+TEST(Combinatorics, BinomialOverflowsToNullopt) {
+  EXPECT_FALSE(binomial(200, 100).has_value());
+}
+
+TEST(Combinatorics, FallingFactorial) {
+  EXPECT_EQ(falling_factorial(5, 0).value(), 1u);
+  EXPECT_EQ(falling_factorial(5, 2).value(), 20u);
+  EXPECT_EQ(falling_factorial(5, 5).value(), 120u);
+  EXPECT_EQ(falling_factorial(3, 4).value(), 0u);
+  EXPECT_FALSE(falling_factorial(100, 50).has_value());
+}
+
+TEST(Combinatorics, MappingCountMatchesPaperFormula) {
+  // The paper: C(x,y) * y! mappings for x >= y; equivalently P(x, y).
+  // x=8 requests, y=5 resources: C(8,5)*5! = 56*120 = 6720.
+  EXPECT_EQ(exhaustive_mapping_count(8, 5).value(), 6720u);
+  // Symmetric case y >= x.
+  EXPECT_EQ(exhaustive_mapping_count(5, 8).value(), 6720u);
+  EXPECT_EQ(exhaustive_mapping_count(0, 5).value(), 1u);
+  EXPECT_EQ(exhaustive_mapping_count(3, 3).value(), 6u);
+}
+
+TEST(Combinatorics, MappingCountOverflow) {
+  EXPECT_FALSE(exhaustive_mapping_count(64, 64).has_value());
+}
+
+TEST(Combinatorics, MappingCountLog10AgreesWithExact) {
+  const double log_value = exhaustive_mapping_count_log10(8, 5);
+  EXPECT_NEAR(std::pow(10.0, log_value), 6720.0, 1.0);
+}
+
+TEST(Combinatorics, MappingCountLog10GrowsSuperLinearly) {
+  const double n8 = exhaustive_mapping_count_log10(8, 8);
+  const double n16 = exhaustive_mapping_count_log10(16, 16);
+  const double n64 = exhaustive_mapping_count_log10(64, 64);
+  EXPECT_GT(n16, 2 * n8);
+  EXPECT_GT(n64, 2 * n16);
+}
+
+TEST(Combinatorics, CheckedMul) {
+  EXPECT_EQ(checked_mul(6, 7).value(), 42u);
+  EXPECT_EQ(checked_mul(0, ~0ull).value(), 0u);
+  EXPECT_FALSE(checked_mul(1ull << 40, 1ull << 40).has_value());
+}
+
+}  // namespace
+}  // namespace rsin::util

@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rsin::util {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.write_row({"1", "2"});
+  csv.write_row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only"}), std::invalid_argument);
+}
+
+TEST(Csv, RejectsEmptyHeader) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(Csv, QuotedFieldRoundTripShape) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name", "value"});
+  csv.write_row({"x,y", "1"});
+  EXPECT_EQ(out.str(), "name,value\n\"x,y\",1\n");
+}
+
+}  // namespace
+}  // namespace rsin::util

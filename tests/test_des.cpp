@@ -1,0 +1,84 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rsin::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, StableTieBreakAtSameTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&] { order.push_back(0); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(1.0, [&] { order.push_back(2); });
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule(2.0, [&] {
+    queue.schedule_in(0.5, [&] { fired_at = queue.now(); });
+  });
+  while (queue.step()) {
+  }
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.step();
+  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(2.0, [&] { ++fired; });
+  queue.schedule(10.0, [&] { ++fired; });
+  queue.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  queue.run_until(20.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, CascadingEventsWithinHorizon) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    ++count;
+    if (count < 5) queue.schedule_in(1.0, reschedule);
+  };
+  queue.schedule(0.0, reschedule);
+  queue.run_until(100.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(queue.executed(), 5);
+}
+
+TEST(EventQueue, EmptyQueueStepReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace rsin::sim

@@ -1,0 +1,66 @@
+#include "topo/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/routing.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+TEST(DotExport, NetworkContainsAllElements) {
+  const topo::Network net = topo::make_omega(8);
+  std::ostringstream out;
+  topo::write_dot(out, net);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph mrsin"), std::string::npos);
+  EXPECT_NE(dot.find("p1"), std::string::npos);
+  EXPECT_NE(dot.find("p8"), std::string::npos);
+  EXPECT_NE(dot.find("r8"), std::string::npos);
+  EXPECT_NE(dot.find("sw11"), std::string::npos);
+  EXPECT_EQ(dot.find("style=bold"), std::string::npos)
+      << "no occupied links on a free network";
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExport, OccupiedLinksRenderBold) {
+  topo::Network net = topo::make_omega(8);
+  const auto paths = core::enumerate_free_paths(net, 0, 5);
+  net.establish(paths.front());
+  std::ostringstream out;
+  topo::write_dot(out, net);
+  EXPECT_NE(out.str().find("style=bold,color=red"), std::string::npos);
+}
+
+TEST(DotExport, FlowNetworkShowsFlows) {
+  const topo::Network net = topo::make_omega(4);
+  const core::Problem problem = core::make_problem(net, {0, 1}, {2, 3});
+  core::TransformResult transformed = core::transformation1(problem);
+  flow::max_flow_dinic(transformed.net);
+  std::ostringstream out;
+  flow::write_dot(out, transformed.net);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph flownet"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // source & sink
+  EXPECT_NE(dot.find("1/1"), std::string::npos);           // saturated arc
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+TEST(DotExport, CostsAppearInLabels) {
+  flow::FlowNetwork net;
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net.add_arc(a, b, 2, 7);
+  std::ostringstream out;
+  flow::write_dot(out, net);
+  EXPECT_NE(out.str().find("@7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsin

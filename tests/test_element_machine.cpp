@@ -1,0 +1,167 @@
+#include "token/element_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/routing.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::token {
+namespace {
+
+TEST(ElementMachine, AllocatesAllOnFreeOmega) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem =
+      core::make_problem(net, {0, 2, 4, 6, 7}, {0, 2, 4, 6, 7});
+  ElementMachine machine(problem);
+  ElementStats stats;
+  const core::ScheduleResult result = machine.run(&stats);
+  EXPECT_EQ(result.allocated(), 5u);
+  EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_GT(stats.clock_periods, 0);
+  EXPECT_GT(stats.signals_driven, 0);
+}
+
+TEST(ElementMachine, EmptyProblemStaysIdle) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {}, {0, 1});
+  ElementMachine machine(problem);
+  ElementStats stats;
+  const core::ScheduleResult result = machine.run(&stats);
+  EXPECT_EQ(result.allocated(), 0u);
+  EXPECT_EQ(stats.iterations, 0);
+  // Without E1 the bus never shows both go bits, so the machine idles out
+  // after the first sample.
+  EXPECT_LE(stats.clock_periods, 2);
+}
+
+TEST(ElementMachine, PendingRequestWithOccupiedInjectionLink) {
+  topo::Network net = topo::make_omega(8);
+  net.occupy_link(net.processor_link(0));
+  const core::Problem problem = core::make_problem(net, {0}, {3});
+  ElementMachine machine(problem);
+  const core::ScheduleResult result = machine.run();
+  EXPECT_EQ(result.allocated(), 0u)
+      << "no token can even be launched; the cycle must end cleanly";
+}
+
+TEST(ElementMachine, RejectsHeterogeneousProblems) {
+  const topo::Network net = topo::make_omega(4);
+  core::Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 0}, {1, 0, 1}};
+  problem.free_resources = {{0, 0, 0}, {1, 0, 1}};
+  EXPECT_THROW(ElementMachine machine(problem), std::invalid_argument);
+}
+
+TEST(ElementMachine, BusTraceShowsTheFig10Sequence) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {0, 3}, {2, 6});
+  ElementMachine machine(problem);
+  ElementStats stats;
+  machine.run(&stats);
+  // The canonical vector sequence: ...E3... then E6, then E4s, then E5.
+  bool saw_e3 = false;
+  bool saw_e6 = false;
+  bool saw_e4 = false;
+  bool saw_e5 = false;
+  for (const BusSample& sample : stats.bus_trace) {
+    if (bus_vector_x(sample.bits) == "111000x") saw_e3 = true;
+    if ((sample.bits & kResourceReached) && saw_e3) saw_e6 = true;
+    if ((sample.bits & kResourceTokenPhase) && saw_e6) saw_e4 = true;
+    if ((sample.bits & kPathRegistration) && saw_e4) saw_e5 = true;
+  }
+  EXPECT_TRUE(saw_e3);
+  EXPECT_TRUE(saw_e6);
+  EXPECT_TRUE(saw_e4);
+  EXPECT_TRUE(saw_e5);
+  EXPECT_TRUE(stats.bus_trace.back().bits & kBonded);
+}
+
+TEST(ElementMachine, OneWireOneDriverInvariantHolds) {
+  // The machine internally asserts that no wire is driven twice in one
+  // clock; a dense all-request instance exercises the worst contention.
+  const topo::Network net = topo::make_benes(8);
+  std::vector<topo::ProcessorId> all{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<topo::ResourceId> res{0, 1, 2, 3, 4, 5, 6, 7};
+  const core::Problem problem = core::make_problem(net, all, res);
+  ElementMachine machine(problem);
+  EXPECT_NO_THROW({
+    const auto result = machine.run();
+    EXPECT_EQ(result.allocated(), 8u);
+  });
+}
+
+class ElementMachineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElementMachineSweep, MatchesDinicAndTokenMachineEverywhere) {
+  util::Rng rng(GetParam());
+  core::MaxFlowScheduler dinic;
+  for (const char* topology :
+       {"omega", "cube", "baseline", "butterfly", "benes", "gamma",
+        "crossbar"}) {
+    topo::Network net = topo::make_named(topology, 8);
+    for (int round = 0; round < 4; ++round) {
+      net.release_all();
+      core::Problem problem = rsin::test::random_problem(rng, net, 0.6, 0.6);
+      // Occasionally pre-occupy one circuit.
+      if (rng.bernoulli(0.4) && !problem.requests.empty()) {
+        const auto busy = core::first_free_path(
+            net, problem.requests.front().processor,
+            [&](topo::ResourceId) { return true; });
+        if (busy) {
+          net.establish(*busy);
+          problem.requests.erase(problem.requests.begin());
+        }
+      }
+      ElementMachine element_machine(problem);
+      const core::ScheduleResult element_result = element_machine.run();
+      EXPECT_FALSE(
+          core::verify_schedule(problem, element_result).has_value());
+
+      TokenMachine token_machine(problem);
+      const core::ScheduleResult token_result = token_machine.run();
+      const core::ScheduleResult dinic_result = dinic.schedule(problem);
+      EXPECT_EQ(element_result.allocated(), dinic_result.allocated())
+          << topology << " seed " << GetParam() << " round " << round;
+      EXPECT_EQ(element_result.allocated(), token_result.allocated());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElementMachineSweep,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+TEST(ElementScheduler, AdapterWorks) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {1, 5}, {2, 6});
+  ElementScheduler scheduler;
+  EXPECT_EQ(scheduler.name(), "token-machine(element-local)");
+  const core::ScheduleResult result = scheduler.schedule(problem);
+  EXPECT_EQ(result.allocated(), 2u);
+  EXPECT_GT(result.operations, 0);
+}
+
+TEST(ElementMachine, ClockCountComparableToOrchestratedMachine) {
+  // The element-local realization pays a small constant bus-latch overhead
+  // per phase but must stay within a small factor of TokenMachine.
+  const topo::Network net = topo::make_omega(16);
+  std::vector<topo::ProcessorId> req;
+  std::vector<topo::ResourceId> res;
+  for (int i = 0; i < 16; ++i) {
+    req.push_back(i);
+    res.push_back(i);
+  }
+  const core::Problem problem = core::make_problem(net, req, res);
+  ElementStats element_stats;
+  TokenStats token_stats;
+  ElementMachine(problem).run(&element_stats);
+  TokenMachine(problem).run(&token_stats);
+  EXPECT_LT(element_stats.clock_periods, 4 * token_stats.clock_periods + 16);
+}
+
+}  // namespace
+}  // namespace rsin::token

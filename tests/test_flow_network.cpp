@@ -1,0 +1,179 @@
+#include "flow/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "flow/validate.hpp"
+
+namespace rsin::flow {
+namespace {
+
+TEST(FlowNetwork, StartsEmpty) {
+  FlowNetwork net;
+  EXPECT_EQ(net.node_count(), 0u);
+  EXPECT_EQ(net.arc_count(), 0u);
+  EXPECT_EQ(net.source(), kInvalidNode);
+  EXPECT_EQ(net.sink(), kInvalidNode);
+}
+
+TEST(FlowNetwork, AddNodeAssignsDenseIds) {
+  FlowNetwork net;
+  EXPECT_EQ(net.add_node("a"), 0);
+  EXPECT_EQ(net.add_node("b"), 1);
+  EXPECT_EQ(net.add_node(), 2);
+  EXPECT_EQ(net.label(0), "a");
+  EXPECT_EQ(net.label(2), "");
+}
+
+TEST(FlowNetwork, AddArcRecordsEndpointsAndAdjacency) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const ArcId arc = net.add_arc(a, b, 3, 7);
+  EXPECT_EQ(net.arc(arc).from, a);
+  EXPECT_EQ(net.arc(arc).to, b);
+  EXPECT_EQ(net.arc(arc).capacity, 3);
+  EXPECT_EQ(net.arc(arc).cost, 7);
+  EXPECT_EQ(net.arc(arc).flow, 0);
+  ASSERT_EQ(net.out_arcs(a).size(), 1u);
+  EXPECT_EQ(net.out_arcs(a)[0], arc);
+  ASSERT_EQ(net.in_arcs(b).size(), 1u);
+  EXPECT_EQ(net.in_arcs(b)[0], arc);
+}
+
+TEST(FlowNetwork, RejectsInvalidArcs) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  EXPECT_THROW(net.add_arc(a, a, 1), std::invalid_argument);   // self loop
+  EXPECT_THROW(net.add_arc(a, b, -1), std::invalid_argument);  // negative cap
+  EXPECT_THROW(net.add_arc(a, 99, 1), std::invalid_argument);  // unknown node
+}
+
+TEST(FlowNetwork, SetFlowEnforcesCapacity) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const ArcId arc = net.add_arc(a, b, 2);
+  net.set_flow(arc, 2);
+  EXPECT_EQ(net.arc(arc).flow, 2);
+  EXPECT_THROW(net.set_flow(arc, 3), std::invalid_argument);
+  EXPECT_THROW(net.set_flow(arc, -1), std::invalid_argument);
+}
+
+TEST(FlowNetwork, ClearFlowZeroesEverything) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const ArcId arc = net.add_arc(a, b, 2);
+  net.set_flow(arc, 1);
+  net.clear_flow();
+  EXPECT_EQ(net.arc(arc).flow, 0);
+}
+
+TEST(FlowNetwork, FlowValueIsNetSourceOutput) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  const ArcId sa = net.add_arc(s, a, 5);
+  const ArcId at = net.add_arc(a, t, 5);
+  net.set_flow(sa, 4);
+  net.set_flow(at, 4);
+  EXPECT_EQ(net.flow_value(), 4);
+}
+
+TEST(FlowNetwork, FlowCostSumsCostTimesFlow) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const ArcId x = net.add_arc(a, b, 2, 3);
+  const ArcId y = net.add_arc(a, b, 2, 5);
+  net.set_flow(x, 2);
+  net.set_flow(y, 1);
+  EXPECT_EQ(net.flow_cost(), 2 * 3 + 1 * 5);
+}
+
+TEST(FlowNetwork, UnitCapacityDetection) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.add_arc(a, b, 1);
+  EXPECT_TRUE(net.is_unit_capacity());
+  net.add_arc(a, b, 2);
+  EXPECT_FALSE(net.is_unit_capacity());
+}
+
+TEST(FlowNetwork, FindNodeByLabel) {
+  FlowNetwork net;
+  net.add_node("s");
+  const NodeId p = net.add_node("p3");
+  EXPECT_EQ(net.find_node("p3"), p);
+  EXPECT_EQ(net.find_node("missing"), kInvalidNode);
+}
+
+TEST(FlowNetwork, PrintMentionsArcs) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("alpha");
+  const NodeId b = net.add_node("beta");
+  net.add_arc(a, b, 1);
+  std::ostringstream out;
+  out << net;
+  EXPECT_NE(out.str().find("alpha -> beta"), std::string::npos);
+}
+
+TEST(ValidateFlow, AcceptsLegalFlow) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.set_flow(net.add_arc(s, a, 1), 1);
+  net.set_flow(net.add_arc(a, t, 1), 1);
+  EXPECT_FALSE(validate_flow(net).has_value());
+}
+
+TEST(ValidateFlow, DetectsConservationViolation) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.set_flow(net.add_arc(s, a, 1), 1);
+  net.add_arc(a, t, 1);  // flow vanishes at a
+  const auto violation = validate_flow(net);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->kind, FlowViolation::Kind::kConservation);
+}
+
+TEST(ValidateFlow, DetectsWrongExpectedValue) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.set_flow(net.add_arc(s, t, 2), 1);
+  EXPECT_FALSE(validate_flow(net, 1).has_value());
+  EXPECT_TRUE(validate_flow(net, 2).has_value());
+}
+
+TEST(ValidateFlow, ZeroOneFlowPredicate) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  const ArcId arc = net.add_arc(s, t, 2);
+  net.set_source(s);
+  net.set_sink(t);
+  net.set_flow(arc, 1);
+  EXPECT_TRUE(is_zero_one_flow(net));
+  net.set_flow(arc, 2);
+  EXPECT_FALSE(is_zero_one_flow(net));
+}
+
+}  // namespace
+}  // namespace rsin::flow

@@ -1,0 +1,72 @@
+#include "token/hardware_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace rsin::token {
+namespace {
+
+TEST(HardwareModel, CountsElementsOfAnOmega) {
+  const topo::Network net = topo::make_omega(8);
+  const HardwareCost cost = estimate_hardware(net);
+  EXPECT_EQ(cost.elements, 8 + 8 + 12);  // RQs + RSs + NSs
+  // Registers: terminals 8+8 at (3 + 1*2); switches 12 at (3 + 4*2).
+  EXPECT_EQ(cost.registers, 16 * 5 + 12 * 11);
+  EXPECT_EQ(cost.bus_taps, (8 + 8 + 12) * 3);
+}
+
+TEST(HardwareModel, PerSwitchCostIsConstantAcrossSizes) {
+  // Subtract the terminal (RQ/RS) contribution; what remains divided by
+  // the switch count must be the fixed 2x2-NS cost at any fabric size —
+  // the paper's "very low gate count" is per box, independent of n.
+  const HardwareModel model;
+  const std::int64_t terminal_gates =
+      model.gates_per_element + model.gates_per_port;
+  const std::int64_t ns_gates =
+      model.gates_per_element + 4 * model.gates_per_port;
+  for (const std::int32_t n : {8, 16, 64}) {
+    const topo::Network net = topo::make_omega(n);
+    const HardwareCost cost = estimate_hardware(net);
+    const std::int64_t switch_gates = cost.gates - 2 * n * terminal_gates;
+    EXPECT_EQ(switch_gates % net.switch_count(), 0);
+    EXPECT_EQ(switch_gates / net.switch_count(), ns_gates);
+  }
+}
+
+TEST(HardwareModel, GrowsLinearlyInElements) {
+  // n x n Omega has n + n + (n/2)log2(n) elements; doubling n slightly
+  // more than doubles the totals — strictly subquadratic.
+  const HardwareCost c8 = estimate_hardware(topo::make_omega(8));
+  const HardwareCost c16 = estimate_hardware(topo::make_omega(16));
+  const HardwareCost c32 = estimate_hardware(topo::make_omega(32));
+  EXPECT_GT(c16.gates, c8.gates);
+  EXPECT_LT(c16.gates, 3 * c8.gates);
+  EXPECT_LT(c32.gates, 3 * c16.gates);
+}
+
+TEST(HardwareModel, WiderSwitchesCostMore) {
+  const HardwareCost omega = estimate_hardware(topo::make_omega(8));
+  const HardwareCost gamma = estimate_hardware(topo::make_gamma(8));
+  // Gamma's 3x3 switches and extra stage outweigh Omega's 2x2 boxes.
+  EXPECT_GT(gamma.gates, omega.gates);
+  EXPECT_GT(gamma.registers, omega.registers);
+}
+
+TEST(HardwareModel, CustomModelConstants) {
+  HardwareModel model;
+  model.state_bits = 0;
+  model.flops_per_port = 1;
+  model.gates_per_port = 0;
+  model.gates_per_element = 1;
+  model.bus_taps_per_element = 0;
+  const topo::Network net = topo::make_crossbar(4, 4);
+  const HardwareCost cost = estimate_hardware(net, model);
+  EXPECT_EQ(cost.elements, 9);
+  EXPECT_EQ(cost.gates, 9);
+  EXPECT_EQ(cost.registers, 4 + 4 + 8);  // ports only
+  EXPECT_EQ(cost.bus_taps, 0);
+}
+
+}  // namespace
+}  // namespace rsin::token

@@ -1,0 +1,73 @@
+// Shared generators for the property-style tests: random flow networks and
+// random MRSIN scheduling instances with reproducible seeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "flow/network.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::test {
+
+/// Random layered DAG flow network with `layers` interior layers of
+/// `width` nodes, arc probability `density`, capacities in [1, max_cap].
+inline flow::FlowNetwork random_layered_network(util::Rng& rng, int layers,
+                                                int width, double density,
+                                                flow::Capacity max_cap,
+                                                flow::Cost max_cost = 0) {
+  flow::FlowNetwork net;
+  const flow::NodeId s = net.add_node("s");
+  const flow::NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  std::vector<std::vector<flow::NodeId>> layer(
+      static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      layer[static_cast<std::size_t>(l)].push_back(
+          net.add_node("n" + std::to_string(l) + "_" + std::to_string(w)));
+    }
+  }
+  const auto cap = [&] {
+    return static_cast<flow::Capacity>(rng.uniform_int(1, max_cap));
+  };
+  const auto cost = [&] {
+    return max_cost > 0 ? static_cast<flow::Cost>(rng.uniform_int(0, max_cost))
+                        : 0;
+  };
+  for (const flow::NodeId v : layer[0]) {
+    if (rng.bernoulli(density)) net.add_arc(s, v, cap(), cost());
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (const flow::NodeId u : layer[static_cast<std::size_t>(l)]) {
+      for (const flow::NodeId v : layer[static_cast<std::size_t>(l) + 1]) {
+        if (rng.bernoulli(density)) net.add_arc(u, v, cap(), cost());
+      }
+    }
+  }
+  for (const flow::NodeId u : layer[static_cast<std::size_t>(layers) - 1]) {
+    if (rng.bernoulli(density)) net.add_arc(u, t, cap(), cost());
+  }
+  return net;
+}
+
+/// Random homogeneous scheduling instance on a copy-constructible network:
+/// each processor requests with probability `p_request`, each resource is
+/// free with probability `p_free`.
+inline core::Problem random_problem(util::Rng& rng, const topo::Network& net,
+                                    double p_request, double p_free) {
+  std::vector<topo::ProcessorId> requesting;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    if (rng.bernoulli(p_request)) requesting.push_back(p);
+  }
+  std::vector<topo::ResourceId> available;
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    if (rng.bernoulli(p_free)) available.push_back(r);
+  }
+  return core::make_problem(net, requesting, available);
+}
+
+}  // namespace rsin::test

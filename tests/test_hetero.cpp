@@ -1,0 +1,162 @@
+#include "core/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::core {
+namespace {
+
+/// Random heterogeneous instance with `types` resource types.
+Problem random_hetero_problem(util::Rng& rng, const topo::Network& net,
+                              int types, double p_request, double p_free,
+                              bool with_priorities = false) {
+  Problem problem;
+  problem.network = &net;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    if (!rng.bernoulli(p_request)) continue;
+    Request request;
+    request.processor = p;
+    request.type = static_cast<std::int32_t>(rng.uniform_int(0, types - 1));
+    if (with_priorities) {
+      request.priority = static_cast<std::int32_t>(rng.uniform_int(1, 5));
+    }
+    problem.requests.push_back(request);
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    if (!rng.bernoulli(p_free)) continue;
+    FreeResource resource;
+    resource.resource = r;
+    resource.type = static_cast<std::int32_t>(rng.uniform_int(0, types - 1));
+    if (with_priorities) {
+      resource.preference = static_cast<std::int32_t>(rng.uniform_int(1, 5));
+    }
+    problem.free_resources.push_back(resource);
+  }
+  return problem;
+}
+
+TEST(HeteroLp, HomogeneousReducesToMaxFlow) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0, 1, 2, 3}, {4, 5, 6});
+  HeteroLpScheduler lp;
+  MaxFlowScheduler max_flow;
+  const auto detailed = lp.schedule_detailed(problem);
+  EXPECT_TRUE(detailed.lp_integral);
+  EXPECT_EQ(detailed.schedule.allocated(),
+            max_flow.schedule(problem).allocated());
+  EXPECT_FALSE(verify_schedule(problem, detailed.schedule).has_value());
+}
+
+TEST(HeteroLp, TypeMatchingIsEnforced) {
+  const topo::Network net = topo::make_omega(8);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 0}, {1, 0, 1}};
+  problem.free_resources = {{2, 0, 1}, {3, 0, 1}};  // no type-0 resources
+  HeteroLpScheduler lp;
+  const ScheduleResult result = lp.schedule(problem);
+  EXPECT_FALSE(verify_schedule(problem, result).has_value());
+  ASSERT_EQ(result.allocated(), 1u);
+  EXPECT_EQ(result.assignments[0].request.type, 1);
+}
+
+TEST(HeteroLp, IntegralOnMinTopologies) {
+  util::Rng rng(21);
+  const topo::Network net = topo::make_omega(8);
+  HeteroLpScheduler lp;
+  int integral_count = 0;
+  const int rounds = 12;
+  for (int round = 0; round < rounds; ++round) {
+    const Problem problem = random_hetero_problem(rng, net, 2, 0.6, 0.6);
+    if (problem.requests.empty() || problem.free_resources.empty()) {
+      ++integral_count;
+      continue;
+    }
+    const auto detailed = lp.schedule_detailed(problem);
+    EXPECT_FALSE(verify_schedule(problem, detailed.schedule).has_value());
+    if (detailed.lp_integral) ++integral_count;
+  }
+  // Evans–Jarvis property for MIN-class topologies: the LP basic optimum
+  // is integral (we allow the odd degenerate vertex, but expect the bulk).
+  EXPECT_GE(integral_count, rounds - 2);
+}
+
+TEST(HeteroLp, NeverWorseThanSequential) {
+  util::Rng rng(22);
+  const topo::Network net = topo::make_omega(8);
+  HeteroLpScheduler lp;
+  HeteroSequentialScheduler sequential;
+  for (int round = 0; round < 10; ++round) {
+    const Problem problem = random_hetero_problem(rng, net, 3, 0.7, 0.7);
+    if (problem.requests.empty() || problem.free_resources.empty()) continue;
+    const auto lp_result = lp.schedule_detailed(problem);
+    const auto seq_result = sequential.schedule(problem);
+    if (lp_result.lp_integral) {
+      EXPECT_GE(lp_result.schedule.allocated(), seq_result.allocated());
+    }
+  }
+}
+
+TEST(HeteroSequential, RealizableAndTypeCorrect) {
+  util::Rng rng(23);
+  const topo::Network net = topo::make_omega(8);
+  HeteroSequentialScheduler scheduler;
+  for (int round = 0; round < 10; ++round) {
+    const Problem problem = random_hetero_problem(rng, net, 3, 0.7, 0.7);
+    const ScheduleResult result = scheduler.schedule(problem);
+    EXPECT_FALSE(verify_schedule(problem, result).has_value());
+    for (const Assignment& assignment : result.assignments) {
+      EXPECT_EQ(assignment.request.type, assignment.resource.type);
+    }
+  }
+}
+
+TEST(HeteroLp, WithPrioritiesUsesMinCostForm) {
+  util::Rng rng(24);
+  const topo::Network net = topo::make_omega(8);
+  HeteroLpScheduler lp;
+  for (int round = 0; round < 6; ++round) {
+    const Problem problem =
+        random_hetero_problem(rng, net, 2, 0.6, 0.6, /*with_priorities=*/true);
+    if (problem.requests.empty() || problem.free_resources.empty()) continue;
+    const auto detailed = lp.schedule_detailed(problem);
+    EXPECT_FALSE(verify_schedule(problem, detailed.schedule).has_value());
+  }
+}
+
+TEST(HeteroLp, EmptyTypesHandled) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 0}};
+  problem.free_resources = {{1, 0, 1}};  // mismatched type only
+  HeteroLpScheduler lp;
+  const ScheduleResult result = lp.schedule(problem);
+  EXPECT_EQ(result.allocated(), 0u);
+}
+
+TEST(HeteroSequential, OrderCanCauseBlocking) {
+  // Statistical: over many instances, sequential sometimes allocates
+  // strictly less than the LP (type-interleaving blockage).
+  util::Rng rng(25);
+  const topo::Network net = topo::make_omega(8);
+  HeteroLpScheduler lp;
+  HeteroSequentialScheduler sequential;
+  bool strictly_less = false;
+  for (int round = 0; round < 60 && !strictly_less; ++round) {
+    const Problem problem = random_hetero_problem(rng, net, 3, 0.8, 0.8);
+    if (problem.requests.empty() || problem.free_resources.empty()) continue;
+    const auto lp_result = lp.schedule_detailed(problem);
+    if (!lp_result.lp_integral) continue;
+    if (sequential.schedule(problem).allocated() <
+        lp_result.schedule.allocated()) {
+      strictly_less = true;
+    }
+  }
+  EXPECT_TRUE(strictly_less);
+}
+
+}  // namespace
+}  // namespace rsin::core

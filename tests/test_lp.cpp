@@ -1,0 +1,243 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rsin::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, SimpleTwoVariableMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6  ->  x=4, y=0, obj 12.
+  LinearProgram program;
+  const int x = program.add_variable(3.0, "x");
+  const int y = program.add_variable(2.0, "y");
+  program.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0});
+  program.add_constraint({{{x, 1.0}, {y, 3.0}}, Relation::kLessEqual, 6.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 12.0, kTol);
+  EXPECT_NEAR(solution.values[0], 4.0, kTol);
+  EXPECT_NEAR(solution.values[1], 0.0, kTol);
+}
+
+TEST(Simplex, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 4, x + 2y <= 4  ->  x=y=4/3, obj 8/3.
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  const int y = program.add_variable(1.0);
+  program.add_constraint({{{x, 2.0}, {y, 1.0}}, Relation::kLessEqual, 4.0});
+  program.add_constraint({{{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 4.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 8.0 / 3.0, kTol);
+  EXPECT_NEAR(solution.values[0], 4.0 / 3.0, kTol);
+  EXPECT_NEAR(solution.values[1], 4.0 / 3.0, kTol);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  const int y = program.add_variable(0.0);
+  program.add_constraint({{{y, 1.0}}, Relation::kLessEqual, 1.0});
+  (void)x;  // x unconstrained above
+  const Solution solution = solve(program);
+  EXPECT_EQ(solution.status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  program.add_constraint({{{x, 1.0}}, Relation::kLessEqual, 1.0});
+  program.add_constraint({{{x, 1.0}}, Relation::kGreaterEqual, 3.0});
+  const Solution solution = solve(program);
+  EXPECT_EQ(solution.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + 2y  s.t. x + y == 3, x - y == 1  ->  x=2, y=1, obj 4.
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  const int y = program.add_variable(2.0);
+  program.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0});
+  program.add_constraint({{{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 4.0, kTol);
+  EXPECT_NEAR(solution.values[0], 2.0, kTol);
+  EXPECT_NEAR(solution.values[1], 1.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x >= 2 written as -x <= -2; max -x  ->  x=2.
+  LinearProgram program;
+  const int x = program.add_variable(-1.0);
+  program.add_constraint({{{x, -1.0}}, Relation::kLessEqual, -2.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 2.0, kTol);
+  EXPECT_NEAR(solution.objective, -2.0, kTol);
+}
+
+TEST(Simplex, GreaterEqualWithSurplus) {
+  // min x+y (max -x-y) s.t. x + 2y >= 4, 3x + y >= 6 -> x=1.6, y=1.2.
+  LinearProgram program;
+  const int x = program.add_variable(-1.0);
+  const int y = program.add_variable(-1.0);
+  program.add_constraint({{{x, 1.0}, {y, 2.0}}, Relation::kGreaterEqual, 4.0});
+  program.add_constraint({{{x, 3.0}, {y, 1.0}}, Relation::kGreaterEqual, 6.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 1.6, kTol);
+  EXPECT_NEAR(solution.values[1], 1.2, kTol);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // max x s.t. (0.5 + 0.5) x <= 3.
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  program.add_constraint({{{x, 0.5}, {x, 0.5}}, Relation::kLessEqual, 3.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.values[0], 3.0, kTol);
+}
+
+TEST(Simplex, RejectsUnknownVariable) {
+  LinearProgram program;
+  program.add_variable(1.0);
+  EXPECT_THROW(
+      program.add_constraint({{{5, 1.0}}, Relation::kLessEqual, 1.0}),
+      std::invalid_argument);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone instance (Beale); Bland fallback must terminate.
+  LinearProgram program;
+  const int x1 = program.add_variable(0.75);
+  const int x2 = program.add_variable(-150.0);
+  const int x3 = program.add_variable(0.02);
+  const int x4 = program.add_variable(-6.0);
+  program.add_constraint(
+      {{{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+       Relation::kLessEqual,
+       0.0});
+  program.add_constraint(
+      {{{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+       Relation::kLessEqual,
+       0.0});
+  program.add_constraint({{{x3, 1.0}}, Relation::kLessEqual, 1.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.05, kTol);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y == 2 listed twice; still solvable.
+  LinearProgram program;
+  const int x = program.add_variable(1.0);
+  const int y = program.add_variable(0.5);
+  program.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0});
+  program.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0});
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, kTol);
+  EXPECT_NEAR(solution.values[0], 2.0, kTol);
+}
+
+TEST(Simplex, ZeroConstraintProblem) {
+  // No constraints, non-positive objective: optimum at the origin.
+  LinearProgram program;
+  program.add_variable(-1.0);
+  const Solution solution = solve(program);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, kTol);
+}
+
+class SimplexDuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexDuality, StrongDualityOnRandomPrograms) {
+  // Generate a random bounded-feasible primal max c'x s.t. Ax <= b, x >= 0,
+  // build its dual min b'y s.t. A'y >= c, y >= 0, and check both optima
+  // agree — an algorithm-level self-test no single solve could provide.
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    const int vars = static_cast<int>(rng.uniform_int(2, 6));
+    const int rows = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<std::vector<double>> a(static_cast<std::size_t>(rows),
+                                       std::vector<double>(
+                                           static_cast<std::size_t>(vars)));
+    std::vector<double> b(static_cast<std::size_t>(rows));
+    std::vector<double> c(static_cast<std::size_t>(vars));
+    for (auto& row : a) {
+      for (double& x : row) x = static_cast<double>(rng.uniform_int(0, 4));
+    }
+    for (double& x : b) x = static_cast<double>(rng.uniform_int(1, 10));
+    for (double& x : c) x = static_cast<double>(rng.uniform_int(0, 5));
+
+    LinearProgram primal;
+    for (int j = 0; j < vars; ++j) {
+      primal.add_variable(c[static_cast<std::size_t>(j)]);
+    }
+    for (int i = 0; i < rows; ++i) {
+      Constraint row;
+      for (int j = 0; j < vars; ++j) {
+        row.terms.emplace_back(j, a[static_cast<std::size_t>(i)]
+                                   [static_cast<std::size_t>(j)]);
+      }
+      // Guarantee boundedness: every variable appears with coefficient >= 1
+      // in this extra box row.
+      row.relation = Relation::kLessEqual;
+      row.rhs = b[static_cast<std::size_t>(i)];
+      primal.add_constraint(std::move(row));
+    }
+    Constraint box;
+    for (int j = 0; j < vars; ++j) box.terms.emplace_back(j, 1.0);
+    box.relation = Relation::kLessEqual;
+    box.rhs = 50.0;
+    primal.add_constraint(box);
+
+    // Dual: min b'y (+50*y_box)  s.t.  A'y >= c, y >= 0  ==
+    //       max -b'y             s.t. -A'y <= -c.
+    LinearProgram dual;
+    for (int i = 0; i < rows; ++i) {
+      dual.add_variable(-b[static_cast<std::size_t>(i)]);
+    }
+    const int y_box = dual.add_variable(-50.0);
+    for (int j = 0; j < vars; ++j) {
+      Constraint col;
+      for (int i = 0; i < rows; ++i) {
+        col.terms.emplace_back(i, a[static_cast<std::size_t>(i)]
+                                    [static_cast<std::size_t>(j)]);
+      }
+      col.terms.emplace_back(y_box, 1.0);
+      col.relation = Relation::kGreaterEqual;
+      col.rhs = c[static_cast<std::size_t>(j)];
+      dual.add_constraint(std::move(col));
+    }
+
+    const Solution primal_solution = solve(primal);
+    const Solution dual_solution = solve(dual);
+    ASSERT_EQ(primal_solution.status, SolveStatus::kOptimal);
+    ASSERT_EQ(dual_solution.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(primal_solution.objective, -dual_solution.objective, 1e-6)
+        << "strong duality, seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexDuality,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+TEST(Simplex, VariableNamesStored) {
+  LinearProgram program;
+  const int x = program.add_variable(1.0, "flow_a");
+  EXPECT_EQ(program.variable_name(x), "flow_a");
+  const int y = program.add_variable(1.0);
+  EXPECT_EQ(program.variable_name(y), "x1");
+}
+
+}  // namespace
+}  // namespace rsin::lp

@@ -1,0 +1,264 @@
+#include "flow/max_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/min_cut.hpp"
+#include "flow/push_relabel.hpp"
+#include "flow/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace rsin::flow {
+namespace {
+
+/// The flow network of Fig. 3 of the paper: unit capacities, nodes
+/// s, a, b, c, d, t; max flow 2, reachable only by using the augmenting
+/// path s-c-d-a-b-t that cancels flow on (a, d).
+FlowNetwork fig3_network() {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId c = net.add_node("c");
+  const NodeId d = net.add_node("d");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 1);
+  net.add_arc(s, c, 1);
+  net.add_arc(a, b, 1);
+  net.add_arc(a, d, 1);
+  net.add_arc(c, d, 1);
+  net.add_arc(b, t, 1);
+  net.add_arc(d, t, 1);
+  return net;
+}
+
+TEST(MaxFlow, Fig3ValueIsTwoForAllAlgorithms) {
+  for (const auto algorithm :
+       {MaxFlowAlgorithm::kFordFulkerson, MaxFlowAlgorithm::kEdmondsKarp,
+        MaxFlowAlgorithm::kDinic}) {
+    FlowNetwork net = fig3_network();
+    const MaxFlowResult result = max_flow(net, algorithm);
+    EXPECT_EQ(result.value, 2);
+    EXPECT_EQ(net.flow_value(), 2);
+    EXPECT_FALSE(validate_flow(net, 2).has_value());
+  }
+}
+
+TEST(MaxFlow, Fig3AugmentationCancelsInitialFlow) {
+  // Pre-assign the paper's initial flow along s-a-d-t, then let the solver
+  // finish: it must discover the augmenting path through d-a (cancelling
+  // the a->d unit) and reach value 2.
+  FlowNetwork net = fig3_network();
+  net.set_flow(0, 1);  // s->a
+  net.set_flow(3, 1);  // a->d
+  net.set_flow(6, 1);  // d->t
+  const MaxFlowResult result = max_flow_dinic(net);
+  EXPECT_EQ(result.value, 1);  // one *additional* unit
+  EXPECT_EQ(net.flow_value(), 2);
+  EXPECT_EQ(net.arc(3).flow, 0) << "a->d flow must be cancelled";
+  EXPECT_FALSE(validate_flow(net, 2).has_value());
+}
+
+TEST(MaxFlow, EmptyNetworkBetweenDisconnectedNodes) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  for (const auto algorithm :
+       {MaxFlowAlgorithm::kFordFulkerson, MaxFlowAlgorithm::kEdmondsKarp,
+        MaxFlowAlgorithm::kDinic}) {
+    FlowNetwork copy = net;
+    EXPECT_EQ(max_flow(copy, algorithm).value, 0);
+  }
+}
+
+TEST(MaxFlow, RequiresSourceAndSink) {
+  FlowNetwork net;
+  net.add_node("only");
+  EXPECT_THROW(max_flow_dinic(net), std::invalid_argument);
+}
+
+TEST(MaxFlow, SingleArcSaturates) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  net.add_arc(s, t, 7);
+  net.set_source(s);
+  net.set_sink(t);
+  EXPECT_EQ(max_flow_edmonds_karp(net).value, 7);
+}
+
+TEST(MaxFlow, ParallelArcsAddUp) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  net.add_arc(s, t, 2);
+  net.add_arc(s, t, 3);
+  net.set_source(s);
+  net.set_sink(t);
+  EXPECT_EQ(max_flow_dinic(net).value, 5);
+}
+
+TEST(MaxFlow, BottleneckLimitsValue) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.add_arc(s, a, 10);
+  net.add_arc(a, t, 3);
+  net.set_source(s);
+  net.set_sink(t);
+  EXPECT_EQ(max_flow_ford_fulkerson(net).value, 3);
+}
+
+TEST(MaxFlow, ClassicCLRSExample) {
+  // The standard 6-node example with max flow 23.
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId v1 = net.add_node("v1");
+  const NodeId v2 = net.add_node("v2");
+  const NodeId v3 = net.add_node("v3");
+  const NodeId v4 = net.add_node("v4");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, v1, 16);
+  net.add_arc(s, v2, 13);
+  net.add_arc(v1, v3, 12);
+  net.add_arc(v2, v1, 4);
+  net.add_arc(v2, v4, 14);
+  net.add_arc(v3, v2, 9);
+  net.add_arc(v3, t, 20);
+  net.add_arc(v4, v3, 7);
+  net.add_arc(v4, t, 4);
+  for (const auto algorithm :
+       {MaxFlowAlgorithm::kFordFulkerson, MaxFlowAlgorithm::kEdmondsKarp,
+        MaxFlowAlgorithm::kDinic}) {
+    FlowNetwork copy = net;
+    EXPECT_EQ(max_flow(copy, algorithm).value, 23);
+    EXPECT_FALSE(validate_flow(copy, 23).has_value());
+  }
+}
+
+TEST(MaxFlow, DinicPhasesBoundedByAugmentations) {
+  FlowNetwork net = fig3_network();
+  const MaxFlowResult result = max_flow_dinic(net);
+  EXPECT_GE(result.augmentations, result.phases - 1);
+  EXPECT_GE(result.phases, 1);
+}
+
+TEST(MaxFlow, DinicTraceRecordsLayeredNetworks) {
+  FlowNetwork net = fig3_network();
+  DinicTrace trace;
+  max_flow_dinic(net, &trace);
+  ASSERT_GE(trace.phases.size(), 2u);  // at least one live phase + final dry
+  const LayeredNetwork& first = trace.phases.front();
+  ASSERT_FALSE(first.layers.empty());
+  EXPECT_EQ(first.layers[0].size(), 1u);
+  EXPECT_EQ(first.layers[0][0], net.source());
+  // The final phase must fail to reach the sink.
+  EXPECT_EQ(trace.phases.back().level[static_cast<std::size_t>(net.sink())],
+            -1);
+}
+
+TEST(MaxFlow, LayeredNetworkLevelsAreBfsDistances) {
+  FlowNetwork net = fig3_network();
+  ResidualGraph residual(net);
+  const LayeredNetwork layered =
+      build_layered_network(residual, net.source(), net.sink());
+  EXPECT_EQ(layered.level[static_cast<std::size_t>(net.source())], 0);
+  // a and c are one hop out; b and d two hops; t three.
+  EXPECT_EQ(layered.level[1], 1);  // a
+  EXPECT_EQ(layered.level[3], 1);  // c
+  EXPECT_EQ(layered.level[2], 2);  // b
+  EXPECT_EQ(layered.level[4], 2);  // d
+  EXPECT_EQ(layered.level[static_cast<std::size_t>(net.sink())], 3);
+  // Useful links descend exactly one level.
+  for (const auto e : layered.useful_links) {
+    const NodeId u = residual.tail(e);
+    const NodeId v = residual.head(e);
+    EXPECT_EQ(layered.level[static_cast<std::size_t>(v)],
+              layered.level[static_cast<std::size_t>(u)] + 1);
+  }
+}
+
+TEST(MaxFlow, MinCutMatchesFlowValue) {
+  FlowNetwork net = fig3_network();
+  const MaxFlowResult result = max_flow_dinic(net);
+  const MinCut cut = min_cut_from_flow(net);
+  EXPECT_EQ(cut.capacity, result.value);
+  for (const ArcId a : cut.cut_arcs) {
+    EXPECT_EQ(net.arc(a).flow, net.arc(a).capacity)
+        << "cut arcs must be saturated";
+  }
+}
+
+TEST(MaxFlow, PushRelabelMatchesOnClassicExample) {
+  FlowNetwork net = fig3_network();
+  const MaxFlowResult result = max_flow_push_relabel(net);
+  EXPECT_EQ(result.value, 2);
+  EXPECT_FALSE(validate_flow(net, 2).has_value());
+}
+
+TEST(MaxFlow, PushRelabelWarmStartAugments) {
+  FlowNetwork net = fig3_network();
+  net.set_flow(0, 1);  // s->a
+  net.set_flow(3, 1);  // a->d
+  net.set_flow(6, 1);  // d->t
+  const MaxFlowResult result = max_flow_push_relabel(net);
+  EXPECT_EQ(result.value, 1) << "one additional unit over the warm start";
+  EXPECT_EQ(net.flow_value(), 2);
+  EXPECT_FALSE(validate_flow(net, 2).has_value());
+}
+
+TEST(MaxFlow, CapacityScalingMatchesOnWideCapacities) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 1'000'000);
+  net.add_arc(a, t, 999'999);
+  net.add_arc(s, t, 1);
+  const MaxFlowResult result = max_flow_capacity_scaling(net);
+  EXPECT_EQ(result.value, 1'000'000);
+  // Scaling keeps the augmentation count near log(C), not C.
+  EXPECT_LT(result.augmentations, 64);
+}
+
+class MaxFlowRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowRandomSweep, AlgorithmsAgreeAndSatisfyDuality) {
+  util::Rng rng(GetParam());
+  constexpr MaxFlowAlgorithm kAll[] = {
+      MaxFlowAlgorithm::kFordFulkerson, MaxFlowAlgorithm::kEdmondsKarp,
+      MaxFlowAlgorithm::kDinic, MaxFlowAlgorithm::kCapacityScaling,
+      MaxFlowAlgorithm::kPushRelabel};
+  for (int round = 0; round < 8; ++round) {
+    const int layers = static_cast<int>(rng.uniform_int(1, 4));
+    const int width = static_cast<int>(rng.uniform_int(2, 6));
+    const auto cap = static_cast<Capacity>(rng.uniform_int(1, 5));
+    FlowNetwork base = rsin::test::random_layered_network(
+        rng, layers, width, /*density=*/0.55, cap);
+
+    Capacity reference = -1;
+    for (const auto algorithm : kAll) {
+      FlowNetwork net = base;
+      const Capacity value = max_flow(net, algorithm).value;
+      if (reference < 0) reference = value;
+      EXPECT_EQ(value, reference) << "algorithm disagreement";
+      EXPECT_FALSE(validate_flow(net, value).has_value());
+      const MinCut cut = min_cut_from_flow(net);
+      EXPECT_EQ(cut.capacity, value) << "max-flow/min-cut duality";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace rsin::flow

@@ -1,0 +1,62 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsin::sim {
+namespace {
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat stat;
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  stat.add(42.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 42.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStat, ConfidenceIntervalShrinks) {
+  RunningStat small;
+  RunningStat large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantAverage) {
+  TimeWeightedStat stat(0.0, 0.0);
+  stat.update(1.0, 2.0);  // value 0 over [0,1)
+  stat.update(3.0, 4.0);  // value 2 over [1,3)
+  // value 4 over [3,5): average = (0*1 + 2*2 + 4*2) / 5 = 12/5.
+  EXPECT_DOUBLE_EQ(stat.average(5.0), 12.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stat.current(), 4.0);
+}
+
+TEST(TimeWeightedStat, ResetDiscardsHistory) {
+  TimeWeightedStat stat(0.0, 10.0);
+  stat.update(5.0, 10.0);
+  stat.reset(5.0);
+  stat.update(6.0, 0.0);  // value 10 over [5,6), 0 over [6,7)
+  EXPECT_DOUBLE_EQ(stat.average(7.0), 5.0);
+}
+
+TEST(TimeWeightedStat, RejectsTimeTravel) {
+  TimeWeightedStat stat(5.0, 0.0);
+  EXPECT_THROW(stat.update(4.0, 1.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedStat, ZeroSpanAverage) {
+  TimeWeightedStat stat(1.0, 3.0);
+  EXPECT_EQ(stat.average(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rsin::sim

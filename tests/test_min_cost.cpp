@@ -1,0 +1,154 @@
+#include "flow/min_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.hpp"
+#include "flow/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace rsin::flow {
+namespace {
+
+constexpr MinCostFlowAlgorithm kAllAlgorithms[] = {
+    MinCostFlowAlgorithm::kSsp, MinCostFlowAlgorithm::kCycleCancel,
+    MinCostFlowAlgorithm::kOutOfKilter,
+    MinCostFlowAlgorithm::kNetworkSimplex};
+
+/// Two parallel s-t routes with different costs.
+FlowNetwork two_route_network() {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 2, 1);  // cheap route, capacity 2
+  net.add_arc(a, t, 2, 1);
+  net.add_arc(s, b, 2, 5);  // expensive route
+  net.add_arc(b, t, 2, 5);
+  return net;
+}
+
+TEST(MinCostFlow, PrefersCheapRoute) {
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork net = two_route_network();
+    const MinCostFlowResult result = min_cost_flow(net, 2, algorithm);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.value, 2);
+    EXPECT_EQ(result.cost, 2 * 2) << "all flow via the cost-1 arcs";
+    EXPECT_FALSE(validate_flow(net, 2).has_value());
+  }
+}
+
+TEST(MinCostFlow, SpillsToExpensiveRouteWhenneeded) {
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork net = two_route_network();
+    const MinCostFlowResult result = min_cost_flow(net, 4, algorithm);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.value, 4);
+    EXPECT_EQ(result.cost, 2 * 2 + 2 * 10);
+  }
+}
+
+TEST(MinCostFlow, CapsAtMaxFlowWhenTargetTooLarge) {
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork net = two_route_network();
+    const MinCostFlowResult result = min_cost_flow(net, 100, algorithm);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_EQ(result.value, 4) << "advance the maximum possible amount";
+  }
+}
+
+TEST(MinCostFlow, ZeroTargetIsFree) {
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork net = two_route_network();
+    const MinCostFlowResult result = min_cost_flow(net, 0, algorithm);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.value, 0);
+    EXPECT_EQ(result.cost, 0);
+  }
+}
+
+TEST(MinCostFlow, CostForcesDetourThroughCancellation) {
+  // Network where the optimum at value 2 must avoid the diagonal that a
+  // greedy cheapest-path choice would take first.
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 1, 0);
+  net.add_arc(s, b, 1, 4);
+  net.add_arc(a, b, 1, 0);
+  net.add_arc(a, t, 1, 6);
+  net.add_arc(b, t, 1, 0);
+  // Value 1: s-a-b-t costs 0. Value 2 must use s-b(4) + a-t(6) somehow:
+  // optimum is {s-a-t (6), s-b-t (4)} = 10.
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork copy = net;
+    const MinCostFlowResult result = min_cost_flow(copy, 2, algorithm);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.cost, 10);
+  }
+}
+
+TEST(MinCostFlow, RejectsNegativeTarget) {
+  FlowNetwork net = two_route_network();
+  EXPECT_THROW(min_cost_flow_ssp(net, -1), std::invalid_argument);
+  EXPECT_THROW(min_cost_flow_cycle_cancel(net, -1), std::invalid_argument);
+  EXPECT_THROW(min_cost_flow_out_of_kilter(net, -1), std::invalid_argument);
+  EXPECT_THROW(min_cost_flow_network_simplex(net, -1), std::invalid_argument);
+}
+
+TEST(MinCostFlow, UnitCapacityZeroOneResult) {
+  util::Rng rng(77);
+  FlowNetwork base = rsin::test::random_layered_network(
+      rng, /*layers=*/3, /*width=*/4, /*density=*/0.6, /*max_cap=*/1,
+      /*max_cost=*/9);
+  for (const auto algorithm : kAllAlgorithms) {
+    FlowNetwork net = base;
+    min_cost_flow(net, 3, algorithm);
+    EXPECT_TRUE(is_zero_one_flow(net));
+  }
+}
+
+class MinCostRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinCostRandomSweep, AlgorithmsAgreeOnOptimalCost) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const int layers = static_cast<int>(rng.uniform_int(1, 3));
+    const int width = static_cast<int>(rng.uniform_int(2, 5));
+    FlowNetwork base = rsin::test::random_layered_network(
+        rng, layers, width, /*density=*/0.6, /*max_cap=*/3, /*max_cost=*/7);
+    // Target a value that is usually feasible but sometimes above max-flow.
+    const auto target = static_cast<Capacity>(rng.uniform_int(0, 6));
+
+    MinCostFlowResult results[4];
+    int i = 0;
+    for (const auto algorithm : kAllAlgorithms) {
+      FlowNetwork net = base;
+      results[i] = min_cost_flow(net, target, algorithm);
+      EXPECT_FALSE(validate_flow(net, results[i].value).has_value());
+      ++i;
+    }
+    for (int j = 1; j < 4; ++j) {
+      EXPECT_EQ(results[0].value, results[j].value)
+          << "algorithm " << j << ", seed " << GetParam() << " round "
+          << round;
+      EXPECT_EQ(results[0].cost, results[j].cost)
+          << "algorithm " << j << ", seed " << GetParam() << " round "
+          << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCostRandomSweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+}  // namespace
+}  // namespace rsin::flow

@@ -1,0 +1,88 @@
+#include "flow/network_simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace rsin::flow {
+namespace {
+
+TEST(NetworkSimplex, SolvesTransshipmentChain) {
+  // s -> a -> b -> t with widening capacities; min cost is forced.
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 3, 2);
+  net.add_arc(a, b, 3, 3);
+  net.add_arc(b, t, 3, 4);
+  const MinCostFlowResult result = min_cost_flow_network_simplex(net, 3);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.value, 3);
+  EXPECT_EQ(result.cost, 3 * (2 + 3 + 4));
+  EXPECT_FALSE(validate_flow(net, 3).has_value());
+}
+
+TEST(NetworkSimplex, NegativeCostArcIsExploited) {
+  // Parallel routes where one contains a negative-cost arc: it must be
+  // preferred (other solvers with the no-negative-cycle restriction can't
+  // always handle this; network simplex can).
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId a = net.add_node("a");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, a, 1, 5);
+  net.add_arc(a, t, 1, -3);
+  net.add_arc(s, t, 1, 4);
+  const MinCostFlowResult result = min_cost_flow_network_simplex(net, 1);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, 2) << "route through the negative arc: 5 - 3";
+}
+
+TEST(NetworkSimplex, ZeroCapacityArcsIgnored) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, t, 0, -100);  // tempting but unusable
+  net.add_arc(s, t, 2, 1);
+  const MinCostFlowResult result = min_cost_flow_network_simplex(net, 2);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.cost, 2);
+  EXPECT_EQ(net.arc(0).flow, 0);
+}
+
+TEST(NetworkSimplex, DegenerateLatticeTerminates) {
+  // A grid of zero-cost unit arcs is maximally degenerate; Cunningham's
+  // rule must still terminate and find the max flow.
+  util::Rng rng(55);
+  FlowNetwork net = rsin::test::random_layered_network(
+      rng, /*layers=*/4, /*width=*/5, /*density=*/0.8, /*max_cap=*/1,
+      /*max_cost=*/0);
+  const MinCostFlowResult result = min_cost_flow_network_simplex(net, 100);
+  EXPECT_FALSE(validate_flow(net, result.value).has_value());
+  EXPECT_EQ(result.cost, 0);
+}
+
+TEST(NetworkSimplex, DisconnectedSinkGivesZero) {
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  net.add_node("island");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  const MinCostFlowResult result = min_cost_flow_network_simplex(net, 5);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.value, 0);
+  EXPECT_EQ(result.cost, 0);
+}
+
+}  // namespace
+}  // namespace rsin::flow

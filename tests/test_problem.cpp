@@ -1,0 +1,78 @@
+#include "core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace rsin::core {
+namespace {
+
+TEST(Problem, MakeProblemFillsDefaults) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0, 2, 4}, {1, 3});
+  EXPECT_EQ(problem.requests.size(), 3u);
+  EXPECT_EQ(problem.free_resources.size(), 2u);
+  EXPECT_EQ(problem.requests[0].priority, 0);
+  EXPECT_EQ(problem.requests[0].type, 0);
+  EXPECT_EQ(problem.max_priority(), 0);
+  EXPECT_EQ(problem.max_preference(), 0);
+}
+
+TEST(Problem, MaxPriorityAndPreference) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 3, 0}, {1, 9, 0}};
+  problem.free_resources = {{0, 5, 0}, {1, 2, 0}};
+  EXPECT_EQ(problem.max_priority(), 9);
+  EXPECT_EQ(problem.max_preference(), 5);
+}
+
+TEST(Problem, TypesAreSortedUnique) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 2}, {1, 0, 0}};
+  problem.free_resources = {{0, 0, 2}, {1, 0, 1}};
+  EXPECT_EQ(problem.types(), (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(Problem, ValidateRejectsDuplicateProcessor) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 0}, {0, 0, 0}};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsDuplicateResource) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.free_resources = {{2, 0, 0}, {2, 0, 0}};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsOutOfRangeIds) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{17, 0, 0}};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsNegativePriority) {
+  const topo::Network net = topo::make_omega(4);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, -1, 0}};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+TEST(Problem, ValidateRejectsMissingNetwork) {
+  Problem problem;
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin::core

@@ -1,0 +1,187 @@
+// Cross-module property sweeps: the paper's theorems checked end-to-end on
+// randomized instances over several topologies, with partially occupied
+// fabrics and priority workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hetero.hpp"
+#include "core/routing.hpp"
+#include "core/scheduler.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/min_cut.hpp"
+#include "flow/validate.hpp"
+#include "test_helpers.hpp"
+#include "token/element_machine.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+struct SweepCase {
+  std::string topology;
+  std::int32_t n;
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  return info.param.topology + std::to_string(info.param.n) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class PropertySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  /// Instance with random requests/resources and a few background circuits.
+  core::Problem make_instance(topo::Network& net, util::Rng& rng) {
+    net.release_all();
+    core::Problem problem = test::random_problem(rng, net, 0.6, 0.6);
+    // Occupy up to two background circuits among the uninvolved terminals.
+    std::vector<topo::ProcessorId> idle;
+    for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+      const bool requesting =
+          std::any_of(problem.requests.begin(), problem.requests.end(),
+                      [&](const core::Request& r) { return r.processor == p; });
+      if (!requesting) idle.push_back(p);
+    }
+    std::vector<topo::ResourceId> busy;
+    for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+      const bool free = std::any_of(
+          problem.free_resources.begin(), problem.free_resources.end(),
+          [&](const core::FreeResource& f) { return f.resource == r; });
+      if (!free) busy.push_back(r);
+    }
+    const std::size_t circuits = std::min<std::size_t>(
+        {idle.size(), busy.size(), static_cast<std::size_t>(2)});
+    for (std::size_t i = 0; i < circuits; ++i) {
+      const auto circuit = core::first_free_path(
+          net, idle[i], [&](topo::ResourceId r) { return r == busy[i]; });
+      if (circuit) net.establish(*circuit);
+    }
+    return problem;
+  }
+};
+
+TEST_P(PropertySweep, Theorem2MaxFlowEqualsGroundTruth) {
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed);
+  core::MaxFlowScheduler max_flow;
+  core::ExhaustiveScheduler exhaustive(5'000'000);
+  for (int round = 0; round < 4; ++round) {
+    const core::Problem problem = make_instance(net, rng);
+    const core::ScheduleResult flow_result = max_flow.schedule(problem);
+    EXPECT_FALSE(core::verify_schedule(problem, flow_result).has_value());
+    try {
+      const core::ScheduleResult truth = exhaustive.schedule(problem);
+      EXPECT_EQ(flow_result.allocated(), truth.allocated())
+          << param.topology << param.n << " seed " << param.seed;
+    } catch (const std::runtime_error&) {
+      // Instance too large for exhaustive search; skip the comparison.
+    }
+  }
+}
+
+TEST_P(PropertySweep, FlowIsLegalAndCutTight) {
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed ^ 0xabcdef);
+  for (int round = 0; round < 4; ++round) {
+    const core::Problem problem = make_instance(net, rng);
+    core::TransformResult transformed = core::transformation1(problem);
+    const auto result = flow::max_flow_dinic(transformed.net);
+    EXPECT_FALSE(
+        flow::validate_flow(transformed.net, result.value).has_value());
+    EXPECT_TRUE(flow::is_zero_one_flow(transformed.net));
+    const flow::MinCut cut = flow::min_cut_from_flow(transformed.net);
+    EXPECT_EQ(cut.capacity, result.value);
+  }
+}
+
+TEST_P(PropertySweep, TokenMachineRealizesDinic) {
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed ^ 0x1234);
+  core::MaxFlowScheduler dinic;
+  for (int round = 0; round < 4; ++round) {
+    const core::Problem problem = make_instance(net, rng);
+    token::TokenMachine machine(problem);
+    const core::ScheduleResult token_result = machine.run();
+    EXPECT_FALSE(core::verify_schedule(problem, token_result).has_value());
+    EXPECT_EQ(token_result.allocated(), dinic.schedule(problem).allocated());
+  }
+}
+
+TEST_P(PropertySweep, ElementMachineRealizesDinic) {
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed ^ 0x4321);
+  core::MaxFlowScheduler dinic;
+  for (int round = 0; round < 4; ++round) {
+    const core::Problem problem = make_instance(net, rng);
+    token::ElementMachine machine(problem);
+    const core::ScheduleResult element_result = machine.run();
+    EXPECT_FALSE(core::verify_schedule(problem, element_result).has_value());
+    EXPECT_EQ(element_result.allocated(),
+              dinic.schedule(problem).allocated());
+  }
+}
+
+TEST_P(PropertySweep, Theorem3CountFirstThenCost) {
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed ^ 0x9999);
+  core::MaxFlowScheduler max_flow;
+  core::MinCostScheduler min_cost;
+  for (int round = 0; round < 3; ++round) {
+    core::Problem problem = make_instance(net, rng);
+    for (auto& request : problem.requests) {
+      request.priority = static_cast<std::int32_t>(rng.uniform_int(1, 10));
+    }
+    for (auto& resource : problem.free_resources) {
+      resource.preference = static_cast<std::int32_t>(rng.uniform_int(1, 10));
+    }
+    const core::ScheduleResult cost_result = min_cost.schedule(problem);
+    EXPECT_FALSE(core::verify_schedule(problem, cost_result).has_value());
+    EXPECT_EQ(cost_result.allocated(), max_flow.schedule(problem).allocated())
+        << "min-cost scheduling must not sacrifice allocation count";
+  }
+}
+
+TEST_P(PropertySweep, SchedulerDominanceChain) {
+  // optimal >= greedy, and every scheduler's output is realizable.
+  const SweepCase& param = GetParam();
+  topo::Network net = topo::make_named(param.topology, param.n);
+  util::Rng rng(param.seed ^ 0x777);
+  core::MaxFlowScheduler optimal;
+  core::GreedyScheduler greedy;
+  core::RandomScheduler random_sched(util::Rng(param.seed));
+  for (int round = 0; round < 4; ++round) {
+    const core::Problem problem = make_instance(net, rng);
+    const auto opt = optimal.schedule(problem);
+    const auto grd = greedy.schedule(problem);
+    const auto rnd = random_sched.schedule(problem);
+    EXPECT_FALSE(core::verify_schedule(problem, grd).has_value());
+    EXPECT_FALSE(core::verify_schedule(problem, rnd).has_value());
+    EXPECT_GE(opt.allocated(), grd.allocated());
+    EXPECT_GE(opt.allocated(), rnd.allocated());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PropertySweep,
+    ::testing::Values(SweepCase{"omega", 8, 101}, SweepCase{"omega", 8, 102},
+                      SweepCase{"omega", 16, 103},
+                      SweepCase{"baseline", 8, 104},
+                      SweepCase{"cube", 8, 105}, SweepCase{"cube", 8, 106},
+                      SweepCase{"butterfly", 8, 107},
+                      SweepCase{"benes", 8, 108},
+                      SweepCase{"crossbar", 8, 109},
+                      SweepCase{"omega", 4, 110}, SweepCase{"cube", 4, 111},
+                      SweepCase{"baseline", 16, 112},
+                      SweepCase{"gamma", 8, 113}),
+    sweep_name);
+
+}  // namespace
+}  // namespace rsin

@@ -1,0 +1,92 @@
+#include "core/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.hpp"
+
+namespace rsin::core {
+namespace {
+
+TEST(Routing, UniquePathInOmega) {
+  const topo::Network net = topo::make_omega(8);
+  const auto paths = enumerate_free_paths(net, 3, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(net.circuit_contiguous(paths.front()));
+  EXPECT_EQ(paths.front().links.size(), 4u)  // p->sw, 2 inter-stage, sw->r
+      << "an 8x8 Omega circuit crosses four links";
+}
+
+TEST(Routing, EnumerationRespectsLimit) {
+  const topo::Network net = topo::make_benes(8);
+  const auto all = enumerate_free_paths(net, 0, 0);
+  ASSERT_GT(all.size(), 1u);
+  const auto limited = enumerate_free_paths(net, 0, 0, 1);
+  EXPECT_EQ(limited.size(), 1u);
+  EXPECT_TRUE(enumerate_free_paths(net, 0, 0, 0).empty());
+}
+
+TEST(Routing, OccupiedLinksExcluded) {
+  topo::Network net = topo::make_omega(8);
+  const auto before = enumerate_free_paths(net, 3, 5);
+  ASSERT_EQ(before.size(), 1u);
+  net.occupy_link(before.front().links[1]);
+  EXPECT_TRUE(enumerate_free_paths(net, 3, 5).empty());
+}
+
+TEST(Routing, FirstFreePathHonorsPredicate) {
+  const topo::Network net = topo::make_omega(8);
+  const auto circuit = first_free_path(
+      net, 0, [](topo::ResourceId r) { return r == 6; });
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->resource, 6);
+  EXPECT_EQ(circuit->processor, 0);
+  const auto none = first_free_path(
+      net, 0, [](topo::ResourceId) { return false; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(Routing, FirstFreePathCountsOperations) {
+  const topo::Network net = topo::make_omega(8);
+  std::int64_t ops = 0;
+  first_free_path(net, 0, [](topo::ResourceId r) { return r == 7; }, &ops);
+  EXPECT_GT(ops, 0);
+}
+
+TEST(Routing, ReachabilityShrinksUnderOccupancy) {
+  topo::Network net = topo::make_omega(8);
+  EXPECT_EQ(reachable_free_resources(net, 2).size(), 8u);
+  // Occupy the processor's injection link: nothing reachable.
+  net.occupy_link(net.processor_link(2));
+  EXPECT_TRUE(reachable_free_resources(net, 2).empty());
+}
+
+TEST(Routing, PartialOccupancyPartialReachability) {
+  topo::Network net = topo::make_omega(8);
+  // Occupy p0's unique path to r0 at the last link; r0 unreachable from 0,
+  // everything else still reachable.
+  const auto path = enumerate_free_paths(net, 0, 0);
+  ASSERT_EQ(path.size(), 1u);
+  net.occupy_link(path.front().links.back());
+  const auto reachable = reachable_free_resources(net, 0);
+  EXPECT_EQ(reachable.size(), 7u);
+  EXPECT_TRUE(std::find(reachable.begin(), reachable.end(), 0) ==
+              reachable.end());
+}
+
+TEST(Routing, RejectsInvalidIds) {
+  const topo::Network net = topo::make_omega(4);
+  EXPECT_THROW(enumerate_free_paths(net, 9, 0), std::invalid_argument);
+  EXPECT_THROW(enumerate_free_paths(net, 0, 9), std::invalid_argument);
+  EXPECT_THROW(reachable_free_resources(net, -1), std::invalid_argument);
+}
+
+TEST(Routing, BenesEnumeratesDisjointAlternatives) {
+  const topo::Network net = topo::make_benes(4);
+  const auto paths = enumerate_free_paths(net, 1, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  // The two paths differ in at least one link.
+  EXPECT_NE(paths[0].links, paths[1].links);
+}
+
+}  // namespace
+}  // namespace rsin::core

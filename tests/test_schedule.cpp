@@ -1,0 +1,120 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hetero.hpp"
+#include "core/routing.hpp"
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::core {
+namespace {
+
+Problem priority_problem(const topo::Network& net) {
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 7, 0}, {2, 3, 0}};
+  problem.free_resources = {{1, 9, 0}, {5, 4, 0}};
+  return problem;
+}
+
+TEST(ScheduleCost, UsesPaperFormula) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = priority_problem(net);
+  MinCostScheduler scheduler;
+  const ScheduleResult result = scheduler.schedule(problem);
+  // cost = sum (y_max - y_p) + (q_max - q_w); recompute independently.
+  std::int64_t expected = 0;
+  for (const Assignment& a : result.assignments) {
+    expected += (7 - a.request.priority) + (9 - a.resource.preference);
+  }
+  EXPECT_EQ(schedule_cost(problem, result), expected);
+  EXPECT_EQ(result.cost, expected);
+}
+
+TEST(ScheduleCost, EmptyScheduleIsFree) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = priority_problem(net);
+  ScheduleResult empty;
+  EXPECT_EQ(schedule_cost(problem, empty), 0);
+}
+
+TEST(EstablishSchedule, OccupiesEveryCircuitLink) {
+  topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0, 3, 5}, {1, 4, 6});
+  MaxFlowScheduler scheduler;
+  const ScheduleResult result = scheduler.schedule(problem);
+  ASSERT_EQ(result.allocated(), 3u);
+  establish_schedule(net, result);
+  std::size_t expected_links = 0;
+  for (const Assignment& a : result.assignments) {
+    expected_links += a.circuit.links.size();
+    EXPECT_FALSE(net.circuit_free(a.circuit));
+  }
+  EXPECT_EQ(static_cast<std::size_t>(net.occupied_link_count()),
+            expected_links);
+}
+
+TEST(EstablishSchedule, SecondEstablishThrows) {
+  topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0}, {2});
+  MaxFlowScheduler scheduler;
+  const ScheduleResult result = scheduler.schedule(problem);
+  establish_schedule(net, result);
+  EXPECT_THROW(establish_schedule(net, result), std::invalid_argument);
+}
+
+TEST(VerifySchedule, EmptyScheduleAlwaysValid) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0, 1}, {2, 3});
+  EXPECT_FALSE(verify_schedule(problem, ScheduleResult{}).has_value());
+}
+
+TEST(VerifySchedule, DetectsOccupiedCircuit) {
+  topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0}, {2});
+  MaxFlowScheduler scheduler;
+  const ScheduleResult result = scheduler.schedule(problem);
+  // Occupy one of the circuit's links after scheduling.
+  net.occupy_link(result.assignments[0].circuit.links[1]);
+  const auto violation = verify_schedule(problem, result);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("occupied"), std::string::npos);
+}
+
+TEST(VerifySchedule, DetectsTypeMismatch) {
+  const topo::Network net = topo::make_omega(8);
+  Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 1}};
+  problem.free_resources = {{2, 0, 1}};
+  HeteroSequentialScheduler scheduler;
+  ScheduleResult result = scheduler.schedule(problem);
+  ASSERT_EQ(result.allocated(), 1u);
+  result.assignments[0].request.type = 0;  // forge a mismatch
+  const auto violation = verify_schedule(problem, result);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("type"), std::string::npos);
+}
+
+TEST(VerifySchedule, DetectsUnknownParticipants) {
+  const topo::Network net = topo::make_omega(8);
+  const Problem problem = make_problem(net, {0}, {2});
+  MaxFlowScheduler scheduler;
+  const ScheduleResult genuine = scheduler.schedule(problem);
+
+  ScheduleResult wrong_processor = genuine;
+  wrong_processor.assignments[0].request.processor = 5;
+  wrong_processor.assignments[0].circuit.processor = 5;
+  EXPECT_TRUE(verify_schedule(problem, wrong_processor).has_value());
+}
+
+TEST(ScheduleResult, AllocatedCountsAssignments) {
+  ScheduleResult result;
+  EXPECT_EQ(result.allocated(), 0u);
+  result.assignments.resize(3);
+  EXPECT_EQ(result.allocated(), 3u);
+}
+
+}  // namespace
+}  // namespace rsin::core

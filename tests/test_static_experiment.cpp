@@ -1,0 +1,196 @@
+#include "sim/static_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/hetero.hpp"
+
+#include "topo/builders.hpp"
+
+namespace rsin::sim {
+namespace {
+
+TEST(StaticExperiment, DeterministicUnderSameSeed) {
+  const topo::Network net = topo::make_omega(8);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 50;
+  config.seed = 99;
+  const auto a = run_static_experiment(net, scheduler, config);
+  const auto b = run_static_experiment(net, scheduler, config);
+  EXPECT_EQ(a.total_allocated, b.total_allocated);
+  EXPECT_EQ(a.total_opportunities, b.total_opportunities);
+}
+
+TEST(StaticExperiment, CrossbarNeverBlocks) {
+  // A crossbar is nonblocking: the optimal scheduler must allocate every
+  // opportunity, i.e. blocking probability exactly zero.
+  const topo::Network net = topo::make_crossbar(8, 8);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 100;
+  config.seed = 7;
+  const auto result = run_static_experiment(net, scheduler, config);
+  EXPECT_EQ(result.blocking_probability(), 0.0);
+  EXPECT_EQ(result.total_allocated, result.total_opportunities);
+}
+
+TEST(StaticExperiment, OptimalBlocksLessThanGreedy) {
+  const topo::Network net = topo::make_omega(8);
+  core::MaxFlowScheduler optimal;
+  core::GreedyScheduler greedy;
+  StaticExperimentConfig config;
+  config.trials = 200;
+  config.seed = 3;
+  const auto optimal_result = run_static_experiment(net, optimal, config);
+  const auto greedy_result = run_static_experiment(net, greedy, config);
+  EXPECT_LT(optimal_result.blocking_probability(),
+            greedy_result.blocking_probability());
+}
+
+TEST(StaticExperiment, BackgroundTrafficIncreasesBlocking) {
+  const topo::Network net = topo::make_omega(8);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig free_config;
+  free_config.trials = 150;
+  free_config.seed = 4;
+  StaticExperimentConfig busy_config = free_config;
+  busy_config.background_circuits = 2;
+  const auto free_result = run_static_experiment(net, scheduler, free_config);
+  const auto busy_result = run_static_experiment(net, scheduler, busy_config);
+  EXPECT_LE(free_result.blocking_probability(),
+            busy_result.blocking_probability());
+}
+
+TEST(StaticExperiment, HeterogeneousTypesReduceOpportunities) {
+  const topo::Network net = topo::make_omega(8);
+  core::HeteroSequentialScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 50;
+  config.resource_types = 2;
+  config.seed = 5;
+  const auto result = run_static_experiment(net, scheduler, config);
+  // Opportunities with type matching are at most the homogeneous count.
+  EXPECT_LE(result.total_opportunities,
+            std::min(result.total_requests, result.total_free_resources) +
+                result.total_opportunities);  // sanity; non-negative
+  EXPECT_GE(result.total_opportunities, result.total_allocated);
+}
+
+TEST(StaticExperiment, PriorityLevelsProduceCosts) {
+  const topo::Network net = topo::make_omega(8);
+  core::MinCostScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 30;
+  config.priority_levels = 10;
+  config.seed = 6;
+  const auto result = run_static_experiment(net, scheduler, config);
+  EXPECT_GT(result.total_cost, 0);
+}
+
+TEST(StaticExperiment, ConfidenceIntervalBehavesSanely) {
+  const topo::Network net = topo::make_omega(8);
+  core::GreedyScheduler scheduler;
+  StaticExperimentConfig small_config;
+  small_config.trials = 200;
+  small_config.seed = 8;
+  StaticExperimentConfig large_config = small_config;
+  large_config.trials = 4000;
+  const auto small_run = run_static_experiment(net, scheduler, small_config);
+  const auto large_run = run_static_experiment(net, scheduler, large_config);
+  EXPECT_EQ(small_run.batch_blocking.size(), 10u);
+  EXPECT_GT(small_run.blocking_ci95(), 0.0);
+  EXPECT_LT(large_run.blocking_ci95(), small_run.blocking_ci95())
+      << "more trials shrink the interval";
+  // The interval brackets the point estimate's own batch mean reasonably:
+  // every batch blocking probability is a valid probability.
+  for (const double b : large_run.batch_blocking) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(StaticExperiment, ParallelMatchesSequentialForStatelessSchedulers) {
+  const topo::Network net = topo::make_omega(8);
+  StaticExperimentConfig config;
+  config.trials = 400;
+  config.seed = 31;
+  core::MaxFlowScheduler sequential_scheduler;
+  const auto sequential =
+      run_static_experiment(net, sequential_scheduler, config);
+  for (const int threads : {1, 2, 4}) {
+    const auto parallel = run_static_experiment_parallel(
+        net, [] { return std::make_unique<core::MaxFlowScheduler>(); },
+        config, threads);
+    EXPECT_EQ(parallel.total_allocated, sequential.total_allocated)
+        << threads << " threads";
+    EXPECT_EQ(parallel.total_opportunities, sequential.total_opportunities);
+    EXPECT_EQ(parallel.trials, sequential.trials);
+    ASSERT_EQ(parallel.batch_blocking.size(),
+              sequential.batch_blocking.size());
+    for (std::size_t b = 0; b < parallel.batch_blocking.size(); ++b) {
+      EXPECT_DOUBLE_EQ(parallel.batch_blocking[b],
+                       sequential.batch_blocking[b]);
+    }
+  }
+}
+
+TEST(StaticExperiment, ParallelThreadCountInvariantForStatefulSchedulers) {
+  // A stateful scheduler (RandomScheduler) is instantiated once per batch,
+  // so the aggregate is identical for any worker count.
+  const topo::Network net = topo::make_omega(8);
+  StaticExperimentConfig config;
+  config.trials = 300;
+  config.seed = 32;
+  const auto factory = [] {
+    return std::make_unique<core::RandomScheduler>(util::Rng(5));
+  };
+  const auto one = run_static_experiment_parallel(net, factory, config, 1);
+  const auto four = run_static_experiment_parallel(net, factory, config, 4);
+  EXPECT_EQ(one.total_allocated, four.total_allocated);
+  EXPECT_EQ(one.total_opportunities, four.total_opportunities);
+}
+
+TEST(StaticExperiment, ParallelRejectsBadThreadCount) {
+  const topo::Network net = topo::make_omega(4);
+  StaticExperimentConfig config;
+  EXPECT_THROW(
+      run_static_experiment_parallel(
+          net, [] { return std::make_unique<core::MaxFlowScheduler>(); },
+          config, 0),
+      std::invalid_argument);
+}
+
+TEST(StaticExperiment, RejectsBadConfig) {
+  const topo::Network net = topo::make_omega(4);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 0;
+  EXPECT_THROW(run_static_experiment(net, scheduler, config),
+               std::invalid_argument);
+  config.trials = 1;
+  config.resource_types = 0;
+  EXPECT_THROW(run_static_experiment(net, scheduler, config),
+               std::invalid_argument);
+}
+
+TEST(StaticExperiment, ExtremeProbabilities) {
+  const topo::Network net = topo::make_omega(8);
+  core::MaxFlowScheduler scheduler;
+  StaticExperimentConfig config;
+  config.trials = 20;
+  config.request_probability = 0.0;
+  const auto none = run_static_experiment(net, scheduler, config);
+  EXPECT_EQ(none.total_requests, 0);
+  EXPECT_EQ(none.blocking_probability(), 0.0);
+
+  config.request_probability = 1.0;
+  config.free_probability = 1.0;
+  const auto full = run_static_experiment(net, scheduler, config);
+  EXPECT_EQ(full.total_requests, 20 * 8);
+  EXPECT_EQ(full.total_opportunities, 20 * 8);
+}
+
+}  // namespace
+}  // namespace rsin::sim

@@ -1,0 +1,126 @@
+#include "topo/switch_settings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/routing.hpp"
+#include "core/scheduler.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::topo {
+namespace {
+
+TEST(SwitchSettings, EmptyCircuitsMeansAllIdle) {
+  const Network net = make_omega(8);
+  const auto config = SwitchConfiguration::from_circuits(net, {});
+  EXPECT_EQ(config.active_switch_count(), 0);
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    EXPECT_TRUE(config.setting(sw).idle());
+    EXPECT_EQ(config.two_by_two_state(sw), TwoByTwoState::kIdle);
+  }
+}
+
+TEST(SwitchSettings, SingleCircuitSetsEachTraversedSwitch) {
+  const Network net = make_omega(8);
+  const auto paths = core::enumerate_free_paths(net, 3, 6);
+  ASSERT_EQ(paths.size(), 1u);
+  const Circuit circuit = paths.front();
+  const auto config = SwitchConfiguration::from_circuits(
+      net, std::span<const Circuit>(&circuit, 1));
+  // An 8x8 Omega circuit crosses exactly 3 switches.
+  EXPECT_EQ(config.active_switch_count(), 3);
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    const auto& setting = config.setting(sw);
+    EXPECT_LE(setting.connections.size(), 1u);
+    if (!setting.idle()) {
+      EXPECT_NE(config.two_by_two_state(sw), TwoByTwoState::kIdle);
+      EXPECT_NE(config.two_by_two_state(sw), TwoByTwoState::kMixed);
+    }
+  }
+}
+
+TEST(SwitchSettings, FullPermutationUsesEverySwitch) {
+  // Identity permutation on an 8x8 Omega: every switch carries two
+  // connections, each box in a definite straight/exchange state.
+  Network net = make_omega(8);
+  std::vector<Circuit> circuits;
+  for (std::int32_t i = 0; i < 8; ++i) {
+    auto paths = core::enumerate_free_paths(net, i, i);
+    ASSERT_EQ(paths.size(), 1u);
+    net.establish(paths.front());
+    circuits.push_back(std::move(paths.front()));
+  }
+  const auto config = SwitchConfiguration::from_circuits(net, circuits);
+  EXPECT_EQ(config.active_switch_count(), net.switch_count());
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    EXPECT_EQ(config.setting(sw).connections.size(), 2u);
+    const auto state = config.two_by_two_state(sw);
+    EXPECT_TRUE(state == TwoByTwoState::kStraight ||
+                state == TwoByTwoState::kExchange);
+  }
+}
+
+TEST(SwitchSettings, SchedulerOutputsAreAlwaysRealizable) {
+  // Theorem 1 round trip: every schedule's circuits induce a valid
+  // non-broadcast setting on every topology.
+  util::Rng rng(55);
+  core::MaxFlowScheduler scheduler;
+  for (const char* name : {"omega", "cube", "benes", "gamma"}) {
+    const Network net = make_named(name, 8);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<ProcessorId> requesting;
+      std::vector<ResourceId> available;
+      for (std::int32_t i = 0; i < 8; ++i) {
+        if (rng.bernoulli(0.7)) requesting.push_back(i);
+        if (rng.bernoulli(0.7)) available.push_back(i);
+      }
+      const core::Problem problem =
+          core::make_problem(net, requesting, available);
+      const core::ScheduleResult result = scheduler.schedule(problem);
+      std::vector<Circuit> circuits;
+      for (const core::Assignment& a : result.assignments) {
+        circuits.push_back(a.circuit);
+      }
+      EXPECT_NO_THROW({
+        const auto config = SwitchConfiguration::from_circuits(net, circuits);
+        (void)config;
+      }) << name;
+    }
+  }
+}
+
+TEST(SwitchSettings, RejectsConflictingCircuits) {
+  const Network net = make_omega(8);
+  // Two circuits that share their first-stage switch input port: same
+  // processor to two resources.
+  const auto a = core::enumerate_free_paths(net, 0, 0);
+  const auto b = core::enumerate_free_paths(net, 0, 4);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  const std::vector<Circuit> conflicting = {a.front(), b.front()};
+  EXPECT_THROW(SwitchConfiguration::from_circuits(net, conflicting),
+               std::invalid_argument);
+}
+
+TEST(SwitchSettings, RejectsBrokenCircuit) {
+  const Network net = make_omega(8);
+  Circuit broken{0, 5, {net.processor_link(0)}};  // stops at the switch
+  EXPECT_THROW(SwitchConfiguration::from_circuits(
+                   net, std::span<const Circuit>(&broken, 1)),
+               std::invalid_argument);
+}
+
+TEST(SwitchSettings, CrossbarIsMixedClass) {
+  const Network net = make_crossbar(4, 4);
+  const auto paths = core::enumerate_free_paths(net, 0, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  const Circuit circuit = paths.front();
+  const auto config = SwitchConfiguration::from_circuits(
+      net, std::span<const Circuit>(&circuit, 1));
+  EXPECT_EQ(config.two_by_two_state(0), TwoByTwoState::kMixed);
+  ASSERT_EQ(config.setting(0).connections.size(), 1u);
+  EXPECT_EQ(config.setting(0).connections[0],
+            (std::pair<std::int32_t, std::int32_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace rsin::topo

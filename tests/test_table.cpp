@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rsin::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  std::ostringstream out;
+  out << table;
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.columns(), 2u);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table table({"x", "longheader"});
+  table.add_row({"longcell", "y"});
+  std::ostringstream out;
+  out << table;
+  // Every line between rules must have the same length.
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t expected = 0;
+  while (std::getline(lines, line)) {
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected);
+  }
+}
+
+TEST(Table, AddFormatsMixedTypes) {
+  Table table({"s", "i", "d"});
+  table.add("text", 42, 3.14159);
+  std::ostringstream out;
+  out << table;
+  EXPECT_NE(out.str().find("text"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+  EXPECT_NE(out.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Formatting, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(pct(0.034, 1), "3.4");
+  EXPECT_EQ(pct(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace rsin::util

@@ -1,0 +1,58 @@
+#include "topo/tag_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/routing.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::topo {
+namespace {
+
+TEST(TagRouting, MatchesPathEnumerationOnEveryPair) {
+  for (const std::int32_t n : {4, 8, 16}) {
+    const Network net = make_omega(n);
+    for (ProcessorId p = 0; p < n; ++p) {
+      for (ResourceId r = 0; r < n; ++r) {
+        const Circuit tagged = omega_destination_tag_route(net, p, r);
+        EXPECT_TRUE(net.circuit_contiguous(tagged));
+        const auto enumerated = core::enumerate_free_paths(net, p, r);
+        ASSERT_EQ(enumerated.size(), 1u);
+        EXPECT_EQ(tagged.links, enumerated.front().links)
+            << 'n' << n << " p" << p << " r" << r;
+      }
+    }
+  }
+}
+
+TEST(TagRouting, IgnoresOccupancy) {
+  Network net = make_omega(8);
+  const Circuit circuit = omega_destination_tag_route(net, 0, 5);
+  net.establish(circuit);
+  // Tag routing still computes the same (now occupied) circuit.
+  const Circuit again = omega_destination_tag_route(net, 0, 5);
+  EXPECT_EQ(circuit.links, again.links);
+  EXPECT_FALSE(net.circuit_free(again));
+}
+
+TEST(TagRouting, RejectsNonOmegaShapes) {
+  const Network crossbar = make_crossbar(8, 8);
+  EXPECT_THROW(omega_destination_tag_route(crossbar, 0, 0),
+               std::invalid_argument);
+  const Network benes = make_benes(8);  // 2m-1 stages, not m
+  EXPECT_THROW(omega_destination_tag_route(benes, 0, 0),
+               std::invalid_argument);
+  const Network omega = make_omega(8);
+  EXPECT_THROW(omega_destination_tag_route(omega, 17, 0),
+               std::invalid_argument);
+}
+
+TEST(TagRouting, ExtraStageOmegaIsRejected) {
+  // With a redundant stage the tag is no longer m bits; the helper is
+  // deliberately restricted to the canonical shape.
+  const Network extra = make_omega(8, 1);
+  EXPECT_THROW(omega_destination_tag_route(extra, 0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin::topo

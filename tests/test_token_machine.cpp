@@ -1,0 +1,234 @@
+#include "token/token_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/routing.hpp"
+#include "core/scheduler.hpp"
+#include "test_helpers.hpp"
+#include "token/monitor.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin::token {
+namespace {
+
+TEST(TokenMachine, AllocatesAllOnFreeOmega) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem =
+      core::make_problem(net, {0, 2, 4, 6}, {1, 3, 5, 7});
+  TokenMachine machine(problem);
+  TokenStats stats;
+  const core::ScheduleResult result = machine.run(&stats);
+  EXPECT_EQ(result.allocated(), 4u);
+  EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_GT(stats.clock_periods, 0);
+  EXPECT_GT(stats.tokens_propagated, 0);
+}
+
+TEST(TokenMachine, EmptyProblemTerminatesImmediately) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {}, {0, 1});
+  TokenMachine machine(problem);
+  TokenStats stats;
+  const core::ScheduleResult result = machine.run(&stats);
+  EXPECT_EQ(result.allocated(), 0u);
+  EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(TokenMachine, NoFreeResources) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {0, 1}, {});
+  TokenMachine machine(problem);
+  const core::ScheduleResult result = machine.run();
+  EXPECT_EQ(result.allocated(), 0u);
+}
+
+TEST(TokenMachine, RejectsHeterogeneousProblems) {
+  const topo::Network net = topo::make_omega(4);
+  core::Problem problem;
+  problem.network = &net;
+  problem.requests = {{0, 0, 0}, {1, 0, 1}};  // two distinct types
+  problem.free_resources = {{0, 0, 0}, {1, 0, 1}};
+  EXPECT_THROW(TokenMachine machine(problem), std::invalid_argument);
+}
+
+class TokenVsDinicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenVsDinicSweep, MatchesMaxFlowCountOnRandomInstances) {
+  util::Rng rng(GetParam());
+  core::MaxFlowScheduler dinic;
+  for (const char* topology : {"omega", "cube", "baseline", "butterfly"}) {
+    topo::Network net = topo::make_named(topology, 8);
+    for (int round = 0; round < 5; ++round) {
+      net.release_all();
+      core::Problem problem = rsin::test::random_problem(rng, net, 0.6, 0.6);
+      // Sometimes pre-occupy a random circuit to exercise partially busy
+      // fabrics.
+      if (rng.bernoulli(0.5)) {
+        std::vector<topo::ProcessorId> idle;
+        for (topo::ProcessorId p = 0; p < 8; ++p) {
+          const bool requesting = std::any_of(
+              problem.requests.begin(), problem.requests.end(),
+              [&](const core::Request& r) { return r.processor == p; });
+          if (!requesting) idle.push_back(p);
+        }
+        std::vector<topo::ResourceId> busy;
+        for (topo::ResourceId r = 0; r < 8; ++r) {
+          const bool free = std::any_of(
+              problem.free_resources.begin(), problem.free_resources.end(),
+              [&](const core::FreeResource& f) { return f.resource == r; });
+          if (!free) busy.push_back(r);
+        }
+        if (!idle.empty() && !busy.empty()) {
+          const auto circuit = core::first_free_path(
+              net, idle.front(),
+              [&](topo::ResourceId r) { return r == busy.front(); });
+          if (circuit) net.establish(*circuit);
+        }
+      }
+
+      TokenMachine machine(problem);
+      const core::ScheduleResult token_result = machine.run();
+      const core::ScheduleResult dinic_result = dinic.schedule(problem);
+      EXPECT_EQ(token_result.allocated(), dinic_result.allocated())
+          << topology << " seed " << GetParam() << " round " << round;
+      EXPECT_FALSE(core::verify_schedule(problem, token_result).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenVsDinicSweep,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(TokenMachine, BusTraceFollowsFig10) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {0, 3}, {2, 6});
+  TokenMachine machine(problem);
+  TokenStats stats;
+  machine.run(&stats);
+  ASSERT_GE(stats.bus_trace.size(), 5u);
+
+  // First sample: idle with requests pending and resources ready -> 11....
+  EXPECT_TRUE(stats.bus_trace.front().bits & kRequestPending);
+  EXPECT_TRUE(stats.bus_trace.front().bits & kResourceReady);
+
+  // The paper's canonical vectors must appear in order: request-token
+  // propagation (111000x), E6 (111001x), resource-token (1.0100x),
+  // registration (1.0110x).
+  bool saw_e3 = false;
+  bool saw_e6 = false;
+  bool saw_e4 = false;
+  bool saw_e5 = false;
+  for (const BusSample& sample : stats.bus_trace) {
+    if (bus_vector_x(sample.bits) == "111000x") saw_e3 = true;
+    if ((sample.bits & kResourceReached) && saw_e3) saw_e6 = true;
+    if ((sample.bits & kResourceTokenPhase) &&
+        !(sample.bits & kPathRegistration) && saw_e6) {
+      saw_e4 = true;
+    }
+    if ((sample.bits & kPathRegistration) && saw_e4) saw_e5 = true;
+  }
+  EXPECT_TRUE(saw_e3);
+  EXPECT_TRUE(saw_e6);
+  EXPECT_TRUE(saw_e4);
+  EXPECT_TRUE(saw_e5);
+
+  // After allocation the bonded bit is visible in the final sample.
+  EXPECT_TRUE(stats.bus_trace.back().bits & kBonded);
+}
+
+TEST(TokenMachine, ClockPeriodsScaleWithStagesNotRequests) {
+  // The distributed search is parallel: doubling the number of requests on
+  // the same fabric should not double the clock count.
+  const topo::Network net = topo::make_omega(16);
+  const core::Problem small =
+      core::make_problem(net, {0, 1}, {0, 1});
+  const core::Problem large = core::make_problem(
+      net, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+      {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  TokenStats small_stats;
+  TokenStats large_stats;
+  TokenMachine(small).run(&small_stats);
+  TokenMachine(large).run(&large_stats);
+  EXPECT_LT(large_stats.clock_periods,
+            6 * std::max<std::int64_t>(small_stats.clock_periods, 1))
+      << "clock periods grow far slower than the 6x request count";
+}
+
+TEST(Monitor, MatchesTokenMachineAllocation) {
+  util::Rng rng(40);
+  const topo::Network net = topo::make_omega(8);
+  Monitor monitor;
+  for (int round = 0; round < 10; ++round) {
+    const core::Problem problem =
+        rsin::test::random_problem(rng, net, 0.6, 0.6);
+    MonitorStats monitor_stats;
+    const core::ScheduleResult monitor_result =
+        monitor.run(problem, &monitor_stats);
+    TokenMachine machine(problem);
+    const core::ScheduleResult token_result = machine.run();
+    EXPECT_EQ(monitor_result.allocated(), token_result.allocated());
+    EXPECT_FALSE(core::verify_schedule(problem, monitor_result).has_value());
+    if (!problem.requests.empty()) {
+      EXPECT_GT(monitor_stats.total(), 0);
+      EXPECT_GT(monitor_stats.transform_instructions, 0);
+    }
+  }
+}
+
+TEST(Monitor, InstructionCountExceedsTokenClocks) {
+  // The paper's claim: the distributed realization wins because its cost is
+  // clock periods (gate delays) while the monitor executes instructions.
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem =
+      core::make_problem(net, {0, 1, 2, 3, 4}, {0, 2, 4, 6, 7});
+  Monitor monitor;
+  MonitorStats monitor_stats;
+  monitor.run(problem, &monitor_stats);
+  TokenMachine machine(problem);
+  TokenStats token_stats;
+  machine.run(&token_stats);
+  EXPECT_GT(monitor_stats.total(), token_stats.clock_periods);
+}
+
+TEST(TokenScheduler, AdapterBehavesLikeAScheduler) {
+  util::Rng rng(60);
+  const topo::Network net = topo::make_omega(8);
+  TokenScheduler token_scheduler;
+  core::MaxFlowScheduler dinic;
+  EXPECT_EQ(token_scheduler.name(), "token-machine");
+  for (int round = 0; round < 8; ++round) {
+    const core::Problem problem =
+        rsin::test::random_problem(rng, net, 0.6, 0.6);
+    const core::ScheduleResult result = token_scheduler.schedule(problem);
+    EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+    EXPECT_EQ(result.allocated(), dinic.schedule(problem).allocated());
+    if (!problem.requests.empty() && !problem.free_resources.empty()) {
+      EXPECT_GT(result.operations, 0) << "operations = clock periods";
+    }
+  }
+}
+
+TEST(TokenScheduler, WorksThroughBaseClassPointer) {
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {0, 1}, {4, 5});
+  TokenScheduler concrete;
+  core::Scheduler& scheduler = concrete;
+  EXPECT_EQ(scheduler.schedule(problem).allocated(), 2u);
+}
+
+TEST(StatusBus, VectorRendering) {
+  EXPECT_EQ(bus_vector(0), "0000000");
+  EXPECT_EQ(bus_vector(kRequestPending | kResourceReady | kRequestTokenPhase),
+            "1110000");
+  EXPECT_EQ(bus_vector_x(kRequestPending | kResourceReady |
+                         kRequestTokenPhase),
+            "111000x");
+  EXPECT_EQ(bus_vector(kBonded), "0000001");
+  EXPECT_EQ(bus_vector(kResourceReached), "0000010");
+}
+
+}  // namespace
+}  // namespace rsin::token

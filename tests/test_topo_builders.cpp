@@ -1,0 +1,248 @@
+#include "topo/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/routing.hpp"
+
+namespace rsin::topo {
+namespace {
+
+struct TopologyCase {
+  std::string name;
+  std::int32_t n;
+  std::int32_t expected_stages;
+  std::int32_t paths_per_pair;  ///< Unique-path (delta) networks have 1.
+};
+
+class BuilderStructure : public ::testing::TestWithParam<TopologyCase> {};
+
+TEST_P(BuilderStructure, CountsAndWiring) {
+  const TopologyCase& param = GetParam();
+  const Network net = make_named(param.name, param.n);
+  EXPECT_EQ(net.processor_count(), param.n);
+  EXPECT_EQ(net.resource_count(), param.n);
+  EXPECT_EQ(net.stage_count(), param.expected_stages);
+  EXPECT_TRUE(fully_wired(net));
+}
+
+TEST_P(BuilderStructure, FullAccessibility) {
+  // Every processor can reach every resource over a free network — the
+  // full-access property of the banyan-class networks.
+  const TopologyCase& param = GetParam();
+  const Network net = make_named(param.name, param.n);
+  for (ProcessorId p = 0; p < net.processor_count(); ++p) {
+    const auto reachable = core::reachable_free_resources(net, p);
+    EXPECT_EQ(reachable.size(),
+              static_cast<std::size_t>(net.resource_count()))
+        << param.name << " processor " << p;
+  }
+}
+
+TEST_P(BuilderStructure, PathMultiplicity) {
+  const TopologyCase& param = GetParam();
+  if (param.paths_per_pair <= 0) return;  // multiplicity varies
+  const Network net = make_named(param.name, param.n);
+  for (ProcessorId p = 0; p < net.processor_count(); ++p) {
+    for (ResourceId r = 0; r < net.resource_count(); ++r) {
+      const auto paths = core::enumerate_free_paths(net, p, r);
+      EXPECT_EQ(paths.size(), static_cast<std::size_t>(param.paths_per_pair))
+          << param.name << " " << p << "->" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Named, BuilderStructure,
+    ::testing::Values(TopologyCase{"omega", 8, 3, 1},
+                      TopologyCase{"omega", 16, 4, 1},
+                      TopologyCase{"baseline", 8, 3, 1},
+                      TopologyCase{"cube", 8, 3, 1},
+                      TopologyCase{"butterfly", 8, 3, 1},
+                      TopologyCase{"benes", 8, 5, 4},
+                      TopologyCase{"crossbar", 8, 1, 1},
+                      TopologyCase{"omega", 4, 2, 1},
+                      TopologyCase{"benes", 4, 3, 2},
+                      TopologyCase{"gamma", 8, 4, 0},
+                      TopologyCase{"gamma", 16, 5, 0}),
+    [](const ::testing::TestParamInfo<TopologyCase>& info) {
+      return info.param.name + std::to_string(info.param.n);
+    });
+
+TEST(Builders, OmegaSwitchAndLinkCounts) {
+  const Network net = make_omega(8);
+  EXPECT_EQ(net.switch_count(), 3 * 4);
+  // 8 injection + 2*8 inter-stage + 8 delivery.
+  EXPECT_EQ(net.link_count(), 8 + 16 + 8);
+}
+
+TEST(Builders, ExtraStageOmegaAddsPaths) {
+  const Network base = make_omega(8);
+  const Network extra = make_omega(8, /*extra_stages=*/1);
+  EXPECT_EQ(extra.stage_count(), 4);
+  EXPECT_TRUE(fully_wired(extra));
+  const auto base_paths = core::enumerate_free_paths(base, 0, 5);
+  const auto extra_paths = core::enumerate_free_paths(extra, 0, 5);
+  EXPECT_EQ(base_paths.size(), 1u);
+  EXPECT_EQ(extra_paths.size(), 2u) << "one extra stage doubles the paths";
+}
+
+TEST(Builders, BenesIsRearrangeable) {
+  // In an 8x8 Benes there are 4 link-disjoint path sets for the identity
+  // permutation; simply check each pair has multiple alternatives and the
+  // fabric has 2*log2(8)-1 stages.
+  const Network net = make_benes(8);
+  EXPECT_EQ(net.stage_count(), 5);
+  EXPECT_EQ(net.switch_count(), 5 * 4);
+}
+
+TEST(Builders, ClosStructure) {
+  const Network net = make_clos(2, 3, 4);  // 8 terminals, m=3 middle
+  EXPECT_EQ(net.processor_count(), 8);
+  EXPECT_EQ(net.resource_count(), 8);
+  EXPECT_EQ(net.switch_count(), 4 + 3 + 4);
+  EXPECT_EQ(net.stage_count(), 3);
+  EXPECT_TRUE(fully_wired(net));
+  // m >= 2n-1 = 3: strictly nonblocking; every pair reachable, and there
+  // are m paths per pair.
+  const auto paths = core::enumerate_free_paths(net, 0, 7);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(Builders, CrossbarIsNonblocking) {
+  Network net = make_crossbar(4, 4);
+  // Establish the identity permutation: all four circuits coexist.
+  for (std::int32_t i = 0; i < 4; ++i) {
+    const auto paths = core::enumerate_free_paths(net, i, i);
+    ASSERT_EQ(paths.size(), 1u);
+    net.establish(paths.front());
+  }
+  EXPECT_EQ(net.occupied_link_count(), 8);
+}
+
+TEST(Builders, GammaHasRedundantPaths) {
+  // The defining property of the gamma network: multiple paths between
+  // most source-destination pairs (the straight route plus +/- 2^i
+  // decompositions of the distance).
+  const Network net = make_gamma(8);
+  EXPECT_EQ(net.switch_count(), 4 * 8);
+  // Distance 0 has the unique all-straight route... plus wrap-around
+  // representations; distance 1 = 1 = 2-1 = -4+2+1... enumerate and check
+  // redundancy exists for a nonzero distance.
+  const auto direct = core::enumerate_free_paths(net, 0, 0);
+  EXPECT_GE(direct.size(), 1u);
+  const auto offset = core::enumerate_free_paths(net, 0, 3);
+  EXPECT_GT(offset.size(), 1u) << "distance 3 = +4-1 = +2+1 = ...";
+}
+
+TEST(Builders, GammaSurvivesLinkFailure) {
+  // Fault tolerance through redundancy: occupy one link of a chosen route
+  // and the pair stays connected — unlike the unique-path Omega.
+  Network net = make_gamma(8);
+  const auto paths = core::enumerate_free_paths(net, 2, 5);
+  ASSERT_GT(paths.size(), 1u);
+  net.occupy_link(paths.front().links[1]);
+  EXPECT_FALSE(core::enumerate_free_paths(net, 2, 5).empty());
+}
+
+TEST(Builders, GammaRejectsSmallSizes) {
+  EXPECT_THROW(make_gamma(2), std::invalid_argument);
+  EXPECT_THROW(make_gamma(6), std::invalid_argument);
+  EXPECT_THROW(make_data_manipulator(2), std::invalid_argument);
+}
+
+TEST(Builders, DataManipulatorStructure) {
+  const Network net = make_data_manipulator(8);
+  EXPECT_EQ(net.stage_count(), 4);
+  EXPECT_EQ(net.switch_count(), 4 * 8);
+  EXPECT_TRUE(fully_wired(net));
+  // Full access with redundancy for at least some pairs.
+  for (ProcessorId p = 0; p < 8; ++p) {
+    EXPECT_EQ(core::reachable_free_resources(net, p).size(), 8u);
+  }
+  EXPECT_GT(core::enumerate_free_paths(net, 0, 3).size(), 1u);
+}
+
+TEST(Builders, GammaAndDataManipulatorDifferInWiring) {
+  // Same switch/link counts, different stride order => different path sets.
+  const Network gamma = make_gamma(8);
+  const Network dm = make_data_manipulator(8);
+  EXPECT_EQ(gamma.link_count(), dm.link_count());
+  const auto gamma_paths = core::enumerate_free_paths(gamma, 0, 1);
+  const auto dm_paths = core::enumerate_free_paths(dm, 0, 1);
+  // Path multiplicities to an adjacent output generally differ between the
+  // LSB-first and MSB-first stride orders.
+  EXPECT_TRUE(gamma_paths.size() != dm_paths.size() ||
+              gamma_paths.front().links != dm_paths.front().links);
+}
+
+TEST(Builders, RadixDeltaGeneralizesButterfly) {
+  // r = 2 must coincide with the binary butterfly link-for-link.
+  const Network delta = make_radix_delta(2, 3);
+  const Network butterfly = make_butterfly(8);
+  ASSERT_EQ(delta.link_count(), butterfly.link_count());
+  for (LinkId l = 0; l < delta.link_count(); ++l) {
+    EXPECT_EQ(delta.link(l).from, butterfly.link(l).from);
+    EXPECT_EQ(delta.link(l).to, butterfly.link(l).to);
+  }
+}
+
+TEST(Builders, RadixThreeDelta) {
+  const Network net = make_radix_delta(3, 2);  // 9 terminals, 3x3 boxes
+  EXPECT_EQ(net.processor_count(), 9);
+  EXPECT_EQ(net.resource_count(), 9);
+  EXPECT_EQ(net.switch_count(), 2 * 3);
+  EXPECT_TRUE(fully_wired(net));
+  // Delta property: full access with exactly one path per pair.
+  for (ProcessorId p = 0; p < 9; ++p) {
+    for (ResourceId r = 0; r < 9; ++r) {
+      EXPECT_EQ(core::enumerate_free_paths(net, p, r).size(), 1u)
+          << p << "->" << r;
+    }
+  }
+}
+
+TEST(Builders, RadixFourDeltaFullAccess) {
+  const Network net = make_radix_delta(4, 2);  // 16 terminals, 4x4 boxes
+  EXPECT_EQ(net.processor_count(), 16);
+  EXPECT_TRUE(fully_wired(net));
+  for (ProcessorId p = 0; p < 16; ++p) {
+    EXPECT_EQ(core::reachable_free_resources(net, p).size(), 16u);
+  }
+}
+
+TEST(Builders, RadixDeltaRejectsBadParameters) {
+  EXPECT_THROW(make_radix_delta(1, 3), std::invalid_argument);
+  EXPECT_THROW(make_radix_delta(2, 0), std::invalid_argument);
+  EXPECT_THROW(make_radix_delta(2, 40), std::invalid_argument);  // too big
+}
+
+TEST(Builders, RejectsBadParameters) {
+  EXPECT_THROW(make_omega(6), std::invalid_argument);
+  EXPECT_THROW(make_omega(0), std::invalid_argument);
+  EXPECT_THROW(make_omega(8, -1), std::invalid_argument);
+  EXPECT_THROW(make_baseline(3), std::invalid_argument);
+  EXPECT_THROW(make_benes(5), std::invalid_argument);
+  EXPECT_THROW(make_clos(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(make_named("augmented-data-manipulator", 8),
+               std::invalid_argument);
+}
+
+TEST(Builders, OmegaBlockingPairExists) {
+  // The defining property the paper builds on: a unique-path MIN blocks.
+  // In an 8x8 Omega, find two (p, r) pairs whose unique paths share a link.
+  Network net = make_omega(8);
+  const auto path_a = core::enumerate_free_paths(net, 0, 0);
+  ASSERT_EQ(path_a.size(), 1u);
+  net.establish(path_a.front());
+  // Some other pair must now be blocked.
+  bool blocked = false;
+  for (ProcessorId p = 1; p < 8 && !blocked; ++p) {
+    for (ResourceId r = 1; r < 8 && !blocked; ++r) {
+      if (core::enumerate_free_paths(net, p, r).empty()) blocked = true;
+    }
+  }
+  EXPECT_TRUE(blocked);
+}
+
+}  // namespace
+}  // namespace rsin::topo

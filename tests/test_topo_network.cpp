@@ -1,0 +1,115 @@
+#include "topo/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsin::topo {
+namespace {
+
+/// 2 processors -> one 2x2 switch -> 2 resources.
+Network tiny_network() {
+  Network net(2, 2);
+  const SwitchId sw = net.add_switch(2, 2, 0);
+  net.add_link({NodeKind::kProcessor, 0, 0}, {NodeKind::kSwitch, sw, 0});
+  net.add_link({NodeKind::kProcessor, 1, 0}, {NodeKind::kSwitch, sw, 1});
+  net.add_link({NodeKind::kSwitch, sw, 0}, {NodeKind::kResource, 0, 0});
+  net.add_link({NodeKind::kSwitch, sw, 1}, {NodeKind::kResource, 1, 0});
+  return net;
+}
+
+TEST(TopoNetwork, CountsAndStageMetadata) {
+  Network net = tiny_network();
+  EXPECT_EQ(net.processor_count(), 2);
+  EXPECT_EQ(net.resource_count(), 2);
+  EXPECT_EQ(net.switch_count(), 1);
+  EXPECT_EQ(net.link_count(), 4);
+  EXPECT_EQ(net.stage_count(), 1);
+  EXPECT_EQ(net.stage_of(0), 0);
+}
+
+TEST(TopoNetwork, RejectsInvalidConstruction) {
+  EXPECT_THROW(Network(0, 1), std::invalid_argument);
+  Network net(1, 1);
+  EXPECT_THROW(net.add_switch(0, 2), std::invalid_argument);
+  const SwitchId sw = net.add_switch(1, 1);
+  // Resource as source / processor as destination are illegal.
+  EXPECT_THROW(
+      net.add_link({NodeKind::kResource, 0, 0}, {NodeKind::kSwitch, sw, 0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      net.add_link({NodeKind::kSwitch, sw, 0}, {NodeKind::kProcessor, 0, 0}),
+      std::invalid_argument);
+}
+
+TEST(TopoNetwork, RejectsDoubleWiring) {
+  Network net(1, 1);
+  const SwitchId sw = net.add_switch(1, 1);
+  net.add_link({NodeKind::kProcessor, 0, 0}, {NodeKind::kSwitch, sw, 0});
+  EXPECT_THROW(
+      net.add_link({NodeKind::kProcessor, 0, 0}, {NodeKind::kSwitch, sw, 0}),
+      std::invalid_argument);
+}
+
+TEST(TopoNetwork, LinkOccupancyLifecycle) {
+  Network net = tiny_network();
+  EXPECT_TRUE(net.link_free(0));
+  net.occupy_link(0);
+  EXPECT_FALSE(net.link_free(0));
+  EXPECT_THROW(net.occupy_link(0), std::invalid_argument);
+  EXPECT_EQ(net.occupied_link_count(), 1);
+  net.release_link(0);
+  EXPECT_TRUE(net.link_free(0));
+  net.occupy_link(0);
+  net.occupy_link(1);
+  net.release_all();
+  EXPECT_EQ(net.occupied_link_count(), 0);
+}
+
+TEST(TopoNetwork, TerminalLinkLookup) {
+  Network net = tiny_network();
+  EXPECT_EQ(net.processor_link(0), 0);
+  EXPECT_EQ(net.processor_link(1), 1);
+  EXPECT_EQ(net.resource_link(0), 2);
+  EXPECT_EQ(net.resource_link(1), 3);
+}
+
+TEST(TopoNetwork, CircuitContiguityChecks) {
+  Network net = tiny_network();
+  Circuit good{0, 1, {0, 3}};  // p0 -> switch -> r1
+  EXPECT_TRUE(net.circuit_contiguous(good));
+  Circuit wrong_endpoint{0, 0, {0, 3}};  // claims r0 but ends at r1
+  EXPECT_FALSE(net.circuit_contiguous(wrong_endpoint));
+  Circuit gap{0, 1, {0}};  // stops at the switch
+  EXPECT_FALSE(net.circuit_contiguous(gap));
+  Circuit empty{0, 1, {}};
+  EXPECT_FALSE(net.circuit_contiguous(empty));
+}
+
+TEST(TopoNetwork, EstablishOccupiesAndReleaseFrees) {
+  Network net = tiny_network();
+  Circuit circuit{0, 1, {0, 3}};
+  net.establish(circuit);
+  EXPECT_FALSE(net.link_free(0));
+  EXPECT_FALSE(net.link_free(3));
+  EXPECT_FALSE(net.circuit_free(circuit));
+  net.release(circuit);
+  EXPECT_TRUE(net.circuit_free(circuit));
+}
+
+TEST(TopoNetwork, EstablishRejectsConflictingCircuits) {
+  Network net = tiny_network();
+  net.establish(Circuit{0, 1, {0, 3}});
+  EXPECT_THROW(net.establish(Circuit{1, 1, {1, 3}}), std::invalid_argument);
+  // A disjoint circuit still fits.
+  net.establish(Circuit{1, 0, {1, 2}});
+  EXPECT_EQ(net.occupied_link_count(), 4);
+}
+
+TEST(TopoNetwork, PortNamesArePaperStyle) {
+  Network net = tiny_network();
+  EXPECT_EQ(net.port_name({NodeKind::kProcessor, 0, 0}, false), "p1");
+  EXPECT_EQ(net.port_name({NodeKind::kResource, 1, 0}, true), "r2");
+  EXPECT_EQ(net.port_name({NodeKind::kSwitch, 0, 1}, true), "sw0.0:in1");
+}
+
+}  // namespace
+}  // namespace rsin::topo

@@ -1,0 +1,40 @@
+// Compile-and-link check for the aggregate public header: every public
+// module must be includable together, and one symbol from each layer must
+// resolve. Guards against header rot (missing includes, ODR clashes).
+#include "rsin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rsin {
+namespace {
+
+TEST(Umbrella, EveryLayerIsUsableTogether) {
+  util::Rng rng(1);
+  EXPECT_EQ(util::binomial(4, 2).value(), 6u);
+
+  const topo::Network net = topo::make_omega(8);
+  const core::Problem problem = core::make_problem(net, {0, 1}, {5, 6});
+
+  core::MaxFlowScheduler max_flow;
+  const core::ScheduleResult schedule = max_flow.schedule(problem);
+  EXPECT_EQ(schedule.allocated(), 2u);
+
+  token::TokenScheduler token_scheduler;
+  EXPECT_EQ(token_scheduler.schedule(problem).allocated(), 2u);
+
+  const token::HardwareCost hardware = token::estimate_hardware(net);
+  EXPECT_GT(hardware.gates, 0);
+
+  EXPECT_GT(sim::banyan_blocking(0.5, 3), 0.0);
+
+  lp::LinearProgram lp_program;
+  lp_program.add_variable(1.0);
+  EXPECT_EQ(lp::solve(lp_program).status, lp::SolveStatus::kUnbounded);
+
+  flow::BipartiteGraph graph(2, 2);
+  graph.add_edge(0, 0);
+  EXPECT_EQ(flow::hopcroft_karp(graph).size, 1);
+}
+
+}  // namespace
+}  // namespace rsin
