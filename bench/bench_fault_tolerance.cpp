@@ -3,14 +3,23 @@
 // architecture except for reasons such as fault tolerance and modularity";
 // conclusion: the method applies unchanged to redundant-path fabrics).
 //
-// We fail random links (modeled as permanently occupied) and measure how
-// much allocation capability each topology retains under the optimal
-// scheduler. Unique-path delta networks lose pairs with every failed link;
-// the extra-stage Omega, gamma, and Benes fabrics route around faults.
+// Part 1: permanent faults. We fail random fabric links through the
+// first-class fault API (Network::fail_link) and measure how much
+// allocation capability each topology retains under the optimal scheduler.
+// Unique-path delta networks lose pairs with every failed link; the
+// extra-stage Omega, gamma, and Benes fabrics route around faults.
+//
+// Part 2: transient faults. The discrete-event system simulation replays a
+// seeded MTTF/MTTR fail/repair stream; failures tear down circuits
+// mid-transmission and the victims retry under backoff. The sweep shows
+// availability, the retry tax, and the throughput cost as links become
+// less reliable.
 #include <iostream>
 
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/static_experiment.hpp"
+#include "sim/system_sim.hpp"
 #include "topo/builders.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -19,13 +28,14 @@ namespace {
 
 using namespace rsin;
 
-/// Blocking probability with `failures` random dead links (averaged over
-/// several failure patterns).
+/// Blocking probability with `failures` random dead fabric links (averaged
+/// over several failure patterns).
 double blocking_with_failures(const std::string& topology, int failures,
                               std::uint64_t seed) {
   core::MaxFlowScheduler scheduler;
   double blocking_sum = 0.0;
   const int patterns = 5;
+  const fault::FaultConfig fault_config;  // fabric_links_only
   for (int pattern = 0; pattern < patterns; ++pattern) {
     topo::Network net = topology == "omega+1"
                             ? topo::make_omega(8, 1)
@@ -35,14 +45,11 @@ double blocking_with_failures(const std::string& topology, int failures,
     while (killed < failures) {
       const auto link = static_cast<topo::LinkId>(
           rng.uniform_int(0, net.link_count() - 1));
-      // Only fail fabric links (keep terminals attached so the experiment
-      // measures routing redundancy, not amputation).
-      const topo::Link& l = net.link(link);
-      if (l.occupied || l.from.kind != topo::NodeKind::kSwitch ||
-          l.to.kind != topo::NodeKind::kSwitch) {
+      if (!fault::link_eligible(net, link, fault_config) ||
+          net.link_failed(link)) {
         continue;
       }
-      net.occupy_link(link);
+      net.fail_link(link);
       ++killed;
     }
     sim::StaticExperimentConfig config;
@@ -54,6 +61,37 @@ double blocking_with_failures(const std::string& topology, int failures,
     blocking_sum += result.blocking_probability();
   }
   return blocking_sum / patterns;
+}
+
+void transient_sweep() {
+  std::cout << "\n=== E17b: transient faults in the DES (omega 8, optimal "
+               "scheduler, MTTR = 2) ===\n\n";
+  const topo::Network net = topo::make_named("omega", 8);
+  util::Table table({"link MTTF", "availability", "faults", "retries",
+                     "dropped", "utilization", "blocking %"});
+  for (const double mttf : {0.0, 60.0, 30.0, 15.0, 8.0}) {
+    core::MaxFlowScheduler scheduler;
+    sim::SystemConfig config;
+    config.arrival_rate = 0.8;
+    config.warmup_time = 50.0;
+    config.measure_time = 500.0;
+    config.seed = 17;
+    config.drop_timeout = 50.0;
+    config.faults.link_mttf = mttf;
+    config.faults.link_mttr = 2.0;
+    config.faults.seed = 1700;
+    const sim::SystemMetrics metrics =
+        sim::simulate_system(net, scheduler, config);
+    table.add(mttf > 0.0 ? util::fixed(mttf, 0) : "none",
+              util::fixed(metrics.availability, 4), metrics.faults_injected,
+              metrics.retries, metrics.tasks_dropped,
+              util::fixed(metrics.resource_utilization, 3),
+              util::pct(metrics.blocking_probability));
+  }
+  std::cout << table
+            << "\nshorter MTTF -> lower availability and a growing retry "
+               "tax; the scheduler keeps routing around the holes, so "
+               "throughput degrades gracefully instead of hanging\n";
 }
 
 }  // namespace
@@ -77,5 +115,6 @@ int main() {
                "fault; one extra stage, the gamma network, or a Benes "
                "fabric absorbs them — the redundancy argument of the "
                "paper's conclusion\n";
+  transient_sweep();
   return 0;
 }

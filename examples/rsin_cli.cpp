@@ -8,12 +8,23 @@
 // schedulers: dinic | ford-fulkerson | edmonds-karp | push-relabel |
 //             mincost | greedy | random | token
 // Every argument is optional; defaults are omega 8 dinic.
+//
+// Fault / degraded-mode flags (anywhere on the command line):
+//   --fail-links=K   permanently fail the first K fabric links before the
+//                    run (all modes; `dot` renders them dashed)
+//   --mttf=X         system mode: mean time to failure per fabric link;
+//                    enables the fault injector
+//   --mttr=X         system mode: mean time to repair (default 1.0)
+//   --deadline=S     wrap the scheduler in core::FallbackScheduler with a
+//                    per-cycle deadline of S seconds (greedy on overrun)
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/hetero.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/static_experiment.hpp"
 #include "sim/system_sim.hpp"
 #include "token/token_machine.hpp"
@@ -60,31 +71,89 @@ int usage() {
          "       rsin_cli dot      [topology] [n]\n"
          "topologies: omega baseline cube butterfly benes crossbar gamma\n"
          "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
-         "            mincost greedy random token hetero-lp\n";
+         "            mincost greedy random token hetero-lp\n"
+         "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n";
   return 2;
+}
+
+/// Fault / degraded-mode options gathered from --key=value flags.
+struct Options {
+  std::int32_t fail_links = 0;
+  double mttf = 0.0;
+  double mttr = 1.0;
+  double deadline = 0.0;
+};
+
+/// Splits argv into positional arguments and recognized --flags.
+std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--fail-links") {
+      options.fail_links = std::stoi(value);
+    } else if (key == "--mttf") {
+      options.mttf = std::stod(value);
+    } else if (key == "--mttr") {
+      options.mttr = std::stod(value);
+    } else if (key == "--deadline") {
+      options.deadline = std::stod(value);
+    } else {
+      throw std::invalid_argument("unknown flag: " + arg);
+    }
+  }
+  return positional;
+}
+
+/// Permanently fails the first `count` eligible fabric links.
+void fail_links(topo::Network& net, std::int32_t count) {
+  const fault::FaultConfig config;  // fabric_links_only by default
+  std::int32_t failed = 0;
+  for (topo::LinkId l = 0; l < net.link_count() && failed < count; ++l) {
+    if (!fault::link_eligible(net, l, config)) continue;
+    net.fail_link(l);
+    ++failed;
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const std::string mode = argc > 1 ? argv[1] : "blocking";
-    const std::string topology = argc > 2 ? argv[2] : "omega";
-    const std::int32_t n = argc > 3 ? std::stoi(argv[3]) : 8;
-    const std::string scheduler_name = argc > 4 ? argv[4] : "dinic";
+    Options options;
+    const std::vector<std::string> args = parse_args(argc, argv, options);
+    const auto arg = [&](std::size_t i, const std::string& fallback) {
+      return args.size() > i ? args[i] : fallback;
+    };
+    const std::string mode = arg(0, "blocking");
+    const std::string topology = arg(1, "omega");
+    const std::int32_t n = std::stoi(arg(2, "8"));
+    const std::string scheduler_name = arg(3, "dinic");
 
-    const topo::Network net = topo::make_named(topology, n);
+    topo::Network net = topo::make_named(topology, n);
+    if (options.fail_links > 0) fail_links(net, options.fail_links);
 
     if (mode == "dot") {
       topo::write_dot(std::cout, net);
       return 0;
     }
 
-    const auto scheduler = make_scheduler(scheduler_name);
+    auto scheduler = make_scheduler(scheduler_name);
+    if (options.deadline > 0.0) {
+      scheduler = std::make_unique<core::FallbackScheduler>(
+          std::move(scheduler), options.deadline);
+    }
     if (mode == "blocking") {
       sim::StaticExperimentConfig config;
-      config.trials = argc > 5 ? std::stoll(argv[5]) : 2000;
-      const double load = argc > 6 ? std::stod(argv[6]) : 0.75;
+      config.trials = args.size() > 4 ? std::stoll(args[4]) : 2000;
+      const double load = args.size() > 5 ? std::stod(args[5]) : 0.75;
       config.request_probability = load;
       config.free_probability = load;
       const auto result = sim::run_static_experiment(net, *scheduler, config);
@@ -98,7 +167,12 @@ int main(int argc, char** argv) {
     }
     if (mode == "system") {
       sim::SystemConfig config;
-      config.arrival_rate = argc > 5 ? std::stod(argv[5]) : 0.5;
+      config.arrival_rate = args.size() > 4 ? std::stod(args[4]) : 0.5;
+      if (options.mttf > 0.0) {
+        config.faults.link_mttf = options.mttf;
+        config.faults.link_mttr = options.mttr;
+        config.drop_timeout = 50.0;
+      }
       const auto metrics = sim::simulate_system(net, *scheduler, config);
       util::Table table({"metric", "value"});
       table.add("utilization", util::fixed(metrics.resource_utilization, 3));
@@ -106,6 +180,19 @@ int main(int argc, char** argv) {
       table.add("mean response", util::fixed(metrics.mean_response_time, 3));
       table.add("mean wait", util::fixed(metrics.mean_wait_time, 3));
       table.add("tasks completed", metrics.tasks_completed);
+      if (options.mttf > 0.0 || options.fail_links > 0) {
+        table.add("availability", util::fixed(metrics.availability, 4));
+        table.add("faults / repairs",
+                  std::to_string(metrics.faults_injected) + " / " +
+                      std::to_string(metrics.repairs));
+        table.add("circuits torn down", metrics.circuits_torn_down);
+        table.add("retries", metrics.retries);
+        table.add("tasks dropped", metrics.tasks_dropped);
+      }
+      if (options.deadline > 0.0) {
+        table.add("degraded cycle frac",
+                  util::fixed(metrics.degraded_cycle_fraction, 4));
+      }
       std::cout << table;
       return 0;
     }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the fault/robustness
+# subset again under ASan+UBSan (cmake --preset asan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: build + ctest (RelWithDebInfo) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "=== tier 1: fault/robustness subset under ASan+UBSan ==="
+cmake --preset asan >/dev/null
+cmake --build build-asan -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep)'
+
+echo "tier 1 OK"

@@ -102,7 +102,7 @@ HeteroNet build_hetero_net(const Problem& problem, bool with_costs) {
   }
   for (LinkId link = 0; link < net.link_count(); ++link) {
     const topo::Link& l = net.link(link);
-    if (l.occupied) continue;
+    if (!net.link_free(link)) continue;  // occupied or faulty
     NodeId from = flow::kInvalidNode;
     NodeId to = flow::kInvalidNode;
     if (l.from.kind == NodeKind::kProcessor) {

@@ -4,6 +4,7 @@
 
 #include "core/routing.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rsin::core {
 
@@ -158,6 +159,57 @@ ScheduleResult RandomScheduler::schedule(const Problem& problem) {
   }
   result.cost = schedule_cost(problem, result);
   return result;
+}
+
+const char* to_string(ScheduleOutcome outcome) {
+  switch (outcome) {
+    case ScheduleOutcome::kOptimal:
+      return "optimal";
+    case ScheduleOutcome::kDegraded:
+      return "degraded";
+    case ScheduleOutcome::kPartial:
+      return "partial";
+  }
+  return "unknown";
+}
+
+FallbackScheduler::FallbackScheduler(std::unique_ptr<Scheduler> primary,
+                                     double deadline_seconds)
+    : primary_(std::move(primary)), deadline_seconds_(deadline_seconds) {
+  RSIN_REQUIRE(primary_ != nullptr, "fallback needs a primary scheduler");
+}
+
+std::string FallbackScheduler::name() const {
+  return "fallback(" + primary_->name() + "->" + fallback_.name() + ")";
+}
+
+ScheduleResult FallbackScheduler::schedule(const Problem& problem) {
+  ++cycles_;
+  report_ = FallbackReport{};
+  util::Stopwatch watch;
+  try {
+    ScheduleResult result = primary_->schedule(problem);
+    report_.primary_seconds = watch.seconds();
+    if (deadline_seconds_ <= 0.0 ||
+        report_.primary_seconds <= deadline_seconds_) {
+      report_.outcome = ScheduleOutcome::kOptimal;
+      return result;
+    }
+    report_.detail = "primary exceeded the per-cycle deadline";
+  } catch (const std::exception& error) {
+    report_.primary_seconds = watch.seconds();
+    report_.detail = error.what();
+  }
+  ++degraded_;
+  try {
+    ScheduleResult result = fallback_.schedule(problem);
+    report_.outcome = ScheduleOutcome::kDegraded;
+    return result;
+  } catch (const std::exception& error) {
+    report_.outcome = ScheduleOutcome::kPartial;
+    report_.detail += std::string("; fallback also failed: ") + error.what();
+    return ScheduleResult{};
+  }
 }
 
 namespace {

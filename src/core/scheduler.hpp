@@ -102,6 +102,50 @@ class RandomScheduler final : public Scheduler {
   bool independent_destinations_;
 };
 
+/// How a FallbackScheduler cycle was served.
+enum class ScheduleOutcome : std::uint8_t {
+  kOptimal,   ///< The primary (optimal) scheduler answered within deadline.
+  kDegraded,  ///< Primary failed or timed out; greedy fallback answered.
+  kPartial,   ///< Both failed; an empty (but valid) schedule was returned.
+};
+
+[[nodiscard]] const char* to_string(ScheduleOutcome outcome);
+
+/// Diagnosis of the most recent FallbackScheduler cycle.
+struct FallbackReport {
+  ScheduleOutcome outcome = ScheduleOutcome::kOptimal;
+  double primary_seconds = 0.0;  ///< Wall time the primary attempt took.
+  std::string detail;            ///< Exception / timeout description.
+};
+
+/// Degraded-mode wrapper: runs an optimal scheduler under a per-cycle wall
+/// clock deadline and falls back to GreedyScheduler when the primary throws
+/// or overruns. Never throws out of schedule(): in the worst case it
+/// returns an empty schedule and reports kPartial, so a control loop (the
+/// DES scheduling cycle) keeps running through solver failures. The
+/// deadline is *soft* — the primary is not interrupted mid-solve; its
+/// result is discarded after the fact — which is the right semantic for a
+/// simulated per-cycle time budget.
+class FallbackScheduler final : public Scheduler {
+ public:
+  explicit FallbackScheduler(std::unique_ptr<Scheduler> primary,
+                             double deadline_seconds = 0.0);
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+
+  [[nodiscard]] const FallbackReport& last_report() const { return report_; }
+  [[nodiscard]] std::int64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::int64_t degraded_cycles() const { return degraded_; }
+
+ private:
+  std::unique_ptr<Scheduler> primary_;
+  GreedyScheduler fallback_;
+  double deadline_seconds_;
+  FallbackReport report_;
+  std::int64_t cycles_ = 0;
+  std::int64_t degraded_ = 0;
+};
+
 /// Exponential ground truth: maximizes allocation count (tie-broken by
 /// minimal cost) over every mapping and every path choice. Throws
 /// std::runtime_error if the search exceeds `work_limit` recursion steps.

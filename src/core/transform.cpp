@@ -85,9 +85,11 @@ struct Builder {
     }
 
     // B: one arc per free physical link whose endpoints both exist.
+    // link_free also excludes faulty links/switches, so a flow solution can
+    // never route through a failed element.
     for (LinkId link = 0; link < net.link_count(); ++link) {
       const topo::Link& l = net.link(link);
-      if (l.occupied) continue;
+      if (!net.link_free(link)) continue;
       NodeId from = flow::kInvalidNode;
       NodeId to = flow::kInvalidNode;
       switch (l.from.kind) {

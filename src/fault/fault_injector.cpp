@@ -1,0 +1,116 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::fault {
+namespace {
+
+/// Stream tags keep link and switch streams disjoint and stable.
+constexpr std::uint64_t kLinkStreamBase = 0x10000;
+constexpr std::uint64_t kSwitchStreamBase = 0x20000000;
+
+/// Appends the alternating fail/repair sequence of one element.
+void generate_element(const FaultConfig& config, double mttf, double mttr,
+                      FaultKind fail_kind, FaultKind repair_kind,
+                      std::int32_t element, std::uint64_t stream,
+                      std::vector<FaultEvent>& out) {
+  util::Rng rng = util::Rng(config.seed).split(stream);
+  const double fail_rate = 1.0 / mttf;
+  const double repair_rate = 1.0 / std::max(mttr, 1e-12);
+  double t = rng.exponential(fail_rate);
+  while (t < config.horizon) {
+    out.push_back(FaultEvent{t, fail_kind, element});
+    if (!config.transient) break;
+    const double repaired = t + rng.exponential(repair_rate);
+    if (repaired >= config.horizon) break;
+    out.push_back(FaultEvent{repaired, repair_kind, element});
+    t = repaired + rng.exponential(fail_rate);
+  }
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkFail:
+      return "link-fail";
+    case FaultKind::kLinkRepair:
+      return "link-repair";
+    case FaultKind::kSwitchFail:
+      return "switch-fail";
+    case FaultKind::kSwitchRepair:
+      return "switch-repair";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  RSIN_REQUIRE(config.link_mttf <= 0 || config.link_mttr > 0,
+               "link MTTR must be positive when link faults are enabled");
+  RSIN_REQUIRE(config.switch_mttf <= 0 || config.switch_mttr > 0,
+               "switch MTTR must be positive when switch faults are enabled");
+  RSIN_REQUIRE(
+      (config.link_mttf <= 0 && config.switch_mttf <= 0) ||
+          config.horizon > 0,
+      "fault injection needs a positive horizon");
+}
+
+bool link_eligible(const topo::Network& net, topo::LinkId id,
+                   const FaultConfig& config) {
+  if (!config.fabric_links_only) return true;
+  const topo::Link& l = net.link(id);
+  return l.from.kind == topo::NodeKind::kSwitch &&
+         l.to.kind == topo::NodeKind::kSwitch;
+}
+
+std::vector<FaultEvent> FaultInjector::make_schedule(
+    const topo::Network& net) const {
+  std::vector<FaultEvent> events;
+  if (config_.horizon <= 0) return events;
+  if (config_.link_mttf > 0) {
+    for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+      if (!link_eligible(net, l, config_)) continue;
+      generate_element(config_, config_.link_mttf, config_.link_mttr,
+                       FaultKind::kLinkFail, FaultKind::kLinkRepair, l,
+                       kLinkStreamBase + static_cast<std::uint64_t>(l),
+                       events);
+    }
+  }
+  if (config_.switch_mttf > 0) {
+    for (topo::SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+      generate_element(config_, config_.switch_mttf, config_.switch_mttr,
+                       FaultKind::kSwitchFail, FaultKind::kSwitchRepair, sw,
+                       kSwitchStreamBase + static_cast<std::uint64_t>(sw),
+                       events);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.element < b.element;
+            });
+  return events;
+}
+
+std::vector<topo::Circuit> apply_event(topo::Network& net,
+                                       const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kLinkFail:
+      return net.fail_link(event.element);
+    case FaultKind::kLinkRepair:
+      net.repair_link(event.element);
+      return {};
+    case FaultKind::kSwitchFail:
+      return net.fail_switch(event.element);
+    case FaultKind::kSwitchRepair:
+      net.repair_switch(event.element);
+      return {};
+  }
+  return {};
+}
+
+}  // namespace rsin::fault

@@ -1,0 +1,88 @@
+// Seeded fault injection for RSIN fabrics.
+//
+// The paper's conclusion argues that redundant-path RSINs matter because the
+// fabric can *fail*; this module makes failure a first-class, reproducible
+// input. A FaultInjector turns MTTF/MTTR parameters into a deterministic
+// schedule of fail/repair events over a time horizon: every eligible element
+// (fabric link or switchbox) alternates exponentially distributed up-times
+// (mean = MTTF) and down-times (mean = MTTR), each element drawing from its
+// own derived RNG stream so the schedule is independent of iteration order
+// and stable under topology-preserving changes elsewhere.
+//
+// Consumers: the discrete-event system simulation replays the schedule as
+// failure/repair events (sim/system_sim.hpp); benches and tests apply events
+// directly via apply_event(). Transient faults (repairs scheduled) model
+// recoverable glitches; `transient = false` models permanent hard faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.hpp"
+
+namespace rsin::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkFail,
+  kLinkRepair,
+  kSwitchFail,
+  kSwitchRepair,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault transition. `element` is a LinkId for link events and
+/// a SwitchId for switch events.
+struct FaultEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kLinkFail;
+  std::int32_t element = topo::kInvalidId;
+};
+
+struct FaultConfig {
+  /// Mean time to failure per fabric link; <= 0 disables link faults.
+  double link_mttf = 0.0;
+  /// Mean time to repair a failed link.
+  double link_mttr = 1.0;
+  /// Mean time to failure per switchbox; <= 0 disables switch faults.
+  double switch_mttf = 0.0;
+  double switch_mttr = 1.0;
+  /// Schedule length; events are generated in [0, horizon).
+  double horizon = 0.0;
+  /// Schedule repairs (transient faults). false = permanent: each element
+  /// fails at most once and never recovers.
+  bool transient = true;
+  /// Only links between two switchboxes fail (keeps terminals attached, so
+  /// experiments measure routing redundancy rather than amputation).
+  bool fabric_links_only = true;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic fail/repair schedule generator. Stateless: make_schedule
+/// always produces the same events for the same config and network shape.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Generates the time-sorted fault schedule for `net`'s elements.
+  [[nodiscard]] std::vector<FaultEvent> make_schedule(
+      const topo::Network& net) const;
+
+ private:
+  FaultConfig config_;
+};
+
+/// Applies one event to the network. Fail events return the established
+/// circuits torn down by the failure (already released); repair events
+/// return an empty vector.
+std::vector<topo::Circuit> apply_event(topo::Network& net,
+                                       const FaultEvent& event);
+
+/// True when the link may appear in a schedule under `config` (fabric-only
+/// filtering).
+[[nodiscard]] bool link_eligible(const topo::Network& net, topo::LinkId id,
+                                 const FaultConfig& config);
+
+}  // namespace rsin::fault

@@ -37,6 +37,9 @@
 #include "topo/switch_settings.hpp"  // IWYU pragma: export
 #include "topo/tag_routing.hpp"      // IWYU pragma: export
 
+// fault — seeded fault injection and schedules.
+#include "fault/fault_injector.hpp"  // IWYU pragma: export
+
 // core — the paper's transformations and schedulers.
 #include "core/hetero.hpp"     // IWYU pragma: export
 #include "core/problem.hpp"    // IWYU pragma: export

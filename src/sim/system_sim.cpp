@@ -1,6 +1,7 @@
 #include "sim/system_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 
@@ -15,6 +16,8 @@ struct Task {
   double arrival = 0.0;
   std::int32_t type = 0;
   std::int32_t priority = 0;
+  double eligible_after = 0.0;  ///< Backoff gate after a teardown retry.
+  std::int32_t attempts = 0;    ///< Transmissions started (and interrupted).
 };
 
 /// Full mutable state of the simulated system.
@@ -25,12 +28,22 @@ struct SystemState {
 
   std::vector<std::deque<Task>> queue;      // per processor
   std::vector<char> transmitting;           // per processor
+  std::vector<Task> in_flight;              // per processor; valid while
+                                            // transmitting
   std::vector<char> resource_busy;          // per resource
   std::vector<std::int32_t> resource_type;  // fixed per resource
   std::vector<std::int32_t> resource_pref;  // fixed per resource
 
+  // Epoch guards: the event queue cannot cancel events, so the pending
+  // release/completion events of a transmission capture the epoch at
+  // scheduling time; a mid-service teardown bumps the epoch, turning the
+  // stale events into no-ops.
+  std::vector<std::int64_t> proc_epoch;  // per processor
+  std::vector<std::int64_t> res_epoch;   // per resource
+
   TimeWeightedStat busy_resources;
   TimeWeightedStat queued_tasks;
+  TimeWeightedStat faulty_links;
   RunningStat response_time;
   RunningStat wait_time;
   std::map<std::int32_t, RunningStat> wait_by_priority;
@@ -39,6 +52,12 @@ struct SystemState {
   std::int64_t tasks_arrived = 0;
   std::int64_t tasks_completed = 0;
   std::int64_t cycles = 0;
+  std::int64_t degraded_cycles = 0;
+  std::int64_t faults_injected = 0;
+  std::int64_t repairs = 0;
+  std::int64_t circuits_torn_down = 0;
+  std::int64_t retries = 0;
+  std::int64_t tasks_dropped = 0;
   bool measuring = false;
 
   explicit SystemState(const topo::Network& base, const SystemConfig& config)
@@ -46,6 +65,9 @@ struct SystemState {
     net.release_all();
     queue.resize(static_cast<std::size_t>(net.processor_count()));
     transmitting.assign(static_cast<std::size_t>(net.processor_count()), 0);
+    in_flight.resize(static_cast<std::size_t>(net.processor_count()));
+    proc_epoch.assign(static_cast<std::size_t>(net.processor_count()), 0);
+    res_epoch.assign(static_cast<std::size_t>(net.resource_count()), 0);
     resource_busy.assign(static_cast<std::size_t>(net.resource_count()), 0);
     resource_type.resize(static_cast<std::size_t>(net.resource_count()));
     resource_pref.resize(static_cast<std::size_t>(net.resource_count()));
@@ -71,19 +93,83 @@ struct SystemState {
 void schedule_arrival(SystemState& state, const SystemConfig& config,
                       topo::ProcessorId p);
 
+/// Replays one injector event: applies the fail/repair to the network and
+/// recovers every transmission whose circuit the failure tore down — the
+/// victim task is re-queued at the head of its queue under exponential
+/// backoff and the stale release/completion events are invalidated.
+void handle_fault_event(SystemState& state, const SystemConfig& config,
+                        const fault::FaultEvent& event) {
+  const double now = state.events.now();
+  const std::vector<topo::Circuit> victims =
+      fault::apply_event(state.net, event);
+  const bool fail = event.kind == fault::FaultKind::kLinkFail ||
+                    event.kind == fault::FaultKind::kSwitchFail;
+  if (state.measuring) {
+    if (fail) {
+      ++state.faults_injected;
+    } else {
+      ++state.repairs;
+    }
+    state.circuits_torn_down += static_cast<std::int64_t>(victims.size());
+  }
+  state.faulty_links.update(now, state.net.faulty_link_count());
+
+  for (const topo::Circuit& circuit : victims) {
+    const auto p = static_cast<std::size_t>(circuit.processor);
+    const auto r = static_cast<std::size_t>(circuit.resource);
+    // The network already released the circuit's links; invalidate the
+    // pending release/completion events and roll the sim state back.
+    ++state.proc_epoch[p];
+    ++state.res_epoch[r];
+    state.transmitting[p] = 0;
+    state.resource_busy[r] = 0;
+    state.busy_resources.update(
+        now, std::count(state.resource_busy.begin(),
+                        state.resource_busy.end(), char{1}));
+
+    Task task = state.in_flight[p];
+    ++task.attempts;
+    const double backoff =
+        std::min(config.retry_backoff_base * std::ldexp(1.0, task.attempts - 1),
+                 config.retry_backoff_max);
+    task.eligible_after = now + backoff;
+    state.queue[p].push_front(task);
+    state.queued_tasks.update(now, state.total_queued());
+    if (state.measuring) ++state.retries;
+  }
+}
+
 void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
                           core::Scheduler& scheduler) {
   // Snapshot: head-of-queue task of every non-transmitting processor is a
   // pending request; resources not busy are free.
   core::Problem problem;
   problem.network = &state.net;
+  const double now_snapshot = state.events.now();
   double oldest_wait = 0.0;
+  bool dropped_any = false;
   for (std::size_t p = 0; p < state.queue.size(); ++p) {
-    if (state.transmitting[p] || state.queue[p].empty()) continue;
+    if (state.transmitting[p]) continue;
+    // Abandon tasks that have waited past the drop timeout (repeated
+    // teardown retries on a degraded fabric eventually give up).
+    if (config.drop_timeout > 0.0) {
+      while (!state.queue[p].empty() &&
+             now_snapshot - state.queue[p].front().arrival >
+                 config.drop_timeout) {
+        state.queue[p].pop_front();
+        dropped_any = true;
+        if (state.measuring) ++state.tasks_dropped;
+      }
+    }
+    if (state.queue[p].empty()) continue;
     const Task& task = state.queue[p].front();
-    oldest_wait = std::max(oldest_wait, state.events.now() - task.arrival);
+    if (task.eligible_after > now_snapshot) continue;  // still backing off
+    oldest_wait = std::max(oldest_wait, now_snapshot - task.arrival);
     problem.requests.push_back(core::Request{
         static_cast<topo::ProcessorId>(p), task.priority, task.type});
+  }
+  if (dropped_any) {
+    state.queued_tasks.update(now_snapshot, state.total_queued());
   }
   // Batching (Fig. 10's wait states): hold off until enough requests have
   // accumulated, unless one has already waited past the override.
@@ -118,6 +204,12 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       state.opportunities += opportunities;
       state.allocated += static_cast<std::int64_t>(result.allocated());
       ++state.cycles;
+      if (const auto* fallback =
+              dynamic_cast<const core::FallbackScheduler*>(&scheduler);
+          fallback != nullptr &&
+          fallback->last_report().outcome != core::ScheduleOutcome::kOptimal) {
+        ++state.degraded_cycles;
+      }
     }
 
     const double now = state.events.now();
@@ -128,6 +220,7 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       state.queue[p].pop_front();
       state.queued_tasks.update(now, state.total_queued());
       state.transmitting[p] = 1;
+      state.in_flight[p] = task;
       state.resource_busy[r] = 1;
       state.busy_resources.update(
           now, std::count(state.resource_busy.begin(),
@@ -143,14 +236,20 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       // transmission + service.
       const topo::Circuit circuit = assignment.circuit;
       state.net.establish(circuit);
-      state.events.schedule_in(config.transmission_time, [&state, circuit] {
-        state.net.release(circuit);
-        state.transmitting[static_cast<std::size_t>(circuit.processor)] = 0;
-      });
+      const std::int64_t proc_epoch = state.proc_epoch[p];
+      state.events.schedule_in(
+          config.transmission_time, [&state, circuit, proc_epoch] {
+            const auto proc = static_cast<std::size_t>(circuit.processor);
+            if (state.proc_epoch[proc] != proc_epoch) return;  // torn down
+            state.net.release(circuit);
+            state.transmitting[proc] = 0;
+          });
       const double service =
           state.rng.exponential(1.0 / config.mean_service_time);
+      const std::int64_t res_epoch = state.res_epoch[r];
       state.events.schedule_in(
-          config.transmission_time + service, [&state, r, task] {
+          config.transmission_time + service, [&state, r, res_epoch, task] {
+            if (state.res_epoch[r] != res_epoch) return;  // torn down
             state.resource_busy[r] = 0;
             state.busy_resources.update(
                 state.events.now(),
@@ -199,6 +298,20 @@ SystemMetrics simulate_system(const topo::Network& net,
   RSIN_REQUIRE(config.cycle_interval > 0, "cycle interval must be positive");
   SystemState state(net, config);
 
+  // Replay the injector's deterministic fail/repair stream as events.
+  if (config.faults.link_mttf > 0 || config.faults.switch_mttf > 0) {
+    fault::FaultConfig fault_config = config.faults;
+    if (fault_config.horizon <= 0) {
+      fault_config.horizon = config.warmup_time + config.measure_time;
+    }
+    const fault::FaultInjector injector(fault_config);
+    for (const fault::FaultEvent& event : injector.make_schedule(state.net)) {
+      state.events.schedule(event.time, [&state, &config, event] {
+        handle_fault_event(state, config, event);
+      });
+    }
+  }
+
   for (topo::ProcessorId p = 0; p < state.net.processor_count(); ++p) {
     schedule_arrival(state, config, p);
   }
@@ -211,6 +324,8 @@ SystemMetrics simulate_system(const topo::Network& net,
   state.measuring = true;
   state.busy_resources.reset(state.events.now());
   state.queued_tasks.reset(state.events.now());
+  state.faulty_links.reset(state.events.now());
+  state.faulty_links.update(state.events.now(), state.net.faulty_link_count());
   state.tasks_arrived = 0;
   state.tasks_completed = 0;
 
@@ -235,6 +350,20 @@ SystemMetrics simulate_system(const topo::Network& net,
   metrics.tasks_arrived = state.tasks_arrived;
   metrics.tasks_completed = state.tasks_completed;
   metrics.scheduling_cycles = state.cycles;
+  metrics.availability =
+      state.net.link_count() > 0
+          ? 1.0 - state.faulty_links.average(end_time) /
+                      static_cast<double>(state.net.link_count())
+          : 1.0;
+  metrics.degraded_cycle_fraction =
+      state.cycles > 0 ? static_cast<double>(state.degraded_cycles) /
+                             static_cast<double>(state.cycles)
+                       : 0.0;
+  metrics.faults_injected = state.faults_injected;
+  metrics.repairs = state.repairs;
+  metrics.circuits_torn_down = state.circuits_torn_down;
+  metrics.retries = state.retries;
+  metrics.tasks_dropped = state.tasks_dropped;
   return metrics;
 }
 

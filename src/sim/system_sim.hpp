@@ -13,12 +13,20 @@
 // Outputs: resource utilization, mean response time (arrival to completion),
 // mean waiting time (arrival to circuit establishment), and the per-cycle
 // blocking probability (allocation opportunities lost to circuit blocking).
+//
+// Faults: when the config carries a fault::FaultConfig with a positive MTTF,
+// the injector's deterministic fail/repair stream is replayed as events. A
+// failure tears down the circuits crossing it mid-transmission; each victim
+// task is re-queued at the head of its processor's queue with bounded
+// exponential backoff (and eventually dropped if a drop timeout is set), and
+// the availability / retry / teardown metrics record the damage.
 #pragma once
 
 #include <cstdint>
 #include <map>
 
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/metrics.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
@@ -44,6 +52,17 @@ struct SystemConfig {
   /// (<= 0 disables the override).
   double max_batch_wait = 0.0;
   std::uint64_t seed = 1;
+
+  /// Fault injection: MTTF <= 0 for both element classes disables it. A
+  /// zero horizon defaults to warmup_time + measure_time.
+  fault::FaultConfig faults;
+  /// A task whose circuit is torn down by a failure is re-queued at the
+  /// head of its queue and becomes eligible again after
+  /// min(retry_backoff_base * 2^(attempts - 1), retry_backoff_max).
+  double retry_backoff_base = 0.05;
+  double retry_backoff_max = 0.8;
+  /// Pending tasks older than this are dropped (<= 0: never drop).
+  double drop_timeout = 0.0;
 };
 
 struct SystemMetrics {
@@ -58,6 +77,17 @@ struct SystemMetrics {
   std::int64_t tasks_arrived = 0;
   std::int64_t tasks_completed = 0;
   std::int64_t scheduling_cycles = 0;
+
+  // Fault / degraded-mode metrics (trivial on a fault-free run).
+  double availability = 1.0;  ///< Time-weighted fraction of non-faulty links.
+  /// Fraction of scheduling cycles served by the degraded path (only
+  /// nonzero when the scheduler is a core::FallbackScheduler).
+  double degraded_cycle_fraction = 0.0;
+  std::int64_t faults_injected = 0;    ///< Fail events during measurement.
+  std::int64_t repairs = 0;            ///< Repair events during measurement.
+  std::int64_t circuits_torn_down = 0; ///< Transmissions killed by failures.
+  std::int64_t retries = 0;            ///< Victim tasks re-queued.
+  std::int64_t tasks_dropped = 0;      ///< Tasks abandoned past drop_timeout.
 };
 
 /// Simulates the system on a private copy of `net`; the scheduler is called

@@ -146,12 +146,15 @@ struct ElementMachine::Impl {
   std::uint8_t bus_now = 0;
   ElementStats* stats = nullptr;
   std::int64_t clock = 0;
+  std::int64_t max_clock_periods = 0;  ///< 0 = derive from network size.
 
   explicit Impl(const core::Problem& p) : problem(p), net(*p.network) {
     link_state.assign(static_cast<std::size_t>(net.link_count()),
                       LState::kFree);
     for (LinkId l = 0; l < net.link_count(); ++l) {
-      if (net.link(l).occupied) {
+      // Faulty links read as occupied: the element machine models detected
+      // faults, so no token is ever launched into failed hardware.
+      if (!net.link_free(l)) {
         link_state[static_cast<std::size_t>(l)] = LState::kOccupied;
       }
     }
@@ -424,14 +427,26 @@ struct ElementMachine::Impl {
       stats->bus_trace.push_back(BusSample{0, bus_prev, "idle"});
     }
 
-    // Defensive bound: every phase makes progress within a few clocks per
+    // Watchdog bound: every phase makes progress within a few clocks per
     // link, and there are at most min(P, R) iterations.
     const std::int64_t limit =
-        64 + 8 * static_cast<std::int64_t>(net.link_count()) *
-                  (1 + std::min(net.processor_count(), net.resource_count()));
+        max_clock_periods > 0
+            ? max_clock_periods
+            : 64 + 8 * static_cast<std::int64_t>(net.link_count()) *
+                       (1 + std::min(net.processor_count(),
+                                     net.resource_count()));
 
     while (phase != Phase::kDone) {
-      RSIN_ENSURE(clock < limit, "element machine failed to converge");
+      RSIN_ENSURE(clock < limit,
+                  "element machine failed to converge: clock " +
+                      std::to_string(clock) + " reached the budget of " +
+                      std::to_string(limit) + " periods in phase '" +
+                      phase_name(phase) + "' (links=" +
+                      std::to_string(net.link_count()) + ", processors=" +
+                      std::to_string(net.processor_count()) + ", resources=" +
+                      std::to_string(net.resource_count()) +
+                      ", faulty links=" +
+                      std::to_string(net.faulty_link_count()) + ")");
       ++clock;
       if (stats) ++stats->clock_periods;
 
@@ -503,16 +518,19 @@ struct ElementMachine::Impl {
   }
 };
 
-ElementMachine::ElementMachine(const core::Problem& problem)
-    : problem_(problem) {
+ElementMachine::ElementMachine(const core::Problem& problem,
+                               std::int64_t max_clock_periods)
+    : problem_(problem), max_clock_periods_(max_clock_periods) {
   problem.validate();
   RSIN_REQUIRE(problem.types().size() <= 1,
                "the element machine implements the homogeneous no-priority "
                "discipline (Section IV-B)");
+  RSIN_REQUIRE(max_clock_periods_ >= 0, "clock budget must be non-negative");
 }
 
 core::ScheduleResult ElementMachine::run(ElementStats* stats) {
   Impl impl(problem_);
+  impl.max_clock_periods = max_clock_periods_;
   return impl.run(stats);
 }
 

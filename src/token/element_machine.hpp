@@ -43,15 +43,21 @@ struct ElementStats {
 
 class ElementMachine {
  public:
-  explicit ElementMachine(const core::Problem& problem);
+  /// `max_clock_periods` bounds one scheduling cycle; 0 derives the bound
+  /// from the network size. Elements are always fault-aware here (faulty
+  /// links read as occupied), so exceeding the bound is a convergence bug
+  /// and run() throws a diagnosable error rather than spinning.
+  explicit ElementMachine(const core::Problem& problem,
+                          std::int64_t max_clock_periods = 0);
 
-  /// Runs one scheduling cycle to completion (bounded by a defensive clock
-  /// limit proportional to the network size; exceeding it throws).
+  /// Runs one scheduling cycle to completion (bounded by the clock limit;
+  /// exceeding it throws std::logic_error with the machine state summary).
   core::ScheduleResult run(ElementStats* stats = nullptr);
 
  private:
   struct Impl;
   const core::Problem& problem_;
+  std::int64_t max_clock_periods_;
 };
 
 /// Scheduler adapter for the element-local machine.

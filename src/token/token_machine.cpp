@@ -11,12 +11,37 @@ using topo::kInvalidId;
 using topo::LinkId;
 using topo::NodeKind;
 
-TokenMachine::TokenMachine(const core::Problem& problem)
-    : problem_(problem), net_(*problem.network) {
+TokenMachine::TokenMachine(const core::Problem& problem, TokenOptions options)
+    : problem_(problem), net_(*problem.network), options_(options) {
   problem.validate();
   RSIN_REQUIRE(problem.types().size() <= 1,
                "the token architecture implements the homogeneous "
                "no-priority discipline (Section IV-B)");
+  RSIN_REQUIRE(options_.max_clock_periods >= 0,
+               "clock budget must be non-negative");
+  // Watchdog budget: every phase makes progress within a few clocks per
+  // link, and there are at most min(P, R) augmenting iterations.
+  clock_budget_ =
+      options_.max_clock_periods > 0
+          ? options_.max_clock_periods
+          : 64 + 8 * static_cast<std::int64_t>(net_.link_count()) *
+                     (1 + std::min(net_.processor_count(),
+                                   net_.resource_count()));
+}
+
+bool TokenMachine::charge_clock(std::int64_t periods, const char* phase) {
+  clock_used_ += periods;
+  if (aborted_ || clock_used_ <= clock_budget_) return !aborted_;
+  // Budget exhausted on a healthy, fault-aware machine: that is a library
+  // bug, not a fault condition — fail loudly and diagnosably.
+  RSIN_ENSURE(!(options_.fault_aware && net_.fault_free()),
+              "token machine exceeded its clock budget (" +
+                  std::to_string(clock_used_) + " > " +
+                  std::to_string(clock_budget_) + " periods) in the " +
+                  phase + " phase on a fault-free network");
+  aborted_ = true;
+  abort_phase_ = phase;
+  return false;
 }
 
 TokenMachine::Element TokenMachine::link_sender(LinkId link,
@@ -39,7 +64,12 @@ void TokenMachine::start_cycle() {
   link_state_.assign(static_cast<std::size_t>(net_.link_count()),
                      LinkState::kFree);
   for (LinkId l = 0; l < net_.link_count(); ++l) {
-    if (net_.link(l).occupied) {
+    // Fault-aware elements treat faulty links as occupied (fault masking);
+    // unaware elements see only the physical occupancy, so tokens may be
+    // launched into failed hardware and vanish (watchdog territory).
+    const bool unusable = options_.fault_aware ? !net_.link_free(l)
+                                               : net_.link(l).occupied;
+    if (unusable) {
       link_state_[static_cast<std::size_t>(l)] = LinkState::kOccupied;
     }
   }
@@ -117,6 +147,7 @@ std::vector<topo::ResourceId> TokenMachine::request_token_phase(
   }
 
   while (!in_flight.empty() && reached.empty()) {
+    if (!charge_clock(1, "request-token")) break;
     if (stats) {
       ++stats->clock_periods;
       stats->tokens_propagated +=
@@ -126,6 +157,12 @@ std::vector<topo::ResourceId> TokenMachine::request_token_phase(
     // via map) so the "first batch" rule is applied per element.
     std::map<std::pair<int, std::int32_t>, std::vector<LinkId>> arrivals;
     for (const LinkId l : in_flight) {
+      if (!options_.fault_aware && net_.link_faulty(l)) {
+        // Fault-unaware regime: the token was launched into failed
+        // hardware and is silently swallowed — nothing acknowledges it.
+        ++lost_tokens_;
+        continue;
+      }
       const Element receiver =
           link_receiver(l, traversed_[static_cast<std::size_t>(l)]);
       arrivals[{static_cast<int>(receiver.kind), receiver.index}].push_back(l);
@@ -195,23 +232,29 @@ std::vector<TokenMachine::FoundPath> TokenMachine::resource_token_phase(
     Element at;
     std::vector<LinkId> stack;
     bool active = true;
+    bool lost = false;  ///< Swallowed by failed hardware; never completes.
   };
 
   std::vector<ResourceToken> tokens;
   tokens.reserve(reached.size());
   for (const topo::ResourceId r : reached) {
     tokens.push_back(
-        ResourceToken{r, Element{NodeKind::kResource, r}, {}, true});
+        ResourceToken{r, Element{NodeKind::kResource, r}, {}, true, false});
   }
 
   std::vector<FoundPath> found;
   bool any_active = !tokens.empty();
   while (any_active) {
+    if (!charge_clock(1, "resource-token")) break;
     if (stats) ++stats->clock_periods;
     any_active = false;
     for (ResourceToken& token : tokens) {
       if (!token.active) continue;
       any_active = true;
+      // A lost token never returns and never acknowledges: its RS keeps
+      // waiting, so the phase would spin forever — this is exactly the
+      // stuck-bus condition the clock budget bounds.
+      if (token.lost) continue;
 
       // Candidate exits from the current element: links whose request
       // token was *accepted* here, not cleared by a backtrack, and not
@@ -249,6 +292,13 @@ std::vector<TokenMachine::FoundPath> TokenMachine::resource_token_phase(
       }
 
       if (exit != kInvalidId) {
+        if (!options_.fault_aware && net_.link_faulty(exit)) {
+          // The token is sent into failed hardware: no grant ever comes
+          // back, so it stays active-but-lost.
+          token.lost = true;
+          ++lost_tokens_;
+          continue;
+        }
         reserved_[static_cast<std::size_t>(exit)] = 1;
         token.stack.push_back(exit);
         token.at =
@@ -369,12 +419,14 @@ core::ScheduleResult TokenMachine::run(TokenStats* stats) {
     const std::int64_t before = stats ? stats->clock_periods : 0;
     const std::vector<topo::ResourceId> reached = request_token_phase(stats);
     clock += stats ? stats->clock_periods - before : 0;
+    if (aborted_) break;
     if (reached.empty()) break;  // no augmenting path: cycle complete
     if (stats) ++stats->iterations;
 
     // An RS raises E6; the machine holds one clock so tokens settle.
     if (stats) ++stats->clock_periods;
     ++clock;
+    if (!charge_clock(1, "E6 settle")) break;
     sample_bus(stats, clock, true, false, false, true, "RS reached (E6)");
 
     // Resource-token propagation (E4).
@@ -383,17 +435,36 @@ core::ScheduleResult TokenMachine::run(TokenStats* stats) {
     const std::int64_t before2 = stats ? stats->clock_periods : 0;
     const std::vector<FoundPath> paths = resource_token_phase(reached, stats);
     clock += stats ? stats->clock_periods - before2 : 0;
-    RSIN_ENSURE(!paths.empty(),
+    // The guarantee (Theorem 4) only holds for completed, healthy phases;
+    // an aborted phase may legitimately return nothing.
+    RSIN_ENSURE(aborted_ || !paths.empty(),
                 "a reached RS guarantees at least one augmenting path");
 
-    // Path registration (E5): one clock.
+    // Path registration (E5): one clock. Paths found before an abort are
+    // already bonded, so they must still be registered — trace_circuits()
+    // depends on every bonded RQ owning a registered chain.
     sample_bus(stats, clock, false, true, true, false, "path registration");
     register_paths(paths);
     if (stats) ++stats->clock_periods;
     ++clock;
+    if (aborted_ || !charge_clock(1, "path registration")) break;
   }
 
-  sample_bus(stats, clock, false, false, false, false, "allocation/bonded");
+  sample_bus(stats, clock, false, false, false, false,
+             aborted_ ? "watchdog abort" : "allocation/bonded");
+  if (stats) {
+    stats->watchdog_fired = aborted_;
+    stats->lost_tokens = lost_tokens_;
+    if (aborted_) {
+      stats->watchdog_reason =
+          "clock budget (" + std::to_string(clock_budget_) +
+          " periods) exhausted in the " + abort_phase_ + " phase";
+      if (lost_tokens_ > 0) {
+        stats->watchdog_reason +=
+            " with " + std::to_string(lost_tokens_) + " lost token(s)";
+      }
+    }
+  }
   return trace_circuits();
 }
 

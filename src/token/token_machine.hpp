@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -38,15 +39,43 @@ struct TokenStats {
   std::int64_t clock_periods = 0;  ///< Total synchronized clock ticks.
   std::int64_t tokens_propagated = 0;  ///< Individual link traversals.
   std::vector<BusSample> bus_trace;    ///< Status-bus states (Fig. 10).
+  // Watchdog diagnosis (see TokenOptions).
+  bool watchdog_fired = false;      ///< The cycle was aborted by the budget.
+  std::int64_t lost_tokens = 0;     ///< Tokens swallowed by faulty elements.
+  std::string watchdog_reason;      ///< Human-readable abort condition.
+};
+
+/// Fault behaviour of one scheduling cycle.
+struct TokenOptions {
+  /// Fault-aware elements see faulty links as occupied (the detected-fault
+  /// regime: the machine schedules around failures and still matches Dinic
+  /// on the fault-masked network). Fault-*unaware* elements see the
+  /// physical occupancy only, so tokens entering a failed element are
+  /// silently swallowed — the regime where, without a watchdog, the machine
+  /// would spin forever waiting for tokens that never return.
+  bool fault_aware = true;
+  /// Upper bound on clock periods per scheduling cycle; 0 derives a bound
+  /// from the network size (every phase makes progress within a few clocks
+  /// per link, over at most min(P, R) iterations). On exhaustion the
+  /// watchdog aborts the cycle cleanly, keeping the allocation registered
+  /// so far — unless the network is fault-free and the elements are
+  /// fault-aware, in which case exhaustion indicates a library bug and a
+  /// diagnosable std::logic_error is thrown instead.
+  std::int64_t max_clock_periods = 0;
 };
 
 /// The distributed scheduler. Stateless between calls; each run() simulates
 /// one full scheduling cycle on the problem's network snapshot.
 class TokenMachine {
  public:
-  explicit TokenMachine(const core::Problem& problem);
+  explicit TokenMachine(const core::Problem& problem,
+                        TokenOptions options = {});
 
   /// Runs a scheduling cycle; returns the resulting (realizable) schedule.
+  /// Bounded by the watchdog clock budget: a cycle that stops making
+  /// progress (lost tokens, stuck bus) is aborted and the partial
+  /// allocation found so far is returned, with the abort diagnosed in
+  /// `stats`.
   core::ScheduleResult run(TokenStats* stats = nullptr);
 
  private:
@@ -83,8 +112,20 @@ class TokenMachine {
 
   core::ScheduleResult trace_circuits() const;
 
+  /// Charges `periods` clock ticks against the watchdog budget; returns
+  /// false (and arms the abort) when the budget is exhausted.
+  bool charge_clock(std::int64_t periods, const char* phase);
+
   const core::Problem& problem_;
   const topo::Network& net_;
+  TokenOptions options_;
+
+  // Watchdog state.
+  std::int64_t clock_budget_ = 0;
+  std::int64_t clock_used_ = 0;
+  std::int64_t lost_tokens_ = 0;
+  bool aborted_ = false;
+  std::string abort_phase_;
 
   std::vector<LinkState> link_state_;
   std::vector<char> rq_pending_;  // per processor
@@ -105,15 +146,20 @@ class TokenMachine {
 /// holds the cycle's clock-period count (the architecture's cost unit).
 class TokenScheduler final : public core::Scheduler {
  public:
+  explicit TokenScheduler(TokenOptions options = {}) : options_(options) {}
+
   [[nodiscard]] std::string name() const override { return "token-machine"; }
 
   core::ScheduleResult schedule(const core::Problem& problem) override {
-    TokenMachine machine(problem);
+    TokenMachine machine(problem, options_);
     TokenStats stats;
     core::ScheduleResult result = machine.run(&stats);
     result.operations = stats.clock_periods;
     return result;
   }
+
+ private:
+  TokenOptions options_;
 };
 
 }  // namespace rsin::token

@@ -39,12 +39,18 @@ void write_dot(std::ostream& out, const Network& net) {
   }
   out << " }\n";
   for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
-    out << "  sw" << sw << " [shape=square,label=\"x" << sw << "\"];\n";
+    out << "  sw" << sw << " [shape=square,label=\"x" << sw << "\"";
+    if (net.switch_failed(sw)) out << ",style=dashed,color=gray";
+    out << "];\n";
   }
   for (LinkId l = 0; l < net.link_count(); ++l) {
     const Link& link = net.link(l);
     out << "  " << node_id(link.from) << " -> " << node_id(link.to);
-    if (link.occupied) out << " [style=bold,color=red]";
+    if (net.link_faulty(l)) {
+      out << " [style=dashed,color=gray]";
+    } else if (link.occupied) {
+      out << " [style=bold,color=red]";
+    }
     out << ";\n";
   }
   out << "}\n";

@@ -11,6 +11,7 @@ Network::Network(std::int32_t processors, std::int32_t resources)
   RSIN_REQUIRE(resources > 0, "network needs at least one resource");
   processor_link_.assign(static_cast<std::size_t>(processors), kInvalidId);
   resource_link_.assign(static_cast<std::size_t>(resources), kInvalidId);
+  active_circuit_.resize(static_cast<std::size_t>(processors));
 }
 
 SwitchId Network::add_switch(std::int32_t inputs, std::int32_t outputs,
@@ -18,6 +19,7 @@ SwitchId Network::add_switch(std::int32_t inputs, std::int32_t outputs,
   RSIN_REQUIRE(inputs > 0 && outputs > 0, "switch needs input & output ports");
   RSIN_REQUIRE(stage >= -1, "stage must be -1 (unstaged) or non-negative");
   const auto id = static_cast<SwitchId>(switch_in_.size());
+  switch_failed_.push_back(0);
   switch_stage_.push_back(stage);
   switch_n_in_.push_back(inputs);
   switch_n_out_.push_back(outputs);
@@ -112,6 +114,7 @@ std::span<const LinkId> Network::switch_out_links(SwitchId sw) const {
 
 void Network::occupy_link(LinkId id) {
   RSIN_REQUIRE(valid_link(id), "link id out of range");
+  RSIN_REQUIRE(!link_faulty(id), "cannot occupy a faulty link");
   auto& link = links_[static_cast<std::size_t>(id)];
   RSIN_REQUIRE(!link.occupied, "link is already occupied");
   link.occupied = true;
@@ -124,6 +127,7 @@ void Network::release_link(LinkId id) {
 
 void Network::release_all() {
   for (auto& link : links_) link.occupied = false;
+  for (auto& circuit : active_circuit_) circuit.links.clear();
 }
 
 std::int32_t Network::occupied_link_count() const {
@@ -172,10 +176,104 @@ void Network::establish(const Circuit& circuit) {
   RSIN_REQUIRE(circuit_contiguous(circuit), "circuit is not contiguous");
   RSIN_REQUIRE(circuit_free(circuit), "circuit uses an occupied link");
   for (const LinkId id : circuit.links) occupy_link(id);
+  active_circuit_[static_cast<std::size_t>(circuit.processor)] = circuit;
 }
 
 void Network::release(const Circuit& circuit) {
   for (const LinkId id : circuit.links) release_link(id);
+  if (valid_processor(circuit.processor)) {
+    Circuit& active =
+        active_circuit_[static_cast<std::size_t>(circuit.processor)];
+    if (active.links == circuit.links) active.links.clear();
+  }
+}
+
+const Circuit* Network::established_circuit(ProcessorId p) const {
+  RSIN_REQUIRE(valid_processor(p), "processor id out of range");
+  const Circuit& circuit = active_circuit_[static_cast<std::size_t>(p)];
+  return circuit.links.empty() ? nullptr : &circuit;
+}
+
+std::vector<Circuit> Network::teardown_if(
+    const std::function<bool(const Circuit&)>& crosses) {
+  std::vector<Circuit> victims;
+  for (Circuit& active : active_circuit_) {
+    if (active.links.empty() || !crosses(active)) continue;
+    victims.push_back(active);
+    for (const LinkId id : active.links) release_link(id);
+    active.links.clear();
+  }
+  return victims;
+}
+
+std::vector<Circuit> Network::fail_link(LinkId id) {
+  RSIN_REQUIRE(valid_link(id), "link id out of range");
+  auto& link = links_[static_cast<std::size_t>(id)];
+  if (link.failed) return {};
+  link.failed = true;
+  return teardown_if([id](const Circuit& circuit) {
+    return std::find(circuit.links.begin(), circuit.links.end(), id) !=
+           circuit.links.end();
+  });
+}
+
+std::vector<Circuit> Network::fail_switch(SwitchId sw) {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  if (switch_failed_[static_cast<std::size_t>(sw)]) return {};
+  switch_failed_[static_cast<std::size_t>(sw)] = 1;
+  return teardown_if([this, sw](const Circuit& circuit) {
+    for (const LinkId id : circuit.links) {
+      const Link& l = link(id);
+      if ((l.from.kind == NodeKind::kSwitch && l.from.node == sw) ||
+          (l.to.kind == NodeKind::kSwitch && l.to.node == sw)) {
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+void Network::repair_link(LinkId id) {
+  RSIN_REQUIRE(valid_link(id), "link id out of range");
+  links_[static_cast<std::size_t>(id)].failed = false;
+}
+
+void Network::repair_switch(SwitchId sw) {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  switch_failed_[static_cast<std::size_t>(sw)] = 0;
+}
+
+bool Network::switch_failed(SwitchId sw) const {
+  RSIN_REQUIRE(valid_switch(sw), "switch id out of range");
+  return switch_failed_[static_cast<std::size_t>(sw)] != 0;
+}
+
+bool Network::link_faulty(LinkId id) const {
+  const Link& l = link(id);
+  if (l.failed) return true;
+  if (l.from.kind == NodeKind::kSwitch && switch_failed(l.from.node)) {
+    return true;
+  }
+  return l.to.kind == NodeKind::kSwitch && switch_failed(l.to.node);
+}
+
+std::int32_t Network::faulty_link_count() const {
+  std::int32_t count = 0;
+  for (LinkId id = 0; id < link_count(); ++id) {
+    if (link_faulty(id)) ++count;
+  }
+  return count;
+}
+
+std::int32_t Network::failed_switch_count() const {
+  return static_cast<std::int32_t>(
+      std::count(switch_failed_.begin(), switch_failed_.end(), char{1}));
+}
+
+bool Network::fault_free() const {
+  if (failed_switch_count() > 0) return false;
+  return std::none_of(links_.begin(), links_.end(),
+                      [](const Link& l) { return l.failed; });
 }
 
 std::string Network::port_name(const PortRef& ref, bool input) const {

@@ -9,12 +9,22 @@
 // realizable by per-switch settings, so link occupancy is the complete
 // switching state.
 //
+// Orthogonal to occupancy, links and switchboxes carry *fault* state
+// (fail_link / fail_switch / repair_*). A faulty element is unusable — it
+// never counts as free — but it is not "occupied": occupancy is circuit
+// ownership, faults are hardware availability (the paper's conclusion names
+// fault tolerance as the decisive advantage of redundant-path RSINs).
+// Failing an element tears down every established circuit crossing it and
+// reports the victims to the caller, which models a mid-service fabric
+// failure.
+//
 // Topology generators for the classical multistage networks (Omega, indirect
 // binary n-cube, baseline, butterfly, Benes, extra-stage, Clos, crossbar)
 // live in topo/builders.hpp.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -42,11 +52,14 @@ struct PortRef {
   friend bool operator==(const PortRef&, const PortRef&) = default;
 };
 
-/// A physical link. `occupied` is the circuit-switching state.
+/// A physical link. `occupied` is the circuit-switching state; `failed` is
+/// the hardware fault state (set via Network::fail_link, never by circuit
+/// establishment).
 struct Link {
   PortRef from;
   PortRef to;
   bool occupied = false;
+  bool failed = false;
 };
 
 /// A circuit: an established (or candidate) path from a processor to a
@@ -99,12 +112,41 @@ class Network {
   [[nodiscard]] std::span<const LinkId> switch_in_links(SwitchId sw) const;
   [[nodiscard]] std::span<const LinkId> switch_out_links(SwitchId sw) const;
 
-  [[nodiscard]] bool link_free(LinkId id) const { return !link(id).occupied; }
+  /// A link is free when it is neither occupied by a circuit nor faulty
+  /// (failed itself or attached to a failed switchbox). Every router and
+  /// transformation gates on this, so schedulers can never route through a
+  /// faulty element.
+  [[nodiscard]] bool link_free(LinkId id) const {
+    return !link(id).occupied && !link_faulty(id);
+  }
   void occupy_link(LinkId id);
   void release_link(LinkId id);
-  /// Releases every link (network completely free).
+  /// Releases every link (network completely free). Fault state is kept:
+  /// occupancy is per-cycle, faults persist until repaired.
   void release_all();
   [[nodiscard]] std::int32_t occupied_link_count() const;
+
+  // --- fault state (distinct from occupancy) -------------------------------
+
+  /// Marks the link failed and tears down every established circuit using
+  /// it; the torn-down circuits (already released) are returned so the
+  /// caller can retry or re-queue the affected requests. Idempotent.
+  std::vector<Circuit> fail_link(LinkId id);
+  /// Marks the switchbox failed (all attached links become unusable) and
+  /// tears down every established circuit crossing it. Idempotent.
+  std::vector<Circuit> fail_switch(SwitchId sw);
+  void repair_link(LinkId id);
+  void repair_switch(SwitchId sw);
+
+  /// The link itself is marked failed.
+  [[nodiscard]] bool link_failed(LinkId id) const { return link(id).failed; }
+  [[nodiscard]] bool switch_failed(SwitchId sw) const;
+  /// Unusable due to a fault: the link is failed or touches a failed switch.
+  [[nodiscard]] bool link_faulty(LinkId id) const;
+  /// Number of links currently unusable because of faults.
+  [[nodiscard]] std::int32_t faulty_link_count() const;
+  [[nodiscard]] std::int32_t failed_switch_count() const;
+  [[nodiscard]] bool fault_free() const;
 
   /// Checks structural validity of `circuit`: starts at its processor, ends
   /// at its resource, and consecutive links meet at the same switch.
@@ -113,10 +155,15 @@ class Network {
   [[nodiscard]] bool circuit_free(const Circuit& circuit) const;
 
   /// Occupies every link of the circuit. Requires circuit_contiguous and
-  /// circuit_free.
+  /// circuit_free. The circuit is recorded so a later fail_link/fail_switch
+  /// on one of its elements can tear it down and report it.
   void establish(const Circuit& circuit);
-  /// Releases every link of the circuit.
+  /// Releases every link of the circuit (and forgets its registration).
   void release(const Circuit& circuit);
+
+  /// Established circuit currently registered for `p` (set by establish,
+  /// cleared by release / teardown), or nullptr.
+  [[nodiscard]] const Circuit* established_circuit(ProcessorId p) const;
 
   [[nodiscard]] bool valid_processor(ProcessorId p) const {
     return p >= 0 && p < processors_;
@@ -135,11 +182,20 @@ class Network {
   [[nodiscard]] std::string port_name(const PortRef& ref, bool input) const;
 
  private:
+  /// Tears down every registered circuit for which `crosses` is true and
+  /// returns the victims.
+  std::vector<Circuit> teardown_if(
+      const std::function<bool(const Circuit&)>& crosses);
+
   std::int32_t processors_;
   std::int32_t resources_;
   std::int32_t stage_count_ = 0;
 
   std::vector<Link> links_;
+  std::vector<char> switch_failed_;
+  /// Established circuits by processor (a processor has one output port, so
+  /// at most one established circuit). Empty `links` = no circuit.
+  std::vector<Circuit> active_circuit_;
   std::vector<std::int32_t> switch_stage_;
   std::vector<std::int32_t> switch_n_in_;
   std::vector<std::int32_t> switch_n_out_;

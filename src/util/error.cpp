@@ -1,0 +1,36 @@
+#include "util/error.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rsin::util {
+
+std::string diagnostic(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream out;
+  out << expr << " (" << file << ':' << line << ')';
+  if (!message.empty()) out << ": " << message;
+  return out.str();
+}
+
+void raise_requirement(const char* expr, const char* file, int line,
+                       const char* message) {
+  throw std::invalid_argument(diagnostic(expr, file, line, message));
+}
+
+void raise_requirement(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  throw std::invalid_argument(diagnostic(expr, file, line, message));
+}
+
+void raise_invariant(const char* expr, const char* file, int line,
+                     const char* message) {
+  throw std::logic_error(diagnostic(expr, file, line, message));
+}
+
+void raise_invariant(const char* expr, const char* file, int line,
+                     const std::string& message) {
+  throw std::logic_error(diagnostic(expr, file, line, message));
+}
+
+}  // namespace rsin::util

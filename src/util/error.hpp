@@ -5,41 +5,55 @@
 // expression and source location so that failures in deeply nested algorithm
 // code (flow augmentation, token propagation) are diagnosable from the what()
 // string alone.
+//
+// The macros are written for hot loops: the happy path is a single branch
+// marked [[unlikely]] on failure, and all throw/format machinery lives in
+// out-of-line cold functions (error.cpp), so a check inside a DFS or token
+// round costs a compare-and-branch, not an inlined ostringstream.
 #pragma once
 
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace rsin::util {
 
 /// Builds the standard "expr (file:line): message" diagnostic string.
-inline std::string diagnostic(const char* expr, const char* file, int line,
-                              const std::string& message) {
-  std::ostringstream out;
-  out << expr << " (" << file << ':' << line << ')';
-  if (!message.empty()) out << ": " << message;
-  return out.str();
-}
+[[nodiscard]] std::string diagnostic(const char* expr, const char* file,
+                                     int line, const std::string& message);
+
+// Cold, non-inlined throw helpers behind RSIN_REQUIRE / RSIN_ENSURE. The
+// const char* overloads avoid constructing a std::string on the (already
+// unlikely) failure path for literal messages; more importantly they keep
+// the call sites small.
+[[noreturn]] void raise_requirement(const char* expr, const char* file,
+                                    int line, const char* message);
+[[noreturn]] void raise_requirement(const char* expr, const char* file,
+                                    int line, const std::string& message);
+[[noreturn]] void raise_invariant(const char* expr, const char* file, int line,
+                                  const char* message);
+[[noreturn]] void raise_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
 
 }  // namespace rsin::util
 
 /// Validates a caller-supplied argument; throws std::invalid_argument on
-/// failure. Use at public API boundaries.
-#define RSIN_REQUIRE(expr, message)                                       \
-  do {                                                                    \
-    if (!(expr)) {                                                        \
-      throw std::invalid_argument(                                        \
-          ::rsin::util::diagnostic(#expr, __FILE__, __LINE__, (message))); \
-    }                                                                     \
+/// failure. Use at public API boundaries. The message expression is only
+/// evaluated when the check fails.
+#define RSIN_REQUIRE(expr, message)                                      \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::rsin::util::raise_requirement(#expr, __FILE__, __LINE__,         \
+                                      (message));                        \
+    }                                                                    \
   } while (false)
 
 /// Validates an internal invariant; throws std::logic_error on failure.
-/// A firing RSIN_ENSURE always indicates a bug in this library.
-#define RSIN_ENSURE(expr, message)                                        \
-  do {                                                                    \
-    if (!(expr)) {                                                        \
-      throw std::logic_error(                                             \
-          ::rsin::util::diagnostic(#expr, __FILE__, __LINE__, (message))); \
-    }                                                                     \
+/// A firing RSIN_ENSURE always indicates a bug in this library. The message
+/// expression is only evaluated when the check fails.
+#define RSIN_ENSURE(expr, message)                                       \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::rsin::util::raise_invariant(#expr, __FILE__, __LINE__,           \
+                                    (message));                          \
+    }                                                                    \
   } while (false)

@@ -1,0 +1,351 @@
+// The fault model end-to-end: network fault state and automatic circuit
+// teardown, the seeded injector's deterministic schedules, the degraded-mode
+// FallbackScheduler, and the token/element machine watchdogs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
+#include "token/element_machine.hpp"
+#include "token/token_machine.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+/// Every processor requests, every resource is free (homogeneous type 0).
+core::Problem full_load(const topo::Network& net) {
+  core::Problem problem;
+  problem.network = &net;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    problem.requests.push_back(core::Request{p, 0, 0});
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    problem.free_resources.push_back(core::FreeResource{r, 0, 0});
+  }
+  return problem;
+}
+
+/// True when any assignment's circuit crosses a faulty link or switch.
+bool uses_faulty_element(const topo::Network& net,
+                         const core::ScheduleResult& result) {
+  for (const core::Assignment& assignment : result.assignments) {
+    for (const topo::LinkId l : assignment.circuit.links) {
+      if (net.link_faulty(l)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(FaultModel, LinkFaultStateIsDistinctFromOccupancy) {
+  topo::Network net = topo::make_named("omega", 8);
+  ASSERT_TRUE(net.fault_free());
+  const topo::LinkId link = 0;
+  net.fail_link(link);
+  EXPECT_TRUE(net.link_failed(link));
+  EXPECT_TRUE(net.link_faulty(link));
+  EXPECT_FALSE(net.link(link).occupied);
+  EXPECT_FALSE(net.link_free(link));
+  EXPECT_EQ(net.faulty_link_count(), 1);
+  EXPECT_FALSE(net.fault_free());
+  // Occupying a faulty link is a caller error.
+  EXPECT_THROW(net.occupy_link(link), std::invalid_argument);
+  // release_all clears occupancy but keeps hardware fault state.
+  net.release_all();
+  EXPECT_TRUE(net.link_failed(link));
+  net.repair_link(link);
+  EXPECT_TRUE(net.fault_free());
+  EXPECT_TRUE(net.link_free(link));
+}
+
+TEST(FaultModel, LinkFailureTearsDownCrossingCircuits) {
+  topo::Network net = topo::make_named("omega", 8);
+  core::GreedyScheduler greedy;
+  const core::Problem problem = full_load(net);
+  const core::ScheduleResult result = greedy.schedule(problem);
+  ASSERT_GT(result.allocated(), 0);
+  for (const core::Assignment& assignment : result.assignments) {
+    net.establish(assignment.circuit);
+  }
+  const topo::Circuit& victim_circuit = result.assignments.front().circuit;
+  ASSERT_NE(net.established_circuit(victim_circuit.processor), nullptr);
+
+  const std::vector<topo::Circuit> victims =
+      net.fail_link(victim_circuit.links.front());
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims.front().processor, victim_circuit.processor);
+  EXPECT_EQ(victims.front().resource, victim_circuit.resource);
+  EXPECT_EQ(net.established_circuit(victim_circuit.processor), nullptr);
+  // The victim's links are released (except the failed one stays unusable).
+  for (const topo::LinkId l : victim_circuit.links) {
+    EXPECT_FALSE(net.link(l).occupied);
+  }
+  // Unrelated circuits survive.
+  for (std::size_t i = 1; i < result.assignments.size(); ++i) {
+    EXPECT_NE(
+        net.established_circuit(result.assignments[i].request.processor),
+        nullptr);
+  }
+  // Failing the same link again is idempotent and reports no new victims.
+  EXPECT_TRUE(net.fail_link(victim_circuit.links.front()).empty());
+}
+
+TEST(FaultModel, SwitchFailurePoisonsTouchingLinks) {
+  topo::Network net = topo::make_named("omega", 8);
+  net.fail_switch(0);
+  EXPECT_TRUE(net.switch_failed(0));
+  EXPECT_EQ(net.failed_switch_count(), 1);
+  std::int32_t poisoned = 0;
+  for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+    if (!net.link_faulty(l)) continue;
+    ++poisoned;
+    EXPECT_FALSE(net.link_failed(l))
+        << "switch failure must not set per-link failed bits";
+  }
+  EXPECT_GT(poisoned, 0);
+  EXPECT_EQ(net.faulty_link_count(), poisoned);
+  net.repair_switch(0);
+  EXPECT_TRUE(net.fault_free());
+}
+
+TEST(FaultModel, InjectorSchedulesAreDeterministicAndSorted) {
+  const topo::Network net = topo::make_named("omega", 8);
+  fault::FaultConfig config;
+  config.link_mttf = 5.0;
+  config.link_mttr = 1.0;
+  config.switch_mttf = 20.0;
+  config.switch_mttr = 2.0;
+  config.horizon = 200.0;
+  config.seed = 42;
+  const fault::FaultInjector injector(config);
+  const std::vector<fault::FaultEvent> schedule = injector.make_schedule(net);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_TRUE(std::is_sorted(
+      schedule.begin(), schedule.end(),
+      [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+        return a.time < b.time;
+      }));
+  for (const fault::FaultEvent& event : schedule) {
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LT(event.time, config.horizon);
+  }
+  // Same config, same network shape: identical schedule.
+  const std::vector<fault::FaultEvent> again = injector.make_schedule(net);
+  ASSERT_EQ(schedule.size(), again.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i].time, again[i].time);
+    EXPECT_EQ(schedule[i].kind, again[i].kind);
+    EXPECT_EQ(schedule[i].element, again[i].element);
+  }
+  // A different seed decorrelates the stream.
+  fault::FaultConfig other = config;
+  other.seed = 43;
+  const auto different = fault::FaultInjector(other).make_schedule(net);
+  EXPECT_FALSE(schedule.size() == different.size() &&
+               std::equal(schedule.begin(), schedule.end(), different.begin(),
+                          [](const fault::FaultEvent& a,
+                             const fault::FaultEvent& b) {
+                            return a.time == b.time && a.kind == b.kind &&
+                                   a.element == b.element;
+                          }));
+}
+
+TEST(FaultModel, PermanentFaultsNeverRepair) {
+  const topo::Network net = topo::make_named("omega", 8);
+  fault::FaultConfig config;
+  config.link_mttf = 10.0;
+  config.horizon = 500.0;
+  config.transient = false;
+  for (const fault::FaultEvent& event :
+       fault::FaultInjector(config).make_schedule(net)) {
+    EXPECT_TRUE(event.kind == fault::FaultKind::kLinkFail ||
+                event.kind == fault::FaultKind::kSwitchFail)
+        << "permanent schedules must not contain repairs at t=" << event.time;
+  }
+}
+
+TEST(FaultModel, ApplyEventRoundTrips) {
+  topo::Network net = topo::make_named("omega", 8);
+  fault::FaultConfig config;
+  config.link_mttf = 2.0;
+  config.horizon = 50.0;
+  const auto schedule = fault::FaultInjector(config).make_schedule(net);
+  ASSERT_FALSE(schedule.empty());
+  for (const fault::FaultEvent& event : schedule) {
+    fault::apply_event(net, event);
+  }
+  // Replaying the full transient schedule ends with every element either
+  // repaired or failed consistently with the last event per element.
+  net.release_all();
+  EXPECT_GE(net.faulty_link_count(), 0);
+  for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+    if (net.link_failed(l)) net.repair_link(l);
+  }
+  EXPECT_TRUE(net.fault_free());
+}
+
+TEST(FaultModel, FabricOnlyFilterSkipsTerminalLinks) {
+  const topo::Network net = topo::make_named("omega", 8);
+  fault::FaultConfig config;  // fabric_links_only = true
+  for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+    const topo::Link& link = net.link(l);
+    const bool fabric = link.from.kind == topo::NodeKind::kSwitch &&
+                        link.to.kind == topo::NodeKind::kSwitch;
+    EXPECT_EQ(fault::link_eligible(net, l, config), fabric);
+  }
+  config.fabric_links_only = false;
+  for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+    EXPECT_TRUE(fault::link_eligible(net, l, config));
+  }
+}
+
+/// Primary stub that always throws, for degraded-mode tests.
+class ThrowingScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "throwing"; }
+  core::ScheduleResult schedule(const core::Problem&) override {
+    throw std::runtime_error("primary solver exploded");
+  }
+};
+
+TEST(FaultFallback, OptimalPathWhenPrimaryHealthy) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = full_load(net);
+  core::FallbackScheduler scheduler(
+      std::make_unique<core::MaxFlowScheduler>());
+  const core::ScheduleResult result = scheduler.schedule(problem);
+  EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+  EXPECT_EQ(scheduler.last_report().outcome, core::ScheduleOutcome::kOptimal);
+  EXPECT_EQ(scheduler.cycles(), 1);
+  EXPECT_EQ(scheduler.degraded_cycles(), 0);
+  EXPECT_EQ(scheduler.name(), "fallback(max-flow(dinic)->greedy)");
+}
+
+TEST(FaultFallback, DegradesToGreedyWhenPrimaryThrows) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = full_load(net);
+  core::FallbackScheduler scheduler(std::make_unique<ThrowingScheduler>());
+  const core::ScheduleResult result = scheduler.schedule(problem);
+  EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+  EXPECT_GT(result.allocated(), 0);
+  EXPECT_EQ(scheduler.last_report().outcome,
+            core::ScheduleOutcome::kDegraded);
+  EXPECT_NE(scheduler.last_report().detail.find("exploded"),
+            std::string::npos);
+  EXPECT_EQ(scheduler.degraded_cycles(), 1);
+}
+
+TEST(FaultFallback, PartialWhenBothPathsFail) {
+  core::Problem invalid;  // null network: even greedy cannot serve it
+  core::FallbackScheduler scheduler(std::make_unique<ThrowingScheduler>());
+  core::ScheduleResult result;
+  EXPECT_NO_THROW(result = scheduler.schedule(invalid));
+  EXPECT_EQ(result.allocated(), 0);
+  EXPECT_EQ(scheduler.last_report().outcome, core::ScheduleOutcome::kPartial);
+}
+
+TEST(FaultFallback, RejectsNullPrimary) {
+  EXPECT_THROW(core::FallbackScheduler(nullptr), std::invalid_argument);
+}
+
+TEST(FaultWatchdog, FaultAwareMachineSchedulesAroundFailures) {
+  // Acceptance criterion: killing any single fabric switchbox never makes
+  // the token machine loop — it terminates within its budget and matches
+  // Dinic on the fault-masked network.
+  core::MaxFlowScheduler dinic;
+  const topo::Network reference = topo::make_named("omega", 8);
+  for (topo::SwitchId sw = 0; sw < reference.switch_count(); ++sw) {
+    topo::Network net = topo::make_named("omega", 8);
+    net.fail_switch(sw);
+    const core::Problem problem = full_load(net);
+
+    token::TokenMachine machine(problem);
+    token::TokenStats stats;
+    const core::ScheduleResult token_result = machine.run(&stats);
+    EXPECT_FALSE(stats.watchdog_fired) << "switch " << sw;
+    EXPECT_FALSE(core::verify_schedule(problem, token_result).has_value());
+    EXPECT_FALSE(uses_faulty_element(net, token_result));
+    EXPECT_EQ(token_result.allocated(), dinic.schedule(problem).allocated())
+        << "switch " << sw;
+
+    token::ElementMachine element(problem);
+    const core::ScheduleResult element_result = element.run();
+    EXPECT_EQ(element_result.allocated(), token_result.allocated())
+        << "switch " << sw;
+  }
+}
+
+TEST(FaultWatchdog, UnawareMachineTerminatesDespiteLostTokens) {
+  // Fault-unaware elements launch tokens into dead switches; the tokens are
+  // swallowed. The machine must still terminate for every possible single
+  // switch kill, with a (possibly) reduced allocation.
+  core::MaxFlowScheduler dinic;
+  const std::int32_t switches = topo::make_named("omega", 8).switch_count();
+  for (topo::SwitchId sw = 0; sw < switches; ++sw) {
+    topo::Network net = topo::make_named("omega", 8);
+    net.fail_switch(sw);
+    const core::Problem problem = full_load(net);
+    token::TokenOptions options;
+    options.fault_aware = false;
+    token::TokenMachine machine(problem, options);
+    token::TokenStats stats;
+    const core::ScheduleResult result = machine.run(&stats);
+    EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+    EXPECT_GT(stats.lost_tokens, 0) << "switch " << sw;
+    EXPECT_LE(result.allocated(), dinic.schedule(problem).allocated());
+  }
+}
+
+TEST(FaultWatchdog, BudgetExhaustionOnHealthyMachineIsALibraryBug) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = full_load(net);
+  token::TokenOptions options;
+  options.max_clock_periods = 1;  // absurdly small on a fault-free network
+  token::TokenMachine machine(problem, options);
+  EXPECT_THROW(machine.run(), std::logic_error);
+}
+
+TEST(FaultWatchdog, BudgetExhaustionWithFaultsAbortsCleanly) {
+  topo::Network net = topo::make_named("omega", 8);
+  net.fail_switch(0);
+  const core::Problem problem = full_load(net);
+  token::TokenOptions options;
+  options.max_clock_periods = 2;
+  token::TokenMachine machine(problem, options);
+  token::TokenStats stats;
+  core::ScheduleResult result;
+  EXPECT_NO_THROW(result = machine.run(&stats));
+  EXPECT_TRUE(stats.watchdog_fired);
+  EXPECT_NE(stats.watchdog_reason.find("clock budget"), std::string::npos);
+  EXPECT_FALSE(core::verify_schedule(problem, result).has_value());
+}
+
+TEST(FaultWatchdog, ElementMachineBudgetErrorIsDiagnosable) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = full_load(net);
+  token::ElementMachine machine(problem, /*max_clock_periods=*/2);
+  try {
+    machine.run();
+    FAIL() << "expected the clock budget to fire";
+  } catch (const std::logic_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("failed to converge"), std::string::npos);
+    EXPECT_NE(what.find("links="), std::string::npos);
+    EXPECT_NE(what.find("budget"), std::string::npos);
+  }
+}
+
+TEST(FaultWatchdog, RejectsNegativeBudgets) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = full_load(net);
+  token::TokenOptions options;
+  options.max_clock_periods = -1;
+  EXPECT_THROW(token::TokenMachine(problem, options), std::invalid_argument);
+  EXPECT_THROW(token::ElementMachine(problem, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -9,6 +9,7 @@
 #include "core/routing.hpp"
 #include "core/scheduler.hpp"
 #include "core/transform.hpp"
+#include "fault/fault_injector.hpp"
 #include "flow/max_flow.hpp"
 #include "flow/min_cut.hpp"
 #include "flow/validate.hpp"
@@ -166,6 +167,74 @@ TEST_P(PropertySweep, SchedulerDominanceChain) {
     EXPECT_FALSE(core::verify_schedule(problem, rnd).has_value());
     EXPECT_GE(opt.allocated(), grd.allocated());
     EXPECT_GE(opt.allocated(), rnd.allocated());
+  }
+}
+
+TEST_P(PropertySweep, SchedulersAvoidFaultyElements) {
+  // Invariant 5 under faults: with a random fault pattern applied, every
+  // scheduler's output must stay realizable and must not touch a single
+  // faulty element, and the (fault-aware) token machine must still equal
+  // Dinic on the fault-masked network.
+  const SweepCase& param = GetParam();
+  util::Rng rng(param.seed ^ 0xfa);
+  core::MaxFlowScheduler dinic;
+  core::GreedyScheduler greedy;
+  core::MinCostScheduler min_cost;
+  const auto uses_faulty = [](const topo::Network& net,
+                              const core::ScheduleResult& result) {
+    for (const core::Assignment& assignment : result.assignments) {
+      for (const topo::LinkId l : assignment.circuit.links) {
+        if (net.link_faulty(l)) return true;
+      }
+    }
+    return false;
+  };
+  for (int round = 0; round < 3; ++round) {
+    topo::Network net = topo::make_named(param.topology, param.n);
+    const core::Problem problem = make_instance(net, rng);
+    // Random fault pattern: up to three fabric links plus maybe a switch.
+    const fault::FaultConfig fault_config;
+    std::vector<topo::LinkId> eligible;
+    for (topo::LinkId l = 0; l < net.link_count(); ++l) {
+      if (fault::link_eligible(net, l, fault_config)) eligible.push_back(l);
+    }
+    if (!eligible.empty()) {
+      const auto kills = rng.uniform_int(
+          0, std::min<std::int64_t>(
+                 3, static_cast<std::int64_t>(eligible.size())));
+      for (std::int64_t k = 0; k < kills; ++k) {
+        net.fail_link(eligible[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(eligible.size()) - 1))]);
+      }
+    }
+    if (net.switch_count() > 0 && rng.uniform_int(0, 1) == 1) {
+      net.fail_switch(static_cast<topo::SwitchId>(
+          rng.uniform_int(0, net.switch_count() - 1)));
+    }
+
+    const auto opt = dinic.schedule(problem);
+    const auto grd = greedy.schedule(problem);
+    const auto cost = min_cost.schedule(problem);
+    for (const auto* result : {&opt, &grd, &cost}) {
+      EXPECT_FALSE(core::verify_schedule(problem, *result).has_value());
+      EXPECT_FALSE(uses_faulty(net, *result))
+          << param.topology << param.n << " seed " << param.seed;
+    }
+    EXPECT_GE(opt.allocated(), grd.allocated());
+
+    token::TokenMachine machine(problem);
+    token::TokenStats stats;
+    const auto token_result = machine.run(&stats);
+    EXPECT_FALSE(stats.watchdog_fired);
+    EXPECT_FALSE(core::verify_schedule(problem, token_result).has_value());
+    EXPECT_FALSE(uses_faulty(net, token_result));
+    EXPECT_EQ(token_result.allocated(), opt.allocated())
+        << param.topology << param.n << " seed " << param.seed;
+
+    token::ElementMachine element(problem);
+    const auto element_result = element.run();
+    EXPECT_FALSE(uses_faulty(net, element_result));
+    EXPECT_EQ(element_result.allocated(), opt.allocated());
   }
 }
 
