@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Debug".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rsin::rsin_util" for configuration "Debug"
+set_property(TARGET rsin::rsin_util APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_util )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_util "${_IMPORT_PREFIX}/lib/librsin_util.a" )
+
+# Import target "rsin::rsin_flow" for configuration "Debug"
+set_property(TARGET rsin::rsin_flow APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_flow PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_flow.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_flow )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_flow "${_IMPORT_PREFIX}/lib/librsin_flow.a" )
+
+# Import target "rsin::rsin_lp" for configuration "Debug"
+set_property(TARGET rsin::rsin_lp APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_lp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_lp.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_lp )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_lp "${_IMPORT_PREFIX}/lib/librsin_lp.a" )
+
+# Import target "rsin::rsin_topo" for configuration "Debug"
+set_property(TARGET rsin::rsin_topo APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_topo PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_topo.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_topo )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_topo "${_IMPORT_PREFIX}/lib/librsin_topo.a" )
+
+# Import target "rsin::rsin_fault" for configuration "Debug"
+set_property(TARGET rsin::rsin_fault APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_fault PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_fault.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_fault )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_fault "${_IMPORT_PREFIX}/lib/librsin_fault.a" )
+
+# Import target "rsin::rsin_core" for configuration "Debug"
+set_property(TARGET rsin::rsin_core APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_core )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_core "${_IMPORT_PREFIX}/lib/librsin_core.a" )
+
+# Import target "rsin::rsin_token" for configuration "Debug"
+set_property(TARGET rsin::rsin_token APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_token PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_token.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_token )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_token "${_IMPORT_PREFIX}/lib/librsin_token.a" )
+
+# Import target "rsin::rsin_sim" for configuration "Debug"
+set_property(TARGET rsin::rsin_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS DEBUG)
+set_target_properties(rsin::rsin_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_DEBUG "CXX"
+  IMPORTED_LOCATION_DEBUG "${_IMPORT_PREFIX}/lib/librsin_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets rsin::rsin_sim )
+list(APPEND _cmake_import_check_files_for_rsin::rsin_sim "${_IMPORT_PREFIX}/lib/librsin_sim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hetero.cpp" "src/core/CMakeFiles/rsin_core.dir/hetero.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/hetero.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/rsin_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/rsin_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/rsin_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/rsin_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/rsin_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/rsin_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/flow/CMakeFiles/rsin_flow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/rsin_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/rsin_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/rsin_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_core.dir/hetero.cpp.o"
+  "CMakeFiles/rsin_core.dir/hetero.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/problem.cpp.o"
+  "CMakeFiles/rsin_core.dir/problem.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/routing.cpp.o"
+  "CMakeFiles/rsin_core.dir/routing.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/schedule.cpp.o"
+  "CMakeFiles/rsin_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/scheduler.cpp.o"
+  "CMakeFiles/rsin_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rsin_core.dir/transform.cpp.o"
+  "CMakeFiles/rsin_core.dir/transform.cpp.o.d"
+  "librsin_core.a"
+  "librsin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_fault.dir/fault_injector.cpp.o"
+  "CMakeFiles/rsin_fault.dir/fault_injector.cpp.o.d"
+  "librsin_fault.a"
+  "librsin_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/bipartite.cpp" "src/flow/CMakeFiles/rsin_flow.dir/bipartite.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/bipartite.cpp.o.d"
+  "/root/repo/src/flow/decompose.cpp" "src/flow/CMakeFiles/rsin_flow.dir/decompose.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/decompose.cpp.o.d"
+  "/root/repo/src/flow/max_flow.cpp" "src/flow/CMakeFiles/rsin_flow.dir/max_flow.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/max_flow.cpp.o.d"
+  "/root/repo/src/flow/min_cost.cpp" "src/flow/CMakeFiles/rsin_flow.dir/min_cost.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/min_cost.cpp.o.d"
+  "/root/repo/src/flow/min_cut.cpp" "src/flow/CMakeFiles/rsin_flow.dir/min_cut.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/min_cut.cpp.o.d"
+  "/root/repo/src/flow/multicommodity.cpp" "src/flow/CMakeFiles/rsin_flow.dir/multicommodity.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/multicommodity.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/flow/CMakeFiles/rsin_flow.dir/network.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/network.cpp.o.d"
+  "/root/repo/src/flow/network_simplex.cpp" "src/flow/CMakeFiles/rsin_flow.dir/network_simplex.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/network_simplex.cpp.o.d"
+  "/root/repo/src/flow/out_of_kilter.cpp" "src/flow/CMakeFiles/rsin_flow.dir/out_of_kilter.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/out_of_kilter.cpp.o.d"
+  "/root/repo/src/flow/push_relabel.cpp" "src/flow/CMakeFiles/rsin_flow.dir/push_relabel.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/push_relabel.cpp.o.d"
+  "/root/repo/src/flow/residual.cpp" "src/flow/CMakeFiles/rsin_flow.dir/residual.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/residual.cpp.o.d"
+  "/root/repo/src/flow/validate.cpp" "src/flow/CMakeFiles/rsin_flow.dir/validate.cpp.o" "gcc" "src/flow/CMakeFiles/rsin_flow.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/rsin_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/rsin_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

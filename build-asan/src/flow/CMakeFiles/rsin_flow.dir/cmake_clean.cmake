@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_flow.dir/bipartite.cpp.o"
+  "CMakeFiles/rsin_flow.dir/bipartite.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/decompose.cpp.o"
+  "CMakeFiles/rsin_flow.dir/decompose.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/max_flow.cpp.o"
+  "CMakeFiles/rsin_flow.dir/max_flow.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/min_cost.cpp.o"
+  "CMakeFiles/rsin_flow.dir/min_cost.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/min_cut.cpp.o"
+  "CMakeFiles/rsin_flow.dir/min_cut.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/multicommodity.cpp.o"
+  "CMakeFiles/rsin_flow.dir/multicommodity.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/network.cpp.o"
+  "CMakeFiles/rsin_flow.dir/network.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/network_simplex.cpp.o"
+  "CMakeFiles/rsin_flow.dir/network_simplex.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/out_of_kilter.cpp.o"
+  "CMakeFiles/rsin_flow.dir/out_of_kilter.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/push_relabel.cpp.o"
+  "CMakeFiles/rsin_flow.dir/push_relabel.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/residual.cpp.o"
+  "CMakeFiles/rsin_flow.dir/residual.cpp.o.d"
+  "CMakeFiles/rsin_flow.dir/validate.cpp.o"
+  "CMakeFiles/rsin_flow.dir/validate.cpp.o.d"
+  "librsin_flow.a"
+  "librsin_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_lp.dir/simplex.cpp.o"
+  "CMakeFiles/rsin_lp.dir/simplex.cpp.o.d"
+  "librsin_lp.a"
+  "librsin_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

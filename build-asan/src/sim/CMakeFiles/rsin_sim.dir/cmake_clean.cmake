@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_sim.dir/analytic.cpp.o"
+  "CMakeFiles/rsin_sim.dir/analytic.cpp.o.d"
+  "CMakeFiles/rsin_sim.dir/static_experiment.cpp.o"
+  "CMakeFiles/rsin_sim.dir/static_experiment.cpp.o.d"
+  "CMakeFiles/rsin_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/rsin_sim.dir/system_sim.cpp.o.d"
+  "librsin_sim.a"
+  "librsin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/token/element_machine.cpp" "src/token/CMakeFiles/rsin_token.dir/element_machine.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/element_machine.cpp.o.d"
+  "/root/repo/src/token/hardware_model.cpp" "src/token/CMakeFiles/rsin_token.dir/hardware_model.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/hardware_model.cpp.o.d"
+  "/root/repo/src/token/monitor.cpp" "src/token/CMakeFiles/rsin_token.dir/monitor.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/monitor.cpp.o.d"
+  "/root/repo/src/token/registered_trace.cpp" "src/token/CMakeFiles/rsin_token.dir/registered_trace.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/registered_trace.cpp.o.d"
+  "/root/repo/src/token/status_bus.cpp" "src/token/CMakeFiles/rsin_token.dir/status_bus.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/status_bus.cpp.o.d"
+  "/root/repo/src/token/token_machine.cpp" "src/token/CMakeFiles/rsin_token.dir/token_machine.cpp.o" "gcc" "src/token/CMakeFiles/rsin_token.dir/token_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/rsin_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/rsin_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flow/CMakeFiles/rsin_flow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/rsin_lp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/rsin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_token.dir/element_machine.cpp.o"
+  "CMakeFiles/rsin_token.dir/element_machine.cpp.o.d"
+  "CMakeFiles/rsin_token.dir/hardware_model.cpp.o"
+  "CMakeFiles/rsin_token.dir/hardware_model.cpp.o.d"
+  "CMakeFiles/rsin_token.dir/monitor.cpp.o"
+  "CMakeFiles/rsin_token.dir/monitor.cpp.o.d"
+  "CMakeFiles/rsin_token.dir/registered_trace.cpp.o"
+  "CMakeFiles/rsin_token.dir/registered_trace.cpp.o.d"
+  "CMakeFiles/rsin_token.dir/status_bus.cpp.o"
+  "CMakeFiles/rsin_token.dir/status_bus.cpp.o.d"
+  "CMakeFiles/rsin_token.dir/token_machine.cpp.o"
+  "CMakeFiles/rsin_token.dir/token_machine.cpp.o.d"
+  "librsin_token.a"
+  "librsin_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/benes_routing.cpp" "src/topo/CMakeFiles/rsin_topo.dir/benes_routing.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/benes_routing.cpp.o.d"
+  "/root/repo/src/topo/builders.cpp" "src/topo/CMakeFiles/rsin_topo.dir/builders.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/builders.cpp.o.d"
+  "/root/repo/src/topo/dot_export.cpp" "src/topo/CMakeFiles/rsin_topo.dir/dot_export.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/dot_export.cpp.o.d"
+  "/root/repo/src/topo/network.cpp" "src/topo/CMakeFiles/rsin_topo.dir/network.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/network.cpp.o.d"
+  "/root/repo/src/topo/switch_settings.cpp" "src/topo/CMakeFiles/rsin_topo.dir/switch_settings.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/switch_settings.cpp.o.d"
+  "/root/repo/src/topo/tag_routing.cpp" "src/topo/CMakeFiles/rsin_topo.dir/tag_routing.cpp.o" "gcc" "src/topo/CMakeFiles/rsin_topo.dir/tag_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/rsin_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flow/CMakeFiles/rsin_flow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/rsin_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

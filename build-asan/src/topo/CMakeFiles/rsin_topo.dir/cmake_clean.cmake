@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_topo.dir/benes_routing.cpp.o"
+  "CMakeFiles/rsin_topo.dir/benes_routing.cpp.o.d"
+  "CMakeFiles/rsin_topo.dir/builders.cpp.o"
+  "CMakeFiles/rsin_topo.dir/builders.cpp.o.d"
+  "CMakeFiles/rsin_topo.dir/dot_export.cpp.o"
+  "CMakeFiles/rsin_topo.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rsin_topo.dir/network.cpp.o"
+  "CMakeFiles/rsin_topo.dir/network.cpp.o.d"
+  "CMakeFiles/rsin_topo.dir/switch_settings.cpp.o"
+  "CMakeFiles/rsin_topo.dir/switch_settings.cpp.o.d"
+  "CMakeFiles/rsin_topo.dir/tag_routing.cpp.o"
+  "CMakeFiles/rsin_topo.dir/tag_routing.cpp.o.d"
+  "librsin_topo.a"
+  "librsin_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

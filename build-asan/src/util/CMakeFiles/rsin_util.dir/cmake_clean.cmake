@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsin_util.dir/combinatorics.cpp.o"
+  "CMakeFiles/rsin_util.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/rsin_util.dir/csv.cpp.o"
+  "CMakeFiles/rsin_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rsin_util.dir/error.cpp.o"
+  "CMakeFiles/rsin_util.dir/error.cpp.o.d"
+  "CMakeFiles/rsin_util.dir/rng.cpp.o"
+  "CMakeFiles/rsin_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rsin_util.dir/table.cpp.o"
+  "CMakeFiles/rsin_util.dir/table.cpp.o.d"
+  "librsin_util.a"
+  "librsin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benes_routing.dir/test_benes_routing.cpp.o"
+  "CMakeFiles/test_benes_routing.dir/test_benes_routing.cpp.o.d"
+  "test_benes_routing"
+  "test_benes_routing.pdb"
+  "test_benes_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benes_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bipartite.dir/test_bipartite.cpp.o"
+  "CMakeFiles/test_bipartite.dir/test_bipartite.cpp.o.d"
+  "test_bipartite"
+  "test_bipartite.pdb"
+  "test_bipartite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

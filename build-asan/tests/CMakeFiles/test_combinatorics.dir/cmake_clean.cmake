@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combinatorics.dir/test_combinatorics.cpp.o"
+  "CMakeFiles/test_combinatorics.dir/test_combinatorics.cpp.o.d"
+  "test_combinatorics"
+  "test_combinatorics.pdb"
+  "test_combinatorics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combinatorics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_element_machine.dir/test_element_machine.cpp.o"
+  "CMakeFiles/test_element_machine.dir/test_element_machine.cpp.o.d"
+  "test_element_machine"
+  "test_element_machine.pdb"
+  "test_element_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_element_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware_model.dir/test_hardware_model.cpp.o"
+  "CMakeFiles/test_hardware_model.dir/test_hardware_model.cpp.o.d"
+  "test_hardware_model"
+  "test_hardware_model.pdb"
+  "test_hardware_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_max_flow.dir/test_max_flow.cpp.o"
+  "CMakeFiles/test_max_flow.dir/test_max_flow.cpp.o.d"
+  "test_max_flow"
+  "test_max_flow.pdb"
+  "test_max_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_max_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_cost.dir/test_min_cost.cpp.o"
+  "CMakeFiles/test_min_cost.dir/test_min_cost.cpp.o.d"
+  "test_min_cost"
+  "test_min_cost.pdb"
+  "test_min_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicommodity.dir/test_multicommodity.cpp.o"
+  "CMakeFiles/test_multicommodity.dir/test_multicommodity.cpp.o.d"
+  "test_multicommodity"
+  "test_multicommodity.pdb"
+  "test_multicommodity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicommodity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_simplex.dir/test_network_simplex.cpp.o"
+  "CMakeFiles/test_network_simplex.dir/test_network_simplex.cpp.o.d"
+  "test_network_simplex"
+  "test_network_simplex.pdb"
+  "test_network_simplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/rsin_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fault/CMakeFiles/rsin_fault.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flow/CMakeFiles/rsin_flow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/rsin_lp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/rsin_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/token/CMakeFiles/rsin_token.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/topo/CMakeFiles/rsin_topo.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/rsin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

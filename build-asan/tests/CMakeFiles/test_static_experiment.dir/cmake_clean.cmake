@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_experiment.dir/test_static_experiment.cpp.o"
+  "CMakeFiles/test_static_experiment.dir/test_static_experiment.cpp.o.d"
+  "test_static_experiment"
+  "test_static_experiment.pdb"
+  "test_static_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switch_settings.dir/test_switch_settings.cpp.o"
+  "CMakeFiles/test_switch_settings.dir/test_switch_settings.cpp.o.d"
+  "test_switch_settings"
+  "test_switch_settings.pdb"
+  "test_switch_settings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switch_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

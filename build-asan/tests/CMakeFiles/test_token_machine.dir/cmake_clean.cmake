@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_token_machine.dir/test_token_machine.cpp.o"
+  "CMakeFiles/test_token_machine.dir/test_token_machine.cpp.o.d"
+  "test_token_machine"
+  "test_token_machine.pdb"
+  "test_token_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_token_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_network.dir/test_topo_network.cpp.o"
+  "CMakeFiles/test_topo_network.dir/test_topo_network.cpp.o.d"
+  "test_topo_network"
+  "test_topo_network.pdb"
+  "test_topo_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EveryLayerIsUsableTogether]=]  /root/repo/build-asan/tests/test_umbrella [==[--gtest_filter=Umbrella.EveryLayerIsUsableTogether]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EveryLayerIsUsableTogether]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-asan/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS Umbrella.EveryLayerIsUsableTogether)
