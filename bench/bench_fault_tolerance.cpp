@@ -32,7 +32,12 @@ using namespace rsin;
 /// over several failure patterns).
 double blocking_with_failures(const std::string& topology, int failures,
                               std::uint64_t seed) {
-  core::MaxFlowScheduler scheduler;
+  // The warm-start scheduler keeps its residual state across the sweep's
+  // trials and failure patterns. Its max-flow value — and therefore every
+  // blocking number below — matches the cold MaxFlowScheduler's exactly
+  // (bench_warm_start runs the differential check); only the tie-breaking
+  // among equally optimal assignments can differ.
+  core::WarmMaxFlowScheduler scheduler(/*verify=*/false);
   double blocking_sum = 0.0;
   const int patterns = 5;
   const fault::FaultConfig fault_config;  // fabric_links_only
@@ -70,7 +75,7 @@ void transient_sweep() {
   util::Table table({"link MTTF", "availability", "faults", "retries",
                      "dropped", "utilization", "blocking %"});
   for (const double mttf : {0.0, 60.0, 30.0, 15.0, 8.0}) {
-    core::MaxFlowScheduler scheduler;
+    core::WarmMaxFlowScheduler scheduler(/*verify=*/false);
     sim::SystemConfig config;
     config.arrival_rate = 0.8;
     config.warmup_time = 50.0;

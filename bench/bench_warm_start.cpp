@@ -1,0 +1,208 @@
+// Warm-start scheduling hot path: cold per-cycle rebuild vs ScheduleContext
+// reuse (PersistentTransform + warm Dinic) on the E17 fault sweep.
+//
+// Three phases per topology:
+//  1. differential check — WarmMaxFlowScheduler(verify=true) replays the
+//     sweep; every cycle re-solves cold (transformation1 + Dinic) and
+//     RSIN_ENSUREs the warm-start max-flow value matches. A divergence
+//     aborts the bench.
+//  2. timed cold replay  — MaxFlowScheduler(kDinic), the per-cycle rebuild.
+//  3. timed warm replay  — WarmMaxFlowScheduler(verify=false), same cycles.
+//
+// Both timed replays consume the *same* precomputed stream of failure
+// patterns and request/free sets, so the table's cycles/sec and heap
+// allocations/cycle are an apples-to-apples comparison of the hot path.
+// Acceptance: the warm path schedules >= 2x faster than the cold rebuild.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+// --- heap probe -----------------------------------------------------------
+// Counts every operator-new in the process while enabled. Single-threaded
+// bench, so plain counters are fine.
+namespace {
+std::size_t g_allocation_count = 0;
+bool g_count_allocations = false;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations) ++g_allocation_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (g_count_allocations) ++g_allocation_count;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace rsin;
+
+/// One scheduling cycle of the precomputed sweep.
+struct SweepCycle {
+  std::size_t pattern = 0;  ///< Index into Workload::patterns.
+  std::vector<core::Request> requests;
+  std::vector<core::FreeResource> free_resources;
+};
+
+/// The E17 sweep, fully materialized so every replay sees identical input:
+/// one network per failure pattern (0/1/2/4 dead fabric links), and for
+/// each pattern `trials` random request/free snapshots.
+struct Workload {
+  std::vector<topo::Network> patterns;
+  std::vector<SweepCycle> cycles;
+};
+
+Workload make_workload(std::int32_t n, int trials_per_pattern,
+                       std::uint64_t seed) {
+  Workload workload;
+  util::Rng rng(seed);
+  const fault::FaultConfig fault_config;  // fabric_links_only
+  for (const int failures : {0, 1, 2, 4}) {
+    topo::Network net = topo::make_named("omega", n);
+    int killed = 0;
+    while (killed < failures) {
+      const auto link =
+          static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+      if (!fault::link_eligible(net, link, fault_config) ||
+          net.link_failed(link)) {
+        continue;
+      }
+      net.fail_link(link);
+      ++killed;
+    }
+    workload.patterns.push_back(std::move(net));
+  }
+  for (std::size_t pattern = 0; pattern < workload.patterns.size();
+       ++pattern) {
+    const topo::Network& net = workload.patterns[pattern];
+    for (int trial = 0; trial < trials_per_pattern; ++trial) {
+      SweepCycle cycle;
+      cycle.pattern = pattern;
+      for (std::int32_t p = 0; p < net.processor_count(); ++p) {
+        if (rng.bernoulli(0.6)) cycle.requests.push_back({.processor = p});
+      }
+      for (std::int32_t r = 0; r < net.resource_count(); ++r) {
+        if (rng.bernoulli(0.6)) {
+          cycle.free_resources.push_back({.resource = r});
+        }
+      }
+      workload.cycles.push_back(std::move(cycle));
+    }
+  }
+  return workload;
+}
+
+struct ReplayResult {
+  double seconds = 0.0;
+  std::size_t allocations = 0;
+  std::int64_t allocated = 0;  ///< Total circuits granted (cross-check).
+};
+
+/// Feeds every cycle of the workload through the scheduler, reusing one
+/// Problem object the way the DES scheduling loop does.
+ReplayResult replay(core::Scheduler& scheduler, const Workload& workload) {
+  core::Problem problem;
+  ReplayResult result;
+  g_allocation_count = 0;
+  g_count_allocations = true;
+  util::Stopwatch watch;
+  for (const SweepCycle& cycle : workload.cycles) {
+    problem.network = &workload.patterns[cycle.pattern];
+    problem.requests = cycle.requests;
+    problem.free_resources = cycle.free_resources;
+    result.allocated +=
+        static_cast<std::int64_t>(scheduler.schedule(problem).allocated());
+  }
+  result.seconds = watch.seconds();
+  g_count_allocations = false;
+  result.allocations = g_allocation_count;
+  return result;
+}
+
+std::string per_cycle(std::size_t total, std::size_t cycles) {
+  return util::fixed(static_cast<double>(total) / static_cast<double>(cycles),
+                     1);
+}
+
+/// Runs the three phases on one topology size; returns the speedup.
+double run_size(std::int32_t n, int trials_per_pattern, util::Table& table) {
+  const Workload workload =
+      make_workload(n, trials_per_pattern, 3000 + static_cast<std::uint64_t>(n));
+  const auto cycles = workload.cycles.size();
+
+  // Phase 1: differential check (throws on warm/cold value divergence).
+  core::WarmMaxFlowScheduler checked(/*verify=*/true);
+  const ReplayResult verified = replay(checked, workload);
+
+  // Phases 2+3: timed replays of the identical cycle stream (best wall
+  // time of three reps each, to keep the speedup ratio off the noise floor).
+  core::MaxFlowScheduler cold;
+  core::WarmMaxFlowScheduler warm(/*verify=*/false);
+  ReplayResult cold_run = replay(cold, workload);
+  ReplayResult warm_run = replay(warm, workload);
+  for (int rep = 1; rep < 3; ++rep) {
+    const ReplayResult cold_rep = replay(cold, workload);
+    if (cold_rep.seconds < cold_run.seconds) cold_run = cold_rep;
+    const ReplayResult warm_rep = replay(warm, workload);
+    if (warm_rep.seconds < warm_run.seconds) warm_run = warm_rep;
+  }
+
+  RSIN_ENSURE(cold_run.allocated == warm_run.allocated &&
+                  cold_run.allocated == verified.allocated,
+              "cold and warm replays must grant the same circuit count");
+
+  const double speedup = cold_run.seconds / warm_run.seconds;
+  const auto& stats = checked.warm_stats();  // one replay's worth of cycles
+  table.add(std::to_string(n) + "x" + std::to_string(n), cycles,
+            util::fixed(static_cast<double>(cycles) / cold_run.seconds, 0),
+            util::fixed(static_cast<double>(cycles) / warm_run.seconds, 0),
+            util::fixed(speedup, 2) + "x",
+            per_cycle(cold_run.allocations, cycles),
+            per_cycle(warm_run.allocations, cycles), stats.warm_cycles,
+            stats.cold_rebuilds);
+  return speedup;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== warm-start scheduling hot path (E17 fault sweep: omega, "
+               "0/1/2/4 dead links, 60% load) ===\n\n";
+  util::Table table({"network", "cycles", "cold cyc/s", "warm cyc/s",
+                     "speedup", "allocs/cyc cold", "allocs/cyc warm",
+                     "warm cycles", "cold rebuilds"});
+  const double speedup_small = run_size(8, 600, table);
+  run_size(32, 150, table);  // scaling datapoint (hovers around 2x)
+  std::cout << table
+            << "\nevery cycle passed the differential check (warm-start "
+               "Dinic value == cold transformation1 + Dinic value)\n";
+  const bool pass = speedup_small >= 2.0;
+  std::cout << "acceptance (warm >= 2x cold on the E17 workload): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -34,6 +34,46 @@ ScheduleResult MaxFlowScheduler::schedule(const Problem& problem) {
   return result;
 }
 
+WarmMaxFlowScheduler::WarmMaxFlowScheduler(bool verify) : verify_(verify) {}
+
+std::string WarmMaxFlowScheduler::name() const {
+  return "max-flow(dinic,warm)";
+}
+
+void WarmMaxFlowScheduler::reset() { context_.invalidate(); }
+
+ScheduleResult WarmMaxFlowScheduler::schedule(const Problem& problem) {
+  try {
+    if (!transform_.matches(*problem.network)) {
+      transform_.build(*problem.network);
+      context_.invalidate();
+    }
+    transform_.update(problem);
+    flow::FlowNetwork& net = transform_.result().net;
+    // On a cold (re)start the residual is derived from the network's flow
+    // assignment, which is stale; warm cycles ignore it entirely.
+    if (!context_.warm_valid) net.clear_flow();
+    const flow::MaxFlowResult stats = flow::warm_max_flow_dinic(net, context_);
+    ScheduleResult result = extract_schedule(problem, transform_.result());
+    RSIN_ENSURE(static_cast<flow::Capacity>(result.allocated()) == stats.value,
+                "allocation count must equal the max-flow value (Theorem 2)");
+    if (verify_) {
+      // Differential check: a cold Transformation 1 + Dinic solve of the
+      // same cycle must reach the same max-flow value.
+      TransformResult cold = transformation1(problem);
+      const flow::MaxFlowResult cold_stats = flow::max_flow_dinic(cold.net);
+      RSIN_ENSURE(cold_stats.value == stats.value,
+                  "warm-start Dinic diverged from the cold solve");
+    }
+    result.operations = stats.operations;
+    return result;
+  } catch (...) {
+    // A half-mutated context must not poison the next cycle.
+    context_.invalidate();
+    throw;
+  }
+}
+
 std::string MinCostScheduler::name() const {
   std::string base;
   switch (algorithm_) {
@@ -200,6 +240,9 @@ ScheduleResult FallbackScheduler::schedule(const Problem& problem) {
     report_.primary_seconds = watch.seconds();
     report_.detail = error.what();
   }
+  // The primary's solve is being abandoned (timeout or exception); drop any
+  // warm-start state it carried so the next cycle starts from a clean slate.
+  primary_->reset();
   ++degraded_;
   try {
     ScheduleResult result = fallback_.schedule(problem);

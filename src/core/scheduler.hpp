@@ -29,6 +29,7 @@
 #include "core/transform.hpp"
 #include "flow/max_flow.hpp"
 #include "flow/min_cost.hpp"
+#include "flow/schedule_context.hpp"
 #include "util/rng.hpp"
 
 namespace rsin::core {
@@ -40,6 +41,10 @@ class Scheduler {
   /// Computes a realizable schedule for the problem. Implementations must
   /// return results that pass verify_schedule().
   virtual ScheduleResult schedule(const Problem& problem) = 0;
+  /// Drops any cross-cycle solver state (warm-start residuals, caches).
+  /// Stateless schedulers ignore it; control loops call it after a solve
+  /// was abandoned or the network changed under the scheduler.
+  virtual void reset() {}
 };
 
 /// Optimal allocation count via Transformation 1 + a max-flow algorithm.
@@ -53,6 +58,38 @@ class MaxFlowScheduler final : public Scheduler {
 
  private:
   flow::MaxFlowAlgorithm algorithm_;
+};
+
+/// Optimal allocation count like MaxFlowScheduler(kDinic), but on the
+/// warm-start hot path: a PersistentTransform skeleton mutated in place
+/// each cycle plus a ScheduleContext whose residual flow is repaired and
+/// re-augmented instead of recomputed — zero allocations per cycle once
+/// warm. With `verify` (the default in debug builds) every cycle also runs
+/// the cold transformation1 + Dinic solve and RSIN_ENSUREs the warm-start
+/// max-flow value matches — the differential check that guards the
+/// incremental path against drift.
+class WarmMaxFlowScheduler final : public Scheduler {
+ public:
+  explicit WarmMaxFlowScheduler(bool verify = kVerifyDefault);
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+  void reset() override;
+
+  /// Warm/cold cycle accounting of the underlying ScheduleContext.
+  [[nodiscard]] const flow::WarmStats& warm_stats() const {
+    return context_.stats;
+  }
+
+#ifdef NDEBUG
+  static constexpr bool kVerifyDefault = false;
+#else
+  static constexpr bool kVerifyDefault = true;
+#endif
+
+ private:
+  PersistentTransform transform_;
+  flow::ScheduleContext context_;
+  bool verify_;
 };
 
 /// Optimal count + minimal priority/preference cost via Transformation 2.

@@ -167,6 +167,155 @@ TransformResult transformation2(const Problem& problem, BypassCostMode mode) {
   return std::move(builder.out);
 }
 
+namespace {
+
+/// FNV-1a over the quantities that define the skeleton's shape: counts and
+/// every link's endpoints. Failure/occupancy state is deliberately excluded
+/// — it only modulates capacities.
+std::uint64_t shape_hash(const Network& net) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(net.processor_count()));
+  mix(static_cast<std::uint64_t>(net.switch_count()));
+  mix(static_cast<std::uint64_t>(net.resource_count()));
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    const topo::Link& link = net.link(l);
+    mix(static_cast<std::uint64_t>(link.from.kind));
+    mix(static_cast<std::uint64_t>(link.from.node));
+    mix(static_cast<std::uint64_t>(link.to.kind));
+    mix(static_cast<std::uint64_t>(link.to.node));
+  }
+  return h;
+}
+
+}  // namespace
+
+void PersistentTransform::build(const topo::Network& net) {
+  result_ = TransformResult{};
+  FlowNetwork& out = result_.net;
+  const NodeId source = out.add_node("s");
+  const NodeId sink = out.add_node("t");
+  out.set_source(source);
+  out.set_sink(sink);
+
+  std::vector<NodeId> processor_node(
+      static_cast<std::size_t>(net.processor_count()));
+  std::vector<NodeId> switch_node(static_cast<std::size_t>(net.switch_count()));
+  std::vector<NodeId> resource_node(
+      static_cast<std::size_t>(net.resource_count()));
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    processor_node[static_cast<std::size_t>(p)] =
+        out.add_node("p" + std::to_string(p + 1));
+  }
+  for (std::int32_t sw = 0; sw < net.switch_count(); ++sw) {
+    switch_node[static_cast<std::size_t>(sw)] =
+        out.add_node("x" + std::to_string(sw));
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    resource_node[static_cast<std::size_t>(r)] =
+        out.add_node("r" + std::to_string(r + 1));
+  }
+
+  const auto add_arc = [&](NodeId from, NodeId to, LinkId link,
+                           topo::ProcessorId processor,
+                           topo::ResourceId resource) {
+    const flow::ArcId id = out.add_arc(from, to, /*capacity=*/0);
+    result_.arc_link.push_back(link);
+    result_.arc_processor.push_back(processor);
+    result_.arc_resource.push_back(resource);
+    return id;
+  };
+
+  // S arcs: one per processor, in processor order — the same relative order
+  // transformation1 emits for any requesting subset.
+  processor_arc_.resize(static_cast<std::size_t>(net.processor_count()));
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    processor_arc_[static_cast<std::size_t>(p)] =
+        add_arc(source, processor_node[static_cast<std::size_t>(p)],
+                kInvalidId, p, kInvalidId);
+  }
+  // B arcs: one per mappable physical link, in link order.
+  link_arc_.assign(static_cast<std::size_t>(net.link_count()),
+                   flow::kInvalidArc);
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    const topo::Link& link = net.link(l);
+    NodeId from = flow::kInvalidNode;
+    NodeId to = flow::kInvalidNode;
+    switch (link.from.kind) {
+      case NodeKind::kProcessor:
+        from = processor_node[static_cast<std::size_t>(link.from.node)];
+        break;
+      case NodeKind::kSwitch:
+        from = switch_node[static_cast<std::size_t>(link.from.node)];
+        break;
+      case NodeKind::kResource:
+        break;
+    }
+    switch (link.to.kind) {
+      case NodeKind::kSwitch:
+        to = switch_node[static_cast<std::size_t>(link.to.node)];
+        break;
+      case NodeKind::kResource:
+        to = resource_node[static_cast<std::size_t>(link.to.node)];
+        break;
+      case NodeKind::kProcessor:
+        break;
+    }
+    if (from == flow::kInvalidNode || to == flow::kInvalidNode) continue;
+    link_arc_[static_cast<std::size_t>(l)] =
+        add_arc(from, to, l, kInvalidId, kInvalidId);
+  }
+  // T arcs: one per resource, in resource order.
+  resource_arc_.resize(static_cast<std::size_t>(net.resource_count()));
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    resource_arc_[static_cast<std::size_t>(r)] =
+        add_arc(resource_node[static_cast<std::size_t>(r)], sink, kInvalidId,
+                kInvalidId, r);
+  }
+
+  shape_hash_ = shape_hash(net);
+  built_ = true;
+}
+
+bool PersistentTransform::matches(const topo::Network& net) const {
+  return built_ && shape_hash_ == shape_hash(net);
+}
+
+void PersistentTransform::update(const Problem& problem) {
+  problem.validate();
+  RSIN_REQUIRE(problem.types().size() <= 1,
+               "transformations 1-2 require a homogeneous problem; use the "
+               "heterogeneous scheduler for multiple types");
+  RSIN_REQUIRE(matches(*problem.network),
+               "PersistentTransform::update requires the network shape it "
+               "was built for");
+  const Network& net = *problem.network;
+  FlowNetwork& out = result_.net;
+
+  for (std::size_t a = 0; a < out.arc_count(); ++a) {
+    out.set_capacity(static_cast<flow::ArcId>(a), 0);
+  }
+  for (const Request& request : problem.requests) {
+    out.set_capacity(
+        processor_arc_[static_cast<std::size_t>(request.processor)], 1);
+  }
+  for (LinkId l = 0; l < net.link_count(); ++l) {
+    const flow::ArcId arc = link_arc_[static_cast<std::size_t>(l)];
+    if (arc != flow::kInvalidArc && net.link_free(l)) {
+      out.set_capacity(arc, 1);
+    }
+  }
+  for (const FreeResource& resource : problem.free_resources) {
+    out.set_capacity(resource_arc_[static_cast<std::size_t>(resource.resource)],
+                     1);
+  }
+  result_.request_count =
+      static_cast<flow::Capacity>(problem.requests.size());
+}
+
 ScheduleResult extract_schedule(const Problem& problem,
                                 const TransformResult& transformed) {
   const FlowNetwork& net = transformed.net;

@@ -19,6 +19,7 @@
 // inversely related to priorities and preferences can be used").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -54,6 +55,48 @@ enum class BypassCostMode {
 /// Transformation 2. The problem must be homogeneous (single type).
 TransformResult transformation2(const Problem& problem,
                                 BypassCostMode mode = BypassCostMode::kPaper);
+
+/// Persistent Transformation 1 for the per-cycle scheduling hot path.
+///
+/// Where transformation1() rebuilds the flow network from scratch for every
+/// scheduling cycle, a PersistentTransform builds one *full-topology*
+/// skeleton — nodes for the source, sink, and every processor, switch, and
+/// resource; arcs for every source->processor, fabric link, and
+/// resource->sink, at fixed ids — and then per cycle only overwrites arc
+/// capacities from the Problem snapshot: 1 on the arcs of requesting
+/// processors, free links, and free resources; 0 everywhere else. Arcs the
+/// cold transformation would omit are instead present with capacity 0,
+/// which is invisible to the solvers (they skip zero-residual edges in the
+/// same order), so the per-cycle flow and schedule are identical to the
+/// cold path's while the graph itself is never reallocated — the structural
+/// basis of the warm-start scheduler.
+class PersistentTransform {
+ public:
+  /// (Re)builds the skeleton for `net`'s topology. All capacities start 0.
+  void build(const topo::Network& net);
+
+  /// True when the skeleton was built for a network of this exact shape
+  /// (same processor/switch/resource counts and link endpoints); failed or
+  /// occupied elements do not affect the shape.
+  [[nodiscard]] bool matches(const topo::Network& net) const;
+
+  /// Overwrites the capacities for one scheduling cycle. The problem must
+  /// be homogeneous and its network must match the built skeleton. Flow
+  /// currently assigned in the network is left untouched (the warm-start
+  /// residual repair reconciles it against the new capacities).
+  void update(const Problem& problem);
+
+  /// The persistent network plus the arc bookkeeping extract_schedule needs.
+  [[nodiscard]] TransformResult& result() { return result_; }
+
+ private:
+  TransformResult result_;
+  std::vector<flow::ArcId> processor_arc_;  // per processor; the S arc
+  std::vector<flow::ArcId> link_arc_;       // per link; kInvalidArc if unmapped
+  std::vector<flow::ArcId> resource_arc_;   // per resource; the T arc
+  std::uint64_t shape_hash_ = 0;
+  bool built_ = false;
+};
 
 /// Converts the flow currently assigned in `transformed.net` into a
 /// schedule: one assignment (with its physical circuit) per unit of flow

@@ -3,8 +3,8 @@
 #include "flow/push_relabel.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
+#include <vector>
 
 namespace rsin::flow {
 namespace {
@@ -17,31 +17,67 @@ void require_st(const FlowNetwork& net) {
   RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
 }
 
+/// Scratch for the iterative augmenting-path DFS, hoisted out of the
+/// per-augmentation loop by the callers.
+struct DfsScratch {
+  std::vector<char> visited;
+  std::vector<std::size_t> edge_pos;  // per-node resume point
+  std::vector<ResidualGraph::EdgeId> path;
+
+  explicit DfsScratch(std::size_t nodes)
+      : visited(nodes, 0), edge_pos(nodes, 0) {}
+
+  void reset() {
+    std::fill(visited.begin(), visited.end(), 0);
+    std::fill(edge_pos.begin(), edge_pos.end(), 0);
+    path.clear();
+  }
+};
+
 /// DFS for one augmenting path using only residual edges with capacity at
 /// least `threshold`; returns the bottleneck (0 if none found). Marks
 /// visited nodes to avoid cycles; counts edge inspections in `ops`.
-Capacity dfs_augment(ResidualGraph& residual, NodeId v, NodeId sink,
-                     Capacity limit, Capacity threshold,
-                     std::vector<char>& visited, std::int64_t& ops) {
-  if (v == sink) return limit;
-  visited[static_cast<std::size_t>(v)] = 1;
-  for (const auto e : residual.edges_from(v)) {
-    ++ops;
-    const NodeId next = residual.head(e);
-    if (visited[static_cast<std::size_t>(next)] ||
-        residual.residual(e) < threshold) {
-      continue;
+/// Iterative with an explicit edge stack — deep layered networks (large
+/// multistage topologies produce source-to-sink paths thousands of links
+/// long) must not be limited by the thread's call-stack depth.
+Capacity dfs_augment(ResidualGraph& residual, NodeId source, NodeId sink,
+                     Capacity threshold, DfsScratch& scratch,
+                     std::int64_t& ops) {
+  scratch.reset();
+  scratch.visited[static_cast<std::size_t>(source)] = 1;
+  NodeId v = source;
+  while (true) {
+    if (v == sink) {
+      Capacity bottleneck = kInf;
+      for (const auto e : scratch.path) {
+        bottleneck = std::min(bottleneck, residual.residual(e));
+      }
+      for (const auto e : scratch.path) residual.push(e, bottleneck);
+      return bottleneck;
     }
-    const Capacity pushed =
-        dfs_augment(residual, next, sink,
-                    std::min(limit, residual.residual(e)), threshold, visited,
-                    ops);
-    if (pushed > 0) {
-      residual.push(e, pushed);
-      return pushed;
+    const auto edges = residual.edges_from(v);
+    bool advanced = false;
+    while (scratch.edge_pos[static_cast<std::size_t>(v)] < edges.size()) {
+      const auto e = edges[scratch.edge_pos[static_cast<std::size_t>(v)]];
+      ++ops;
+      const NodeId next = residual.head(e);
+      if (!scratch.visited[static_cast<std::size_t>(next)] &&
+          residual.residual(e) >= threshold) {
+        scratch.visited[static_cast<std::size_t>(next)] = 1;
+        scratch.path.push_back(e);
+        v = next;
+        advanced = true;
+        break;
+      }
+      ++scratch.edge_pos[static_cast<std::size_t>(v)];
     }
+    if (advanced) continue;
+    // Dead end: backtrack, resuming the parent after the edge it took.
+    if (scratch.path.empty()) return 0;
+    v = residual.tail(scratch.path.back());
+    scratch.path.pop_back();
+    ++scratch.edge_pos[static_cast<std::size_t>(v)];
   }
-  return 0;
 }
 
 }  // namespace
@@ -50,11 +86,10 @@ MaxFlowResult max_flow_ford_fulkerson(FlowNetwork& net) {
   require_st(net);
   ResidualGraph residual(net);
   MaxFlowResult result;
-  std::vector<char> visited(net.node_count(), 0);
+  DfsScratch scratch(net.node_count());
   while (true) {
-    std::fill(visited.begin(), visited.end(), 0);
-    const Capacity pushed = dfs_augment(residual, net.source(), net.sink(),
-                                        kInf, 1, visited, result.operations);
+    const Capacity pushed = dfs_augment(residual, net.source(), net.sink(), 1,
+                                        scratch, result.operations);
     if (pushed == 0) break;
     result.value += pushed;
     ++result.augmentations;
@@ -67,22 +102,22 @@ MaxFlowResult max_flow_capacity_scaling(FlowNetwork& net) {
   require_st(net);
   ResidualGraph residual(net);
   MaxFlowResult result;
-  std::vector<char> visited(net.node_count(), 0);
+  DfsScratch scratch(net.node_count());
 
   Capacity max_capacity = 0;
   for (std::size_t a = 0; a < net.arc_count(); ++a) {
     max_capacity =
         std::max(max_capacity, net.arc(static_cast<ArcId>(a)).capacity);
   }
+  // Largest power of two <= max_capacity. Guard the doubling against signed
+  // overflow: with max_capacity > Capacity_max / 2, `delta * 2` is UB.
   Capacity delta = 1;
-  while (delta * 2 <= max_capacity) delta *= 2;
+  while (delta <= max_capacity / 2) delta *= 2;
 
   for (; delta >= 1; delta /= 2) {
     while (true) {
-      std::fill(visited.begin(), visited.end(), 0);
-      const Capacity pushed =
-          dfs_augment(residual, net.source(), net.sink(), kInf, delta,
-                      visited, result.operations);
+      const Capacity pushed = dfs_augment(residual, net.source(), net.sink(),
+                                          delta, scratch, result.operations);
       if (pushed == 0) break;
       result.value += pushed;
       ++result.augmentations;
@@ -98,16 +133,21 @@ MaxFlowResult max_flow_edmonds_karp(FlowNetwork& net) {
   MaxFlowResult result;
   const std::size_t n = net.node_count();
   std::vector<ResidualGraph::EdgeId> parent_edge(n);
+  // BFS scratch hoisted out of the augmentation loop: the per-iteration
+  // deque/vector constructions dominated the solver's allocation profile.
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
 
   while (true) {
     std::fill(parent_edge.begin(), parent_edge.end(), -1);
-    std::deque<NodeId> queue{net.source()};
-    std::vector<char> seen(n, 0);
+    std::fill(seen.begin(), seen.end(), 0);
+    queue.clear();
+    queue.push_back(net.source());
     seen[static_cast<std::size_t>(net.source())] = 1;
     bool reached = false;
-    while (!queue.empty() && !reached) {
-      const NodeId v = queue.front();
-      queue.pop_front();
+    for (std::size_t i = 0; i < queue.size() && !reached; ++i) {
+      const NodeId v = queue[i];
       for (const auto e : residual.edges_from(v)) {
         ++result.operations;
         const NodeId next = residual.head(e);

@@ -43,6 +43,12 @@ void FlowNetwork::set_flow(ArcId id, Capacity flow) {
   arc.flow = flow;
 }
 
+void FlowNetwork::set_capacity(ArcId id, Capacity capacity) {
+  RSIN_REQUIRE(valid_arc(id), "arc id out of range");
+  RSIN_REQUIRE(capacity >= 0, "arc capacity must be non-negative");
+  arcs_[static_cast<std::size_t>(id)].capacity = capacity;
+}
+
 void FlowNetwork::clear_flow() {
   for (auto& arc : arcs_) arc.flow = 0;
 }

@@ -89,6 +89,14 @@ class FlowNetwork {
   /// the value must respect 0 <= flow <= capacity.
   void set_flow(ArcId id, Capacity flow);
 
+  /// Overwrites one arc's capacity (non-negative). Used by the warm-start
+  /// scheduling path to mutate a persistent network between cycles instead
+  /// of rebuilding it. Lowering the capacity below the arc's current flow
+  /// is allowed and leaves the flow temporarily illegal; the warm-start
+  /// residual repair (ResidualGraph::sync_capacities) restores legality
+  /// before the flow is read again.
+  void set_capacity(ArcId id, Capacity capacity);
+
   /// Resets every arc's flow to zero.
   void clear_flow();
 

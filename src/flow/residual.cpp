@@ -1,29 +1,128 @@
 #include "flow/residual.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace rsin::flow {
 
-ResidualGraph::ResidualGraph(const FlowNetwork& net) {
+void ResidualGraph::rebuild(const FlowNetwork& net) {
   const std::size_t n = net.node_count();
   const std::size_t m = net.arc_count();
-  head_.reserve(2 * m);
-  residual_.reserve(2 * m);
-  cost_.reserve(2 * m);
-  adjacency_.assign(n, {});
+  head_.resize(2 * m);
+  residual_.resize(2 * m);
+  cost_.resize(2 * m);
+
+  // CSR adjacency in two passes: count degrees, prefix-sum, then fill with
+  // a moving cursor. Filling in arc order reproduces the insertion order of
+  // a per-node edge-list build, so algorithms explore edges identically.
+  adj_offsets_.assign(n + 1, 0);
+  for (std::size_t a = 0; a < m; ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    ++adj_offsets_[static_cast<std::size_t>(arc.from) + 1];
+    ++adj_offsets_[static_cast<std::size_t>(arc.to) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) adj_offsets_[v + 1] += adj_offsets_[v];
+  adj_edges_.resize(2 * m);
+  repair_path_.clear();
+  cursor_.assign(adj_offsets_.begin(), adj_offsets_.end() - 1);
 
   for (std::size_t a = 0; a < m; ++a) {
     const Arc& arc = net.arc(static_cast<ArcId>(a));
-    // Forward copy: remaining capacity; reverse copy: cancellable flow.
-    head_.push_back(arc.to);
-    residual_.push_back(arc.capacity - arc.flow);
-    cost_.push_back(arc.cost);
-    head_.push_back(arc.from);
-    residual_.push_back(arc.flow);
-    cost_.push_back(-arc.cost);
-
     const auto fwd = static_cast<EdgeId>(2 * a);
-    adjacency_[static_cast<std::size_t>(arc.from)].push_back(fwd);
-    adjacency_[static_cast<std::size_t>(arc.to)].push_back(partner(fwd));
+    // Forward copy: remaining capacity; reverse copy: cancellable flow.
+    head_[static_cast<std::size_t>(fwd)] = arc.to;
+    residual_[static_cast<std::size_t>(fwd)] = arc.capacity - arc.flow;
+    cost_[static_cast<std::size_t>(fwd)] = arc.cost;
+    head_[static_cast<std::size_t>(fwd) + 1] = arc.from;
+    residual_[static_cast<std::size_t>(fwd) + 1] = arc.flow;
+    cost_[static_cast<std::size_t>(fwd) + 1] = -arc.cost;
+
+    adj_edges_[cursor_[static_cast<std::size_t>(arc.from)]++] = fwd;
+    adj_edges_[cursor_[static_cast<std::size_t>(arc.to)]++] = partner(fwd);
   }
+}
+
+bool ResidualGraph::sync_capacities(const FlowNetwork& net) {
+  RSIN_REQUIRE(net.arc_count() * 2 == head_.size() &&
+                   net.node_count() == node_count(),
+               "sync_capacities requires the network this residual graph "
+               "was built from");
+  const NodeId source = net.source();
+  const NodeId sink = net.sink();
+  for (std::size_t a = 0; a < net.arc_count(); ++a) {
+    const Arc& arc = net.arc(static_cast<ArcId>(a));
+    const auto fwd = static_cast<EdgeId>(2 * a);
+    const std::size_t rev = static_cast<std::size_t>(fwd) + 1;
+    if (residual_[rev] > arc.capacity) {
+      if (!cancel_through(fwd, residual_[rev] - arc.capacity, source, sink)) {
+        return false;
+      }
+    }
+    residual_[static_cast<std::size_t>(fwd)] = arc.capacity - residual_[rev];
+  }
+  return true;
+}
+
+bool ResidualGraph::cancel_through(EdgeId fwd, Capacity excess, NodeId source,
+                                   NodeId sink) {
+  const NodeId u = tail(fwd);
+  const NodeId v = head(fwd);
+  push(partner(fwd), excess);  // cancel the excess on the arc itself
+  // u now has surplus inflow and v an equal deficit; walk both back onto
+  // flow-carrying paths and cancel, unit-chunk by unit-chunk.
+  return shed(u, source, excess, /*backward=*/true) &&
+         shed(v, sink, excess, /*backward=*/false);
+}
+
+bool ResidualGraph::shed(NodeId start, NodeId terminal, Capacity amount,
+                         bool backward) {
+  constexpr Capacity kInf = std::numeric_limits<Capacity>::max();
+  while (amount > 0 && start != terminal) {
+    repair_path_.clear();
+    NodeId at = start;
+    Capacity bottleneck = kInf;
+    std::size_t steps = 0;
+    while (at != terminal) {
+      // Flow decomposition guarantees a flow-carrying path unless the flow
+      // has a cyclic component that could trap the greedy walk; bound the
+      // walk so a cycle aborts to a cold rebuild instead of spinning.
+      if (++steps > edge_count() + 1) return false;
+      bool advanced = false;
+      for (const EdgeId e : edges_from(at)) {
+        // backward: arcs *into* `at` carrying flow are the reverse copies
+        // stored at `at` (their residual equals the arc's flow and their
+        // head is the arc's tail). forward: arcs *out of* `at` carrying
+        // flow are forward copies whose partner holds the flow.
+        const bool carries = backward
+                                 ? (!is_forward(e) && residual(e) > 0)
+                                 : (is_forward(e) && residual(partner(e)) > 0);
+        if (!carries) continue;
+        const EdgeId flow_edge = backward ? e : partner(e);
+        bottleneck = std::min(bottleneck, residual(flow_edge));
+        repair_path_.push_back(flow_edge);
+        at = head(e);
+        advanced = true;
+        break;
+      }
+      if (!advanced) return false;  // conservation violated upstream
+    }
+    const Capacity cancel = std::min(amount, bottleneck);
+    for (const EdgeId rev : repair_path_) push(rev, cancel);
+    amount -= cancel;
+  }
+  return true;
+}
+
+Capacity ResidualGraph::net_flow_from(NodeId v) const {
+  Capacity total = 0;
+  for (const EdgeId e : edges_from(v)) {
+    if (is_forward(e)) {
+      total += residual(partner(e));  // flow on an arc out of v
+    } else {
+      total -= residual(e);  // flow on an arc into v
+    }
+  }
+  return total;
 }
 
 void ResidualGraph::apply_to(FlowNetwork& net) const {

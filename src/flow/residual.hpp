@@ -6,6 +6,13 @@
 // cancel flow" rule of Section III-B of the paper. The reverse copy's
 // residual capacity always equals the current flow on the original arc, so
 // publishing results is a straight copy.
+//
+// The adjacency is a flat CSR layout (offsets + edge array) and every
+// buffer is reusable: rebuild() refills the graph from a network without
+// reallocating, and sync_capacities() adopts changed capacities while
+// *retaining* the feasible flow already routed — the residual-state reuse
+// the paper's distributed token architecture performs after a circuit is
+// established or torn down, instead of re-deriving the world from scratch.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +27,43 @@ class ResidualGraph {
  public:
   using EdgeId = std::int32_t;
 
+  /// An empty graph; call rebuild() before use.
+  ResidualGraph() = default;
+
   /// Builds the residual graph of `net`, honoring any flow already assigned
   /// to its arcs (so algorithms can warm-start from a partial assignment).
-  explicit ResidualGraph(const FlowNetwork& net);
+  explicit ResidualGraph(const FlowNetwork& net) { rebuild(net); }
 
-  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  /// Rebuilds from `net` (honoring its assigned flow), reusing the internal
+  /// buffers — allocation-free once the buffers have grown to the size of
+  /// the largest network seen.
+  void rebuild(const FlowNetwork& net);
+
+  /// Warm-start resync: keeps the flow currently routed in this residual
+  /// graph but adopts `net`'s (possibly changed) arc capacities. Where the
+  /// retained flow exceeds a shrunk capacity, the excess is cancelled along
+  /// the flow paths running through that arc, restoring conservation, so
+  /// the result is a *feasible* flow on the new capacities that a solver
+  /// can augment from. `net` must have the same structure (nodes, arcs,
+  /// endpoints) as the network this graph was last rebuilt from; only
+  /// capacities may differ. `net`'s flow assignment is ignored — the
+  /// retained flow here is authoritative.
+  ///
+  /// Returns false when the repair walk cannot shed the excess (possible
+  /// only for flows with cyclic components); the graph is then in an
+  /// unspecified state and the caller must rebuild() cold.
+  [[nodiscard]] bool sync_capacities(const FlowNetwork& net);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return adj_offsets_.empty() ? 0 : adj_offsets_.size() - 1;
+  }
   [[nodiscard]] std::size_t edge_count() const { return head_.size(); }
 
   /// Residual edges leaving `v` (both forward and reverse copies).
   [[nodiscard]] std::span<const EdgeId> edges_from(NodeId v) const {
-    return adjacency_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    return {adj_edges_.data() + adj_offsets_[i],
+            adj_offsets_[i + 1] - adj_offsets_[i]};
   }
 
   [[nodiscard]] NodeId head(EdgeId e) const {
@@ -62,14 +96,32 @@ class ResidualGraph {
     return residual_[static_cast<std::size_t>(2 * a + 1)];
   }
 
+  /// Net flow currently leaving `v`: flow on arcs out of `v` minus flow on
+  /// arcs into `v`. At the source this is the value of the retained flow.
+  [[nodiscard]] Capacity net_flow_from(NodeId v) const;
+
   /// Publishes the accumulated flow assignment back into `net`.
   void apply_to(FlowNetwork& net) const;
 
  private:
+  /// Cancels `excess` units of flow routed through forward edge `fwd`,
+  /// walking the surplus back to `source` and the deficit on to `sink`.
+  [[nodiscard]] bool cancel_through(EdgeId fwd, Capacity excess,
+                                    NodeId source, NodeId sink);
+  /// Sheds `amount` units of flow imbalance at `start` by cancelling
+  /// flow-carrying paths between `start` and `terminal`. `backward` walks
+  /// arcs into the current node (toward the source); otherwise arcs out of
+  /// it (toward the sink).
+  [[nodiscard]] bool shed(NodeId start, NodeId terminal, Capacity amount,
+                          bool backward);
+
   std::vector<NodeId> head_;
   std::vector<Capacity> residual_;
   std::vector<Cost> cost_;
-  std::vector<std::vector<EdgeId>> adjacency_;
+  std::vector<std::size_t> adj_offsets_;  // node -> first index in adj_edges_
+  std::vector<EdgeId> adj_edges_;         // flat adjacency, CSR layout
+  std::vector<std::size_t> cursor_;       // scratch for rebuild
+  std::vector<EdgeId> repair_path_;       // scratch for sync_capacities
 };
 
 }  // namespace rsin::flow

@@ -1,0 +1,166 @@
+#include "flow/schedule_context.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rsin::flow {
+namespace {
+
+constexpr Capacity kInf = std::numeric_limits<Capacity>::max();
+
+void require_st(const FlowNetwork& net) {
+  RSIN_REQUIRE(net.valid_node(net.source()), "network needs a source");
+  RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
+  RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
+}
+
+/// BFS level assignment over the residual graph into ctx.level. Returns
+/// true when the sink is reachable. Expansion stops at the sink's layer —
+/// deeper nodes cannot lie on a shortest augmenting path.
+bool bfs_levels(const ResidualGraph& residual, ScheduleContext& ctx,
+                NodeId source, NodeId sink, std::int64_t& ops) {
+  const std::size_t n = residual.node_count();
+  ctx.level.resize(n);
+  std::fill(ctx.level.begin(), ctx.level.end(), -1);
+  ctx.bfs_queue.clear();
+  ctx.bfs_queue.push_back(source);
+  ctx.level[static_cast<std::size_t>(source)] = 0;
+  int sink_level = -1;
+  for (std::size_t i = 0; i < ctx.bfs_queue.size(); ++i) {
+    const NodeId v = ctx.bfs_queue[i];
+    const int lv = ctx.level[static_cast<std::size_t>(v)];
+    if (sink_level != -1 && lv + 1 > sink_level) break;
+    for (const auto e : residual.edges_from(v)) {
+      ++ops;
+      if (residual.residual(e) <= 0) continue;
+      const NodeId w = residual.head(e);
+      if (ctx.level[static_cast<std::size_t>(w)] != -1) continue;
+      ctx.level[static_cast<std::size_t>(w)] = lv + 1;
+      if (w == sink) sink_level = lv + 1;
+      ctx.bfs_queue.push_back(w);
+    }
+  }
+  return sink_level != -1;
+}
+
+/// One blocking-flow augmentation along the layered structure in ctx.level;
+/// returns the amount pushed (0 when this phase is dry). Identical logic to
+/// the cold solver's iterative DFS, reading scratch from the context.
+Capacity advance_one_path(ResidualGraph& residual, ScheduleContext& ctx,
+                          NodeId source, NodeId sink, std::int64_t& ops) {
+  ctx.path.clear();
+  NodeId v = source;
+  while (true) {
+    if (v == sink) {
+      Capacity bottleneck = kInf;
+      for (const auto e : ctx.path) {
+        bottleneck = std::min(bottleneck, residual.residual(e));
+      }
+      for (const auto e : ctx.path) residual.push(e, bottleneck);
+      return bottleneck;
+    }
+    const auto edges = residual.edges_from(v);
+    bool advanced = false;
+    while (ctx.next_edge[static_cast<std::size_t>(v)] < edges.size()) {
+      const auto e = edges[ctx.next_edge[static_cast<std::size_t>(v)]];
+      ++ops;
+      const NodeId w = residual.head(e);
+      if (residual.residual(e) > 0 &&
+          ctx.level[static_cast<std::size_t>(w)] ==
+              ctx.level[static_cast<std::size_t>(v)] + 1) {
+        ctx.path.push_back(e);
+        v = w;
+        advanced = true;
+        break;
+      }
+      ++ctx.next_edge[static_cast<std::size_t>(v)];
+    }
+    if (advanced) continue;
+    // Dead end: retreat (or give up if we are back at the source).
+    ctx.level[static_cast<std::size_t>(v)] = -1;  // prune from this phase
+    if (ctx.path.empty()) return 0;
+    v = residual.tail(ctx.path.back());
+    ctx.path.pop_back();
+    ++ctx.next_edge[static_cast<std::size_t>(v)];
+  }
+}
+
+/// Runs Dinic phases over the context's residual until no augmenting path
+/// remains. Returns only the newly advanced flow in `value`.
+MaxFlowResult dinic_phases(ScheduleContext& ctx, NodeId source, NodeId sink) {
+  MaxFlowResult result;
+  const std::size_t n = ctx.residual.node_count();
+  ctx.next_edge.resize(n);
+  while (bfs_levels(ctx.residual, ctx, source, sink, result.operations)) {
+    std::fill(ctx.next_edge.begin(), ctx.next_edge.end(), 0);
+    ++result.phases;
+    while (true) {
+      const Capacity pushed =
+          advance_one_path(ctx.residual, ctx, source, sink, result.operations);
+      if (pushed == 0) break;
+      result.value += pushed;
+      ++result.augmentations;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+MaxFlowResult max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
+  require_st(net);
+  ctx.residual.rebuild(net);
+  MaxFlowResult result = dinic_phases(ctx, net.source(), net.sink());
+  ctx.residual.apply_to(net);
+  ctx.warm_valid = true;
+  return result;
+}
+
+MaxFlowResult warm_max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
+  require_st(net);
+  ++ctx.stats.cycles;
+  ctx.stats.retained_flow = 0;
+
+  const bool structure_matches =
+      ctx.warm_valid && ctx.residual.node_count() == net.node_count() &&
+      ctx.residual.edge_count() == 2 * net.arc_count();
+  bool warm = false;
+  if (structure_matches) {
+    const Capacity before = ctx.residual.net_flow_from(net.source());
+    if (ctx.residual.sync_capacities(net)) {
+      const Capacity retained = ctx.residual.net_flow_from(net.source());
+      ctx.stats.retained_flow = retained;
+      ctx.stats.repair_cancelled += before - retained;
+      warm = true;
+    } else {
+      // Repair hit a cyclic flow component; the residual is unusable and
+      // net's stale assignment may violate the new capacities — restart
+      // from an empty flow.
+      net.clear_flow();
+    }
+  }
+  if (!warm) {
+    // Cold rebuild honors net's assigned flow — unless a capacity was
+    // lowered below it, which only an empty start can repair.
+    for (std::size_t a = 0; a < net.arc_count(); ++a) {
+      const Arc& arc = net.arc(static_cast<ArcId>(a));
+      if (arc.flow > arc.capacity) {
+        net.clear_flow();
+        break;
+      }
+    }
+    ctx.residual.rebuild(net);
+    ctx.stats.retained_flow = ctx.residual.net_flow_from(net.source());
+    ++ctx.stats.cold_rebuilds;
+  } else {
+    ++ctx.stats.warm_cycles;
+  }
+
+  MaxFlowResult result = dinic_phases(ctx, net.source(), net.sink());
+  result.value += ctx.stats.retained_flow;  // report the TOTAL flow value
+  ctx.residual.apply_to(net);
+  ctx.warm_valid = true;
+  return result;
+}
+
+}  // namespace rsin::flow

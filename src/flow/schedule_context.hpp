@@ -1,0 +1,75 @@
+// ScheduleContext: the preallocated per-cycle state of the scheduling hot
+// path.
+//
+// The DES fires a scheduling opportunity every cycle_interval; rebuilding a
+// FlowNetwork, a ResidualGraph, and all of Dinic's scratch vectors from
+// scratch on each one is exactly the work the paper's distributed token
+// architecture avoids — after a circuit is established or torn down, the
+// switchboxes re-propagate tokens over the *residual* state. A
+// ScheduleContext owns that residual state plus every scratch buffer the
+// solver needs, so a scheduling cycle performs zero allocations once warm:
+//
+//  * max_flow_dinic(net, ctx)       — cold solve, reused buffers only;
+//  * warm_max_flow_dinic(net, ctx)  — retains the feasible flow left in the
+//    context by the previous solve, repairs it against the arcs touched by
+//    arrivals/releases/faults (capacity changes), and augments to maximum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/max_flow.hpp"
+#include "flow/network.hpp"
+#include "flow/residual.hpp"
+
+namespace rsin::flow {
+
+/// Cross-cycle accounting of the warm-start path (bench/diagnostics).
+struct WarmStats {
+  std::int64_t cycles = 0;         ///< warm_max_flow_dinic calls.
+  std::int64_t warm_cycles = 0;    ///< Cycles that reused the residual.
+  std::int64_t cold_rebuilds = 0;  ///< Cycles that rebuilt it cold.
+  std::int64_t repair_cancelled = 0;  ///< Flow units shed by capacity repair.
+  Capacity retained_flow = 0;  ///< Flow carried into the last warm solve.
+};
+
+/// Reusable solver state for the per-cycle scheduling hot path. One context
+/// serves one logical network; reusing it across structurally different
+/// networks is safe (buffers are resized) but forfeits warm starts.
+class ScheduleContext {
+ public:
+  /// Forgets the retained flow; the next warm solve rebuilds cold. Call
+  /// after abandoning a solve mid-way or structurally changing the network.
+  void invalidate() { warm_valid = false; }
+
+  ResidualGraph residual;   ///< Persistent across warm cycles.
+  bool warm_valid = false;  ///< Residual matches the last-solved network.
+  WarmStats stats;
+
+  // Scratch buffers (owned here so solvers never allocate).
+  std::vector<int> level;
+  std::vector<std::size_t> next_edge;
+  std::vector<ResidualGraph::EdgeId> path;
+  std::vector<NodeId> bfs_queue;
+};
+
+/// Dinic's algorithm using (only) the context's buffers: functionally the
+/// cold solver, but allocation-free once the context has warmed up. Honors
+/// any flow already assigned in `net` and, like max_flow_dinic(net), returns
+/// the flow *advanced by this call* in `value`. Leaves the context's
+/// residual primed for a subsequent warm_max_flow_dinic on the same network.
+MaxFlowResult max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx);
+
+/// Warm-start Dinic. If the context holds the residual of a previous solve
+/// of this network (same structure; capacities may have changed), the
+/// retained feasible flow is repaired against the new capacities and the
+/// solver augments from there — the incremental re-propagation of the
+/// paper's token architecture. Otherwise falls back to a cold (but
+/// allocation-free) solve honoring `net`'s assigned flow.
+///
+/// Unlike the cold solvers, `value` is the TOTAL resulting flow (retained +
+/// newly advanced), which is what per-cycle schedulers compare against the
+/// allocation count. The final assignment is written back into `net`.
+MaxFlowResult warm_max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx);
+
+}  // namespace rsin::flow

@@ -41,6 +41,11 @@ struct SystemState {
   std::vector<std::int64_t> proc_epoch;  // per processor
   std::vector<std::int64_t> res_epoch;   // per resource
 
+  // Scheduling-cycle scratch, reused every opportunity so the per-event hot
+  // path performs no vector allocations (the scheduler side of the same
+  // discipline is flow::ScheduleContext).
+  core::Problem problem;
+
   TimeWeightedStat busy_resources;
   TimeWeightedStat queued_tasks;
   TimeWeightedStat faulty_links;
@@ -143,7 +148,9 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
                           core::Scheduler& scheduler) {
   // Snapshot: head-of-queue task of every non-transmitting processor is a
   // pending request; resources not busy are free.
-  core::Problem problem;
+  core::Problem& problem = state.problem;
+  problem.requests.clear();
+  problem.free_resources.clear();
   problem.network = &state.net;
   const double now_snapshot = state.events.now();
   double oldest_wait = 0.0;

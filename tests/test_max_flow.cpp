@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "flow/min_cut.hpp"
 #include "flow/push_relabel.hpp"
 #include "flow/validate.hpp"
@@ -227,6 +230,46 @@ TEST(MaxFlow, CapacityScalingMatchesOnWideCapacities) {
   EXPECT_EQ(result.value, 1'000'000);
   // Scaling keeps the augmentation count near log(C), not C.
   EXPECT_LT(result.augmentations, 64);
+}
+
+// Regression: the DFS augmenting-path search is iterative; a path hundreds
+// of thousands of nodes deep must not overflow the call stack (the old
+// recursive dfs_augment crashed here).
+TEST(MaxFlow, DeepChainDoesNotOverflowTheStack) {
+  constexpr int kDepth = 300'000;
+  FlowNetwork net;
+  NodeId prev = net.add_node("s");
+  net.set_source(prev);
+  for (int i = 0; i < kDepth; ++i) {
+    const NodeId next = net.add_node("n" + std::to_string(i));
+    net.add_arc(prev, next, 2);
+    prev = next;
+  }
+  const NodeId t = net.add_node("t");
+  net.set_sink(t);
+  net.add_arc(prev, t, 2);
+  for (const auto algorithm : {MaxFlowAlgorithm::kFordFulkerson,
+                               MaxFlowAlgorithm::kCapacityScaling}) {
+    FlowNetwork run = net;
+    EXPECT_EQ(max_flow(run, algorithm).value, 2);
+  }
+}
+
+// Regression: initializing capacity scaling's threshold by doubling used to
+// overflow (UB) when an arc capacity was within 2x of the Capacity maximum.
+TEST(MaxFlow, CapacityScalingNearMaxCapacity) {
+  constexpr Capacity kHuge = std::numeric_limits<Capacity>::max() - 1;
+  FlowNetwork net;
+  const NodeId s = net.add_node("s");
+  const NodeId m = net.add_node("m");
+  const NodeId t = net.add_node("t");
+  net.set_source(s);
+  net.set_sink(t);
+  net.add_arc(s, m, kHuge);
+  net.add_arc(m, t, kHuge / 2);
+  const MaxFlowResult result = max_flow_capacity_scaling(net);
+  EXPECT_EQ(result.value, kHuge / 2);
+  EXPECT_LT(result.augmentations, 128);
 }
 
 class MaxFlowRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};

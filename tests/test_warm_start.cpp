@@ -1,0 +1,164 @@
+// Warm-start scheduling hot path: warm_max_flow_dinic / ScheduleContext /
+// PersistentTransform / WarmMaxFlowScheduler must agree with the cold
+// solvers under every mutation a scheduling loop applies — capacity edits
+// at the flow layer; arrivals, releases, and faults at the scheduler layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/schedule_context.hpp"
+#include "test_helpers.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rsin;
+
+// --- flow layer -----------------------------------------------------------
+
+TEST(WarmStartFlow, MutationSweepMatchesColdDinicAndEdmondsKarp) {
+  util::Rng rng(20260805);
+  for (int instance = 0; instance < 20; ++instance) {
+    flow::FlowNetwork net = test::random_layered_network(
+        rng, /*layers=*/3, /*width=*/5, /*density=*/0.6, /*max_cap=*/4);
+    if (net.arc_count() == 0) continue;
+    flow::ScheduleContext ctx;
+    for (int round = 0; round < 25; ++round) {
+      if (round > 0) {
+        const auto mutations = rng.uniform_int(1, 4);
+        for (std::int64_t m = 0; m < mutations; ++m) {
+          const auto arc = static_cast<flow::ArcId>(
+              rng.uniform_int(0, static_cast<std::int64_t>(net.arc_count()) - 1));
+          net.set_capacity(arc,
+                           static_cast<flow::Capacity>(rng.uniform_int(0, 4)));
+        }
+      }
+      const flow::Capacity warm = flow::warm_max_flow_dinic(net, ctx).value;
+      flow::FlowNetwork cold_dinic = net;
+      cold_dinic.clear_flow();
+      flow::FlowNetwork cold_ek = net;
+      cold_ek.clear_flow();
+      EXPECT_EQ(warm, flow::max_flow_dinic(cold_dinic).value)
+          << "instance " << instance << " round " << round;
+      EXPECT_EQ(warm, flow::max_flow_edmonds_karp(cold_ek).value)
+          << "instance " << instance << " round " << round;
+    }
+  }
+}
+
+TEST(WarmStartFlow, ContextDinicMatchesPlainDinic) {
+  util::Rng rng(7);
+  flow::ScheduleContext ctx;  // reused across instances: buffers just resize
+  for (int instance = 0; instance < 25; ++instance) {
+    flow::FlowNetwork net = test::random_layered_network(
+        rng, static_cast<int>(rng.uniform_int(1, 4)),
+        static_cast<int>(rng.uniform_int(2, 6)), 0.7, 5);
+    flow::FlowNetwork reference = net;
+    ctx.invalidate();
+    EXPECT_EQ(flow::max_flow_dinic(net, ctx).value,
+              flow::max_flow_dinic(reference).value)
+        << "instance " << instance;
+  }
+}
+
+TEST(WarmStartFlow, RetainsFullFlowWhenNothingChanged) {
+  util::Rng rng(99);
+  flow::FlowNetwork net =
+      test::random_layered_network(rng, 3, 4, /*density=*/0.9, 3);
+  flow::ScheduleContext ctx;
+  const flow::MaxFlowResult first = flow::warm_max_flow_dinic(net, ctx);
+  ASSERT_GT(first.value, 0);
+  const flow::MaxFlowResult second = flow::warm_max_flow_dinic(net, ctx);
+  EXPECT_EQ(second.value, first.value);
+  EXPECT_EQ(ctx.stats.retained_flow, first.value);  // nothing was repaired
+  EXPECT_EQ(second.augmentations, 0);  // the retained flow was already max
+  EXPECT_EQ(ctx.stats.warm_cycles, 1);
+  EXPECT_EQ(ctx.stats.cold_rebuilds, 1);
+}
+
+// --- scheduler layer ------------------------------------------------------
+
+/// Drives warm and cold schedulers through the same DES-style cycle stream:
+/// random request/free snapshots, circuit establishment and release between
+/// cycles, and occasional link fail/repair. The warm scheduler runs with the
+/// differential check on, so any warm/cold value divergence throws.
+TEST(WarmStartScheduler, AgreesWithColdSchedulerUnderDesStyleMutations) {
+  topo::Network net = topo::make_named("omega", 8);
+  core::WarmMaxFlowScheduler warm(/*verify=*/true);
+  core::MaxFlowScheduler cold;
+  util::Rng rng(42);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const core::Problem problem = test::random_problem(rng, net, 0.5, 0.5);
+    const core::ScheduleResult warm_result = warm.schedule(problem);
+    const core::ScheduleResult cold_result = cold.schedule(problem);
+    EXPECT_EQ(warm_result.allocated(), cold_result.allocated())
+        << "cycle " << cycle;
+    const auto error = core::verify_schedule(problem, warm_result);
+    EXPECT_FALSE(error.has_value()) << error.value_or("");
+
+    // Arrivals: establish some of the granted circuits.
+    for (const core::Assignment& a : warm_result.assignments) {
+      if (net.established_circuit(a.request.processor) == nullptr &&
+          rng.bernoulli(0.5)) {
+        net.establish(a.circuit);
+      }
+    }
+    // Releases: tear down some established circuits.
+    for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+      if (const topo::Circuit* held = net.established_circuit(p);
+          held != nullptr && rng.bernoulli(0.3)) {
+        const topo::Circuit copy = *held;
+        net.release(copy);
+      }
+    }
+    // Faults: occasionally flip one link's hardware state.
+    if (rng.bernoulli(0.2)) {
+      const auto link =
+          static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+      if (net.link_failed(link)) {
+        net.repair_link(link);
+      } else {
+        net.fail_link(link);
+      }
+    }
+  }
+  EXPECT_GT(warm.warm_stats().warm_cycles, 0);
+  EXPECT_EQ(warm.warm_stats().cold_rebuilds, 1);
+}
+
+TEST(WarmStartScheduler, ResetForcesColdRebuild) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::WarmMaxFlowScheduler warm(/*verify=*/true);
+  util::Rng rng(5);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    warm.schedule(test::random_problem(rng, net, 0.6, 0.6));
+  }
+  EXPECT_EQ(warm.warm_stats().cold_rebuilds, 1);
+  warm.reset();
+  warm.schedule(test::random_problem(rng, net, 0.6, 0.6));
+  EXPECT_EQ(warm.warm_stats().cold_rebuilds, 2);
+}
+
+TEST(WarmStartScheduler, SurvivesTopologyChange) {
+  const topo::Network omega = topo::make_named("omega", 8);
+  const topo::Network cube = topo::make_named("cube", 8);
+  core::WarmMaxFlowScheduler warm(/*verify=*/true);
+  core::MaxFlowScheduler cold;
+  util::Rng rng(11);
+  for (const topo::Network* net : {&omega, &cube, &omega}) {
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      const core::Problem problem = test::random_problem(rng, *net, 0.6, 0.6);
+      EXPECT_EQ(warm.schedule(problem).allocated(),
+                cold.schedule(problem).allocated());
+    }
+  }
+  // One rebuild per topology switch, then warm within each run.
+  EXPECT_EQ(warm.warm_stats().cold_rebuilds, 3);
+  EXPECT_EQ(warm.warm_stats().warm_cycles, 12);
+}
+
+}  // namespace
