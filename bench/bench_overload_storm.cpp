@@ -1,0 +1,117 @@
+// E20 — overload storms and the robustness runtime (heavy-traffic control
+// policies for resource-sharing networks; Budhiraja & Johnson, Shah & Shin).
+//
+// Part 1: arrival-burst sweep. A mid-run burst multiplies the arrival rate
+// for 80 time units while the bounded queues shed excess work and the
+// hysteretic overload controller steps the scheduler down the degradation
+// ladder (optimal -> relaxed -> greedy). The table shows the shed/overload
+// cost growing with burst intensity — and the final-level column shows the
+// controller recovering to the pre-burst level after every storm.
+//
+// Part 2: shed-policy comparison under a simultaneous fault storm and
+// sustained 1.5x overload: unbounded queues back up without bound while
+// either bounded policy keeps the backlog finite; oldest-first trades
+// sheds for drops by evicting stale work instead of rejecting fresh work.
+#include <iostream>
+
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/builders.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rsin;
+
+sim::SystemConfig storm_config() {
+  sim::SystemConfig config;
+  config.arrival_rate = 0.6;
+  config.warmup_time = 50.0;
+  config.measure_time = 500.0;
+  config.seed = 20;
+  config.max_queue = 16;
+  config.overload_on = 2.0;
+  config.overload_window = 5.0;
+  config.overload_dwell_cycles = 20;
+  return config;
+}
+
+void burst_sweep() {
+  std::cout << "=== E20: arrival bursts vs the degradation controller "
+               "(omega 8, circuit-breaker scheduler, max_queue 16) ===\n\n";
+  const topo::Network net = topo::make_named("omega", 8);
+  util::Table table({"burst x", "utilization", "mean queue", "shed",
+                     "dropped", "overload %", "transitions", "final level"});
+  for (const double burst : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    core::CircuitBreakerScheduler scheduler;
+    sim::SystemConfig config = storm_config();
+    config.burst_multiplier = burst;
+    config.burst_start = 150.0;
+    config.burst_duration = 80.0;
+    config.drop_timeout = 60.0;
+    const sim::SystemMetrics metrics =
+        sim::simulate_system(net, scheduler, config);
+    table.add(util::fixed(burst, 1),
+              util::fixed(metrics.resource_utilization, 3),
+              util::fixed(metrics.mean_queue_length, 2), metrics.tasks_shed,
+              metrics.tasks_dropped,
+              util::pct(metrics.overload_fraction),
+              metrics.degradation_transitions,
+              sim::to_string(metrics.final_level));
+  }
+  std::cout << table
+            << "\nheavier bursts shed more work and spend more of the "
+               "horizon degraded, but every run ends back at the optimal "
+               "level: the hysteretic controller recovers once the burst "
+               "passes and the bounded queues keep the backlog finite\n";
+}
+
+void shed_policy_sweep() {
+  std::cout << "\n=== E20b: shed policy under a fault storm + sustained "
+               "overload (benes 8, MTTF 12, arrival 1.5x capacity) ===\n\n";
+  const topo::Network net = topo::make_named("benes", 8);
+  util::Table table({"queues", "mean queue", "shed", "dropped", "retries",
+                     "availability", "utilization", "completed"});
+  struct Row {
+    const char* label;
+    std::int32_t max_queue;
+    sim::ShedPolicy policy;
+  };
+  const Row rows[] = {
+      {"unbounded", 0, sim::ShedPolicy::kDropTail},
+      {"8 drop-tail", 8, sim::ShedPolicy::kDropTail},
+      {"8 oldest-first", 8, sim::ShedPolicy::kOldestFirst},
+  };
+  for (const Row& row : rows) {
+    core::CircuitBreakerScheduler scheduler;
+    sim::SystemConfig config = storm_config();
+    config.arrival_rate = 1.5;
+    config.measure_time = 400.0;
+    config.max_queue = row.max_queue;
+    config.shed_policy = row.policy;
+    config.faults.link_mttf = 12.0;
+    config.faults.link_mttr = 2.0;
+    config.drop_timeout = 30.0;
+    const sim::SystemMetrics metrics =
+        sim::simulate_system(net, scheduler, config);
+    table.add(row.label, util::fixed(metrics.mean_queue_length, 2),
+              metrics.tasks_shed, metrics.tasks_dropped, metrics.retries,
+              util::fixed(metrics.availability, 4),
+              util::fixed(metrics.resource_utilization, 3),
+              metrics.tasks_completed);
+  }
+  std::cout << table
+            << "\nunbounded queues absorb the overload as unbounded backlog "
+               "(every admitted task eventually ages out or waits forever); "
+               "admission control converts that backlog into explicit sheds "
+               "while keeping utilization — oldest-first evicts stale work "
+               "so what it keeps is young enough to finish\n";
+}
+
+}  // namespace
+
+int main() {
+  burst_sweep();
+  shed_policy_sweep();
+  return 0;
+}

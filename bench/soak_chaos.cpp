@@ -1,0 +1,285 @@
+// Chaos soak harness for the overload-safe runtime.
+//
+// Sweeps randomized (topology, fault schedule, overload burst, queue bound,
+// shed policy) scenarios through the discrete-event system simulation with
+// every runtime self-check armed: the circuit-breaker scheduler runs its
+// warm/cold differential check each cycle, per-cycle invariants (circuit
+// bookkeeping, queue bounds, task conservation) are validated, and every
+// run is recorded. Any violation is shrunk to a smaller failing horizon,
+// its trace is saved to disk, and the saved trace is verified to reproduce
+// the failure under replay before the harness exits nonzero.
+//
+// Usage:
+//   soak_chaos [--scenarios=N] [--seed=S] [--measure=T] [--trace-dir=DIR]
+//              [--sabotage]
+//
+//   --scenarios=N   number of randomized scenarios (default 200)
+//   --seed=S        master seed for the scenario generator (default 2026)
+//   --measure=T     measured horizon per scenario (default 40 time units)
+//   --trace-dir=DIR where failing traces are written (default ".")
+//   --sabotage      additionally run a deliberately-broken scheduler and
+//                   require the harness to catch it, dump a replayable
+//                   trace, and reload + replay it (self-test of the
+//                   failure path; exits nonzero if the sabotage is MISSED)
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "sim/trace.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rsin;
+
+struct SoakOptions {
+  std::int64_t scenarios = 200;
+  std::uint64_t seed = 2026;
+  double measure = 40.0;
+  std::string trace_dir = ".";
+  bool sabotage = false;
+};
+
+SoakOptions parse_args(int argc, char** argv) {
+  SoakOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--scenarios") {
+      options.scenarios = std::stoll(value);
+    } else if (key == "--seed") {
+      options.seed = std::stoull(value);
+    } else if (key == "--measure") {
+      options.measure = std::stod(value);
+    } else if (key == "--trace-dir") {
+      options.trace_dir = value;
+    } else if (key == "--sabotage") {
+      options.sabotage = true;
+    } else {
+      throw std::invalid_argument("unknown flag: " + arg);
+    }
+  }
+  return options;
+}
+
+constexpr const char* kTopologies[] = {"omega",     "baseline", "cube",
+                                       "butterfly", "benes",    "gamma"};
+
+/// One randomized scenario: every knob of the robustness runtime drawn
+/// from ranges that cover nominal load through 4x overload storms.
+sim::SystemConfig random_scenario(util::Rng& rng, double measure) {
+  sim::SystemConfig config;
+  config.arrival_rate = rng.uniform(0.2, 1.5);
+  config.warmup_time = 5.0;
+  config.measure_time = measure;
+  config.seed = rng();
+  config.validate_invariants = true;
+
+  if (rng.bernoulli(0.7)) {  // fault storm
+    config.faults.link_mttf = rng.uniform(6.0, 60.0);
+    config.faults.link_mttr = rng.uniform(0.5, 4.0);
+    config.faults.seed = rng();
+    config.drop_timeout = rng.uniform(10.0, 40.0);
+  }
+  if (rng.bernoulli(0.7)) {  // bounded queues
+    config.max_queue = static_cast<std::int32_t>(rng.uniform_int(2, 16));
+    config.shed_policy = rng.bernoulli(0.5) ? sim::ShedPolicy::kDropTail
+                                            : sim::ShedPolicy::kOldestFirst;
+  }
+  if (rng.bernoulli(0.6)) {  // overload burst
+    config.burst_multiplier = rng.uniform(1.5, 4.0);
+    config.burst_start = rng.uniform(0.0, measure * 0.5);
+    config.burst_duration = rng.uniform(5.0, measure * 0.5);
+  }
+  if (rng.bernoulli(0.6)) {  // degradation controller
+    config.overload_on = rng.uniform(1.0, 4.0);
+    config.overload_window = rng.uniform(2.0, 8.0);
+    config.overload_dwell_cycles =
+        static_cast<std::int32_t>(rng.uniform_int(5, 30));
+  }
+  return config;
+}
+
+struct Failure {
+  sim::SystemConfig config;
+  std::string topology;
+  std::int32_t size = 8;
+  std::string what;
+};
+
+/// Runs one recorded scenario with every check armed. Returns the error
+/// message if the runtime tripped, nullopt on a clean run.
+std::optional<std::string> run_once(const topo::Network& net,
+                                    const sim::SystemConfig& config,
+                                    sim::TraceRecorder& recorder) {
+  try {
+    core::CircuitBreakerScheduler scheduler({}, /*verify=*/true);
+    sim::simulate_system(net, scheduler, config, recorder);
+    return std::nullopt;
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+}
+
+/// Greedy horizon shrink: repeatedly halve measure_time and try dropping
+/// the warmup while the failure persists, so the saved repro trace is the
+/// shortest run this shrinker can find that still trips the violation.
+Failure shrink(Failure failing) {
+  while (failing.config.measure_time > 2.0) {
+    sim::SystemConfig candidate = failing.config;
+    candidate.measure_time = failing.config.measure_time / 2.0;
+    const topo::Network net =
+        topo::make_named(failing.topology, failing.size);
+    sim::TraceRecorder recorder;
+    const auto error = run_once(net, candidate, recorder);
+    if (!error.has_value()) break;
+    failing.config = candidate;
+    failing.what = *error;
+  }
+  if (failing.config.warmup_time > 0.0) {
+    sim::SystemConfig candidate = failing.config;
+    candidate.warmup_time = 0.0;
+    const topo::Network net =
+        topo::make_named(failing.topology, failing.size);
+    sim::TraceRecorder recorder;
+    const auto error = run_once(net, candidate, recorder);
+    if (error.has_value()) {
+      failing.config = candidate;
+      failing.what = *error;
+    }
+  }
+  return failing;
+}
+
+/// Re-records the (shrunk) failing run, saves its trace, then reloads the
+/// file and replays it to prove the bundle reproduces the same violation.
+int report_failure(const Failure& failure, const std::string& trace_dir,
+                   std::int64_t scenario) {
+  const topo::Network net =
+      topo::make_named(failure.topology, failure.size);
+  sim::TraceRecorder recorder;
+  run_once(net, failure.config, recorder);
+  const std::string path = trace_dir + "/soak_fail_" +
+                           std::to_string(scenario) + ".rsintrace";
+  recorder.trace().save_file(path);
+
+  std::cerr << "scenario " << scenario << " FAILED: " << failure.what
+            << "\n  topology " << failure.topology << " " << failure.size
+            << ", shrunk horizon " << failure.config.measure_time
+            << ", trace saved to " << path << "\n";
+  try {
+    const sim::Trace reloaded = sim::Trace::load_file(path);
+    sim::replay_system(net, reloaded);
+    std::cerr << "  replay of the saved trace did NOT reproduce the "
+                 "violation (completed cleanly)\n";
+  } catch (const std::exception& replay_error) {
+    std::cerr << "  replay reproduces: " << replay_error.what() << "\n";
+  }
+  return 1;
+}
+
+/// A scheduler that turns hostile mid-run: duplicates an assignment, which
+/// is never realizable. Exercises the catch -> dump -> replay pipeline.
+class SabotagedScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "sabotaged"; }
+  core::ScheduleResult schedule(const core::Problem& problem) override {
+    core::ScheduleResult result = honest_.schedule(problem);
+    if (++cycles_ > 100 && !result.assignments.empty()) {
+      result.assignments.push_back(result.assignments.front());
+    }
+    return result;
+  }
+
+ private:
+  core::GreedyScheduler honest_;
+  std::int32_t cycles_ = 0;
+};
+
+/// Self-test of the failure path: the harness must catch the sabotage,
+/// dump a replayable trace, and reload + replay its prefix. Returns 0 when
+/// the sabotage was caught, 1 when it slipped through.
+int run_sabotage(const SoakOptions& options) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const std::string path = options.trace_dir + "/soak_sabotage.rsintrace";
+  SabotagedScheduler scheduler;
+  sim::SystemConfig config;
+  config.arrival_rate = 0.8;
+  config.warmup_time = 5.0;
+  config.measure_time = options.measure;
+  config.seed = options.seed;
+  config.validate_invariants = true;
+  config.trace_on_violation = path;
+  try {
+    sim::simulate_system(net, scheduler, config);
+  } catch (const std::exception& error) {
+    const sim::Trace trace = sim::Trace::load_file(path);
+    const sim::SystemMetrics prefix = sim::replay_system(net, trace);
+    std::cout << "sabotage caught: " << error.what() << "\n  repro bundle "
+              << path << " (crashed at t=" << trace.crash_time << ", "
+              << trace.cycles.size() << " cycles, " << prefix.tasks_arrived
+              << " arrivals replayed)\n";
+    return 0;
+  }
+  std::cerr << "sabotage NOT caught: the broken scheduler ran to "
+               "completion\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const SoakOptions options = parse_args(argc, argv);
+    if (options.sabotage) {
+      const int status = run_sabotage(options);
+      if (status != 0) return status;
+    }
+
+    util::Rng rng(options.seed);
+    std::int64_t faults_seen = 0;
+    std::int64_t shed_seen = 0;
+    std::int64_t degraded_seen = 0;
+    for (std::int64_t scenario = 0; scenario < options.scenarios;
+         ++scenario) {
+      const std::string topology = kTopologies[rng.uniform_int(
+          0, static_cast<std::int64_t>(std::size(kTopologies)) - 1)];
+      const std::int32_t size = rng.bernoulli(0.25) ? 16 : 8;
+      const sim::SystemConfig config = random_scenario(rng, options.measure);
+      const topo::Network net = topo::make_named(topology, size);
+
+      sim::TraceRecorder recorder;
+      try {
+        core::CircuitBreakerScheduler scheduler({}, /*verify=*/true);
+        const sim::SystemMetrics metrics =
+            sim::simulate_system(net, scheduler, config, recorder);
+        faults_seen += metrics.faults_injected;
+        shed_seen += metrics.tasks_shed;
+        if (metrics.overload_fraction > 0.0) ++degraded_seen;
+      } catch (const std::exception& error) {
+        Failure failure{config, topology, size, error.what()};
+        return report_failure(shrink(failure), options.trace_dir, scenario);
+      }
+      if ((scenario + 1) % 50 == 0) {
+        std::cout << "  " << (scenario + 1) << "/" << options.scenarios
+                  << " scenarios clean\n";
+      }
+    }
+    std::cout << "soak passed: " << options.scenarios
+              << " scenarios, 0 invariant violations (" << faults_seen
+              << " faults injected, " << shed_seen << " tasks shed, "
+              << degraded_seen << " runs entered overload)\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
+}

@@ -17,6 +17,13 @@
 //   --mttr=X         system mode: mean time to repair (default 1.0)
 //   --deadline=S     wrap the scheduler in core::FallbackScheduler with a
 //                    per-cycle deadline of S seconds (greedy on overrun)
+//
+// Overload / record-replay flags (system mode):
+//   --max-queue=K         bound each processor queue at K tasks (0 = off)
+//   --shed-policy=P       drop-tail | oldest-first (with --max-queue)
+//   --record-trace=PATH   record the run and save a replayable trace
+//   --replay=PATH         replay a recorded trace on the same topology
+//                         instead of running the scheduler
 #include <iostream>
 #include <memory>
 #include <string>
@@ -27,6 +34,7 @@
 #include "fault/fault_injector.hpp"
 #include "sim/static_experiment.hpp"
 #include "sim/system_sim.hpp"
+#include "sim/trace.hpp"
 #include "token/token_machine.hpp"
 #include "topo/builders.hpp"
 #include "topo/dot_export.hpp"
@@ -72,7 +80,9 @@ int usage() {
          "topologies: omega baseline cube butterfly benes crossbar gamma\n"
          "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
          "            mincost greedy random token hetero-lp\n"
-         "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n";
+         "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n"
+         "       --max-queue=K --shed-policy=drop-tail|oldest-first\n"
+         "       --record-trace=PATH --replay=PATH\n";
   return 2;
 }
 
@@ -82,6 +92,10 @@ struct Options {
   double mttf = 0.0;
   double mttr = 1.0;
   double deadline = 0.0;
+  std::int32_t max_queue = 0;
+  sim::ShedPolicy shed_policy = sim::ShedPolicy::kDropTail;
+  std::string record_trace;
+  std::string replay;
 };
 
 /// Splits argv into positional arguments and recognized --flags.
@@ -105,6 +119,20 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
       options.mttr = std::stod(value);
     } else if (key == "--deadline") {
       options.deadline = std::stod(value);
+    } else if (key == "--max-queue") {
+      options.max_queue = std::stoi(value);
+    } else if (key == "--shed-policy") {
+      if (value == "drop-tail") {
+        options.shed_policy = sim::ShedPolicy::kDropTail;
+      } else if (value == "oldest-first") {
+        options.shed_policy = sim::ShedPolicy::kOldestFirst;
+      } else {
+        throw std::invalid_argument("unknown shed policy: " + value);
+      }
+    } else if (key == "--record-trace") {
+      options.record_trace = value;
+    } else if (key == "--replay") {
+      options.replay = value;
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
@@ -168,12 +196,27 @@ int main(int argc, char** argv) {
     if (mode == "system") {
       sim::SystemConfig config;
       config.arrival_rate = args.size() > 4 ? std::stod(args[4]) : 0.5;
+      config.max_queue = options.max_queue;
+      config.shed_policy = options.shed_policy;
       if (options.mttf > 0.0) {
         config.faults.link_mttf = options.mttf;
         config.faults.link_mttr = options.mttr;
         config.drop_timeout = 50.0;
       }
-      const auto metrics = sim::simulate_system(net, *scheduler, config);
+      sim::SystemMetrics metrics;
+      if (!options.replay.empty()) {
+        // Replay mode: the trace supplies config and inputs; the topology
+        // arguments must rebuild the recorded fabric (shape-checked).
+        const sim::Trace trace = sim::Trace::load_file(options.replay);
+        metrics = sim::replay_system(net, trace);
+      } else if (!options.record_trace.empty()) {
+        sim::TraceRecorder recorder;
+        metrics = sim::simulate_system(net, *scheduler, config, recorder);
+        recorder.trace().save_file(options.record_trace);
+        std::cerr << "trace saved to " << options.record_trace << '\n';
+      } else {
+        metrics = sim::simulate_system(net, *scheduler, config);
+      }
       util::Table table({"metric", "value"});
       table.add("utilization", util::fixed(metrics.resource_utilization, 3));
       table.add("blocking %", util::pct(metrics.blocking_probability));
@@ -192,6 +235,9 @@ int main(int argc, char** argv) {
       if (options.deadline > 0.0) {
         table.add("degraded cycle frac",
                   util::fixed(metrics.degraded_cycle_fraction, 4));
+      }
+      if (options.max_queue > 0 || !options.replay.empty()) {
+        table.add("tasks shed", metrics.tasks_shed);
       }
       std::cout << table;
       return 0;

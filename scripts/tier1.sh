@@ -13,6 +13,6 @@ echo "=== tier 1: fault/robustness subset under ASan+UBSan ==="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep)'
+  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep|Overload|Trace|CircuitBreaker|WarmStart)'
 
 echo "tier 1 OK"

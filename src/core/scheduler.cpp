@@ -34,10 +34,11 @@ ScheduleResult MaxFlowScheduler::schedule(const Problem& problem) {
   return result;
 }
 
-WarmMaxFlowScheduler::WarmMaxFlowScheduler(bool verify) : verify_(verify) {}
+WarmMaxFlowScheduler::WarmMaxFlowScheduler(bool verify, bool canonical)
+    : verify_(verify), canonical_(canonical) {}
 
 std::string WarmMaxFlowScheduler::name() const {
-  return "max-flow(dinic,warm)";
+  return canonical_ ? "max-flow(dinic,canonical)" : "max-flow(dinic,warm)";
 }
 
 void WarmMaxFlowScheduler::reset() { context_.invalidate(); }
@@ -50,14 +51,20 @@ ScheduleResult WarmMaxFlowScheduler::schedule(const Problem& problem) {
     }
     transform_.update(problem);
     flow::FlowNetwork& net = transform_.result().net;
-    // On a cold (re)start the residual is derived from the network's flow
-    // assignment, which is stale; warm cycles ignore it entirely.
-    if (!context_.warm_valid) net.clear_flow();
-    const flow::MaxFlowResult stats = flow::warm_max_flow_dinic(net, context_);
+    // Canonical mode (ROADMAP E17b): a clean allocation-free cold solve on
+    // the persistent skeleton every cycle. Same arc order as
+    // transformation1, empty starting flow — the resulting assignment (and
+    // extracted schedule) is bitwise identical to MaxFlowScheduler(kDinic).
+    // Warm mode: on a cold (re)start the residual is derived from the
+    // network's flow assignment, which is stale; warm cycles ignore it.
+    if (canonical_ || !context_.warm_valid) net.clear_flow();
+    const flow::MaxFlowResult stats =
+        canonical_ ? flow::max_flow_dinic(net, context_)
+                   : flow::warm_max_flow_dinic(net, context_);
     ScheduleResult result = extract_schedule(problem, transform_.result());
     RSIN_ENSURE(static_cast<flow::Capacity>(result.allocated()) == stats.value,
                 "allocation count must equal the max-flow value (Theorem 2)");
-    if (verify_) {
+    if (verify_ && !relaxed_) {
       // Differential check: a cold Transformation 1 + Dinic solve of the
       // same cycle must reach the same max-flow value.
       TransformResult cold = transformation1(problem);
@@ -209,6 +216,20 @@ const char* to_string(ScheduleOutcome outcome) {
       return "degraded";
     case ScheduleOutcome::kPartial:
       return "partial";
+    case ScheduleOutcome::kColdFallback:
+      return "cold-fallback";
+  }
+  return "unknown";
+}
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
   }
   return "unknown";
 }
@@ -252,6 +273,102 @@ ScheduleResult FallbackScheduler::schedule(const Problem& problem) {
     report_.outcome = ScheduleOutcome::kPartial;
     report_.detail += std::string("; fallback also failed: ") + error.what();
     return ScheduleResult{};
+  }
+}
+
+CircuitBreakerScheduler::CircuitBreakerScheduler(BreakerConfig config,
+                                                 bool verify)
+    : CircuitBreakerScheduler(config,
+                              std::make_unique<WarmMaxFlowScheduler>(verify)) {
+}
+
+CircuitBreakerScheduler::CircuitBreakerScheduler(
+    BreakerConfig config, std::unique_ptr<Scheduler> primary)
+    : config_(config), primary_(std::move(primary)) {
+  RSIN_REQUIRE(primary_ != nullptr, "breaker needs a primary scheduler");
+  RSIN_REQUIRE(config.failure_threshold > 0,
+               "breaker failure threshold must be positive");
+  RSIN_REQUIRE(config.cooldown_cycles > 0,
+               "breaker cooldown must be positive");
+  warm_ = dynamic_cast<WarmMaxFlowScheduler*>(primary_.get());
+}
+
+std::string CircuitBreakerScheduler::name() const {
+  return "breaker(" + primary_->name() + "->" + cold_.name() + ")";
+}
+
+void CircuitBreakerScheduler::reset() { primary_->reset(); }
+
+ScheduleResult CircuitBreakerScheduler::serve_cold(const Problem& problem) {
+  ++cold_cycles_;
+  return cold_.schedule(problem);
+}
+
+void CircuitBreakerScheduler::note_failure(const std::string& detail) {
+  ++consecutive_failures_;
+  report_.detail = detail;
+  // A failed half-open probe re-opens immediately; in the closed state the
+  // breaker tolerates failure_threshold - 1 consecutive failures first.
+  if (state_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    cooldown_remaining_ = config_.cooldown_cycles;
+    ++trips_;
+  }
+}
+
+ScheduleResult CircuitBreakerScheduler::schedule(const Problem& problem) {
+  report_ = FallbackReport{};
+  util::Stopwatch watch;
+
+  if (state_ == BreakerState::kOpen) {
+    ScheduleResult result = serve_cold(problem);
+    if (--cooldown_remaining_ <= 0) state_ = BreakerState::kHalfOpen;
+    report_.primary_seconds = watch.seconds();
+    report_.outcome = ScheduleOutcome::kColdFallback;
+    report_.breaker = state_;
+    report_.consecutive_failures = consecutive_failures_;
+    return result;
+  }
+
+  // Closed, or half-open probing: attempt the warm path.
+  try {
+    ScheduleResult result = primary_->schedule(problem);
+    report_.primary_seconds = watch.seconds();
+    const std::int64_t cancelled =
+        warm_ != nullptr ? warm_->warm_stats().repair_cancelled : 0;
+    const std::int64_t shed = cancelled - last_repair_cancelled_;
+    last_repair_cancelled_ = cancelled;
+    if (config_.repair_cancel_limit > 0 &&
+        shed > config_.repair_cancel_limit) {
+      // Soft failure: the solve succeeded (the result is still optimal and
+      // returned as such) but residual repair shed so much flow that the
+      // warm path stopped paying for itself.
+      note_failure("warm repair shed " + std::to_string(shed) +
+                   " flow units (limit " +
+                   std::to_string(config_.repair_cancel_limit) + ")");
+      if (state_ == BreakerState::kOpen) primary_->reset();
+    } else {
+      consecutive_failures_ = 0;
+      state_ = BreakerState::kClosed;
+    }
+    report_.outcome = ScheduleOutcome::kOptimal;
+    report_.breaker = state_;
+    report_.consecutive_failures = consecutive_failures_;
+    return result;
+  } catch (const std::exception& error) {
+    report_.primary_seconds = watch.seconds();
+    // The primary attempt is abandoned: drop its (possibly poisoned) state
+    // and resynchronize the soft-failure baseline before the next attempt.
+    primary_->reset();
+    last_repair_cancelled_ =
+        warm_ != nullptr ? warm_->warm_stats().repair_cancelled : 0;
+    note_failure(error.what());
+    ScheduleResult result = serve_cold(problem);
+    report_.outcome = ScheduleOutcome::kColdFallback;
+    report_.breaker = state_;
+    report_.consecutive_failures = consecutive_failures_;
+    return result;
   }
 }
 

@@ -45,6 +45,11 @@ class Scheduler {
   /// Stateless schedulers ignore it; control loops call it after a solve
   /// was abandoned or the network changed under the scheduler.
   virtual void reset() {}
+  /// Overload hint from a control loop: while relaxed, the scheduler may
+  /// suspend *optional self-checks* (differential verification, redundant
+  /// cross-validation) to shed per-cycle cost. Results must stay correct —
+  /// only their double-checking is skipped. Default: ignored.
+  virtual void set_relaxed(bool /*relaxed*/) {}
 };
 
 /// Optimal allocation count via Transformation 1 + a max-flow algorithm.
@@ -68,12 +73,27 @@ class MaxFlowScheduler final : public Scheduler {
 /// the cold transformation1 + Dinic solve and RSIN_ENSUREs the warm-start
 /// max-flow value matches — the differential check that guards the
 /// incremental path against drift.
+///
+/// `canonical` trades the warm-start augmentation win for bitwise
+/// reproducibility (ROADMAP E17b): each cycle clears the skeleton's flow and
+/// runs the allocation-free *cold* context solve instead of repairing the
+/// retained residual. Because PersistentTransform emits arcs in the same
+/// relative order as transformation1 (zero-capacity arcs are invisible to
+/// the solver), the flow assignment — and therefore the extracted schedule —
+/// is identical to MaxFlowScheduler(kDinic), while still allocating nothing
+/// per cycle.
 class WarmMaxFlowScheduler final : public Scheduler {
  public:
-  explicit WarmMaxFlowScheduler(bool verify = kVerifyDefault);
+  explicit WarmMaxFlowScheduler(bool verify = kVerifyDefault,
+                                bool canonical = false);
   [[nodiscard]] std::string name() const override;
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override;
+  /// Relaxed mode suspends the per-cycle differential check (the schedule
+  /// itself is still the optimal solve). Used by the overload controller.
+  void set_relaxed(bool relaxed) override { relaxed_ = relaxed; }
+
+  [[nodiscard]] bool canonical() const { return canonical_; }
 
   /// Warm/cold cycle accounting of the underlying ScheduleContext.
   [[nodiscard]] const flow::WarmStats& warm_stats() const {
@@ -90,6 +110,8 @@ class WarmMaxFlowScheduler final : public Scheduler {
   PersistentTransform transform_;
   flow::ScheduleContext context_;
   bool verify_;
+  bool canonical_;
+  bool relaxed_ = false;
 };
 
 /// Optimal count + minimal priority/preference cost via Transformation 2.
@@ -139,20 +161,43 @@ class RandomScheduler final : public Scheduler {
   bool independent_destinations_;
 };
 
-/// How a FallbackScheduler cycle was served.
+/// How a wrapped (FallbackScheduler / CircuitBreakerScheduler) cycle was
+/// served.
 enum class ScheduleOutcome : std::uint8_t {
   kOptimal,   ///< The primary (optimal) scheduler answered within deadline.
   kDegraded,  ///< Primary failed or timed out; greedy fallback answered.
   kPartial,   ///< Both failed; an empty (but valid) schedule was returned.
+  kColdFallback,  ///< Warm path tripped/open; optimal cold solver answered.
 };
 
 [[nodiscard]] const char* to_string(ScheduleOutcome outcome);
 
-/// Diagnosis of the most recent FallbackScheduler cycle.
+/// Circuit-breaker state of a CircuitBreakerScheduler (kClosed for wrappers
+/// without a breaker, i.e. FallbackScheduler).
+enum class BreakerState : std::uint8_t {
+  kClosed,    ///< Warm path in service.
+  kOpen,      ///< Warm path out of service; cooling down on the cold solver.
+  kHalfOpen,  ///< Cooldown elapsed; next cycle probes the warm path once.
+};
+
+[[nodiscard]] const char* to_string(BreakerState state);
+
+/// Diagnosis of the most recent wrapped scheduling cycle.
 struct FallbackReport {
   ScheduleOutcome outcome = ScheduleOutcome::kOptimal;
   double primary_seconds = 0.0;  ///< Wall time the primary attempt took.
   std::string detail;            ///< Exception / timeout description.
+  BreakerState breaker = BreakerState::kClosed;
+  /// Consecutive primary failures observed so far (resets on success).
+  std::int32_t consecutive_failures = 0;
+};
+
+/// Schedulers that diagnose how each cycle was served. Control loops (the
+/// DES) use this single interface to count degraded cycles regardless of
+/// the concrete wrapper.
+class ReportingScheduler : public Scheduler {
+ public:
+  [[nodiscard]] virtual const FallbackReport& last_report() const = 0;
 };
 
 /// Degraded-mode wrapper: runs an optimal scheduler under a per-cycle wall
@@ -163,14 +208,18 @@ struct FallbackReport {
 /// deadline is *soft* — the primary is not interrupted mid-solve; its
 /// result is discarded after the fact — which is the right semantic for a
 /// simulated per-cycle time budget.
-class FallbackScheduler final : public Scheduler {
+class FallbackScheduler final : public ReportingScheduler {
  public:
   explicit FallbackScheduler(std::unique_ptr<Scheduler> primary,
                              double deadline_seconds = 0.0);
   [[nodiscard]] std::string name() const override;
   ScheduleResult schedule(const Problem& problem) override;
+  void reset() override { primary_->reset(); }
+  void set_relaxed(bool relaxed) override { primary_->set_relaxed(relaxed); }
 
-  [[nodiscard]] const FallbackReport& last_report() const { return report_; }
+  [[nodiscard]] const FallbackReport& last_report() const override {
+    return report_;
+  }
   [[nodiscard]] std::int64_t cycles() const { return cycles_; }
   [[nodiscard]] std::int64_t degraded_cycles() const { return degraded_; }
 
@@ -181,6 +230,79 @@ class FallbackScheduler final : public Scheduler {
   FallbackReport report_;
   std::int64_t cycles_ = 0;
   std::int64_t degraded_ = 0;
+};
+
+/// Tuning of CircuitBreakerScheduler.
+struct BreakerConfig {
+  /// Consecutive warm-path failures that trip the breaker open.
+  std::int32_t failure_threshold = 3;
+  /// Cycles served cold before the breaker goes half-open to probe.
+  std::int32_t cooldown_cycles = 16;
+  /// Soft-failure trigger: a single warm cycle shedding more than this many
+  /// flow units during residual repair counts as a failure even though the
+  /// solve succeeded (cost blowup — the warm path is no longer paying for
+  /// itself). <= 0 disables the soft trigger.
+  std::int64_t repair_cancel_limit = 0;
+};
+
+/// Circuit breaker around the warm-start hot path (WarmMaxFlowScheduler).
+///
+/// Both paths are *optimal* — the cold MaxFlowScheduler(kDinic) fallback
+/// computes the same maximum allocation — so unlike FallbackScheduler this
+/// wrapper never degrades schedule quality; it trades the warm path's speed
+/// for the cold path's simplicity when the warm path misbehaves:
+///
+///  * closed:    serve warm. A thrown solve (including a failed
+///               differential check) or a repair-cost blowup counts one
+///               consecutive failure; `failure_threshold` of them trip to
+///               open. A throwing cycle is re-served by the cold solver
+///               (kColdFallback), so schedule() never throws solver errors.
+///  * open:      serve cold for `cooldown_cycles` cycles, then half-open.
+///  * half-open: probe the warm path once; success closes the breaker,
+///               failure re-opens it for another cooldown.
+class CircuitBreakerScheduler final : public ReportingScheduler {
+ public:
+  explicit CircuitBreakerScheduler(BreakerConfig config = {},
+                                   bool verify = WarmMaxFlowScheduler::
+                                       kVerifyDefault);
+  /// Wraps an arbitrary primary instead of the warm-start scheduler (test
+  /// seam / extension point). The soft repair-cost trigger only applies
+  /// when the primary is a WarmMaxFlowScheduler.
+  CircuitBreakerScheduler(BreakerConfig config,
+                          std::unique_ptr<Scheduler> primary);
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+  void reset() override;
+  void set_relaxed(bool relaxed) override { primary_->set_relaxed(relaxed); }
+
+  [[nodiscard]] const FallbackReport& last_report() const override {
+    return report_;
+  }
+  [[nodiscard]] BreakerState state() const { return state_; }
+  /// Times the breaker has tripped closed -> open (lifetime).
+  [[nodiscard]] std::int64_t trips() const { return trips_; }
+  [[nodiscard]] std::int64_t cold_cycles() const { return cold_cycles_; }
+  /// Warm/cold accounting when the primary is the warm-start scheduler
+  /// (empty stats otherwise).
+  [[nodiscard]] flow::WarmStats warm_stats() const {
+    return warm_ != nullptr ? warm_->warm_stats() : flow::WarmStats{};
+  }
+
+ private:
+  ScheduleResult serve_cold(const Problem& problem);
+  void note_failure(const std::string& detail);
+
+  BreakerConfig config_;
+  std::unique_ptr<Scheduler> primary_;
+  WarmMaxFlowScheduler* warm_ = nullptr;  ///< primary_, when warm-start.
+  MaxFlowScheduler cold_;
+  BreakerState state_ = BreakerState::kClosed;
+  FallbackReport report_;
+  std::int32_t consecutive_failures_ = 0;
+  std::int32_t cooldown_remaining_ = 0;
+  std::int64_t last_repair_cancelled_ = 0;
+  std::int64_t trips_ = 0;
+  std::int64_t cold_cycles_ = 0;
 };
 
 /// Exponential ground truth: maximizes allocation count (tie-broken by

@@ -167,32 +167,6 @@ TransformResult transformation2(const Problem& problem, BypassCostMode mode) {
   return std::move(builder.out);
 }
 
-namespace {
-
-/// FNV-1a over the quantities that define the skeleton's shape: counts and
-/// every link's endpoints. Failure/occupancy state is deliberately excluded
-/// — it only modulates capacities.
-std::uint64_t shape_hash(const Network& net) {
-  std::uint64_t h = 14695981039346656037ull;
-  const auto mix = [&h](std::uint64_t value) {
-    h ^= value;
-    h *= 1099511628211ull;
-  };
-  mix(static_cast<std::uint64_t>(net.processor_count()));
-  mix(static_cast<std::uint64_t>(net.switch_count()));
-  mix(static_cast<std::uint64_t>(net.resource_count()));
-  for (LinkId l = 0; l < net.link_count(); ++l) {
-    const topo::Link& link = net.link(l);
-    mix(static_cast<std::uint64_t>(link.from.kind));
-    mix(static_cast<std::uint64_t>(link.from.node));
-    mix(static_cast<std::uint64_t>(link.to.kind));
-    mix(static_cast<std::uint64_t>(link.to.node));
-  }
-  return h;
-}
-
-}  // namespace
-
 void PersistentTransform::build(const topo::Network& net) {
   result_ = TransformResult{};
   FlowNetwork& out = result_.net;
@@ -276,12 +250,12 @@ void PersistentTransform::build(const topo::Network& net) {
                 kInvalidId, r);
   }
 
-  shape_hash_ = shape_hash(net);
+  shape_hash_ = net.shape_hash();
   built_ = true;
 }
 
 bool PersistentTransform::matches(const topo::Network& net) const {
-  return built_ && shape_hash_ == shape_hash(net);
+  return built_ && shape_hash_ == net.shape_hash();
 }
 
 void PersistentTransform::update(const Problem& problem) {

@@ -1,6 +1,7 @@
 #include "fault/fault_injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -47,15 +48,23 @@ const char* to_string(FaultKind kind) {
   return "unknown";
 }
 
-FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
-  RSIN_REQUIRE(config.link_mttf <= 0 || config.link_mttr > 0,
+void FaultConfig::validate() const {
+  const auto finite = [](double v) { return std::isfinite(v); };
+  RSIN_REQUIRE(finite(link_mttf), "FaultConfig.link_mttf must be finite");
+  RSIN_REQUIRE(finite(link_mttr), "FaultConfig.link_mttr must be finite");
+  RSIN_REQUIRE(finite(switch_mttf), "FaultConfig.switch_mttf must be finite");
+  RSIN_REQUIRE(finite(switch_mttr), "FaultConfig.switch_mttr must be finite");
+  RSIN_REQUIRE(finite(horizon), "FaultConfig.horizon must be finite");
+  RSIN_REQUIRE(link_mttf <= 0 || link_mttr > 0,
                "link MTTR must be positive when link faults are enabled");
-  RSIN_REQUIRE(config.switch_mttf <= 0 || config.switch_mttr > 0,
+  RSIN_REQUIRE(switch_mttf <= 0 || switch_mttr > 0,
                "switch MTTR must be positive when switch faults are enabled");
-  RSIN_REQUIRE(
-      (config.link_mttf <= 0 && config.switch_mttf <= 0) ||
-          config.horizon > 0,
-      "fault injection needs a positive horizon");
+  RSIN_REQUIRE((link_mttf <= 0 && switch_mttf <= 0) || horizon > 0,
+               "fault injection needs a positive horizon");
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config) : config_(config) {
+  config.validate();
 }
 
 bool link_eligible(const topo::Network& net, topo::LinkId id,

@@ -56,6 +56,11 @@ struct FaultConfig {
   /// experiments measure routing redundancy rather than amputation).
   bool fabric_links_only = true;
   std::uint64_t seed = 1;
+
+  /// Rejects non-finite or inconsistent parameters (NaN rates, negative
+  /// MTTR with faults enabled, missing horizon) with std::invalid_argument.
+  /// FaultInjector and sim::SystemConfig::validate call this on entry.
+  void validate() const;
 };
 
 /// Deterministic fail/repair schedule generator. Stateless: make_schedule

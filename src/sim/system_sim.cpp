@@ -7,9 +7,85 @@
 
 #include "core/schedule.hpp"
 #include "sim/des.hpp"
+#include "sim/trace.hpp"
 #include "util/error.hpp"
 
 namespace rsin::sim {
+
+const char* to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kDropTail:
+      return "drop-tail";
+    case ShedPolicy::kOldestFirst:
+      return "oldest-first";
+  }
+  return "unknown";
+}
+
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kOptimal:
+      return "optimal";
+    case DegradationLevel::kRelaxed:
+      return "relaxed";
+    case DegradationLevel::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+void SystemConfig::validate() const {
+  const auto finite = [](double v) { return std::isfinite(v); };
+  RSIN_REQUIRE(finite(arrival_rate) && arrival_rate > 0,
+               "SystemConfig.arrival_rate must be finite and positive");
+  RSIN_REQUIRE(finite(transmission_time) && transmission_time >= 0,
+               "SystemConfig.transmission_time must be finite and >= 0");
+  RSIN_REQUIRE(finite(mean_service_time) && mean_service_time > 0,
+               "SystemConfig.mean_service_time must be finite and positive");
+  RSIN_REQUIRE(finite(cycle_interval) && cycle_interval > 0,
+               "SystemConfig.cycle_interval must be finite and positive");
+  RSIN_REQUIRE(finite(warmup_time) && warmup_time >= 0,
+               "SystemConfig.warmup_time must be finite and >= 0");
+  RSIN_REQUIRE(finite(measure_time) && measure_time > 0,
+               "SystemConfig.measure_time must be finite and positive");
+  RSIN_REQUIRE(resource_types >= 1,
+               "SystemConfig.resource_types must be >= 1");
+  RSIN_REQUIRE(priority_levels >= 0,
+               "SystemConfig.priority_levels must be >= 0");
+  RSIN_REQUIRE(min_pending_requests >= 1,
+               "SystemConfig.min_pending_requests must be >= 1");
+  RSIN_REQUIRE(finite(max_batch_wait),
+               "SystemConfig.max_batch_wait must be finite");
+  RSIN_REQUIRE(finite(retry_backoff_base) && retry_backoff_base > 0,
+               "SystemConfig.retry_backoff_base must be finite and positive");
+  RSIN_REQUIRE(finite(retry_backoff_max) && retry_backoff_max > 0,
+               "SystemConfig.retry_backoff_max must be finite and positive");
+  RSIN_REQUIRE(finite(drop_timeout),
+               "SystemConfig.drop_timeout must be finite");
+  RSIN_REQUIRE(max_queue >= 0, "SystemConfig.max_queue must be >= 0");
+  RSIN_REQUIRE(finite(overload_on) && overload_on >= 0,
+               "SystemConfig.overload_on must be finite and >= 0");
+  if (overload_on > 0) {
+    RSIN_REQUIRE(finite(overload_off_fraction) && overload_off_fraction > 0 &&
+                     overload_off_fraction <= 1,
+                 "SystemConfig.overload_off_fraction must be in (0, 1]");
+    RSIN_REQUIRE(finite(overload_window) && overload_window > 0,
+                 "SystemConfig.overload_window must be finite and positive");
+    RSIN_REQUIRE(overload_dwell_cycles >= 1,
+                 "SystemConfig.overload_dwell_cycles must be >= 1");
+  }
+  RSIN_REQUIRE(finite(burst_multiplier) && burst_multiplier > 0,
+               "SystemConfig.burst_multiplier must be finite and positive");
+  RSIN_REQUIRE(finite(burst_start) && burst_start >= 0,
+               "SystemConfig.burst_start must be finite and >= 0");
+  RSIN_REQUIRE(finite(burst_duration) && burst_duration >= 0,
+               "SystemConfig.burst_duration must be finite and >= 0");
+  // In a SystemConfig, a zero fault horizon means "the whole run".
+  fault::FaultConfig resolved = faults;
+  if (resolved.horizon <= 0) resolved.horizon = warmup_time + measure_time;
+  resolved.validate();
+}
+
 namespace {
 
 struct Task {
@@ -46,6 +122,15 @@ struct SystemState {
   // discipline is flow::ScheduleContext).
   core::Problem problem;
 
+  // Level-2 degradation path (first-fit greedy; stateless).
+  core::GreedyScheduler greedy;
+
+  // Record/replay plumbing (either may be null).
+  TraceRecorder* recorder = nullptr;
+  const Trace* replay = nullptr;
+  std::size_t replay_cycle = 0;
+  bool halted = false;  ///< Crashed-trace replay reached its crash point.
+
   TimeWeightedStat busy_resources;
   TimeWeightedStat queued_tasks;
   TimeWeightedStat faulty_links;
@@ -63,7 +148,24 @@ struct SystemState {
   std::int64_t circuits_torn_down = 0;
   std::int64_t retries = 0;
   std::int64_t tasks_dropped = 0;
+  std::int64_t tasks_shed = 0;
   bool measuring = false;
+
+  // From-t=0 totals (never reset at the warmup boundary) backing the
+  // conservation invariant: every task that ever arrived is completed,
+  // dropped, shed, queued, or in service — exactly one of them.
+  std::int64_t arrived_total = 0;
+  std::int64_t completed_total = 0;
+  std::int64_t dropped_total = 0;
+  std::int64_t shed_total = 0;
+
+  // Overload detector / degradation controller.
+  std::int32_t level = 0;
+  double ewma_queue = 0.0;
+  std::int32_t cycles_since_transition = 0;
+  double level_clock = 0.0;  ///< When the current level was entered.
+  std::array<double, kDegradationLevels> time_in_level = {0.0, 0.0, 0.0};
+  std::int64_t level_transitions = 0;  // measured
 
   explicit SystemState(const topo::Network& base, const SystemConfig& config)
       : net(base), rng(config.seed) {
@@ -93,10 +195,149 @@ struct SystemState {
     for (const auto& q : queue) total += static_cast<double>(q.size());
     return total;
   }
+
+  [[nodiscard]] std::int64_t busy_resource_count() const {
+    return std::count(resource_busy.begin(), resource_busy.end(), char{1});
+  }
 };
 
 void schedule_arrival(SystemState& state, const SystemConfig& config,
                       topo::ProcessorId p);
+
+/// Arrival rate in effect at `now` (overload-burst windows multiply it).
+double arrival_rate_at(const SystemConfig& config, double now) {
+  if (config.burst_multiplier != 1.0 && now >= config.burst_start &&
+      now < config.burst_start + config.burst_duration) {
+    return config.arrival_rate * config.burst_multiplier;
+  }
+  return config.arrival_rate;
+}
+
+void count_shed(SystemState& state) {
+  ++state.shed_total;
+  if (state.measuring) ++state.tasks_shed;
+}
+
+/// Admission control: enqueue `task` at processor `p`, shedding per policy
+/// when the bounded queue is full. The arrival itself was already counted.
+void admit_task(SystemState& state, const SystemConfig& config, std::size_t p,
+                Task task) {
+  auto& q = state.queue[p];
+  if (config.max_queue > 0 &&
+      static_cast<std::int32_t>(q.size()) >= config.max_queue) {
+    if (config.shed_policy == ShedPolicy::kDropTail) {
+      count_shed(state);
+      return;
+    }
+    // kOldestFirst: evict the queued task closest to its drop deadline (the
+    // earliest arrival; ties keep the earlier position).
+    auto victim = q.begin();
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->arrival < victim->arrival) victim = it;
+    }
+    q.erase(victim);
+    count_shed(state);
+  }
+  q.push_back(task);
+}
+
+/// The hysteretic degradation controller, stepped once per scheduling
+/// cycle. Consumes no randomness, so replay recomputes it identically.
+void update_overload(SystemState& state, const SystemConfig& config,
+                     core::Scheduler* scheduler) {
+  if (config.overload_on <= 0) return;
+  const double now = state.events.now();
+  const double per_proc =
+      state.total_queued() / static_cast<double>(state.net.processor_count());
+  const double alpha =
+      1.0 - std::exp(-config.cycle_interval / config.overload_window);
+  state.ewma_queue += alpha * (per_proc - state.ewma_queue);
+
+  ++state.cycles_since_transition;
+  if (state.cycles_since_transition < config.overload_dwell_cycles) return;
+
+  std::int32_t target = state.level;
+  if (state.ewma_queue > config.overload_on &&
+      state.level < static_cast<std::int32_t>(kDegradationLevels) - 1) {
+    target = state.level + 1;
+  } else if (state.ewma_queue <
+                 config.overload_on * config.overload_off_fraction &&
+             state.level > 0) {
+    target = state.level - 1;
+  }
+  if (target == state.level) return;
+
+  state.time_in_level[static_cast<std::size_t>(state.level)] +=
+      now - state.level_clock;
+  state.level_clock = now;
+  if (state.measuring) ++state.level_transitions;
+  const std::int32_t old = state.level;
+  state.level = target;
+  state.cycles_since_transition = 0;
+
+  if (scheduler != nullptr) {
+    if (old == 0 && target == 1) scheduler->set_relaxed(true);
+    if (old == 1 && target == 0) scheduler->set_relaxed(false);
+    // Leaving the greedy era: the primary scheduler's warm-start state is
+    // stale (it did not observe the greedy cycles' network churn).
+    if (old == 2 && target == 1) scheduler->reset();
+  }
+}
+
+/// Per-cycle runtime invariant sweep (config.validate_invariants).
+void check_invariants(const SystemState& state, const SystemConfig& config) {
+  // No leaked circuits: a processor holds an established circuit exactly
+  // while transmitting, and every occupied link belongs to such a circuit.
+  std::int32_t expected_links = 0;
+  for (topo::ProcessorId p = 0; p < state.net.processor_count(); ++p) {
+    const topo::Circuit* circuit = state.net.established_circuit(p);
+    RSIN_ENSURE(
+        (circuit != nullptr) ==
+            (state.transmitting[static_cast<std::size_t>(p)] != 0),
+        "invariant violated: transmitting flag and established circuit "
+        "disagree for processor " +
+            std::to_string(p));
+    if (circuit != nullptr) {
+      expected_links += static_cast<std::int32_t>(circuit->links.size());
+    }
+  }
+  RSIN_ENSURE(state.net.occupied_link_count() == expected_links,
+              "invariant violated: occupied links (" +
+                  std::to_string(state.net.occupied_link_count()) +
+                  ") != links of established circuits (" +
+                  std::to_string(expected_links) + ") — leaked circuit");
+
+  // Availability bookkeeping: a faulty element never carries a circuit
+  // (failures tear down their circuits; establishment refuses faulty links).
+  for (topo::LinkId id = 0; id < state.net.link_count(); ++id) {
+    RSIN_ENSURE(!(state.net.link(id).occupied && state.net.link_faulty(id)),
+                "invariant violated: link " + std::to_string(id) +
+                    " is both occupied and faulty");
+  }
+
+  // Admission control: bounded queues stay bounded.
+  if (config.max_queue > 0) {
+    for (std::size_t p = 0; p < state.queue.size(); ++p) {
+      RSIN_ENSURE(static_cast<std::int32_t>(state.queue[p].size()) <=
+                      config.max_queue,
+                  "invariant violated: queue of processor " +
+                      std::to_string(p) + " exceeds max_queue");
+    }
+  }
+
+  // Task conservation: every arrival is accounted for exactly once.
+  const std::int64_t live = static_cast<std::int64_t>(state.total_queued()) +
+                            state.busy_resource_count();
+  RSIN_ENSURE(state.arrived_total == state.completed_total +
+                                         state.dropped_total +
+                                         state.shed_total + live,
+              "invariant violated: task conservation (" +
+                  std::to_string(state.arrived_total) + " arrived != " +
+                  std::to_string(state.completed_total) + " completed + " +
+                  std::to_string(state.dropped_total) + " dropped + " +
+                  std::to_string(state.shed_total) + " shed + " +
+                  std::to_string(live) + " live)");
+}
 
 /// Replays one injector event: applies the fail/repair to the network and
 /// recovers every transmission whose circuit the failure tore down — the
@@ -105,6 +346,7 @@ void schedule_arrival(SystemState& state, const SystemConfig& config,
 void handle_fault_event(SystemState& state, const SystemConfig& config,
                         const fault::FaultEvent& event) {
   const double now = state.events.now();
+  if (state.recorder != nullptr) state.recorder->fault(event);
   const std::vector<topo::Circuit> victims =
       fault::apply_event(state.net, event);
   const bool fail = event.kind == fault::FaultKind::kLinkFail ||
@@ -128,9 +370,7 @@ void handle_fault_event(SystemState& state, const SystemConfig& config,
     ++state.res_epoch[r];
     state.transmitting[p] = 0;
     state.resource_busy[r] = 0;
-    state.busy_resources.update(
-        now, std::count(state.resource_busy.begin(),
-                        state.resource_busy.end(), char{1}));
+    state.busy_resources.update(now, state.busy_resource_count());
 
     Task task = state.in_flight[p];
     ++task.attempts;
@@ -138,21 +378,84 @@ void handle_fault_event(SystemState& state, const SystemConfig& config,
         std::min(config.retry_backoff_base * std::ldexp(1.0, task.attempts - 1),
                  config.retry_backoff_max);
     task.eligible_after = now + backoff;
+    // Head-of-queue re-queue: the interrupted task keeps its place. If that
+    // overflows a bounded queue, the youngest queued task is shed so the
+    // bound holds.
     state.queue[p].push_front(task);
+    if (config.max_queue > 0 &&
+        static_cast<std::int32_t>(state.queue[p].size()) > config.max_queue) {
+      state.queue[p].pop_back();
+      count_shed(state);
+    }
     state.queued_tasks.update(now, state.total_queued());
     if (state.measuring) ++state.retries;
   }
 }
 
+/// Starts one granted transmission: pops the head task of the circuit's
+/// processor, establishes the circuit, and schedules the release and
+/// completion events. Shared verbatim by the live path (scheduler result +
+/// fresh service draw) and the replay path (recorded circuit + service).
+void apply_assignment(SystemState& state, const SystemConfig& config,
+                      const topo::Circuit& circuit, double service) {
+  const auto p = static_cast<std::size_t>(circuit.processor);
+  const auto r = static_cast<std::size_t>(circuit.resource);
+  RSIN_ENSURE(p < state.queue.size() && !state.queue[p].empty(),
+              "assignment names a processor with no pending task (replay "
+              "divergence or scheduler bug)");
+  const double now = state.events.now();
+  Task task = state.queue[p].front();
+  state.queue[p].pop_front();
+  state.queued_tasks.update(now, state.total_queued());
+  state.transmitting[p] = 1;
+  state.in_flight[p] = task;
+  state.resource_busy[r] = 1;
+  state.busy_resources.update(now, state.busy_resource_count());
+  if (state.measuring) {
+    state.wait_time.add(now - task.arrival);
+    if (task.priority > 0) {
+      state.wait_by_priority[task.priority].add(now - task.arrival);
+    }
+  }
+
+  // Circuit released after transmission; resource completes after
+  // transmission + service.
+  state.net.establish(circuit);
+  const std::int64_t proc_epoch = state.proc_epoch[p];
+  state.events.schedule_in(
+      config.transmission_time, [&state, circuit, proc_epoch] {
+        const auto proc = static_cast<std::size_t>(circuit.processor);
+        if (state.proc_epoch[proc] != proc_epoch) return;  // torn down
+        state.net.release(circuit);
+        state.transmitting[proc] = 0;
+      });
+  const std::int64_t res_epoch = state.res_epoch[r];
+  state.events.schedule_in(
+      config.transmission_time + service, [&state, r, res_epoch, task] {
+        if (state.res_epoch[r] != res_epoch) return;  // torn down
+        state.resource_busy[r] = 0;
+        state.busy_resources.update(state.events.now(),
+                                    state.busy_resource_count());
+        ++state.tasks_completed;
+        ++state.completed_total;
+        if (state.measuring) {
+          state.response_time.add(state.events.now() - task.arrival);
+        }
+      });
+}
+
 void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
-                          core::Scheduler& scheduler) {
+                          core::Scheduler* scheduler) {
+  if (state.halted) return;
+  update_overload(state, config, scheduler);
+
   // Snapshot: head-of-queue task of every non-transmitting processor is a
   // pending request; resources not busy are free.
   core::Problem& problem = state.problem;
   problem.requests.clear();
   problem.free_resources.clear();
   problem.network = &state.net;
-  const double now_snapshot = state.events.now();
+  const double now = state.events.now();
   double oldest_wait = 0.0;
   bool dropped_any = false;
   for (std::size_t p = 0; p < state.queue.size(); ++p) {
@@ -161,22 +464,22 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
     // teardown retries on a degraded fabric eventually give up).
     if (config.drop_timeout > 0.0) {
       while (!state.queue[p].empty() &&
-             now_snapshot - state.queue[p].front().arrival >
-                 config.drop_timeout) {
+             now - state.queue[p].front().arrival > config.drop_timeout) {
         state.queue[p].pop_front();
         dropped_any = true;
+        ++state.dropped_total;
         if (state.measuring) ++state.tasks_dropped;
       }
     }
     if (state.queue[p].empty()) continue;
     const Task& task = state.queue[p].front();
-    if (task.eligible_after > now_snapshot) continue;  // still backing off
-    oldest_wait = std::max(oldest_wait, now_snapshot - task.arrival);
+    if (task.eligible_after > now) continue;  // still backing off
+    oldest_wait = std::max(oldest_wait, now - task.arrival);
     problem.requests.push_back(core::Request{
         static_cast<topo::ProcessorId>(p), task.priority, task.type});
   }
   if (dropped_any) {
-    state.queued_tasks.update(now_snapshot, state.total_queued());
+    state.queued_tasks.update(now, state.total_queued());
   }
   // Batching (Fig. 10's wait states): hold off until enough requests have
   // accumulated, unless one has already waited past the override.
@@ -202,82 +505,83 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       opportunities += std::min(counts.first, counts.second);
     }
 
-    const core::ScheduleResult result = scheduler.schedule(problem);
-    const auto violation = core::verify_schedule(problem, result);
-    RSIN_ENSURE(!violation, "scheduler produced an unrealizable schedule: " +
-                                violation.value_or(""));
+    core::ScheduleOutcome outcome = core::ScheduleOutcome::kOptimal;
+    std::int64_t granted = 0;
+
+    if (state.replay != nullptr) {
+      // Replay path: consume the next recorded cycle instead of scheduling.
+      if (state.replay_cycle >= state.replay->cycles.size()) {
+        RSIN_ENSURE(state.replay->crashed,
+                    "replay diverged: the live run recorded no scheduler "
+                    "cycle at t=" +
+                        std::to_string(now));
+        state.halted = true;  // prefix of a crashed run fully replayed
+        return;
+      }
+      const TraceCycle& recorded =
+          state.replay->cycles[state.replay_cycle++];
+      RSIN_ENSURE(recorded.time == now,
+                  "replay diverged: recorded cycle at t=" +
+                      std::to_string(recorded.time) +
+                      " but replay scheduled at t=" + std::to_string(now));
+      outcome = recorded.outcome;
+      granted = static_cast<std::int64_t>(recorded.assignments.size());
+      for (const TraceAssignment& asg : recorded.assignments) {
+        apply_assignment(state, config, asg.circuit, asg.service_time);
+      }
+    } else {
+      // Live path: the overload controller picks the scheduling discipline.
+      core::Scheduler* active =
+          state.level >= 2 ? static_cast<core::Scheduler*>(&state.greedy)
+                           : scheduler;
+      const core::ScheduleResult result = active->schedule(problem);
+      if (state.level == 0) {
+        const auto violation = core::verify_schedule(problem, result);
+        RSIN_ENSURE(!violation,
+                    "scheduler produced an unrealizable schedule: " +
+                        violation.value_or(""));
+      }
+      if (state.level >= 2) {
+        outcome = core::ScheduleOutcome::kDegraded;
+      } else if (const auto* reporting =
+                     dynamic_cast<const core::ReportingScheduler*>(active);
+                 reporting != nullptr) {
+        outcome = reporting->last_report().outcome;
+      }
+      granted = static_cast<std::int64_t>(result.allocated());
+
+      if (state.recorder != nullptr) {
+        state.recorder->begin_cycle(now, outcome);
+      }
+      for (const core::Assignment& assignment : result.assignments) {
+        const double service =
+            state.rng.exponential(1.0 / config.mean_service_time);
+        if (state.recorder != nullptr) {
+          state.recorder->assignment(assignment.circuit, service);
+        }
+        apply_assignment(state, config, assignment.circuit, service);
+      }
+      if (state.recorder != nullptr) state.recorder->commit_cycle();
+    }
 
     if (state.measuring) {
       state.opportunities += opportunities;
-      state.allocated += static_cast<std::int64_t>(result.allocated());
+      state.allocated += granted;
       ++state.cycles;
-      if (const auto* fallback =
-              dynamic_cast<const core::FallbackScheduler*>(&scheduler);
-          fallback != nullptr &&
-          fallback->last_report().outcome != core::ScheduleOutcome::kOptimal) {
-        ++state.degraded_cycles;
-      }
-    }
-
-    const double now = state.events.now();
-    for (const core::Assignment& assignment : result.assignments) {
-      const auto p = static_cast<std::size_t>(assignment.request.processor);
-      const auto r = static_cast<std::size_t>(assignment.resource.resource);
-      Task task = state.queue[p].front();
-      state.queue[p].pop_front();
-      state.queued_tasks.update(now, state.total_queued());
-      state.transmitting[p] = 1;
-      state.in_flight[p] = task;
-      state.resource_busy[r] = 1;
-      state.busy_resources.update(
-          now, std::count(state.resource_busy.begin(),
-                          state.resource_busy.end(), char{1}));
-      if (state.measuring) {
-        state.wait_time.add(now - task.arrival);
-        if (task.priority > 0) {
-          state.wait_by_priority[task.priority].add(now - task.arrival);
-        }
-      }
-
-      // Circuit released after transmission; resource completes after
-      // transmission + service.
-      const topo::Circuit circuit = assignment.circuit;
-      state.net.establish(circuit);
-      const std::int64_t proc_epoch = state.proc_epoch[p];
-      state.events.schedule_in(
-          config.transmission_time, [&state, circuit, proc_epoch] {
-            const auto proc = static_cast<std::size_t>(circuit.processor);
-            if (state.proc_epoch[proc] != proc_epoch) return;  // torn down
-            state.net.release(circuit);
-            state.transmitting[proc] = 0;
-          });
-      const double service =
-          state.rng.exponential(1.0 / config.mean_service_time);
-      const std::int64_t res_epoch = state.res_epoch[r];
-      state.events.schedule_in(
-          config.transmission_time + service, [&state, r, res_epoch, task] {
-            if (state.res_epoch[r] != res_epoch) return;  // torn down
-            state.resource_busy[r] = 0;
-            state.busy_resources.update(
-                state.events.now(),
-                std::count(state.resource_busy.begin(),
-                           state.resource_busy.end(), char{1}));
-            ++state.tasks_completed;
-            if (state.measuring) {
-              state.response_time.add(state.events.now() - task.arrival);
-            }
-          });
+      if (outcome != core::ScheduleOutcome::kOptimal) ++state.degraded_cycles;
     }
   }
+  if (config.validate_invariants) check_invariants(state, config);
   state.events.schedule_in(config.cycle_interval, [&state, &config,
-                                                   &scheduler] {
+                                                   scheduler] {
     run_scheduling_cycle(state, config, scheduler);
   });
 }
 
 void schedule_arrival(SystemState& state, const SystemConfig& config,
                       topo::ProcessorId p) {
-  const double gap = state.rng.exponential(config.arrival_rate);
+  const double gap =
+      state.rng.exponential(arrival_rate_at(config, state.events.now()));
   state.events.schedule_in(gap, [&state, &config, p] {
     Task task;
     task.arrival = state.events.now();
@@ -289,11 +593,170 @@ void schedule_arrival(SystemState& state, const SystemConfig& config,
                         ? static_cast<std::int32_t>(state.rng.uniform_int(
                               1, config.priority_levels))
                         : 0;
-    state.queue[static_cast<std::size_t>(p)].push_back(task);
-    state.queued_tasks.update(state.events.now(), state.total_queued());
+    if (state.recorder != nullptr) {
+      state.recorder->arrival(task.arrival, p, task.type, task.priority);
+    }
     ++state.tasks_arrived;
+    ++state.arrived_total;
+    admit_task(state, config, static_cast<std::size_t>(p), task);
+    state.queued_tasks.update(state.events.now(), state.total_queued());
     schedule_arrival(state, config, p);
   });
+}
+
+SystemMetrics run_simulation(const topo::Network& base,
+                             core::Scheduler* scheduler,
+                             const SystemConfig& config,
+                             TraceRecorder* recorder, const Trace* replay) {
+  config.validate();
+  SystemState state(base, config);
+  state.recorder = recorder;
+  state.replay = replay;
+  if (recorder != nullptr) recorder->begin(config, state.net.shape_hash());
+
+  try {
+    if (replay != nullptr) {
+      // External inputs come from the trace: recorded faults, then recorded
+      // arrivals (admission control re-runs deterministically on them).
+      for (const fault::FaultEvent& event : replay->faults) {
+        state.events.schedule(event.time, [&state, &config, event] {
+          handle_fault_event(state, config, event);
+        });
+      }
+      for (const TraceArrival& arrival : replay->arrivals) {
+        state.events.schedule(arrival.time, [&state, &config, arrival] {
+          Task task;
+          task.arrival = arrival.time;
+          task.type = arrival.type;
+          task.priority = arrival.priority;
+          ++state.tasks_arrived;
+          ++state.arrived_total;
+          admit_task(state, config,
+                     static_cast<std::size_t>(arrival.processor), task);
+          state.queued_tasks.update(state.events.now(), state.total_queued());
+        });
+      }
+    } else {
+      // Replay the injector's deterministic fail/repair stream as events.
+      if (config.faults.link_mttf > 0 || config.faults.switch_mttf > 0) {
+        fault::FaultConfig fault_config = config.faults;
+        if (fault_config.horizon <= 0) {
+          fault_config.horizon = config.warmup_time + config.measure_time;
+        }
+        const fault::FaultInjector injector(fault_config);
+        for (const fault::FaultEvent& event :
+             injector.make_schedule(state.net)) {
+          state.events.schedule(event.time, [&state, &config, event] {
+            handle_fault_event(state, config, event);
+          });
+        }
+      }
+      for (topo::ProcessorId p = 0; p < state.net.processor_count(); ++p) {
+        schedule_arrival(state, config, p);
+      }
+    }
+    state.events.schedule_in(config.cycle_interval, [&state, &config,
+                                                     scheduler] {
+      run_scheduling_cycle(state, config, scheduler);
+    });
+
+    // A crashed trace replays its prefix: stop where the live run stopped.
+    double warmup_end = config.warmup_time;
+    double end_time = config.warmup_time + config.measure_time;
+    if (replay != nullptr && replay->crashed) {
+      warmup_end = std::min(warmup_end, replay->crash_time);
+      end_time = std::min(end_time, replay->crash_time);
+    }
+
+    state.events.run_until(warmup_end);
+    state.measuring = true;
+    state.busy_resources.reset(state.events.now());
+    state.queued_tasks.reset(state.events.now());
+    state.faulty_links.reset(state.events.now());
+    state.faulty_links.update(state.events.now(),
+                              state.net.faulty_link_count());
+    state.tasks_arrived = 0;
+    state.tasks_completed = 0;
+    state.time_in_level = {0.0, 0.0, 0.0};
+    state.level_clock = state.events.now();
+
+    state.events.run_until(end_time);
+
+    // Task conservation must hold at any instant; check it once per run
+    // even when the per-cycle sweep is off (it is cheap here).
+    check_invariants(state, config);
+
+    const double span = end_time - warmup_end;
+    state.time_in_level[static_cast<std::size_t>(state.level)] +=
+        end_time - state.level_clock;
+
+    SystemMetrics metrics;
+    metrics.resource_utilization =
+        state.busy_resources.average(end_time) /
+        static_cast<double>(state.net.resource_count());
+    metrics.mean_response_time = state.response_time.mean();
+    metrics.mean_wait_time = state.wait_time.mean();
+    metrics.blocking_probability =
+        state.opportunities > 0
+            ? 1.0 - static_cast<double>(state.allocated) /
+                        static_cast<double>(state.opportunities)
+            : 0.0;
+    metrics.mean_queue_length = state.queued_tasks.average(end_time);
+    for (const auto& [priority, stat] : state.wait_by_priority) {
+      metrics.mean_wait_by_priority[priority] = stat.mean();
+    }
+    metrics.tasks_arrived = state.tasks_arrived;
+    metrics.tasks_completed = state.tasks_completed;
+    metrics.scheduling_cycles = state.cycles;
+    metrics.availability =
+        state.net.link_count() > 0
+            ? 1.0 - state.faulty_links.average(end_time) /
+                        static_cast<double>(state.net.link_count())
+            : 1.0;
+    metrics.degraded_cycle_fraction =
+        state.cycles > 0 ? static_cast<double>(state.degraded_cycles) /
+                               static_cast<double>(state.cycles)
+                         : 0.0;
+    metrics.faults_injected = state.faults_injected;
+    metrics.repairs = state.repairs;
+    metrics.circuits_torn_down = state.circuits_torn_down;
+    metrics.retries = state.retries;
+    metrics.tasks_dropped = state.tasks_dropped;
+    metrics.tasks_shed = state.tasks_shed;
+    if (span > 0) {
+      for (std::size_t level = 0; level < kDegradationLevels; ++level) {
+        metrics.time_in_level[level] = state.time_in_level[level] / span;
+      }
+      metrics.overload_fraction =
+          metrics.time_in_level[1] + metrics.time_in_level[2];
+    }
+    metrics.degradation_transitions = state.level_transitions;
+    metrics.final_level = static_cast<DegradationLevel>(state.level);
+
+    if (recorder != nullptr) {
+      recorder->note_metric("tasks_arrived",
+                            std::to_string(metrics.tasks_arrived));
+      recorder->note_metric("tasks_completed",
+                            std::to_string(metrics.tasks_completed));
+      recorder->note_metric("tasks_shed", std::to_string(metrics.tasks_shed));
+      recorder->note_metric("tasks_dropped",
+                            std::to_string(metrics.tasks_dropped));
+      recorder->note_metric("scheduling_cycles",
+                            std::to_string(metrics.scheduling_cycles));
+      recorder->note_metric("final_level", to_string(metrics.final_level));
+    }
+    return metrics;
+  } catch (const std::exception& error) {
+    // Repro bundle: freeze the trace at the crash point and, if configured,
+    // dump it to disk before propagating the failure.
+    if (recorder != nullptr) {
+      recorder->crash(state.events.now(), error.what());
+      if (!config.trace_on_violation.empty()) {
+        recorder->trace().save_file(config.trace_on_violation);
+      }
+    }
+    throw;
+  }
 }
 
 }  // namespace
@@ -301,77 +764,26 @@ void schedule_arrival(SystemState& state, const SystemConfig& config,
 SystemMetrics simulate_system(const topo::Network& net,
                               core::Scheduler& scheduler,
                               const SystemConfig& config) {
-  RSIN_REQUIRE(config.arrival_rate > 0, "arrival rate must be positive");
-  RSIN_REQUIRE(config.cycle_interval > 0, "cycle interval must be positive");
-  SystemState state(net, config);
-
-  // Replay the injector's deterministic fail/repair stream as events.
-  if (config.faults.link_mttf > 0 || config.faults.switch_mttf > 0) {
-    fault::FaultConfig fault_config = config.faults;
-    if (fault_config.horizon <= 0) {
-      fault_config.horizon = config.warmup_time + config.measure_time;
-    }
-    const fault::FaultInjector injector(fault_config);
-    for (const fault::FaultEvent& event : injector.make_schedule(state.net)) {
-      state.events.schedule(event.time, [&state, &config, event] {
-        handle_fault_event(state, config, event);
-      });
-    }
+  if (!config.trace_on_violation.empty()) {
+    // The caller wants a repro bundle on failure but no trace otherwise:
+    // record internally so a crash still has everything to dump.
+    TraceRecorder recorder;
+    return run_simulation(net, &scheduler, config, &recorder, nullptr);
   }
+  return run_simulation(net, &scheduler, config, nullptr, nullptr);
+}
 
-  for (topo::ProcessorId p = 0; p < state.net.processor_count(); ++p) {
-    schedule_arrival(state, config, p);
-  }
-  state.events.schedule_in(config.cycle_interval, [&state, &config,
-                                                   &scheduler] {
-    run_scheduling_cycle(state, config, scheduler);
-  });
+SystemMetrics simulate_system(const topo::Network& net,
+                              core::Scheduler& scheduler,
+                              const SystemConfig& config,
+                              TraceRecorder& recorder) {
+  return run_simulation(net, &scheduler, config, &recorder, nullptr);
+}
 
-  state.events.run_until(config.warmup_time);
-  state.measuring = true;
-  state.busy_resources.reset(state.events.now());
-  state.queued_tasks.reset(state.events.now());
-  state.faulty_links.reset(state.events.now());
-  state.faulty_links.update(state.events.now(), state.net.faulty_link_count());
-  state.tasks_arrived = 0;
-  state.tasks_completed = 0;
-
-  const double end_time = config.warmup_time + config.measure_time;
-  state.events.run_until(end_time);
-
-  SystemMetrics metrics;
-  metrics.resource_utilization =
-      state.busy_resources.average(end_time) /
-      static_cast<double>(state.net.resource_count());
-  metrics.mean_response_time = state.response_time.mean();
-  metrics.mean_wait_time = state.wait_time.mean();
-  metrics.blocking_probability =
-      state.opportunities > 0
-          ? 1.0 - static_cast<double>(state.allocated) /
-                      static_cast<double>(state.opportunities)
-          : 0.0;
-  metrics.mean_queue_length = state.queued_tasks.average(end_time);
-  for (const auto& [priority, stat] : state.wait_by_priority) {
-    metrics.mean_wait_by_priority[priority] = stat.mean();
-  }
-  metrics.tasks_arrived = state.tasks_arrived;
-  metrics.tasks_completed = state.tasks_completed;
-  metrics.scheduling_cycles = state.cycles;
-  metrics.availability =
-      state.net.link_count() > 0
-          ? 1.0 - state.faulty_links.average(end_time) /
-                      static_cast<double>(state.net.link_count())
-          : 1.0;
-  metrics.degraded_cycle_fraction =
-      state.cycles > 0 ? static_cast<double>(state.degraded_cycles) /
-                             static_cast<double>(state.cycles)
-                       : 0.0;
-  metrics.faults_injected = state.faults_injected;
-  metrics.repairs = state.repairs;
-  metrics.circuits_torn_down = state.circuits_torn_down;
-  metrics.retries = state.retries;
-  metrics.tasks_dropped = state.tasks_dropped;
-  return metrics;
+SystemMetrics replay_system(const topo::Network& net, const Trace& trace) {
+  RSIN_REQUIRE(net.shape_hash() == trace.shape_hash,
+               "replay: network shape does not match the recorded trace");
+  return run_simulation(net, nullptr, trace.config, nullptr, &trace);
 }
 
 }  // namespace rsin::sim

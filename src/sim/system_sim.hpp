@@ -20,10 +20,26 @@
 // task is re-queued at the head of its processor's queue with bounded
 // exponential backoff (and eventually dropped if a drop timeout is set), and
 // the availability / retry / teardown metrics record the damage.
+//
+// Overload: per-processor queues can be bounded (`max_queue`) with a
+// configurable shed policy, and an optional hysteretic overload detector
+// steps the runtime through degradation levels (optimal scheduling →
+// checks-off fast path → greedy) so the system stays stable through
+// arrival bursts (`burst_*`) and fault storms, recovering when load drops.
+// Heavy-traffic resource-sharing networks need exactly these simple-form
+// control policies to remain stable (Budhiraja & Johnson; Shah & Shin).
+//
+// Record/replay: a sim::TraceRecorder captures every external input of a
+// run (arrivals, faults, per-cycle scheduler decisions and service draws);
+// replay_system() re-executes a recorded trace with bitwise identical
+// metrics and no scheduler at all — the repro-bundle mechanism behind the
+// chaos soak harness (see sim/trace.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
@@ -32,6 +48,29 @@
 #include "util/rng.hpp"
 
 namespace rsin::sim {
+
+/// What happens when a task arrives at a full bounded queue.
+enum class ShedPolicy : std::uint8_t {
+  kDropTail,     ///< Reject the arriving task.
+  kOldestFirst,  ///< Evict the queued task closest to its drop deadline
+                 ///< (the oldest arrival) and admit the new one.
+};
+
+[[nodiscard]] const char* to_string(ShedPolicy policy);
+
+/// Degradation ladder of the overload controller. Levels are ordered by
+/// decreasing per-cycle cost; the detector escalates one level at a time
+/// under sustained overload and de-escalates hysteretically.
+enum class DegradationLevel : std::uint8_t {
+  kOptimal = 0,  ///< Configured scheduler, all self-checks on.
+  kRelaxed = 1,  ///< Configured scheduler, optional self-checks suspended
+                 ///< (warm differential check, per-cycle verify_schedule).
+  kGreedy = 2,   ///< First-fit greedy scheduling only.
+};
+
+inline constexpr std::size_t kDegradationLevels = 3;
+
+[[nodiscard]] const char* to_string(DegradationLevel level);
 
 struct SystemConfig {
   double arrival_rate = 0.5;       ///< Tasks per time unit per processor.
@@ -63,6 +102,48 @@ struct SystemConfig {
   double retry_backoff_max = 0.8;
   /// Pending tasks older than this are dropped (<= 0: never drop).
   double drop_timeout = 0.0;
+
+  // --- admission control (bounded queues) --------------------------------
+  /// Per-processor queue bound; 0 = unbounded (the seed behavior). A task
+  /// arriving at a full queue is shed per `shed_policy`; a teardown victim
+  /// re-queued into a full queue evicts the youngest queued task instead,
+  /// so the bound always holds.
+  std::int32_t max_queue = 0;
+  ShedPolicy shed_policy = ShedPolicy::kDropTail;
+
+  // --- overload detector / degradation controller ------------------------
+  /// Escalation threshold on the time-smoothed mean queue length per
+  /// processor; <= 0 disables the controller (system stays at kOptimal).
+  double overload_on = 0.0;
+  /// De-escalation threshold as a fraction of `overload_on` (hysteresis):
+  /// the controller steps back down only once the smoothed queue falls
+  /// below overload_on * overload_off_fraction.
+  double overload_off_fraction = 0.5;
+  /// Time constant of the queue-length EWMA the detector watches.
+  double overload_window = 5.0;
+  /// Minimum scheduling cycles between level transitions (debounce).
+  std::int32_t overload_dwell_cycles = 20;
+
+  // --- overload burst (E20 storm experiments) ----------------------------
+  /// Arrival-rate multiplier applied during [burst_start, burst_start +
+  /// burst_duration); 1 = no burst.
+  double burst_multiplier = 1.0;
+  double burst_start = 0.0;
+  double burst_duration = 0.0;
+
+  // --- robustness runtime ------------------------------------------------
+  /// Run the per-cycle runtime invariant sweep (circuit-leak check,
+  /// occupancy/availability bookkeeping, queue bounds). Cheap but not free;
+  /// on by default in the chaos soak, off in production sweeps.
+  bool validate_invariants = false;
+  /// When non-empty and an invariant trips mid-run, the simulator dumps a
+  /// replayable trace of the run so far to this path (recording is enabled
+  /// internally if the caller did not pass a recorder) and rethrows.
+  std::string trace_on_violation;
+
+  /// Validates every field (finite, in range); throws std::invalid_argument
+  /// with the offending field named. simulate_system calls this on entry.
+  void validate() const;
 };
 
 struct SystemMetrics {
@@ -80,20 +161,50 @@ struct SystemMetrics {
 
   // Fault / degraded-mode metrics (trivial on a fault-free run).
   double availability = 1.0;  ///< Time-weighted fraction of non-faulty links.
-  /// Fraction of scheduling cycles served by the degraded path (only
-  /// nonzero when the scheduler is a core::FallbackScheduler).
+  /// Fraction of scheduling cycles served by a degraded or fallback path
+  /// (nonzero only when the scheduler reports, i.e. is a
+  /// core::ReportingScheduler such as FallbackScheduler or
+  /// CircuitBreakerScheduler, or when the overload controller ran greedy).
   double degraded_cycle_fraction = 0.0;
   std::int64_t faults_injected = 0;    ///< Fail events during measurement.
   std::int64_t repairs = 0;            ///< Repair events during measurement.
   std::int64_t circuits_torn_down = 0; ///< Transmissions killed by failures.
   std::int64_t retries = 0;            ///< Victim tasks re-queued.
   std::int64_t tasks_dropped = 0;      ///< Tasks abandoned past drop_timeout.
+
+  // Overload / admission metrics (trivial when admission control and the
+  // overload controller are disabled).
+  std::int64_t tasks_shed = 0;  ///< Admission-control rejections/evictions.
+  /// Time-weighted fraction of the measured horizon above kOptimal.
+  double overload_fraction = 0.0;
+  /// Time-weighted fraction of the measured horizon in each level.
+  std::array<double, kDegradationLevels> time_in_level = {1.0, 0.0, 0.0};
+  std::int64_t degradation_transitions = 0;  ///< Level changes (measured).
+  /// Degradation level when measurement ended (recovery checks).
+  DegradationLevel final_level = DegradationLevel::kOptimal;
 };
+
+class TraceRecorder;  // sim/trace.hpp
+struct Trace;         // sim/trace.hpp
 
 /// Simulates the system on a private copy of `net`; the scheduler is called
 /// once per scheduling cycle with the current snapshot.
 SystemMetrics simulate_system(const topo::Network& net,
                               core::Scheduler& scheduler,
                               const SystemConfig& config);
+
+/// As above, additionally recording every external input (arrivals, faults,
+/// scheduler decisions, service draws) into `recorder` for exact replay.
+SystemMetrics simulate_system(const topo::Network& net,
+                              core::Scheduler& scheduler,
+                              const SystemConfig& config,
+                              TraceRecorder& recorder);
+
+/// Re-executes a recorded run from its trace: same config, same arrival and
+/// fault streams, and the recorded per-cycle decisions instead of a live
+/// scheduler. Produces bitwise identical SystemMetrics for a complete
+/// trace; a crashed trace replays its prefix up to the crash time. Throws
+/// std::invalid_argument when `net`'s shape does not match the trace.
+SystemMetrics replay_system(const topo::Network& net, const Trace& trace);
 
 }  // namespace rsin::sim

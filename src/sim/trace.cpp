@@ -1,0 +1,413 @@
+#include "sim/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::sim {
+namespace {
+
+// Doubles are written with std::to_chars (shortest round-trip form) and read
+// back with std::from_chars, so save -> load -> replay reproduces the exact
+// bit pattern of every recorded time. Formatted iostream output would lose
+// the low bits and break bitwise replay.
+std::string fmt(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  RSIN_ENSURE(ec == std::errc{}, "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+double parse_double(const std::string& token, const char* what) {
+  double value = 0.0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  RSIN_REQUIRE(ec == std::errc{} && ptr == last,
+               std::string("trace: bad double for ") + what + ": " + token);
+  return value;
+}
+
+std::int64_t parse_int(const std::string& token, const char* what) {
+  std::int64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  RSIN_REQUIRE(ec == std::errc{} && ptr == last,
+               std::string("trace: bad integer for ") + what + ": " + token);
+  return value;
+}
+
+std::uint64_t parse_uint(const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  RSIN_REQUIRE(ec == std::errc{} && ptr == last,
+               std::string("trace: bad unsigned for ") + what + ": " + token);
+  return value;
+}
+
+void save_config(std::ostream& out, const SystemConfig& c) {
+  out << "cfg arrival_rate " << fmt(c.arrival_rate) << '\n'
+      << "cfg transmission_time " << fmt(c.transmission_time) << '\n'
+      << "cfg mean_service_time " << fmt(c.mean_service_time) << '\n'
+      << "cfg cycle_interval " << fmt(c.cycle_interval) << '\n'
+      << "cfg warmup_time " << fmt(c.warmup_time) << '\n'
+      << "cfg measure_time " << fmt(c.measure_time) << '\n'
+      << "cfg resource_types " << c.resource_types << '\n'
+      << "cfg priority_levels " << c.priority_levels << '\n'
+      << "cfg min_pending_requests " << c.min_pending_requests << '\n'
+      << "cfg max_batch_wait " << fmt(c.max_batch_wait) << '\n'
+      << "cfg seed " << c.seed << '\n'
+      << "cfg retry_backoff_base " << fmt(c.retry_backoff_base) << '\n'
+      << "cfg retry_backoff_max " << fmt(c.retry_backoff_max) << '\n'
+      << "cfg drop_timeout " << fmt(c.drop_timeout) << '\n'
+      << "cfg max_queue " << c.max_queue << '\n'
+      << "cfg shed_policy " << static_cast<int>(c.shed_policy) << '\n'
+      << "cfg overload_on " << fmt(c.overload_on) << '\n'
+      << "cfg overload_off_fraction " << fmt(c.overload_off_fraction) << '\n'
+      << "cfg overload_window " << fmt(c.overload_window) << '\n'
+      << "cfg overload_dwell_cycles " << c.overload_dwell_cycles << '\n'
+      << "cfg burst_multiplier " << fmt(c.burst_multiplier) << '\n'
+      << "cfg burst_start " << fmt(c.burst_start) << '\n'
+      << "cfg burst_duration " << fmt(c.burst_duration) << '\n'
+      << "cfg validate_invariants " << (c.validate_invariants ? 1 : 0) << '\n'
+      << "cfg fault_link_mttf " << fmt(c.faults.link_mttf) << '\n'
+      << "cfg fault_link_mttr " << fmt(c.faults.link_mttr) << '\n'
+      << "cfg fault_switch_mttf " << fmt(c.faults.switch_mttf) << '\n'
+      << "cfg fault_switch_mttr " << fmt(c.faults.switch_mttr) << '\n'
+      << "cfg fault_horizon " << fmt(c.faults.horizon) << '\n'
+      << "cfg fault_transient " << (c.faults.transient ? 1 : 0) << '\n'
+      << "cfg fault_fabric_links_only " << (c.faults.fabric_links_only ? 1 : 0)
+      << '\n'
+      << "cfg fault_seed " << c.faults.seed << '\n';
+}
+
+void apply_config_field(SystemConfig& c, const std::string& key,
+                        const std::string& value) {
+  const auto d = [&] { return parse_double(value, key.c_str()); };
+  const auto i = [&] {
+    return static_cast<std::int32_t>(parse_int(value, key.c_str()));
+  };
+  const auto u = [&] { return parse_uint(value, key.c_str()); };
+  const auto b = [&] { return parse_int(value, key.c_str()) != 0; };
+  if (key == "arrival_rate") {
+    c.arrival_rate = d();
+  } else if (key == "transmission_time") {
+    c.transmission_time = d();
+  } else if (key == "mean_service_time") {
+    c.mean_service_time = d();
+  } else if (key == "cycle_interval") {
+    c.cycle_interval = d();
+  } else if (key == "warmup_time") {
+    c.warmup_time = d();
+  } else if (key == "measure_time") {
+    c.measure_time = d();
+  } else if (key == "resource_types") {
+    c.resource_types = i();
+  } else if (key == "priority_levels") {
+    c.priority_levels = i();
+  } else if (key == "min_pending_requests") {
+    c.min_pending_requests = i();
+  } else if (key == "max_batch_wait") {
+    c.max_batch_wait = d();
+  } else if (key == "seed") {
+    c.seed = u();
+  } else if (key == "retry_backoff_base") {
+    c.retry_backoff_base = d();
+  } else if (key == "retry_backoff_max") {
+    c.retry_backoff_max = d();
+  } else if (key == "drop_timeout") {
+    c.drop_timeout = d();
+  } else if (key == "max_queue") {
+    c.max_queue = i();
+  } else if (key == "shed_policy") {
+    const std::int64_t raw = parse_int(value, key.c_str());
+    RSIN_REQUIRE(raw >= 0 && raw <= 1, "trace: bad shed_policy: " + value);
+    c.shed_policy = static_cast<ShedPolicy>(raw);
+  } else if (key == "overload_on") {
+    c.overload_on = d();
+  } else if (key == "overload_off_fraction") {
+    c.overload_off_fraction = d();
+  } else if (key == "overload_window") {
+    c.overload_window = d();
+  } else if (key == "overload_dwell_cycles") {
+    c.overload_dwell_cycles = i();
+  } else if (key == "burst_multiplier") {
+    c.burst_multiplier = d();
+  } else if (key == "burst_start") {
+    c.burst_start = d();
+  } else if (key == "burst_duration") {
+    c.burst_duration = d();
+  } else if (key == "validate_invariants") {
+    c.validate_invariants = b();
+  } else if (key == "fault_link_mttf") {
+    c.faults.link_mttf = d();
+  } else if (key == "fault_link_mttr") {
+    c.faults.link_mttr = d();
+  } else if (key == "fault_switch_mttf") {
+    c.faults.switch_mttf = d();
+  } else if (key == "fault_switch_mttr") {
+    c.faults.switch_mttr = d();
+  } else if (key == "fault_horizon") {
+    c.faults.horizon = d();
+  } else if (key == "fault_transient") {
+    c.faults.transient = b();
+  } else if (key == "fault_fabric_links_only") {
+    c.faults.fabric_links_only = b();
+  } else if (key == "fault_seed") {
+    c.faults.seed = u();
+  } else {
+    RSIN_REQUIRE(false, "trace: unknown config key: " + key);
+  }
+}
+
+}  // namespace
+
+void Trace::save(std::ostream& out) const {
+  out << "RSINTRACE " << kVersion << '\n';
+  save_config(out, config);
+  out << "shape " << shape_hash << '\n';
+  for (const TraceArrival& a : arrivals) {
+    out << "A " << fmt(a.time) << ' ' << a.processor << ' ' << a.type << ' '
+        << a.priority << '\n';
+  }
+  for (const fault::FaultEvent& f : faults) {
+    out << "F " << fmt(f.time) << ' ' << static_cast<int>(f.kind) << ' '
+        << f.element << '\n';
+  }
+  for (const TraceCycle& cycle : cycles) {
+    out << "C " << fmt(cycle.time) << ' ' << static_cast<int>(cycle.outcome)
+        << ' ' << cycle.assignments.size() << '\n';
+    for (const TraceAssignment& asg : cycle.assignments) {
+      out << "G " << asg.circuit.processor << ' ' << asg.circuit.resource
+          << ' ' << fmt(asg.service_time) << ' ' << asg.circuit.links.size();
+      for (const topo::LinkId id : asg.circuit.links) out << ' ' << id;
+      out << '\n';
+    }
+  }
+  if (crashed) {
+    out << "X " << fmt(crash_time) << ' ' << crash_reason << '\n';
+  }
+  for (const auto& [key, value] : summary) {
+    out << "M " << key << ' ' << value << '\n';
+  }
+  out << "END\n";
+  RSIN_ENSURE(static_cast<bool>(out), "trace: write failed");
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  RSIN_REQUIRE(out.is_open(), "trace: cannot open for writing: " + path);
+  save(out);
+  out.flush();
+  RSIN_REQUIRE(static_cast<bool>(out), "trace: write failed: " + path);
+}
+
+Trace Trace::load(std::istream& in) {
+  Trace trace;
+  std::string line;
+
+  RSIN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "trace: empty stream");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::int32_t version = 0;
+    header >> magic >> version;
+    RSIN_REQUIRE(magic == "RSINTRACE", "trace: bad magic: " + line);
+    RSIN_REQUIRE(version == kVersion,
+                 "trace: unsupported version " + std::to_string(version) +
+                     " (expected " + std::to_string(kVersion) + ")");
+  }
+
+  bool saw_end = false;
+  TraceCycle* open_cycle = nullptr;
+  std::size_t expected_assignments = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (open_cycle != nullptr &&
+        open_cycle->assignments.size() < expected_assignments) {
+      RSIN_REQUIRE(tag == "G",
+                   "trace: cycle truncated (expected assignment): " + line);
+    }
+    if (tag == "cfg") {
+      std::string key;
+      std::string value;
+      fields >> key >> value;
+      RSIN_REQUIRE(static_cast<bool>(fields), "trace: bad cfg line: " + line);
+      apply_config_field(trace.config, key, value);
+    } else if (tag == "shape") {
+      std::string value;
+      fields >> value;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad shape line: " + line);
+      trace.shape_hash = parse_uint(value, "shape");
+    } else if (tag == "A") {
+      std::string time;
+      TraceArrival a;
+      fields >> time >> a.processor >> a.type >> a.priority;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad arrival line: " + line);
+      a.time = parse_double(time, "arrival time");
+      trace.arrivals.push_back(a);
+    } else if (tag == "F") {
+      std::string time;
+      int kind = 0;
+      fault::FaultEvent event;
+      fields >> time >> kind >> event.element;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad fault line: " + line);
+      RSIN_REQUIRE(kind >= 0 && kind <= 3, "trace: bad fault kind: " + line);
+      event.time = parse_double(time, "fault time");
+      event.kind = static_cast<fault::FaultKind>(kind);
+      trace.faults.push_back(event);
+    } else if (tag == "C") {
+      std::string time;
+      int outcome = 0;
+      std::size_t count = 0;
+      fields >> time >> outcome >> count;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad cycle line: " + line);
+      RSIN_REQUIRE(outcome >= 0 &&
+                       outcome <= static_cast<int>(
+                                      core::ScheduleOutcome::kColdFallback),
+                   "trace: bad cycle outcome: " + line);
+      TraceCycle cycle;
+      cycle.time = parse_double(time, "cycle time");
+      cycle.outcome = static_cast<core::ScheduleOutcome>(outcome);
+      cycle.assignments.reserve(count);
+      trace.cycles.push_back(std::move(cycle));
+      open_cycle = &trace.cycles.back();
+      expected_assignments = count;
+    } else if (tag == "G") {
+      RSIN_REQUIRE(open_cycle != nullptr &&
+                       open_cycle->assignments.size() < expected_assignments,
+                   "trace: assignment outside a cycle: " + line);
+      std::string service;
+      std::size_t n_links = 0;
+      TraceAssignment asg;
+      fields >> asg.circuit.processor >> asg.circuit.resource >> service >>
+          n_links;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad assignment line: " + line);
+      asg.service_time = parse_double(service, "service time");
+      asg.circuit.links.reserve(n_links);
+      for (std::size_t i = 0; i < n_links; ++i) {
+        topo::LinkId id = topo::kInvalidId;
+        fields >> id;
+        RSIN_REQUIRE(static_cast<bool>(fields),
+                     "trace: assignment link list truncated: " + line);
+        asg.circuit.links.push_back(id);
+      }
+      open_cycle->assignments.push_back(std::move(asg));
+    } else if (tag == "X") {
+      std::string time;
+      fields >> time;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad crash line: " + line);
+      trace.crashed = true;
+      trace.crash_time = parse_double(time, "crash time");
+      std::getline(fields, trace.crash_reason);
+      if (!trace.crash_reason.empty() && trace.crash_reason.front() == ' ') {
+        trace.crash_reason.erase(0, 1);
+      }
+    } else if (tag == "M") {
+      std::string key;
+      fields >> key;
+      RSIN_REQUIRE(static_cast<bool>(fields),
+                   "trace: bad summary line: " + line);
+      std::string value;
+      std::getline(fields, value);
+      if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      trace.summary.emplace_back(std::move(key), std::move(value));
+    } else if (tag == "END") {
+      saw_end = true;
+      break;
+    } else {
+      RSIN_REQUIRE(false, "trace: unknown record: " + line);
+    }
+  }
+  RSIN_REQUIRE(saw_end, "trace: missing END marker (truncated file)");
+  RSIN_REQUIRE(open_cycle == nullptr ||
+                   open_cycle->assignments.size() == expected_assignments,
+               "trace: last cycle truncated");
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  RSIN_REQUIRE(in.is_open(), "trace: cannot open for reading: " + path);
+  return load(in);
+}
+
+void TraceRecorder::begin(const SystemConfig& config,
+                          std::uint64_t shape_hash) {
+  trace_ = Trace{};
+  trace_.config = config;
+  // A replayed run must not re-arm the crash dump: the bundle is the dump.
+  trace_.config.trace_on_violation.clear();
+  trace_.shape_hash = shape_hash;
+  pending_ = TraceCycle{};
+  cycle_open_ = false;
+}
+
+void TraceRecorder::arrival(double time, topo::ProcessorId processor,
+                            std::int32_t type, std::int32_t priority) {
+  trace_.arrivals.push_back(TraceArrival{time, processor, type, priority});
+}
+
+void TraceRecorder::fault(const fault::FaultEvent& event) {
+  trace_.faults.push_back(event);
+}
+
+void TraceRecorder::begin_cycle(double time, core::ScheduleOutcome outcome) {
+  pending_ = TraceCycle{};
+  pending_.time = time;
+  pending_.outcome = outcome;
+  cycle_open_ = true;
+}
+
+void TraceRecorder::assignment(const topo::Circuit& circuit,
+                               double service_time) {
+  RSIN_ENSURE(cycle_open_, "TraceRecorder: assignment outside a cycle");
+  pending_.assignments.push_back(TraceAssignment{circuit, service_time});
+}
+
+void TraceRecorder::commit_cycle() {
+  RSIN_ENSURE(cycle_open_, "TraceRecorder: no cycle to commit");
+  trace_.cycles.push_back(std::move(pending_));
+  pending_ = TraceCycle{};
+  cycle_open_ = false;
+}
+
+void TraceRecorder::crash(double time, const std::string& reason) {
+  // Discard any half-recorded cycle: replay re-raises at crash_time instead.
+  pending_ = TraceCycle{};
+  cycle_open_ = false;
+  trace_.crashed = true;
+  trace_.crash_time = time;
+  // Keep the reason single-line; the format is line-oriented.
+  std::string clean = reason;
+  for (char& ch : clean) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  trace_.crash_reason = clean;
+}
+
+void TraceRecorder::note_metric(const std::string& key,
+                                const std::string& value) {
+  trace_.summary.emplace_back(key, value);
+}
+
+}  // namespace rsin::sim

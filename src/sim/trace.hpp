@@ -1,0 +1,105 @@
+// Deterministic record/replay traces for the system simulation.
+//
+// A Trace captures every external input of one simulate_system run — the
+// arrival stream (with types/priorities), the injector's fault events, and
+// the per-cycle scheduler decisions (assigned circuits plus the service
+// times drawn for them) — together with the full SystemConfig and a hash of
+// the network shape. replay_system() re-executes the run from the trace
+// alone: no scheduler, no RNG draws after initialization, and bitwise
+// identical SystemMetrics (the DES between those inputs is deterministic).
+//
+// Traces are the repro-bundle currency of the robustness runtime: when an
+// invariant trips mid-run, the recorder dumps everything up to the crash
+// (`crashed` / `crash_reason`), and the chaos soak harness shrinks and saves
+// failing traces for offline replay. The on-disk format is a versioned,
+// line-oriented text file; doubles are serialized via std::to_chars
+// (shortest round-trip), so a reloaded trace replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/network.hpp"
+
+namespace rsin::sim {
+
+/// One recorded task arrival (pre-admission: shed tasks are recorded too,
+/// since admission control is deterministic and re-runs during replay).
+struct TraceArrival {
+  double time = 0.0;
+  topo::ProcessorId processor = topo::kInvalidId;
+  std::int32_t type = 0;
+  std::int32_t priority = 0;
+};
+
+/// One assignment of a scheduling cycle: the circuit the scheduler granted
+/// plus the service time the simulator drew for the task.
+struct TraceAssignment {
+  topo::Circuit circuit;
+  double service_time = 0.0;
+};
+
+/// One scheduling cycle in which the scheduler was invoked.
+struct TraceCycle {
+  double time = 0.0;
+  core::ScheduleOutcome outcome = core::ScheduleOutcome::kOptimal;
+  std::vector<TraceAssignment> assignments;
+};
+
+/// A complete recorded run (or the prefix of one, up to a crash).
+struct Trace {
+  static constexpr std::int32_t kVersion = 1;
+
+  SystemConfig config;
+  std::uint64_t shape_hash = 0;  ///< topo::shape_hash of the simulated net.
+  std::vector<TraceArrival> arrivals;
+  std::vector<fault::FaultEvent> faults;
+  std::vector<TraceCycle> cycles;
+
+  /// Set when the recorded run aborted on an invariant violation; the trace
+  /// then holds the prefix up to `crash_time` and replay stops there.
+  bool crashed = false;
+  double crash_time = 0.0;
+  std::string crash_reason;
+
+  /// Informational summary metrics of the recorded run (key, value); not
+  /// consumed by replay — kept so a dumped bundle is self-describing.
+  std::vector<std::pair<std::string, std::string>> summary;
+
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  [[nodiscard]] static Trace load(std::istream& in);
+  [[nodiscard]] static Trace load_file(const std::string& path);
+};
+
+/// Incremental builder used by simulate_system while recording. Cycle
+/// records are buffered and only committed once the cycle completes, so a
+/// crash mid-cycle never leaves a half-written cycle in the trace.
+class TraceRecorder {
+ public:
+  void begin(const SystemConfig& config, std::uint64_t shape_hash);
+  void arrival(double time, topo::ProcessorId processor, std::int32_t type,
+               std::int32_t priority);
+  void fault(const fault::FaultEvent& event);
+  void begin_cycle(double time, core::ScheduleOutcome outcome);
+  void assignment(const topo::Circuit& circuit, double service_time);
+  void commit_cycle();
+  void crash(double time, const std::string& reason);
+  void note_metric(const std::string& key, const std::string& value);
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace take() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+  TraceCycle pending_;
+  bool cycle_open_ = false;
+};
+
+}  // namespace rsin::sim

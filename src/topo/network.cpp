@@ -276,6 +276,24 @@ bool Network::fault_free() const {
                       [](const Link& l) { return l.failed; });
 }
 
+std::uint64_t Network::shape_hash() const {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(processor_count()));
+  mix(static_cast<std::uint64_t>(switch_count()));
+  mix(static_cast<std::uint64_t>(resource_count()));
+  for (const Link& l : links_) {
+    mix(static_cast<std::uint64_t>(l.from.kind));
+    mix(static_cast<std::uint64_t>(l.from.node));
+    mix(static_cast<std::uint64_t>(l.to.kind));
+    mix(static_cast<std::uint64_t>(l.to.node));
+  }
+  return h;
+}
+
 std::string Network::port_name(const PortRef& ref, bool input) const {
   std::ostringstream out;
   switch (ref.kind) {

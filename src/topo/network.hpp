@@ -181,6 +181,13 @@ class Network {
   /// Human-readable name for a link endpoint, e.g. "p3", "sw1.2:out0", "r5".
   [[nodiscard]] std::string port_name(const PortRef& ref, bool input) const;
 
+  /// FNV-1a over the quantities that define the network's *shape*: terminal
+  /// and switch counts plus every link's endpoints. Occupancy and fault
+  /// state are deliberately excluded — they modulate capacities, not
+  /// structure. Used by PersistentTransform to detect topology changes and
+  /// by record/replay traces to reject replays against the wrong fabric.
+  [[nodiscard]] std::uint64_t shape_hash() const;
+
  private:
   /// Tears down every registered circuit for which `crosses` is true and
   /// returns the victims.

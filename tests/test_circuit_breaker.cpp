@@ -1,0 +1,210 @@
+// Circuit breaker around the warm-start scheduling hot path: trip on
+// consecutive failures, cold-solver service while open, half-open probing,
+// and full recovery — plus its integration with the DES runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+/// Delegates to an optimal scheduler but throws during [fail_from,
+/// fail_until) (cycle indices, 0-based).
+class FlakyScheduler final : public core::Scheduler {
+ public:
+  FlakyScheduler(std::int32_t fail_from, std::int32_t fail_until)
+      : fail_from_(fail_from), fail_until_(fail_until) {}
+  [[nodiscard]] std::string name() const override { return "flaky"; }
+  core::ScheduleResult schedule(const core::Problem& problem) override {
+    const std::int32_t cycle = cycles_++;
+    if (cycle >= fail_from_ && cycle < fail_until_) {
+      throw std::runtime_error("flaky primary failed");
+    }
+    return honest_.schedule(problem);
+  }
+  [[nodiscard]] std::int32_t cycles() const { return cycles_; }
+
+ private:
+  core::MaxFlowScheduler honest_;
+  std::int32_t fail_from_;
+  std::int32_t fail_until_;
+  std::int32_t cycles_ = 0;
+};
+
+core::Problem make_problem(const topo::Network& net) {
+  core::Problem problem;
+  problem.network = &net;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    problem.requests.push_back(core::Request{p, 0, 0});
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    problem.free_resources.push_back(core::FreeResource{r, 0, 0});
+  }
+  return problem;
+}
+
+TEST(CircuitBreaker, HealthyPrimaryStaysClosed) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = make_problem(net);
+  core::CircuitBreakerScheduler breaker;
+  for (int i = 0; i < 10; ++i) {
+    const core::ScheduleResult result = breaker.schedule(problem);
+    EXPECT_EQ(result.allocated(), static_cast<std::size_t>(8));
+    EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+    EXPECT_EQ(breaker.last_report().outcome,
+              core::ScheduleOutcome::kOptimal);
+  }
+  EXPECT_EQ(breaker.trips(), 0);
+  EXPECT_EQ(breaker.cold_cycles(), 0);
+}
+
+TEST(CircuitBreaker, ConsecutiveFailuresTripAndColdPathServes) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = make_problem(net);
+  core::BreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_cycles = 4;
+  core::CircuitBreakerScheduler breaker(
+      config, std::make_unique<FlakyScheduler>(0, 1000));
+
+  // Every failing cycle is still served (by the cold solver) and never
+  // throws out of schedule().
+  for (int i = 0; i < 3; ++i) {
+    const core::ScheduleResult result = breaker.schedule(problem);
+    EXPECT_EQ(result.allocated(), static_cast<std::size_t>(8));
+    EXPECT_EQ(breaker.last_report().outcome,
+              core::ScheduleOutcome::kColdFallback);
+  }
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.last_report().consecutive_failures, 3);
+  EXPECT_EQ(breaker.last_report().detail, "flaky primary failed");
+}
+
+TEST(CircuitBreaker, SuccessBeforeThresholdResetsTheCounter) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = make_problem(net);
+  core::BreakerConfig config;
+  config.failure_threshold = 3;
+  // Fails cycles 0-1 (two consecutive), recovers, never reaches three.
+  core::CircuitBreakerScheduler breaker(
+      config, std::make_unique<FlakyScheduler>(0, 2));
+  for (int i = 0; i < 10; ++i) breaker.schedule(problem);
+  EXPECT_EQ(breaker.trips(), 0);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.last_report().consecutive_failures, 0);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeRecoversWhenPrimaryHeals) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = make_problem(net);
+  core::BreakerConfig config;
+  config.failure_threshold = 2;
+  config.cooldown_cycles = 3;
+  // Fails its first 2 calls, healthy afterwards. Note the breaker stops
+  // calling the primary while open, so primary cycle 2 is the half-open
+  // probe.
+  core::CircuitBreakerScheduler breaker(
+      config, std::make_unique<FlakyScheduler>(0, 2));
+
+  breaker.schedule(problem);
+  breaker.schedule(problem);  // second failure trips
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+
+  // Cooldown: served cold without touching the primary.
+  for (int i = 0; i < config.cooldown_cycles - 1; ++i) {
+    breaker.schedule(problem);
+    EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+    EXPECT_EQ(breaker.last_report().outcome,
+              core::ScheduleOutcome::kColdFallback);
+  }
+  breaker.schedule(problem);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+
+  // Probe succeeds (the flaky window is over): breaker closes again.
+  const core::ScheduleResult result = breaker.schedule(problem);
+  EXPECT_EQ(result.allocated(), static_cast<std::size_t>(8));
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.last_report().outcome, core::ScheduleOutcome::kOptimal);
+  EXPECT_EQ(breaker.last_report().consecutive_failures, 0);
+
+  // And stays closed on subsequent healthy cycles.
+  breaker.schedule(problem);
+  EXPECT_EQ(breaker.state(), core::BreakerState::kClosed);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const core::Problem problem = make_problem(net);
+  core::BreakerConfig config;
+  config.failure_threshold = 2;
+  config.cooldown_cycles = 2;
+  core::CircuitBreakerScheduler breaker(
+      config, std::make_unique<FlakyScheduler>(0, 1000));
+
+  breaker.schedule(problem);
+  breaker.schedule(problem);  // trips
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  breaker.schedule(problem);
+  breaker.schedule(problem);  // cooldown elapsed -> half-open
+  EXPECT_EQ(breaker.state(), core::BreakerState::kHalfOpen);
+  breaker.schedule(problem);  // probe fails -> immediately open again
+  EXPECT_EQ(breaker.state(), core::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_EQ(breaker.last_report().outcome,
+            core::ScheduleOutcome::kColdFallback);
+}
+
+TEST(CircuitBreaker, OutcomeAndStateNamesAreStable) {
+  EXPECT_STREQ(core::to_string(core::ScheduleOutcome::kColdFallback),
+               "cold-fallback");
+  EXPECT_STREQ(core::to_string(core::BreakerState::kClosed), "closed");
+  EXPECT_STREQ(core::to_string(core::BreakerState::kOpen), "open");
+  EXPECT_STREQ(core::to_string(core::BreakerState::kHalfOpen), "half-open");
+}
+
+TEST(CircuitBreaker, RejectsBadConfig) {
+  core::BreakerConfig bad;
+  bad.failure_threshold = 0;
+  EXPECT_THROW(core::CircuitBreakerScheduler breaker(bad),
+               std::invalid_argument);
+  core::BreakerConfig bad_cooldown;
+  bad_cooldown.cooldown_cycles = 0;
+  EXPECT_THROW(core::CircuitBreakerScheduler breaker(bad_cooldown),
+               std::invalid_argument);
+}
+
+TEST(CircuitBreaker, DrivesTheSystemSimulationUnderFaults) {
+  // The default breaker (warm primary, verify on) survives a fault-storm
+  // DES run: the differential check guards every warm cycle and the cold
+  // path covers any trip, so the run completes with healthy metrics.
+  const topo::Network net = topo::make_named("benes", 8);
+  core::CircuitBreakerScheduler breaker({}, /*verify=*/true);
+  sim::SystemConfig config;
+  config.arrival_rate = 0.8;
+  config.warmup_time = 20.0;
+  config.measure_time = 200.0;
+  config.faults.link_mttf = 15.0;
+  config.faults.link_mttr = 2.0;
+  config.drop_timeout = 50.0;
+  config.seed = 7;
+  config.validate_invariants = true;
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, breaker, config);
+  EXPECT_GT(metrics.tasks_completed, 0);
+  EXPECT_GT(metrics.faults_injected, 0);
+  // degraded_cycle_fraction counts the breaker's cold-fallback cycles too.
+  EXPECT_GE(metrics.degraded_cycle_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -1,0 +1,305 @@
+// Overload-safe runtime: admission control (bounded queues + shed
+// policies), the hysteretic degradation controller under arrival bursts,
+// config validation at the simulate_system boundary, and the retry/drop
+// interaction under fault storms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+sim::SystemConfig overload_config() {
+  sim::SystemConfig config;
+  config.arrival_rate = 0.6;
+  config.warmup_time = 20.0;
+  config.measure_time = 400.0;
+  config.seed = 3;
+  config.validate_invariants = true;
+  return config;
+}
+
+// --- degradation controller ----------------------------------------------
+
+TEST(Overload, BurstDegradesThenRecoversToOptimal) {
+  // A 2x arrival burst in mid-run must push the controller above kOptimal
+  // (overload_fraction > 0) and, once the burst passes, the hysteretic
+  // detector must walk back down so the run ends at the pre-burst level
+  // with a finite queue. This is the headline acceptance criterion.
+  const topo::Network net = topo::make_named("omega", 8);
+  core::WarmMaxFlowScheduler scheduler(/*verify=*/true);
+  sim::SystemConfig config = overload_config();
+  config.burst_multiplier = 2.0;
+  config.burst_start = 100.0;
+  config.burst_duration = 80.0;
+  config.overload_on = 2.0;
+  config.overload_window = 5.0;
+  config.overload_dwell_cycles = 20;
+  config.max_queue = 64;  // keeps the burst backlog finite by construction
+
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+
+  EXPECT_GT(metrics.overload_fraction, 0.0);
+  EXPECT_LT(metrics.overload_fraction, 1.0);
+  // At least one escalation and one de-escalation.
+  EXPECT_GE(metrics.degradation_transitions, 2);
+  EXPECT_EQ(metrics.final_level, sim::DegradationLevel::kOptimal);
+  EXPECT_TRUE(std::isfinite(metrics.mean_queue_length));
+  // mean_queue_length totals across processors; the per-processor bound
+  // caps it at max_queue * processor_count.
+  EXPECT_LE(metrics.mean_queue_length, 8.0 * config.max_queue);
+  // The time-in-level histogram is a partition of the measured horizon.
+  const double total = metrics.time_in_level[0] + metrics.time_in_level[1] +
+                       metrics.time_in_level[2];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(metrics.time_in_level[0], 0.0);
+}
+
+TEST(Overload, SustainedOverloadEscalatesToGreedy) {
+  // With arrivals far beyond capacity and a hair-trigger threshold, the
+  // controller must climb the full ladder to kGreedy and spend real time
+  // there; degraded cycles are then visible in degraded_cycle_fraction.
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  sim::SystemConfig config = overload_config();
+  config.arrival_rate = 3.0;  // ~3x capacity, sustained
+  config.measure_time = 200.0;
+  config.overload_on = 1.0;
+  config.overload_dwell_cycles = 5;
+  config.max_queue = 32;
+
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+
+  EXPECT_GT(metrics.time_in_level[2], 0.0);
+  EXPECT_EQ(metrics.final_level, sim::DegradationLevel::kGreedy);
+  EXPECT_GT(metrics.degraded_cycle_fraction, 0.0);
+  EXPECT_GT(metrics.tasks_completed, 0);
+}
+
+TEST(Overload, ControllerDisabledStaysOptimal) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  sim::SystemConfig config = overload_config();
+  config.arrival_rate = 3.0;
+  config.measure_time = 100.0;
+  config.overload_on = 0.0;  // detector off
+  config.max_queue = 32;
+
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+  EXPECT_EQ(metrics.overload_fraction, 0.0);
+  EXPECT_EQ(metrics.degradation_transitions, 0);
+  EXPECT_EQ(metrics.final_level, sim::DegradationLevel::kOptimal);
+  EXPECT_EQ(metrics.time_in_level[0], 1.0);
+}
+
+// --- admission control ----------------------------------------------------
+
+TEST(Overload, BoundedQueueShedsAndStaysBounded) {
+  const topo::Network net = topo::make_named("omega", 8);
+  sim::SystemConfig config = overload_config();
+  config.arrival_rate = 3.0;
+  config.measure_time = 150.0;
+  config.max_queue = 4;
+
+  core::MaxFlowScheduler bounded_scheduler;
+  const sim::SystemMetrics bounded =
+      sim::simulate_system(net, bounded_scheduler, config);
+  EXPECT_GT(bounded.tasks_shed, 0);
+  // Total queued across the 8 processors can never exceed 8 * max_queue.
+  EXPECT_LE(bounded.mean_queue_length, 32.0);
+
+  // The same storm with unbounded queues backs up far beyond the bound —
+  // the admission control is what keeps the backlog finite.
+  sim::SystemConfig unbounded_config = config;
+  unbounded_config.max_queue = 0;
+  core::MaxFlowScheduler unbounded_scheduler;
+  const sim::SystemMetrics unbounded =
+      sim::simulate_system(net, unbounded_scheduler, unbounded_config);
+  EXPECT_EQ(unbounded.tasks_shed, 0);
+  EXPECT_GT(unbounded.mean_queue_length, bounded.mean_queue_length);
+}
+
+TEST(Overload, ShedPoliciesDifferButBothHoldTheBound) {
+  const topo::Network net = topo::make_named("omega", 8);
+  sim::SystemConfig config = overload_config();
+  config.arrival_rate = 3.0;
+  config.measure_time = 150.0;
+  config.max_queue = 4;
+  config.drop_timeout = 20.0;
+
+  config.shed_policy = sim::ShedPolicy::kDropTail;
+  core::MaxFlowScheduler drop_tail_scheduler;
+  const sim::SystemMetrics drop_tail =
+      sim::simulate_system(net, drop_tail_scheduler, config);
+
+  config.shed_policy = sim::ShedPolicy::kOldestFirst;
+  core::MaxFlowScheduler oldest_first_scheduler;
+  const sim::SystemMetrics oldest_first =
+      sim::simulate_system(net, oldest_first_scheduler, config);
+
+  EXPECT_GT(drop_tail.tasks_shed, 0);
+  EXPECT_GT(oldest_first.tasks_shed, 0);
+  EXPECT_LE(drop_tail.mean_queue_length, 32.0);
+  EXPECT_LE(oldest_first.mean_queue_length, 32.0);
+  // Oldest-first admits every arrival (evicting stale work), so nothing it
+  // keeps can sit long enough to hit the drop timeout; drop-tail keeps old
+  // tasks and rejects new ones, aging its queue instead.
+  EXPECT_GE(drop_tail.tasks_dropped, oldest_first.tasks_dropped);
+}
+
+TEST(Overload, ShedPolicyNamesAreStable) {
+  EXPECT_STREQ(sim::to_string(sim::ShedPolicy::kDropTail), "drop-tail");
+  EXPECT_STREQ(sim::to_string(sim::ShedPolicy::kOldestFirst), "oldest-first");
+  EXPECT_STREQ(sim::to_string(sim::DegradationLevel::kOptimal), "optimal");
+  EXPECT_STREQ(sim::to_string(sim::DegradationLevel::kRelaxed), "relaxed");
+  EXPECT_STREQ(sim::to_string(sim::DegradationLevel::kGreedy), "greedy");
+}
+
+// --- config validation ----------------------------------------------------
+
+TEST(Overload, ValidateRejectsNonFiniteAndOutOfRangeFields) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto expect_rejected = [](sim::SystemConfig config) {
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+
+  sim::SystemConfig config;
+  config.arrival_rate = nan;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.arrival_rate = -0.5;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.cycle_interval = 0.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.mean_service_time = 0.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.transmission_time = -1.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.retry_backoff_base = 0.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.retry_backoff_max = nan;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.max_queue = -1;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.measure_time = 0.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.warmup_time = -1.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.min_pending_requests = 0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.burst_multiplier = 0.0;
+  expect_rejected(config);
+
+  // Overload-controller fields are only constrained once the controller is
+  // enabled (overload_on > 0).
+  config = sim::SystemConfig{};
+  config.overload_off_fraction = 2.0;  // ignored while overload_on == 0
+  EXPECT_NO_THROW(config.validate());
+  config.overload_on = 1.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.overload_on = 1.0;
+  config.overload_window = 0.0;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.overload_on = 1.0;
+  config.overload_dwell_cycles = 0;
+  expect_rejected(config);
+
+  // Embedded fault config is validated too (with the horizon defaulting
+  // rule applied first, so a zero horizon alone is fine).
+  config = sim::SystemConfig{};
+  config.faults.link_mttf = nan;
+  expect_rejected(config);
+
+  config = sim::SystemConfig{};
+  config.faults.link_mttf = 10.0;
+  config.faults.link_mttr = -1.0;
+  expect_rejected(config);
+
+  EXPECT_NO_THROW(sim::SystemConfig{}.validate());
+}
+
+TEST(Overload, SimulateSystemValidatesOnEntry) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  sim::SystemConfig config;
+  config.arrival_rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(sim::simulate_system(net, scheduler, config),
+               std::invalid_argument);
+}
+
+// --- retry / drop interaction --------------------------------------------
+
+TEST(Overload, FaultStormRetriesAndDropsWithoutStarvation) {
+  // Fault storm + drop timeout + bounded queues: teardown victims re-queue
+  // at the head with backoff, stale tasks are dropped, and despite all the
+  // churn the run keeps completing work — no starvation, and the per-cycle
+  // invariant sweep (incl. task conservation) holds throughout.
+  const topo::Network net = topo::make_named("benes", 8);
+  core::WarmMaxFlowScheduler scheduler(/*verify=*/true);
+  sim::SystemConfig config = overload_config();
+  config.arrival_rate = 1.2;
+  config.measure_time = 300.0;
+  config.faults.link_mttf = 10.0;
+  config.faults.link_mttr = 2.0;
+  config.drop_timeout = 15.0;
+  config.max_queue = 8;
+  config.shed_policy = sim::ShedPolicy::kOldestFirst;
+
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+
+  EXPECT_GT(metrics.faults_injected, 0);
+  EXPECT_GT(metrics.retries, 0);
+  EXPECT_GT(metrics.tasks_dropped, 0);
+  EXPECT_GT(metrics.tasks_completed, 0);
+  // Dropped tasks waited at least the timeout; nothing younger was
+  // sacrificed for a retrying head-of-queue task, so completions dominate.
+  EXPECT_GT(metrics.tasks_completed, metrics.tasks_dropped);
+
+  // The whole interaction is deterministic: an identical rerun produces
+  // identical drop/retry/shed counts.
+  core::WarmMaxFlowScheduler rerun_scheduler(/*verify=*/true);
+  const sim::SystemMetrics rerun =
+      sim::simulate_system(net, rerun_scheduler, config);
+  EXPECT_EQ(rerun.tasks_dropped, metrics.tasks_dropped);
+  EXPECT_EQ(rerun.retries, metrics.retries);
+  EXPECT_EQ(rerun.tasks_shed, metrics.tasks_shed);
+  EXPECT_EQ(rerun.tasks_completed, metrics.tasks_completed);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -1,0 +1,241 @@
+// Deterministic record/replay: trace round-tripping through the on-disk
+// format, bitwise replay of recorded runs (with and without faults), and
+// repro-bundle dumps when an invariant trips mid-run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "sim/system_sim.hpp"
+#include "sim/trace.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+/// Temp file path unique to the current test; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+sim::SystemConfig short_config() {
+  sim::SystemConfig config;
+  config.arrival_rate = 0.8;
+  config.warmup_time = 10.0;
+  config.measure_time = 120.0;
+  config.seed = 11;
+  return config;
+}
+
+void expect_identical(const sim::SystemMetrics& a,
+                      const sim::SystemMetrics& b) {
+  EXPECT_EQ(a.tasks_arrived, b.tasks_arrived);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_EQ(a.scheduling_cycles, b.scheduling_cycles);
+  EXPECT_EQ(a.tasks_dropped, b.tasks_dropped);
+  EXPECT_EQ(a.tasks_shed, b.tasks_shed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.circuits_torn_down, b.circuits_torn_down);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.repairs, b.repairs);
+  // Bitwise equality: the replay executes the identical arithmetic
+  // sequence, so even accumulated floating-point results match exactly.
+  EXPECT_EQ(a.resource_utilization, b.resource_utilization);
+  EXPECT_EQ(a.mean_response_time, b.mean_response_time);
+  EXPECT_EQ(a.mean_wait_time, b.mean_wait_time);
+  EXPECT_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_EQ(a.blocking_probability, b.blocking_probability);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.degraded_cycle_fraction, b.degraded_cycle_fraction);
+  EXPECT_EQ(a.mean_wait_by_priority, b.mean_wait_by_priority);
+}
+
+TEST(Trace, SaveLoadRoundTripsExactly) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  sim::SystemConfig config = short_config();
+  config.measure_time = 40.0;
+  sim::TraceRecorder recorder;
+  sim::simulate_system(net, scheduler, config, recorder);
+  const sim::Trace& original = recorder.trace();
+  ASSERT_FALSE(original.arrivals.empty());
+  ASSERT_FALSE(original.cycles.empty());
+
+  std::stringstream stream;
+  original.save(stream);
+  const sim::Trace reloaded = sim::Trace::load(stream);
+
+  EXPECT_EQ(reloaded.shape_hash, original.shape_hash);
+  EXPECT_EQ(reloaded.config.seed, original.config.seed);
+  EXPECT_EQ(reloaded.config.arrival_rate, original.config.arrival_rate);
+  ASSERT_EQ(reloaded.arrivals.size(), original.arrivals.size());
+  for (std::size_t i = 0; i < original.arrivals.size(); ++i) {
+    EXPECT_EQ(reloaded.arrivals[i].time, original.arrivals[i].time);
+    EXPECT_EQ(reloaded.arrivals[i].processor, original.arrivals[i].processor);
+  }
+  ASSERT_EQ(reloaded.cycles.size(), original.cycles.size());
+  for (std::size_t i = 0; i < original.cycles.size(); ++i) {
+    EXPECT_EQ(reloaded.cycles[i].time, original.cycles[i].time);
+    EXPECT_EQ(reloaded.cycles[i].outcome, original.cycles[i].outcome);
+    ASSERT_EQ(reloaded.cycles[i].assignments.size(),
+              original.cycles[i].assignments.size());
+    for (std::size_t j = 0; j < original.cycles[i].assignments.size(); ++j) {
+      EXPECT_EQ(reloaded.cycles[i].assignments[j].service_time,
+                original.cycles[i].assignments[j].service_time);
+      EXPECT_EQ(reloaded.cycles[i].assignments[j].circuit.links,
+                original.cycles[i].assignments[j].circuit.links);
+    }
+  }
+  EXPECT_FALSE(reloaded.crashed);
+}
+
+TEST(Trace, LoadRejectsCorruptInput) {
+  std::stringstream bad_magic("NOTATRACE 1\nEND\n");
+  EXPECT_THROW(sim::Trace::load(bad_magic), std::invalid_argument);
+  std::stringstream bad_version("RSINTRACE 99\nEND\n");
+  EXPECT_THROW(sim::Trace::load(bad_version), std::invalid_argument);
+  std::stringstream truncated("RSINTRACE 1\ncfg seed 1\n");
+  EXPECT_THROW(sim::Trace::load(truncated), std::invalid_argument);
+  std::stringstream unknown("RSINTRACE 1\nZZZ what\nEND\n");
+  EXPECT_THROW(sim::Trace::load(unknown), std::invalid_argument);
+  std::stringstream stray_assignment("RSINTRACE 1\nG 0 0 1.5 0\nEND\n");
+  EXPECT_THROW(sim::Trace::load(stray_assignment), std::invalid_argument);
+}
+
+TEST(Trace, ReplayReproducesMetricsBitwise) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  const sim::SystemConfig config = short_config();
+  sim::TraceRecorder recorder;
+  const sim::SystemMetrics live =
+      sim::simulate_system(net, scheduler, config, recorder);
+
+  const sim::SystemMetrics replayed =
+      sim::replay_system(net, recorder.trace());
+  expect_identical(live, replayed);
+}
+
+TEST(Trace, ReplayReproducesMetricsUnderFaultsAndOverload) {
+  const topo::Network net = topo::make_named("benes", 8);
+  core::WarmMaxFlowScheduler scheduler(/*verify=*/true);
+  sim::SystemConfig config = short_config();
+  config.faults.link_mttf = 25.0;
+  config.faults.link_mttr = 2.0;
+  config.drop_timeout = 30.0;
+  config.max_queue = 6;
+  config.shed_policy = sim::ShedPolicy::kOldestFirst;
+  config.burst_multiplier = 3.0;
+  config.burst_start = 40.0;
+  config.burst_duration = 30.0;
+  config.overload_on = 2.0;
+  config.overload_dwell_cycles = 10;
+  config.validate_invariants = true;
+  sim::TraceRecorder recorder;
+  const sim::SystemMetrics live =
+      sim::simulate_system(net, scheduler, config, recorder);
+  EXPECT_GT(live.faults_injected, 0);
+
+  // Round-trip through the on-disk format before replaying: the serialized
+  // doubles must survive exactly for the replay to stay bitwise.
+  std::stringstream stream;
+  recorder.trace().save(stream);
+  const sim::Trace reloaded = sim::Trace::load(stream);
+  const sim::SystemMetrics replayed = sim::replay_system(net, reloaded);
+  expect_identical(live, replayed);
+  EXPECT_EQ(live.overload_fraction, replayed.overload_fraction);
+  EXPECT_EQ(live.degradation_transitions, replayed.degradation_transitions);
+  EXPECT_EQ(live.final_level, replayed.final_level);
+}
+
+TEST(Trace, SameSeedSameMetricsAcrossRepeatedRuns) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const sim::SystemConfig config = short_config();
+  core::MaxFlowScheduler first_scheduler;
+  core::MaxFlowScheduler second_scheduler;
+  const sim::SystemMetrics first =
+      sim::simulate_system(net, first_scheduler, config);
+  const sim::SystemMetrics second =
+      sim::simulate_system(net, second_scheduler, config);
+  expect_identical(first, second);
+}
+
+TEST(Trace, ReplayRejectsWrongTopology) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::MaxFlowScheduler scheduler;
+  sim::SystemConfig config = short_config();
+  config.measure_time = 20.0;
+  sim::TraceRecorder recorder;
+  sim::simulate_system(net, scheduler, config, recorder);
+
+  const topo::Network other = topo::make_named("benes", 8);
+  EXPECT_THROW(sim::replay_system(other, recorder.trace()),
+               std::invalid_argument);
+}
+
+/// A scheduler that behaves until time-triggered, then grants a circuit for
+/// a processor with no pending request — an unrealizable schedule that the
+/// runtime's verify/invariant layer must catch.
+class SabotagedScheduler final : public core::Scheduler {
+ public:
+  explicit SabotagedScheduler(std::int32_t healthy_cycles)
+      : healthy_cycles_(healthy_cycles) {}
+  [[nodiscard]] std::string name() const override { return "sabotaged"; }
+  core::ScheduleResult schedule(const core::Problem& problem) override {
+    core::ScheduleResult result = honest_.schedule(problem);
+    if (++cycles_ > healthy_cycles_ && !result.assignments.empty()) {
+      // Duplicate the first assignment: two grants for one request is
+      // never realizable.
+      result.assignments.push_back(result.assignments.front());
+    }
+    return result;
+  }
+
+ private:
+  core::GreedyScheduler honest_;
+  std::int32_t healthy_cycles_;
+  std::int32_t cycles_ = 0;
+};
+
+TEST(Trace, InvariantViolationDumpsReplayableReproBundle) {
+  const topo::Network net = topo::make_named("omega", 8);
+  TempFile bundle("rsin_crash_trace.txt");
+  SabotagedScheduler scheduler(/*healthy_cycles=*/200);
+  sim::SystemConfig config = short_config();
+  config.trace_on_violation = bundle.path;
+
+  EXPECT_THROW(sim::simulate_system(net, scheduler, config),
+               std::logic_error);
+
+  // The repro bundle exists, is marked crashed, and replays its prefix
+  // without throwing (the recorded cycles are all pre-sabotage).
+  const sim::Trace trace = sim::Trace::load_file(bundle.path);
+  EXPECT_TRUE(trace.crashed);
+  EXPECT_GT(trace.crash_time, 0.0);
+  EXPECT_FALSE(trace.crash_reason.empty());
+  ASSERT_FALSE(trace.cycles.empty());
+  const sim::SystemMetrics prefix = sim::replay_system(net, trace);
+  EXPECT_GT(prefix.tasks_arrived, 0);
+}
+
+TEST(Trace, RecorderCrashDiscardsHalfRecordedCycle) {
+  sim::TraceRecorder recorder;
+  recorder.begin(sim::SystemConfig{}, 42);
+  recorder.begin_cycle(1.0, core::ScheduleOutcome::kOptimal);
+  recorder.assignment(topo::Circuit{0, 0, {0}}, 0.5);
+  recorder.crash(1.0, "boom\nmultiline");
+  const sim::Trace& trace = recorder.trace();
+  EXPECT_TRUE(trace.cycles.empty());
+  EXPECT_TRUE(trace.crashed);
+  EXPECT_EQ(trace.crash_reason.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsin

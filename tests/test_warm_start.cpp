@@ -143,6 +143,68 @@ TEST(WarmStartScheduler, ResetForcesColdRebuild) {
   EXPECT_EQ(warm.warm_stats().cold_rebuilds, 2);
 }
 
+// --- canonical mode (E17b) ------------------------------------------------
+
+/// Canonical mode trades the warm-start speedup for bitwise reproducibility:
+/// every cycle cold-solves on the persistent skeleton, whose arcs are laid
+/// out in the same relative order transformation1 would emit, so the Dinic
+/// augmentation sequence — and therefore every assignment — is identical to
+/// MaxFlowScheduler(kDinic).
+TEST(WarmStartCanonical, AssignmentsBitwiseMatchColdDinic) {
+  topo::Network net = topo::make_named("omega", 8);
+  core::WarmMaxFlowScheduler canonical(/*verify=*/true, /*canonical=*/true);
+  core::MaxFlowScheduler cold(flow::MaxFlowAlgorithm::kDinic);
+  util::Rng rng(42);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const core::Problem problem = test::random_problem(rng, net, 0.5, 0.5);
+    const core::ScheduleResult a = canonical.schedule(problem);
+    const core::ScheduleResult b = cold.schedule(problem);
+    ASSERT_EQ(a.assignments.size(), b.assignments.size())
+        << "cycle " << cycle;
+    for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+      EXPECT_EQ(a.assignments[i].request.processor,
+                b.assignments[i].request.processor)
+          << "cycle " << cycle << " assignment " << i;
+      EXPECT_EQ(a.assignments[i].resource.resource,
+                b.assignments[i].resource.resource)
+          << "cycle " << cycle << " assignment " << i;
+      EXPECT_EQ(a.assignments[i].circuit.links, b.assignments[i].circuit.links)
+          << "cycle " << cycle << " assignment " << i;
+    }
+
+    // Same DES-style mutation stream as the warm/cold agreement test.
+    for (const core::Assignment& assignment : a.assignments) {
+      if (net.established_circuit(assignment.request.processor) == nullptr &&
+          rng.bernoulli(0.5)) {
+        net.establish(assignment.circuit);
+      }
+    }
+    for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+      if (const topo::Circuit* held = net.established_circuit(p);
+          held != nullptr && rng.bernoulli(0.3)) {
+        const topo::Circuit copy = *held;
+        net.release(copy);
+      }
+    }
+    if (rng.bernoulli(0.2)) {
+      const auto link =
+          static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+      if (net.link_failed(link)) {
+        net.repair_link(link);
+      } else {
+        net.fail_link(link);
+      }
+    }
+  }
+}
+
+TEST(WarmStartCanonical, NameAdvertisesCanonicalMode) {
+  core::WarmMaxFlowScheduler canonical(/*verify=*/false, /*canonical=*/true);
+  EXPECT_EQ(canonical.name(), "max-flow(dinic,canonical)");
+  core::WarmMaxFlowScheduler warm(/*verify=*/false);
+  EXPECT_EQ(warm.name(), "max-flow(dinic,warm)");
+}
+
 TEST(WarmStartScheduler, SurvivesTopologyChange) {
   const topo::Network omega = topo::make_named("omega", 8);
   const topo::Network cube = topo::make_named("cube", 8);
