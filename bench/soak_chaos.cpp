@@ -11,22 +11,29 @@
 //
 // Usage:
 //   soak_chaos [--scenarios=N] [--seed=S] [--measure=T] [--trace-dir=DIR]
-//              [--sabotage]
+//              [--batch-window=W] [--sabotage]
 //
 //   --scenarios=N   number of randomized scenarios (default 200)
 //   --seed=S        master seed for the scenario generator (default 2026)
 //   --measure=T     measured horizon per scenario (default 40 time units)
 //   --trace-dir=DIR where failing traces are written (default ".")
+//   --batch-window=W  fix the cycle-batching window (>=1); default -1
+//                   randomizes it per scenario from {1, 1, 2, 3, 4} so the
+//                   soak also exercises deferred cycles, deadline drains,
+//                   and the overload ladder's reset of a half-full window
 //   --sabotage      additionally run a deliberately-broken scheduler and
 //                   require the harness to catch it, dump a replayable
 //                   trace, and reload + replay it (self-test of the
 //                   failure path; exits nonzero if the sabotage is MISSED)
+#include <algorithm>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/batching.hpp"
 #include "core/scheduler.hpp"
 #include "sim/system_sim.hpp"
 #include "sim/trace.hpp"
@@ -42,6 +49,7 @@ struct SoakOptions {
   std::uint64_t seed = 2026;
   double measure = 40.0;
   std::string trace_dir = ".";
+  std::int32_t batch_window = -1;  // -1: randomize per scenario
   bool sabotage = false;
 };
 
@@ -61,6 +69,8 @@ SoakOptions parse_args(int argc, char** argv) {
       options.measure = std::stod(value);
     } else if (key == "--trace-dir") {
       options.trace_dir = value;
+    } else if (key == "--batch-window") {
+      options.batch_window = static_cast<std::int32_t>(std::stol(value));
     } else if (key == "--sabotage") {
       options.sabotage = true;
     } else {
@@ -113,16 +123,31 @@ struct Failure {
   std::string topology;
   std::int32_t size = 8;
   std::string what;
+  std::int32_t batch_window = 1;
 };
+
+/// The runtime under soak: the breaker with its differential check armed,
+/// optionally inside a batching window (deadline at half the window so
+/// starved requests still force drains mid-window).
+std::unique_ptr<core::Scheduler> make_runtime_scheduler(
+    std::int32_t window) {
+  auto breaker = std::make_unique<core::CircuitBreakerScheduler>(
+      core::BreakerConfig{}, /*verify=*/true);
+  if (window <= 1) return breaker;
+  return std::make_unique<core::BatchingScheduler>(
+      std::move(breaker),
+      core::BatchPolicy{window, std::max(1, window / 2)});
+}
 
 /// Runs one recorded scenario with every check armed. Returns the error
 /// message if the runtime tripped, nullopt on a clean run.
 std::optional<std::string> run_once(const topo::Network& net,
                                     const sim::SystemConfig& config,
+                                    std::int32_t batch_window,
                                     sim::TraceRecorder& recorder) {
   try {
-    core::CircuitBreakerScheduler scheduler({}, /*verify=*/true);
-    sim::simulate_system(net, scheduler, config, recorder);
+    const auto scheduler = make_runtime_scheduler(batch_window);
+    sim::simulate_system(net, *scheduler, config, recorder);
     return std::nullopt;
   } catch (const std::exception& error) {
     return error.what();
@@ -139,7 +164,8 @@ Failure shrink(Failure failing) {
     const topo::Network net =
         topo::make_named(failing.topology, failing.size);
     sim::TraceRecorder recorder;
-    const auto error = run_once(net, candidate, recorder);
+    const auto error =
+        run_once(net, candidate, failing.batch_window, recorder);
     if (!error.has_value()) break;
     failing.config = candidate;
     failing.what = *error;
@@ -150,7 +176,8 @@ Failure shrink(Failure failing) {
     const topo::Network net =
         topo::make_named(failing.topology, failing.size);
     sim::TraceRecorder recorder;
-    const auto error = run_once(net, candidate, recorder);
+    const auto error =
+        run_once(net, candidate, failing.batch_window, recorder);
     if (error.has_value()) {
       failing.config = candidate;
       failing.what = *error;
@@ -166,13 +193,14 @@ int report_failure(const Failure& failure, const std::string& trace_dir,
   const topo::Network net =
       topo::make_named(failure.topology, failure.size);
   sim::TraceRecorder recorder;
-  run_once(net, failure.config, recorder);
+  run_once(net, failure.config, failure.batch_window, recorder);
   const std::string path = trace_dir + "/soak_fail_" +
                            std::to_string(scenario) + ".rsintrace";
   recorder.trace().save_file(path);
 
   std::cerr << "scenario " << scenario << " FAILED: " << failure.what
             << "\n  topology " << failure.topology << " " << failure.size
+            << ", batch window " << failure.batch_window
             << ", shrunk horizon " << failure.config.measure_time
             << ", trace saved to " << path << "\n";
   try {
@@ -248,24 +276,34 @@ int main(int argc, char** argv) {
     std::int64_t faults_seen = 0;
     std::int64_t shed_seen = 0;
     std::int64_t degraded_seen = 0;
+    std::int64_t deferred_seen = 0;
     for (std::int64_t scenario = 0; scenario < options.scenarios;
          ++scenario) {
       const std::string topology = kTopologies[rng.uniform_int(
           0, static_cast<std::int64_t>(std::size(kTopologies)) - 1)];
       const std::int32_t size = rng.bernoulli(0.25) ? 16 : 8;
       const sim::SystemConfig config = random_scenario(rng, options.measure);
+      // Weighted toward 1 so the classic unbatched runtime stays the most
+      // soaked configuration.
+      static constexpr std::int32_t kWindows[] = {1, 1, 2, 3, 4};
+      const std::int32_t window =
+          options.batch_window >= 1
+              ? options.batch_window
+              : kWindows[rng.uniform_int(
+                    0, static_cast<std::int64_t>(std::size(kWindows)) - 1)];
       const topo::Network net = topo::make_named(topology, size);
 
       sim::TraceRecorder recorder;
       try {
-        core::CircuitBreakerScheduler scheduler({}, /*verify=*/true);
+        const auto scheduler = make_runtime_scheduler(window);
         const sim::SystemMetrics metrics =
-            sim::simulate_system(net, scheduler, config, recorder);
+            sim::simulate_system(net, *scheduler, config, recorder);
         faults_seen += metrics.faults_injected;
         shed_seen += metrics.tasks_shed;
+        deferred_seen += metrics.deferred_cycles;
         if (metrics.overload_fraction > 0.0) ++degraded_seen;
       } catch (const std::exception& error) {
-        Failure failure{config, topology, size, error.what()};
+        Failure failure{config, topology, size, error.what(), window};
         return report_failure(shrink(failure), options.trace_dir, scenario);
       }
       if ((scenario + 1) % 50 == 0) {
@@ -276,7 +314,8 @@ int main(int argc, char** argv) {
     std::cout << "soak passed: " << options.scenarios
               << " scenarios, 0 invariant violations (" << faults_seen
               << " faults injected, " << shed_seen << " tasks shed, "
-              << degraded_seen << " runs entered overload)\n";
+              << degraded_seen << " runs entered overload, " << deferred_seen
+              << " cycles deferred by batching)\n";
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';

@@ -6,7 +6,7 @@
 //   rsin_cli dot      [topology] [n]
 //
 // schedulers: dinic | ford-fulkerson | edmonds-karp | push-relabel |
-//             mincost | greedy | random | token
+//             mincost | greedy | random | token | warm | breaker
 // Every argument is optional; defaults are omega 8 dinic.
 //
 // Fault / degraded-mode flags (anywhere on the command line):
@@ -24,11 +24,19 @@
 //   --record-trace=PATH   record the run and save a replayable trace
 //   --replay=PATH         replay a recorded trace on the same topology
 //                         instead of running the scheduler
+//
+// Batching flags (system mode): wrap the scheduler in
+// core::BatchingScheduler so one warm solve drains a window of cycles:
+//   --batch-window=K      accumulate up to K cycles per solve (default 1 =
+//                         solve every cycle)
+//   --batch-deadline=K    force a drain once a pending request has waited
+//                         K deferrals (0 = pure window batching)
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/batching.hpp"
 #include "core/hetero.hpp"
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
@@ -68,6 +76,10 @@ std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
   }
   if (name == "token") return std::make_unique<token::TokenScheduler>();
   if (name == "hetero-lp") return std::make_unique<core::HeteroLpScheduler>();
+  if (name == "warm") return std::make_unique<core::WarmMaxFlowScheduler>();
+  if (name == "breaker") {
+    return std::make_unique<core::CircuitBreakerScheduler>();
+  }
   throw std::invalid_argument("unknown scheduler: " + name);
 }
 
@@ -79,10 +91,11 @@ int usage() {
          "       rsin_cli dot      [topology] [n]\n"
          "topologies: omega baseline cube butterfly benes crossbar gamma\n"
          "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
-         "            mincost greedy random token hetero-lp\n"
+         "            mincost greedy random token hetero-lp warm breaker\n"
          "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n"
          "       --max-queue=K --shed-policy=drop-tail|oldest-first\n"
-         "       --record-trace=PATH --replay=PATH\n";
+         "       --record-trace=PATH --replay=PATH\n"
+         "       --batch-window=K --batch-deadline=K (system mode)\n";
   return 2;
 }
 
@@ -96,6 +109,8 @@ struct Options {
   sim::ShedPolicy shed_policy = sim::ShedPolicy::kDropTail;
   std::string record_trace;
   std::string replay;
+  std::int32_t batch_window = 1;
+  std::int32_t batch_deadline = 0;
 };
 
 /// Splits argv into positional arguments and recognized --flags.
@@ -133,6 +148,16 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
       options.record_trace = value;
     } else if (key == "--replay") {
       options.replay = value;
+    } else if (key == "--batch-window") {
+      options.batch_window = std::stoi(value);
+      if (options.batch_window < 1) {
+        throw std::invalid_argument("--batch-window must be >= 1");
+      }
+    } else if (key == "--batch-deadline") {
+      options.batch_deadline = std::stoi(value);
+      if (options.batch_deadline < 0) {
+        throw std::invalid_argument("--batch-deadline must be >= 0");
+      }
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
@@ -194,6 +219,13 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (mode == "system") {
+      if (options.batch_window > 1) {
+        // Outermost wrapper: deferral decisions apply to whatever stack
+        // (deadline fallback, breaker) sits underneath.
+        scheduler = std::make_unique<core::BatchingScheduler>(
+            std::move(scheduler),
+            core::BatchPolicy{options.batch_window, options.batch_deadline});
+      }
       sim::SystemConfig config;
       config.arrival_rate = args.size() > 4 ? std::stod(args[4]) : 0.5;
       config.max_queue = options.max_queue;
@@ -238,6 +270,11 @@ int main(int argc, char** argv) {
       }
       if (options.max_queue > 0 || !options.replay.empty()) {
         table.add("tasks shed", metrics.tasks_shed);
+      }
+      if (options.batch_window > 1 || metrics.deferred_cycles > 0) {
+        table.add("cycles solved / deferred",
+                  std::to_string(metrics.scheduling_cycles) + " / " +
+                      std::to_string(metrics.deferred_cycles));
       }
       std::cout << table;
       return 0;

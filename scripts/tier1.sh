@@ -13,6 +13,12 @@ echo "=== tier 1: fault/robustness subset under ASan+UBSan ==="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep|Overload|Trace|CircuitBreaker|WarmStart)'
+  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep|Overload|Trace|CircuitBreaker|WarmStart|WarmPool|Batching)'
+
+echo "=== tier 1: pool/parallel-experiment subset under TSan ==="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$(nproc)"
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R '(WarmPool|Batching|StaticExperiment)'
 
 echo "tier 1 OK"

@@ -1,0 +1,77 @@
+#include "core/batching.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+BatchingScheduler::BatchingScheduler(std::unique_ptr<Scheduler> inner,
+                                     BatchPolicy policy)
+    : inner_(std::move(inner)), policy_(policy) {
+  RSIN_REQUIRE(inner_ != nullptr, "batching needs an inner scheduler");
+  RSIN_REQUIRE(policy_.window >= 1, "batch window must be >= 1");
+  RSIN_REQUIRE(policy_.deadline_cycles <= 0 ||
+                   policy_.deadline_cycles <= policy_.window,
+               "a batch deadline beyond the window never fires; shrink the "
+               "deadline or grow the window");
+}
+
+std::string BatchingScheduler::name() const {
+  std::string out = "batch(w=" + std::to_string(policy_.window);
+  if (policy_.deadline_cycles > 0) {
+    out += ",d=" + std::to_string(policy_.deadline_cycles);
+  }
+  return out + "," + inner_->name() + ")";
+}
+
+void BatchingScheduler::reset() {
+  queued_ = 0;
+  ages_.clear();
+  inner_->reset();
+}
+
+ScheduleResult BatchingScheduler::schedule(const Problem& problem) {
+  ++queued_;
+  // Age every pending request; a departed request (satisfied, shed, or torn
+  // down between cycles) drops out because the new snapshot no longer
+  // carries it.
+  bool deadline_hit = false;
+  if (policy_.deadline_cycles > 0) {
+    scratch_ages_.clear();
+    for (const Request& request : problem.requests) {
+      const auto it = ages_.find(request.processor);
+      const std::int32_t age = it == ages_.end() ? 1 : it->second + 1;
+      scratch_ages_[request.processor] = age;
+      if (age >= policy_.deadline_cycles) deadline_hit = true;
+    }
+    ages_.swap(scratch_ages_);
+  }
+
+  if (queued_ < policy_.window && !deadline_hit) {
+    ++deferred_;
+    report_ = FallbackReport{};
+    report_.outcome = ScheduleOutcome::kDeferred;
+    report_.batched_cycles = 0;
+    return ScheduleResult{};
+  }
+
+  // Drain: one inner solve covers every cycle of the window. Reset the
+  // window before the solve so an inner throw doesn't wedge us mid-window.
+  const std::int32_t covered = queued_;
+  queued_ = 0;
+  ages_.clear();
+  ++drains_;
+  ScheduleResult result = inner_->schedule(problem);
+  if (const auto* reporting =
+          dynamic_cast<const ReportingScheduler*>(inner_.get())) {
+    report_ = reporting->last_report();
+  } else {
+    report_ = FallbackReport{};
+  }
+  report_.batched_cycles = covered;
+  return result;
+}
+
+}  // namespace rsin::core

@@ -1,0 +1,89 @@
+// BatchingScheduler: amortize warm-start repair cost across queued cycles.
+//
+// The DES fires one scheduling opportunity per cycle_interval and solves
+// each one individually. But the warm-start solver's cost per solve is
+// dominated by residual repair + re-augmentation against whatever changed
+// since the last solve — solving every cycle repairs against one cycle of
+// churn, N times. Draining every Nth cycle repairs against N cycles of
+// churn once: strictly less repair work for the same final assignment,
+// because pending requests accumulate in the Problem snapshot (an
+// unscheduled request simply stays in the queue and reappears next cycle).
+// That is the latency/throughput trade the paper's token architecture makes
+// at the switchbox level, lifted to the scheduling policy level.
+//
+// State machine per schedule() call:
+//
+//   accumulating --(queued < window, no deadline hit)--> defer:
+//       return an empty ScheduleResult, outcome kDeferred,
+//       batched_cycles 0. The caller must treat the cycle as unserved
+//       (no blocking/utilization accounting) — the DES does.
+//   accumulating --(queued == window, or any pending request has waited
+//                   deadline_cycles deferrals)--> drain:
+//       run the inner scheduler once on the current snapshot (which
+//       already carries every deferred cycle's surviving requests),
+//       propagate the inner report, set batched_cycles = drained count,
+//       restart the window.
+//
+// reset() clears the window as well as the inner scheduler — the DES calls
+// it when the overload ladder recovers from greedy bypass (level >= 2
+// bypasses the configured scheduler entirely, freezing the window; the
+// reset on re-entry prevents a stale deadline clock from firing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "topo/network.hpp"
+
+namespace rsin::core {
+
+/// Policy knobs of BatchingScheduler (CLI: --batch-window/--batch-deadline).
+struct BatchPolicy {
+  /// Cycles accumulated per drain. 1 = solve every cycle (the wrapper is
+  /// then a transparent pass-through that never defers).
+  std::int32_t window = 1;
+  /// Latency bound: a pending request that has been present for this many
+  /// consecutive schedule() calls forces a drain even mid-window. <= 0
+  /// disables the bound (pure window batching).
+  std::int32_t deadline_cycles = 0;
+};
+
+/// Wraps any Scheduler (typically the warm-start path or its circuit
+/// breaker) with the window/deadline batching policy above. Reports every
+/// cycle via ReportingScheduler: kDeferred for queued cycles, the inner
+/// scheduler's outcome (weighted by batched_cycles) for drains.
+class BatchingScheduler final : public ReportingScheduler {
+ public:
+  BatchingScheduler(std::unique_ptr<Scheduler> inner, BatchPolicy policy);
+
+  [[nodiscard]] std::string name() const override;
+  ScheduleResult schedule(const Problem& problem) override;
+  void reset() override;
+  void set_relaxed(bool relaxed) override { inner_->set_relaxed(relaxed); }
+
+  [[nodiscard]] const FallbackReport& last_report() const override {
+    return report_;
+  }
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+  /// Lifetime counts (diagnostics / CLI output).
+  [[nodiscard]] std::int64_t deferred_cycles() const { return deferred_; }
+  [[nodiscard]] std::int64_t drains() const { return drains_; }
+  [[nodiscard]] Scheduler& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  BatchPolicy policy_;
+  FallbackReport report_;
+  std::int32_t queued_ = 0;  ///< Cycles in the open window, incl. current.
+  std::int64_t deferred_ = 0;
+  std::int64_t drains_ = 0;
+  /// Consecutive schedule() calls each pending processor's request has been
+  /// present for (drives the deadline). Rebuilt from the snapshot each call
+  /// so departed requests (satisfied elsewhere, shed, torn down) age out.
+  std::map<topo::ProcessorId, std::int32_t> ages_;
+  std::map<topo::ProcessorId, std::int32_t> scratch_ages_;
+};
+
+}  // namespace rsin::core

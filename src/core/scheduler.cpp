@@ -37,31 +37,40 @@ ScheduleResult MaxFlowScheduler::schedule(const Problem& problem) {
 WarmMaxFlowScheduler::WarmMaxFlowScheduler(bool verify, bool canonical)
     : verify_(verify), canonical_(canonical) {}
 
+WarmMaxFlowScheduler::WarmMaxFlowScheduler(WarmContextLease lease, bool verify,
+                                           bool canonical)
+    : lease_(std::move(lease)), verify_(verify), canonical_(canonical) {
+  RSIN_REQUIRE(lease_.valid(),
+               "pool-backed warm scheduler needs a live lease");
+}
+
 std::string WarmMaxFlowScheduler::name() const {
   return canonical_ ? "max-flow(dinic,canonical)" : "max-flow(dinic,warm)";
 }
 
-void WarmMaxFlowScheduler::reset() { context_.invalidate(); }
+void WarmMaxFlowScheduler::reset() { state().context.invalidate(); }
 
 ScheduleResult WarmMaxFlowScheduler::schedule(const Problem& problem) {
+  PersistentTransform& transform = state().transform;
+  flow::ScheduleContext& context = state().context;
   try {
-    if (!transform_.matches(*problem.network)) {
-      transform_.build(*problem.network);
-      context_.invalidate();
+    if (!transform.matches(*problem.network)) {
+      transform.build(*problem.network);
+      context.invalidate();
     }
-    transform_.update(problem);
-    flow::FlowNetwork& net = transform_.result().net;
+    transform.update(problem);
+    flow::FlowNetwork& net = transform.result().net;
     // Canonical mode (ROADMAP E17b): a clean allocation-free cold solve on
     // the persistent skeleton every cycle. Same arc order as
     // transformation1, empty starting flow — the resulting assignment (and
     // extracted schedule) is bitwise identical to MaxFlowScheduler(kDinic).
     // Warm mode: on a cold (re)start the residual is derived from the
     // network's flow assignment, which is stale; warm cycles ignore it.
-    if (canonical_ || !context_.warm_valid) net.clear_flow();
+    if (canonical_ || !context.warm_valid) net.clear_flow();
     const flow::MaxFlowResult stats =
-        canonical_ ? flow::max_flow_dinic(net, context_)
-                   : flow::warm_max_flow_dinic(net, context_);
-    ScheduleResult result = extract_schedule(problem, transform_.result());
+        canonical_ ? flow::max_flow_dinic(net, context)
+                   : flow::warm_max_flow_dinic(net, context);
+    ScheduleResult result = extract_schedule(problem, transform.result());
     RSIN_ENSURE(static_cast<flow::Capacity>(result.allocated()) == stats.value,
                 "allocation count must equal the max-flow value (Theorem 2)");
     if (verify_ && !relaxed_) {
@@ -76,7 +85,7 @@ ScheduleResult WarmMaxFlowScheduler::schedule(const Problem& problem) {
     return result;
   } catch (...) {
     // A half-mutated context must not poison the next cycle.
-    context_.invalidate();
+    context.invalidate();
     throw;
   }
 }
@@ -218,6 +227,8 @@ const char* to_string(ScheduleOutcome outcome) {
       return "partial";
     case ScheduleOutcome::kColdFallback:
       return "cold-fallback";
+    case ScheduleOutcome::kDeferred:
+      return "deferred";
   }
   return "unknown";
 }
@@ -281,6 +292,13 @@ CircuitBreakerScheduler::CircuitBreakerScheduler(BreakerConfig config,
     : CircuitBreakerScheduler(config,
                               std::make_unique<WarmMaxFlowScheduler>(verify)) {
 }
+
+CircuitBreakerScheduler::CircuitBreakerScheduler(BreakerConfig config,
+                                                 WarmContextLease lease,
+                                                 bool verify)
+    : CircuitBreakerScheduler(
+          config,
+          std::make_unique<WarmMaxFlowScheduler>(std::move(lease), verify)) {}
 
 CircuitBreakerScheduler::CircuitBreakerScheduler(
     BreakerConfig config, std::unique_ptr<Scheduler> primary)

@@ -27,6 +27,7 @@
 #include "core/problem.hpp"
 #include "core/schedule.hpp"
 #include "core/transform.hpp"
+#include "core/warm_pool.hpp"
 #include "flow/max_flow.hpp"
 #include "flow/min_cost.hpp"
 #include "flow/schedule_context.hpp"
@@ -86,6 +87,13 @@ class WarmMaxFlowScheduler final : public Scheduler {
  public:
   explicit WarmMaxFlowScheduler(bool verify = kVerifyDefault,
                                 bool canonical = false);
+  /// Pool-backed construction: operates on the leased WarmContext instead
+  /// of private state, so the skeleton and retained residual survive this
+  /// scheduler's destruction (the lease files them back into the pool).
+  /// The pool must outlive the scheduler.
+  explicit WarmMaxFlowScheduler(WarmContextLease lease,
+                                bool verify = kVerifyDefault,
+                                bool canonical = false);
   [[nodiscard]] std::string name() const override;
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override;
@@ -94,10 +102,11 @@ class WarmMaxFlowScheduler final : public Scheduler {
   void set_relaxed(bool relaxed) override { relaxed_ = relaxed; }
 
   [[nodiscard]] bool canonical() const { return canonical_; }
+  [[nodiscard]] bool pooled() const { return lease_.valid(); }
 
   /// Warm/cold cycle accounting of the underlying ScheduleContext.
   [[nodiscard]] const flow::WarmStats& warm_stats() const {
-    return context_.stats;
+    return state().context.stats;
   }
 
 #ifdef NDEBUG
@@ -107,8 +116,15 @@ class WarmMaxFlowScheduler final : public Scheduler {
 #endif
 
  private:
-  PersistentTransform transform_;
-  flow::ScheduleContext context_;
+  [[nodiscard]] WarmContext& state() {
+    return lease_.valid() ? *lease_ : owned_;
+  }
+  [[nodiscard]] const WarmContext& state() const {
+    return lease_.valid() ? *lease_ : owned_;
+  }
+
+  WarmContextLease lease_;  ///< Engaged when pool-backed.
+  WarmContext owned_;       ///< Used when not pool-backed.
   bool verify_;
   bool canonical_;
   bool relaxed_ = false;
@@ -168,6 +184,8 @@ enum class ScheduleOutcome : std::uint8_t {
   kDegraded,  ///< Primary failed or timed out; greedy fallback answered.
   kPartial,   ///< Both failed; an empty (but valid) schedule was returned.
   kColdFallback,  ///< Warm path tripped/open; optimal cold solver answered.
+  kDeferred,  ///< BatchingScheduler queued the cycle; no solve was run and
+              ///< the empty result must not be accounted as a served cycle.
 };
 
 [[nodiscard]] const char* to_string(ScheduleOutcome outcome);
@@ -190,6 +208,11 @@ struct FallbackReport {
   BreakerState breaker = BreakerState::kClosed;
   /// Consecutive primary failures observed so far (resets on success).
   std::int32_t consecutive_failures = 0;
+  /// Scheduling cycles this report covers: 1 for ordinary schedulers, the
+  /// drained window size for a BatchingScheduler drain (>= 1), and 0 for a
+  /// kDeferred cycle (no solve ran). Metrics that average "per served
+  /// cycle" must weight by this instead of assuming one outcome per cycle.
+  std::int32_t batched_cycles = 1;
 };
 
 /// Schedulers that diagnose how each cycle was served. Control loops (the
@@ -270,6 +293,11 @@ class CircuitBreakerScheduler final : public ReportingScheduler {
   /// when the primary is a WarmMaxFlowScheduler.
   CircuitBreakerScheduler(BreakerConfig config,
                           std::unique_ptr<Scheduler> primary);
+  /// Pool-backed warm primary: breaker semantics (including the soft
+  /// repair-cost trigger) on a leased WarmContext, so the warm state
+  /// survives the breaker's lifetime.
+  CircuitBreakerScheduler(BreakerConfig config, WarmContextLease lease,
+                          bool verify = WarmMaxFlowScheduler::kVerifyDefault);
   [[nodiscard]] std::string name() const override;
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override;

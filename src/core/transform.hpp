@@ -89,6 +89,13 @@ class PersistentTransform {
   /// The persistent network plus the arc bookkeeping extract_schedule needs.
   [[nodiscard]] TransformResult& result() { return result_; }
 
+  /// Shape the skeleton was built for (0 when never built). The pool files
+  /// returned contexts under this key so the next same-shape checkout
+  /// starts warm.
+  [[nodiscard]] std::uint64_t shape_hash() const {
+    return built_ ? shape_hash_ : 0;
+  }
+
  private:
   TransformResult result_;
   std::vector<flow::ArcId> processor_arc_;  // per processor; the S arc

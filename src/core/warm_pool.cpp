@@ -1,0 +1,123 @@
+#include "core/warm_pool.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+WarmContextLease::WarmContextLease(WarmContextLease&& other) noexcept
+    : pool_(other.pool_),
+      shard_(other.shard_),
+      context_(std::move(other.context_)) {
+  other.pool_ = nullptr;
+}
+
+WarmContextLease& WarmContextLease::operator=(
+    WarmContextLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    shard_ = other.shard_;
+    context_ = std::move(other.context_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+WarmContextLease::~WarmContextLease() { release(); }
+
+void WarmContextLease::release() {
+  if (pool_ != nullptr && context_ != nullptr) {
+    pool_->give_back(shard_, std::move(context_));
+  }
+  pool_ = nullptr;
+  context_.reset();
+}
+
+WarmContextPool::WarmContextPool(std::size_t shards) {
+  RSIN_REQUIRE(shards >= 1, "a warm-context pool needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+WarmContextLease WarmContextPool::checkout(std::size_t shard,
+                                           const topo::Network& net) {
+  return take(shard, net.shape_hash(), /*keyed=*/true);
+}
+
+WarmContextLease WarmContextPool::checkout(std::size_t shard) {
+  return take(shard, 0, /*keyed=*/false);
+}
+
+WarmContextLease WarmContextPool::take(std::size_t shard,
+                                       std::uint64_t shape_key, bool keyed) {
+  const std::size_t index = shard % shards_.size();
+  Shard& s = *shards_[index];
+  checkouts_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<WarmContext> context;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.idle.empty()) {
+      std::size_t pick = s.idle.size();  // sentinel: no shape match
+      if (keyed) {
+        for (std::size_t i = 0; i < s.idle.size(); ++i) {
+          if (s.idle[i]->shape_key() == shape_key) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      if (pick < s.idle.size()) {
+        warm_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // No matching skeleton: hand out the most recently returned context
+        // anyway. The scheduler rebuilds it for the new shape, which still
+        // reuses the context's solver buffers.
+        if (keyed) shape_misses_.fetch_add(1, std::memory_order_relaxed);
+        pick = s.idle.size() - 1;
+      }
+      context = std::move(s.idle[pick]);
+      s.idle.erase(s.idle.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  if (context == nullptr) {
+    cold_creates_.fetch_add(1, std::memory_order_relaxed);
+    context = std::make_unique<WarmContext>();
+  }
+  context->context.stats.leases += 1;
+  return WarmContextLease(this, index, std::move(context));
+}
+
+void WarmContextPool::give_back(std::size_t shard,
+                                std::unique_ptr<WarmContext> context) {
+  returns_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = *shards_[shard % shards_.size()];
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.idle.push_back(std::move(context));
+}
+
+void WarmContextPool::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->idle.clear();
+  }
+}
+
+WarmPoolStats WarmContextPool::stats() const {
+  WarmPoolStats out;
+  out.checkouts = checkouts_.load(std::memory_order_relaxed);
+  out.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+  out.shape_misses = shape_misses_.load(std::memory_order_relaxed);
+  out.cold_creates = cold_creates_.load(std::memory_order_relaxed);
+  out.returns = returns_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    out.idle += static_cast<std::int64_t>(shard->idle.size());
+  }
+  return out;
+}
+
+}  // namespace rsin::core

@@ -1,0 +1,169 @@
+// WarmContextPool: a sharded pool of persistent warm-start scheduler state.
+//
+// PR 2 made a single scheduler's cycle loop allocation-free: one
+// PersistentTransform skeleton plus one flow::ScheduleContext, repaired
+// in place every cycle. What it did NOT fix is every control loop that
+// creates schedulers dynamically — run_static_experiment_parallel builds a
+// cold scheduler per batch, and a DES restarted per scenario rebuilds from
+// scratch — throwing the warm state away exactly where the paper's
+// distributed token architecture says the win is (the switchboxes keep
+// their token state across establishes/teardowns; they do not re-derive it).
+//
+// The pool keeps {PersistentTransform, ScheduleContext} pairs alive across
+// scheduler lifetimes:
+//
+//  * Sharded: one shard per worker thread. A worker only ever touches its
+//    own shard's mutex, so checkout/return never contends in the steady
+//    state; shards are padded conceptually by the per-shard mutex (no
+//    global lock).
+//  * Shape-keyed: idle contexts are filed under the topology shape_hash
+//    they were last built for. A checkout for the same shape returns a
+//    context whose skeleton already matches — the first cycle is warm. A
+//    miss hands out a fresh (cold) context; correctness never depends on
+//    the key, because WarmMaxFlowScheduler rebuilds on a shape mismatch
+//    anyway (the hash is purely a warm-hit optimization).
+//  * Leased: checkout returns a move-only RAII WarmContextLease; the
+//    destructor files the context back into its shard under the shape it
+//    *now* holds (which may differ from the checkout shape if the network
+//    changed mid-lease). The pool must outlive every lease.
+//
+// Thread safety: the pool itself (checkout / give_back / stats) is safe to
+// call from any thread. A leased WarmContext is exclusively owned by the
+// holder and is NOT internally synchronized — exactly one thread may use a
+// lease at a time, which is the sharding discipline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/transform.hpp"
+#include "flow/schedule_context.hpp"
+#include "topo/network.hpp"
+
+namespace rsin::core {
+
+/// One unit of poolable warm-start state: the persistent Transformation-1
+/// skeleton plus the solver's residual/scratch context. The pair must travel
+/// together — the context's retained residual is only meaningful against the
+/// skeleton it was solved on.
+struct WarmContext {
+  PersistentTransform transform;
+  flow::ScheduleContext context;
+
+  /// The shape the skeleton currently holds (0 when never built). Used by
+  /// the pool to re-file returned contexts.
+  [[nodiscard]] std::uint64_t shape_key() const {
+    return transform.shape_hash();
+  }
+};
+
+/// Aggregate pool accounting (snapshot; see WarmContextPool::stats).
+struct WarmPoolStats {
+  std::int64_t checkouts = 0;     ///< Total checkout() calls.
+  std::int64_t warm_hits = 0;     ///< Checkouts served by a matching context.
+  std::int64_t shape_misses = 0;  ///< Idle contexts existed, none matched.
+  std::int64_t cold_creates = 0;  ///< Checkouts that built a fresh context.
+  std::int64_t returns = 0;       ///< Contexts filed back by leases.
+  std::int64_t idle = 0;          ///< Contexts currently parked in shards.
+};
+
+class WarmContextPool;
+
+/// Move-only RAII checkout handle. Destruction (or release()) returns the
+/// context to the shard it came from. An empty lease (default-constructed or
+/// moved-from) is inert. The owning pool must outlive the lease.
+class WarmContextLease {
+ public:
+  WarmContextLease() = default;
+  WarmContextLease(WarmContextLease&& other) noexcept;
+  WarmContextLease& operator=(WarmContextLease&& other) noexcept;
+  WarmContextLease(const WarmContextLease&) = delete;
+  WarmContextLease& operator=(const WarmContextLease&) = delete;
+  ~WarmContextLease();
+
+  [[nodiscard]] bool valid() const { return context_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  [[nodiscard]] WarmContext& operator*() { return *context_; }
+  [[nodiscard]] const WarmContext& operator*() const { return *context_; }
+  [[nodiscard]] WarmContext* operator->() { return context_.get(); }
+  [[nodiscard]] const WarmContext* operator->() const {
+    return context_.get();
+  }
+
+  /// Shard this lease checks back into.
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+
+  /// Returns the context to the pool now (idempotent; the lease is empty
+  /// afterwards).
+  void release();
+
+ private:
+  friend class WarmContextPool;
+  WarmContextLease(WarmContextPool* pool, std::size_t shard,
+                   std::unique_ptr<WarmContext> context)
+      : pool_(pool), shard_(shard), context_(std::move(context)) {}
+
+  WarmContextPool* pool_ = nullptr;
+  std::size_t shard_ = 0;
+  std::unique_ptr<WarmContext> context_;
+};
+
+/// Sharded, shape-keyed pool of WarmContexts. See the file comment for the
+/// ownership model. Typical use:
+///
+///   WarmContextPool pool(worker_count);
+///   // worker w:
+///   WarmMaxFlowScheduler scheduler(pool.checkout(w, net));
+///   ... scheduler.schedule(problem) per cycle ...
+///   // scheduler destruction returns the (still warm) context to shard w.
+class WarmContextPool {
+ public:
+  explicit WarmContextPool(std::size_t shards = 1);
+
+  // The pool hands out raw pointers to itself via leases; it must not move.
+  WarmContextPool(const WarmContextPool&) = delete;
+  WarmContextPool& operator=(const WarmContextPool&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Checks a context out of `shard` (indices wrap, so callers may pass a
+  /// worker id directly). Prefers an idle context whose skeleton was built
+  /// for `net`'s shape; falls back to any idle context (the scheduler will
+  /// rebuild the skeleton — still cheaper than allocating buffers cold);
+  /// creates a fresh context when the shard is empty.
+  [[nodiscard]] WarmContextLease checkout(std::size_t shard,
+                                          const topo::Network& net);
+
+  /// Shape-agnostic checkout: any idle context, else a fresh one.
+  [[nodiscard]] WarmContextLease checkout(std::size_t shard);
+
+  /// Drops every idle context (outstanding leases are unaffected; they
+  /// re-file into the emptied shards on return).
+  void clear();
+
+  [[nodiscard]] WarmPoolStats stats() const;
+
+ private:
+  friend class WarmContextLease;
+  struct Shard {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<WarmContext>> idle;
+  };
+
+  WarmContextLease take(std::size_t shard, std::uint64_t shape_key,
+                        bool keyed);
+  void give_back(std::size_t shard, std::unique_ptr<WarmContext> context);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> checkouts_{0};
+  std::atomic<std::int64_t> warm_hits_{0};
+  std::atomic<std::int64_t> shape_misses_{0};
+  std::atomic<std::int64_t> cold_creates_{0};
+  std::atomic<std::int64_t> returns_{0};
+};
+
+}  // namespace rsin::core

@@ -31,11 +31,21 @@ struct WarmStats {
   std::int64_t cold_rebuilds = 0;  ///< Cycles that rebuilt it cold.
   std::int64_t repair_cancelled = 0;  ///< Flow units shed by capacity repair.
   Capacity retained_flow = 0;  ///< Flow carried into the last warm solve.
+  /// Times this context was checked out of a core::WarmContextPool. A count
+  /// above 1 with cold_rebuilds == 1 is the pool working as intended: later
+  /// leases resumed the residual instead of rebuilding it.
+  std::int64_t leases = 0;
 };
 
 /// Reusable solver state for the per-cycle scheduling hot path. One context
 /// serves one logical network; reusing it across structurally different
 /// networks is safe (buffers are resized) but forfeits warm starts.
+///
+/// Contexts may outlive any single scheduler: core::WarmContextPool checks
+/// them out and back in across scheduler lifetimes. A context carries no
+/// back-pointers, so check-in/check-out is pure ownership transfer; the
+/// first warm solve after a re-checkout re-syncs capacities against the
+/// retained residual exactly like any other cycle.
 class ScheduleContext {
  public:
   /// Forgets the retained flow; the next warm solve rebuilds cold. Call

@@ -206,4 +206,53 @@ StaticExperimentResult run_static_experiment_parallel(
   return result;
 }
 
+StaticExperimentResult run_static_experiment_pooled(
+    const topo::Network& net, core::WarmContextPool& pool,
+    const StaticExperimentConfig& config, int threads, bool canonical,
+    bool verify) {
+  validate(config);
+  RSIN_REQUIRE(threads >= 1, "need at least one worker");
+  // Bit-identical aggregation across thread counts relies on every batch
+  // total being history-independent; only the max-flow *value* is (the
+  // realizing assignment may differ with warm history), so priorities and
+  // preferences — the fields whose cost depends on the assignment — must
+  // be off. Transformation 1 requires homogeneity anyway.
+  RSIN_REQUIRE(config.resource_types == 1,
+               "pooled warm scheduling requires a homogeneous experiment "
+               "(resource_types == 1)");
+  RSIN_REQUIRE(config.priority_levels == 0,
+               "pooled warm scheduling requires priority_levels == 0 (cost "
+               "would depend on warm-start assignment history)");
+  const util::Rng root(config.seed);
+  const auto sizes = batch_sizes(config.trials);
+
+  std::vector<StaticExperimentResult> parts(sizes.size());
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next_batch{0};
+  const auto worker = [&](std::size_t index) {
+    // One lease — one scheduler — per worker for the whole sweep: the
+    // skeleton and residual carry over between batches, which is the win
+    // over the factory variant's per-batch cold scheduler.
+    core::WarmMaxFlowScheduler scheduler(pool.checkout(index, net), verify,
+                                         canonical);
+    while (true) {
+      const std::size_t batch = next_batch.fetch_add(1);
+      if (batch >= sizes.size()) break;
+      parts[batch] = run_batch(net, scheduler, config, root.split(batch),
+                               sizes[batch]);
+    }
+  };
+  const auto worker_count = std::min<std::size_t>(
+      static_cast<std::size_t>(threads), sizes.size());
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back(worker, w);
+  }
+  for (std::thread& thread : workers) thread.join();
+
+  StaticExperimentResult result;
+  for (const StaticExperimentResult& part : parts) merge(result, part);
+  return result;
+}
+
 }  // namespace rsin::sim

@@ -93,4 +93,26 @@ StaticExperimentResult run_static_experiment_parallel(
     const topo::Network& net, const SchedulerFactory& factory,
     const StaticExperimentConfig& config, int threads);
 
+/// Sharded warm-context variant: each worker leases one WarmContext from
+/// its pool shard (shard = worker index mod shard_count) and runs one
+/// WarmMaxFlowScheduler across *all* the batches it drains, so the
+/// Transformation-1 skeleton and the solver residual stay warm for the
+/// whole sweep instead of being rebuilt per batch (ROADMAP "sharded
+/// schedulers"). Contexts return to the pool on completion, so back-to-back
+/// sweeps over the same topology start warm too.
+///
+/// The aggregate is bit-identical to run_static_experiment /
+/// run_static_experiment_parallel with a MaxFlowScheduler(kDinic) factory
+/// for every thread count: trial instances depend only on the per-batch RNG
+/// stream, the warm solve's *value* provably equals the cold solve's
+/// regardless of residual history, and with priorities disabled no other
+/// field depends on which assignment realizes that value. Hence the
+/// homogeneity requirements: throws unless `config.resource_types == 1`
+/// and `config.priority_levels == 0` (Transformation 1's domain).
+StaticExperimentResult run_static_experiment_pooled(
+    const topo::Network& net, core::WarmContextPool& pool,
+    const StaticExperimentConfig& config, int threads,
+    bool canonical = false,
+    bool verify = core::WarmMaxFlowScheduler::kVerifyDefault);
+
 }  // namespace rsin::sim

@@ -143,6 +143,7 @@ struct SystemState {
   std::int64_t tasks_completed = 0;
   std::int64_t cycles = 0;
   std::int64_t degraded_cycles = 0;
+  std::int64_t deferred_cycles = 0;
   std::int64_t faults_injected = 0;
   std::int64_t repairs = 0;
   std::int64_t circuits_torn_down = 0;
@@ -565,10 +566,21 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
     }
 
     if (state.measuring) {
-      state.opportunities += opportunities;
-      state.allocated += granted;
-      ++state.cycles;
-      if (outcome != core::ScheduleOutcome::kOptimal) ++state.degraded_cycles;
+      if (outcome == core::ScheduleOutcome::kDeferred) {
+        // A deferred cycle ran no solve: its requests stay queued and are
+        // still scheduling opportunities for the drain cycle. Counting the
+        // empty result here would overstate blocking and dilute
+        // degraded_cycle_fraction (the FallbackReport-per-cycle assumption
+        // BatchingScheduler broke).
+        ++state.deferred_cycles;
+      } else {
+        state.opportunities += opportunities;
+        state.allocated += granted;
+        ++state.cycles;
+        if (outcome != core::ScheduleOutcome::kOptimal) {
+          ++state.degraded_cycles;
+        }
+      }
     }
   }
   if (config.validate_invariants) check_invariants(state, config);
@@ -708,6 +720,7 @@ SystemMetrics run_simulation(const topo::Network& base,
     metrics.tasks_arrived = state.tasks_arrived;
     metrics.tasks_completed = state.tasks_completed;
     metrics.scheduling_cycles = state.cycles;
+    metrics.deferred_cycles = state.deferred_cycles;
     metrics.availability =
         state.net.link_count() > 0
             ? 1.0 - state.faulty_links.average(end_time) /
@@ -743,6 +756,8 @@ SystemMetrics run_simulation(const topo::Network& base,
                             std::to_string(metrics.tasks_dropped));
       recorder->note_metric("scheduling_cycles",
                             std::to_string(metrics.scheduling_cycles));
+      recorder->note_metric("deferred_cycles",
+                            std::to_string(metrics.deferred_cycles));
       recorder->note_metric("final_level", to_string(metrics.final_level));
     }
     return metrics;

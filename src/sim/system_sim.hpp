@@ -157,7 +157,13 @@ struct SystemMetrics {
   double mean_queue_length = 0.0;     ///< Tasks queued at processors.
   std::int64_t tasks_arrived = 0;
   std::int64_t tasks_completed = 0;
+  /// Cycles on which a solve actually ran. Cycles a BatchingScheduler
+  /// deferred (outcome kDeferred) are counted in deferred_cycles instead,
+  /// so blocking_probability and degraded_cycle_fraction are per *served*
+  /// cycle — a deferred cycle's requests stay queued and are re-offered to
+  /// the drain cycle, not lost.
   std::int64_t scheduling_cycles = 0;
+  std::int64_t deferred_cycles = 0;
 
   // Fault / degraded-mode metrics (trivial on a fault-free run).
   double availability = 1.0;  ///< Time-weighted fraction of non-faulty links.

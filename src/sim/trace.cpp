@@ -281,7 +281,7 @@ Trace Trace::load(std::istream& in) {
                    "trace: bad cycle line: " + line);
       RSIN_REQUIRE(outcome >= 0 &&
                        outcome <= static_cast<int>(
-                                      core::ScheduleOutcome::kColdFallback),
+                                      core::ScheduleOutcome::kDeferred),
                    "trace: bad cycle outcome: " + line);
       TraceCycle cycle;
       cycle.time = parse_double(time, "cycle time");

@@ -152,6 +152,77 @@ TEST(StaticExperiment, ParallelThreadCountInvariantForStatefulSchedulers) {
   EXPECT_EQ(one.total_opportunities, four.total_opportunities);
 }
 
+TEST(StaticExperiment, PooledMatchesSequentialAtEveryThreadCount) {
+  // The sharded warm-context pool keeps one scheduler per worker alive
+  // across batches, so warm history differs with every thread count — but
+  // the aggregate must stay bit-identical to the sequential cold run: trial
+  // instances depend only on the per-batch RNG stream and the warm solve's
+  // value equals the cold solve's.
+  const topo::Network net = topo::make_omega(8);
+  StaticExperimentConfig config;
+  config.trials = 400;
+  config.seed = 31;
+  core::MaxFlowScheduler cold;
+  const auto sequential = run_static_experiment(net, cold, config);
+  for (const int threads : {1, 2, 4, 7}) {
+    core::WarmContextPool pool(static_cast<std::size_t>(threads));
+    const auto pooled =
+        run_static_experiment_pooled(net, pool, config, threads);
+    EXPECT_EQ(pooled.total_allocated, sequential.total_allocated)
+        << threads << " threads";
+    EXPECT_EQ(pooled.total_opportunities, sequential.total_opportunities);
+    EXPECT_EQ(pooled.total_requests, sequential.total_requests);
+    EXPECT_EQ(pooled.total_cost, sequential.total_cost);
+    EXPECT_EQ(pooled.trials, sequential.trials);
+    ASSERT_EQ(pooled.batch_blocking.size(), sequential.batch_blocking.size());
+    for (std::size_t b = 0; b < pooled.batch_blocking.size(); ++b) {
+      // Bitwise: each batch total is integer-derived, so the quotient is
+      // the identical double.
+      EXPECT_EQ(pooled.batch_blocking[b], sequential.batch_blocking[b]);
+    }
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.returns, stats.checkouts);  // every lease came home
+    EXPECT_EQ(stats.idle, stats.cold_creates);
+  }
+}
+
+TEST(StaticExperiment, PooledSweepsReuseContextsAcrossRuns) {
+  const topo::Network net = topo::make_omega(8);
+  StaticExperimentConfig config;
+  config.trials = 100;
+  config.seed = 17;
+  core::WarmContextPool pool(2);
+  const auto first = run_static_experiment_pooled(net, pool, config, 2);
+  const auto second = run_static_experiment_pooled(net, pool, config, 2);
+  EXPECT_EQ(first.total_allocated, second.total_allocated);
+  const auto stats = pool.stats();
+  // The second sweep's workers found the first sweep's contexts idle: no
+  // new creates. A shard's context only carries a built skeleton if its
+  // sweep-1 worker won at least one batch (the other worker can race to
+  // drain them all), so at least one — usually both — re-checkout is a
+  // warm hit and the rest are reused-buffer misses.
+  EXPECT_EQ(stats.cold_creates, 2);
+  EXPECT_GE(stats.warm_hits, 1);
+  EXPECT_EQ(stats.warm_hits + stats.shape_misses, 2);
+}
+
+TEST(StaticExperiment, PooledRejectsHeterogeneousAndPriorityConfigs) {
+  const topo::Network net = topo::make_omega(8);
+  core::WarmContextPool pool(1);
+  StaticExperimentConfig config;
+  config.trials = 10;
+  config.resource_types = 2;
+  EXPECT_THROW(run_static_experiment_pooled(net, pool, config, 1),
+               std::invalid_argument);
+  config.resource_types = 1;
+  config.priority_levels = 3;
+  EXPECT_THROW(run_static_experiment_pooled(net, pool, config, 1),
+               std::invalid_argument);
+  config.priority_levels = 0;
+  EXPECT_THROW(run_static_experiment_pooled(net, pool, config, 0),
+               std::invalid_argument);
+}
+
 TEST(StaticExperiment, ParallelRejectsBadThreadCount) {
   const topo::Network net = topo::make_omega(4);
   StaticExperimentConfig config;

@@ -1,0 +1,527 @@
+// Sharded warm-context pool + batching scheduler: the differential harness.
+//
+// The pool moves mutable warm-start state (PersistentTransform +
+// ScheduleContext) across scheduler lifetimes and threads; the batching
+// wrapper moves it across cycles. Both are pure *when* decisions — neither
+// may change *what* gets scheduled. Every suite here pins that down against
+// the cold MaxFlowScheduler(kDinic) reference: equal max-flow value on
+// randomized topology x fault x burst sweeps, bitwise-equal assignments in
+// canonical mode (extending the WarmStartCanonical pattern), plus the pool's
+// ownership/kreying mechanics and a concurrent checkout hammer for TSan.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batching.hpp"
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "core/warm_pool.hpp"
+#include "sim/system_sim.hpp"
+#include "test_helpers.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rsin;
+
+// --- pool mechanics -------------------------------------------------------
+
+TEST(WarmPool, CheckoutCreatesAndReusesContexts) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::WarmContextPool pool(1);
+  util::Rng rng(1);
+  {
+    core::WarmMaxFlowScheduler scheduler(pool.checkout(0, net),
+                                         /*verify=*/true);
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      scheduler.schedule(test::random_problem(rng, net, 0.5, 0.5));
+    }
+    EXPECT_EQ(scheduler.warm_stats().cold_rebuilds, 1);
+    EXPECT_TRUE(scheduler.pooled());
+  }  // scheduler destroyed -> lease files the context back into shard 0
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.checkouts, 1);
+  EXPECT_EQ(stats.cold_creates, 1);
+  EXPECT_EQ(stats.returns, 1);
+  EXPECT_EQ(stats.idle, 1);
+
+  {
+    core::WarmMaxFlowScheduler scheduler(pool.checkout(0, net),
+                                         /*verify=*/true);
+    // Second lease of the same context: the skeleton still matches, so the
+    // next solves warm-resume the retained residual — no new cold rebuild.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      scheduler.schedule(test::random_problem(rng, net, 0.5, 0.5));
+    }
+    EXPECT_EQ(scheduler.warm_stats().cold_rebuilds, 1);
+    EXPECT_EQ(scheduler.warm_stats().leases, 2);
+  }
+  stats = pool.stats();
+  EXPECT_EQ(stats.checkouts, 2);
+  EXPECT_EQ(stats.warm_hits, 1);
+  EXPECT_EQ(stats.cold_creates, 1);
+  EXPECT_EQ(stats.idle, 1);
+}
+
+TEST(WarmPool, ShapeKeyedRetention) {
+  const topo::Network omega = topo::make_named("omega", 8);
+  const topo::Network cube = topo::make_named("cube", 8);
+  ASSERT_NE(omega.shape_hash(), cube.shape_hash());
+  core::WarmContextPool pool(1);
+  {
+    core::WarmContextLease a = pool.checkout(0, omega);
+    a->transform.build(omega);
+    core::WarmContextLease b = pool.checkout(0, cube);
+    b->transform.build(cube);
+  }  // both returned, filed under their built shapes
+  ASSERT_EQ(pool.stats().idle, 2);
+
+  // A keyed checkout picks the matching skeleton, not just any idle one.
+  core::WarmContextLease cube_lease = pool.checkout(0, cube);
+  EXPECT_EQ(cube_lease->shape_key(), cube.shape_hash());
+  core::WarmContextLease omega_lease = pool.checkout(0, omega);
+  EXPECT_EQ(omega_lease->shape_key(), omega.shape_hash());
+  EXPECT_EQ(pool.stats().warm_hits, 2);
+  EXPECT_EQ(pool.stats().idle, 0);
+}
+
+TEST(WarmPool, ReturnReKeysAfterTopologyChange) {
+  const topo::Network omega = topo::make_named("omega", 8);
+  const topo::Network cube = topo::make_named("cube", 8);
+  core::WarmContextPool pool(1);
+  util::Rng rng(3);
+  {
+    // Check out for omega, but schedule cube problems: the scheduler
+    // rebuilds the skeleton for cube inside the lease.
+    core::WarmMaxFlowScheduler scheduler(pool.checkout(0, omega),
+                                         /*verify=*/true);
+    scheduler.schedule(test::random_problem(rng, cube, 0.6, 0.6));
+  }
+  // The return must file the context under the shape it NOW holds; a
+  // checkout for cube is a warm hit, not a stale-key miss.
+  const core::WarmContextLease lease = pool.checkout(0, cube);
+  EXPECT_EQ(lease->shape_key(), cube.shape_hash());
+  EXPECT_EQ(pool.stats().warm_hits, 1);
+  EXPECT_EQ(pool.stats().shape_misses, 0);
+}
+
+TEST(WarmPool, ShardsAreIndependentAndWrap) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::WarmContextPool pool(2);
+  EXPECT_EQ(pool.shard_count(), 2u);
+  { const auto lease = pool.checkout(0, net); }
+  // Shard 1 cannot see shard 0's idle context.
+  { const auto lease = pool.checkout(1, net); }
+  EXPECT_EQ(pool.stats().cold_creates, 2);
+  // Worker ids wrap onto shards, so callers can pass them directly: this
+  // lands on shard 1 and reuses its idle context instead of creating. The
+  // context was returned unbuilt (no scheduler ran on it), so it counts as
+  // a shape miss, not a warm hit — but no third context is created.
+  { const auto lease = pool.checkout(3, net); }
+  EXPECT_EQ(pool.stats().cold_creates, 2);
+  EXPECT_EQ(pool.stats().shape_misses, 1);
+  pool.clear();
+  EXPECT_EQ(pool.stats().idle, 0);
+}
+
+TEST(WarmPool, MissHandsOutBuffersAnyway) {
+  // A shape miss still reuses an idle context (solver buffers are shape-
+  // agnostic); correctness comes from the scheduler's rebuild-on-mismatch.
+  const topo::Network omega = topo::make_named("omega", 8);
+  const topo::Network cube = topo::make_named("cube", 8);
+  core::WarmContextPool pool(1);
+  util::Rng rng(4);
+  {
+    core::WarmMaxFlowScheduler scheduler(pool.checkout(0, omega),
+                                         /*verify=*/true);
+    scheduler.schedule(test::random_problem(rng, omega, 0.5, 0.5));
+  }
+  core::WarmMaxFlowScheduler scheduler(pool.checkout(0, cube),
+                                       /*verify=*/true);
+  EXPECT_EQ(pool.stats().shape_misses, 1);
+  EXPECT_EQ(pool.stats().cold_creates, 1);
+  const core::Problem problem = test::random_problem(rng, cube, 0.5, 0.5);
+  core::MaxFlowScheduler cold;
+  EXPECT_EQ(scheduler.schedule(problem).allocated(),
+            cold.schedule(problem).allocated());
+}
+
+TEST(WarmPool, LeaseMoveAndEarlyRelease) {
+  const topo::Network net = topo::make_named("omega", 4);
+  core::WarmContextPool pool(1);
+  core::WarmContextLease a = pool.checkout(0, net);
+  EXPECT_TRUE(a.valid());
+  core::WarmContextLease b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested intent
+  EXPECT_TRUE(b.valid());
+  b.release();
+  EXPECT_FALSE(b.valid());
+  b.release();  // idempotent
+  EXPECT_EQ(pool.stats().returns, 1);
+  EXPECT_EQ(pool.stats().idle, 1);
+}
+
+TEST(WarmPool, RejectsZeroShardsAndEmptyLease) {
+  EXPECT_THROW(core::WarmContextPool pool(0), std::invalid_argument);
+  EXPECT_THROW(core::WarmMaxFlowScheduler scheduler{core::WarmContextLease{}},
+               std::invalid_argument);
+}
+
+// --- differential sweeps vs cold Dinic ------------------------------------
+
+/// One DES-style mutation step shared by the sweeps below: establish some
+/// granted circuits, release some held ones, occasionally flip a link's
+/// hardware state (the same stream the WarmStart* suites use).
+void mutate(topo::Network& net, const core::ScheduleResult& result,
+            util::Rng& rng) {
+  for (const core::Assignment& a : result.assignments) {
+    if (net.established_circuit(a.request.processor) == nullptr &&
+        rng.bernoulli(0.5)) {
+      net.establish(a.circuit);
+    }
+  }
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    if (const topo::Circuit* held = net.established_circuit(p);
+        held != nullptr && rng.bernoulli(0.3)) {
+      const topo::Circuit copy = *held;
+      net.release(copy);
+    }
+  }
+  if (rng.bernoulli(0.2)) {
+    const auto link =
+        static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+    if (net.link_failed(link)) {
+      net.repair_link(link);
+    } else {
+      net.fail_link(link);
+    }
+  }
+}
+
+/// Randomized topology x fault x burst sweep: a pool-backed scheduler whose
+/// lease is dropped and re-checked-out mid-stream must allocate exactly the
+/// cold MaxFlowScheduler(kDinic) count every cycle. Bursts alternate load so
+/// drains repair against both tiny and huge capacity deltas.
+TEST(WarmPool, DifferentialRandomSweep) {
+  util::Rng rng(20260805);
+  core::WarmContextPool pool(1);
+  core::MaxFlowScheduler cold;
+  int topology_index = 0;
+  for (const char* name : {"omega", "cube", "baseline"}) {
+    topo::Network net = topo::make_named(name, 8);
+    auto scheduler = std::make_unique<core::WarmMaxFlowScheduler>(
+        pool.checkout(0, net), /*verify=*/true);
+    for (int cycle = 0; cycle < 120; ++cycle) {
+      if (cycle % 40 == 39) {
+        // Drop the scheduler mid-stream; the next one resumes the same
+        // context from the pool.
+        scheduler.reset();
+        scheduler = std::make_unique<core::WarmMaxFlowScheduler>(
+            pool.checkout(0, net), /*verify=*/true);
+      }
+      const bool burst = (cycle / 10) % 2 == 1;
+      const core::Problem problem =
+          test::random_problem(rng, net, burst ? 0.9 : 0.3, 0.5);
+      const core::ScheduleResult warm_result = scheduler->schedule(problem);
+      const core::ScheduleResult cold_result = cold.schedule(problem);
+      EXPECT_EQ(warm_result.allocated(), cold_result.allocated())
+          << name << " cycle " << cycle;
+      const auto violation = core::verify_schedule(problem, warm_result);
+      EXPECT_FALSE(violation.has_value()) << violation.value_or("");
+      mutate(net, warm_result, rng);
+    }
+    // One context serves everything: per topology, 4 scheduler lifetimes
+    // (initial + re-checkouts at cycles 39/79/119) share a single cold
+    // rebuild; switching topology forces exactly one more.
+    ++topology_index;
+    EXPECT_EQ(scheduler->warm_stats().cold_rebuilds, topology_index) << name;
+    EXPECT_EQ(scheduler->warm_stats().leases, 4 * topology_index) << name;
+  }
+  EXPECT_EQ(pool.stats().cold_creates, 1);
+}
+
+/// Canonical mode through the pool must stay bitwise identical to cold
+/// Dinic — including across a lease return/re-checkout boundary.
+TEST(WarmPoolCanonical, BitwiseIdenticalAcrossLeaseBoundaries) {
+  topo::Network net = topo::make_named("omega", 8);
+  core::WarmContextPool pool(1);
+  core::MaxFlowScheduler cold(flow::MaxFlowAlgorithm::kDinic);
+  util::Rng rng(42);
+  for (int segment = 0; segment < 3; ++segment) {
+    core::WarmMaxFlowScheduler canonical(pool.checkout(0, net),
+                                         /*verify=*/true, /*canonical=*/true);
+    for (int cycle = 0; cycle < 40; ++cycle) {
+      const core::Problem problem = test::random_problem(rng, net, 0.5, 0.5);
+      const core::ScheduleResult a = canonical.schedule(problem);
+      const core::ScheduleResult b = cold.schedule(problem);
+      ASSERT_EQ(a.assignments.size(), b.assignments.size())
+          << "segment " << segment << " cycle " << cycle;
+      for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+        EXPECT_EQ(a.assignments[i].request.processor,
+                  b.assignments[i].request.processor);
+        EXPECT_EQ(a.assignments[i].resource.resource,
+                  b.assignments[i].resource.resource);
+        EXPECT_EQ(a.assignments[i].circuit.links,
+                  b.assignments[i].circuit.links);
+      }
+      mutate(net, a, rng);
+    }
+  }
+}
+
+/// TSan target: hammer checkout/schedule/return from many threads. Each
+/// thread owns a private network copy; the only shared object is the pool.
+TEST(WarmPool, ConcurrentCheckoutHammer) {
+  const topo::Network net = topo::make_named("omega", 8);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+  core::WarmContextPool pool(4);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &net, t] {
+      topo::Network local = net;
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      core::MaxFlowScheduler cold;
+      for (int i = 0; i < kIterations; ++i) {
+        core::WarmMaxFlowScheduler scheduler(
+            pool.checkout(static_cast<std::size_t>(t), local),
+            /*verify=*/false);
+        const core::Problem problem =
+            test::random_problem(rng, local, 0.5, 0.5);
+        ASSERT_EQ(scheduler.schedule(problem).allocated(),
+                  cold.schedule(problem).allocated())
+            << "thread " << t << " iteration " << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.checkouts, kThreads * kIterations);
+  EXPECT_EQ(stats.returns, stats.checkouts);
+  EXPECT_EQ(stats.idle, stats.cold_creates);
+  EXPECT_GT(stats.warm_hits, 0);
+}
+
+// --- batching scheduler ---------------------------------------------------
+
+/// Counts inner solves (drains) while delegating to a real scheduler.
+class CountingScheduler final : public core::Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "counting"; }
+  core::ScheduleResult schedule(const core::Problem& problem) override {
+    ++calls;
+    return inner.schedule(problem);
+  }
+  int calls = 0;
+
+ private:
+  core::GreedyScheduler inner;
+};
+
+core::Problem pending_problem(const topo::Network& net) {
+  core::Problem problem;
+  problem.network = &net;
+  problem.requests.push_back({0, 0, 0});
+  core::FreeResource resource;
+  resource.resource = 0;
+  problem.free_resources.push_back(resource);
+  return problem;
+}
+
+TEST(Batching, DefersUntilWindowThenDrains) {
+  const topo::Network net = topo::make_named("omega", 8);
+  auto counting = std::make_unique<CountingScheduler>();
+  CountingScheduler* counter = counting.get();
+  core::BatchingScheduler batch(std::move(counting), {/*window=*/3});
+  const core::Problem problem = pending_problem(net);
+  for (int cycle = 1; cycle <= 6; ++cycle) {
+    const core::ScheduleResult result = batch.schedule(problem);
+    if (cycle % 3 == 0) {
+      EXPECT_NE(batch.last_report().outcome,
+                core::ScheduleOutcome::kDeferred);
+      EXPECT_EQ(batch.last_report().batched_cycles, 3);
+      EXPECT_EQ(result.allocated(), 1u) << "cycle " << cycle;
+    } else {
+      EXPECT_EQ(batch.last_report().outcome,
+                core::ScheduleOutcome::kDeferred);
+      EXPECT_EQ(batch.last_report().batched_cycles, 0);
+      EXPECT_TRUE(result.assignments.empty());
+    }
+  }
+  EXPECT_EQ(counter->calls, 2);
+  EXPECT_EQ(batch.deferred_cycles(), 4);
+  EXPECT_EQ(batch.drains(), 2);
+}
+
+TEST(Batching, DeadlineForcesEarlyDrain) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::BatchingScheduler batch(std::make_unique<CountingScheduler>(),
+                                {/*window=*/10, /*deadline_cycles=*/2});
+  const core::Problem problem = pending_problem(net);
+  batch.schedule(problem);
+  EXPECT_EQ(batch.last_report().outcome, core::ScheduleOutcome::kDeferred);
+  // The same request is still pending on the second call: age 2 hits the
+  // deadline and drains a window of 2, far before the window of 10.
+  batch.schedule(problem);
+  EXPECT_NE(batch.last_report().outcome, core::ScheduleOutcome::kDeferred);
+  EXPECT_EQ(batch.last_report().batched_cycles, 2);
+}
+
+TEST(Batching, DeadlineAgesOnlyPersistingRequests) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::BatchingScheduler batch(std::make_unique<CountingScheduler>(),
+                                {/*window=*/4, /*deadline_cycles=*/2});
+  core::Problem a = pending_problem(net);
+  core::Problem b = pending_problem(net);
+  b.requests[0].processor = 1;  // different processor: ages restart
+  batch.schedule(a);
+  batch.schedule(b);
+  // Neither request was present twice in a row, so no deadline fired yet.
+  EXPECT_EQ(batch.last_report().outcome, core::ScheduleOutcome::kDeferred);
+  batch.schedule(b);  // b's request is now 2 cycles old -> drain
+  EXPECT_EQ(batch.last_report().batched_cycles, 3);
+}
+
+TEST(Batching, WindowOneIsTransparent) {
+  const topo::Network net = topo::make_named("omega", 8);
+  auto counting = std::make_unique<CountingScheduler>();
+  CountingScheduler* counter = counting.get();
+  core::BatchingScheduler batch(std::move(counting), {/*window=*/1});
+  const core::Problem problem = pending_problem(net);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    batch.schedule(problem);
+    EXPECT_EQ(batch.last_report().outcome, core::ScheduleOutcome::kOptimal);
+    EXPECT_EQ(batch.last_report().batched_cycles, 1);
+  }
+  EXPECT_EQ(counter->calls, 4);
+  EXPECT_EQ(batch.deferred_cycles(), 0);
+}
+
+TEST(Batching, ResetClearsTheWindow) {
+  const topo::Network net = topo::make_named("omega", 8);
+  auto counting = std::make_unique<CountingScheduler>();
+  CountingScheduler* counter = counting.get();
+  core::BatchingScheduler batch(std::move(counting), {/*window=*/3});
+  const core::Problem problem = pending_problem(net);
+  batch.schedule(problem);
+  batch.schedule(problem);
+  batch.reset();  // e.g. the overload ladder recovering from greedy bypass
+  // A full fresh window is needed again: two accumulated cycles are gone.
+  batch.schedule(problem);
+  batch.schedule(problem);
+  EXPECT_EQ(counter->calls, 0);
+  batch.schedule(problem);
+  EXPECT_EQ(counter->calls, 1);
+  EXPECT_EQ(batch.last_report().batched_cycles, 3);
+}
+
+TEST(Batching, PropagatesInnerReportOnDrain) {
+  const topo::Network net = topo::make_named("omega", 8);
+  core::BatchingScheduler batch(
+      std::make_unique<core::CircuitBreakerScheduler>(core::BreakerConfig{},
+                                                      /*verify=*/true),
+      {/*window=*/2});
+  const core::Problem problem = pending_problem(net);
+  batch.schedule(problem);
+  EXPECT_EQ(batch.last_report().outcome, core::ScheduleOutcome::kDeferred);
+  batch.schedule(problem);
+  EXPECT_EQ(batch.last_report().outcome, core::ScheduleOutcome::kOptimal);
+  EXPECT_EQ(batch.last_report().breaker, core::BreakerState::kClosed);
+  EXPECT_EQ(batch.last_report().batched_cycles, 2);
+  EXPECT_NE(batch.name().find("batch(w=2"), std::string::npos);
+}
+
+TEST(Batching, DrainAllocationMatchesColdOnMutationStream) {
+  // The drained snapshot already carries every deferred cycle's surviving
+  // requests, so each drain must still be the optimal (cold-equal) solve of
+  // that snapshot. Warm inner + differential verify makes divergence throw.
+  topo::Network net = topo::make_named("omega", 8);
+  core::BatchingScheduler batch(
+      std::make_unique<core::WarmMaxFlowScheduler>(/*verify=*/true),
+      {/*window=*/3, /*deadline_cycles=*/2});
+  core::MaxFlowScheduler cold;
+  util::Rng rng(77);
+  for (int cycle = 0; cycle < 90; ++cycle) {
+    const core::Problem problem = test::random_problem(rng, net, 0.5, 0.5);
+    const core::ScheduleResult result = batch.schedule(problem);
+    if (batch.last_report().outcome == core::ScheduleOutcome::kDeferred) {
+      EXPECT_TRUE(result.assignments.empty());
+    } else {
+      EXPECT_EQ(result.allocated(), cold.schedule(problem).allocated())
+          << "cycle " << cycle;
+      mutate(net, result, rng);
+    }
+  }
+  EXPECT_GT(batch.deferred_cycles(), 0);
+  EXPECT_GT(batch.drains(), 0);
+}
+
+TEST(Batching, RejectsBadPolicy) {
+  EXPECT_THROW(core::BatchingScheduler(nullptr, {/*window=*/2}),
+               std::invalid_argument);
+  EXPECT_THROW(core::BatchingScheduler(
+                   std::make_unique<core::GreedyScheduler>(), {/*window=*/0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      core::BatchingScheduler(std::make_unique<core::GreedyScheduler>(),
+                              {/*window=*/2, /*deadline_cycles=*/5}),
+      std::invalid_argument);
+}
+
+// --- DES integration: the one-outcome-per-cycle fix -----------------------
+
+/// Regression for the FallbackReport-per-cycle assumption: a clean batched
+/// DES run defers most cycles, and those deferrals must neither count as
+/// degraded service nor inflate blocking. Before the fix, every deferred
+/// cycle's empty result was accounted as a served cycle, pushing
+/// degraded_cycle_fraction and blocking_probability toward 1.
+TEST(Batching, DesAccountsDeferredCyclesSeparately) {
+  const topo::Network net = topo::make_named("omega", 8);
+  sim::SystemConfig config;
+  config.arrival_rate = 0.8;
+  config.warmup_time = 10.0;
+  config.measure_time = 150.0;
+  config.seed = 21;
+  config.validate_invariants = true;
+
+  core::BatchingScheduler batch(
+      std::make_unique<core::CircuitBreakerScheduler>(core::BreakerConfig{},
+                                                      /*verify=*/true),
+      {/*window=*/4, /*deadline_cycles=*/3});
+  const sim::SystemMetrics metrics = sim::simulate_system(net, batch, config);
+
+  EXPECT_GT(metrics.deferred_cycles, 0);
+  EXPECT_GT(metrics.scheduling_cycles, 0);
+  // Every solve on a healthy breaker is optimal; deferrals must not have
+  // been misfiled as degraded cycles.
+  EXPECT_EQ(metrics.degraded_cycle_fraction, 0.0);
+  // Blocking is per *served* cycle; deferred cycles' requests survive to
+  // the drain, so a batched run cannot report near-total blocking.
+  EXPECT_LT(metrics.blocking_probability, 0.9);
+  EXPECT_GT(metrics.tasks_completed, 0);
+}
+
+/// Batching trades latency for throughput knobs, never tasks: with bounded
+/// queues and invariants on, conservation holds across a long batched run.
+TEST(Batching, DesConservationHoldsUnderBatchingWithAdmissionControl) {
+  const topo::Network net = topo::make_named("omega", 8);
+  sim::SystemConfig config;
+  config.arrival_rate = 1.2;
+  config.warmup_time = 5.0;
+  config.measure_time = 100.0;
+  config.seed = 33;
+  config.max_queue = 4;
+  config.validate_invariants = true;  // per-cycle conservation sweep
+  core::BatchingScheduler batch(
+      std::make_unique<core::WarmMaxFlowScheduler>(/*verify=*/true),
+      {/*window=*/3, /*deadline_cycles=*/2});
+  const sim::SystemMetrics metrics = sim::simulate_system(net, batch, config);
+  EXPECT_GT(metrics.tasks_completed, 0);
+  EXPECT_GT(metrics.deferred_cycles, 0);
+}
+
+}  // namespace
