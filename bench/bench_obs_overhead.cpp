@@ -1,0 +1,181 @@
+// Observability overhead gate: the E17 warm-start hot loop with and without
+// an obs::Registry bound to the scheduler (E22).
+//
+// The zero-cost-when-disabled contract (DESIGN.md §9) allows instrumented
+// call sites to cost one null check when no registry is attached, and a few
+// relaxed fetch_adds on cached counter pointers when one is. This bench
+// holds the wiring to that: both configurations replay the *same*
+// precomputed E17 fault-sweep cycle stream through a WarmMaxFlowScheduler,
+// interleaved best-of-N wall times, and the instrumented run must stay
+// within 2% of the plain one.
+//
+// Results land in BENCH_obs_overhead.json (obs::write_json shape) so CI can
+// archive the trajectory; exit code is the acceptance verdict.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rsin;
+
+/// One scheduling cycle of the precomputed sweep.
+struct SweepCycle {
+  std::size_t pattern = 0;  ///< Index into Workload::patterns.
+  std::vector<core::Request> requests;
+  std::vector<core::FreeResource> free_resources;
+};
+
+/// The E17 sweep, fully materialized so every replay sees identical input
+/// (same construction as bench_warm_start: 0/1/2/4 dead fabric links, 60%
+/// load snapshots per pattern).
+struct Workload {
+  std::vector<topo::Network> patterns;
+  std::vector<SweepCycle> cycles;
+};
+
+Workload make_workload(std::int32_t n, int trials_per_pattern,
+                       std::uint64_t seed) {
+  Workload workload;
+  util::Rng rng(seed);
+  const fault::FaultConfig fault_config;  // fabric_links_only
+  for (const int failures : {0, 1, 2, 4}) {
+    topo::Network net = topo::make_named("omega", n);
+    int killed = 0;
+    while (killed < failures) {
+      const auto link =
+          static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+      if (!fault::link_eligible(net, link, fault_config) ||
+          net.link_failed(link)) {
+        continue;
+      }
+      net.fail_link(link);
+      ++killed;
+    }
+    workload.patterns.push_back(std::move(net));
+  }
+  for (std::size_t pattern = 0; pattern < workload.patterns.size();
+       ++pattern) {
+    const topo::Network& net = workload.patterns[pattern];
+    for (int trial = 0; trial < trials_per_pattern; ++trial) {
+      SweepCycle cycle;
+      cycle.pattern = pattern;
+      for (std::int32_t p = 0; p < net.processor_count(); ++p) {
+        if (rng.bernoulli(0.6)) cycle.requests.push_back({.processor = p});
+      }
+      for (std::int32_t r = 0; r < net.resource_count(); ++r) {
+        if (rng.bernoulli(0.6)) {
+          cycle.free_resources.push_back({.resource = r});
+        }
+      }
+      workload.cycles.push_back(std::move(cycle));
+    }
+  }
+  return workload;
+}
+
+struct ReplayResult {
+  double seconds = 0.0;
+  std::int64_t allocated = 0;  ///< Total circuits granted (cross-check).
+};
+
+/// Feeds every cycle through the scheduler, reusing one Problem object the
+/// way the DES scheduling loop does.
+ReplayResult replay(core::Scheduler& scheduler, const Workload& workload) {
+  core::Problem problem;
+  ReplayResult result;
+  util::Stopwatch watch;
+  for (const SweepCycle& cycle : workload.cycles) {
+    problem.network = &workload.patterns[cycle.pattern];
+    problem.requests = cycle.requests;
+    problem.free_resources = cycle.free_resources;
+    result.allocated +=
+        static_cast<std::int64_t>(scheduler.schedule(problem).allocated());
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E22: observability overhead on the E17 warm-start loop "
+               "(omega 8x8, 0/1/2/4 dead links, 60% load) ===\n\n";
+  const Workload workload = make_workload(8, 600, 3008);
+  const auto cycles = workload.cycles.size();
+
+  core::WarmMaxFlowScheduler plain(/*verify=*/false);
+  core::WarmMaxFlowScheduler instrumented(/*verify=*/false);
+  obs::Registry registry;
+  instrumented.bind_obs(obs::Handle{&registry, nullptr});
+
+  // Interleaved best-of-9: alternating reps cancel thermal / frequency
+  // drift, and the min filters scheduler-noise outliers, which a 2% gate
+  // cannot absorb on raw means.
+  constexpr int kReps = 9;
+  ReplayResult plain_best = replay(plain, workload);
+  ReplayResult inst_best = replay(instrumented, workload);
+  RSIN_ENSURE(plain_best.allocated == inst_best.allocated,
+              "instrumented replay must grant the same circuit count");
+  for (int rep = 1; rep < kReps; ++rep) {
+    const ReplayResult p = replay(plain, workload);
+    if (p.seconds < plain_best.seconds) plain_best = p;
+    const ReplayResult i = replay(instrumented, workload);
+    if (i.seconds < inst_best.seconds) inst_best = i;
+  }
+
+  const double overhead =
+      inst_best.seconds / plain_best.seconds - 1.0;  // signed fraction
+  const auto snap = registry.snapshot();
+  const auto counter = [&](const std::string& name) -> std::int64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    return 0;
+  };
+
+  util::Table table({"configuration", "cycles", "best cyc/s", "overhead"});
+  table.add("plain (no registry)", cycles,
+            util::fixed(static_cast<double>(cycles) / plain_best.seconds, 0),
+            "-");
+  table.add("instrumented", cycles,
+            util::fixed(static_cast<double>(cycles) / inst_best.seconds, 0),
+            util::fixed(overhead * 100.0, 2) + "%");
+  std::cout << table;
+  std::cout << "\ninstrumented run counted " << counter("flow.warm_cycles")
+            << " warm cycles, " << counter("flow.augmentations")
+            << " augmentations, " << counter("flow.bfs_phases")
+            << " BFS phases over " << kReps << " reps\n";
+
+  const bool pass = overhead <= 0.02;
+
+  // BENCH_obs_overhead.json: bench verdict gauges alongside the
+  // instrumented run's real counters, in the exporter's JSON shape.
+  obs::Registry out;
+  out.gauge("bench.obs_overhead.cycles").set(static_cast<double>(cycles));
+  out.gauge("bench.obs_overhead.plain_cycles_per_sec")
+      .set(static_cast<double>(cycles) / plain_best.seconds);
+  out.gauge("bench.obs_overhead.instrumented_cycles_per_sec")
+      .set(static_cast<double>(cycles) / inst_best.seconds);
+  out.gauge("bench.obs_overhead.overhead_pct").set(overhead * 100.0);
+  out.gauge("bench.obs_overhead.pass").set(pass ? 1.0 : 0.0);
+  out.merge(registry);
+  std::ofstream json_out("BENCH_obs_overhead.json");
+  obs::write_json(out.snapshot(), json_out);
+  std::cout << "results written to BENCH_obs_overhead.json\n";
+
+  std::cout << "acceptance (instrumented within 2% of plain): "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}

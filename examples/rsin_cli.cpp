@@ -31,6 +31,14 @@
 //                         solve every cycle)
 //   --batch-deadline=K    force a drain once a pending request has waited
 //                         K deferrals (0 = pure window batching)
+//
+// Observability flags (blocking and system modes):
+//   --metrics-out=PATH    dump the obs registry as JSON after the run
+//                         (counters, gauges, histograms with percentiles)
+//   --trace-events=PATH   write a Chrome-trace-format event file; open it
+//                         at chrome://tracing. Incompatible with --replay
+//                         (a replay is already a recorded timeline).
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -40,6 +48,8 @@
 #include "core/hetero.hpp"
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "sim/static_experiment.hpp"
 #include "sim/system_sim.hpp"
 #include "sim/trace.hpp"
@@ -95,7 +105,8 @@ int usage() {
          "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n"
          "       --max-queue=K --shed-policy=drop-tail|oldest-first\n"
          "       --record-trace=PATH --replay=PATH\n"
-         "       --batch-window=K --batch-deadline=K (system mode)\n";
+         "       --batch-window=K --batch-deadline=K (system mode)\n"
+         "       --metrics-out=PATH --trace-events=PATH\n";
   return 2;
 }
 
@@ -111,6 +122,8 @@ struct Options {
   std::string replay;
   std::int32_t batch_window = 1;
   std::int32_t batch_deadline = 0;
+  std::string metrics_out;
+  std::string trace_events;
 };
 
 /// Splits argv into positional arguments and recognized --flags.
@@ -158,9 +171,25 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
       if (options.batch_deadline < 0) {
         throw std::invalid_argument("--batch-deadline must be >= 0");
       }
+    } else if (key == "--metrics-out") {
+      if (value.empty()) {
+        throw std::invalid_argument("--metrics-out requires a path");
+      }
+      options.metrics_out = value;
+    } else if (key == "--trace-events") {
+      if (value.empty()) {
+        throw std::invalid_argument("--trace-events requires a path");
+      }
+      options.trace_events = value;
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
+  }
+  if (!options.trace_events.empty() && !options.replay.empty()) {
+    throw std::invalid_argument(
+        "--trace-events cannot be combined with --replay: a replay re-runs "
+        "a recorded timeline, so a wall-clock event trace of it would not "
+        "describe the original run (metrics via --metrics-out still work)");
   }
   return positional;
 }
@@ -198,6 +227,35 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Observability: one registry + trace writer for the whole run, handed
+    // down by pointer. Outputs are written after the mode finishes.
+    obs::Registry registry;
+    obs::TraceWriter trace_writer;
+    obs::Handle obs;
+    if (!options.metrics_out.empty() || !options.trace_events.empty()) {
+      obs.registry = &registry;
+      if (!options.trace_events.empty()) obs.trace = &trace_writer;
+    }
+    const auto write_obs_outputs = [&] {
+      if (!options.metrics_out.empty()) {
+        std::ofstream out(options.metrics_out);
+        if (!out) {
+          throw std::invalid_argument("cannot open " + options.metrics_out);
+        }
+        obs::write_json(registry.snapshot(), out);
+        std::cerr << "metrics written to " << options.metrics_out << '\n';
+      }
+      if (!options.trace_events.empty()) {
+        std::ofstream out(options.trace_events);
+        if (!out) {
+          throw std::invalid_argument("cannot open " + options.trace_events);
+        }
+        trace_writer.write_json(out);
+        std::cerr << "trace events written to " << options.trace_events
+                  << '\n';
+      }
+    };
+
     auto scheduler = make_scheduler(scheduler_name);
     if (options.deadline > 0.0) {
       scheduler = std::make_unique<core::FallbackScheduler>(
@@ -209,7 +267,9 @@ int main(int argc, char** argv) {
       const double load = args.size() > 5 ? std::stod(args[5]) : 0.75;
       config.request_probability = load;
       config.free_probability = load;
+      if (obs.enabled()) scheduler->bind_obs(obs);
       const auto result = sim::run_static_experiment(net, *scheduler, config);
+      write_obs_outputs();
       util::Table table({"topology", "n", "scheduler", "trials", "load",
                          "blocking %"});
       table.add(topology, n, scheduler->name(), result.trials,
@@ -235,12 +295,14 @@ int main(int argc, char** argv) {
         config.faults.link_mttr = options.mttr;
         config.drop_timeout = 50.0;
       }
+      config.obs = obs;
       sim::SystemMetrics metrics;
       if (!options.replay.empty()) {
         // Replay mode: the trace supplies config and inputs; the topology
         // arguments must rebuild the recorded fabric (shape-checked).
         const sim::Trace trace = sim::Trace::load_file(options.replay);
-        metrics = sim::replay_system(net, trace);
+        metrics = obs.enabled() ? sim::replay_system(net, trace, obs)
+                                : sim::replay_system(net, trace);
       } else if (!options.record_trace.empty()) {
         sim::TraceRecorder recorder;
         metrics = sim::simulate_system(net, *scheduler, config, recorder);
@@ -276,6 +338,7 @@ int main(int argc, char** argv) {
                   std::to_string(metrics.scheduling_cycles) + " / " +
                       std::to_string(metrics.deferred_cycles));
       }
+      write_obs_outputs();
       std::cout << table;
       return 0;
     }

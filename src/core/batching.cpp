@@ -32,6 +32,22 @@ void BatchingScheduler::reset() {
   inner_->reset();
 }
 
+void BatchingScheduler::bind_obs(const obs::Handle& handle) {
+  inner_->bind_obs(handle);
+  obs_trace_ = handle.trace;
+  if (!handle.enabled()) {
+    obs_deferred_ = obs_drains_ = nullptr;
+    obs_drain_window_ = nullptr;
+    return;
+  }
+  obs::Registry& registry = *handle.registry;
+  obs_deferred_ = &registry.counter("core.batch.deferred");
+  obs_drains_ = &registry.counter("core.batch.drains");
+  // Window sizes are small integers; 1..64 in powers of two is plenty.
+  obs_drain_window_ = &registry.histogram(
+      "core.batch.drain_window", obs::Histogram::exponential_bounds(1, 2, 7));
+}
+
 ScheduleResult BatchingScheduler::schedule(const Problem& problem) {
   ++queued_;
   // Age every pending request; a departed request (satisfied, shed, or torn
@@ -51,6 +67,7 @@ ScheduleResult BatchingScheduler::schedule(const Problem& problem) {
 
   if (queued_ < policy_.window && !deadline_hit) {
     ++deferred_;
+    if (obs_deferred_ != nullptr) obs_deferred_->add();
     report_ = FallbackReport{};
     report_.outcome = ScheduleOutcome::kDeferred;
     report_.batched_cycles = 0;
@@ -63,6 +80,14 @@ ScheduleResult BatchingScheduler::schedule(const Problem& problem) {
   queued_ = 0;
   ages_.clear();
   ++drains_;
+  if (obs_drains_ != nullptr) {
+    obs_drains_->add();
+    obs_drain_window_->observe(covered);
+  }
+  if (obs_trace_ != nullptr) {
+    obs_trace_->instant("batch drain (" + std::to_string(covered) + " cycles)",
+                        "core");
+  }
   ScheduleResult result = inner_->schedule(problem);
   if (const auto* reporting =
           dynamic_cast<const ReportingScheduler*>(inner_.get())) {

@@ -62,6 +62,10 @@ class BatchingScheduler final : public ReportingScheduler {
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override;
   void set_relaxed(bool relaxed) override { inner_->set_relaxed(relaxed); }
+  /// Binds the inner scheduler plus defer/drain counters and a drain-window
+  /// histogram (cycles covered per drain); drains also emit a chrome-trace
+  /// instant event when the handle carries a TraceWriter.
+  void bind_obs(const obs::Handle& handle) override;
 
   [[nodiscard]] const FallbackReport& last_report() const override {
     return report_;
@@ -84,6 +88,10 @@ class BatchingScheduler final : public ReportingScheduler {
   /// so departed requests (satisfied elsewhere, shed, torn down) age out.
   std::map<topo::ProcessorId, std::int32_t> ages_;
   std::map<topo::ProcessorId, std::int32_t> scratch_ages_;
+  obs::Counter* obs_deferred_ = nullptr;
+  obs::Counter* obs_drains_ = nullptr;
+  obs::Histogram* obs_drain_window_ = nullptr;
+  obs::TraceWriter* obs_trace_ = nullptr;
 };
 
 }  // namespace rsin::core

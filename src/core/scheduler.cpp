@@ -31,7 +31,25 @@ ScheduleResult MaxFlowScheduler::schedule(const Problem& problem) {
   RSIN_ENSURE(static_cast<flow::Capacity>(result.allocated()) == stats.value,
               "allocation count must equal the max-flow value (Theorem 2)");
   result.operations = stats.operations;
+  if (obs_solves_ != nullptr) {
+    obs_solves_->add();
+    obs_augmentations_->add(stats.augmentations);
+    obs_phases_->add(stats.phases);
+    obs_operations_->add(stats.operations);
+  }
   return result;
+}
+
+void MaxFlowScheduler::bind_obs(const obs::Handle& handle) {
+  if (!handle.enabled()) {
+    obs_solves_ = obs_augmentations_ = obs_phases_ = obs_operations_ = nullptr;
+    return;
+  }
+  obs::Registry& registry = *handle.registry;
+  obs_solves_ = &registry.counter("flow.solves");
+  obs_augmentations_ = &registry.counter("flow.augmentations");
+  obs_phases_ = &registry.counter("flow.bfs_phases");
+  obs_operations_ = &registry.counter("flow.operations");
 }
 
 WarmMaxFlowScheduler::WarmMaxFlowScheduler(bool verify, bool canonical)
@@ -49,6 +67,14 @@ std::string WarmMaxFlowScheduler::name() const {
 }
 
 void WarmMaxFlowScheduler::reset() { state().context.invalidate(); }
+
+void WarmMaxFlowScheduler::bind_obs(const obs::Handle& handle) {
+  if (!handle.enabled()) {
+    state().context.obs.clear();
+    return;
+  }
+  state().context.obs.bind(*handle.registry);
+}
 
 ScheduleResult WarmMaxFlowScheduler::schedule(const Problem& problem) {
   PersistentTransform& transform = state().transform;
@@ -276,6 +302,7 @@ ScheduleResult FallbackScheduler::schedule(const Problem& problem) {
   // warm-start state it carried so the next cycle starts from a clean slate.
   primary_->reset();
   ++degraded_;
+  if (obs_degraded_ != nullptr) obs_degraded_->add();
   try {
     ScheduleResult result = fallback_.schedule(problem);
     report_.outcome = ScheduleOutcome::kDegraded;
@@ -283,8 +310,19 @@ ScheduleResult FallbackScheduler::schedule(const Problem& problem) {
   } catch (const std::exception& error) {
     report_.outcome = ScheduleOutcome::kPartial;
     report_.detail += std::string("; fallback also failed: ") + error.what();
+    if (obs_partial_ != nullptr) obs_partial_->add();
     return ScheduleResult{};
   }
+}
+
+void FallbackScheduler::bind_obs(const obs::Handle& handle) {
+  primary_->bind_obs(handle);
+  if (!handle.enabled()) {
+    obs_degraded_ = obs_partial_ = nullptr;
+    return;
+  }
+  obs_degraded_ = &handle.registry->counter("core.fallback.degraded");
+  obs_partial_ = &handle.registry->counter("core.fallback.partial");
 }
 
 CircuitBreakerScheduler::CircuitBreakerScheduler(BreakerConfig config,
@@ -317,9 +355,33 @@ std::string CircuitBreakerScheduler::name() const {
 
 void CircuitBreakerScheduler::reset() { primary_->reset(); }
 
+void CircuitBreakerScheduler::bind_obs(const obs::Handle& handle) {
+  primary_->bind_obs(handle);
+  cold_.bind_obs(handle);
+  obs_trace_ = handle.trace;
+  if (!handle.enabled()) {
+    obs_trips_ = obs_cold_cycles_ = nullptr;
+    return;
+  }
+  obs_trips_ = &handle.registry->counter("core.breaker.trips");
+  obs_cold_cycles_ = &handle.registry->counter("core.breaker.cold_cycles");
+}
+
 ScheduleResult CircuitBreakerScheduler::serve_cold(const Problem& problem) {
   ++cold_cycles_;
+  if (obs_cold_cycles_ != nullptr) obs_cold_cycles_->add();
   return cold_.schedule(problem);
+}
+
+void CircuitBreakerScheduler::note_transition(BreakerState from,
+                                              BreakerState to) {
+  if (from == to) return;
+  if (to == BreakerState::kOpen && obs_trips_ != nullptr) obs_trips_->add();
+  if (obs_trace_ != nullptr) {
+    obs_trace_->instant(std::string("breaker ") + to_string(from) + " -> " +
+                            to_string(to),
+                        "core");
+  }
 }
 
 void CircuitBreakerScheduler::note_failure(const std::string& detail) {
@@ -329,6 +391,7 @@ void CircuitBreakerScheduler::note_failure(const std::string& detail) {
   // breaker tolerates failure_threshold - 1 consecutive failures first.
   if (state_ == BreakerState::kHalfOpen ||
       consecutive_failures_ >= config_.failure_threshold) {
+    note_transition(state_, BreakerState::kOpen);
     state_ = BreakerState::kOpen;
     cooldown_remaining_ = config_.cooldown_cycles;
     ++trips_;
@@ -341,7 +404,10 @@ ScheduleResult CircuitBreakerScheduler::schedule(const Problem& problem) {
 
   if (state_ == BreakerState::kOpen) {
     ScheduleResult result = serve_cold(problem);
-    if (--cooldown_remaining_ <= 0) state_ = BreakerState::kHalfOpen;
+    if (--cooldown_remaining_ <= 0) {
+      note_transition(state_, BreakerState::kHalfOpen);
+      state_ = BreakerState::kHalfOpen;
+    }
     report_.primary_seconds = watch.seconds();
     report_.outcome = ScheduleOutcome::kColdFallback;
     report_.breaker = state_;
@@ -368,6 +434,7 @@ ScheduleResult CircuitBreakerScheduler::schedule(const Problem& problem) {
       if (state_ == BreakerState::kOpen) primary_->reset();
     } else {
       consecutive_failures_ = 0;
+      note_transition(state_, BreakerState::kClosed);
       state_ = BreakerState::kClosed;
     }
     report_.outcome = ScheduleOutcome::kOptimal;

@@ -31,6 +31,7 @@
 #include "flow/max_flow.hpp"
 #include "flow/min_cost.hpp"
 #include "flow/schedule_context.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace rsin::core {
@@ -51,6 +52,13 @@ class Scheduler {
   /// cross-validation) to shed per-cycle cost. Results must stay correct —
   /// only their double-checking is skipped. Default: ignored.
   virtual void set_relaxed(bool /*relaxed*/) {}
+  /// Attaches observability instruments (obs/obs.hpp). Implementations
+  /// resolve registry names once here and cache raw instrument pointers, so
+  /// schedule() pays a null check per cycle, never a registry lookup. The
+  /// handle's registry/trace must outlive the scheduler (or be unbound by a
+  /// fresh bind_obs({})). Observation-only: binding must never change any
+  /// schedule. Wrappers forward to their inner schedulers. Default: ignored.
+  virtual void bind_obs(const obs::Handle& /*handle*/) {}
 };
 
 /// Optimal allocation count via Transformation 1 + a max-flow algorithm.
@@ -61,9 +69,14 @@ class MaxFlowScheduler final : public Scheduler {
       : algorithm_(algorithm) {}
   [[nodiscard]] std::string name() const override;
   ScheduleResult schedule(const Problem& problem) override;
+  void bind_obs(const obs::Handle& handle) override;
 
  private:
   flow::MaxFlowAlgorithm algorithm_;
+  obs::Counter* obs_solves_ = nullptr;
+  obs::Counter* obs_augmentations_ = nullptr;
+  obs::Counter* obs_phases_ = nullptr;
+  obs::Counter* obs_operations_ = nullptr;
 };
 
 /// Optimal allocation count like MaxFlowScheduler(kDinic), but on the
@@ -100,6 +113,10 @@ class WarmMaxFlowScheduler final : public Scheduler {
   /// Relaxed mode suspends the per-cycle differential check (the schedule
   /// itself is still the optimal solve). Used by the overload controller.
   void set_relaxed(bool relaxed) override { relaxed_ = relaxed; }
+  /// Binds the underlying ScheduleContext's SolverObs ("flow.*" counters).
+  /// Pool-backed: the binding rides the leased context and is detached by
+  /// the pool on check-in, so it never dangles across runs.
+  void bind_obs(const obs::Handle& handle) override;
 
   [[nodiscard]] bool canonical() const { return canonical_; }
   [[nodiscard]] bool pooled() const { return lease_.valid(); }
@@ -239,6 +256,7 @@ class FallbackScheduler final : public ReportingScheduler {
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override { primary_->reset(); }
   void set_relaxed(bool relaxed) override { primary_->set_relaxed(relaxed); }
+  void bind_obs(const obs::Handle& handle) override;
 
   [[nodiscard]] const FallbackReport& last_report() const override {
     return report_;
@@ -253,6 +271,8 @@ class FallbackScheduler final : public ReportingScheduler {
   FallbackReport report_;
   std::int64_t cycles_ = 0;
   std::int64_t degraded_ = 0;
+  obs::Counter* obs_degraded_ = nullptr;
+  obs::Counter* obs_partial_ = nullptr;
 };
 
 /// Tuning of CircuitBreakerScheduler.
@@ -302,6 +322,9 @@ class CircuitBreakerScheduler final : public ReportingScheduler {
   ScheduleResult schedule(const Problem& problem) override;
   void reset() override;
   void set_relaxed(bool relaxed) override { primary_->set_relaxed(relaxed); }
+  /// Binds the primary plus breaker counters; state transitions also emit
+  /// chrome-trace instant events when the handle carries a TraceWriter.
+  void bind_obs(const obs::Handle& handle) override;
 
   [[nodiscard]] const FallbackReport& last_report() const override {
     return report_;
@@ -319,6 +342,7 @@ class CircuitBreakerScheduler final : public ReportingScheduler {
  private:
   ScheduleResult serve_cold(const Problem& problem);
   void note_failure(const std::string& detail);
+  void note_transition(BreakerState from, BreakerState to);
 
   BreakerConfig config_;
   std::unique_ptr<Scheduler> primary_;
@@ -331,6 +355,9 @@ class CircuitBreakerScheduler final : public ReportingScheduler {
   std::int64_t last_repair_cancelled_ = 0;
   std::int64_t trips_ = 0;
   std::int64_t cold_cycles_ = 0;
+  obs::Counter* obs_trips_ = nullptr;
+  obs::Counter* obs_cold_cycles_ = nullptr;
+  obs::TraceWriter* obs_trace_ = nullptr;
 };
 
 /// Exponential ground truth: maximizes allocation count (tie-broken by

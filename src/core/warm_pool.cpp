@@ -57,6 +57,7 @@ WarmContextLease WarmContextPool::take(std::size_t shard,
   const std::size_t index = shard % shards_.size();
   Shard& s = *shards_[index];
   checkouts_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.checkouts != nullptr) obs_.checkouts->add();
   std::unique_ptr<WarmContext> context;
   {
     const std::lock_guard<std::mutex> lock(s.mutex);
@@ -72,11 +73,15 @@ WarmContextLease WarmContextPool::take(std::size_t shard,
       }
       if (pick < s.idle.size()) {
         warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_.warm_hits != nullptr) obs_.warm_hits->add();
       } else {
         // No matching skeleton: hand out the most recently returned context
         // anyway. The scheduler rebuilds it for the new shape, which still
         // reuses the context's solver buffers.
-        if (keyed) shape_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (keyed) {
+          shape_misses_.fetch_add(1, std::memory_order_relaxed);
+          if (obs_.shape_misses != nullptr) obs_.shape_misses->add();
+        }
         pick = s.idle.size() - 1;
       }
       context = std::move(s.idle[pick]);
@@ -85,15 +90,33 @@ WarmContextLease WarmContextPool::take(std::size_t shard,
   }
   if (context == nullptr) {
     cold_creates_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.cold_creates != nullptr) obs_.cold_creates->add();
     context = std::make_unique<WarmContext>();
   }
   context->context.stats.leases += 1;
   return WarmContextLease(this, index, std::move(context));
 }
 
+void WarmContextPool::bind_obs(const obs::Handle& handle) {
+  if (!handle.enabled()) {
+    obs_ = PoolObs{};
+    return;
+  }
+  obs::Registry& registry = *handle.registry;
+  obs_.checkouts = &registry.counter("core.pool.checkouts");
+  obs_.warm_hits = &registry.counter("core.pool.warm_hits");
+  obs_.shape_misses = &registry.counter("core.pool.shape_misses");
+  obs_.cold_creates = &registry.counter("core.pool.cold_creates");
+  obs_.returns = &registry.counter("core.pool.returns");
+}
+
 void WarmContextPool::give_back(std::size_t shard,
                                 std::unique_ptr<WarmContext> context) {
   returns_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.returns != nullptr) obs_.returns->add();
+  // A parked context must never keep instrument pointers: the registry the
+  // lease holder bound may be gone by the next checkout.
+  context->context.obs.clear();
   Shard& s = *shards_[shard % shards_.size()];
   const std::lock_guard<std::mutex> lock(s.mutex);
   s.idle.push_back(std::move(context));

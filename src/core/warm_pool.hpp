@@ -41,6 +41,7 @@
 
 #include "core/transform.hpp"
 #include "flow/schedule_context.hpp"
+#include "obs/obs.hpp"
 #include "topo/network.hpp"
 
 namespace rsin::core {
@@ -145,6 +146,13 @@ class WarmContextPool {
   /// re-file into the emptied shards on return).
   void clear();
 
+  /// Folds pool traffic into an obs registry ("core.pool.*" counters,
+  /// mirroring the existing atomics). The registry must outlive the pool's
+  /// checkout/return traffic; a default handle unbinds. Leased contexts
+  /// always have their SolverObs detached on check-in, so a context filed
+  /// back by one run can never hold pointers into a dead registry.
+  void bind_obs(const obs::Handle& handle);
+
   [[nodiscard]] WarmPoolStats stats() const;
 
  private:
@@ -158,7 +166,17 @@ class WarmContextPool {
                         bool keyed);
   void give_back(std::size_t shard, std::unique_ptr<WarmContext> context);
 
+  /// Cached registry instruments (null when unbound).
+  struct PoolObs {
+    obs::Counter* checkouts = nullptr;
+    obs::Counter* warm_hits = nullptr;
+    obs::Counter* shape_misses = nullptr;
+    obs::Counter* cold_creates = nullptr;
+    obs::Counter* returns = nullptr;
+  };
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  PoolObs obs_;
   std::atomic<std::int64_t> checkouts_{0};
   std::atomic<std::int64_t> warm_hits_{0};
   std::atomic<std::int64_t> shape_misses_{0};

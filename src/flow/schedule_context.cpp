@@ -105,6 +105,19 @@ MaxFlowResult dinic_phases(ScheduleContext& ctx, NodeId source, NodeId sink) {
   return result;
 }
 
+/// Folds one solve's result into the context's bound instruments (no-op
+/// when unbound). warm/cancelled cover the warm path; cold solves pass
+/// warm=false, cancelled=0.
+void record_solve(const SolverObs& obs, const MaxFlowResult& result, bool warm,
+                  Capacity cancelled) {
+  if (!obs.bound()) return;
+  obs.phases->add(result.phases);
+  obs.augmentations->add(result.augmentations);
+  obs.operations->add(result.operations);
+  (warm ? obs.warm_cycles : obs.cold_rebuilds)->add(1);
+  if (cancelled > 0) obs.repair_cancelled->add(cancelled);
+}
+
 }  // namespace
 
 MaxFlowResult max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
@@ -113,6 +126,7 @@ MaxFlowResult max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
   MaxFlowResult result = dinic_phases(ctx, net.source(), net.sink());
   ctx.residual.apply_to(net);
   ctx.warm_valid = true;
+  record_solve(ctx.obs, result, /*warm=*/false, /*cancelled=*/0);
   return result;
 }
 
@@ -125,12 +139,14 @@ MaxFlowResult warm_max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
       ctx.warm_valid && ctx.residual.node_count() == net.node_count() &&
       ctx.residual.edge_count() == 2 * net.arc_count();
   bool warm = false;
+  Capacity cancelled = 0;
   if (structure_matches) {
     const Capacity before = ctx.residual.net_flow_from(net.source());
     if (ctx.residual.sync_capacities(net)) {
       const Capacity retained = ctx.residual.net_flow_from(net.source());
       ctx.stats.retained_flow = retained;
-      ctx.stats.repair_cancelled += before - retained;
+      cancelled = before - retained;
+      ctx.stats.repair_cancelled += cancelled;
       warm = true;
     } else {
       // Repair hit a cyclic flow component; the residual is unusable and
@@ -160,6 +176,7 @@ MaxFlowResult warm_max_flow_dinic(FlowNetwork& net, ScheduleContext& ctx) {
   result.value += ctx.stats.retained_flow;  // report the TOTAL flow value
   ctx.residual.apply_to(net);
   ctx.warm_valid = true;
+  record_solve(ctx.obs, result, warm, cancelled);
   return result;
 }
 

@@ -21,8 +21,37 @@
 #include "flow/max_flow.hpp"
 #include "flow/network.hpp"
 #include "flow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace rsin::flow {
+
+/// Cached observability instruments for the warm/cold Dinic hot path.
+/// bind() resolves the registry names once; afterwards the solvers pay a
+/// null check plus relaxed increments per solve. Observation-only: nothing
+/// here feeds back into scheduling decisions, so solves stay deterministic
+/// with or without a binding. clear() detaches (pointers into a registry
+/// must not outlive it — core::WarmContextPool clears on check-in).
+struct SolverObs {
+  obs::Counter* phases = nullptr;
+  obs::Counter* augmentations = nullptr;
+  obs::Counter* operations = nullptr;
+  obs::Counter* warm_cycles = nullptr;
+  obs::Counter* cold_rebuilds = nullptr;
+  obs::Counter* repair_cancelled = nullptr;
+
+  void bind(obs::Registry& registry) {
+    phases = &registry.counter("flow.bfs_phases");
+    augmentations = &registry.counter("flow.augmentations");
+    operations = &registry.counter("flow.operations");
+    warm_cycles = &registry.counter("flow.warm_cycles");
+    cold_rebuilds = &registry.counter("flow.cold_rebuilds");
+    repair_cancelled = &registry.counter("flow.repair_cancelled");
+  }
+
+  void clear() { *this = SolverObs{}; }
+
+  [[nodiscard]] bool bound() const noexcept { return phases != nullptr; }
+};
 
 /// Cross-cycle accounting of the warm-start path (bench/diagnostics).
 struct WarmStats {
@@ -55,6 +84,7 @@ class ScheduleContext {
   ResidualGraph residual;   ///< Persistent across warm cycles.
   bool warm_valid = false;  ///< Residual matches the last-solved network.
   WarmStats stats;
+  SolverObs obs;  ///< Optional instrument binding (observation-only).
 
   // Scratch buffers (owned here so solvers never allocate).
   std::vector<int> level;

@@ -1,0 +1,389 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsin::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our registry
+/// names also use '.' and '-', which map to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back((c == '.' || c == '-') ? '_' : c);
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void format_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << (v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN"));
+    return;
+  }
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  out.write(buffer, ptr - buffer);
+}
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      default:
+        out << c;  // registry names are [A-Za-z0-9_.:-], nothing to escape
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_prometheus(const Registry::Snapshot& snap, std::ostream& out) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << ' ';
+    format_double(out, value);
+    out << '\n';
+  }
+  for (const Registry::HistogramSnapshot& h : snap.histograms) {
+    const std::string pname = prometheus_name(h.name);
+    out << "# TYPE " << pname << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      out << pname << "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        format_double(out, h.bounds[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << '\n';
+    }
+    out << pname << "_sum ";
+    format_double(out, h.sum);
+    out << '\n';
+    out << pname << "_count " << h.count << '\n';
+  }
+}
+
+void write_json(const Registry::Snapshot& snap, std::ostream& out) {
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, name);
+    out << ':';
+    format_double(out, std::isfinite(value) ? value : 0.0);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const Registry::HistogramSnapshot& h : snap.histograms) {
+    if (!first) out << ',';
+    first = false;
+    json_string(out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum\":";
+    format_double(out, h.sum);
+    out << ",\"min\":";
+    format_double(out, h.min);
+    out << ",\"max\":";
+    format_double(out, h.max);
+    out << ",\"p50\":";
+    format_double(out, h.p50);
+    out << ",\"p95\":";
+    format_double(out, h.p95);
+    out << ",\"p99\":";
+    format_double(out, h.p99);
+    out << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"le\":";
+      if (i < h.bounds.size()) {
+        format_double(out, h.bounds[i]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ",\"count\":" << h.buckets[i] << '}';
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+}
+
+std::string to_prometheus(const Registry::Snapshot& snap) {
+  std::ostringstream out;
+  write_prometheus(snap, out);
+  return out.str();
+}
+
+std::string to_json(const Registry::Snapshot& snap) {
+  std::ostringstream out;
+  write_json(snap, out);
+  return out.str();
+}
+
+namespace json {
+
+const Value& Value::at(const std::string& key) const {
+  RSIN_REQUIRE(kind == Kind::kObject, "json: at() on a non-object value");
+  const auto it = object.find(key);
+  RSIN_REQUIRE(it != object.end(), "json: missing object key: " + key);
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return kind == Kind::kObject && object.find(key) != object.end();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value();
+    skip_ws();
+    RSIN_REQUIRE(pos_ == text_.size(),
+                 "json: trailing garbage at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            // Exporter output never emits \u escapes beyond ASCII; decode
+            // the BMP code point as a single char when it fits, else '?'.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                           c == 'E' || c == '-' || c == '+';
+      if (!numeric) break;
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v.number);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) fail("bad number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace json
+
+}  // namespace rsin::obs

@@ -1,0 +1,68 @@
+// Exporters for registry snapshots, plus a minimal JSON reader.
+//
+// Two stable output formats:
+//  - Prometheus text exposition (write_prometheus): counters as
+//    `<name> <value>` with `# TYPE` headers, histograms as the standard
+//    `_bucket{le="..."}` / `_sum` / `_count` triple. Instrument names are
+//    sanitized to the Prometheus charset ('.'/'-'/':' become '_').
+//  - JSON (write_json): one object with "counters" / "gauges" /
+//    "histograms" maps. Histograms carry count/sum/min/max/p50/p95/p99 and
+//    a bucket array of {"le": bound-or-"+Inf", "count": n}. This is the
+//    BENCH_*.json shape benches emit, so a metrics dump diffs cleanly
+//    against the bench trajectory.
+//
+// obs::json is a deliberately small strict parser (objects, arrays,
+// strings, numbers, bools, null — no comments, no trailing commas) so the
+// test suite and the CLI smoke test can round-trip what the exporters wrote
+// without growing a third-party dependency.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rsin::obs {
+
+void write_prometheus(const Registry::Snapshot& snap, std::ostream& out);
+void write_json(const Registry::Snapshot& snap, std::ostream& out);
+
+[[nodiscard]] std::string to_prometheus(const Registry::Snapshot& snap);
+[[nodiscard]] std::string to_json(const Registry::Snapshot& snap);
+
+namespace json {
+
+/// A parsed JSON value. Containers use std::map / std::vector directly;
+/// this is a test/tooling reader, not a performance surface.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member access; throws std::invalid_argument when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed). Throws
+/// std::invalid_argument with an offset-bearing message on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace json
+
+}  // namespace rsin::obs

@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsin::obs {
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  RSIN_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    RSIN_REQUIRE(std::isfinite(bounds_[i]),
+                 "histogram bucket bounds must be finite");
+    RSIN_REQUIRE(i == 0 || bounds_[i - 1] < bounds_[i],
+                 "histogram bucket bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // Non-finite observations (NaN, inf) land in the overflow bucket; they
+  // must not poison the bucket search.
+  std::size_t index = bounds_.size();
+  if (v == v) {  // not NaN
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    index = static_cast<std::size_t>(it - bounds_.begin());
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+std::int64_t Histogram::bucket_count(std::size_t i) const {
+  RSIN_REQUIRE(i < buckets_.size(), "histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  RSIN_REQUIRE(p >= 0.0 && p <= 100.0, "percentile wants p in [0, 100]");
+  const std::int64_t total = count();
+  if (total == 0) return 0.0;
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(total))));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bounds_[i];
+  }
+  return max();  // overflow bucket: no finite upper bound, report the max
+}
+
+void Histogram::merge(const Histogram& other) {
+  RSIN_REQUIRE(bounds_ == other.bounds_,
+               "histogram merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  const std::int64_t other_count =
+      other.count_.load(std::memory_order_relaxed);
+  if (other_count == 0) return;
+  count_.fetch_add(other_count, std::memory_order_relaxed);
+  atomic_add_double(sum_, other.sum_.load(std::memory_order_relaxed));
+  atomic_min_double(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max_double(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  int n) {
+  RSIN_REQUIRE(start > 0 && std::isfinite(start),
+               "exponential bounds need a positive finite start");
+  RSIN_REQUIRE(factor > 1.0 && std::isfinite(factor),
+               "exponential bounds need factor > 1");
+  RSIN_REQUIRE(n >= 1, "exponential bounds need at least one bucket");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double bound = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::default_latency_bounds_us() {
+  // 1us .. ~1s in powers of two: 21 buckets + overflow covers everything
+  // from a warm solve (microseconds) to a stuck cold cycle.
+  static const std::vector<double> bounds = exponential_bounds(1.0, 2.0, 21);
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  RSIN_REQUIRE(valid_name(name),
+               "instrument names must be non-empty [A-Za-z0-9_.:-]+");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  RSIN_REQUIRE(valid_name(name),
+               "instrument names must be non-empty [A-Za-z0-9_.:-]+");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  RSIN_REQUIRE(valid_name(name),
+               "instrument names must be non-empty [A-Za-z0-9_.:-]+");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    RSIN_REQUIRE(it->second.bounds() == bounds,
+                 "histogram re-registered with different bucket bounds: " +
+                     std::string(name));
+    return it->second;
+  }
+  return histograms_.try_emplace(std::string(name), std::move(bounds))
+      .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds_us());
+}
+
+void Registry::merge(const Registry& other) {
+  if (&other == this) return;  // self-merge would double-count (and deadlock)
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    counters_.try_emplace(name).first->second.add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_.try_emplace(name).first->second.add(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_.try_emplace(name, h.bounds()).first->second.merge(h);
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h.bounds();
+    hs.buckets.resize(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i < hs.buckets.size(); ++i) {
+      hs.buckets[i] = h.bucket_count(i);
+    }
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    hs.p50 = h.percentile(50.0);
+    hs.p95 = h.percentile(95.0);
+    hs.p99 = h.percentile(99.0);
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace rsin::obs

@@ -1,0 +1,206 @@
+// Thread-safe metrics primitives for the observability subsystem.
+//
+// The runtime this repo grew into (warm-start hot path, sharded pools,
+// batching, overload ladders) had no way to *see* itself: solver stats were
+// ad-hoc structs and sim::SystemMetrics a flat end-of-run snapshot. This
+// module is the measurement substrate — named counters, gauges, and
+// fixed-bucket histograms behind a Registry, designed around two rules:
+//
+//  1. Observation only. Nothing in here is ever read back by the code being
+//     measured, so determinism and record/replay stay bitwise regardless of
+//     whether a registry is attached (the zero-cost-when-disabled handle in
+//     obs/obs.hpp enforces the "disabled" half).
+//  2. TSan-clean under the pooled multi-thread sweeps. Counters are sharded
+//     atomics (one padded cell per hardware-ish thread slot), histograms
+//     use relaxed atomic buckets, and the registry's name maps are
+//     mutex-protected with node-stable references, so hot paths cache
+//     Counter*/Histogram* once and never touch the lock again.
+//
+// Percentiles come from the histogram buckets (p50/p95/p99 extraction);
+// per-worker registries aggregate with merge() — the same discipline as
+// sim::RunningStat::merge for moments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::obs {
+
+namespace detail {
+/// Stable small index for the calling thread, used to spread counter
+/// increments over shards. Round-robin assignment at first use.
+[[nodiscard]] std::size_t thread_slot() noexcept;
+}  // namespace detail
+
+/// Monotone event counter. add() is wait-free (one relaxed fetch_add on the
+/// calling thread's shard); value() sums the shards and may observe a
+/// mid-flight increment — exact once writers are quiescent.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::int64_t n = 1) noexcept {
+    cells_[detail::thread_slot() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Folds another counter in (per-worker aggregation). The source should
+  /// be quiescent; concurrent add()s on it may or may not be included.
+  void merge(const Counter& other) noexcept { add(other.value()); }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-written instantaneous value (queue depth, pool size). set() and
+/// add() are atomic; merge() adds (per-worker gauges hold partial totals).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void merge(const Gauge& other) noexcept { add(other.value()); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus "le" semantics: bucket i counts
+/// observations v <= bound[i]; one implicit overflow bucket counts the
+/// rest. Bounds are strictly increasing and fixed at construction, so
+/// observe() is a branch-light search plus relaxed atomic increments, and
+/// two histograms with equal bounds merge bucket-wise.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless bounds are finite, non-empty, and
+  /// strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::int64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Smallest / largest observation (0 when empty).
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Bucket-resolution percentile, p in [0, 100]: the upper bound of the
+  /// bucket holding the ceil(p% * count)-th observation. Observations in
+  /// the overflow bucket report max() (there is no finite upper bound).
+  /// An empty histogram reports 0.0 for every percentile.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Adds another histogram's buckets into this one. Throws
+  /// std::invalid_argument when the bucket bounds differ.
+  void merge(const Histogram& other);
+
+  /// `n` exponential bounds: start, start*factor, start*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start,
+                                                              double factor,
+                                                              int n);
+  /// The registry-wide default for latency histograms: 1us .. ~1s, x2.
+  [[nodiscard]] static const std::vector<double>& default_latency_bounds_us();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Named instrument directory. Lookup takes a mutex and is meant for setup
+/// paths (bind once, cache the pointer); the returned references are
+/// node-stable for the registry's lifetime. Re-requesting a name returns
+/// the same instrument; a histogram re-request must agree on bounds.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Instrument names: [A-Za-z0-9_.:-]+ (enforced; exporters rely on it).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<double> bounds);
+  /// Latency histogram with the default microsecond bounds.
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Folds another registry in by name: counters/gauges add, histograms
+  /// merge bucket-wise (creating any missing instrument). Per-worker
+  /// aggregation; `other` should be quiescent.
+  void merge(const Registry& other);
+
+  // --- exporter snapshot ---------------------------------------------------
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::int64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::int64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, double>> gauges;          // name-sorted
+    std::vector<HistogramSnapshot> histograms;                   // name-sorted
+  };
+  /// Consistent-enough copy for exporters: each instrument is read
+  /// atomically per-field; cross-instrument skew is possible while writers
+  /// are live (exporters run at quiescent points anyway).
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace rsin::obs

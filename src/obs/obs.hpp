@@ -1,0 +1,28 @@
+// Umbrella header and the zero-cost-when-disabled handle.
+//
+// Instrumented layers accept an obs::Handle — two raw pointers, both null by
+// default. A default Handle is "observability off": every instrumented call
+// site checks enabled() (or a cached instrument pointer) before doing any
+// work, so the uninstrumented configuration pays one predictable branch and
+// the bench gate in bench_obs_overhead keeps the instrumented one ≤ 2%.
+//
+// The handle is runtime-only plumbing: it is never serialized, never hashed,
+// and TraceRecorder strips it from recorded configs, so record/replay and
+// the pooled determinism sweeps stay bitwise with or without it.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace rsin::obs {
+
+struct Handle {
+  Registry* registry = nullptr;
+  TraceWriter* trace = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept { return registry != nullptr; }
+  [[nodiscard]] bool tracing() const noexcept { return trace != nullptr; }
+};
+
+}  // namespace rsin::obs

@@ -1,0 +1,78 @@
+// RAII timing spans: the one primitive hot paths touch.
+//
+// A Span reads steady_clock at construction and, on destruction (or an
+// explicit finish()), feeds the elapsed microseconds into a Histogram and —
+// when a TraceWriter is attached — emits a chrome://tracing complete event.
+// Both sinks are optional pointers; a Span with neither costs two clock
+// reads and nothing else, and call sites guard construction behind
+// Handle::enabled() so the disabled configuration does not even pay those.
+//
+// Spans never expose their measured duration to the caller: timing is
+// observation-only, which is what keeps DES determinism and record/replay
+// bitwise regardless of instrumentation (DESIGN.md §9).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace rsin::obs {
+
+class Span {
+ public:
+  /// Starts timing. Either sink may be null; `name`/`category` are only
+  /// used (and `name` only copied) when `trace` is set.
+  Span(Histogram* histogram, TraceWriter* trace, std::string name,
+       const char* category)
+      : histogram_(histogram),
+        trace_(trace),
+        name_(trace ? std::move(name) : std::string()),
+        category_(category),
+        start_(std::chrono::steady_clock::now()),
+        start_us_(trace ? trace->now_us() : 0.0) {}
+
+  /// Histogram-only span (no trace event, no string copy).
+  explicit Span(Histogram* histogram)
+      : Span(histogram, nullptr, std::string(), "") {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  Span(Span&& other) noexcept
+      : histogram_(std::exchange(other.histogram_, nullptr)),
+        trace_(std::exchange(other.trace_, nullptr)),
+        name_(std::move(other.name_)),
+        category_(other.category_),
+        start_(other.start_),
+        start_us_(other.start_us_) {}
+  Span& operator=(Span&&) = delete;
+
+  ~Span() { finish(); }
+
+  /// Stops the clock and records; idempotent (the destructor then no-ops).
+  void finish() noexcept {
+    if (histogram_ == nullptr && trace_ == nullptr) return;
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    if (histogram_ != nullptr) histogram_->observe(us);
+    if (trace_ != nullptr) {
+      trace_->complete(std::move(name_), category_, start_us_, us);
+    }
+    histogram_ = nullptr;
+    trace_ = nullptr;
+  }
+
+ private:
+  Histogram* histogram_;
+  TraceWriter* trace_;
+  std::string name_;
+  const char* category_;
+  std::chrono::steady_clock::time_point start_;
+  double start_us_;
+};
+
+}  // namespace rsin::obs

@@ -1,0 +1,108 @@
+#include "obs/trace_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+
+namespace rsin::obs {
+
+namespace {
+
+/// JSON string escaping for event names (categories are trusted literals).
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u0000";  // control chars never appear in our names
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Shortest-round-trip double, JSON-safe (non-finite clamps to 0).
+void write_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << 0;
+    return;
+  }
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  out.write(buffer, ptr - buffer);
+}
+
+}  // namespace
+
+void TraceWriter::push(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceWriter::complete(std::string name, const char* category,
+                           double ts_us, double dur_us) {
+  push(Event{std::move(name), category, 'X', ts_us, dur_us, 0.0,
+             static_cast<std::uint32_t>(detail::thread_slot())});
+}
+
+void TraceWriter::instant(std::string name, const char* category) {
+  push(Event{std::move(name), category, 'i', now_us(), 0.0, 0.0,
+             static_cast<std::uint32_t>(detail::thread_slot())});
+}
+
+void TraceWriter::counter(std::string name, const char* category,
+                          double value) {
+  push(Event{std::move(name), category, 'C', now_us(), 0.0, value,
+             static_cast<std::uint32_t>(detail::thread_slot())});
+}
+
+std::size_t TraceWriter::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceWriter::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    write_escaped(out, e.name);
+    out << ",\"cat\":\"" << e.category << "\",\"ph\":\"" << e.phase
+        << "\",\"ts\":";
+    write_number(out, e.ts_us);
+    if (e.phase == 'X') {
+      out << ",\"dur\":";
+      write_number(out, e.dur_us);
+    }
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    if (e.phase == 'C') {
+      out << ",\"args\":{\"value\":";
+      write_number(out, e.value);
+      out << '}';
+    }
+    out << ",\"pid\":1,\"tid\":" << e.tid << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace rsin::obs

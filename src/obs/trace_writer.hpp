@@ -1,0 +1,69 @@
+// Chrome-trace-format event collection (chrome://tracing / Perfetto).
+//
+// A TraceWriter buffers timing events — complete spans ("ph":"X"), instant
+// markers ("ph":"i"), and counter samples ("ph":"C") — and serializes them
+// as the Trace Event Format JSON object that chrome://tracing, Perfetto,
+// and speedscope all load. Timestamps are microseconds on the writer's own
+// steady-clock timebase (t=0 at construction), thread ids are the small
+// per-thread slots the metrics shards use, and the pid is fixed.
+//
+// Thread safety: record calls append under one mutex. Tracing is opt-in
+// diagnostics (an overload storm, a batching drain pattern), not the
+// always-on hot path — the ≤2% overhead budget is carried by the
+// histogram-only Span; a null TraceWriter costs a branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rsin::obs {
+
+class TraceWriter {
+ public:
+  TraceWriter() : t0_(std::chrono::steady_clock::now()) {}
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Microseconds since construction (the event timebase).
+  [[nodiscard]] double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  /// A span that started at `ts_us` (writer timebase) and lasted `dur_us`.
+  void complete(std::string name, const char* category, double ts_us,
+                double dur_us);
+  /// A point-in-time marker (fault hit, breaker transition, drain).
+  void instant(std::string name, const char* category);
+  /// A sampled counter track (queue depth over time).
+  void counter(std::string name, const char* category, double value);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes {"traceEvents":[...]} — loadable by chrome://tracing.
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    char phase;  // 'X' complete, 'i' instant, 'C' counter
+    double ts_us;
+    double dur_us;   // complete events only
+    double value;    // counter events only
+    std::uint32_t tid;
+  };
+
+  void push(Event event);
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace rsin::obs

@@ -14,6 +14,10 @@
 #include "util/stopwatch.hpp"      // IWYU pragma: export
 #include "util/table.hpp"          // IWYU pragma: export
 
+// obs — observability: metrics registry, spans, trace events, exporters.
+#include "obs/export.hpp"  // IWYU pragma: export
+#include "obs/obs.hpp"     // IWYU pragma: export
+
 // flow — networks and flow algorithms.
 #include "flow/bipartite.hpp"       // IWYU pragma: export
 #include "flow/decompose.hpp"       // IWYU pragma: export

@@ -18,6 +18,24 @@ class RunningStat {
     m2_ += delta * (x - mean_);
   }
 
+  /// Folds another accumulator in (Chan et al.'s parallel-variance
+  /// combination): the result is as if every observation of `other` had
+  /// been add()ed here. Used to aggregate per-worker stats after a join.
+  void merge(const RunningStat& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+  }
+
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const {

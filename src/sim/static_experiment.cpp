@@ -1,13 +1,15 @@
 #include "sim/static_experiment.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <map>
 #include <thread>
 
 #include "core/routing.hpp"
 #include "core/schedule.hpp"
+#include "sim/metrics.hpp"
 #include "util/error.hpp"
 
 namespace rsin::sim {
@@ -209,7 +211,7 @@ StaticExperimentResult run_static_experiment_parallel(
 StaticExperimentResult run_static_experiment_pooled(
     const topo::Network& net, core::WarmContextPool& pool,
     const StaticExperimentConfig& config, int threads, bool canonical,
-    bool verify) {
+    bool verify, const obs::Handle& obs) {
   validate(config);
   RSIN_REQUIRE(threads >= 1, "need at least one worker");
   // Bit-identical aggregation across thread counts relies on every batch
@@ -226,29 +228,55 @@ StaticExperimentResult run_static_experiment_pooled(
   const util::Rng root(config.seed);
   const auto sizes = batch_sizes(config.trials);
 
+  pool.bind_obs(obs);
   std::vector<StaticExperimentResult> parts(sizes.size());
   std::vector<std::thread> workers;
   std::atomic<std::size_t> next_batch{0};
+  const auto worker_count = std::min<std::size_t>(
+      static_cast<std::size_t>(threads), sizes.size());
+  // Per-worker batch wall times, merged after the join (RunningStat::merge)
+  // — observation-only, and timed at all only when a registry is attached.
+  std::vector<RunningStat> batch_stats(worker_count);
   const auto worker = [&](std::size_t index) {
     // One lease — one scheduler — per worker for the whole sweep: the
     // skeleton and residual carry over between batches, which is the win
     // over the factory variant's per-batch cold scheduler.
     core::WarmMaxFlowScheduler scheduler(pool.checkout(index, net), verify,
                                          canonical);
+    if (obs.enabled()) scheduler.bind_obs(obs);
     while (true) {
       const std::size_t batch = next_batch.fetch_add(1);
       if (batch >= sizes.size()) break;
-      parts[batch] = run_batch(net, scheduler, config, root.split(batch),
-                               sizes[batch]);
+      if (obs.enabled()) {
+        const auto start = std::chrono::steady_clock::now();
+        parts[batch] = run_batch(net, scheduler, config, root.split(batch),
+                                 sizes[batch]);
+        batch_stats[index].add(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+      } else {
+        parts[batch] = run_batch(net, scheduler, config, root.split(batch),
+                                 sizes[batch]);
+      }
     }
   };
-  const auto worker_count = std::min<std::size_t>(
-      static_cast<std::size_t>(threads), sizes.size());
   workers.reserve(worker_count);
   for (std::size_t w = 0; w < worker_count; ++w) {
     workers.emplace_back(worker, w);
   }
   for (std::thread& thread : workers) thread.join();
+
+  if (obs.enabled()) {
+    RunningStat all_batches;
+    for (const RunningStat& stat : batch_stats) all_batches.merge(stat);
+    obs::Registry& registry = *obs.registry;
+    registry.gauge("static_pooled.batch_us.mean").set(all_batches.mean());
+    registry.gauge("static_pooled.batch_us.stddev").set(all_batches.stddev());
+    registry.gauge("static_pooled.batch_us.count")
+        .set(static_cast<double>(all_batches.count()));
+  }
+  // The caller's registry may die before the pool does; detach.
+  pool.bind_obs({});
 
   StaticExperimentResult result;
   for (const StaticExperimentResult& part : parts) merge(result, part);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "obs/obs.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
 
@@ -109,10 +110,18 @@ StaticExperimentResult run_static_experiment_parallel(
 /// field depends on which assignment realizes that value. Hence the
 /// homogeneity requirements: throws unless `config.resource_types == 1`
 /// and `config.priority_levels == 0` (Transformation 1's domain).
+/// `obs`: optional instrumentation. Workers bind their schedulers to the
+/// (thread-safe, sharded) registry, pool traffic is counted under
+/// "core.pool.*", and each worker's per-batch wall time feeds a private
+/// sim::RunningStat merged after the join (Chan's formula) and published as
+/// "static_pooled.batch_us.{mean,stddev,count}" gauges. Observation-only:
+/// the aggregate result stays bit-identical with or without a handle, for
+/// every thread count. The pool's binding is detached before returning.
 StaticExperimentResult run_static_experiment_pooled(
     const topo::Network& net, core::WarmContextPool& pool,
     const StaticExperimentConfig& config, int threads,
     bool canonical = false,
-    bool verify = core::WarmMaxFlowScheduler::kVerifyDefault);
+    bool verify = core::WarmMaxFlowScheduler::kVerifyDefault,
+    const obs::Handle& obs = {});
 
 }  // namespace rsin::sim

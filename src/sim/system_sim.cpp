@@ -96,6 +96,37 @@ struct Task {
   std::int32_t attempts = 0;    ///< Transmissions started (and interrupted).
 };
 
+/// Instrument pointers resolved once per run from SystemConfig.obs (all
+/// null when observability is off). Observation-only: nothing here is read
+/// back by the simulation, so metrics and replay stay bitwise identical.
+struct SimObs {
+  obs::Histogram* solve_us = nullptr;  ///< Per-cycle scheduler solve latency.
+  obs::Gauge* queue_depth = nullptr;   ///< Tasks queued at processors.
+  obs::Counter* solved_cycles = nullptr;
+  obs::Counter* deferred_cycles = nullptr;
+  obs::Counter* degraded_cycles = nullptr;
+  obs::Counter* tasks_shed = nullptr;
+  obs::Counter* tasks_dropped = nullptr;
+  obs::Counter* faults = nullptr;
+  obs::Counter* teardowns = nullptr;
+  obs::TraceWriter* trace = nullptr;
+
+  void bind(const obs::Handle& handle) {
+    trace = handle.trace;
+    if (!handle.enabled()) return;
+    obs::Registry& registry = *handle.registry;
+    solve_us = &registry.histogram("sim.cycle.solve_us");
+    queue_depth = &registry.gauge("sim.queue_depth");
+    solved_cycles = &registry.counter("sim.cycles.solved");
+    deferred_cycles = &registry.counter("sim.cycles.deferred");
+    degraded_cycles = &registry.counter("sim.cycles.degraded");
+    tasks_shed = &registry.counter("sim.tasks.shed");
+    tasks_dropped = &registry.counter("sim.tasks.dropped");
+    faults = &registry.counter("sim.faults.injected");
+    teardowns = &registry.counter("sim.faults.teardowns");
+  }
+};
+
 /// Full mutable state of the simulated system.
 struct SystemState {
   topo::Network net;
@@ -130,6 +161,8 @@ struct SystemState {
   const Trace* replay = nullptr;
   std::size_t replay_cycle = 0;
   bool halted = false;  ///< Crashed-trace replay reached its crash point.
+
+  SimObs obs;  ///< Observability instruments (null members when off).
 
   TimeWeightedStat busy_resources;
   TimeWeightedStat queued_tasks;
@@ -217,6 +250,7 @@ double arrival_rate_at(const SystemConfig& config, double now) {
 void count_shed(SystemState& state) {
   ++state.shed_total;
   if (state.measuring) ++state.tasks_shed;
+  if (state.obs.tasks_shed != nullptr) state.obs.tasks_shed->add();
 }
 
 /// Admission control: enqueue `task` at processor `p`, shedding per policy
@@ -352,6 +386,16 @@ void handle_fault_event(SystemState& state, const SystemConfig& config,
       fault::apply_event(state.net, event);
   const bool fail = event.kind == fault::FaultKind::kLinkFail ||
                     event.kind == fault::FaultKind::kSwitchFail;
+  if (fail && state.obs.faults != nullptr) state.obs.faults->add();
+  if (state.obs.teardowns != nullptr && !victims.empty()) {
+    state.obs.teardowns->add(static_cast<std::int64_t>(victims.size()));
+  }
+  if (state.obs.trace != nullptr) {
+    state.obs.trace->instant(
+        std::string(fail ? "fault " : "repair ") + to_string(event.kind) +
+            " (tore down " + std::to_string(victims.size()) + ")",
+        "fault");
+  }
   if (state.measuring) {
     if (fail) {
       ++state.faults_injected;
@@ -470,6 +514,7 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
         dropped_any = true;
         ++state.dropped_total;
         if (state.measuring) ++state.tasks_dropped;
+        if (state.obs.tasks_dropped != nullptr) state.obs.tasks_dropped->add();
       }
     }
     if (state.queue[p].empty()) continue;
@@ -535,7 +580,13 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       core::Scheduler* active =
           state.level >= 2 ? static_cast<core::Scheduler*>(&state.greedy)
                            : scheduler;
-      const core::ScheduleResult result = active->schedule(problem);
+      // The span (solve-latency histogram + optional trace event) closes
+      // after the solve returns but before the result is applied — the
+      // timed region is exactly the scheduler call.
+      const core::ScheduleResult result = [&] {
+        obs::Span span(state.obs.solve_us, state.obs.trace, "schedule", "sim");
+        return active->schedule(problem);
+      }();
       if (state.level == 0) {
         const auto violation = core::verify_schedule(problem, result);
         RSIN_ENSURE(!violation,
@@ -565,6 +616,16 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
       if (state.recorder != nullptr) state.recorder->commit_cycle();
     }
 
+    if (outcome == core::ScheduleOutcome::kDeferred) {
+      if (state.obs.deferred_cycles != nullptr) {
+        state.obs.deferred_cycles->add();
+      }
+    } else if (state.obs.solved_cycles != nullptr) {
+      state.obs.solved_cycles->add();
+      if (outcome != core::ScheduleOutcome::kOptimal) {
+        state.obs.degraded_cycles->add();
+      }
+    }
     if (state.measuring) {
       if (outcome == core::ScheduleOutcome::kDeferred) {
         // A deferred cycle ran no solve: its requests stay queued and are
@@ -581,6 +642,13 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
           ++state.degraded_cycles;
         }
       }
+    }
+  }
+  if (state.obs.queue_depth != nullptr) {
+    const double depth = state.total_queued();
+    state.obs.queue_depth->set(depth);
+    if (state.obs.trace != nullptr) {
+      state.obs.trace->counter("queue_depth", "sim", depth);
     }
   }
   if (config.validate_invariants) check_invariants(state, config);
@@ -624,6 +692,10 @@ SystemMetrics run_simulation(const topo::Network& base,
   SystemState state(base, config);
   state.recorder = recorder;
   state.replay = replay;
+  state.obs.bind(config.obs);
+  if (scheduler != nullptr && config.obs.enabled()) {
+    scheduler->bind_obs(config.obs);
+  }
   if (recorder != nullptr) recorder->begin(config, state.net.shape_hash());
 
   try {
@@ -799,6 +871,17 @@ SystemMetrics replay_system(const topo::Network& net, const Trace& trace) {
   RSIN_REQUIRE(net.shape_hash() == trace.shape_hash,
                "replay: network shape does not match the recorded trace");
   return run_simulation(net, nullptr, trace.config, nullptr, &trace);
+}
+
+SystemMetrics replay_system(const topo::Network& net, const Trace& trace,
+                            const obs::Handle& obs) {
+  RSIN_REQUIRE(net.shape_hash() == trace.shape_hash,
+               "replay: network shape does not match the recorded trace");
+  // Recorded configs carry no handle (TraceRecorder strips it); attach the
+  // caller's for this replay only.
+  SystemConfig config = trace.config;
+  config.obs = obs;
+  return run_simulation(net, nullptr, config, nullptr, &trace);
 }
 
 }  // namespace rsin::sim

@@ -43,6 +43,7 @@
 
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
+#include "obs/obs.hpp"
 #include "sim/metrics.hpp"
 #include "topo/network.hpp"
 #include "util/rng.hpp"
@@ -141,6 +142,16 @@ struct SystemConfig {
   /// internally if the caller did not pass a recorder) and rethrows.
   std::string trace_on_violation;
 
+  // --- observability -----------------------------------------------------
+  /// Optional instrumentation (obs/obs.hpp): a per-cycle solve-latency
+  /// histogram, queue-depth gauge, shed/deferred counters, and — when the
+  /// handle carries a TraceWriter — chrome-trace events for cycles, drains,
+  /// breaker transitions, and faults. The pointed-to registry/trace must
+  /// outlive the run. Runtime-only plumbing: never serialized (TraceRecorder
+  /// strips it) and strictly observation-only, so metrics and record/replay
+  /// are bitwise identical with or without it.
+  obs::Handle obs;
+
   /// Validates every field (finite, in range); throws std::invalid_argument
   /// with the offending field named. simulate_system calls this on entry.
   void validate() const;
@@ -212,5 +223,12 @@ SystemMetrics simulate_system(const topo::Network& net,
 /// trace; a crashed trace replays its prefix up to the crash time. Throws
 /// std::invalid_argument when `net`'s shape does not match the trace.
 SystemMetrics replay_system(const topo::Network& net, const Trace& trace);
+
+/// Replay with observability attached: identical to replay_system(net,
+/// trace) — bitwise identical SystemMetrics, instrumentation is
+/// observation-only — but the replayed run feeds `obs` (the acceptance
+/// check behind DESIGN.md §9's determinism contract).
+SystemMetrics replay_system(const topo::Network& net, const Trace& trace,
+                            const obs::Handle& obs);
 
 }  // namespace rsin::sim

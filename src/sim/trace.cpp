@@ -357,6 +357,9 @@ void TraceRecorder::begin(const SystemConfig& config,
   trace_.config = config;
   // A replayed run must not re-arm the crash dump: the bundle is the dump.
   trace_.config.trace_on_violation.clear();
+  // Observability handles are runtime-only pointers; a recorded config must
+  // never carry them (they would dangle in any later replay).
+  trace_.config.obs = {};
   trace_.shape_hash = shape_hash;
   pending_ = TraceCycle{};
   cycle_open_ = false;

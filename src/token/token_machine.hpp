@@ -155,11 +155,34 @@ class TokenScheduler final : public core::Scheduler {
     TokenStats stats;
     core::ScheduleResult result = machine.run(&stats);
     result.operations = stats.clock_periods;
+    if (obs_clock_periods_ != nullptr) {
+      obs_clock_periods_->add(stats.clock_periods);
+      obs_iterations_->add(stats.iterations);
+      obs_tokens_->add(stats.tokens_propagated);
+      if (stats.watchdog_fired) obs_watchdog_->add();
+    }
     return result;
+  }
+
+  void bind_obs(const obs::Handle& handle) override {
+    if (!handle.enabled()) {
+      obs_clock_periods_ = obs_iterations_ = obs_tokens_ = obs_watchdog_ =
+          nullptr;
+      return;
+    }
+    obs::Registry& registry = *handle.registry;
+    obs_clock_periods_ = &registry.counter("token.clock_periods");
+    obs_iterations_ = &registry.counter("token.iterations");
+    obs_tokens_ = &registry.counter("token.tokens_propagated");
+    obs_watchdog_ = &registry.counter("token.watchdog_fired");
   }
 
  private:
   TokenOptions options_;
+  obs::Counter* obs_clock_periods_ = nullptr;
+  obs::Counter* obs_iterations_ = nullptr;
+  obs::Counter* obs_tokens_ = nullptr;
+  obs::Counter* obs_watchdog_ = nullptr;
 };
 
 }  // namespace rsin::token

@@ -31,6 +31,59 @@ TEST(RunningStat, ConfidenceIntervalShrinks) {
   EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
 }
 
+TEST(RunningStat, MergeMatchesSequentialAccumulation) {
+  // Chan's parallel combination must be as-if every observation had been
+  // add()ed to one accumulator, to floating-point noise.
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0, 1.5, 8.25};
+  RunningStat sequential;
+  RunningStat left;
+  RunningStat right;
+  int i = 0;
+  for (const double x : samples) {
+    sequential.add(x);
+    (i++ < 4 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-12);
+}
+
+TEST(RunningStat, MergeWithEmptySidesIsExact) {
+  RunningStat populated;
+  populated.add(1.0);
+  populated.add(3.0);
+
+  RunningStat empty;
+  populated.merge(empty);  // no-op
+  EXPECT_EQ(populated.count(), 2);
+  EXPECT_DOUBLE_EQ(populated.mean(), 2.0);
+
+  RunningStat target;
+  target.merge(populated);  // empty target adopts the source verbatim
+  EXPECT_EQ(target.count(), 2);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.variance(), populated.variance());
+}
+
+TEST(RunningStat, MergeManyWorkersMatchesOnePass) {
+  // The run_static_experiment_pooled aggregation shape: several per-worker
+  // accumulators with different sample counts folded into one.
+  RunningStat one_pass;
+  RunningStat workers[3];
+  for (int i = 0; i < 300; ++i) {
+    const double x = 0.25 * i - 20.0;
+    one_pass.add(x);
+    workers[i % 3].add(x);
+  }
+  RunningStat merged;
+  for (RunningStat& worker : workers) merged.merge(worker);
+  EXPECT_EQ(merged.count(), one_pass.count());
+  EXPECT_NEAR(merged.mean(), one_pass.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), one_pass.variance(), 1e-9);
+  EXPECT_NEAR(merged.ci95_half_width(), one_pass.ci95_half_width(), 1e-9);
+}
+
 TEST(TimeWeightedStat, PiecewiseConstantAverage) {
   TimeWeightedStat stat(0.0, 0.0);
   stat.update(1.0, 2.0);  // value 0 over [0,1)

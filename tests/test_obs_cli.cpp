@@ -1,0 +1,111 @@
+// CLI smoke tests for the observability flags: --metrics-out and
+// --trace-events must emit JSON the bundled parser accepts, and the flag
+// validation must reject the documented misuses.
+//
+// The rsin_cli binary path arrives via the RSIN_CLI_PATH compile
+// definition; sanitizer presets build without examples, so these tests
+// skip themselves when the binary is absent.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace rsin {
+namespace {
+
+#ifdef RSIN_CLI_PATH
+constexpr const char* kCliPath = RSIN_CLI_PATH;
+#else
+constexpr const char* kCliPath = nullptr;
+#endif
+
+/// Temp file path unique to the current test; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+/// Runs the CLI with `args`; returns its exit code.
+int run_cli(const std::string& args) {
+  const std::string command =
+      std::string(kCliPath) + " " + args + " >/dev/null 2>/dev/null";
+  const int status = std::system(command.c_str());
+  return status < 0 ? status : WEXITSTATUS(status);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+#define REQUIRE_CLI()                                               \
+  do {                                                              \
+    if (kCliPath == nullptr) {                                      \
+      GTEST_SKIP() << "rsin_cli not built in this configuration";   \
+    }                                                               \
+  } while (0)
+
+TEST(ObsCli, MetricsOutWritesParseableJson) {
+  REQUIRE_CLI();
+  TempFile metrics("obs_cli_metrics.json");
+  ASSERT_EQ(run_cli("blocking omega 8 dinic 50 0.7 --metrics-out=" +
+                    metrics.path),
+            0);
+  const obs::json::Value doc = obs::json::parse(slurp(metrics.path));
+  EXPECT_GT(doc.at("counters").at("flow.solves").number, 0.0);
+  EXPECT_GT(doc.at("counters").at("flow.bfs_phases").number, 0.0);
+}
+
+TEST(ObsCli, SystemModeEmitsMetricsAndTraceEvents) {
+  REQUIRE_CLI();
+  TempFile metrics("obs_cli_system_metrics.json");
+  TempFile events("obs_cli_system_trace.json");
+  ASSERT_EQ(run_cli("system omega 8 warm 0.6 --metrics-out=" + metrics.path +
+                    " --trace-events=" + events.path),
+            0);
+  const obs::json::Value doc = obs::json::parse(slurp(metrics.path));
+  EXPECT_GT(doc.at("counters").at("sim.cycles.solved").number, 0.0);
+  EXPECT_GT(
+      doc.at("histograms").at("sim.cycle.solve_us").at("count").number, 0.0);
+  const obs::json::Value trace = obs::json::parse(slurp(events.path));
+  ASSERT_TRUE(trace.at("traceEvents").is_array());
+  EXPECT_GT(trace.at("traceEvents").array.size(), 0u);
+}
+
+TEST(ObsCli, ReplayWithMetricsOutWorks) {
+  REQUIRE_CLI();
+  TempFile trace("obs_cli_replay.trace");
+  TempFile metrics("obs_cli_replay_metrics.json");
+  ASSERT_EQ(run_cli("system omega 8 dinic 0.6 --record-trace=" + trace.path),
+            0);
+  ASSERT_EQ(run_cli("system omega 8 dinic --replay=" + trace.path +
+                    " --metrics-out=" + metrics.path),
+            0);
+  const obs::json::Value doc = obs::json::parse(slurp(metrics.path));
+  EXPECT_GT(doc.at("counters").at("sim.cycles.solved").number, 0.0);
+}
+
+TEST(ObsCli, RejectsEmptyPathsAndTraceEventsDuringReplay) {
+  REQUIRE_CLI();
+  EXPECT_NE(run_cli("system omega 8 dinic --metrics-out="), 0);
+  EXPECT_NE(run_cli("system omega 8 dinic --trace-events="), 0);
+  EXPECT_NE(run_cli("system omega 8 dinic --replay=x.trace "
+                    "--trace-events=y.json"),
+            0);
+}
+
+}  // namespace
+}  // namespace rsin

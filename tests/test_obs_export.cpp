@@ -1,0 +1,102 @@
+// Exporter goldens: Prometheus text shape, JSON round-trip through the
+// bundled obs::json parser, and parser rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsin::obs {
+namespace {
+
+void populate(Registry& registry) {
+  registry.counter("flow.solves").add(42);
+  registry.gauge("sim.queue-depth").set(3.5);
+  Histogram& histogram = registry.histogram("solve_us", {1.0, 2.0, 4.0});
+  histogram.observe(0.5);
+  histogram.observe(2.0);
+  histogram.observe(100.0);
+}
+
+TEST(ObsExport, PrometheusTextCarriesTypesAndCumulativeBuckets) {
+  Registry registry;
+  populate(registry);
+  const std::string text = to_prometheus(registry.snapshot());
+  // Dots and dashes sanitize to underscores; TYPE headers precede samples.
+  EXPECT_NE(text.find("# TYPE flow_solves counter\nflow_solves 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sim_queue_depth gauge\nsim_queue_depth 3.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE solve_us histogram\n"), std::string::npos);
+  // Prometheus buckets are cumulative: <=1 holds 1, <=2 holds 2, <=4 still
+  // 2, +Inf holds all 3.
+  EXPECT_NE(text.find("solve_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("solve_us_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("solve_us_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("solve_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("solve_us_sum 102.5\n"), std::string::npos);
+  EXPECT_NE(text.find("solve_us_count 3\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonRoundTripsThroughTheBundledParser) {
+  Registry registry;
+  populate(registry);
+  const std::string text = to_json(registry.snapshot());
+  const json::Value doc = json::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("flow.solves").number, 42.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sim.queue-depth").number, 3.5);
+  const json::Value& h = doc.at("histograms").at("solve_us");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 3.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, 102.5);
+  EXPECT_DOUBLE_EQ(h.at("min").number, 0.5);
+  EXPECT_DOUBLE_EQ(h.at("max").number, 100.0);
+  EXPECT_DOUBLE_EQ(h.at("p50").number, 2.0);
+  // p99 observation sits in the overflow bucket -> observed max.
+  EXPECT_DOUBLE_EQ(h.at("p99").number, 100.0);
+  const json::Value& buckets = h.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_EQ(buckets.array.size(), 4u);  // 3 bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("le").number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets.array[0].at("count").number, 1.0);
+  EXPECT_EQ(buckets.array[3].at("le").string, "+Inf");
+  EXPECT_DOUBLE_EQ(buckets.array[3].at("count").number, 1.0);
+}
+
+TEST(ObsExport, EmptyRegistryExportsAreValid) {
+  const Registry registry;
+  const json::Value doc = json::parse(to_json(registry.snapshot()));
+  EXPECT_TRUE(doc.at("counters").is_object());
+  EXPECT_TRUE(doc.at("counters").object.empty());
+  EXPECT_TRUE(doc.at("histograms").object.empty());
+  EXPECT_EQ(to_prometheus(registry.snapshot()), "");
+}
+
+TEST(ObsExport, JsonParserHandlesTheFullValueGrammar) {
+  const json::Value doc = json::parse(
+      R"({"s":"a\"b\\c\nd","n":-1.5e2,"b":true,"x":null,)"
+      R"("arr":[1,2,{"k":false}]})");
+  EXPECT_EQ(doc.at("s").string, "a\"b\\c\nd");
+  EXPECT_DOUBLE_EQ(doc.at("n").number, -150.0);
+  EXPECT_TRUE(doc.at("b").boolean);
+  EXPECT_EQ(doc.at("x").kind, json::Value::Kind::kNull);
+  ASSERT_EQ(doc.at("arr").array.size(), 3u);
+  EXPECT_FALSE(doc.at("arr").array[2].at("k").boolean);
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_THROW((void)doc.at("missing"), std::invalid_argument);
+}
+
+TEST(ObsExport, JsonParserRejectsMalformedDocuments) {
+  EXPECT_THROW((void)json::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("{"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("{}{}"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("truely"), std::invalid_argument);
+  EXPECT_THROW((void)json::parse("nan"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin::obs

@@ -1,0 +1,264 @@
+// obs metrics primitives: counters (incl. the concurrent hammer the TSan
+// suite leans on), gauges, histogram bucket-boundary semantics, and the
+// Registry's naming / merge discipline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rsin::obs {
+namespace {
+
+TEST(ObsCounter, AddAccumulatesAndDefaultsToOne) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42);
+}
+
+TEST(ObsCounter, MergeFoldsQuiescentCounts) {
+  Counter a;
+  Counter b;
+  a.add(10);
+  b.add(32);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42);
+  EXPECT_EQ(b.value(), 32);  // source untouched
+}
+
+// The TSan suite runs this: concurrent add() on the sharded cells must be
+// race-free and lose nothing once the writers join.
+TEST(ObsCounter, ConcurrentHammerLosesNothing) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.add();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::int64_t>(kThreads) * kIncrements);
+}
+
+TEST(ObsGauge, SetAddAndMerge) {
+  Gauge gauge;
+  gauge.set(10.0);
+  gauge.add(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 12.5);
+  Gauge other;
+  other.set(7.5);
+  gauge.merge(other);
+  EXPECT_DOUBLE_EQ(gauge.value(), 20.0);
+}
+
+TEST(ObsGauge, ConcurrentAddSumsExactly) {
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&gauge] {
+      for (int i = 0; i < kIncrements; ++i) gauge.add(1.0);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kIncrements);
+}
+
+TEST(ObsHistogram, ValueOnUpperBoundLandsInThatBucket) {
+  // Prometheus "le" semantics: bucket i counts v <= bounds[i], so an
+  // observation exactly on a bound belongs to that bucket, not the next.
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.observe(1.0);
+  histogram.observe(2.0);
+  histogram.observe(4.0);
+  EXPECT_EQ(histogram.bucket_count(0), 1);
+  EXPECT_EQ(histogram.bucket_count(1), 1);
+  EXPECT_EQ(histogram.bucket_count(2), 1);
+  EXPECT_EQ(histogram.bucket_count(3), 0);  // overflow untouched
+}
+
+TEST(ObsHistogram, OverflowBucketCatchesAboveMaxBound) {
+  Histogram histogram({1.0, 2.0});
+  histogram.observe(2.0000001);
+  histogram.observe(1e9);
+  EXPECT_EQ(histogram.bucket_count(0), 0);
+  EXPECT_EQ(histogram.bucket_count(1), 0);
+  EXPECT_EQ(histogram.bucket_count(2), 2);
+  EXPECT_EQ(histogram.count(), 2);
+}
+
+TEST(ObsHistogram, EmptyHistogramPercentilesAreZero) {
+  const Histogram histogram({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+}
+
+TEST(ObsHistogram, PercentilesWalkTheBucketRanks) {
+  Histogram histogram({1.0, 2.0, 4.0, 8.0});
+  // 90 observations <= 1, 9 in (1, 2], 1 in (2, 4].
+  for (int i = 0; i < 90; ++i) histogram.observe(0.5);
+  for (int i = 0; i < 9; ++i) histogram.observe(1.5);
+  histogram.observe(3.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(95.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(99.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(100.0), 4.0);
+}
+
+TEST(ObsHistogram, OverflowPercentileReportsObservedMax) {
+  Histogram histogram({1.0});
+  histogram.observe(123.5);
+  // The overflow bucket has no finite upper bound; the observed max is the
+  // only honest answer.
+  EXPECT_DOUBLE_EQ(histogram.percentile(99.0), 123.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 123.5);
+  EXPECT_DOUBLE_EQ(histogram.min(), 123.5);
+}
+
+TEST(ObsHistogram, RejectsMalformedBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+TEST(ObsHistogram, MergeAddsBucketwiseAndChecksBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  b.observe(10.0);
+  a.merge(b);
+  EXPECT_EQ(a.bucket_count(0), 1);
+  EXPECT_EQ(a.bucket_count(1), 1);
+  EXPECT_EQ(a.bucket_count(2), 1);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  Histogram mismatched({1.0, 3.0});
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(ObsHistogram, ExponentialBoundsAndDefaultLatencyLadder) {
+  const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+  const auto& latency = Histogram::default_latency_bounds_us();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_DOUBLE_EQ(latency.front(), 1.0);
+  for (std::size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_LT(latency[i - 1], latency[i]);
+  }
+}
+
+TEST(MetricsRegistry, SameNameReturnsTheSameInstrument) {
+  Registry registry;
+  Counter& counter = registry.counter("flow.solves");
+  counter.add(3);
+  EXPECT_EQ(registry.counter("flow.solves").value(), 3);
+  Histogram& histogram = registry.histogram("lat", {1.0, 2.0});
+  histogram.observe(1.5);
+  EXPECT_EQ(registry.histogram("lat", {1.0, 2.0}).count(), 1);
+}
+
+TEST(MetricsRegistry, RejectsInvalidInstrumentNames) {
+  Registry registry;
+  EXPECT_THROW((void)registry.counter(""), std::invalid_argument);
+  EXPECT_THROW((void)registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW((void)registry.gauge("bad{label}"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("newline\n"), std::invalid_argument);
+  EXPECT_NO_THROW((void)registry.counter("ok_name.with:all-charsets_09"));
+}
+
+TEST(MetricsRegistry, HistogramReRequestMustAgreeOnBounds) {
+  Registry registry;
+  (void)registry.histogram("lat", {1.0, 2.0});
+  EXPECT_THROW((void)registry.histogram("lat", {1.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeAggregatesByNameAndCreatesMissing) {
+  Registry total;
+  total.counter("shared").add(1);
+  Registry worker;
+  worker.counter("shared").add(2);
+  worker.counter("worker_only").add(5);
+  worker.gauge("depth").set(3.0);
+  worker.histogram("lat", {1.0, 2.0}).observe(1.5);
+  total.merge(worker);
+  EXPECT_EQ(total.counter("shared").value(), 3);
+  EXPECT_EQ(total.counter("worker_only").value(), 5);
+  EXPECT_DOUBLE_EQ(total.gauge("depth").value(), 3.0);
+  EXPECT_EQ(total.histogram("lat", {1.0, 2.0}).bucket_count(1), 1);
+}
+
+TEST(MetricsRegistry, SelfMergeIsANoop) {
+  Registry registry;
+  registry.counter("c").add(7);
+  registry.merge(registry);
+  EXPECT_EQ(registry.counter("c").value(), 7);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedWithPercentiles) {
+  Registry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.gauge("depth").set(4.5);
+  Histogram& histogram = registry.histogram("lat", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(i < 97 ? 0.5 : 3.0);
+  const Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 4.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 100);
+  EXPECT_DOUBLE_EQ(h.p50, 1.0);
+  EXPECT_DOUBLE_EQ(h.p95, 1.0);
+  EXPECT_DOUBLE_EQ(h.p99, 4.0);
+  ASSERT_EQ(h.buckets.size(), h.bounds.size() + 1);
+}
+
+// Concurrent worker registries merged into one — the aggregation pattern
+// run_static_experiment_pooled uses; exercised here for the TSan suite.
+TEST(MetricsRegistry, ConcurrentWorkerRegistriesMergeExactly) {
+  constexpr int kWorkers = 4;
+  constexpr int kEvents = 5000;
+  std::vector<Registry> workers(kWorkers);
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&registry = workers[static_cast<std::size_t>(w)]] {
+      Counter& events = registry.counter("events");
+      Histogram& lat = registry.histogram("lat", {1.0, 2.0});
+      for (int i = 0; i < kEvents; ++i) {
+        events.add();
+        lat.observe(i % 2 == 0 ? 0.5 : 1.5);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Registry total;
+  for (const Registry& worker : workers) total.merge(worker);
+  EXPECT_EQ(total.counter("events").value(), kWorkers * kEvents);
+  EXPECT_EQ(total.histogram("lat", {1.0, 2.0}).count(), kWorkers * kEvents);
+}
+
+}  // namespace
+}  // namespace rsin::obs

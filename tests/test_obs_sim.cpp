@@ -1,0 +1,227 @@
+// Observability through the simulation stack: live runs populate the
+// registry without perturbing results, record/replay stays bitwise with obs
+// on or off (the subsystem's acceptance criterion), TraceRecorder strips
+// the runtime-only handle, and the pooled experiment publishes per-worker
+// batch statistics while remaining bit-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/batching.hpp"
+#include "core/scheduler.hpp"
+#include "core/warm_pool.hpp"
+#include "obs/obs.hpp"
+#include "sim/static_experiment.hpp"
+#include "sim/system_sim.hpp"
+#include "sim/trace.hpp"
+#include "topo/builders.hpp"
+
+namespace rsin {
+namespace {
+
+sim::SystemConfig short_config() {
+  sim::SystemConfig config;
+  config.arrival_rate = 0.8;
+  config.warmup_time = 10.0;
+  config.measure_time = 120.0;
+  config.seed = 11;
+  return config;
+}
+
+void expect_identical(const sim::SystemMetrics& a,
+                      const sim::SystemMetrics& b) {
+  EXPECT_EQ(a.tasks_arrived, b.tasks_arrived);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_EQ(a.scheduling_cycles, b.scheduling_cycles);
+  EXPECT_EQ(a.deferred_cycles, b.deferred_cycles);
+  EXPECT_EQ(a.tasks_dropped, b.tasks_dropped);
+  EXPECT_EQ(a.tasks_shed, b.tasks_shed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.circuits_torn_down, b.circuits_torn_down);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.repairs, b.repairs);
+  // Bitwise: instrumentation is observation-only, so even accumulated
+  // floating-point results must match exactly.
+  EXPECT_EQ(a.resource_utilization, b.resource_utilization);
+  EXPECT_EQ(a.mean_response_time, b.mean_response_time);
+  EXPECT_EQ(a.mean_wait_time, b.mean_wait_time);
+  EXPECT_EQ(a.mean_queue_length, b.mean_queue_length);
+  EXPECT_EQ(a.blocking_probability, b.blocking_probability);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.degraded_cycle_fraction, b.degraded_cycle_fraction);
+}
+
+std::int64_t counter_value(obs::Registry& registry, std::string_view name) {
+  return registry.counter(name).value();
+}
+
+TEST(ObsSim, LiveRunIsBitwiseIdenticalWithObsAttached) {
+  const topo::Network net = topo::make_named("omega", 8);
+  const sim::SystemConfig plain_config = short_config();
+
+  core::MaxFlowScheduler plain_scheduler;
+  const sim::SystemMetrics plain =
+      sim::simulate_system(net, plain_scheduler, plain_config);
+
+  obs::Registry registry;
+  obs::TraceWriter trace;
+  sim::SystemConfig obs_config = short_config();
+  obs_config.obs = obs::Handle{&registry, &trace};
+  core::MaxFlowScheduler obs_scheduler;
+  const sim::SystemMetrics observed =
+      sim::simulate_system(net, obs_scheduler, obs_config);
+
+  expect_identical(plain, observed);
+  EXPECT_GT(trace.size(), 0u);  // solve spans + queue-depth samples
+}
+
+TEST(ObsSim, LiveRunCountsCyclesAndSolves) {
+  const topo::Network net = topo::make_named("omega", 8);
+  obs::Registry registry;
+  sim::SystemConfig config = short_config();
+  config.obs = obs::Handle{&registry, nullptr};
+  core::MaxFlowScheduler scheduler;
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+
+  // Obs counters cover the whole run (warmup included); the measured-window
+  // metrics are a lower bound.
+  const std::int64_t solved = counter_value(registry, "sim.cycles.solved");
+  const std::int64_t deferred = counter_value(registry, "sim.cycles.deferred");
+  EXPECT_GE(solved, metrics.scheduling_cycles);
+  EXPECT_GT(solved, 0);
+  // Exactly one solve-latency observation per live scheduler call.
+  EXPECT_EQ(registry.histogram("sim.cycle.solve_us").count(),
+            solved + deferred);
+  // The scheduler itself was bound through the same handle.
+  EXPECT_EQ(counter_value(registry, "flow.solves"), solved);
+  EXPECT_GT(counter_value(registry, "flow.bfs_phases"), 0);
+}
+
+TEST(ObsSim, RecordedTraceStripsTheRuntimeHandle) {
+  const topo::Network net = topo::make_named("omega", 8);
+  obs::Registry registry;
+  sim::SystemConfig config = short_config();
+  config.measure_time = 40.0;
+  config.obs = obs::Handle{&registry, nullptr};
+  core::MaxFlowScheduler scheduler;
+  sim::TraceRecorder recorder;
+  sim::simulate_system(net, scheduler, config, recorder);
+  // The handle is runtime-only plumbing: a reloaded trace must not carry
+  // pointers into a registry that no longer exists.
+  EXPECT_EQ(recorder.trace().config.obs.registry, nullptr);
+  EXPECT_EQ(recorder.trace().config.obs.trace, nullptr);
+}
+
+// The subsystem's acceptance criterion: replaying a recorded trace with obs
+// enabled yields SystemMetrics bitwise identical to the obs-off replay.
+TEST(ObsSim, ReplayIsBitwiseIdenticalWithObsOnVsOff) {
+  const topo::Network net = topo::make_named("benes", 8);
+  sim::SystemConfig config = short_config();
+  config.faults.link_mttf = 60.0;
+  config.faults.link_mttr = 5.0;
+  config.drop_timeout = 50.0;
+  core::MaxFlowScheduler scheduler;
+  sim::TraceRecorder recorder;
+  const sim::SystemMetrics live =
+      sim::simulate_system(net, scheduler, config, recorder);
+
+  const sim::SystemMetrics plain_replay =
+      sim::replay_system(net, recorder.trace());
+  obs::Registry registry;
+  const sim::SystemMetrics obs_replay = sim::replay_system(
+      net, recorder.trace(), obs::Handle{&registry, nullptr});
+
+  expect_identical(live, plain_replay);
+  expect_identical(plain_replay, obs_replay);
+  // The instrumented replay really did count: every replayed cycle applies
+  // recorded assignments, and recorded faults land in the fault counter.
+  EXPECT_GT(counter_value(registry, "sim.cycles.solved"), 0);
+  EXPECT_GE(counter_value(registry, "sim.faults.injected"),
+            live.faults_injected);
+}
+
+TEST(ObsSim, BatchingDrainsAreCounted) {
+  const topo::Network net = topo::make_named("omega", 8);
+  obs::Registry registry;
+  sim::SystemConfig config = short_config();
+  config.obs = obs::Handle{&registry, nullptr};
+  core::BatchingScheduler scheduler(std::make_unique<core::MaxFlowScheduler>(),
+                                    core::BatchPolicy{4, 0});
+  const sim::SystemMetrics metrics =
+      sim::simulate_system(net, scheduler, config);
+
+  EXPECT_GT(metrics.deferred_cycles, 0);
+  const std::int64_t deferred = counter_value(registry, "core.batch.deferred");
+  const std::int64_t drains = counter_value(registry, "core.batch.drains");
+  EXPECT_GE(deferred, metrics.deferred_cycles);
+  EXPECT_GT(drains, 0);
+  // One drain-window observation per drain.
+  EXPECT_EQ(registry
+                .histogram("core.batch.drain_window",
+                           obs::Histogram::exponential_bounds(1.0, 2.0, 7))
+                .count(),
+            drains);
+  // The inner scheduler's solves flowed through the forwarded binding.
+  EXPECT_GT(counter_value(registry, "flow.solves"), 0);
+}
+
+TEST(ObsSim, PooledExperimentStaysBitIdenticalAndPublishesBatchStats) {
+  const topo::Network net = topo::make_named("omega", 8);
+  sim::StaticExperimentConfig config;
+  config.trials = 200;
+  config.seed = 77;
+
+  core::WarmContextPool plain_pool(2);
+  const sim::StaticExperimentResult plain =
+      sim::run_static_experiment_pooled(net, plain_pool, config, 2);
+
+  core::WarmContextPool obs_pool(2);
+  obs::Registry registry;
+  const sim::StaticExperimentResult observed =
+      sim::run_static_experiment_pooled(
+          net, obs_pool, config, 2, /*canonical=*/false,
+          core::WarmMaxFlowScheduler::kVerifyDefault,
+          obs::Handle{&registry, nullptr});
+
+  EXPECT_EQ(plain.trials, observed.trials);
+  EXPECT_EQ(plain.total_allocated, observed.total_allocated);
+  EXPECT_EQ(plain.total_opportunities, observed.total_opportunities);
+  EXPECT_EQ(plain.batch_blocking, observed.batch_blocking);
+
+  // Per-worker RunningStats merged after the join: one sample per batch.
+  EXPECT_DOUBLE_EQ(registry.gauge("static_pooled.batch_us.count").value(),
+                   static_cast<double>(observed.batch_blocking.size()));
+  EXPECT_GT(registry.gauge("static_pooled.batch_us.mean").value(), 0.0);
+  // Pool traffic: one checkout per worker, each returned on completion.
+  EXPECT_EQ(counter_value(registry, "core.pool.checkouts"), 2);
+  EXPECT_EQ(counter_value(registry, "core.pool.returns"), 2);
+  // Warm solver counters flowed through the per-worker schedulers.
+  EXPECT_GT(counter_value(registry, "flow.warm_cycles") +
+                counter_value(registry, "flow.cold_rebuilds"),
+            0);
+}
+
+TEST(ObsSim, UnbindingASchedulerStopsCounting) {
+  const topo::Network net = topo::make_named("omega", 8);
+  obs::Registry registry;
+  core::WarmMaxFlowScheduler scheduler;
+  scheduler.bind_obs(obs::Handle{&registry, nullptr});
+  core::Problem problem;
+  problem.network = &net;
+  problem.requests.push_back({.processor = 0});
+  problem.free_resources.push_back({.resource = 1});
+  (void)scheduler.schedule(problem);
+  const std::int64_t after_bound = counter_value(registry, "flow.warm_cycles") +
+                                   counter_value(registry, "flow.cold_rebuilds");
+  EXPECT_GT(after_bound, 0);
+
+  scheduler.bind_obs(obs::Handle{});  // detach: all cached pointers cleared
+  (void)scheduler.schedule(problem);
+  EXPECT_EQ(counter_value(registry, "flow.warm_cycles") +
+                counter_value(registry, "flow.cold_rebuilds"),
+            after_bound);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -1,0 +1,124 @@
+// RAII spans and the Chrome-trace-format writer: event phases, JSON output
+// parseable by the bundled obs::json reader, span idempotence and moves.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace rsin::obs {
+namespace {
+
+json::Value parse_trace(const TraceWriter& writer) {
+  std::ostringstream out;
+  writer.write_json(out);
+  return json::parse(out.str());
+}
+
+TEST(ObsTrace, SpanFeedsHistogramAndEmitsCompleteEvent) {
+  Histogram histogram({1e6});  // everything lands in the <= 1s bucket
+  TraceWriter writer;
+  {
+    Span span(&histogram, &writer, "solve", "flow");
+  }
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_EQ(histogram.bucket_count(0), 1);
+  ASSERT_EQ(writer.size(), 1u);
+  const json::Value doc = parse_trace(writer);
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_EQ(events.array.size(), 1u);
+  const json::Value& event = events.array[0];
+  EXPECT_EQ(event.at("name").string, "solve");
+  EXPECT_EQ(event.at("cat").string, "flow");
+  EXPECT_EQ(event.at("ph").string, "X");
+  EXPECT_GE(event.at("dur").number, 0.0);
+  EXPECT_GE(event.at("ts").number, 0.0);
+  EXPECT_DOUBLE_EQ(event.at("pid").number, 1.0);
+}
+
+TEST(ObsTrace, SpanFinishIsIdempotent) {
+  Histogram histogram({1e6});
+  Span span(&histogram);
+  span.finish();
+  span.finish();
+  EXPECT_EQ(histogram.count(), 1);
+}
+
+TEST(ObsTrace, MovedFromSpanRecordsNothing) {
+  Histogram histogram({1e6});
+  {
+    Span span(&histogram);
+    Span stolen(std::move(span));
+    // Only `stolen` should observe; `span`'s destructor must no-op.
+  }
+  EXPECT_EQ(histogram.count(), 1);
+}
+
+TEST(ObsTrace, NullSinksAreSafe) {
+  Span span(nullptr, nullptr, "noop", "none");
+  span.finish();  // nothing to record, nothing to crash on
+}
+
+TEST(ObsTrace, InstantAndCounterEventsCarryTheirPhases) {
+  TraceWriter writer;
+  writer.instant("breaker closed -> open", "core");
+  writer.counter("queue_depth", "sim", 7.0);
+  ASSERT_EQ(writer.size(), 2u);
+  const json::Value doc = parse_trace(writer);
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("ph").string, "i");
+  EXPECT_EQ(events[0].at("name").string, "breaker closed -> open");
+  EXPECT_EQ(events[1].at("ph").string, "C");
+  // Counter events carry their sample in args, the shape the tracing UI
+  // expects for a counter track.
+  EXPECT_DOUBLE_EQ(
+      events[1].at("args").at("value").number, 7.0);
+}
+
+TEST(ObsTrace, TimestampsAreMonotoneOnTheWriterTimebase) {
+  TraceWriter writer;
+  const double before = writer.now_us();
+  writer.instant("first", "t");
+  writer.instant("second", "t");
+  EXPECT_GE(before, 0.0);
+  const json::Value doc = parse_trace(writer);
+  const auto& events = doc.at("traceEvents").array;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LE(events[0].at("ts").number, events[1].at("ts").number);
+}
+
+TEST(ObsTrace, ConcurrentRecordingIsSafeAndComplete) {
+  TraceWriter writer;
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&writer] {
+      for (int i = 0; i < kEvents; ++i) writer.instant("tick", "t");
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(writer.size(), static_cast<std::size_t>(kThreads) * kEvents);
+  const json::Value doc = parse_trace(writer);
+  EXPECT_EQ(doc.at("traceEvents").array.size(),
+            static_cast<std::size_t>(kThreads) * kEvents);
+}
+
+TEST(ObsTrace, JsonEscapesEventNames) {
+  TraceWriter writer;
+  writer.instant("quote \" backslash \\ newline \n", "t");
+  const json::Value doc = parse_trace(writer);
+  EXPECT_EQ(doc.at("traceEvents").array[0].at("name").string,
+            "quote \" backslash \\ newline \n");
+}
+
+}  // namespace
+}  // namespace rsin::obs
