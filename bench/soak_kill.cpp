@@ -1,0 +1,390 @@
+// Crash-injection soak harness for the rsind service (DESIGN.md §10).
+//
+// For each randomized scenario the harness builds a deterministic command
+// script (tenants, requests, scheduling cycles, fault injections, batch /
+// degradation knob turns), then runs it twice against real rsind daemons
+// (fork/exec of the installed binary):
+//
+//   golden:  one uninterrupted daemon, the full script, SIGTERM at the end
+//            (must exit 0 — the graceful-drain contract), final per-tenant
+//            stats lines captured.
+//   killed:  the same script, but at randomized points the daemon is
+//            SIGKILLed and restarted with --recover. Two kill flavors per
+//            point: at a command boundary (resume where we left off) and
+//            after an acknowledged command (the command is then re-sent,
+//            exercising the idempotent-id duplicate path across a
+//            restart). The final stats must equal the golden run's
+//            *bitwise* — every double, counter, and state hash.
+//
+// Any mismatch, failed recovery, or non-zero drain exit fails the harness
+// (exit 1). Defaults: 20 scenarios x 3 kill points = 60 randomized kills,
+// the crash-recovery gate of PR 6.
+//
+// Usage:
+//   soak_kill [--scenarios=N] [--kills=K] [--seed=S] [--dir=DIR]
+//
+//   --scenarios=N  randomized scenarios (default 20)
+//   --kills=K      kill points per scenario (default 3)
+//   --seed=S       master seed (default 2026)
+//   --dir=DIR      scratch directory (default /tmp, a subdir is created)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "util/rng.hpp"
+
+#ifndef RSIND_PATH
+#error "RSIND_PATH must be defined (path to the rsind binary)"
+#endif
+
+namespace {
+
+using namespace rsin;
+
+struct Options {
+  std::int64_t scenarios = 20;
+  std::int64_t kills = 3;
+  std::uint64_t seed = 2026;
+  std::string dir = "/tmp";
+};
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--scenarios") {
+      options.scenarios = std::stoll(value);
+    } else if (key == "--kills") {
+      options.kills = std::stoll(value);
+    } else if (key == "--seed") {
+      options.seed = std::stoull(value);
+    } else if (key == "--dir") {
+      options.dir = value;
+    } else {
+      std::cerr << "usage: soak_kill [--scenarios=N] [--kills=K] [--seed=S]"
+                   " [--dir=DIR]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// One daemon under test: fork/exec of RSIND_PATH on a private socket+dir.
+class Daemon {
+ public:
+  Daemon(std::string socket_path, std::string dir)
+      : socket_path_(std::move(socket_path)), dir_(std::move(dir)) {}
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  void start(bool recover) {
+    std::cout.flush();  // fork() would duplicate any buffered output.
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: quiet stdout (the harness output is the report).
+      ::freopen("/dev/null", "w", stdout);
+      std::vector<const char*> argv = {RSIND_PATH,        "--socket",
+                                       socket_path_.c_str(), "--dir",
+                                       dir_.c_str()};
+      if (recover) argv.push_back("--recover");
+      argv.push_back(nullptr);
+      ::execv(RSIND_PATH, const_cast<char* const*>(argv.data()));
+      ::_exit(127);
+    }
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      std::exit(1);
+    }
+    pid_ = pid;
+  }
+
+  /// SIGKILL — the crash under test. Reaps the corpse.
+  void kill_hard() {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::cerr << "FAIL: daemon did not die from SIGKILL (status=" << status
+                << ")\n";
+      std::exit(1);
+    }
+  }
+
+  /// SIGTERM — the graceful drain. Must exit 0.
+  bool drain() {
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string socket_path_;
+  std::string dir_;
+  pid_t pid_ = -1;
+};
+
+svc::Client make_client(const Daemon& daemon) {
+  svc::ClientOptions options;
+  options.socket_path = daemon.socket_path();
+  options.timeout_ms = 5000;
+  options.retries = 12;   // Daemon restarts ride inside the retry loop.
+  options.backoff_ms = 20;
+  return svc::Client(options);
+}
+
+/// A deterministic command script plus where its stats are read.
+struct Scenario {
+  std::vector<std::string> commands;
+  std::vector<std::string> tenants;
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Scenario scenario;
+
+  static const char* kTopologies[] = {"omega", "baseline", "cube"};
+  static const char* kSchedulers[] = {"breaker", "warm", "dinic", "greedy"};
+  const std::int64_t tenant_count = rng.uniform_int(1, 2);
+  for (std::int64_t t = 0; t < tenant_count; ++t) {
+    const std::string name = "t" + std::to_string(t);
+    const std::string topology =
+        kTopologies[rng.uniform_int(0, 2)];
+    const std::int32_t n = rng.uniform_int(0, 1) == 0 ? 8 : 16;
+    scenario.tenants.push_back(name);
+    scenario.commands.push_back(
+        "tenant name=" + name + " topology=" + topology +
+        " n=" + std::to_string(n) +
+        " seed=" + std::to_string(rng.uniform_int(1, 1 << 20)) +
+        " scheduler=" + kSchedulers[rng.uniform_int(0, 3)] +
+        " max-pending=" + std::to_string(rng.uniform_int(4, 64)));
+  }
+
+  const std::int64_t body = rng.uniform_int(80, 140);
+  std::uint64_t next_id = 1;
+  for (std::int64_t i = 0; i < body; ++i) {
+    const std::string& tenant =
+        scenario.tenants[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(scenario.tenants.size()) - 1))];
+    const std::int64_t roll = rng.uniform_int(0, 99);
+    if (roll < 55) {
+      scenario.commands.push_back(
+          "req tenant=" + tenant + " id=" + std::to_string(next_id++) +
+          " proc=" + std::to_string(rng.uniform_int(0, 7)) +
+          " prio=" + std::to_string(rng.uniform_int(0, 3)));
+    } else if (roll < 85) {
+      scenario.commands.push_back("cycle tenant=" + tenant +
+                                  " id=" + std::to_string(next_id++));
+    } else if (roll < 90) {
+      scenario.commands.push_back("inject-fault tenant=" + tenant +
+                                  " link=" +
+                                  std::to_string(rng.uniform_int(0, 7)));
+    } else if (roll < 95) {
+      scenario.commands.push_back("repair tenant=" + tenant + " link=" +
+                                  std::to_string(rng.uniform_int(0, 7)));
+    } else if (roll < 98) {
+      scenario.commands.push_back(
+          "set tenant=" + tenant +
+          " batch-window=" + std::to_string(rng.uniform_int(1, 3)));
+    } else {
+      scenario.commands.push_back(
+          "set tenant=" + tenant +
+          " level=" + std::to_string(rng.uniform_int(0, 2)));
+    }
+  }
+  // Settle: everything in flight retires, queues drain where they can.
+  for (const std::string& tenant : scenario.tenants) {
+    scenario.commands.push_back("set tenant=" + tenant + " batch-window=1");
+    for (int i = 0; i < 25; ++i) {
+      scenario.commands.push_back("cycle tenant=" + tenant +
+                                  " id=" + std::to_string(next_id++));
+    }
+  }
+  return scenario;
+}
+
+std::vector<std::string> read_stats(svc::Client& client,
+                                    const Scenario& scenario) {
+  std::vector<std::string> stats;
+  for (const std::string& tenant : scenario.tenants) {
+    const svc::Response reply = client.request("stats tenant=" + tenant);
+    if (!reply.ok) {
+      std::cerr << "FAIL: stats refused: " << reply.body << '\n';
+      std::exit(1);
+    }
+    stats.push_back(reply.body);
+  }
+  return stats;
+}
+
+void check_journal_complete(const std::string& dir) {
+  const svc::Journal::ScanResult scan =
+      svc::Journal::scan(dir + "/journal.bin");
+  if (scan.truncated) {
+    std::cerr << "FAIL: post-drain journal has a torn tail at offset "
+              << scan.damage_offset << ": " << scan.damage << '\n';
+    std::exit(1);
+  }
+}
+
+void reset_dir(const std::string& dir) {
+  const std::string command = "rm -rf '" + dir + "' && mkdir -p '" + dir +
+                              "'";
+  if (std::system(command.c_str()) != 0) {
+    std::cerr << "FAIL: cannot reset " << dir << '\n';
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  const std::string base =
+      options.dir + "/soak_kill." + std::to_string(::getpid());
+  util::Rng master(options.seed);
+  std::int64_t total_kills = 0;
+
+  for (std::int64_t s = 0; s < options.scenarios; ++s) {
+    const std::uint64_t scenario_seed = master();
+    const Scenario scenario = make_scenario(scenario_seed);
+    const auto total =
+        static_cast<std::int64_t>(scenario.commands.size());
+
+    // --- golden: uninterrupted run --------------------------------------
+    const std::string golden_dir = base + "/golden";
+    reset_dir(golden_dir);
+    std::vector<std::string> golden_stats;
+    {
+      Daemon daemon(golden_dir + "/rsind.sock", golden_dir);
+      daemon.start(/*recover=*/false);
+      svc::Client client = make_client(daemon);
+      for (const std::string& command : scenario.commands) {
+        const svc::Response reply = client.request(command);
+        if (!reply.ok) {
+          std::cerr << "FAIL: golden run refused \"" << command
+                    << "\": " << reply.body << '\n';
+          return 1;
+        }
+      }
+      golden_stats = read_stats(client, scenario);
+      if (!daemon.drain()) {
+        std::cerr << "FAIL: golden drain did not exit 0 (scenario " << s
+                  << ")\n";
+        return 1;
+      }
+      check_journal_complete(golden_dir);
+    }
+
+    // --- killed: same script, SIGKILLs + recovery -----------------------
+    util::Rng chaos(scenario_seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<std::int64_t> kill_points;
+    while (static_cast<std::int64_t>(kill_points.size()) <
+           std::min(options.kills, total - 1)) {
+      const std::int64_t point = chaos.uniform_int(1, total - 1);
+      if (std::find(kill_points.begin(), kill_points.end(), point) ==
+          kill_points.end()) {
+        kill_points.push_back(point);
+      }
+    }
+    std::sort(kill_points.begin(), kill_points.end());
+
+    const std::string killed_dir = base + "/killed";
+    reset_dir(killed_dir);
+    Daemon daemon(killed_dir + "/rsind.sock", killed_dir);
+    daemon.start(/*recover=*/false);
+    svc::Client client = make_client(daemon);
+    std::size_t next_kill = 0;
+    for (std::int64_t i = 0; i < total; ++i) {
+      const bool kill_here = next_kill < kill_points.size() &&
+                             kill_points[next_kill] == i;
+      // `tenant` creation is the one command without an idempotent id, so
+      // the resend flavor would be refused ("already exists") — boundary
+      // kills only for those.
+      const bool resendable =
+          scenario.commands[i].rfind("tenant ", 0) != 0;
+      const bool after_ack =
+          kill_here && resendable && chaos.uniform_int(0, 1) == 1;
+      if (kill_here && !after_ack) {
+        // Boundary kill: crash before this command is ever sent.
+        daemon.kill_hard();
+        daemon.start(/*recover=*/true);
+        ++total_kills;
+      }
+      const svc::Response reply = client.request(scenario.commands[i]);
+      if (!reply.ok) {
+        std::cerr << "FAIL: killed run refused \"" << scenario.commands[i]
+                  << "\": " << reply.body << '\n';
+        return 1;
+      }
+      if (kill_here && after_ack) {
+        // Post-ack kill: the command is journaled (group commit ran before
+        // the reply); the restart must answer the re-send as a duplicate /
+        // no-op, not double-execute it.
+        daemon.kill_hard();
+        daemon.start(/*recover=*/true);
+        ++total_kills;
+        const svc::Response again = client.request(scenario.commands[i]);
+        if (!again.ok) {
+          std::cerr << "FAIL: re-send after recovery refused \""
+                    << scenario.commands[i] << "\": " << again.body << '\n';
+          return 1;
+        }
+      }
+      if (kill_here) ++next_kill;
+    }
+    const std::vector<std::string> killed_stats =
+        read_stats(client, scenario);
+    if (!daemon.drain()) {
+      std::cerr << "FAIL: killed-run drain did not exit 0 (scenario " << s
+                << ")\n";
+      return 1;
+    }
+    check_journal_complete(killed_dir);
+
+    if (killed_stats != golden_stats) {
+      std::cerr << "FAIL: scenario " << s << " (seed " << scenario_seed
+                << ") diverged after recovery:\n";
+      for (std::size_t t = 0; t < golden_stats.size(); ++t) {
+        std::cerr << "  golden: " << golden_stats[t] << '\n'
+                  << "  killed: " << killed_stats[t] << '\n';
+      }
+      return 1;
+    }
+    std::cout << "scenario " << s << ": " << total << " commands, "
+              << scenario.tenants.size() << " tenant(s), bitwise match\n";
+  }
+
+  (void)std::system(("rm -rf '" + base + "'").c_str());
+  std::cout << "soak_kill: " << options.scenarios << " scenarios, "
+            << total_kills << " SIGKILL+recover points, all recoveries "
+            << "bitwise-identical, all drains exit 0\n";
+  return 0;
+}

@@ -38,10 +38,24 @@
 //   --trace-events=PATH   write a Chrome-trace-format event file; open it
 //                         at chrome://tracing. Incompatible with --replay
 //                         (a replay is already a recorded timeline).
+//
+// Service-client mode (talks to a running rsind daemon):
+//   rsin_cli client SOCKET [--timeout-ms=N] [--retries=N] [command...]
+// With command words, sends that one command ("rsin_cli client /run/r.sock
+// stats tenant=t0") and exits 0/3 for ok/err. Without, reads command lines
+// from stdin and prints each reply.
+//
+// Signals: SIGINT/SIGTERM are handled cleanly — a partially completed run
+// still flushes --metrics-out / --trace-events before exiting 128+sig.
+#include <signal.h>
+
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batching.hpp"
@@ -53,6 +67,7 @@
 #include "sim/static_experiment.hpp"
 #include "sim/system_sim.hpp"
 #include "sim/trace.hpp"
+#include "svc/client.hpp"
 #include "token/token_machine.hpp"
 #include "topo/builders.hpp"
 #include "topo/dot_export.hpp"
@@ -61,6 +76,85 @@
 namespace {
 
 using namespace rsin;
+
+/// What a SIGINT/SIGTERM must still write out before the process dies.
+/// Guarded by a mutex because the flush callback runs on the signal-watcher
+/// thread while main may still be installing it.
+struct SignalFlush {
+  std::mutex mutex;
+  std::function<void()> flush;
+};
+SignalFlush g_signal_flush;
+
+/// Clean shutdown without async-signal-unsafe work in a handler: SIGINT and
+/// SIGTERM are blocked in every thread and consumed by a dedicated sigwait
+/// thread, which runs the registered flush (ordinary thread context, so
+/// ofstream and mutexes are fine) and exits 128+sig — nonzero, so callers
+/// can tell an interrupted run from a finished one.
+void start_signal_watcher() {
+  static sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  std::thread([] {
+    int sig = 0;
+    if (sigwait(&set, &sig) != 0) return;
+    {
+      const std::lock_guard<std::mutex> lock(g_signal_flush.mutex);
+      if (g_signal_flush.flush) {
+        try {
+          g_signal_flush.flush();
+        } catch (...) {
+          // Dying anyway; a failed flush must not mask the signal exit.
+        }
+      }
+    }
+    std::_Exit(128 + sig);
+  }).detach();
+}
+
+/// `rsin_cli client SOCKET [command words...]` — one-shot or stdin-driven
+/// rsind client on the retrying svc::Client.
+int run_client(const std::vector<std::string>& args, std::int32_t timeout_ms,
+               std::int32_t retries) {
+  if (args.size() < 2) {
+    std::cerr << "client mode needs a socket path\n";
+    return 2;
+  }
+  svc::ClientOptions options;
+  options.socket_path = args[1];
+  options.timeout_ms = timeout_ms;
+  options.retries = retries;
+  svc::Client client(options);
+
+  const auto print_reply = [](const svc::Response& reply) {
+    std::cout << (reply.ok ? "ok" : "err");
+    if (!reply.body.empty()) std::cout << ' ' << reply.body;
+    std::cout << '\n';
+    for (const std::string& line : reply.extra) std::cout << line << '\n';
+  };
+
+  if (args.size() > 2) {
+    std::string line;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (i > 2) line += ' ';
+      line += args[i];
+    }
+    const svc::Response reply = client.request(line);
+    print_reply(reply);
+    return reply.ok ? 0 : 3;
+  }
+  std::string line;
+  bool all_ok = true;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const svc::Response reply = client.request(line);
+    print_reply(reply);
+    all_ok = all_ok && reply.ok;
+  }
+  return all_ok ? 0 : 3;
+}
 
 std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
   if (name == "dinic") {
@@ -99,6 +193,8 @@ int usage() {
          "[load]\n"
          "       rsin_cli system   [topology] [n] [scheduler] [arrival]\n"
          "       rsin_cli dot      [topology] [n]\n"
+         "       rsin_cli client   SOCKET [--timeout-ms=N] [--retries=N] "
+         "[command...]\n"
          "topologies: omega baseline cube butterfly benes crossbar gamma\n"
          "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
          "            mincost greedy random token hetero-lp warm breaker\n"
@@ -124,6 +220,8 @@ struct Options {
   std::int32_t batch_deadline = 0;
   std::string metrics_out;
   std::string trace_events;
+  std::int32_t timeout_ms = 2000;  ///< Client mode: per-attempt deadline.
+  std::int32_t retries = 5;        ///< Client mode: retry attempts.
 };
 
 /// Splits argv into positional arguments and recognized --flags.
@@ -181,6 +279,10 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
         throw std::invalid_argument("--trace-events requires a path");
       }
       options.trace_events = value;
+    } else if (key == "--timeout-ms") {
+      options.timeout_ms = std::stoi(value);
+    } else if (key == "--retries") {
+      options.retries = std::stoi(value);
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
@@ -208,6 +310,7 @@ void fail_links(topo::Network& net, std::int32_t count) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  start_signal_watcher();
   try {
     Options options;
     const std::vector<std::string> args = parse_args(argc, argv, options);
@@ -215,6 +318,9 @@ int main(int argc, char** argv) {
       return args.size() > i ? args[i] : fallback;
     };
     const std::string mode = arg(0, "blocking");
+    if (mode == "client") {
+      return run_client(args, options.timeout_ms, options.retries);
+    }
     const std::string topology = arg(1, "omega");
     const std::int32_t n = std::stoi(arg(2, "8"));
     const std::string scheduler_name = arg(3, "dinic");
@@ -255,6 +361,20 @@ int main(int argc, char** argv) {
                   << '\n';
       }
     };
+    if (obs.enabled()) {
+      // An interrupted run still flushes its observability outputs (the
+      // registry is atomics and the trace writer locks internally, so
+      // flushing from the signal thread mid-run is safe).
+      const std::lock_guard<std::mutex> lock(g_signal_flush.mutex);
+      g_signal_flush.flush = write_obs_outputs;
+    }
+    // Deregister before the captured locals die on a normal return.
+    struct FlushGuard {
+      ~FlushGuard() {
+        const std::lock_guard<std::mutex> lock(g_signal_flush.mutex);
+        g_signal_flush.flush = nullptr;
+      }
+    } flush_guard;
 
     auto scheduler = make_scheduler(scheduler_name);
     if (options.deadline > 0.0) {

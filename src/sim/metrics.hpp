@@ -36,6 +36,21 @@ class RunningStat {
     count_ += other.count_;
   }
 
+  /// Exact accumulator state for snapshot/restore of long-running runs
+  /// (svc::Domain checkpoints). Restoring continues the stream bit for bit,
+  /// which is what keeps recovered-service metrics bitwise identical.
+  struct State {
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+  [[nodiscard]] State state() const { return State{count_, mean_, m2_}; }
+  void restore(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+  }
+
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const {
@@ -84,6 +99,23 @@ class TimeWeightedStat {
   }
 
   [[nodiscard]] double current() const { return value_; }
+
+  /// Exact integrator state for snapshot/restore (see RunningStat::State).
+  struct State {
+    double last_time = 0.0;
+    double start_time = 0.0;
+    double value = 0.0;
+    double integral = 0.0;
+  };
+  [[nodiscard]] State state() const {
+    return State{last_time_, start_time_, value_, integral_};
+  }
+  void restore(const State& s) {
+    last_time_ = s.last_time;
+    start_time_ = s.start_time;
+    value_ = s.value;
+    integral_ = s.integral;
+  }
 
  private:
   double last_time_ = 0.0;

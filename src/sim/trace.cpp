@@ -171,6 +171,12 @@ void apply_config_field(SystemConfig& c, const std::string& key,
 
 }  // namespace
 
+TraceParseError::TraceParseError(std::size_t line, const std::string& reason)
+    : std::invalid_argument("trace: parse error at line " +
+                            std::to_string(line) + ": " + reason),
+      line_(line),
+      reason_(reason) {}
+
 void Trace::save(std::ostream& out) const {
   out << "RSINTRACE " << kVersion << '\n';
   save_config(out, config);
@@ -211,27 +217,42 @@ void Trace::save_file(const std::string& path) const {
   RSIN_REQUIRE(static_cast<bool>(out), "trace: write failed: " + path);
 }
 
-Trace Trace::load(std::istream& in) {
+namespace {
+
+/// Body of Trace::load; `line_no` is kept current so any parse failure —
+/// including RSIN_REQUIRE failures in nested field parsers — can be rewrapped
+/// with the offending line attached.
+Trace load_impl(std::istream& in, std::size_t& line_no) {
   Trace trace;
   std::string line;
 
-  RSIN_REQUIRE(static_cast<bool>(std::getline(in, line)),
-               "trace: empty stream");
+  if (!std::getline(in, line)) {
+    throw TraceParseError(1, "empty stream (no RSINTRACE header)");
+  }
+  line_no = 1;
   {
     std::istringstream header(line);
     std::string magic;
     std::int32_t version = 0;
     header >> magic >> version;
-    RSIN_REQUIRE(magic == "RSINTRACE", "trace: bad magic: " + line);
-    RSIN_REQUIRE(version == kVersion,
-                 "trace: unsupported version " + std::to_string(version) +
-                     " (expected " + std::to_string(kVersion) + ")");
+    if (magic != "RSINTRACE") {
+      throw TraceParseError(line_no, "bad magic (expected RSINTRACE): " +
+                                         line);
+    }
+    if (version != Trace::kVersion) {
+      throw TraceParseError(
+          line_no, "unsupported trace version " + std::to_string(version) +
+                       " (this build reads version " +
+                       std::to_string(Trace::kVersion) +
+                       "); re-record the trace with the current binary");
+    }
   }
 
   bool saw_end = false;
   TraceCycle* open_cycle = nullptr;
   std::size_t expected_assignments = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::istringstream fields(line);
     std::string tag;
@@ -338,17 +359,46 @@ Trace Trace::load(std::istream& in) {
       RSIN_REQUIRE(false, "trace: unknown record: " + line);
     }
   }
-  RSIN_REQUIRE(saw_end, "trace: missing END marker (truncated file)");
-  RSIN_REQUIRE(open_cycle == nullptr ||
-                   open_cycle->assignments.size() == expected_assignments,
-               "trace: last cycle truncated");
+  if (!saw_end) {
+    throw TraceParseError(line_no + 1,
+                          "missing END marker (file truncated after " +
+                              std::to_string(line_no) + " lines)");
+  }
+  if (open_cycle != nullptr &&
+      open_cycle->assignments.size() != expected_assignments) {
+    throw TraceParseError(
+        line_no, "last cycle truncated: expected " +
+                     std::to_string(expected_assignments) +
+                     " assignments, found " +
+                     std::to_string(open_cycle->assignments.size()));
+  }
   return trace;
+}
+
+}  // namespace
+
+Trace Trace::load(std::istream& in) {
+  std::size_t line_no = 0;
+  try {
+    return load_impl(in, line_no);
+  } catch (const TraceParseError&) {
+    throw;
+  } catch (const std::invalid_argument& error) {
+    // Field-level failures (bad double, unknown key, truncated record) from
+    // the nested parsers; attach the line so a corrupt file is diagnosable
+    // without a hex dump. No partial Trace ever escapes.
+    throw TraceParseError(line_no, error.what());
+  }
 }
 
 Trace Trace::load_file(const std::string& path) {
   std::ifstream in(path);
   RSIN_REQUIRE(in.is_open(), "trace: cannot open for reading: " + path);
-  return load(in);
+  try {
+    return load(in);
+  } catch (const TraceParseError& error) {
+    throw TraceParseError(error.line(), path + ": " + error.reason());
+  }
 }
 
 void TraceRecorder::begin(const SystemConfig& config,

@@ -16,8 +16,10 @@
 // (shortest round-trip), so a reloaded trace replays exactly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +30,24 @@
 #include "topo/network.hpp"
 
 namespace rsin::sim {
+
+/// Structured failure from Trace::load / Trace::load_file: a truncated,
+/// corrupt, or version-mismatched trace throws this instead of returning
+/// partial state. `line()` is the 1-based line in the stream where parsing
+/// stopped and `reason()` the specific complaint; what() carries both.
+/// Derives from std::invalid_argument so pre-existing catch sites keep
+/// working.
+class TraceParseError : public std::invalid_argument {
+ public:
+  TraceParseError(std::size_t line, const std::string& reason);
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::size_t line_;
+  std::string reason_;
+};
 
 /// One recorded task arrival (pre-admission: shed tasks are recorded too,
 /// since admission control is deterministic and re-runs during replay).

@@ -1,0 +1,144 @@
+#include "svc/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace rsin::svc {
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() { close_now(); }
+
+void Client::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+void Client::connect_now() {
+  close_now();
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " +
+                             options_.socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create client socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return;  // Stay disconnected; the caller's retry loop backs off.
+  }
+  fd_ = fd;
+}
+
+bool Client::read_line(std::string& out,
+                       std::chrono::steady_clock::time_point deadline) {
+  while (true) {
+    const std::size_t newline = inbuf_.find('\n');
+    if (newline != std::string::npos) {
+      out = inbuf_.substr(0, newline);
+      inbuf_.erase(0, newline + 1);
+      return true;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // Deadline.
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // Disconnect (or error): retry on a fresh connection.
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::attempt(const std::string& line, Response& out) {
+  if (fd_ < 0) connect_now();
+  if (fd_ < 0) return false;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.timeout_ms);
+
+  std::string wire = line;
+  wire += '\n';
+  std::size_t done = 0;
+  while (done < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + done, wire.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+
+  std::string head;
+  if (!read_line(head, deadline)) return false;
+  Response response;
+  if (head.rfind("ok", 0) == 0 &&
+      (head.size() == 2 || head[2] == ' ')) {
+    response.ok = true;
+    response.body = head.size() > 3 ? head.substr(3) : "";
+  } else if (head.rfind("err", 0) == 0 &&
+             (head.size() == 3 || head[3] == ' ')) {
+    response.ok = false;
+    response.body = head.size() > 4 ? head.substr(4) : "";
+  } else {
+    return false;  // Framing violation; resync on a fresh connection.
+  }
+  // Multi-line replies announce their continuation count inline. Bodies
+  // that are not key=value shaped (bare "pong", error prose) have none.
+  std::int64_t lines = 0;
+  try {
+    lines = parse_command("resp " + response.body).i64_or("lines", 0);
+  } catch (const std::exception&) {
+    lines = 0;
+  }
+  for (std::int64_t i = 0; i < lines; ++i) {
+    std::string extra;
+    if (!read_line(extra, deadline)) return false;
+    response.extra.push_back(std::move(extra));
+  }
+  out = std::move(response);
+  return true;
+}
+
+Response Client::request(const std::string& line) {
+  std::int64_t backoff = options_.backoff_ms;
+  for (std::int32_t tries = 0; tries <= options_.retries; ++tries) {
+    if (tries > 0) {
+      close_now();
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+    }
+    Response response;
+    if (attempt(line, response)) return response;
+  }
+  throw std::runtime_error("rsind request failed after " +
+                           std::to_string(options_.retries + 1) +
+                           " attempts: " + line);
+}
+
+}  // namespace rsin::svc

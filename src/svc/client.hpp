@@ -1,0 +1,56 @@
+// svc::Client — blocking rsind client with deadlines, reconnect, and
+// retry/backoff.
+//
+// Every attempt gets `timeout_ms` of wall clock; a timeout, refused
+// connection, or mid-reply disconnect closes the socket, sleeps an
+// exponentially growing backoff, reconnects, and RESENDS THE SAME LINE.
+// That is only safe because the protocol's state-changing commands carry
+// client-chosen idempotent ids (`req id=`, `cycle id=`): a retry whose
+// original was journaled before the crash is answered `duplicate`/
+// `status=duplicate` instead of double-executing — including across a
+// daemon restart, since the seen-id set is journaled state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace rsin::svc {
+
+struct ClientOptions {
+  std::string socket_path;
+  std::int32_t timeout_ms = 2000;  ///< Per-attempt deadline.
+  std::int32_t retries = 5;        ///< Attempts beyond the first.
+  std::int32_t backoff_ms = 50;    ///< First retry delay; doubles per retry.
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one command line and returns the parsed reply (ok/err + body,
+  /// plus `lines=N` continuation lines in `extra`). Throws
+  /// std::runtime_error when every attempt failed.
+  Response request(const std::string& line);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  void connect_now();
+  void close_now();
+  /// One attempt: send + read reply before the deadline. False = retry.
+  bool attempt(const std::string& line, Response& out);
+  bool read_line(std::string& out,
+                 std::chrono::steady_clock::time_point deadline);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace rsin::svc

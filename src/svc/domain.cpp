@@ -1,0 +1,697 @@
+#include "svc/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "svc/protocol.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+
+namespace rsin::svc {
+namespace {
+
+/// Comma-joined id list (protocol values cannot contain spaces).
+template <typename Container>
+std::string join_ids(const Container& ids) {
+  std::string out;
+  for (const auto id : ids) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> split_ids(const std::string& list) {
+  std::vector<std::uint64_t> ids;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    ids.push_back(
+        parse_exact_u64(std::string_view(list).substr(pos, comma - pos),
+                        "id list"));
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::string DomainConfig::to_args() const {
+  std::string args;
+  args += "topology=" + topology;
+  args += " n=" + std::to_string(n);
+  args += " seed=" + std::to_string(seed);
+  args += " scheduler=" + scheduler;
+  args += " cycle-interval=" + format_exact(cycle_interval);
+  args += " transmission=" + format_exact(transmission_time);
+  args += " service=" + format_exact(mean_service_time);
+  args += " max-pending=" + std::to_string(max_pending);
+  return args;
+}
+
+DomainConfig DomainConfig::from_command(const Command& command) {
+  DomainConfig config;
+  config.topology = command.str_or("topology", config.topology);
+  config.n = static_cast<std::int32_t>(command.i64_or("n", config.n));
+  config.seed = command.u64_or("seed", config.seed);
+  config.scheduler = command.str_or("scheduler", config.scheduler);
+  config.cycle_interval =
+      command.f64_or("cycle-interval", config.cycle_interval);
+  config.transmission_time =
+      command.f64_or("transmission", config.transmission_time);
+  config.mean_service_time =
+      command.f64_or("service", config.mean_service_time);
+  config.max_pending = static_cast<std::int32_t>(
+      command.i64_or("max-pending", config.max_pending));
+  config.validate();
+  return config;
+}
+
+void DomainConfig::validate() const {
+  RSIN_REQUIRE(scheduler == "breaker" || scheduler == "warm" ||
+                   scheduler == "dinic" || scheduler == "greedy",
+               "tenant scheduler must be breaker|warm|dinic|greedy, got " +
+                   scheduler);
+  RSIN_REQUIRE(cycle_interval > 0.0 && std::isfinite(cycle_interval),
+               "tenant cycle-interval must be positive and finite");
+  RSIN_REQUIRE(transmission_time >= 0.0 && std::isfinite(transmission_time),
+               "tenant transmission must be non-negative and finite");
+  RSIN_REQUIRE(mean_service_time > 0.0 && std::isfinite(mean_service_time),
+               "tenant service must be positive and finite");
+  RSIN_REQUIRE(max_pending > 0, "tenant max-pending must be >= 1");
+}
+
+const char* to_string(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kAdmitted: return "admitted";
+    case AdmitResult::kDuplicate: return "duplicate";
+    case AdmitResult::kShed: return "shed";
+  }
+  return "?";
+}
+
+Domain::Domain(std::string name, DomainConfig config,
+               core::WarmContextPool* pool)
+    : name_(std::move(name)),
+      config_(std::move(config)),
+      pool_(pool),
+      net_(topo::make_named(config_.topology, config_.n)),
+      rng_(config_.seed),
+      registry_(std::make_unique<obs::Registry>()) {
+  config_.validate();
+  resource_busy_.assign(static_cast<std::size_t>(net_.resource_count()), 0);
+  busy_resources_ = sim::TimeWeightedStat(0.0, 0.0);
+  queue_length_ = sim::TimeWeightedStat(0.0, 0.0);
+  obs_admitted_ = &registry_->counter("svc.requests.admitted");
+  obs_shed_ = &registry_->counter("svc.requests.shed");
+  obs_cycles_ = &registry_->counter("svc.cycles.solved");
+  obs_granted_ = &registry_->counter("svc.circuits.granted");
+  obs_completed_ = &registry_->counter("svc.tasks.completed");
+  obs_faults_ = &registry_->counter("svc.faults.injected");
+  build_scheduler();
+}
+
+void Domain::build_scheduler() {
+  // Every discipline here is deterministic in the admitted sequence, and —
+  // critically for recovery — independent of warm-start residual state:
+  // warm solvers run in canonical mode, whose assignments are bitwise those
+  // of the cold Dinic solve, so a domain rebuilt without its (never
+  // snapshotted) warm residuals still schedules identically.
+  constexpr bool kVerify = false;
+  constexpr bool kCanonical = true;
+  const auto lease = [&]() -> core::WarmContextLease {
+    if (pool_ == nullptr) return {};
+    // Shard by tenant name so tenants re-checkout their own warm skeletons.
+    std::uint64_t shard = kFnvOffset;
+    for (const char ch : name_) {
+      shard = fnv_mix(shard, static_cast<unsigned char>(ch));
+    }
+    return pool_->checkout(static_cast<std::size_t>(shard), net_);
+  };
+  if (config_.scheduler == "dinic") {
+    scheduler_ = std::make_unique<core::MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kDinic);
+  } else if (config_.scheduler == "greedy") {
+    scheduler_ = std::make_unique<core::GreedyScheduler>();
+  } else if (config_.scheduler == "warm") {
+    scheduler_ = pool_ != nullptr
+                     ? std::make_unique<core::WarmMaxFlowScheduler>(
+                           lease(), kVerify, kCanonical)
+                     : std::make_unique<core::WarmMaxFlowScheduler>(
+                           kVerify, kCanonical);
+  } else {  // breaker
+    auto warm = pool_ != nullptr
+                    ? std::make_unique<core::WarmMaxFlowScheduler>(
+                          lease(), kVerify, kCanonical)
+                    : std::make_unique<core::WarmMaxFlowScheduler>(
+                          kVerify, kCanonical);
+    scheduler_ = std::make_unique<core::CircuitBreakerScheduler>(
+        core::BreakerConfig{}, std::move(warm));
+  }
+  scheduler_->bind_obs(obs::Handle{registry_.get(), nullptr});
+  scheduler_->set_relaxed(level_ >= 1);
+}
+
+core::Scheduler& Domain::scheduler_for_level() {
+  if (level_ >= 2) return greedy_;
+  return *scheduler_;
+}
+
+AdmitResult Domain::admit(std::uint64_t id, topo::ProcessorId processor,
+                          std::int32_t priority) {
+  RSIN_REQUIRE(net_.valid_processor(processor),
+               "req proc out of range for tenant " + name_);
+  RSIN_REQUIRE(priority >= 0, "req prio must be >= 0");
+  if (seen_.contains(id)) return AdmitResult::kDuplicate;
+  seen_.insert(id);
+  if (pending_.size() >=
+      static_cast<std::size_t>(config_.max_pending)) {
+    ++shed_;
+    obs_shed_->add(1);
+    return AdmitResult::kShed;
+  }
+  pending_.push_back(Pending{id, processor, priority, now_, 0});
+  ++arrived_;
+  obs_admitted_->add(1);
+  queue_length_.update(now_, static_cast<double>(pending_.size()));
+  return AdmitResult::kAdmitted;
+}
+
+void Domain::retire_due_events() {
+  // Retire in (event time, establishment sequence) order — container order
+  // never decides, so a restored domain retires identically.
+  while (true) {
+    topo::ProcessorId best = topo::kInvalidId;
+    double best_time = 0.0;
+    int best_kind = 0;  // 0 = release, 1 = completion
+    std::uint64_t best_token = 0;
+    for (const auto& [proc, active] : active_) {
+      const double time = active.released ? active.done_time
+                                          : active.release_time;
+      const int kind = active.released ? 1 : 0;
+      if (time > now_) continue;
+      if (best == topo::kInvalidId || time < best_time ||
+          (time == best_time && active.token < best_token)) {
+        best = proc;
+        best_time = time;
+        best_kind = kind;
+        best_token = active.token;
+      }
+    }
+    if (best == topo::kInvalidId) break;
+    Active& active = active_.at(best);
+    if (best_kind == 0) {
+      // Transmission done: free the circuit; the resource stays busy.
+      const topo::Circuit* circuit = net_.established_circuit(best);
+      RSIN_ENSURE(circuit != nullptr,
+                  "active transmission lost its circuit");
+      net_.release(*circuit);
+      active.released = true;
+      if (active.done_time <= active.release_time) {
+        // Zero-length service tail: complete immediately on the next pass.
+        active.done_time = active.release_time;
+      }
+    } else {
+      // Task complete: resource frees, response time closes.
+      resource_busy_[static_cast<std::size_t>(active.resource)] = 0;
+      std::int32_t busy = 0;
+      for (const char b : resource_busy_) busy += b;
+      busy_resources_.update(active.done_time, static_cast<double>(busy));
+      response_.add(active.done_time - active.arrival);
+      ++completed_;
+      obs_completed_->add(1);
+      active_.erase(best);
+    }
+  }
+}
+
+CycleSummary Domain::run_cycle() {
+  ++cycle_seq_;
+  now_ += config_.cycle_interval;
+  retire_due_events();
+
+  CycleSummary summary;
+  summary.seq = cycle_seq_;
+
+  if (pending_.size() <
+      static_cast<std::size_t>(std::max(batch_window_, 1))) {
+    ++deferred_cycles_;
+    summary.deferred = true;
+    summary.pending = static_cast<std::int32_t>(pending_.size());
+    summary.state_hash = state_hash();
+    return summary;
+  }
+
+  // One request per idle processor, oldest first (a processor mid-
+  // transmission keeps its later arrivals queued — model point 5).
+  core::Problem problem;
+  problem.network = &net_;
+  std::vector<char> chosen(
+      static_cast<std::size_t>(net_.processor_count()), 0);
+  for (const Pending& pending : pending_) {
+    const auto proc = static_cast<std::size_t>(pending.processor);
+    if (chosen[proc] != 0 || active_.contains(pending.processor)) continue;
+    chosen[proc] = 1;
+    problem.requests.push_back(
+        core::Request{pending.processor, pending.priority, 0});
+  }
+  std::int64_t free_resources = 0;
+  for (topo::ResourceId r = 0; r < net_.resource_count(); ++r) {
+    if (resource_busy_[static_cast<std::size_t>(r)] != 0) continue;
+    problem.free_resources.push_back(core::FreeResource{r, 0, 0});
+    ++free_resources;
+  }
+
+  core::ScheduleResult result =
+      scheduler_for_level().schedule(problem);
+
+  std::vector<std::uint64_t> granted_ids;
+  granted_ids.reserve(result.assignments.size());
+  for (const core::Assignment& asg : result.assignments) {
+    // Find the pending entry this grant serves (the oldest for that
+    // processor — exactly the one the problem offered).
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(), [&](const Pending& p) {
+          return p.processor == asg.request.processor;
+        });
+    RSIN_ENSURE(it != pending_.end(), "granted request not in queue");
+    net_.establish(asg.circuit);
+    const double service = rng_.exponential(1.0 / config_.mean_service_time);
+    Active active;
+    active.id = it->id;
+    active.processor = it->processor;
+    active.resource = asg.resource.resource;
+    active.priority = it->priority;
+    active.arrival = it->arrival;
+    active.release_time = now_ + config_.transmission_time;
+    active.done_time = now_ + config_.transmission_time + service;
+    active.retries = it->retries;
+    active.token = establish_seq_++;
+    active_.emplace(active.processor, active);
+    resource_busy_[static_cast<std::size_t>(active.resource)] = 1;
+    wait_.add(now_ - it->arrival);
+    granted_ids.push_back(it->id);
+    pending_.erase(it);
+  }
+  std::int32_t busy = 0;
+  for (const char b : resource_busy_) busy += b;
+  busy_resources_.update(now_, static_cast<double>(busy));
+  queue_length_.update(now_, static_cast<double>(pending_.size()));
+
+  const std::int64_t offered =
+      std::min(static_cast<std::int64_t>(problem.requests.size()),
+               free_resources);
+  offered_opportunities_ += offered;
+  const auto granted = static_cast<std::int64_t>(result.assignments.size());
+  if (offered > granted) blocked_opportunities_ += offered - granted;
+  granted_ += granted;
+  ++solved_cycles_;
+  if (level_ >= 2) ++degraded_cycles_;
+  obs_cycles_->add(1);
+  obs_granted_->add(granted);
+
+  summary.granted = static_cast<std::int32_t>(granted);
+  summary.completed = 0;  // Completions are retired at cycle entry.
+  summary.pending = static_cast<std::int32_t>(pending_.size());
+  summary.state_hash = state_hash();
+  return summary;
+}
+
+bool Domain::inject_link_fault(topo::LinkId link) {
+  RSIN_REQUIRE(net_.valid_link(link),
+               "fault link out of range for tenant " + name_);
+  if (net_.link_failed(link)) return false;  // Idempotent.
+  std::vector<topo::Circuit> victims = net_.fail_link(link);
+  ++faults_injected_;
+  obs_faults_->add(1);
+  failed_links_.insert(
+      std::lower_bound(failed_links_.begin(), failed_links_.end(), link),
+      link);
+  // Victims re-queue at the front, first victim first, keeping their
+  // original arrival (so waits account the full delay) and a retry mark.
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    const auto found = active_.find(it->processor);
+    RSIN_ENSURE(found != active_.end(), "teardown victim not active");
+    Active& active = found->second;
+    resource_busy_[static_cast<std::size_t>(active.resource)] = 0;
+    pending_.push_front(Pending{active.id, active.processor, active.priority,
+                                active.arrival, active.retries + 1});
+    ++torn_down_;
+    ++retries_;
+    active_.erase(found);
+  }
+  std::int32_t busy = 0;
+  for (const char b : resource_busy_) busy += b;
+  busy_resources_.update(now_, static_cast<double>(busy));
+  queue_length_.update(now_, static_cast<double>(pending_.size()));
+  // The fabric changed under the scheduler: drop warm residuals.
+  scheduler_->reset();
+  return true;
+}
+
+bool Domain::repair_link(topo::LinkId link) {
+  RSIN_REQUIRE(net_.valid_link(link),
+               "repair link out of range for tenant " + name_);
+  if (!net_.link_failed(link)) return false;  // Idempotent.
+  net_.repair_link(link);
+  ++repairs_;
+  const auto it =
+      std::lower_bound(failed_links_.begin(), failed_links_.end(), link);
+  if (it != failed_links_.end() && *it == link) failed_links_.erase(it);
+  scheduler_->reset();
+  return true;
+}
+
+void Domain::set_batch_window(std::int32_t window) {
+  RSIN_REQUIRE(window >= 1, "batch-window must be >= 1");
+  batch_window_ = window;
+}
+
+void Domain::set_level(std::int32_t level) {
+  RSIN_REQUIRE(level >= 0 && level <= 2, "level must be 0..2");
+  if (level == level_) return;
+  level_ = level;
+  ++level_transitions_;
+  scheduler_->set_relaxed(level_ >= 1);
+}
+
+std::uint64_t Domain::state_hash() const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix_double(h, now_);
+  h = fnv_mix(h, cycle_seq_);
+  h = fnv_mix(h, establish_seq_);
+  h = fnv_mix(h, static_cast<std::uint64_t>(batch_window_));
+  h = fnv_mix(h, static_cast<std::uint64_t>(level_));
+  for (const std::uint64_t word : rng_.state()) h = fnv_mix(h, word);
+  h = fnv_mix(h, pending_.size());
+  for (const Pending& p : pending_) {
+    h = fnv_mix(h, p.id);
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.processor));
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.priority));
+    h = fnv_mix_double(h, p.arrival);
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.retries));
+  }
+  h = fnv_mix(h, active_.size());
+  for (const auto& [proc, a] : active_) {
+    h = fnv_mix(h, a.id);
+    h = fnv_mix(h, static_cast<std::uint64_t>(proc));
+    h = fnv_mix(h, static_cast<std::uint64_t>(a.resource));
+    h = fnv_mix_double(h, a.arrival);
+    h = fnv_mix_double(h, a.release_time);
+    h = fnv_mix_double(h, a.done_time);
+    h = fnv_mix(h, a.token);
+    h = fnv_mix(h, static_cast<std::uint64_t>(a.released ? 1 : 0));
+  }
+  for (const char busy : resource_busy_) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(busy));
+  }
+  for (const topo::LinkId link : failed_links_) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(link));
+  }
+  // The seen set is unordered; fold it order-independently.
+  std::uint64_t seen_mix = 0;
+  for (const std::uint64_t id : seen_) {
+    std::uint64_t sm = id;
+    seen_mix ^= util::splitmix64(sm);
+  }
+  h = fnv_mix(h, seen_mix);
+  h = fnv_mix(h, seen_.size());
+  for (const std::int64_t counter :
+       {arrived_, completed_, shed_, granted_, solved_cycles_,
+        deferred_cycles_, blocked_opportunities_, offered_opportunities_,
+        degraded_cycles_, faults_injected_, repairs_, torn_down_, retries_,
+        level_transitions_}) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(counter));
+  }
+  for (const sim::RunningStat* stat : {&wait_, &response_}) {
+    const auto s = stat->state();
+    h = fnv_mix(h, static_cast<std::uint64_t>(s.count));
+    h = fnv_mix_double(h, s.mean);
+    h = fnv_mix_double(h, s.m2);
+  }
+  for (const sim::TimeWeightedStat* stat :
+       {&busy_resources_, &queue_length_}) {
+    const auto s = stat->state();
+    h = fnv_mix_double(h, s.last_time);
+    h = fnv_mix_double(h, s.start_time);
+    h = fnv_mix_double(h, s.value);
+    h = fnv_mix_double(h, s.integral);
+  }
+  return h;
+}
+
+sim::SystemMetrics Domain::metrics() const {
+  sim::SystemMetrics m;
+  m.resource_utilization =
+      net_.resource_count() > 0
+          ? busy_resources_.average(now_) /
+                static_cast<double>(net_.resource_count())
+          : 0.0;
+  m.mean_response_time = response_.mean();
+  m.mean_wait_time = wait_.mean();
+  m.blocking_probability =
+      offered_opportunities_ > 0
+          ? static_cast<double>(blocked_opportunities_) /
+                static_cast<double>(offered_opportunities_)
+          : 0.0;
+  m.mean_queue_length = queue_length_.average(now_);
+  m.tasks_arrived = arrived_;
+  m.tasks_completed = completed_;
+  m.scheduling_cycles = solved_cycles_;
+  m.deferred_cycles = deferred_cycles_;
+  m.degraded_cycle_fraction =
+      solved_cycles_ > 0 ? static_cast<double>(degraded_cycles_) /
+                               static_cast<double>(solved_cycles_)
+                         : 0.0;
+  m.faults_injected = faults_injected_;
+  m.repairs = repairs_;
+  m.circuits_torn_down = torn_down_;
+  m.retries = retries_;
+  m.tasks_shed = shed_;
+  m.degradation_transitions = level_transitions_;
+  m.final_level = static_cast<sim::DegradationLevel>(level_);
+  return m;
+}
+
+std::string Domain::stats_args() const {
+  const sim::SystemMetrics m = metrics();
+  std::string args;
+  args += "tenant=" + name_;
+  args += " now=" + format_exact(now_);
+  args += " cycles=" + std::to_string(m.scheduling_cycles);
+  args += " deferred=" + std::to_string(m.deferred_cycles);
+  args += " arrived=" + std::to_string(m.tasks_arrived);
+  args += " completed=" + std::to_string(m.tasks_completed);
+  args += " granted=" + std::to_string(granted_);
+  args += " shed=" + std::to_string(m.tasks_shed);
+  args += " retries=" + std::to_string(m.retries);
+  args += " torn=" + std::to_string(m.circuits_torn_down);
+  args += " faults=" + std::to_string(m.faults_injected);
+  args += " repairs=" + std::to_string(m.repairs);
+  args += " pending=" + std::to_string(pending_.size());
+  args += " level=" + std::to_string(level_);
+  args += " transitions=" + std::to_string(m.degradation_transitions);
+  args += " utilization=" + format_exact(m.resource_utilization);
+  args += " wait=" + format_exact(m.mean_wait_time);
+  args += " response=" + format_exact(m.mean_response_time);
+  args += " blocking=" + format_exact(m.blocking_probability);
+  args += " qlen=" + format_exact(m.mean_queue_length);
+  args += " hash=" + format_hex(state_hash());
+  return args;
+}
+
+void Domain::save(std::ostream& out) const {
+  out << "domsnap v=1 name=" << name_ << '\n';
+  out << "cfg " << config_.to_args() << '\n';
+  out << "clock now=" << format_exact(now_) << " cycle=" << cycle_seq_
+      << " estseq=" << establish_seq_ << " window=" << batch_window_
+      << " level=" << level_ << '\n';
+  const auto rng_state = rng_.state();
+  out << "rng a=" << rng_state[0] << " b=" << rng_state[1]
+      << " c=" << rng_state[2] << " d=" << rng_state[3] << '\n';
+  out << "counters arrived=" << arrived_ << " completed=" << completed_
+      << " shed=" << shed_ << " granted=" << granted_
+      << " solved=" << solved_cycles_ << " deferred=" << deferred_cycles_
+      << " blocked=" << blocked_opportunities_
+      << " offered=" << offered_opportunities_
+      << " degraded=" << degraded_cycles_ << " faults=" << faults_injected_
+      << " repairs=" << repairs_ << " torn=" << torn_down_
+      << " retries=" << retries_ << " transitions=" << level_transitions_
+      << '\n';
+  const auto rs = [&](const char* tag, const sim::RunningStat& stat) {
+    const auto s = stat.state();
+    out << tag << " count=" << s.count << " mean=" << format_exact(s.mean)
+        << " m2=" << format_exact(s.m2) << '\n';
+  };
+  rs("wait", wait_);
+  rs("resp", response_);
+  const auto tw = [&](const char* tag, const sim::TimeWeightedStat& stat) {
+    const auto s = stat.state();
+    out << tag << " last=" << format_exact(s.last_time)
+        << " start=" << format_exact(s.start_time)
+        << " value=" << format_exact(s.value)
+        << " integral=" << format_exact(s.integral) << '\n';
+  };
+  tw("busytw", busy_resources_);
+  tw("qtw", queue_length_);
+  out << "failed list=" << join_ids(failed_links_) << '\n';
+  // Seen ids, sorted (the set is unordered) and chunked to keep lines sane.
+  std::vector<std::uint64_t> seen(seen_.begin(), seen_.end());
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); i += 256) {
+    out << "seenids list=";
+    for (std::size_t j = i; j < std::min(seen.size(), i + 256); ++j) {
+      if (j > i) out << ',';
+      out << seen[j];
+    }
+    out << '\n';
+  }
+  for (const Pending& p : pending_) {
+    out << "pend id=" << p.id << " proc=" << p.processor
+        << " prio=" << p.priority << " arrival=" << format_exact(p.arrival)
+        << " retries=" << p.retries << '\n';
+  }
+  for (const auto& [proc, a] : active_) {
+    out << "act id=" << a.id << " proc=" << proc << " res=" << a.resource
+        << " prio=" << a.priority << " arrival=" << format_exact(a.arrival)
+        << " release=" << format_exact(a.release_time)
+        << " done=" << format_exact(a.done_time) << " retries=" << a.retries
+        << " token=" << a.token << " released=" << (a.released ? 1 : 0);
+    out << " links=";
+    if (!a.released) {
+      const topo::Circuit* circuit = net_.established_circuit(proc);
+      RSIN_ENSURE(circuit != nullptr, "active circuit missing in snapshot");
+      out << join_ids(circuit->links);
+    }
+    out << '\n';
+  }
+  out << "endsnap hash=" << format_hex(state_hash()) << '\n';
+  RSIN_ENSURE(static_cast<bool>(out), "domain snapshot write failed");
+}
+
+Domain Domain::load(std::istream& in, core::WarmContextPool* pool) {
+  std::string line;
+  RSIN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "domain snapshot: missing domsnap header");
+  Command header = parse_command(line);
+  RSIN_REQUIRE(header.verb == "domsnap",
+               "domain snapshot: bad header: " + line);
+  RSIN_REQUIRE(header.u64("v") == 1,
+               "domain snapshot: unsupported version");
+  const std::string name = header.str("name");
+
+  RSIN_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "domain snapshot: missing cfg");
+  const Command cfg = parse_command(line);
+  RSIN_REQUIRE(cfg.verb == "cfg", "domain snapshot: expected cfg: " + line);
+
+  Domain domain(name, DomainConfig::from_command(cfg), pool);
+  std::uint64_t saved_hash = 0;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const Command cmd = parse_command(line);
+    if (cmd.verb == "clock") {
+      domain.now_ = cmd.f64("now");
+      domain.cycle_seq_ = cmd.u64("cycle");
+      domain.establish_seq_ = cmd.u64("estseq");
+      domain.batch_window_ = static_cast<std::int32_t>(cmd.i64("window"));
+      domain.level_ = static_cast<std::int32_t>(cmd.i64("level"));
+      domain.scheduler_->set_relaxed(domain.level_ >= 1);
+    } else if (cmd.verb == "rng") {
+      domain.rng_.set_state(
+          {cmd.u64("a"), cmd.u64("b"), cmd.u64("c"), cmd.u64("d")});
+    } else if (cmd.verb == "counters") {
+      domain.arrived_ = cmd.i64("arrived");
+      domain.completed_ = cmd.i64("completed");
+      domain.shed_ = cmd.i64("shed");
+      domain.granted_ = cmd.i64("granted");
+      domain.solved_cycles_ = cmd.i64("solved");
+      domain.deferred_cycles_ = cmd.i64("deferred");
+      domain.blocked_opportunities_ = cmd.i64("blocked");
+      domain.offered_opportunities_ = cmd.i64("offered");
+      domain.degraded_cycles_ = cmd.i64("degraded");
+      domain.faults_injected_ = cmd.i64("faults");
+      domain.repairs_ = cmd.i64("repairs");
+      domain.torn_down_ = cmd.i64("torn");
+      domain.retries_ = cmd.i64("retries");
+      domain.level_transitions_ = cmd.i64("transitions");
+    } else if (cmd.verb == "wait" || cmd.verb == "resp") {
+      sim::RunningStat::State s;
+      s.count = cmd.i64("count");
+      s.mean = cmd.f64("mean");
+      s.m2 = cmd.f64("m2");
+      (cmd.verb == "wait" ? domain.wait_ : domain.response_).restore(s);
+    } else if (cmd.verb == "busytw" || cmd.verb == "qtw") {
+      sim::TimeWeightedStat::State s;
+      s.last_time = cmd.f64("last");
+      s.start_time = cmd.f64("start");
+      s.value = cmd.f64("value");
+      s.integral = cmd.f64("integral");
+      (cmd.verb == "busytw" ? domain.busy_resources_ : domain.queue_length_)
+          .restore(s);
+    } else if (cmd.verb == "failed") {
+      for (const std::uint64_t id : split_ids(cmd.str("list"))) {
+        const auto link = static_cast<topo::LinkId>(id);
+        domain.net_.fail_link(link);
+        domain.failed_links_.push_back(link);
+      }
+      std::sort(domain.failed_links_.begin(), domain.failed_links_.end());
+    } else if (cmd.verb == "seenids") {
+      for (const std::uint64_t id : split_ids(cmd.str("list"))) {
+        domain.seen_.insert(id);
+      }
+    } else if (cmd.verb == "pend") {
+      Pending p;
+      p.id = cmd.u64("id");
+      p.processor = static_cast<topo::ProcessorId>(cmd.i64("proc"));
+      p.priority = static_cast<std::int32_t>(cmd.i64("prio"));
+      p.arrival = cmd.f64("arrival");
+      p.retries = static_cast<std::int32_t>(cmd.i64("retries"));
+      domain.pending_.push_back(p);
+    } else if (cmd.verb == "act") {
+      Active a;
+      a.id = cmd.u64("id");
+      a.processor = static_cast<topo::ProcessorId>(cmd.i64("proc"));
+      a.resource = static_cast<topo::ResourceId>(cmd.i64("res"));
+      a.priority = static_cast<std::int32_t>(cmd.i64("prio"));
+      a.arrival = cmd.f64("arrival");
+      a.release_time = cmd.f64("release");
+      a.done_time = cmd.f64("done");
+      a.retries = static_cast<std::int32_t>(cmd.i64("retries"));
+      a.token = cmd.u64("token");
+      a.released = cmd.i64("released") != 0;
+      if (!a.released) {
+        topo::Circuit circuit;
+        circuit.processor = a.processor;
+        circuit.resource = a.resource;
+        for (const std::uint64_t id : split_ids(cmd.str("links")))
+          circuit.links.push_back(static_cast<topo::LinkId>(id));
+        domain.net_.establish(circuit);
+      }
+      domain.resource_busy_[static_cast<std::size_t>(a.resource)] = 1;
+      domain.active_.emplace(a.processor, a);
+    } else if (cmd.verb == "endsnap") {
+      saved_hash = parse_hex(cmd.str("hash"), "snapshot hash");
+      saw_end = true;
+      break;
+    } else {
+      RSIN_REQUIRE(false, "domain snapshot: unknown record: " + line);
+    }
+  }
+  RSIN_REQUIRE(saw_end, "domain snapshot: truncated (no endsnap)");
+  // Recovery invariant: a restored domain must hash exactly as the one
+  // that was saved — anything else means the snapshot lost state.
+  const std::uint64_t rebuilt = domain.state_hash();
+  RSIN_REQUIRE(rebuilt == saved_hash,
+               "domain snapshot: state hash mismatch after restore for "
+               "tenant " + name);
+  return domain;
+}
+
+}  // namespace rsin::svc

@@ -1,0 +1,232 @@
+// svc::Domain — one tenant's deterministic scheduling domain.
+//
+// A Domain is the service-mode counterpart of one simulate_system run: a
+// network, a pool-backed optimal scheduler, per-processor request queues,
+// in-flight transmissions, and metric accumulators — but driven by an
+// externally supplied request stream instead of a Poisson source, and on a
+// *logical* clock that only advances when a cycle runs. Every mutation is a
+// pure function of the admitted command sequence:
+//
+//  * no wall-clock reads anywhere in the state path;
+//  * the service-time stream comes from a seeded util::Rng whose raw state
+//    is part of the snapshot;
+//  * event processing (circuit releases, task completions, fault teardowns)
+//    is ordered by (logical time, admission sequence), never by container
+//    iteration order;
+//  * the warm-start scheduler runs in *canonical* mode, so its assignments
+//    are bitwise those of the cold Dinic solve no matter what warm state a
+//    recovery did or did not restore.
+//
+// That determinism is the entire crash-safety story: replaying the
+// journal's admitted records through a fresh Domain reproduces the killed
+// daemon's state bit for bit, and bench/soak_kill holds the service to it
+// (recovered SystemMetrics must equal the uninterrupted run's exactly).
+// Each cycle additionally publishes a state hash that the journal's cycle
+// records carry, so recovery *verifies* convergence instead of assuming it.
+//
+// Idempotency: every req/cycle command carries a client-chosen 64-bit id;
+// ids already seen (admitted OR shed) are acknowledged without re-executing,
+// which is what makes client retry-after-timeout safe across daemon
+// restarts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/scheduler.hpp"
+#include "core/warm_pool.hpp"
+#include "obs/metrics.hpp"
+#include "sim/metrics.hpp"
+#include "sim/system_sim.hpp"
+#include "topo/network.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::svc {
+
+struct Command;  // protocol.hpp
+
+/// Per-tenant configuration, fixed at domain creation (journaled with the
+/// `tenant` record). Runtime-mutable knobs (batch window, degradation
+/// level) are journaled as separate `set` records instead.
+struct DomainConfig {
+  std::string topology = "omega";
+  std::int32_t n = 8;
+  std::uint64_t seed = 1;
+  /// breaker | warm | dinic | greedy. breaker/warm use the shared
+  /// WarmContextPool in canonical mode (bitwise-equal to cold Dinic).
+  std::string scheduler = "breaker";
+  double cycle_interval = 0.1;     ///< Logical time per scheduling cycle.
+  double transmission_time = 0.2;  ///< Circuit hold time per task.
+  double mean_service_time = 1.0;  ///< Exponential resource busy time.
+  std::int32_t max_pending = 4096; ///< Admission bound; beyond it, shed.
+
+  /// Serialization as protocol argument pairs (tenant records, snapshots).
+  [[nodiscard]] std::string to_args() const;
+  [[nodiscard]] static DomainConfig from_command(const Command& command);
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+enum class AdmitResult : std::uint8_t { kAdmitted, kDuplicate, kShed };
+
+[[nodiscard]] const char* to_string(AdmitResult result);
+
+/// What one cycle command did; `state_hash` is the post-cycle domain hash
+/// journaled for recovery verification.
+struct CycleSummary {
+  std::uint64_t seq = 0;
+  bool deferred = false;        ///< Batch window not met; no solve ran.
+  std::int32_t granted = 0;     ///< Circuits established this cycle.
+  std::int32_t completed = 0;   ///< Tasks completed this cycle.
+  std::int32_t pending = 0;     ///< Requests still queued after the cycle.
+  std::uint64_t state_hash = 0;
+};
+
+class Domain {
+ public:
+  /// `pool` may be null (private warm state); it must outlive the domain.
+  Domain(std::string name, DomainConfig config,
+         core::WarmContextPool* pool);
+  Domain(Domain&&) = default;
+  Domain& operator=(Domain&&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const DomainConfig& config() const { return config_; }
+
+  /// Admits one task request (idempotent by id).
+  AdmitResult admit(std::uint64_t id, topo::ProcessorId processor,
+                    std::int32_t priority);
+  /// True when `id` was already consumed by an admit or cycle command.
+  [[nodiscard]] bool seen(std::uint64_t id) const {
+    return seen_.contains(id);
+  }
+  /// Runs one scheduling cycle (idempotent by id at the Service layer):
+  /// advances the logical clock, retires due releases/completions, and —
+  /// unless the batch window defers it — solves and establishes circuits.
+  CycleSummary run_cycle();
+  void note_cycle_id(std::uint64_t id) { seen_.insert(id); }
+
+  /// Fault controls (journaled by the Service). Victim tasks of a teardown
+  /// re-queue at the front of the pending queue, oldest victim first.
+  /// Both are idempotent and return whether state changed (the Service
+  /// journals only actual transitions).
+  bool inject_link_fault(topo::LinkId link);
+  bool repair_link(topo::LinkId link);
+
+  /// Runtime knobs (journaled by the Service as `set` records).
+  void set_batch_window(std::int32_t window);
+  [[nodiscard]] std::int32_t batch_window() const { return batch_window_; }
+  /// Degradation ladder: 0 = optimal, 1 = optimal with self-checks
+  /// relaxed, 2 = greedy. Watchdog trips escalate one level.
+  void set_level(std::int32_t level);
+  [[nodiscard]] std::int32_t level() const { return level_; }
+
+  /// FNV-1a over the complete logical state (clock, queues, in-flight
+  /// work, RNG, accumulators). Two domains with equal hashes have run the
+  /// same admitted sequence.
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+  /// The accumulated run, in the DES's metrics vocabulary.
+  [[nodiscard]] sim::SystemMetrics metrics() const;
+  /// Exact key=value serialization of metrics() plus clock/hash — the
+  /// bitwise comparison artifact of the crash-recovery gate.
+  [[nodiscard]] std::string stats_args() const;
+
+  /// Exact text snapshot (protocol framing, to_chars doubles). load()
+  /// rebuilds a domain that continues bit-for-bit.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static Domain load(std::istream& in,
+                                   core::WarmContextPool* pool);
+
+  /// Per-tenant observability registry (svc.* counters plus whatever the
+  /// scheduler binds). Observation-only: never part of the state hash.
+  [[nodiscard]] obs::Registry& registry() { return *registry_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    topo::ProcessorId processor = topo::kInvalidId;
+    std::int32_t priority = 0;
+    double arrival = 0.0;
+    std::int32_t retries = 0;
+  };
+  /// An established circuit in flight: the transmission releases at
+  /// `release_time`, the task completes (resource frees) at `done_time`.
+  struct Active {
+    std::uint64_t id = 0;
+    topo::ProcessorId processor = topo::kInvalidId;
+    topo::ResourceId resource = topo::kInvalidId;
+    std::int32_t priority = 0;
+    double arrival = 0.0;
+    double release_time = 0.0;
+    double done_time = 0.0;
+    std::int32_t retries = 0;
+    std::uint64_t token = 0;  ///< Establishment sequence (event ordering).
+    bool released = false;    ///< Circuit released; waiting on done_time.
+  };
+
+  void build_scheduler();
+  void retire_due_events();
+  core::Scheduler& scheduler_for_level();
+
+  std::string name_;
+  DomainConfig config_;
+  core::WarmContextPool* pool_ = nullptr;
+  topo::Network net_;
+
+  std::unique_ptr<core::Scheduler> scheduler_;  ///< Configured discipline.
+  core::GreedyScheduler greedy_;                ///< Level-2 ladder rung.
+
+  double now_ = 0.0;
+  std::uint64_t cycle_seq_ = 0;
+  std::uint64_t establish_seq_ = 0;
+  std::int32_t batch_window_ = 1;
+  std::int32_t level_ = 0;
+  util::Rng rng_;
+
+  std::deque<Pending> pending_;
+  /// Keyed by processor (one circuit per processor); std::map so iteration
+  /// order is deterministic.
+  std::map<topo::ProcessorId, Active> active_;
+  std::vector<char> resource_busy_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<topo::LinkId> failed_links_;  ///< Sorted, for hashing/snapshot.
+
+  // --- accumulators (all bit-exact snapshotted) ---------------------------
+  sim::RunningStat wait_;      ///< Arrival -> circuit established.
+  sim::RunningStat response_;  ///< Arrival -> completion.
+  sim::TimeWeightedStat busy_resources_;
+  sim::TimeWeightedStat queue_length_;
+  std::int64_t arrived_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t granted_ = 0;
+  std::int64_t solved_cycles_ = 0;
+  std::int64_t deferred_cycles_ = 0;
+  std::int64_t blocked_opportunities_ = 0;
+  std::int64_t offered_opportunities_ = 0;
+  std::int64_t degraded_cycles_ = 0;
+  std::int64_t faults_injected_ = 0;
+  std::int64_t repairs_ = 0;
+  std::int64_t torn_down_ = 0;
+  std::int64_t retries_ = 0;
+  std::int64_t level_transitions_ = 0;
+
+  // --- observability (never hashed, never snapshotted) --------------------
+  std::unique_ptr<obs::Registry> registry_;
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_shed_ = nullptr;
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_granted_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_faults_ = nullptr;
+};
+
+}  // namespace rsin::svc

@@ -1,0 +1,267 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace rsin::svc {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'S', 'I', 'N', 'J', 'N', 'L', '1'};
+constexpr std::size_t kHeaderSize = Journal::kHeaderBytes;
+constexpr std::size_t kFrameSize = 4 + 4;       // size + crc per record
+/// Upper bound on one record; a larger declared size is damage, not data.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const char* bytes) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const char* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError(0, "write failed for " + path + ": " +
+                                std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+JournalError::JournalError(std::uint64_t offset, const std::string& reason)
+    : std::runtime_error("journal: " + reason + " (at byte offset " +
+                         std::to_string(offset) + ")"),
+      offset_(offset),
+      reason_(reason) {}
+
+std::uint32_t crc32(std::string_view bytes) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      epoch_(other.epoch_),
+      buffer_(std::move(other.buffer_)),
+      appended_(other.appended_),
+      pending_(other.pending_) {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    epoch_ = other.epoch_;
+    buffer_ = std::move(other.buffer_);
+    appended_ = other.appended_;
+    pending_ = other.pending_;
+  }
+  return *this;
+}
+
+Journal::~Journal() { close(); }
+
+Journal Journal::create(const std::string& path, std::uint64_t epoch) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    throw JournalError(0, "cannot create " + path + ": " +
+                              std::strerror(errno));
+  }
+  std::string header(kMagic, sizeof(kMagic));
+  put_u32(header, kVersion);
+  put_u64(header, epoch);
+  write_all(fd, header.data(), header.size(), path);
+  return Journal(fd, path, epoch);
+}
+
+Journal Journal::append_to(const std::string& path, const ScanResult& scan) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    throw JournalError(0, "cannot open " + path + ": " +
+                              std::strerror(errno));
+  }
+  // Drop the torn tail (if any) so new records append to intact framing.
+  if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw JournalError(scan.valid_bytes, "cannot truncate torn tail of " +
+                                             path + ": " +
+                                             std::strerror(err));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw JournalError(0, "cannot seek " + path + ": " + std::strerror(err));
+  }
+  return Journal(fd, path, scan.epoch);
+}
+
+Journal::ScanResult Journal::scan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw JournalError(0, "cannot open " + path + " for reading");
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string bytes = raw.str();
+
+  if (bytes.size() < kHeaderSize) {
+    throw JournalError(bytes.size(),
+                       "file shorter than the journal header — not a "
+                       "journal, or the header write itself was torn");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw JournalError(0, "bad magic (not an rsind journal): " + path);
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 8);
+  if (version != kVersion) {
+    throw JournalError(8, "unsupported journal version " +
+                              std::to_string(version) +
+                              " (this build reads version " +
+                              std::to_string(kVersion) + ")");
+  }
+
+  ScanResult result;
+  result.epoch = get_u64(bytes.data() + 12);
+  std::size_t pos = kHeaderSize;
+  result.valid_bytes = pos;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < kFrameSize) {
+      result.truncated = true;
+      result.damage_offset = pos;
+      result.damage = "torn record: " + std::to_string(remaining) +
+                      " trailing bytes, frame needs " +
+                      std::to_string(kFrameSize);
+      break;
+    }
+    const std::uint32_t size = get_u32(bytes.data() + pos);
+    const std::uint32_t crc = get_u32(bytes.data() + pos + 4);
+    if (size > kMaxRecordBytes) {
+      // A wild size is indistinguishable from a torn length write at the
+      // tail; treat as damage and stop.
+      result.truncated = true;
+      result.damage_offset = pos;
+      result.damage =
+          "implausible record size " + std::to_string(size) + " bytes";
+      break;
+    }
+    if (remaining - kFrameSize < size) {
+      result.truncated = true;
+      result.damage_offset = pos;
+      result.damage = "torn record: payload declares " +
+                      std::to_string(size) + " bytes, only " +
+                      std::to_string(remaining - kFrameSize) + " on file";
+      break;
+    }
+    const std::string_view payload(bytes.data() + pos + kFrameSize, size);
+    if (crc32(payload) != crc) {
+      result.truncated = true;
+      result.damage_offset = pos;
+      result.damage = "checksum mismatch in record " +
+                      std::to_string(result.records.size());
+      break;
+    }
+    result.records.emplace_back(payload);
+    pos += kFrameSize + size;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+void Journal::append(std::string_view payload) {
+  if (fd_ < 0) throw JournalError(0, "append on a closed journal");
+  put_u32(buffer_, static_cast<std::uint32_t>(payload.size()));
+  put_u32(buffer_, crc32(payload));
+  buffer_.append(payload);
+  ++appended_;
+  ++pending_;
+}
+
+void Journal::flush() {
+  if (fd_ < 0 || buffer_.empty()) return;
+  write_all(fd_, buffer_.data(), buffer_.size(), path_);
+  buffer_.clear();
+  pending_ = 0;
+}
+
+void Journal::sync() {
+  flush();
+  if (fd_ >= 0) {
+    if (::fdatasync(fd_) != 0 && errno != EINVAL && errno != ENOSYS) {
+      throw JournalError(0, "fdatasync failed for " + path_ + ": " +
+                                std::strerror(errno));
+    }
+  }
+}
+
+void Journal::close() {
+  if (fd_ < 0) return;
+  try {
+    flush();
+  } catch (...) {
+    // Destructor path: swallow; the torn tail is exactly what scan()
+    // tolerates.
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace rsin::svc

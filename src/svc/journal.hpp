@@ -1,0 +1,121 @@
+// Write-ahead journal of the rsind service (jflush-style group commit).
+//
+// Layout on disk:
+//
+//   header:  "RSINJNL1"  (8 bytes magic, version folded into the last byte)
+//            u32 version (currently 1)
+//            u64 epoch   (bumped by every snapshot; a journal only applies
+//                         on top of the snapshot with the same epoch)
+//   record:  u32 payload size
+//            u32 CRC-32 of the payload
+//            payload bytes (a protocol command line, no trailing newline)
+//
+// All integers are little-endian. Appends are buffered in memory and hit
+// the file only on flush() — the *group commit*: the server journals every
+// record of one poll batch, flushes once, and only then sends the replies,
+// so a record is durable before its client can observe success. sync()
+// additionally fdatasyncs for power-loss durability; plain flush() is
+// enough to survive SIGKILL of the daemon, which is the failure mode the
+// soak_kill gate injects.
+//
+// scan() reads every intact record and stops at the first damaged one —
+// torn frame, implausible size, or checksum mismatch — reporting it
+// structurally (byte offset + reason) instead of returning garbage.
+// Everything after a damaged record is dropped, because framing beyond the
+// damage point cannot be trusted; for the tail a crash actually leaves
+// behind this is exactly the right recovery. A missing/alien header or an
+// unsupported version throws JournalError (offset + reason) outright.
+// append_to() truncates the damaged tail before appending, so fresh
+// records never sit behind garbage.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rsin::svc {
+
+/// Structural journal failure (missing/alien header, mid-file corruption,
+/// I/O error). `offset()` is the byte position of the damage.
+class JournalError : public std::runtime_error {
+ public:
+  JournalError(std::uint64_t offset, const std::string& reason);
+
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::uint64_t offset_;
+  std::string reason_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) — the per-record checksum.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+class Journal {
+ public:
+  static constexpr std::uint32_t kVersion = 1;
+  /// Bytes of the on-disk header (magic + version + epoch). A file shorter
+  /// than this is a torn create — safe to recreate, since the header is
+  /// written before any record can exist.
+  static constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
+
+  struct ScanResult {
+    std::uint64_t epoch = 0;
+    std::vector<std::string> records;  ///< Intact payloads, in order.
+    std::uint64_t valid_bytes = 0;     ///< Header + intact records.
+    bool truncated = false;            ///< A torn tail was dropped.
+    std::uint64_t damage_offset = 0;   ///< Where the tail went bad.
+    std::string damage;                ///< Reason ("torn record", ...).
+  };
+
+  Journal() = default;  ///< Closed; open() is false.
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();  ///< Flushes buffered records, then closes.
+
+  /// Creates (or truncates) the journal at `path` with the given epoch.
+  [[nodiscard]] static Journal create(const std::string& path,
+                                      std::uint64_t epoch);
+  /// Reopens `path` for appending after a scan(): truncates the file to
+  /// scan.valid_bytes (dropping any torn tail), positions at the end.
+  [[nodiscard]] static Journal append_to(const std::string& path,
+                                         const ScanResult& scan);
+  /// Reads every intact record. See the file comment for the damage model.
+  /// A missing file throws JournalError (callers decide whether that means
+  /// "fresh start" before calling).
+  [[nodiscard]] static ScanResult scan(const std::string& path);
+
+  /// Buffers one record; nothing reaches the file until flush().
+  void append(std::string_view payload);
+  /// Writes all buffered records to the file (group commit point).
+  void flush();
+  /// flush() + fdatasync for durability across power loss.
+  void sync();
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records appended (buffered or flushed) since open.
+  [[nodiscard]] std::uint64_t records_appended() const { return appended_; }
+  /// Records currently buffered and not yet on the file.
+  [[nodiscard]] std::uint64_t records_pending() const { return pending_; }
+
+ private:
+  Journal(int fd, std::string path, std::uint64_t epoch)
+      : fd_(fd), path_(std::move(path)), epoch_(epoch) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t epoch_ = 0;
+  std::string buffer_;
+  std::uint64_t appended_ = 0;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace rsin::svc

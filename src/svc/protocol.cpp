@@ -1,0 +1,190 @@
+#include "svc/protocol.hpp"
+
+#include <bit>
+#include <charconv>
+#include <stdexcept>
+#include <system_error>
+
+namespace rsin::svc {
+namespace {
+
+[[noreturn]] void bad(std::string_view what, std::string_view detail) {
+  throw std::invalid_argument("protocol: " + std::string(what) + ": " +
+                              std::string(detail));
+}
+
+}  // namespace
+
+const std::string* Command::find(std::string_view key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::string& Command::str(std::string_view key) const {
+  const std::string* value = find(key);
+  if (value == nullptr) {
+    bad("missing argument", std::string(key) + " (verb " + verb + ")");
+  }
+  return *value;
+}
+
+std::string Command::str_or(std::string_view key, std::string fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? *value : std::move(fallback);
+}
+
+std::int64_t Command::i64(std::string_view key) const {
+  return parse_exact_i64(str(key), key);
+}
+
+std::int64_t Command::i64_or(std::string_view key,
+                             std::int64_t fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? parse_exact_i64(*value, key) : fallback;
+}
+
+std::uint64_t Command::u64(std::string_view key) const {
+  return parse_exact_u64(str(key), key);
+}
+
+std::uint64_t Command::u64_or(std::string_view key,
+                              std::uint64_t fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? parse_exact_u64(*value, key) : fallback;
+}
+
+double Command::f64(std::string_view key) const {
+  return parse_exact_double(str(key), key);
+}
+
+double Command::f64_or(std::string_view key, double fallback) const {
+  const std::string* value = find(key);
+  return value != nullptr ? parse_exact_double(*value, key) : fallback;
+}
+
+Command parse_command(std::string_view line) {
+  Command command;
+  std::size_t pos = 0;
+  const auto skip_spaces = [&] {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+  };
+  const auto take_token = [&]() -> std::string_view {
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      const unsigned char ch = static_cast<unsigned char>(line[pos]);
+      if (ch < 0x20 || ch == 0x7f) bad("control character in line", line);
+      ++pos;
+    }
+    return line.substr(start, pos - start);
+  };
+
+  skip_spaces();
+  command.verb = std::string(take_token());
+  if (command.verb.empty()) bad("empty command", line);
+  while (true) {
+    skip_spaces();
+    if (pos >= line.size()) break;
+    const std::string_view token = take_token();
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad("argument is not key=value", std::string(token));
+    }
+    command.args.emplace_back(std::string(token.substr(0, eq)),
+                              std::string(token.substr(eq + 1)));
+  }
+  return command;
+}
+
+std::string Response::wire() const {
+  std::string text = ok ? "ok" : "err";
+  if (!body.empty()) {
+    text += ' ';
+    text += body;
+  }
+  text += '\n';
+  for (const std::string& line : extra) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+Response Response::okay(std::string body) {
+  Response r;
+  r.ok = true;
+  r.body = std::move(body);
+  return r;
+}
+
+Response Response::error(std::string reason) {
+  Response r;
+  r.ok = false;
+  // Responses are line-framed; a multi-line what() would desync the client.
+  for (char& ch : reason) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  r.body = std::move(reason);
+  return r;
+}
+
+std::string format_exact(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) bad("double formatting failed", "");
+  return std::string(buf, ptr);
+}
+
+double parse_exact_double(std::string_view token, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    bad("bad double for " + std::string(what), token);
+  }
+  return value;
+}
+
+std::int64_t parse_exact_i64(std::string_view token, std::string_view what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    bad("bad integer for " + std::string(what), token);
+  }
+  return value;
+}
+
+std::uint64_t parse_exact_u64(std::string_view token, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    bad("bad unsigned for " + std::string(what), token);
+  }
+  return value;
+}
+
+std::string format_hex(std::uint64_t value) {
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value, 16);
+  if (ec != std::errc{}) bad("hex formatting failed", "");
+  return std::string(buf, ptr);
+}
+
+std::uint64_t parse_hex(std::string_view token, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 16);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    bad("bad hex for " + std::string(what), token);
+  }
+  return value;
+}
+
+std::uint64_t fnv_mix_double(std::uint64_t hash, double value) {
+  return fnv_mix(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace rsin::svc

@@ -1,0 +1,104 @@
+// Line-framed request/response protocol of the rsind service.
+//
+// One request is one line: a verb followed by key=value arguments
+// ("req tenant=t0 id=17 proc=3"). One response is one line starting with
+// "ok" or "err"; responses that carry a body (metrics dumps) declare the
+// continuation length inline ("ok lines=42") and the body follows as that
+// many raw lines. Keys and values never contain whitespace — doubles are
+// serialized with std::to_chars (shortest round-trip), so a stats line
+// compares *bitwise* across runs, which is what the crash-recovery gate
+// diffs.
+//
+// The same grammar is used in three places on purpose:
+//  * the wire (client <-> rsind),
+//  * the write-ahead journal (each journaled record is a command line, so
+//    recovery replays records through the same dispatch as live traffic),
+//  * domain snapshots (config blocks are argument lists).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rsin::svc {
+
+/// A parsed command: verb plus ordered key=value arguments.
+struct Command {
+  std::string verb;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  /// First value for `key`, or nullptr.
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  /// Typed accessors; the non-defaulted forms throw std::invalid_argument
+  /// when the key is absent or malformed (message names the key).
+  [[nodiscard]] const std::string& str(std::string_view key) const;
+  [[nodiscard]] std::string str_or(std::string_view key,
+                                   std::string fallback) const;
+  [[nodiscard]] std::int64_t i64(std::string_view key) const;
+  [[nodiscard]] std::int64_t i64_or(std::string_view key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t u64(std::string_view key) const;
+  [[nodiscard]] std::uint64_t u64_or(std::string_view key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] double f64(std::string_view key) const;
+  [[nodiscard]] double f64_or(std::string_view key, double fallback) const;
+};
+
+/// Parses one command line. Throws std::invalid_argument on an empty line,
+/// a malformed pair (no '='), or embedded control characters.
+[[nodiscard]] Command parse_command(std::string_view line);
+
+/// One response: ok/err status, the rest of the status line, and any
+/// declared continuation lines.
+struct Response {
+  bool ok = false;
+  std::string body;                 ///< Status line after "ok " / "err ".
+  std::vector<std::string> extra;   ///< Continuation lines (lines=N).
+
+  [[nodiscard]] std::string wire() const;  ///< Full framed text to send.
+  static Response okay(std::string body = "");
+  static Response error(std::string reason);
+};
+
+// --- exact numeric round-trips -------------------------------------------
+// Shortest-round-trip double formatting (std::to_chars) and strict parsing.
+// Every double that crosses the wire, the journal, or a snapshot goes
+// through these, so save -> load -> continue is bit-exact.
+
+[[nodiscard]] std::string format_exact(double value);
+[[nodiscard]] double parse_exact_double(std::string_view token,
+                                        std::string_view what);
+[[nodiscard]] std::int64_t parse_exact_i64(std::string_view token,
+                                           std::string_view what);
+[[nodiscard]] std::uint64_t parse_exact_u64(std::string_view token,
+                                            std::string_view what);
+
+/// Lowercase-hex encoding of a 64-bit hash (state hashes on the wire).
+[[nodiscard]] std::string format_hex(std::uint64_t value);
+[[nodiscard]] std::uint64_t parse_hex(std::string_view token,
+                                      std::string_view what);
+
+/// FNV-1a folding helpers used by Domain::state_hash.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv_mix(std::uint64_t hash,
+                                              std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+[[nodiscard]] std::uint64_t fnv_mix_double(std::uint64_t hash, double value);
+
+}  // namespace rsin::svc

@@ -1,0 +1,95 @@
+// rsind — the resource-sharing interconnection network scheduling daemon.
+//
+//   rsind --socket /run/rsind.sock --dir /var/lib/rsind [--recover]
+//         [--durable] [--pool-shards N] [--watchdog-ms N]
+//         [--note-metrics-every N]
+//
+// Serves the line-framed protocol over a Unix-domain socket (see
+// svc/protocol.hpp). SIGTERM/SIGINT drain gracefully: stop admitting,
+// flush the journal, snapshot, exit 0. After a SIGKILL (or power cut with
+// --durable), `rsind --recover` replays snapshot + journal and resumes
+// with bitwise-identical state.
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "svc/server.hpp"
+
+namespace {
+
+// Async-signal-safe shutdown: handlers may only write to the self-pipe.
+int g_wake_fd = -1;
+
+void on_signal(int /*sig*/) {
+  if (g_wake_fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(g_wake_fd, &byte, 1);
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --socket PATH --dir PATH [--recover] [--durable]\n"
+               "             [--pool-shards N] [--watchdog-ms N] "
+               "[--note-metrics-every N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rsin::svc::ServerConfig config;
+  bool recover = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      config.socket_path = value();
+    } else if (arg == "--dir") {
+      config.service.dir = value();
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--durable") {
+      config.service.durable = true;
+    } else if (arg == "--pool-shards") {
+      config.service.pool_shards =
+          static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--watchdog-ms") {
+      config.watchdog_ms = std::stoi(value());
+    } else if (arg == "--note-metrics-every") {
+      config.note_metrics_every = std::stoi(value());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.socket_path.empty() || config.service.dir.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    rsin::svc::Server server(config);
+    g_wake_fd = server.wake_fd();
+    struct sigaction action{};
+    action.sa_handler = on_signal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "rsind listening socket=" << config.socket_path
+              << " dir=" << config.service.dir << std::endl;
+    return server.run(recover);
+  } catch (const std::exception& e) {
+    std::cerr << "rsind: " << e.what() << '\n';
+    return 1;
+  }
+}

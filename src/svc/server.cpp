@@ -1,0 +1,363 @@
+#include "svc/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rsin::svc {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  RSIN_ENSURE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "cannot set O_NONBLOCK");
+}
+
+}  // namespace
+
+/// Shared state between the poll thread (arm/disarm/fired) and the
+/// watchdog thread (the timed wait). Everything under one mutex; the
+/// watchdog only ever *reads* service state indirectly via the flag the
+/// poll thread consumes at a command boundary.
+struct Server::Watchdog {
+  explicit Watchdog(std::int32_t threshold_ms) : threshold(threshold_ms) {
+    thread = std::thread([this] { this->loop(); });
+  }
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    cv.notify_all();
+    thread.join();
+  }
+
+  void arm(const std::string& tenant_name) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    armed = true;
+    fired = false;
+    tenant = tenant_name;
+    started = std::chrono::steady_clock::now();
+  }
+
+  /// Returns the tenant to escalate when the command exceeded the
+  /// threshold, empty otherwise.
+  std::string disarm() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    armed = false;
+    if (!fired) return {};
+    fired = false;
+    return tenant;
+  }
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stop) {
+      cv.wait_for(lock, std::chrono::milliseconds(20));
+      if (stop) break;
+      if (!armed || fired || tenant.empty()) continue;
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count();
+      if (elapsed >= threshold) fired = true;
+    }
+  }
+
+  std::int32_t threshold;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread thread;
+  bool stop = false;
+  bool armed = false;
+  bool fired = false;
+  std::string tenant;
+  std::chrono::steady_clock::time_point started;
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service) {
+  int fds[2];
+  RSIN_ENSURE(::pipe(fds) == 0, "cannot create self-pipe");
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+Server::~Server() {
+  watchdog_.reset();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+int Server::listen_socket() {
+  RSIN_REQUIRE(!config_.socket_path.empty(), "socket path must be set");
+  sockaddr_un addr{};
+  RSIN_REQUIRE(config_.socket_path.size() < sizeof(addr.sun_path),
+               "socket path too long: " + config_.socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RSIN_ENSURE(fd >= 0, "cannot create socket");
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::logic_error("cannot bind/listen on " + config_.socket_path +
+                           ": " + std::strerror(err));
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int Server::run(bool recover) {
+  try {
+    if (recover) {
+      recovery_ = service_.recover();
+      std::cout << "rsind recovered " << recovery_.to_args() << '\n';
+    } else {
+      service_.start_fresh();
+    }
+    if (config_.watchdog_ms > 0) {
+      watchdog_ = std::make_unique<Watchdog>(config_.watchdog_ms);
+    }
+    const int code = run_loop();
+    watchdog_.reset();
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "rsind: fatal: " << e.what() << '\n';
+    watchdog_.reset();
+    return 1;
+  }
+}
+
+void Server::read_client(ClientConn& client) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(client.fd, buf, sizeof(buf));
+    if (n > 0) {
+      client.in.append(buf, static_cast<std::size_t>(n));
+      if (client.in.size() > config_.max_line_bytes) {
+        client.broken = true;
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      client.eof = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    client.broken = true;
+    return;
+  }
+}
+
+void Server::flush_client(ClientConn& client) {
+  while (!client.out.empty()) {
+    const ssize_t n = ::write(client.fd, client.out.data(),
+                              client.out.size());
+    if (n > 0) {
+      client.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    client.broken = true;
+    return;
+  }
+}
+
+std::string Server::handle_line(const std::string& line) {
+  // Peek at verb/tenant for the transport-level concerns (delay injection,
+  // watchdog arming); malformed lines fall through to execute(), whose
+  // parse error becomes the err reply.
+  std::string tenant;
+  bool is_delay = false;
+  std::int64_t delay_ms = 0;
+  try {
+    const Command command = parse_command(line);
+    tenant = command.str_or("tenant", "");
+    if (command.verb == "inject-delay") {
+      is_delay = true;
+      delay_ms = command.i64("ms");
+    }
+  } catch (const std::exception&) {
+    tenant.clear();
+  }
+
+  if (watchdog_ != nullptr) watchdog_->arm(tenant);
+  Response response;
+  if (is_delay) {
+    // Wall-clock only — never journaled, never part of domain state. Its
+    // sole effect is to make this command slow enough for the watchdog.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    response = Response::okay("slept=" + std::to_string(delay_ms));
+  } else {
+    response = service_.execute(line);
+  }
+  if (watchdog_ != nullptr) {
+    const std::string slow_tenant = watchdog_->disarm();
+    if (!slow_tenant.empty() && service_.has_tenant(slow_tenant)) {
+      // Journaled at the command boundary: recovery replays the trip at
+      // the same point in the admitted sequence.
+      const Response trip = service_.trip_watchdog(slow_tenant);
+      if (trip.ok) {
+        response.body += " watchdog-level=" +
+                         std::to_string(service_.tenant(slow_tenant).level());
+      }
+    }
+  }
+  return response.wire();
+}
+
+int Server::graceful_drain(std::vector<ClientConn>& clients, int listen_fd) {
+  // Stop admitting, flush what is journaled, snapshot, exit 0. Replies
+  // already queued get a best-effort blocking flush first.
+  service_.begin_drain();
+  service_.commit();
+  service_.snapshot();
+  for (ClientConn& client : clients) {
+    if (client.broken || client.fd < 0) continue;
+    const int flags = ::fcntl(client.fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(client.fd, F_SETFL, flags & ~O_NONBLOCK);
+    flush_client(client);
+    ::close(client.fd);
+  }
+  clients.clear();
+  if (listen_fd >= 0) ::close(listen_fd);
+  ::unlink(config_.socket_path.c_str());
+  return 0;
+}
+
+int Server::run_loop() {
+  const int listen_fd = listen_socket();
+  std::vector<ClientConn> clients;
+  bool shutdown_requested = false;
+
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    for (const ClientConn& client : clients) {
+      short events = POLLIN;
+      if (!client.out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{client.fd, events, 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::logic_error(std::string("poll failed: ") +
+                             std::strerror(errno));
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain_buf[64];
+      while (::read(wake_read_fd_, drain_buf, sizeof(drain_buf)) > 0) {
+      }
+      shutdown_requested = true;
+    }
+
+    // Only the clients that were present when `fds` was built have a poll
+    // slot; connections accepted below wait for the next iteration.
+    const std::size_t polled = fds.size() - 2;
+
+    if ((fds[0].revents & POLLIN) != 0 && !shutdown_requested) {
+      while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        ClientConn client;
+        client.fd = fd;
+        clients.push_back(std::move(client));
+      }
+    }
+
+    // 1. Read every ready client.
+    for (std::size_t i = 0; i < polled; ++i) {
+      const short revents = fds[2 + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        read_client(clients[i]);
+      }
+    }
+
+    // 2. Execute every complete line from every client — journal records
+    //    buffer up across the whole batch.
+    struct PendingReply {
+      std::size_t client;
+      std::string wire;
+    };
+    std::vector<PendingReply> replies;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      ClientConn& client = clients[i];
+      std::size_t start = 0;
+      while (true) {
+        const std::size_t newline = client.in.find('\n', start);
+        if (newline == std::string::npos) break;
+        std::string line = client.in.substr(start, newline - start);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        start = newline + 1;
+        if (line.empty()) continue;
+        replies.push_back(PendingReply{i, handle_line(line)});
+      }
+      client.in.erase(0, start);
+    }
+
+    // Periodic journaled metrics checkpoints ride the same commit.
+    ++batches_;
+    if (config_.note_metrics_every > 0 && !replies.empty() &&
+        batches_ % config_.note_metrics_every == 0) {
+      // Server-initiated, replies discarded; the journaled hash doubles as
+      // a mid-journal convergence checkpoint for recovery.
+      const Response tenants = service_.execute("tenants");
+      for (const std::string& line : tenants.extra) {
+        const Command cmd = parse_command(line);
+        (void)service_.execute("note-metrics tenant=" + cmd.str("name"));
+      }
+    }
+
+    // 3. Group commit: every record of this batch becomes durable...
+    service_.commit();
+    // 4. ...and only now can any client observe success.
+    for (PendingReply& reply : replies) {
+      clients[reply.client].out += reply.wire;
+    }
+    for (ClientConn& client : clients) {
+      if (!client.out.empty()) flush_client(client);
+    }
+
+    // 5. Reap finished/broken clients.
+    for (std::size_t i = clients.size(); i > 0; --i) {
+      ClientConn& client = clients[i - 1];
+      if (client.broken || (client.eof && client.out.empty())) {
+        ::close(client.fd);
+        clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      }
+    }
+
+    if (shutdown_requested || service_.draining()) {
+      return graceful_drain(clients, listen_fd);
+    }
+  }
+}
+
+}  // namespace rsin::svc

@@ -1,0 +1,95 @@
+// svc::Server — the rsind transport: a single-threaded poll(2) loop over a
+// Unix-domain stream socket, serving line-framed protocol commands from
+// many concurrent clients.
+//
+// Concurrency model: all service state is mutated by the poll thread only.
+// One poll batch reads every ready client, executes every complete line,
+// then calls Service::commit() ONCE (the group commit), and only then
+// queues the replies — no client can observe an acknowledgement whose
+// journal record is not on the file. The only other threads are:
+//
+//  * the watchdog: observes an armed (start-time, tenant) marker under a
+//    mutex and flags when command processing exceeds the configured
+//    threshold. The poll thread checks the flag at the next command
+//    boundary and journals a `watchdog-trip` record escalating that
+//    tenant one degradation level — journaled, so recovery replays the
+//    same escalation at the same point in the sequence.
+//  * signal senders: SIGTERM/SIGINT handlers (installed by rsind_main)
+//    write one byte to the self-pipe; the poll loop wakes and runs the
+//    graceful drain — stop admitting, finish the in-flight batch, flush
+//    the journal, snapshot, exit 0.
+//
+// `inject-delay ms=K` is handled at this layer (wall-clock sleep in the
+// command path, never journaled): it exists to let tests and the soak
+// harness make the watchdog fire deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace rsin::svc {
+
+struct ServerConfig {
+  std::string socket_path;
+  ServiceConfig service;
+  /// Commands slower than this trip the watchdog; 0 disables it.
+  std::int32_t watchdog_ms = 2000;
+  /// Journal a note-metrics checkpoint for every tenant after this many
+  /// poll batches; 0 disables.
+  std::int32_t note_metrics_every = 0;
+  /// Lines longer than this are a protocol violation; the client is cut.
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket, recovers (or starts fresh), serves until drained.
+  /// Returns the process exit code: 0 for a graceful drain, 1 for a fatal
+  /// error. Runs on the calling thread.
+  int run(bool recover);
+
+  /// Write end of the self-pipe: async-signal-safe shutdown trigger
+  /// (handlers write one byte). Also usable from another thread (tests).
+  [[nodiscard]] int wake_fd() const { return wake_write_fd_; }
+
+  [[nodiscard]] Service& service() { return service_; }
+  [[nodiscard]] const RecoveryReport& recovery() const { return recovery_; }
+
+ private:
+  struct ClientConn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool eof = false;
+    bool broken = false;
+  };
+  struct Watchdog;
+
+  int run_loop();
+  int listen_socket();
+  void read_client(ClientConn& client);
+  void flush_client(ClientConn& client);
+  /// Executes one line; returns the wire reply. May journal (group commit
+  /// happens per batch, after all lines).
+  std::string handle_line(const std::string& line);
+  void check_watchdog();
+  int graceful_drain(std::vector<ClientConn>& clients, int listen_fd);
+
+  ServerConfig config_;
+  Service service_;
+  RecoveryReport recovery_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::int64_t batches_ = 0;
+};
+
+}  // namespace rsin::svc

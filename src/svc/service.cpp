@@ -1,0 +1,431 @@
+#include "svc/service.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace rsin::svc {
+namespace {
+
+constexpr char kJournalFile[] = "journal.bin";
+constexpr char kSnapshotFile[] = "snapshot.txt";
+constexpr char kSnapshotTmpFile[] = "snapshot.tmp";
+
+/// -1 when the file does not exist.
+long long file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<long long>(st.st_size);
+}
+
+void write_file_durable(const std::string& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  RSIN_ENSURE(fd >= 0, "cannot create " + path + ": " +
+                           std::strerror(errno));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::logic_error("write failed for " + path + ": " +
+                             std::strerror(err));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0 || errno == EINVAL || errno == ENOSYS;
+  ::close(fd);
+  RSIN_ENSURE(synced, "fsync failed for " + path);
+}
+
+}  // namespace
+
+std::string RecoveryReport::to_args() const {
+  std::string args;
+  args += "snapshot=" + std::to_string(had_snapshot ? 1 : 0);
+  args += " snapshot-epoch=" + std::to_string(snapshot_epoch);
+  args += " journal=" + std::to_string(had_journal ? 1 : 0);
+  args += " journal-epoch=" + std::to_string(journal_epoch);
+  args += " stale=" + std::to_string(journal_stale ? 1 : 0);
+  args += " replayed=" + std::to_string(replayed);
+  args += " truncated=" + std::to_string(journal_truncated ? 1 : 0);
+  if (journal_truncated) {
+    args += " damage-offset=" + std::to_string(damage_offset);
+  }
+  return args;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)), pool_(config_.pool_shards) {
+  RSIN_REQUIRE(!config_.dir.empty(), "service dir must be set");
+}
+
+std::string Service::journal_path() const {
+  return config_.dir + "/" + kJournalFile;
+}
+
+std::string Service::snapshot_path() const {
+  return config_.dir + "/" + kSnapshotFile;
+}
+
+std::string Service::snapshot_tmp_path() const {
+  return config_.dir + "/" + kSnapshotTmpFile;
+}
+
+void Service::start_fresh() {
+  // A stale snapshot next to a fresh epoch-0 journal would poison a later
+  // recovery (the epoch rule would prefer the snapshot); remove both.
+  ::unlink(snapshot_path().c_str());
+  ::unlink(snapshot_tmp_path().c_str());
+  journal_ = Journal::create(journal_path(), 0);
+}
+
+RecoveryReport Service::recover() {
+  RecoveryReport report;
+
+  // 1. Snapshot, if one exists.
+  if (file_size(snapshot_path()) >= 0) {
+    std::ifstream in(snapshot_path());
+    RSIN_ENSURE(in.is_open(), "cannot open " + snapshot_path());
+    std::string line;
+    if (!std::getline(in, line)) {
+      throw RecoveryError("snapshot is empty: " + snapshot_path());
+    }
+    const Command header = parse_command(line);
+    if (header.verb != "rsinsnap" || header.u64_or("v", 0) != 1) {
+      throw RecoveryError("snapshot has a bad header: " + line);
+    }
+    report.had_snapshot = true;
+    report.snapshot_epoch = header.u64("epoch");
+    const std::uint64_t tenants = header.u64("tenants");
+    for (std::uint64_t i = 0; i < tenants; ++i) {
+      Domain domain = Domain::load(in, &pool_);
+      std::string name = domain.name();
+      domains_.emplace(std::move(name), std::move(domain));
+    }
+    if (!std::getline(in, line) || parse_command(line).verb != "endsnapshot") {
+      throw RecoveryError("snapshot is truncated (missing endsnapshot): " +
+                          snapshot_path());
+    }
+  }
+
+  // 2. Journal, per the epoch rules (see service.hpp).
+  const long long size = file_size(journal_path());
+  if (size < 0) {
+    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
+    return report;
+  }
+  if (size < static_cast<long long>(Journal::kHeaderBytes)) {
+    // Torn create: the header is written before any record can exist, so
+    // this journal never held state. Recreate at the snapshot's epoch.
+    report.had_journal = true;
+    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
+    return report;
+  }
+  Journal::ScanResult scan = Journal::scan(journal_path());
+  report.had_journal = true;
+  report.journal_epoch = scan.epoch;
+  report.journal_truncated = scan.truncated;
+  report.damage_offset = scan.damage_offset;
+  report.damage = scan.damage;
+  if (scan.epoch > report.snapshot_epoch) {
+    throw RecoveryError(
+        "journal epoch " + std::to_string(scan.epoch) +
+        " is ahead of snapshot epoch " +
+        std::to_string(report.snapshot_epoch) +
+        " — the snapshot this journal builds on is missing");
+  }
+  if (scan.epoch < report.snapshot_epoch) {
+    // Crash hit between snapshot rename and journal swap: every record in
+    // this journal is already folded into the snapshot.
+    report.journal_stale = true;
+    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
+    return report;
+  }
+  for (const std::string& record : scan.records) {
+    replay_record(record);
+    ++report.replayed;
+  }
+  journal_ = Journal::append_to(journal_path(), scan);
+  return report;
+}
+
+void Service::journal_append(const std::string& line) {
+  RSIN_ENSURE(journal_.is_open(),
+              "service used before start_fresh()/recover()");
+  journal_.append(line);
+}
+
+void Service::commit() {
+  if (!journal_.is_open()) return;
+  if (config_.durable) {
+    journal_.sync();
+  } else {
+    journal_.flush();
+  }
+}
+
+Response Service::execute(const std::string& line) {
+  try {
+    const Command command = parse_command(line);
+    return dispatch(command, /*replay=*/false);
+  } catch (const std::exception& e) {
+    return Response::error(e.what());
+  }
+}
+
+void Service::replay_record(const std::string& line) {
+  Response response;
+  try {
+    const Command command = parse_command(line);
+    response = dispatch(command, /*replay=*/true);
+  } catch (const std::exception& e) {
+    throw RecoveryError("journal record failed to re-execute: \"" + line +
+                        "\": " + e.what());
+  }
+  if (!response.ok) {
+    throw RecoveryError("journal record rejected on replay: \"" + line +
+                        "\": " + response.body);
+  }
+}
+
+Domain& Service::require_tenant(const Command& command) {
+  const std::string& name = command.str("tenant");
+  const auto it = domains_.find(name);
+  RSIN_REQUIRE(it != domains_.end(), "unknown tenant " + name);
+  return it->second;
+}
+
+Response Service::trip_watchdog(const std::string& tenant) {
+  const auto it = domains_.find(tenant);
+  if (it == domains_.end()) {
+    return Response::error("watchdog: unknown tenant " + tenant);
+  }
+  const std::int32_t level = std::min<std::int32_t>(it->second.level() + 1, 2);
+  return execute("watchdog-trip tenant=" + tenant +
+                 " level=" + std::to_string(level));
+}
+
+std::uint64_t Service::snapshot() {
+  RSIN_ENSURE(journal_.is_open(),
+              "service used before start_fresh()/recover()");
+  const std::uint64_t epoch = journal_.epoch() + 1;
+  std::ostringstream out;
+  out << "rsinsnap v=1 epoch=" << epoch << " tenants=" << domains_.size()
+      << '\n';
+  for (const auto& [name, domain] : domains_) domain.save(out);
+  out << "endsnapshot\n";
+  // tmp -> fsync -> rename is atomic under every crash window; the journal
+  // swap after it is what the epoch rule protects.
+  write_file_durable(snapshot_tmp_path(), out.str());
+  RSIN_ENSURE(
+      std::rename(snapshot_tmp_path().c_str(), snapshot_path().c_str()) == 0,
+      "cannot rename snapshot into place: " + std::string(strerror(errno)));
+  journal_.close();
+  journal_ = Journal::create(journal_path(), epoch);
+  return epoch;
+}
+
+Response Service::dispatch(const Command& command, bool replay) {
+  const std::string& verb = command.verb;
+
+  // --- read-only / control (never journaled) -------------------------------
+  if (verb == "ping") return Response::okay("pong");
+  if (verb == "epoch") {
+    return Response::okay("epoch=" + std::to_string(journal_.epoch()));
+  }
+  if (verb == "journal-stats") {
+    return Response::okay(
+        "epoch=" + std::to_string(journal_.epoch()) +
+        " appended=" + std::to_string(journal_.records_appended()) +
+        " pending=" + std::to_string(journal_.records_pending()));
+  }
+  if (verb == "stats") {
+    return Response::okay(require_tenant(command).stats_args());
+  }
+  if (verb == "tenants") {
+    Response r = Response::okay("count=" + std::to_string(domains_.size()));
+    for (const auto& [name, domain] : domains_) {
+      r.extra.push_back("tenant name=" + name +
+                        " level=" + std::to_string(domain.level()) +
+                        " window=" + std::to_string(domain.batch_window()));
+    }
+    r.body += " lines=" + std::to_string(r.extra.size());
+    return r;
+  }
+  if (verb == "metrics") {
+    // Per-tenant registry, or all tenants merged.
+    obs::Registry merged;
+    const std::string* name = command.find("tenant");
+    if (name != nullptr) {
+      merged.merge(require_tenant(command).registry());
+    } else {
+      for (auto& entry : domains_) merged.merge(entry.second.registry());
+    }
+    std::ostringstream out;
+    obs::write_prometheus(merged.snapshot(), out);
+    Response r;
+    r.ok = true;
+    std::istringstream lines(out.str());
+    std::string metric_line;
+    while (std::getline(lines, metric_line)) r.extra.push_back(metric_line);
+    r.body = "lines=" + std::to_string(r.extra.size());
+    return r;
+  }
+  if (verb == "snapshot") {
+    RSIN_REQUIRE(!replay, "snapshot cannot appear in a journal");
+    return Response::okay("epoch=" + std::to_string(snapshot()));
+  }
+  if (verb == "drain") {
+    RSIN_REQUIRE(!replay, "drain cannot appear in a journal");
+    begin_drain();
+    return Response::okay("draining=1");
+  }
+
+  // --- state-changing (journaled on success) -------------------------------
+  if (verb == "tenant") {
+    RSIN_REQUIRE(!draining_, "draining: not accepting new tenants");
+    const std::string& name = command.str("name");
+    RSIN_REQUIRE(!name.empty(), "tenant name must be non-empty");
+    RSIN_REQUIRE(!domains_.contains(name),
+                 "tenant " + name + " already exists");
+    DomainConfig config = DomainConfig::from_command(command);
+    Domain domain(name, config, &pool_);
+    domains_.emplace(name, std::move(domain));
+    if (!replay) {
+      journal_append("tenant name=" + name + " " + config.to_args());
+    }
+    return Response::okay("tenant=" + name);
+  }
+  if (verb == "req") {
+    RSIN_REQUIRE(!draining_, "draining: not admitting requests");
+    Domain& domain = require_tenant(command);
+    const std::uint64_t id = command.u64("id");
+    const auto processor =
+        static_cast<topo::ProcessorId>(command.i64("proc"));
+    const auto priority =
+        static_cast<std::int32_t>(command.i64_or("prio", 0));
+    const AdmitResult result = domain.admit(id, processor, priority);
+    // Shed is a state change too (the id joins the seen set, so a retry
+    // after recovery is answered `duplicate` exactly like the golden run).
+    if (!replay && result != AdmitResult::kDuplicate) {
+      journal_append("req tenant=" + domain.name() +
+                     " id=" + std::to_string(id) +
+                     " proc=" + std::to_string(processor) +
+                     " prio=" + std::to_string(priority));
+    }
+    return Response::okay(std::string("status=") + to_string(result));
+  }
+  if (verb == "cycle") {
+    RSIN_REQUIRE(!draining_, "draining: not running cycles");
+    Domain& domain = require_tenant(command);
+    const std::uint64_t id = command.u64("id");
+    if (domain.seen(id) && !replay) {
+      return Response::okay("status=duplicate");
+    }
+    domain.note_cycle_id(id);
+    const CycleSummary summary = domain.run_cycle();
+    if (replay) {
+      // The journal carries the state the dead daemon acknowledged;
+      // recovery must converge to it exactly.
+      const std::uint64_t want_seq = command.u64("seq");
+      const std::uint64_t want_hash = parse_hex(command.str("hash"), "hash");
+      if (summary.seq != want_seq || summary.state_hash != want_hash) {
+        throw RecoveryError(
+            "cycle replay diverged for tenant " + domain.name() +
+            ": got seq=" + std::to_string(summary.seq) +
+            " hash=" + format_hex(summary.state_hash) + ", journal says seq=" +
+            std::to_string(want_seq) + " hash=" + format_hex(want_hash));
+      }
+    } else {
+      journal_append("cycle tenant=" + domain.name() +
+                     " id=" + std::to_string(id) +
+                     " seq=" + std::to_string(summary.seq) +
+                     " hash=" + format_hex(summary.state_hash));
+    }
+    return Response::okay(
+        "status=" + std::string(summary.deferred ? "deferred" : "solved") +
+        " seq=" + std::to_string(summary.seq) +
+        " granted=" + std::to_string(summary.granted) +
+        " pending=" + std::to_string(summary.pending) +
+        " hash=" + format_hex(summary.state_hash));
+  }
+  if (verb == "set") {
+    Domain& domain = require_tenant(command);
+    const std::string* window = command.find("batch-window");
+    const std::string* level = command.find("level");
+    RSIN_REQUIRE(window != nullptr || level != nullptr,
+                 "set needs batch-window= or level=");
+    std::string journaled = "set tenant=" + domain.name();
+    if (window != nullptr) {
+      domain.set_batch_window(
+          static_cast<std::int32_t>(command.i64("batch-window")));
+      journaled += " batch-window=" + *window;
+    }
+    if (level != nullptr) {
+      domain.set_level(static_cast<std::int32_t>(command.i64("level")));
+      journaled += " level=" + *level;
+    }
+    if (!replay) journal_append(journaled);
+    return Response::okay("window=" + std::to_string(domain.batch_window()) +
+                          " level=" + std::to_string(domain.level()));
+  }
+  if (verb == "inject-fault" || verb == "repair") {
+    Domain& domain = require_tenant(command);
+    const auto link = static_cast<topo::LinkId>(command.i64("link"));
+    const bool injecting = verb == "inject-fault";
+    const bool changed = injecting ? domain.inject_link_fault(link)
+                                   : domain.repair_link(link);
+    if (!replay && changed) {
+      journal_append(verb + " tenant=" + domain.name() +
+                     " link=" + std::to_string(link));
+    }
+    return Response::okay(std::string("status=") +
+                          (changed ? (injecting ? "injected" : "repaired")
+                                   : "noop"));
+  }
+  if (verb == "watchdog-trip") {
+    Domain& domain = require_tenant(command);
+    const auto level = static_cast<std::int32_t>(command.i64("level"));
+    const std::int32_t before = domain.level();
+    domain.set_level(level);
+    if (!replay && domain.level() != before) {
+      journal_append("watchdog-trip tenant=" + domain.name() +
+                     " level=" + std::to_string(level));
+    }
+    return Response::okay("level=" + std::to_string(domain.level()));
+  }
+  if (verb == "note-metrics") {
+    // Periodic journaled metrics note: on replay the hash doubles as a
+    // mid-journal convergence checkpoint.
+    Domain& domain = require_tenant(command);
+    const std::uint64_t hash = domain.state_hash();
+    if (replay) {
+      const std::uint64_t want = parse_hex(command.str("hash"), "hash");
+      if (hash != want) {
+        throw RecoveryError("metrics note diverged for tenant " +
+                            domain.name() + ": got " + format_hex(hash) +
+                            ", journal says " + format_hex(want));
+      }
+    } else {
+      journal_append("note-metrics tenant=" + domain.name() +
+                     " hash=" + format_hex(hash));
+    }
+    return Response::okay(domain.stats_args());
+  }
+
+  return Response::error("unknown command: " + verb);
+}
+
+}  // namespace rsin::svc

@@ -1,0 +1,146 @@
+// svc::Service — the crash-safe command executor behind rsind.
+//
+// The Service owns the multi-tenant state (one Domain per tenant, sharing
+// one WarmContextPool) plus the write-ahead journal and snapshot files, and
+// maps protocol command lines onto them. The transport (svc::Server) stays
+// dumb: it reads lines, calls execute(), calls commit() once per poll
+// batch, and only then sends the replies — the group-commit discipline that
+// makes every acknowledged command durable before its client can observe
+// success.
+//
+// Journal contents are themselves protocol command lines, so recovery is
+// the same dispatch path as live traffic. Two refinements:
+//
+//  * `cycle` records are journaled *augmented* with the post-cycle
+//    sequence number and state hash ("cycle tenant=t id=7 seq=12
+//    hash=..."), so replay verifies that the rebuilt domain converged to
+//    the exact state the dead daemon acknowledged, instead of assuming it.
+//  * commands that change nothing (duplicate ids, idempotent fault
+//    repeats) are not journaled — replay therefore never sees them.
+//
+// Snapshot/journal coordination is epoch-based:
+//
+//   snapshot():  write snapshot.tmp (epoch = journal.epoch + 1), fsync,
+//                rename over snapshot.txt, then recreate the journal with
+//                the new epoch.
+//   recover():   journal.epoch == snapshot.epoch  -> replay the journal
+//                journal.epoch <  snapshot.epoch  -> journal is stale (its
+//                records are folded into the snapshot); discard it
+//                journal shorter than its header   -> torn create; treat
+//                as empty (the header is written before any record)
+//
+// Every crash window in that protocol leaves a recoverable pair: tmp-file
+// crashes are invisible, post-rename crashes leave a stale journal the
+// epoch rule discards, torn journal creates are empty by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/warm_pool.hpp"
+#include "svc/domain.hpp"
+#include "svc/journal.hpp"
+#include "svc/protocol.hpp"
+
+namespace rsin::svc {
+
+struct ServiceConfig {
+  /// Data directory holding journal.bin / snapshot.txt. Must exist.
+  std::string dir;
+  std::size_t pool_shards = 4;
+  /// fdatasync on every commit (power-loss durability). Off by default:
+  /// surviving SIGKILL of the daemon only needs the flush.
+  bool durable = false;
+};
+
+/// What recover() found and did; surfaced by `rsind --recover` logging and
+/// asserted on by the crash-recovery tests.
+struct RecoveryReport {
+  bool had_snapshot = false;
+  std::uint64_t snapshot_epoch = 0;
+  bool had_journal = false;
+  std::uint64_t journal_epoch = 0;
+  bool journal_stale = false;     ///< Epoch rule discarded the journal.
+  std::size_t replayed = 0;       ///< Journal records re-executed.
+  bool journal_truncated = false; ///< A torn tail was dropped.
+  std::uint64_t damage_offset = 0;
+  std::string damage;
+
+  [[nodiscard]] std::string to_args() const;
+};
+
+/// Thrown when recovery cannot reach a trustworthy state (hash divergence,
+/// journal/snapshot epoch impossible under the protocol, snapshot missing
+/// for a journal that needs one).
+class RecoveryError : public std::runtime_error {
+ public:
+  explicit RecoveryError(const std::string& what)
+      : std::runtime_error("recovery: " + what) {}
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+
+  /// Fresh start: creates an empty epoch-0 journal (truncating any stale
+  /// files — callers wanting continuity use recover()).
+  void start_fresh();
+  /// Rebuilds state from snapshot + journal per the epoch rules above and
+  /// reopens the journal for appending. Throws RecoveryError / JournalError
+  /// when the on-disk state cannot be trusted.
+  RecoveryReport recover();
+
+  /// Executes one protocol line. State-changing commands buffer a journal
+  /// record; nothing is durable until commit(). Never throws on bad input —
+  /// malformed or failing commands return an err response (and are not
+  /// journaled).
+  Response execute(const std::string& line);
+  /// Group-commit point: flushes buffered journal records (fdatasync when
+  /// configured durable). Callers reply to clients only after this returns.
+  void commit();
+
+  /// Journals a watchdog trip escalating `tenant` one degradation level
+  /// (capped at greedy). Called by the server at a command boundary when
+  /// the watchdog flagged a stuck/slow solve.
+  Response trip_watchdog(const std::string& tenant);
+
+  /// Writes the epoch-bumped snapshot and swaps the journal (see header
+  /// comment). Returns the new epoch.
+  std::uint64_t snapshot();
+
+  /// Drain mode: admission-changing commands are refused (read-only and
+  /// control commands still work); the server finishes the batch in
+  /// flight, snapshots, and exits 0.
+  void begin_drain() { draining_ = true; }
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  [[nodiscard]] std::uint64_t epoch() const { return journal_.epoch(); }
+  [[nodiscard]] const Journal& journal() const { return journal_; }
+  [[nodiscard]] bool has_tenant(const std::string& name) const {
+    return domains_.contains(name);
+  }
+  [[nodiscard]] Domain& tenant(const std::string& name) {
+    return domains_.at(name);
+  }
+  [[nodiscard]] std::size_t tenant_count() const { return domains_.size(); }
+
+  [[nodiscard]] std::string journal_path() const;
+  [[nodiscard]] std::string snapshot_path() const;
+
+ private:
+  Response dispatch(const Command& command, bool replay);
+  void replay_record(const std::string& line);
+  Domain& require_tenant(const Command& command);
+  void journal_append(const std::string& line);
+  [[nodiscard]] std::string snapshot_tmp_path() const;
+
+  ServiceConfig config_;
+  core::WarmContextPool pool_;
+  std::map<std::string, Domain> domains_;
+  Journal journal_;
+  bool draining_ = false;
+};
+
+}  // namespace rsin::svc

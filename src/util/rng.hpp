@@ -109,6 +109,14 @@ class Rng {
     }
   }
 
+  /// Raw engine state, for exact snapshot/restore of long-running
+  /// deterministic components (svc::Domain journaled state). A generator
+  /// restored via set_state continues the stream bit for bit.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

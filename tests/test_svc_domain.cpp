@@ -1,0 +1,214 @@
+// svc::Domain determinism and snapshot fidelity: identical command
+// sequences produce bitwise-identical state, idempotent ids never
+// re-execute (including shed requests), save/load continues bit for bit,
+// and fault teardowns re-queue victims deterministically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/warm_pool.hpp"
+#include "svc/domain.hpp"
+#include "svc/protocol.hpp"
+
+namespace rsin::svc {
+namespace {
+
+DomainConfig small_config(const std::string& scheduler = "dinic") {
+  DomainConfig config;
+  config.topology = "omega";
+  config.n = 8;
+  config.seed = 42;
+  config.scheduler = scheduler;
+  return config;
+}
+
+/// Drives a fixed mixed workload: admits, cycles, a fault, a repair.
+void drive(Domain& domain) {
+  std::uint64_t id = 1;
+  for (int round = 0; round < 4; ++round) {
+    for (std::int32_t p = 0; p < 6; ++p) {
+      domain.admit(id++, p, p % 3);
+    }
+    domain.run_cycle();
+    domain.run_cycle();
+  }
+  domain.inject_link_fault(2);
+  for (int i = 0; i < 3; ++i) domain.run_cycle();
+  domain.repair_link(2);
+  for (int i = 0; i < 10; ++i) domain.run_cycle();
+}
+
+TEST(SvcDomain, IdenticalCommandSequencesAreBitwiseIdentical) {
+  Domain a("t", small_config(), nullptr);
+  Domain b("t", small_config(), nullptr);
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  EXPECT_EQ(a.stats_args(), b.stats_args());
+}
+
+TEST(SvcDomain, PooledCanonicalWarmMatchesAcrossPoolInstances) {
+  // The pool's warm residual state is NOT snapshotted; canonical mode must
+  // make the schedule independent of it.
+  core::WarmContextPool pool_a(2);
+  core::WarmContextPool pool_b(2);
+  Domain a("t", small_config("breaker"), &pool_a);
+  Domain b("t", small_config("breaker"), &pool_b);
+  drive(a);
+  drive(a);  // a's pool is now warm; b's second run starts from colder state
+  drive(b);
+  drive(b);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  EXPECT_EQ(a.stats_args(), b.stats_args());
+}
+
+TEST(SvcDomain, DuplicateIdsDoNotReExecute) {
+  Domain domain("t", small_config(), nullptr);
+  EXPECT_EQ(domain.admit(10, 0, 0), AdmitResult::kAdmitted);
+  const std::uint64_t hash = domain.state_hash();
+  EXPECT_EQ(domain.admit(10, 3, 2), AdmitResult::kDuplicate);
+  EXPECT_EQ(domain.admit(10, 0, 0), AdmitResult::kDuplicate);
+  EXPECT_EQ(domain.state_hash(), hash);
+}
+
+TEST(SvcDomain, ShedIdsAreRememberedAsSeen) {
+  DomainConfig config = small_config();
+  config.max_pending = 1;
+  Domain domain("t", config, nullptr);
+  EXPECT_EQ(domain.admit(1, 0, 0), AdmitResult::kAdmitted);
+  EXPECT_EQ(domain.admit(2, 1, 0), AdmitResult::kShed);
+  // A client retrying the shed request (e.g. after a daemon restart) must
+  // get the same answer class, not a second execution.
+  EXPECT_EQ(domain.admit(2, 1, 0), AdmitResult::kDuplicate);
+  EXPECT_TRUE(domain.seen(2));
+  EXPECT_EQ(domain.metrics().tasks_shed, 1);
+}
+
+TEST(SvcDomain, SnapshotRoundTripContinuesBitForBit) {
+  Domain original("t", small_config("breaker"), nullptr);
+  drive(original);
+
+  std::stringstream snapshot;
+  original.save(snapshot);
+  Domain restored = Domain::load(snapshot, nullptr);
+  EXPECT_EQ(restored.name(), "t");
+  EXPECT_EQ(restored.state_hash(), original.state_hash());
+  EXPECT_EQ(restored.stats_args(), original.stats_args());
+
+  // The restored domain must CONTINUE identically, not just compare
+  // equal at the snapshot point (RNG stream, in-flight events, queues).
+  drive(original);
+  drive(restored);
+  EXPECT_EQ(restored.state_hash(), original.state_hash());
+  EXPECT_EQ(restored.stats_args(), original.stats_args());
+}
+
+TEST(SvcDomain, SnapshotWithFailedLinksAndInFlightWork) {
+  Domain original("t", small_config(), nullptr);
+  for (std::int32_t p = 0; p < 6; ++p) original.admit(p + 1, p, 0);
+  original.run_cycle();            // Circuits now in flight.
+  original.inject_link_fault(1);   // And a live fault.
+
+  std::stringstream snapshot;
+  original.save(snapshot);
+  Domain restored = Domain::load(snapshot, nullptr);
+  EXPECT_EQ(restored.state_hash(), original.state_hash());
+  for (int i = 0; i < 8; ++i) {
+    original.run_cycle();
+    restored.run_cycle();
+  }
+  EXPECT_EQ(restored.stats_args(), original.stats_args());
+}
+
+TEST(SvcDomain, FaultAndRepairAreIdempotentTransitions) {
+  Domain domain("t", small_config(), nullptr);
+  EXPECT_TRUE(domain.inject_link_fault(0));
+  EXPECT_FALSE(domain.inject_link_fault(0));  // Already failed: no-op.
+  EXPECT_TRUE(domain.repair_link(0));
+  EXPECT_FALSE(domain.repair_link(0));        // Already healthy: no-op.
+  EXPECT_THROW((void)domain.inject_link_fault(999999),
+               std::invalid_argument);
+  EXPECT_EQ(domain.metrics().faults_injected, 1);
+}
+
+TEST(SvcDomain, FaultTeardownRequeuesVictims) {
+  Domain domain("t", small_config(), nullptr);
+  for (std::int32_t p = 0; p < 6; ++p) domain.admit(p + 1, p, 0);
+  const CycleSummary cycle = domain.run_cycle();
+  ASSERT_GT(cycle.granted, 0);
+  // Failing every low-numbered link tears at least one circuit down; its
+  // task goes back to pending, not lost.
+  const auto before = domain.metrics();
+  for (topo::LinkId link = 0; link < 8; ++link) {
+    domain.inject_link_fault(link);
+  }
+  const auto after = domain.metrics();
+  EXPECT_GT(after.circuits_torn_down, before.circuits_torn_down);
+  EXPECT_EQ(after.retries, after.circuits_torn_down);
+  // Nothing disappears: arrived == completed + shed + still-in-system.
+  for (int i = 0; i < 8; ++i) domain.repair_link(i);
+  for (int i = 0; i < 50; ++i) domain.run_cycle();
+  EXPECT_EQ(domain.metrics().tasks_completed, 6);
+}
+
+TEST(SvcDomain, BatchWindowDefersUntilEnoughPending) {
+  Domain domain("t", small_config(), nullptr);
+  domain.set_batch_window(3);
+  EXPECT_TRUE(domain.run_cycle().deferred);  // Empty queue always defers.
+  domain.admit(1, 0, 0);
+  EXPECT_TRUE(domain.run_cycle().deferred);
+  domain.admit(2, 1, 0);
+  domain.admit(3, 2, 0);
+  const CycleSummary cycle = domain.run_cycle();
+  EXPECT_FALSE(cycle.deferred);
+  EXPECT_GT(cycle.granted, 0);
+}
+
+TEST(SvcDomain, DegradationLadderSwitchesScheduler) {
+  Domain domain("t", small_config("breaker"), nullptr);
+  EXPECT_EQ(domain.level(), 0);
+  domain.set_level(2);
+  EXPECT_EQ(domain.level(), 2);
+  for (std::int32_t p = 0; p < 4; ++p) domain.admit(p + 1, p, 0);
+  const CycleSummary cycle = domain.run_cycle();
+  EXPECT_FALSE(cycle.deferred);
+  EXPECT_GT(cycle.granted, 0);  // Greedy rung still schedules.
+  EXPECT_GT(domain.metrics().degraded_cycle_fraction, 0.0);
+}
+
+TEST(SvcDomain, ConfigValidationNamesTheOffendingField) {
+  DomainConfig config = small_config();
+  config.scheduler = "bogus";
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.cycle_interval = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = small_config();
+  config.max_pending = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  const Command command = parse_command(
+      "tenant name=t topology=cube n=16 seed=9 scheduler=warm "
+      "max-pending=32");
+  const DomainConfig parsed = DomainConfig::from_command(command);
+  EXPECT_EQ(parsed.topology, "cube");
+  EXPECT_EQ(parsed.n, 16);
+  EXPECT_EQ(parsed.scheduler, "warm");
+  EXPECT_EQ(parsed.max_pending, 32);
+}
+
+TEST(SvcDomain, StatsArgsCarriesTheStateHash) {
+  Domain domain("t", small_config(), nullptr);
+  drive(domain);
+  const std::string stats = domain.stats_args();
+  const std::string expected = "hash=" + format_hex(domain.state_hash());
+  EXPECT_NE(stats.find(expected), std::string::npos)
+      << stats << " should end with " << expected;
+}
+
+}  // namespace
+}  // namespace rsin::svc

@@ -1,0 +1,209 @@
+// Write-ahead journal edge cases: framing round-trips, torn tails at every
+// interesting cut point, checksum and header damage, group-commit
+// buffering, and append-after-truncation (see src/svc/journal.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "svc/journal.hpp"
+
+namespace rsin::svc {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Three records with distinct sizes, flushed to a fresh journal at `epoch`.
+const std::vector<std::string> kRecords = {
+    "tenant name=t0 topology=omega n=8",
+    "req tenant=t0 id=1 proc=3 prio=0",
+    "cycle tenant=t0 id=2 seq=1 hash=00000000deadbeef",
+};
+
+constexpr std::size_t kFrameBytes = 8;  // u32 size + u32 crc per record.
+
+void write_journal(const std::string& path, std::uint64_t epoch) {
+  Journal journal = Journal::create(path, epoch);
+  for (const std::string& record : kRecords) journal.append(record);
+  journal.flush();
+}
+
+std::uint64_t record_offset(std::size_t index) {
+  std::uint64_t offset = Journal::kHeaderBytes;
+  for (std::size_t i = 0; i < index; ++i) {
+    offset += kFrameBytes + kRecords[i].size();
+  }
+  return offset;
+}
+
+TEST(Journal, RoundTripPreservesRecordsAndEpoch) {
+  TempFile file("journal_roundtrip.bin");
+  write_journal(file.path, 7);
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_EQ(scan.epoch, 7u);
+  EXPECT_EQ(scan.records, kRecords);
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.valid_bytes, record_offset(kRecords.size()));
+  EXPECT_EQ(std::filesystem::file_size(file.path), scan.valid_bytes);
+}
+
+TEST(Journal, EmptyJournalScansClean) {
+  TempFile file("journal_empty.bin");
+  { Journal journal = Journal::create(file.path, 3); }
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_EQ(scan.epoch, 3u);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.valid_bytes, Journal::kHeaderBytes);
+}
+
+TEST(Journal, MissingFileThrows) {
+  EXPECT_THROW((void)Journal::scan(std::string(::testing::TempDir()) +
+                                   "journal_does_not_exist.bin"),
+               JournalError);
+}
+
+TEST(Journal, TornTailAtEveryCutPointDropsOnlyTheTornRecord) {
+  TempFile file("journal_torn.bin");
+  write_journal(file.path, 1);
+  const std::string full = read_bytes(file.path);
+  const std::uint64_t third = record_offset(2);
+
+  // Every way a crash can tear the final record: one byte of the frame,
+  // the full frame but no payload, a partial payload, all but one byte.
+  const std::vector<std::uint64_t> cuts = {
+      third + 1, third + kFrameBytes, third + kFrameBytes + 5,
+      record_offset(3) - 1};
+  for (const std::uint64_t cut : cuts) {
+    write_bytes(file.path, full.substr(0, cut));
+    const Journal::ScanResult scan = Journal::scan(file.path);
+    EXPECT_TRUE(scan.truncated) << "cut=" << cut;
+    EXPECT_EQ(scan.damage_offset, third) << "cut=" << cut;
+    EXPECT_EQ(scan.valid_bytes, third) << "cut=" << cut;
+    ASSERT_EQ(scan.records.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(scan.records[0], kRecords[0]);
+    EXPECT_EQ(scan.records[1], kRecords[1]);
+  }
+}
+
+TEST(Journal, CorruptChecksumStopsTheScanThere) {
+  TempFile file("journal_crc.bin");
+  write_journal(file.path, 1);
+  std::string bytes = read_bytes(file.path);
+  // Flip one payload byte of the middle record.
+  bytes[record_offset(1) + kFrameBytes + 2] ^= 0x40;
+  write_bytes(file.path, bytes);
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_EQ(scan.damage_offset, record_offset(1));
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], kRecords[0]);
+  EXPECT_NE(scan.damage.find("checksum"), std::string::npos)
+      << scan.damage;
+}
+
+TEST(Journal, ImplausibleRecordSizeIsDamageNotAnAllocation) {
+  TempFile file("journal_size.bin");
+  write_journal(file.path, 1);
+  std::string bytes = read_bytes(file.path).substr(0, record_offset(3));
+  // Append a frame claiming a ~2 GB payload.
+  const std::uint32_t huge = 0x7fffffffu;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  bytes += std::string(4, '\0');
+  write_bytes(file.path, bytes);
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_EQ(scan.damage_offset, record_offset(3));
+  EXPECT_EQ(scan.records.size(), kRecords.size());
+}
+
+TEST(Journal, AlienHeaderThrows) {
+  TempFile file("journal_magic.bin");
+  write_bytes(file.path, std::string(64, 'x'));
+  EXPECT_THROW((void)Journal::scan(file.path), JournalError);
+}
+
+TEST(Journal, ShortHeaderThrows) {
+  TempFile file("journal_short.bin");
+  write_bytes(file.path, "RSIN");  // Torn during create.
+  EXPECT_THROW((void)Journal::scan(file.path), JournalError);
+}
+
+TEST(Journal, AppendToTruncatesTornTailBeforeAppending) {
+  TempFile file("journal_append.bin");
+  write_journal(file.path, 5);
+  const std::string full = read_bytes(file.path);
+  write_bytes(file.path, full.substr(0, record_offset(2) + 3));  // Torn 3rd.
+
+  const Journal::ScanResult torn = Journal::scan(file.path);
+  ASSERT_TRUE(torn.truncated);
+  {
+    Journal journal = Journal::append_to(file.path, torn);
+    EXPECT_EQ(journal.epoch(), 5u);
+    journal.append("req tenant=t0 id=9 proc=0 prio=1");
+    journal.flush();
+  }
+
+  const Journal::ScanResult healed = Journal::scan(file.path);
+  EXPECT_FALSE(healed.truncated);
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_EQ(healed.records[0], kRecords[0]);
+  EXPECT_EQ(healed.records[1], kRecords[1]);
+  EXPECT_EQ(healed.records[2], "req tenant=t0 id=9 proc=0 prio=1");
+}
+
+TEST(Journal, GroupCommitBuffersUntilFlush) {
+  TempFile file("journal_buffer.bin");
+  Journal journal = Journal::create(file.path, 2);
+  journal.append(kRecords[0]);
+  journal.append(kRecords[1]);
+  EXPECT_EQ(journal.records_pending(), 2u);
+  EXPECT_EQ(journal.records_appended(), 2u);
+  // Nothing on the file yet: a crash here loses both, which is correct
+  // because neither client has been acknowledged.
+  EXPECT_EQ(std::filesystem::file_size(file.path), Journal::kHeaderBytes);
+
+  journal.flush();
+  EXPECT_EQ(journal.records_pending(), 0u);
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0], kRecords[0]);
+  EXPECT_EQ(scan.records[1], kRecords[1]);
+}
+
+TEST(Journal, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 reference value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+}  // namespace
+}  // namespace rsin::svc

@@ -1,0 +1,390 @@
+// Service + Server crash-safety: recovery reproduces the uninterrupted
+// run bitwise, the epoch rules sort out every snapshot/journal crash
+// window, duplicate ids survive restarts, and the live poll loop handles
+// concurrent clients, the watchdog, and the graceful drain.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace rsin::svc {
+namespace {
+
+/// Fresh scratch directory per test; removed recursively on destruction.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+ServiceConfig service_config(const TempDir& dir) {
+  ServiceConfig config;
+  config.dir = dir.path;
+  config.pool_shards = 2;
+  return config;
+}
+
+/// A small deterministic script (one tenant, requests, cycles, one fault).
+std::vector<std::string> script() {
+  std::vector<std::string> lines = {
+      "tenant name=t0 topology=omega n=8 seed=7 scheduler=breaker"};
+  std::uint64_t id = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 0; p < 5; ++p) {
+      lines.push_back("req tenant=t0 id=" + std::to_string(id++) +
+                      " proc=" + std::to_string(p) + " prio=0");
+    }
+    lines.push_back("cycle tenant=t0 id=" + std::to_string(id++));
+    lines.push_back("cycle tenant=t0 id=" + std::to_string(id++));
+  }
+  lines.push_back("inject-fault tenant=t0 link=1");
+  lines.push_back("cycle tenant=t0 id=" + std::to_string(id++));
+  lines.push_back("repair tenant=t0 link=1");
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back("cycle tenant=t0 id=" + std::to_string(id++));
+  }
+  return lines;
+}
+
+std::string run_script(Service& service) {
+  for (const std::string& line : script()) {
+    const Response reply = service.execute(line);
+    EXPECT_TRUE(reply.ok) << line << " -> " << reply.body;
+  }
+  service.commit();
+  return service.execute("stats tenant=t0").body;
+}
+
+TEST(SvcServer, RecoveryReproducesTheUninterruptedRunBitwise) {
+  TempDir golden_dir("svc_golden");
+  Service golden(service_config(golden_dir));
+  golden.start_fresh();
+  const std::string golden_stats = run_script(golden);
+
+  TempDir crash_dir("svc_crash");
+  std::string pre_crash_stats;
+  {
+    Service victim(service_config(crash_dir));
+    victim.start_fresh();
+    pre_crash_stats = run_script(victim);
+    // Destruction without drain/snapshot = the SIGKILL approximation: the
+    // journal is flushed (commit ran) but no snapshot was taken.
+  }
+  EXPECT_EQ(pre_crash_stats, golden_stats);
+
+  Service recovered(service_config(crash_dir));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_FALSE(report.had_snapshot);
+  EXPECT_TRUE(report.had_journal);
+  EXPECT_FALSE(report.journal_truncated);
+  EXPECT_GT(report.replayed, 0u);
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body, golden_stats);
+}
+
+TEST(SvcServer, DuplicateRequestIdSurvivesRecovery) {
+  TempDir dir("svc_dup");
+  {
+    Service service(service_config(dir));
+    service.start_fresh();
+    run_script(service);
+  }
+  Service recovered(service_config(dir));
+  (void)recovered.recover();
+  // id=1 was admitted before the crash; the client's retry must be told
+  // `duplicate`, not re-executed.
+  const Response reply =
+      recovered.execute("req tenant=t0 id=1 proc=4 prio=2");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.body, "status=duplicate");
+}
+
+TEST(SvcServer, TornJournalTailIsDroppedAndReported) {
+  TempDir dir("svc_torn");
+  std::string journal_path;
+  {
+    Service service(service_config(dir));
+    service.start_fresh();
+    run_script(service);
+    journal_path = service.journal_path();
+  }
+  const auto full_size = std::filesystem::file_size(journal_path);
+  std::filesystem::resize_file(journal_path, full_size - 3);
+
+  Service recovered(service_config(dir));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_TRUE(report.journal_truncated);
+  EXPECT_FALSE(report.damage.empty());
+  EXPECT_LT(report.damage_offset, full_size);
+  // The recovered service keeps serving: the torn command was never
+  // acknowledged, so dropping it is correct, and new work proceeds.
+  EXPECT_TRUE(recovered.execute("stats tenant=t0").ok);
+  EXPECT_TRUE(
+      recovered.execute("req tenant=t0 id=900 proc=0 prio=0").ok);
+}
+
+TEST(SvcServer, SnapshotFoldsTheJournalAndBumpsTheEpoch) {
+  TempDir dir("svc_epoch");
+  std::string golden_stats;
+  {
+    Service service(service_config(dir));
+    service.start_fresh();
+    golden_stats = run_script(service);
+    EXPECT_EQ(service.epoch(), 0u);
+    EXPECT_EQ(service.snapshot(), 1u);
+    EXPECT_EQ(service.epoch(), 1u);
+    // Post-snapshot traffic lands in the epoch-1 journal.
+    EXPECT_TRUE(
+        service.execute("req tenant=t0 id=500 proc=2 prio=1").ok);
+    service.commit();
+  }
+  Service recovered(service_config(dir));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_TRUE(report.had_snapshot);
+  EXPECT_EQ(report.snapshot_epoch, 1u);
+  EXPECT_EQ(report.journal_epoch, 1u);
+  EXPECT_FALSE(report.journal_stale);
+  EXPECT_EQ(report.replayed, 1u);  // Only the post-snapshot request.
+  EXPECT_EQ(recovered.execute("req tenant=t0 id=500 proc=2 prio=1").body,
+            "status=duplicate");
+}
+
+TEST(SvcServer, StaleJournalIsDiscardedByTheEpochRule) {
+  TempDir dir("svc_stale");
+  std::string journal_path;
+  std::string stats_after_snapshot;
+  std::string stale_journal;
+  {
+    Service service(service_config(dir));
+    service.start_fresh();
+    run_script(service);
+    journal_path = service.journal_path();
+    {
+      std::ifstream in(journal_path, std::ios::binary);
+      stale_journal.assign(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+    (void)service.snapshot();
+    stats_after_snapshot = service.execute("stats tenant=t0").body;
+  }
+  // Crash window: snapshot.txt was renamed into place but the epoch-0
+  // journal was never swapped. Its records are already folded into the
+  // snapshot; replaying them would double-execute.
+  {
+    std::ofstream out(journal_path, std::ios::binary | std::ios::trunc);
+    out.write(stale_journal.data(),
+              static_cast<std::streamsize>(stale_journal.size()));
+  }
+  Service recovered(service_config(dir));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_TRUE(report.journal_stale);
+  EXPECT_EQ(report.replayed, 0u);
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body,
+            stats_after_snapshot);
+}
+
+TEST(SvcServer, JournalWithoutItsSnapshotIsUnrecoverable) {
+  TempDir dir("svc_orphan");
+  {
+    Service service(service_config(dir));
+    service.start_fresh();
+    run_script(service);
+    (void)service.snapshot();  // Journal now at epoch 1.
+    std::filesystem::remove(service.snapshot_path());
+  }
+  Service recovered(service_config(dir));
+  EXPECT_THROW((void)recovered.recover(), RecoveryError);
+}
+
+// --- live server over the Unix socket ------------------------------------
+
+struct ServerFixture {
+  TempDir dir;
+  std::string socket_path;
+  ServerConfig config;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit ServerFixture(const std::string& name, std::int32_t watchdog_ms)
+      : dir("srv_" + name),
+        socket_path(dir.path + "/rsind.sock") {
+    config.socket_path = socket_path;
+    config.service.dir = dir.path;
+    config.service.pool_shards = 2;
+    config.watchdog_ms = watchdog_ms;
+  }
+  ~ServerFixture() {
+    if (thread.joinable()) {
+      stop();
+    }
+  }
+
+  void start(bool recover) {
+    server = std::make_unique<Server>(config);
+    thread = std::thread(
+        [this, recover] { exit_code = server->run(recover); });
+  }
+
+  /// Triggers the drain exactly like a SIGTERM handler would.
+  int stop() {
+    const char byte = 's';
+    EXPECT_EQ(::write(server->wake_fd(), &byte, 1), 1);
+    thread.join();
+    return exit_code;
+  }
+
+  Client client() {
+    ClientOptions options;
+    options.socket_path = socket_path;
+    options.timeout_ms = 5000;
+    options.retries = 12;
+    options.backoff_ms = 10;
+    return Client(options);
+  }
+};
+
+TEST(SvcServer, PingSnapshotAndGracefulDrain) {
+  ServerFixture fixture("ping", /*watchdog_ms=*/0);
+  fixture.start(/*recover=*/false);
+  {
+    Client client = fixture.client();
+    EXPECT_EQ(client.request("ping").body, "pong");
+    EXPECT_TRUE(client
+                    .request("tenant name=t0 topology=omega n=8 seed=1 "
+                             "scheduler=dinic")
+                    .ok);
+    EXPECT_EQ(client.request("req tenant=t0 id=1 proc=0 prio=0").body,
+              "status=admitted");
+    EXPECT_TRUE(client.request("snapshot").ok);
+    const Response metrics = client.request("metrics tenant=t0");
+    EXPECT_TRUE(metrics.ok);
+    EXPECT_FALSE(metrics.extra.empty());
+  }
+  EXPECT_EQ(fixture.stop(), 0);
+  // The drain unlinks the socket and leaves a complete journal+snapshot.
+  EXPECT_FALSE(std::filesystem::exists(fixture.socket_path));
+  EXPECT_TRUE(std::filesystem::exists(fixture.dir.path + "/snapshot.txt"));
+}
+
+TEST(SvcServer, RecoveredServerServesNewClientsImmediately) {
+  ServerFixture fixture("reopen", /*watchdog_ms=*/0);
+  fixture.start(false);
+  {
+    Client client = fixture.client();
+    ASSERT_TRUE(client
+                    .request("tenant name=t0 topology=omega n=8 seed=3 "
+                             "scheduler=breaker")
+                    .ok);
+    for (const std::string& line : script()) {
+      if (line.rfind("tenant ", 0) == 0) continue;
+      ASSERT_TRUE(client.request(line).ok) << line;
+    }
+  }
+  ASSERT_EQ(fixture.stop(), 0);
+
+  // Restart in recovery mode; clients race the startup (the Client's
+  // retry/backoff loop absorbs the window before the socket exists) and
+  // immediately exercise both the duplicate path and fresh admissions.
+  fixture.start(/*recover=*/true);
+  std::vector<std::thread> clients;
+  std::vector<int> failures(3, 0);
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&fixture, &failures, c] {
+      Client client = fixture.client();
+      const Response dup =
+          client.request("req tenant=t0 id=1 proc=0 prio=0");
+      if (!dup.ok || dup.body != "status=duplicate") ++failures[c];
+      const Response fresh = client.request(
+          "req tenant=t0 id=" + std::to_string(1000 + c) + " proc=1");
+      if (!fresh.ok || fresh.body != "status=admitted") ++failures[c];
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures, std::vector<int>({0, 0, 0}));
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(SvcServer, WatchdogTripsTheDegradationLadder) {
+  ServerFixture fixture("watchdog", /*watchdog_ms=*/50);
+  fixture.start(false);
+  Client client = fixture.client();
+  ASSERT_TRUE(client
+                  .request("tenant name=t0 topology=omega n=8 seed=1 "
+                           "scheduler=breaker")
+                  .ok);
+  // inject-delay stalls the command path past the watchdog threshold; the
+  // trip is journaled at the command boundary and echoed in the reply.
+  const Response slow = client.request("inject-delay tenant=t0 ms=200");
+  ASSERT_TRUE(slow.ok);
+  EXPECT_NE(slow.body.find("watchdog-level=1"), std::string::npos)
+      << slow.body;
+  const Response tenants = client.request("tenants");
+  ASSERT_EQ(tenants.extra.size(), 1u);
+  EXPECT_NE(tenants.extra[0].find("level=1"), std::string::npos)
+      << tenants.extra[0];
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(SvcServer, ConcurrentClientsShareOneGroupCommit) {
+  ServerFixture fixture("hammer", /*watchdog_ms=*/0);
+  fixture.start(false);
+  {
+    Client setup = fixture.client();
+    ASSERT_TRUE(setup
+                    .request("tenant name=t0 topology=omega n=8 seed=5 "
+                             "scheduler=breaker")
+                    .ok);
+  }
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fixture, &failures, c] {
+      Client client = fixture.client();
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t id =
+            1 + static_cast<std::uint64_t>(c) * kPerClient +
+            static_cast<std::uint64_t>(i);
+        const std::string line =
+            i % 5 == 4
+                ? "cycle tenant=t0 id=" + std::to_string(100000 + id)
+                : "req tenant=t0 id=" + std::to_string(id) +
+                      " proc=" + std::to_string(id % 8) + " prio=0";
+        if (!client.request(line).ok) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures, std::vector<int>(kClients, 0));
+
+  Client check = fixture.client();
+  const Response stats = check.request("stats tenant=t0");
+  ASSERT_TRUE(stats.ok);
+  const std::string pre_drain = stats.body;
+  ASSERT_EQ(fixture.stop(), 0);
+
+  // Everything those clients were acknowledged for survives the restart.
+  fixture.start(/*recover=*/true);
+  Client after = fixture.client();
+  EXPECT_EQ(after.request("stats tenant=t0").body, pre_drain);
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+}  // namespace
+}  // namespace rsin::svc
