@@ -259,19 +259,58 @@ bool PersistentTransform::matches(const topo::Network& net) const {
 }
 
 void PersistentTransform::update(const Problem& problem) {
-  problem.validate();
-  RSIN_REQUIRE(problem.types().size() <= 1,
-               "transformations 1-2 require a homogeneous problem; use the "
-               "heterogeneous scheduler for multiple types");
-  RSIN_REQUIRE(matches(*problem.network),
+  // Allocation-free equivalent of problem.validate() plus the homogeneity
+  // check: validate() builds two fresh O(n) vectors and types() a sorted
+  // type list per call, which on million-node skeletons made every warm
+  // cycle allocate. Same checks, same messages, persistent scratch.
+  RSIN_REQUIRE(problem.network != nullptr, "problem needs a network");
+  const Network& net = *problem.network;
+  seen_processor_.assign(static_cast<std::size_t>(net.processor_count()), 0);
+  for (const Request& request : problem.requests) {
+    RSIN_REQUIRE(net.valid_processor(request.processor),
+                 "request names an unknown processor");
+    RSIN_REQUIRE(!seen_processor_[static_cast<std::size_t>(request.processor)],
+                 "a processor transmits one task at a time (model point 5)");
+    seen_processor_[static_cast<std::size_t>(request.processor)] = 1;
+    RSIN_REQUIRE(request.priority >= 0, "priorities must be non-negative");
+  }
+  seen_resource_.assign(static_cast<std::size_t>(net.resource_count()), 0);
+  for (const FreeResource& resource : problem.free_resources) {
+    RSIN_REQUIRE(net.valid_resource(resource.resource),
+                 "free resource has an unknown id");
+    RSIN_REQUIRE(!seen_resource_[static_cast<std::size_t>(resource.resource)],
+                 "a resource cannot be listed free twice");
+    seen_resource_[static_cast<std::size_t>(resource.resource)] = 1;
+    RSIN_REQUIRE(resource.preference >= 0, "preferences must be non-negative");
+  }
+  bool have_type = false;
+  std::int32_t type = 0;
+  const auto one_type = [&](std::int32_t t) {
+    if (!have_type) {
+      have_type = true;
+      type = t;
+    }
+    return t == type;
+  };
+  for (const Request& request : problem.requests) {
+    RSIN_REQUIRE(one_type(request.type),
+                 "transformations 1-2 require a homogeneous problem; use the "
+                 "heterogeneous scheduler for multiple types");
+  }
+  for (const FreeResource& resource : problem.free_resources) {
+    RSIN_REQUIRE(one_type(resource.type),
+                 "transformations 1-2 require a homogeneous problem; use the "
+                 "heterogeneous scheduler for multiple types");
+  }
+  RSIN_REQUIRE(matches(net),
                "PersistentTransform::update requires the network shape it "
                "was built for");
-  const Network& net = *problem.network;
   FlowNetwork& out = result_.net;
 
-  for (std::size_t a = 0; a < out.arc_count(); ++a) {
-    out.set_capacity(static_cast<flow::ArcId>(a), 0);
-  }
+  // Bulk zero, then re-enable the cycle's S/B/R arcs below. On million-node
+  // skeletons the per-arc set_capacity sweep was a measurable slice of the
+  // warm cycle.
+  out.clear_capacities();
   for (const Request& request : problem.requests) {
     out.set_capacity(
         processor_arc_[static_cast<std::size_t>(request.processor)], 1);

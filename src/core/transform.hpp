@@ -101,6 +101,10 @@ class PersistentTransform {
   std::vector<flow::ArcId> processor_arc_;  // per processor; the S arc
   std::vector<flow::ArcId> link_arc_;       // per link; kInvalidArc if unmapped
   std::vector<flow::ArcId> resource_arc_;   // per resource; the T arc
+  // Persistent validation scratch so the per-cycle update never allocates
+  // (Problem::validate builds fresh O(n) vectors on every call).
+  std::vector<char> seen_processor_;
+  std::vector<char> seen_resource_;
   std::uint64_t shape_hash_ = 0;
   bool built_ = false;
 };

@@ -28,6 +28,12 @@ struct MaxFlowResult {
   std::int64_t augmentations = 0;  ///< Number of augmenting paths used.
   std::int64_t phases = 0;         ///< Layered-network phases (Dinic only).
   std::int64_t operations = 0;     ///< Elementary edge inspections performed.
+  /// Scratch slots (re)initialized across the solve — the epoch-stamped
+  /// level/next_edge scratch of ScheduleContext stamps each slot on first
+  /// touch per BFS/phase, so this is O(nodes touched) and must not scale
+  /// with network size for localized solves (DinicScale regression tests
+  /// pin that). Context-based Dinic only; 0 for the scalar solvers.
+  std::int64_t scratch_resets = 0;
 };
 
 /// One layered network, as built by a Dinic phase (Section IV-A).

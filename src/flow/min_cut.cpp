@@ -1,8 +1,9 @@
 #include "flow/min_cut.hpp"
 
-#include <deque>
+#include <vector>
 
 #include "flow/residual.hpp"
+#include "util/bitset.hpp"
 
 namespace rsin::flow {
 
@@ -11,30 +12,31 @@ MinCut min_cut_from_flow(const FlowNetwork& net) {
   RSIN_REQUIRE(net.valid_node(net.sink()), "network needs a sink");
 
   const ResidualGraph residual(net);
-  std::vector<char> reachable(net.node_count(), 0);
-  std::deque<NodeId> queue{net.source()};
-  reachable[static_cast<std::size_t>(net.source())] = 1;
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
+  util::BitSet reachable(net.node_count());
+  std::vector<NodeId> queue{net.source()};
+  reachable.set(static_cast<std::size_t>(net.source()));
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const NodeId v = queue[i];
     for (const auto e : residual.edges_from(v)) {
       if (residual.residual(e) <= 0) continue;
       const NodeId w = residual.head(e);
-      if (!reachable[static_cast<std::size_t>(w)]) {
-        reachable[static_cast<std::size_t>(w)] = 1;
+      if (!reachable.test(static_cast<std::size_t>(w))) {
+        reachable.set(static_cast<std::size_t>(w));
         queue.push_back(w);
       }
     }
   }
 
   MinCut cut;
-  for (std::size_t v = 0; v < net.node_count(); ++v) {
-    if (reachable[v]) cut.source_side.push_back(static_cast<NodeId>(v));
-  }
+  // lowbit/ctz iteration over the packed source side — visits only the
+  // reachable nodes, in ascending id order like the scan it replaces.
+  reachable.for_each_set([&](std::size_t v) {
+    cut.source_side.push_back(static_cast<NodeId>(v));
+  });
   for (std::size_t a = 0; a < net.arc_count(); ++a) {
     const Arc& arc = net.arc(static_cast<ArcId>(a));
-    if (reachable[static_cast<std::size_t>(arc.from)] &&
-        !reachable[static_cast<std::size_t>(arc.to)]) {
+    if (reachable.test(static_cast<std::size_t>(arc.from)) &&
+        !reachable.test(static_cast<std::size_t>(arc.to))) {
       cut.cut_arcs.push_back(static_cast<ArcId>(a));
       cut.capacity += arc.capacity;
     }

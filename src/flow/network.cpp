@@ -53,6 +53,10 @@ void FlowNetwork::clear_flow() {
   for (auto& arc : arcs_) arc.flow = 0;
 }
 
+void FlowNetwork::clear_capacities() {
+  for (auto& arc : arcs_) arc.capacity = 0;
+}
+
 Capacity FlowNetwork::flow_value() const {
   RSIN_REQUIRE(valid_node(source_), "flow_value requires a source");
   Capacity total = 0;

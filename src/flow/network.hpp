@@ -100,6 +100,13 @@ class FlowNetwork {
   /// Resets every arc's flow to zero.
   void clear_flow();
 
+  /// Zeroes every arc's capacity in one pass (flow is untouched, so the
+  /// assignment may be temporarily illegal exactly as with set_capacity).
+  /// This is the bulk reset the warm scheduler's per-cycle capacity
+  /// overwrite starts from — one linear sweep instead of arc_count()
+  /// bounds-checked set_capacity calls.
+  void clear_capacities();
+
   /// Total flow currently leaving the source (equals flow into the sink for
   /// any conservative assignment).
   [[nodiscard]] Capacity flow_value() const;

@@ -23,8 +23,10 @@ void ResidualGraph::rebuild(const FlowNetwork& net) {
   }
   for (std::size_t v = 0; v < n; ++v) adj_offsets_[v + 1] += adj_offsets_[v];
   adj_edges_.resize(2 * m);
-  repair_path_.clear();
-  cursor_.assign(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  adj_head_.resize(2 * m);
+  arena_.reset();
+  const std::span<std::size_t> cursor = arena_.alloc<std::size_t>(n);
+  std::copy(adj_offsets_.begin(), adj_offsets_.end() - 1, cursor.begin());
 
   for (std::size_t a = 0; a < m; ++a) {
     const Arc& arc = net.arc(static_cast<ArcId>(a));
@@ -37,8 +39,12 @@ void ResidualGraph::rebuild(const FlowNetwork& net) {
     residual_[static_cast<std::size_t>(fwd) + 1] = arc.flow;
     cost_[static_cast<std::size_t>(fwd) + 1] = -arc.cost;
 
-    adj_edges_[cursor_[static_cast<std::size_t>(arc.from)]++] = fwd;
-    adj_edges_[cursor_[static_cast<std::size_t>(arc.to)]++] = partner(fwd);
+    const std::size_t from_slot = cursor[static_cast<std::size_t>(arc.from)]++;
+    adj_edges_[from_slot] = fwd;
+    adj_head_[from_slot] = arc.to;
+    const std::size_t to_slot = cursor[static_cast<std::size_t>(arc.to)]++;
+    adj_edges_[to_slot] = partner(fwd);
+    adj_head_[to_slot] = arc.from;
   }
 }
 
@@ -49,12 +55,29 @@ bool ResidualGraph::sync_capacities(const FlowNetwork& net) {
                "was built from");
   const NodeId source = net.source();
   const NodeId sink = net.sink();
+  const std::size_t n = node_count();
+
+  // Start a fresh shed-cursor epoch: every cursor reads as 0 until its
+  // first use this sync, at O(1) total reset cost.
+  if (shed_cursor_.size() != 2 * n) {
+    shed_cursor_.assign(2 * n, 0);
+    shed_stamp_.assign(2 * n, 0);
+    shed_epoch_ = 0;
+  }
+  if (++shed_epoch_ == 0) {
+    std::fill(shed_stamp_.begin(), shed_stamp_.end(), 0);
+    shed_epoch_ = 1;
+  }
+  arena_.reset();
+  const std::span<EdgeId> repair = arena_.alloc<EdgeId>(n + 1);
+
   for (std::size_t a = 0; a < net.arc_count(); ++a) {
     const Arc& arc = net.arc(static_cast<ArcId>(a));
     const auto fwd = static_cast<EdgeId>(2 * a);
     const std::size_t rev = static_cast<std::size_t>(fwd) + 1;
     if (residual_[rev] > arc.capacity) {
-      if (!cancel_through(fwd, residual_[rev] - arc.capacity, source, sink)) {
+      if (!cancel_through(fwd, residual_[rev] - arc.capacity, source, sink,
+                          repair)) {
         return false;
       }
     }
@@ -64,50 +87,62 @@ bool ResidualGraph::sync_capacities(const FlowNetwork& net) {
 }
 
 bool ResidualGraph::cancel_through(EdgeId fwd, Capacity excess, NodeId source,
-                                   NodeId sink) {
+                                   NodeId sink, std::span<EdgeId> repair) {
   const NodeId u = tail(fwd);
   const NodeId v = head(fwd);
   push(partner(fwd), excess);  // cancel the excess on the arc itself
   // u now has surplus inflow and v an equal deficit; walk both back onto
   // flow-carrying paths and cancel, unit-chunk by unit-chunk.
-  return shed(u, source, excess, /*backward=*/true) &&
-         shed(v, sink, excess, /*backward=*/false);
+  return shed(u, source, excess, /*backward=*/true, repair) &&
+         shed(v, sink, excess, /*backward=*/false, repair);
 }
 
 bool ResidualGraph::shed(NodeId start, NodeId terminal, Capacity amount,
-                         bool backward) {
+                         bool backward, std::span<EdgeId> repair) {
   constexpr Capacity kInf = std::numeric_limits<Capacity>::max();
   while (amount > 0 && start != terminal) {
-    repair_path_.clear();
+    std::size_t repair_len = 0;
     NodeId at = start;
     Capacity bottleneck = kInf;
     std::size_t steps = 0;
     while (at != terminal) {
       // Flow decomposition guarantees a flow-carrying path unless the flow
-      // has a cyclic component that could trap the greedy walk; bound the
-      // walk so a cycle aborts to a cold rebuild instead of spinning.
-      if (++steps > edge_count() + 1) return false;
+      // has a cyclic component that could trap the greedy walk; a simple
+      // path visits each node at most once, so more hops than nodes means
+      // a cycle — abort to a cold rebuild instead of spinning.
+      if (++steps > node_count()) return false;
+      const auto edges = edges_from(at);
+      const auto heads = heads_from(at);
+      std::uint32_t& cur = shed_cursor(at, backward);
       bool advanced = false;
-      for (const EdgeId e : edges_from(at)) {
+      while (cur < edges.size()) {
+        const EdgeId e = edges[cur];
         // backward: arcs *into* `at` carrying flow are the reverse copies
         // stored at `at` (their residual equals the arc's flow and their
         // head is the arc's tail). forward: arcs *out of* `at` carrying
-        // flow are forward copies whose partner holds the flow.
+        // flow are forward copies whose partner holds the flow. Flow only
+        // decreases during a repair, so a non-carrying edge stays
+        // non-carrying and the cursor may skip it for the rest of the
+        // sync; the carrying edge the walk takes is re-examined on the
+        // next visit (the cursor is not advanced past it).
         const bool carries = backward
                                  ? (!is_forward(e) && residual(e) > 0)
                                  : (is_forward(e) && residual(partner(e)) > 0);
-        if (!carries) continue;
+        if (!carries) {
+          ++cur;
+          continue;
+        }
         const EdgeId flow_edge = backward ? e : partner(e);
         bottleneck = std::min(bottleneck, residual(flow_edge));
-        repair_path_.push_back(flow_edge);
-        at = head(e);
+        repair[repair_len++] = flow_edge;
+        at = heads[cur];
         advanced = true;
         break;
       }
       if (!advanced) return false;  // conservation violated upstream
     }
     const Capacity cancel = std::min(amount, bottleneck);
-    for (const EdgeId rev : repair_path_) push(rev, cancel);
+    for (std::size_t i = 0; i < repair_len; ++i) push(repair[i], cancel);
     amount -= cancel;
   }
   return true;

@@ -7,12 +7,19 @@
 // residual capacity always equals the current flow on the original arc, so
 // publishing results is a straight copy.
 //
-// The adjacency is a flat CSR layout (offsets + edge array) and every
-// buffer is reusable: rebuild() refills the graph from a network without
-// reallocating, and sync_capacities() adopts changed capacities while
-// *retaining* the feasible flow already routed — the residual-state reuse
-// the paper's distributed token architecture performs after a circuit is
-// established or torn down, instead of re-deriving the world from scratch.
+// The adjacency is a flat CSR layout (offsets + edge array) in
+// structure-of-arrays form: edge properties (head, residual, cost) live in
+// parallel flat arrays, and each adjacency slot additionally caches its
+// edge's head (adj_head_), so the BFS/DFS inner loops stream two
+// sequential arrays per node instead of chasing edge ids into a scattered
+// head table. Every buffer is reusable: rebuild() refills the graph from a
+// network without reallocating, and sync_capacities() adopts changed
+// capacities while *retaining* the feasible flow already routed — the
+// residual-state reuse the paper's distributed token architecture performs
+// after a circuit is established or torn down, instead of re-deriving the
+// world from scratch. Per-call scratch (the CSR fill cursor, the repair
+// path) comes from a util::Arena, so both paths are allocation-free in
+// steady state (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "flow/network.hpp"
+#include "util/arena.hpp"
 
 namespace rsin::flow {
 
@@ -66,6 +74,15 @@ class ResidualGraph {
             adj_offsets_[i + 1] - adj_offsets_[i]};
   }
 
+  /// Heads of the edges in edges_from(v), slot for slot: heads_from(v)[k]
+  /// == head(edges_from(v)[k]), but read from a sequential array so the
+  /// hot scans avoid one scattered indirection per edge.
+  [[nodiscard]] std::span<const NodeId> heads_from(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return {adj_head_.data() + adj_offsets_[i],
+            adj_offsets_[i + 1] - adj_offsets_[i]};
+  }
+
   [[nodiscard]] NodeId head(EdgeId e) const {
     return head_[static_cast<std::size_t>(e)];
   }
@@ -106,22 +123,44 @@ class ResidualGraph {
  private:
   /// Cancels `excess` units of flow routed through forward edge `fwd`,
   /// walking the surplus back to `source` and the deficit on to `sink`.
-  [[nodiscard]] bool cancel_through(EdgeId fwd, Capacity excess,
-                                    NodeId source, NodeId sink);
+  /// `repair` is arena scratch for the walked path (>= node_count + 1).
+  [[nodiscard]] bool cancel_through(EdgeId fwd, Capacity excess, NodeId source,
+                                    NodeId sink, std::span<EdgeId> repair);
   /// Sheds `amount` units of flow imbalance at `start` by cancelling
   /// flow-carrying paths between `start` and `terminal`. `backward` walks
   /// arcs into the current node (toward the source); otherwise arcs out of
   /// it (toward the sink).
   [[nodiscard]] bool shed(NodeId start, NodeId terminal, Capacity amount,
-                          bool backward);
+                          bool backward, std::span<EdgeId> repair);
+  /// Per-(node, direction) adjacency resume point for shed(), stamped lazily
+  /// against shed_epoch_ so each sync_capacities starts from slot 0 without
+  /// an O(n) reset. Flow only ever decreases during a repair, so an edge
+  /// skipped as non-carrying can be skipped forever within one sync — the
+  /// cursor turns repeated hub-node walks from O(degree^2) into amortized
+  /// O(degree).
+  [[nodiscard]] std::uint32_t& shed_cursor(NodeId at, bool backward) {
+    const std::size_t i =
+        2 * static_cast<std::size_t>(at) + (backward ? 1 : 0);
+    if (shed_stamp_[i] != shed_epoch_) {
+      shed_stamp_[i] = shed_epoch_;
+      shed_cursor_[i] = 0;
+    }
+    return shed_cursor_[i];
+  }
 
+  // Edge properties, structure-of-arrays, indexed by EdgeId.
   std::vector<NodeId> head_;
   std::vector<Capacity> residual_;
   std::vector<Cost> cost_;
+  // CSR adjacency; adj_head_ caches the head of each slot's edge.
   std::vector<std::size_t> adj_offsets_;  // node -> first index in adj_edges_
   std::vector<EdgeId> adj_edges_;         // flat adjacency, CSR layout
-  std::vector<std::size_t> cursor_;       // scratch for rebuild
-  std::vector<EdgeId> repair_path_;       // scratch for sync_capacities
+  std::vector<NodeId> adj_head_;          // head per adjacency slot
+  // Epoch-stamped shed cursors (2 per node: forward / backward walks).
+  std::vector<std::uint32_t> shed_cursor_;
+  std::vector<std::uint32_t> shed_stamp_;
+  std::uint32_t shed_epoch_ = 0;
+  util::Arena arena_;  // per-call scratch: rebuild cursor, repair path
 };
 
 }  // namespace rsin::flow

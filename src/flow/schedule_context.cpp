@@ -14,33 +14,44 @@ void require_st(const FlowNetwork& net) {
   RSIN_REQUIRE(net.source() != net.sink(), "source and sink must differ");
 }
 
-/// BFS level assignment over the residual graph into ctx.level. Returns
-/// true when the sink is reachable. Expansion stops at the sink's layer —
-/// deeper nodes cannot lie on a shortest augmenting path.
+/// Level-synchronous BFS over the residual graph into the context's
+/// epoch-stamped level scratch. The frontier is a word-packed bit set
+/// iterated with ctz (64 nodes per word); the per-layer reset clears only
+/// the touched words and the level reset is an O(1) epoch bump, so a BFS
+/// costs O(nodes + edges touched) — independent of node_count(). Returns
+/// true when the sink is reachable. Expansion stops with the layer that
+/// reaches the sink — deeper nodes cannot lie on a shortest augmenting
+/// path — which labels exactly the nodes the scalar queue BFS labels, with
+/// identical levels.
 bool bfs_levels(const ResidualGraph& residual, ScheduleContext& ctx,
                 NodeId source, NodeId sink, std::int64_t& ops) {
-  const std::size_t n = residual.node_count();
-  ctx.level.resize(n);
-  std::fill(ctx.level.begin(), ctx.level.end(), -1);
-  ctx.bfs_queue.clear();
-  ctx.bfs_queue.push_back(source);
-  ctx.level[static_cast<std::size_t>(source)] = 0;
-  int sink_level = -1;
-  for (std::size_t i = 0; i < ctx.bfs_queue.size(); ++i) {
-    const NodeId v = ctx.bfs_queue[i];
-    const int lv = ctx.level[static_cast<std::size_t>(v)];
-    if (sink_level != -1 && lv + 1 > sink_level) break;
-    for (const auto e : residual.edges_from(v)) {
-      ++ops;
-      if (residual.residual(e) <= 0) continue;
-      const NodeId w = residual.head(e);
-      if (ctx.level[static_cast<std::size_t>(w)] != -1) continue;
-      ctx.level[static_cast<std::size_t>(w)] = lv + 1;
-      if (w == sink) sink_level = lv + 1;
-      ctx.bfs_queue.push_back(w);
-    }
+  ctx.begin_bfs();
+  ctx.frontier.clear();
+  ctx.next_frontier.clear();
+  ctx.set_level(source, 0);
+  ctx.frontier.set(static_cast<std::size_t>(source));
+  int depth = 0;
+  bool sink_found = false;
+  while (ctx.frontier.any()) {
+    ctx.frontier.for_each_set([&](std::size_t vi) {
+      const auto edges = residual.edges_from(static_cast<NodeId>(vi));
+      const auto heads = residual.heads_from(static_cast<NodeId>(vi));
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        ++ops;
+        if (residual.residual(edges[k]) <= 0) continue;
+        const NodeId w = heads[k];
+        if (ctx.level_of(w) != -1) continue;
+        ctx.set_level(w, depth + 1);
+        ctx.next_frontier.set(static_cast<std::size_t>(w));
+        if (w == sink) sink_found = true;
+      }
+    });
+    if (sink_found) return true;
+    swap(ctx.frontier, ctx.next_frontier);
+    ctx.next_frontier.clear();
+    ++depth;
   }
-  return sink_level != -1;
+  return false;
 }
 
 /// One blocking-flow augmentation along the layered structure in ctx.level;
@@ -60,39 +71,42 @@ Capacity advance_one_path(ResidualGraph& residual, ScheduleContext& ctx,
       return bottleneck;
     }
     const auto edges = residual.edges_from(v);
+    const auto heads = residual.heads_from(v);
     bool advanced = false;
-    while (ctx.next_edge[static_cast<std::size_t>(v)] < edges.size()) {
-      const auto e = edges[ctx.next_edge[static_cast<std::size_t>(v)]];
+    std::uint32_t& next = ctx.next_edge_ref(v);
+    while (next < edges.size()) {
+      const auto e = edges[next];
       ++ops;
-      const NodeId w = residual.head(e);
+      const NodeId w = heads[next];
       if (residual.residual(e) > 0 &&
-          ctx.level[static_cast<std::size_t>(w)] ==
-              ctx.level[static_cast<std::size_t>(v)] + 1) {
+          ctx.level_of(w) == ctx.level_of(v) + 1) {
         ctx.path.push_back(e);
         v = w;
         advanced = true;
         break;
       }
-      ++ctx.next_edge[static_cast<std::size_t>(v)];
+      ++next;
     }
     if (advanced) continue;
     // Dead end: retreat (or give up if we are back at the source).
-    ctx.level[static_cast<std::size_t>(v)] = -1;  // prune from this phase
+    ctx.set_level(v, -1);  // prune from this phase
     if (ctx.path.empty()) return 0;
     v = residual.tail(ctx.path.back());
     ctx.path.pop_back();
-    ++ctx.next_edge[static_cast<std::size_t>(v)];
+    ++ctx.next_edge_ref(v);
   }
 }
 
 /// Runs Dinic phases over the context's residual until no augmenting path
-/// remains. Returns only the newly advanced flow in `value`.
+/// remains. Returns only the newly advanced flow in `value`. The
+/// next_edge reset between phases is an O(1) epoch bump (begin_phase), not
+/// an O(n) fill — on sparse giants the whole solve touches only the nodes
+/// the BFS and DFS actually reach.
 MaxFlowResult dinic_phases(ScheduleContext& ctx, NodeId source, NodeId sink) {
   MaxFlowResult result;
-  const std::size_t n = ctx.residual.node_count();
-  ctx.next_edge.resize(n);
+  ctx.ensure_nodes(ctx.residual.node_count());
   while (bfs_levels(ctx.residual, ctx, source, sink, result.operations)) {
-    std::fill(ctx.next_edge.begin(), ctx.next_edge.end(), 0);
+    ctx.begin_phase();
     ++result.phases;
     while (true) {
       const Capacity pushed =
@@ -102,6 +116,7 @@ MaxFlowResult dinic_phases(ScheduleContext& ctx, NodeId source, NodeId sink) {
       ++result.augmentations;
     }
   }
+  result.scratch_resets = ctx.take_scratch_resets();
   return result;
 }
 
@@ -114,6 +129,7 @@ void record_solve(const SolverObs& obs, const MaxFlowResult& result, bool warm,
   obs.phases->add(result.phases);
   obs.augmentations->add(result.augmentations);
   obs.operations->add(result.operations);
+  obs.scratch_resets->add(result.scratch_resets);
   (warm ? obs.warm_cycles : obs.cold_rebuilds)->add(1);
   if (cancelled > 0) obs.repair_cancelled->add(cancelled);
 }

@@ -15,6 +15,7 @@
 //    arrivals/releases/faults (capacity changes), and augments to maximum.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "flow/network.hpp"
 #include "flow/residual.hpp"
 #include "obs/metrics.hpp"
+#include "util/bitset.hpp"
 
 namespace rsin::flow {
 
@@ -39,6 +41,8 @@ struct SolverObs {
   obs::Counter* cold_rebuilds = nullptr;
   obs::Counter* repair_cancelled = nullptr;
 
+  obs::Counter* scratch_resets = nullptr;
+
   void bind(obs::Registry& registry) {
     phases = &registry.counter("flow.bfs_phases");
     augmentations = &registry.counter("flow.augmentations");
@@ -46,6 +50,7 @@ struct SolverObs {
     warm_cycles = &registry.counter("flow.warm_cycles");
     cold_rebuilds = &registry.counter("flow.cold_rebuilds");
     repair_cancelled = &registry.counter("flow.repair_cancelled");
+    scratch_resets = &registry.counter("flow.scratch_resets");
   }
 
   void clear() { *this = SolverObs{}; }
@@ -86,11 +91,101 @@ class ScheduleContext {
   WarmStats stats;
   SolverObs obs;  ///< Optional instrument binding (observation-only).
 
-  // Scratch buffers (owned here so solvers never allocate).
-  std::vector<int> level;
-  std::vector<std::size_t> next_edge;
-  std::vector<ResidualGraph::EdgeId> path;
-  std::vector<NodeId> bfs_queue;
+  // --- solver scratch (owned here so solvers never allocate) -------------
+  //
+  // The level and next_edge arrays are epoch-stamped (DESIGN.md §11): a
+  // slot is valid only while its stamp equals the current epoch, so
+  // begin_bfs()/begin_phase() reset the whole array in O(1) by bumping the
+  // epoch, and the per-solve cost is O(nodes touched) instead of the
+  // O(n)-per-phase std::fill the scalar path pays. The BFS frontier lives
+  // in word-packed bit sets, 64 nodes per word.
+
+  std::vector<ResidualGraph::EdgeId> path;  ///< Current augmenting path.
+  util::BitSet frontier;       ///< Current BFS layer, one bit per node.
+  util::BitSet next_frontier;  ///< BFS layer under construction.
+
+  /// Sizes the scratch for an n-node residual graph. O(1) when the size is
+  /// unchanged (the steady-state warm case); a full O(n) re-init otherwise.
+  void ensure_nodes(std::size_t n) {
+    if (n == scratch_nodes_) return;
+    level_.resize(n);
+    next_edge_.resize(n);
+    level_stamp_.assign(n, 0);
+    next_stamp_.assign(n, 0);
+    // An augmenting path visits each level once, so n bounds its length;
+    // reserving up front keeps even the first long zig-zag path of a warm
+    // solve allocation-free.
+    path.reserve(n);
+    bfs_epoch_ = 0;
+    phase_epoch_ = 0;
+    frontier.resize(n);
+    frontier.clear_all();
+    next_frontier.resize(n);
+    next_frontier.clear_all();
+    scratch_nodes_ = n;
+  }
+
+  /// Invalidates every level in O(1) (epoch bump; wrap falls back to a
+  /// full stamp clear once every 2^32 BFS runs).
+  void begin_bfs() {
+    if (++bfs_epoch_ == 0) {
+      std::fill(level_stamp_.begin(), level_stamp_.end(), 0);
+      bfs_epoch_ = 1;
+    }
+  }
+
+  /// Invalidates every next_edge cursor in O(1).
+  void begin_phase() {
+    if (++phase_epoch_ == 0) {
+      std::fill(next_stamp_.begin(), next_stamp_.end(), 0);
+      phase_epoch_ = 1;
+    }
+  }
+
+  /// BFS level of `v` in the current epoch; -1 when unvisited.
+  [[nodiscard]] int level_of(NodeId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return level_stamp_[i] == bfs_epoch_ ? level_[i] : -1;
+  }
+
+  void set_level(NodeId v, int level) {
+    const auto i = static_cast<std::size_t>(v);
+    if (level_stamp_[i] != bfs_epoch_) {
+      level_stamp_[i] = bfs_epoch_;
+      ++scratch_resets_;
+    }
+    level_[i] = level;
+  }
+
+  /// Mutable DFS resume cursor of `v` for the current phase, lazily
+  /// initialized to 0 on first touch per phase.
+  [[nodiscard]] std::uint32_t& next_edge_ref(NodeId v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (next_stamp_[i] != phase_epoch_) {
+      next_stamp_[i] = phase_epoch_;
+      next_edge_[i] = 0;
+      ++scratch_resets_;
+    }
+    return next_edge_[i];
+  }
+
+  /// Scratch slots stamped since the last call (feeds
+  /// MaxFlowResult::scratch_resets).
+  [[nodiscard]] std::int64_t take_scratch_resets() {
+    const std::int64_t out = scratch_resets_;
+    scratch_resets_ = 0;
+    return out;
+  }
+
+ private:
+  std::vector<int> level_;
+  std::vector<std::uint32_t> level_stamp_;
+  std::vector<std::uint32_t> next_edge_;
+  std::vector<std::uint32_t> next_stamp_;
+  std::uint32_t bfs_epoch_ = 0;    // level_ slots valid iff stamp matches
+  std::uint32_t phase_epoch_ = 0;  // next_edge_ slots valid iff stamp matches
+  std::size_t scratch_nodes_ = 0;  // size the scratch is currently built for
+  std::int64_t scratch_resets_ = 0;
 };
 
 /// Dinic's algorithm using (only) the context's buffers: functionally the

@@ -1,0 +1,110 @@
+// Grow-only bump arena for per-cycle solver scratch (DESIGN.md §11).
+//
+// The warm scheduling hot path needs short-lived arrays — the CSR fill
+// cursor of ResidualGraph::rebuild, the repair path of sync_capacities —
+// whose lifetime is one call. Allocating them from this arena instead of
+// per-call vectors means the first cycle pays the heap allocation and every
+// later cycle bump-allocates out of retained chunks: reset() rewinds the
+// arena without releasing memory, so a steady-state warm cycle performs
+// zero heap allocations (asserted by bench_dinic_scale's heap probe).
+//
+// Chunks are kept in a list and never move, so spans handed out earlier in
+// the same cycle stay valid while later allocations grow the arena. Only
+// trivially-destructible element types are supported — reset() rewinds the
+// bump pointer and never runs destructors.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::util {
+
+class Arena {
+ public:
+  Arena() = default;
+  // Arena contents are transient scratch: copies start empty (and a copy
+  // assignment just rewinds), so owning objects stay copyable without
+  // aliasing each other's chunks.
+  Arena(const Arena&) {}
+  Arena& operator=(const Arena&) {
+    reset();
+    return *this;
+  }
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Uninitialized span of `n` Ts, valid until the next reset().
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "arena storage is rewound, never destroyed");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported");
+    if (n == 0) return {};
+    return {reinterpret_cast<T*>(raw(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Zero-filled span of `n` Ts.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_zeroed(std::size_t n) {
+    auto out = alloc<T>(n);
+    if (!out.empty()) std::memset(out.data(), 0, out.size_bytes());
+    return out;
+  }
+
+  /// Rewinds to empty, retaining every chunk for reuse.
+  void reset() {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  std::byte* raw(std::size_t bytes, std::size_t align) {
+    while (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      // operator new[] storage is max_align_t-aligned, so aligning the
+      // offset aligns the pointer.
+      const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.size) {
+        offset_ = aligned + bytes;
+        return c.data.get() + aligned;
+      }
+      ++chunk_;
+      offset_ = 0;
+    }
+    const std::size_t last = chunks_.empty() ? 0 : chunks_.back().size;
+    const std::size_t size = std::max({bytes, 2 * last, kMinChunkBytes});
+    chunks_.push_back({std::make_unique_for_overwrite<std::byte[]>(size), size});
+    chunk_ = chunks_.size() - 1;
+    offset_ = bytes;
+    return chunks_.back().data.get();
+  }
+
+  static constexpr std::size_t kMinChunkBytes = 4096;
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // chunk currently bump-allocating from
+  std::size_t offset_ = 0;  // next free byte within that chunk
+};
+
+}  // namespace rsin::util

@@ -1,0 +1,204 @@
+// Word-packed bit set for the scheduling hot path (DESIGN.md §11).
+//
+// One std::uint64_t word covers 64 nodes, so BFS frontier and visited sets
+// over million-node residual graphs fit in ~2 MB and reset in microseconds.
+// Two properties matter for the solvers:
+//
+//  * lowbit / ctz iteration — for_each_set() walks only the set bits of a
+//    word (clearing the lowest set bit each step), so iterating a sparse
+//    frontier costs O(set bits), not O(universe);
+//  * a touched-word window — set() tracks the lowest and highest dirty
+//    word, and clear() zeroes only that range. A BFS layer over a
+//    contiguously-numbered stage of an Omega/Clos network clears in
+//    O(layer/64) regardless of how many nodes the graph has.
+//
+// Invariant: every set bit lies inside [lo_, hi_] (the window), and bits at
+// positions >= size() are zero. Bulk and/or/and_not preserve both.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::util {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t n) { resize(n); }
+
+  /// Number of addressable bits.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Grows or shrinks to `n` bits. Surviving bits keep their values; newly
+  /// exposed bits are zero. Allocation-free when shrinking or re-growing
+  /// within previously reached capacity.
+  void resize(std::size_t n) {
+    const std::size_t w = words_for(n);
+    words_.resize(w, 0);
+    size_ = n;
+    if (w > 0) {
+      // Mask tail bits beyond size so count()/any() stay exact.
+      const std::size_t tail = n % 64;
+      if (tail != 0) words_[w - 1] &= (std::uint64_t{1} << tail) - 1;
+    }
+    if (hi_ >= w) hi_ = w == 0 ? 0 : w - 1;
+    if (lo_ > hi_) reset_window();
+  }
+
+  void set(std::size_t i) {
+    RSIN_REQUIRE(i < size_, "BitSet::set out of range");
+    const std::size_t w = i / 64;
+    words_[w] |= std::uint64_t{1} << (i % 64);
+    if (!dirty_) {
+      lo_ = hi_ = w;
+      dirty_ = true;
+    } else {
+      if (w < lo_) lo_ = w;
+      if (w > hi_) hi_ = w;
+    }
+  }
+
+  void reset(std::size_t i) {
+    RSIN_REQUIRE(i < size_, "BitSet::reset out of range");
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    RSIN_REQUIRE(i < size_, "BitSet::test out of range");
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  /// Zeroes only the touched-word window — O(words dirtied since the last
+  /// clear), the per-BFS-layer reset of the hot path.
+  void clear() {
+    if (dirty_) {
+      for (std::size_t w = lo_; w <= hi_; ++w) words_[w] = 0;
+    }
+    reset_window();
+  }
+
+  /// Zeroes everything, window or not. O(size/64).
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+    reset_window();
+  }
+
+  [[nodiscard]] bool any() const {
+    if (!dirty_) return false;
+    for (std::size_t w = lo_; w <= hi_; ++w) {
+      if (words_[w] != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    if (!dirty_) return 0;
+    for (std::size_t w = lo_; w <= hi_; ++w) {
+      total += static_cast<std::size_t>(std::popcount(words_[w]));
+    }
+    return total;
+  }
+
+  /// Index of the lowest set bit, or size() when empty.
+  [[nodiscard]] std::size_t find_first() const {
+    if (!dirty_) return size_;
+    for (std::size_t w = lo_; w <= hi_; ++w) {
+      if (words_[w] != 0) {
+        return w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+      }
+    }
+    return size_;
+  }
+
+  /// Calls `f(index)` for every set bit in ascending order: per word,
+  /// peel the lowest set bit with ctz until the word is exhausted.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    if (!dirty_) return;
+    for (std::size_t w = lo_; w <= hi_; ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        f(w * 64 + bit);
+        word &= word - 1;  // drop lowbit
+      }
+    }
+  }
+
+  /// Bulk union; windows merge. Sizes must match.
+  BitSet& operator|=(const BitSet& other) {
+    RSIN_REQUIRE(size_ == other.size_, "BitSet size mismatch");
+    if (other.dirty_) {
+      for (std::size_t w = other.lo_; w <= other.hi_; ++w) {
+        words_[w] |= other.words_[w];
+      }
+      if (!dirty_) {
+        lo_ = other.lo_, hi_ = other.hi_, dirty_ = true;
+      } else {
+        lo_ = std::min(lo_, other.lo_), hi_ = std::max(hi_, other.hi_);
+      }
+    }
+    return *this;
+  }
+
+  /// Bulk intersection. Only this window can hold set bits, so it suffices
+  /// to AND across it (other's words outside its own window are zero).
+  BitSet& operator&=(const BitSet& other) {
+    RSIN_REQUIRE(size_ == other.size_, "BitSet size mismatch");
+    if (dirty_) {
+      for (std::size_t w = lo_; w <= hi_; ++w) words_[w] &= other.words_[w];
+    }
+    return *this;
+  }
+
+  /// Bulk clear: removes every bit set in `other` (this &= ~other).
+  BitSet& and_not(const BitSet& other) {
+    RSIN_REQUIRE(size_ == other.size_, "BitSet size mismatch");
+    if (dirty_ && other.dirty_) {
+      const std::size_t from = std::max(lo_, other.lo_);
+      const std::size_t to = std::min(hi_, other.hi_);
+      if (from <= to) {
+        for (std::size_t w = from; w <= to; ++w) words_[w] &= ~other.words_[w];
+      }
+    }
+    return *this;
+  }
+
+  friend void swap(BitSet& a, BitSet& b) noexcept {
+    std::swap(a.words_, b.words_);
+    std::swap(a.size_, b.size_);
+    std::swap(a.lo_, b.lo_);
+    std::swap(a.hi_, b.hi_);
+    std::swap(a.dirty_, b.dirty_);
+  }
+
+  /// Lowest set bit of a word (0 when none) — the lowbit idiom.
+  [[nodiscard]] static constexpr std::uint64_t lowbit(std::uint64_t w) {
+    return w & (~w + 1);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t words_for(std::size_t n) {
+    return (n + 63) / 64;
+  }
+  void reset_window() {
+    lo_ = 0;
+    hi_ = 0;
+    dirty_ = false;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  // Touched-word window: meaningful only while dirty_ is true.
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace rsin::util

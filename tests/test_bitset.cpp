@@ -1,0 +1,223 @@
+// util::BitSet (word-packed, windowed clear, lowbit iteration) and
+// util::Arena (grow-only bump scratch) — the compact-representation
+// primitives of DESIGN.md §11.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rsin::util::Arena;
+using rsin::util::BitSet;
+
+std::vector<std::size_t> collect(const BitSet& bits) {
+  std::vector<std::size_t> out;
+  bits.for_each_set([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+TEST(BitSet, SetTestResetRoundTrip) {
+  BitSet bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.count(), 0u);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(BitSet, WordBoundarySizes63And64And65) {
+  for (const std::size_t n : {63u, 64u, 65u}) {
+    BitSet bits(n);
+    for (std::size_t i = 0; i < n; ++i) bits.set(i);
+    EXPECT_EQ(bits.count(), n) << "n=" << n;
+    // Every bit individually visible and iterated exactly once.
+    std::vector<std::size_t> expect(n);
+    std::iota(expect.begin(), expect.end(), 0u);
+    EXPECT_EQ(collect(bits), expect) << "n=" << n;
+    bits.reset(n - 1);
+    EXPECT_EQ(bits.count(), n - 1) << "n=" << n;
+    EXPECT_EQ(bits.find_first(), 0u);
+    bits.clear();
+    EXPECT_FALSE(bits.any()) << "n=" << n;
+    EXPECT_EQ(bits.find_first(), n) << "n=" << n;
+  }
+}
+
+TEST(BitSet, ForEachSetIsAscendingLowbitOrder) {
+  BitSet bits(400);
+  const std::vector<std::size_t> want = {3, 62, 63, 64, 65, 127, 128, 321};
+  // Insert out of order; iteration must come back sorted.
+  bits.set(128);
+  bits.set(3);
+  bits.set(65);
+  bits.set(63);
+  bits.set(321);
+  bits.set(62);
+  bits.set(64);
+  bits.set(127);
+  EXPECT_EQ(collect(bits), want);
+  EXPECT_EQ(bits.find_first(), 3u);
+}
+
+TEST(BitSet, WindowedClearDropsEverySetBit) {
+  BitSet bits(1 << 12);
+  rsin::util::Rng rng(20260807);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::size_t> set_bits;
+    const auto count = rng.uniform_int(0, 40);
+    for (std::int64_t i = 0; i < count; ++i) {
+      const auto bit = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bits.size()) - 1));
+      bits.set(bit);
+      set_bits.push_back(bit);
+    }
+    for (const std::size_t bit : set_bits) EXPECT_TRUE(bits.test(bit));
+    bits.clear();  // windowed: must still erase everything
+    EXPECT_FALSE(bits.any()) << "round " << round;
+    EXPECT_EQ(bits.count(), 0u);
+    for (const std::size_t bit : set_bits) EXPECT_FALSE(bits.test(bit));
+  }
+}
+
+TEST(BitSet, BulkOrAndAndNotMatchScalar) {
+  constexpr std::size_t kN = 300;
+  rsin::util::Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    BitSet a(kN);
+    BitSet b(kN);
+    std::vector<bool> ra(kN, false);
+    std::vector<bool> rb(kN, false);
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (rng.bernoulli(0.3)) {
+        a.set(i);
+        ra[i] = true;
+      }
+      if (rng.bernoulli(0.3)) {
+        b.set(i);
+        rb[i] = true;
+      }
+    }
+    BitSet u = a;
+    u |= b;
+    BitSet n = a;
+    n &= b;
+    BitSet d = a;
+    d.and_not(b);
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(u.test(i), ra[i] || rb[i]) << i;
+      EXPECT_EQ(n.test(i), ra[i] && rb[i]) << i;
+      EXPECT_EQ(d.test(i), ra[i] && !rb[i]) << i;
+    }
+  }
+}
+
+TEST(BitSet, ResizePreservesLowBitsAndZeroesNewOnes) {
+  BitSet bits(70);
+  bits.set(0);
+  bits.set(69);
+  bits.resize(200);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_FALSE(bits.test(70));
+  EXPECT_FALSE(bits.test(199));
+  bits.set(199);
+  bits.resize(70);  // shrink must mask the tail so count() stays exact
+  EXPECT_EQ(bits.count(), 2u);
+  bits.resize(200);
+  EXPECT_FALSE(bits.test(199));
+}
+
+TEST(BitSet, SwapExchangesContents) {
+  BitSet a(100);
+  BitSet b(200);
+  a.set(7);
+  b.set(150);
+  swap(a, b);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_TRUE(a.test(150));
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.test(7));
+}
+
+TEST(BitSet, LowbitHelper) {
+  EXPECT_EQ(BitSet::lowbit(0b1011000u), 0b0001000u);
+  EXPECT_EQ(BitSet::lowbit(1), 1u);
+  EXPECT_EQ(BitSet::lowbit(0), 0u);
+  EXPECT_EQ(BitSet::lowbit(std::uint64_t{1} << 63), std::uint64_t{1} << 63);
+}
+
+// --- arena ----------------------------------------------------------------
+
+TEST(BitSetArena, SpansStayValidAcrossGrowth) {
+  Arena arena;
+  const auto first = arena.alloc<std::int64_t>(16);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    first[i] = static_cast<std::int64_t>(i);
+  }
+  // Force several growth chunks; the first span must not move.
+  for (int i = 0; i < 8; ++i) {
+    const auto big = arena.alloc<std::int64_t>(1 << 12);
+    big[0] = i;
+  }
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(BitSetArena, ResetReusesWithoutGrowing) {
+  Arena arena;
+  (void)arena.alloc_zeroed<std::uint32_t>(1000);
+  (void)arena.alloc<std::size_t>(500);
+  const std::size_t chunks = arena.chunk_count();
+  const std::size_t capacity = arena.capacity_bytes();
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    arena.reset();
+    const auto a = arena.alloc_zeroed<std::uint32_t>(1000);
+    const auto b = arena.alloc<std::size_t>(500);
+    EXPECT_EQ(a.size(), 1000u);
+    EXPECT_EQ(b.size(), 500u);
+    for (const std::uint32_t x : a) EXPECT_EQ(x, 0u);
+  }
+  EXPECT_EQ(arena.chunk_count(), chunks);
+  EXPECT_EQ(arena.capacity_bytes(), capacity);
+}
+
+TEST(BitSetArena, AlignmentIsRespectedAcrossMixedTypes) {
+  Arena arena;
+  for (int i = 0; i < 50; ++i) {
+    const auto bytes = arena.alloc<std::uint8_t>(static_cast<std::size_t>(i) % 7 + 1);
+    (void)bytes;
+    const auto wide = arena.alloc<std::int64_t>(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide.data()) % alignof(std::int64_t),
+              0u);
+    wide[0] = i;  // must not fault or tear
+  }
+}
+
+TEST(BitSetArena, CopiesStartEmptyAndZeroLengthIsFine) {
+  Arena arena;
+  (void)arena.alloc<std::uint32_t>(64);
+  Arena copy = arena;  // scratch is transient: copies start empty
+  EXPECT_EQ(copy.chunk_count(), 0u);
+  const auto none = copy.alloc<std::uint32_t>(0);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(copy.chunk_count(), 0u);  // zero-length alloc allocates nothing
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+// Asymptotic regression and differential suite for the compact bit-parallel
+// Dinic hot path (DESIGN.md §11, EXPERIMENTS.md E23):
+//  * per-solve work must not scale with the number of nodes a solve never
+//    touches (the epoch-stamp fix for the O(n) per-phase fills);
+//  * residual repair through a high-degree hub must not rescan the hub's
+//    adjacency from the start for every cancelled unit (the shed-cursor fix);
+//  * the bit-parallel solver must be *bitwise* identical to the scalar
+//    reference — same value, phases, augmentations, and per-arc flow;
+//  * the word-packed frontier must survive exact word boundaries;
+//  * the whole path must hold up at million-node scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/transform.hpp"
+#include "flow/max_flow.hpp"
+#include "flow/schedule_context.hpp"
+#include "test_helpers.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+// Sanitizer builds run the same logic at reduced scale: the asymptotic
+// claims are already pinned by the regular build, and e.g. tsan multiplies
+// memory several-fold.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RSIN_DINIC_SCALE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RSIN_DINIC_SCALE_SANITIZED 1
+#endif
+#endif
+
+namespace {
+
+using namespace rsin;
+
+/// Per-arc flow assignments (and the run statistics that determine them)
+/// must match exactly — "same value" is not enough for the bit-parallel
+/// claim.
+void expect_bitwise_equal(const flow::MaxFlowResult& got_result,
+                          const flow::FlowNetwork& got,
+                          const flow::MaxFlowResult& want_result,
+                          const flow::FlowNetwork& want,
+                          const std::string& context) {
+  EXPECT_EQ(got_result.value, want_result.value) << context;
+  EXPECT_EQ(got_result.phases, want_result.phases) << context;
+  EXPECT_EQ(got_result.augmentations, want_result.augmentations) << context;
+  ASSERT_EQ(got.arc_count(), want.arc_count()) << context;
+  for (std::size_t a = 0; a < got.arc_count(); ++a) {
+    ASSERT_EQ(got.arc(static_cast<flow::ArcId>(a)).flow,
+              want.arc(static_cast<flow::ArcId>(a)).flow)
+        << context << " arc " << a;
+  }
+}
+
+// --- epoch-stamp regression (satellite 1) ---------------------------------
+
+/// An identical small active component in front of `tail` isolated nodes.
+/// The same seed builds the same component regardless of the tail, so any
+/// per-round difference in solver work between tail sizes is work spent on
+/// nodes the solve never reaches.
+flow::FlowNetwork make_sparse_giant(std::size_t tail) {
+  util::Rng rng(20260807);
+  flow::FlowNetwork net = test::random_layered_network(
+      rng, /*layers=*/4, /*width=*/6, /*density=*/0.7, /*max_cap=*/3);
+  for (std::size_t i = 0; i < tail; ++i) net.add_node();
+  return net;
+}
+
+using RoundRecord = std::tuple<flow::Capacity, std::int64_t, std::int64_t,
+                               std::int64_t, std::int64_t>;
+
+std::vector<RoundRecord> drive_sparse_giant(std::size_t tail) {
+  flow::FlowNetwork net = make_sparse_giant(tail);
+  flow::ScheduleContext ctx;
+  util::Rng rng(424242);  // identical mutation stream for every tail size
+  std::vector<RoundRecord> records;
+  for (int round = 0; round < 15; ++round) {
+    if (round > 0) {
+      const auto mutations = rng.uniform_int(1, 4);
+      for (std::int64_t m = 0; m < mutations; ++m) {
+        const auto arc = static_cast<flow::ArcId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(net.arc_count()) - 1));
+        net.set_capacity(arc,
+                         static_cast<flow::Capacity>(rng.uniform_int(0, 3)));
+      }
+    }
+    const flow::MaxFlowResult r = flow::warm_max_flow_dinic(net, ctx);
+    records.emplace_back(r.value, r.phases, r.augmentations, r.operations,
+                         r.scratch_resets);
+  }
+  return records;
+}
+
+TEST(DinicScale, SolverWorkIsIndependentOfUntouchedNodes) {
+  // 10^3 vs 10^5 isolated tail nodes around the same active component. The
+  // old hot path did an O(n) std::fill per BFS and an O(n) next_edge refill
+  // per phase, so the big tail would have inflated `operations`-adjacent
+  // work 100x; with epoch stamps every per-round statistic — including the
+  // explicit count of scratch slots touched — must be *equal*.
+  const std::vector<RoundRecord> small = drive_sparse_giant(1000);
+  const std::vector<RoundRecord> large = drive_sparse_giant(100000);
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t round = 0; round < small.size(); ++round) {
+    EXPECT_EQ(small[round], large[round]) << "round " << round;
+  }
+}
+
+// --- shed-cursor regression (satellite 2) ---------------------------------
+
+TEST(DinicScale, HubRepairDoesNotRescanHubAdjacencyPerUnit) {
+#ifdef RSIN_DINIC_SCALE_SANITIZED
+  const std::int64_t spokes = 3000;
+#else
+  const std::int64_t spokes = 60000;
+#endif
+  // Star: s -> a_i -> h -> b_i -> t, all unit capacity. Every flow unit
+  // passes through hub h, whose residual adjacency has 2*spokes edges.
+  flow::FlowNetwork net;
+  const flow::NodeId s = net.add_node("s");
+  const flow::NodeId t = net.add_node("t");
+  const flow::NodeId h = net.add_node("h");
+  net.set_source(s);
+  net.set_sink(t);
+  std::vector<flow::ArcId> hub_out;
+  hub_out.reserve(static_cast<std::size_t>(spokes));
+  for (std::int64_t i = 0; i < spokes; ++i) {
+    const flow::NodeId a = net.add_node();
+    const flow::NodeId b = net.add_node();
+    net.add_arc(s, a, 1);
+    net.add_arc(a, h, 1);
+    hub_out.push_back(net.add_arc(h, b, 1));
+    net.add_arc(b, t, 1);
+  }
+
+  flow::ScheduleContext ctx;
+  ASSERT_EQ(flow::warm_max_flow_dinic(net, ctx).value, spokes);
+
+  // Kill every other hub->b_i arc that carries flow. sync_capacities must
+  // shed spokes/2 units, each via a backward walk from h; without the
+  // per-node cursor each walk rescans the hub's already-drained edges from
+  // index 0 — O(spokes^2) inspections, minutes at this size.
+  for (std::size_t i = 0; i < hub_out.size(); i += 2) {
+    net.set_capacity(hub_out[i], 0);
+  }
+  const flow::MaxFlowResult warm = flow::warm_max_flow_dinic(net, ctx);
+  EXPECT_EQ(warm.value, spokes / 2);
+  EXPECT_EQ(ctx.stats.repair_cancelled, spokes / 2);
+
+  flow::FlowNetwork cold = net;
+  cold.clear_flow();
+  EXPECT_EQ(flow::max_flow_dinic(cold).value, spokes / 2);
+}
+
+// --- differential property suite (satellite 4) ----------------------------
+
+TEST(DinicScale, ColdContextBitwiseMatchesScalarOnRandomNetworks) {
+  util::Rng rng(20260806);
+  flow::ScheduleContext ctx;  // reused: stale scratch must never leak through
+  for (int instance = 0; instance < 40; ++instance) {
+    flow::FlowNetwork net = test::random_layered_network(
+        rng, static_cast<int>(rng.uniform_int(1, 5)),
+        static_cast<int>(rng.uniform_int(2, 7)), 0.6, 4);
+    flow::FlowNetwork reference = net;
+    ctx.invalidate();
+    const flow::MaxFlowResult got = flow::max_flow_dinic(net, ctx);
+    const flow::MaxFlowResult want = flow::max_flow_dinic(reference);
+    expect_bitwise_equal(got, net, want, reference,
+                         "instance " + std::to_string(instance));
+  }
+}
+
+TEST(DinicScale, TransformedTopologiesBitwiseMatchScalarUnderFaults) {
+  std::vector<topo::Network> fabrics;
+  fabrics.push_back(topo::make_omega(16));
+  fabrics.push_back(topo::make_butterfly(16));
+  fabrics.push_back(topo::make_clos(4, 5, 4));
+  util::Rng rng(20260808);
+  flow::ScheduleContext ctx;
+  for (std::size_t f = 0; f < fabrics.size(); ++f) {
+    topo::Network& fabric = fabrics[f];
+    for (int round = 0; round < 15; ++round) {
+      if (rng.bernoulli(0.4)) {
+        const auto link = static_cast<topo::LinkId>(
+            rng.uniform_int(0, fabric.link_count() - 1));
+        if (fabric.link_failed(link)) {
+          fabric.repair_link(link);
+        } else {
+          fabric.fail_link(link);
+        }
+      }
+      const core::Problem problem =
+          test::random_problem(rng, fabric, 0.6, 0.6);
+      core::TransformResult bitpar = core::transformation1(problem);
+      core::TransformResult scalar = core::transformation1(problem);
+      ctx.invalidate();
+      const flow::MaxFlowResult got = flow::max_flow_dinic(bitpar.net, ctx);
+      const flow::MaxFlowResult want = flow::max_flow_dinic(scalar.net);
+      expect_bitwise_equal(got, bitpar.net, want, scalar.net,
+                           "fabric " + std::to_string(f) + " round " +
+                               std::to_string(round));
+    }
+  }
+}
+
+TEST(DinicScale, WarmPersistentTransformMatchesScalarValueUnderFaults) {
+  topo::Network fabric = topo::make_omega(16);
+  core::PersistentTransform persistent;
+  persistent.build(fabric);
+  flow::ScheduleContext ctx;
+  util::Rng rng(20260809);
+  for (int round = 0; round < 40; ++round) {
+    if (rng.bernoulli(0.3)) {
+      const auto link = static_cast<topo::LinkId>(
+          rng.uniform_int(0, fabric.link_count() - 1));
+      if (fabric.link_failed(link)) {
+        fabric.repair_link(link);
+      } else {
+        fabric.fail_link(link);
+      }
+    }
+    const core::Problem problem = test::random_problem(rng, fabric, 0.5, 0.5);
+    persistent.update(problem);
+    const flow::Capacity warm =
+        flow::warm_max_flow_dinic(persistent.result().net, ctx).value;
+    core::TransformResult cold = core::transformation1(problem);
+    EXPECT_EQ(warm, flow::max_flow_dinic(cold.net).value)
+        << "round " << round;
+  }
+  EXPECT_GT(ctx.stats.warm_cycles, 0);
+}
+
+TEST(DinicScale, WordBoundaryNodeCounts) {
+  // Exactly 63 / 64 / 65 nodes: the frontier bit sets must handle a full
+  // top word, an exactly-full word, and one bit spilling into a new word.
+  util::Rng rng(63646565);
+  flow::ScheduleContext ctx;
+  for (const int nodes : {63, 64, 65}) {
+    for (int instance = 0; instance < 10; ++instance) {
+      flow::FlowNetwork net = test::random_layered_network(
+          rng, /*layers=*/1, /*width=*/nodes - 2, 0.2, 3);
+      ASSERT_EQ(net.node_count(), static_cast<std::size_t>(nodes));
+      flow::FlowNetwork reference = net;
+      ctx.invalidate();
+      const flow::MaxFlowResult got = flow::max_flow_dinic(net, ctx);
+      const flow::MaxFlowResult want = flow::max_flow_dinic(reference);
+      expect_bitwise_equal(got, net, want, reference,
+                           "n=" + std::to_string(nodes) + " instance " +
+                               std::to_string(instance));
+    }
+  }
+}
+
+// --- million-node smoke (satellite 4, ctest-tagged) -----------------------
+
+TEST(DinicScale, MillionNodeSmoke) {
+#ifdef RSIN_DINIC_SCALE_SANITIZED
+  const std::int32_t n = 1 << 9;
+#else
+  const std::int32_t n = 1 << 17;  // ~1.4M flow nodes after transformation1
+#endif
+  const topo::Network fabric = topo::make_omega(n);
+  std::vector<topo::ProcessorId> requesting(static_cast<std::size_t>(n));
+  std::vector<topo::ResourceId> available(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    requesting[static_cast<std::size_t>(i)] = i;
+    available[static_cast<std::size_t>(i)] = i;
+  }
+  const core::Problem problem =
+      core::make_problem(fabric, requesting, available);
+  core::TransformResult transformed = core::transformation1(problem);
+#ifndef RSIN_DINIC_SCALE_SANITIZED
+  ASSERT_GE(transformed.net.node_count(), 1'000'000u);
+#endif
+
+  flow::FlowNetwork scalar_net = transformed.net;
+  flow::ScheduleContext ctx;
+  const flow::MaxFlowResult got = flow::max_flow_dinic(transformed.net, ctx);
+  // Omega routes the identity permutation, so at full load the fabric
+  // saturates: one unit per processor.
+  EXPECT_EQ(got.value, n);
+  const flow::MaxFlowResult want = flow::max_flow_dinic(scalar_net);
+  expect_bitwise_equal(got, transformed.net, want, scalar_net, "cold solve");
+
+  // Warm repair at scale: withdrawing k requests (source-arc capacity -> 0)
+  // sheds exactly those k unit paths and leaves an (n-k)-valued maximum.
+  const std::int32_t withdrawn = n / 64;
+  std::int32_t dropped = 0;
+  for (const flow::ArcId arc :
+       transformed.net.out_arcs(transformed.net.source())) {
+    if (dropped >= withdrawn) break;
+    transformed.net.set_capacity(arc, 0);
+    ++dropped;
+  }
+  const flow::MaxFlowResult warm =
+      flow::warm_max_flow_dinic(transformed.net, ctx);
+  EXPECT_EQ(warm.value, n - withdrawn);
+  EXPECT_EQ(ctx.stats.repair_cancelled, withdrawn);
+}
+
+}  // namespace
