@@ -1,0 +1,563 @@
+// Fault-injection soak harness for the rsind service (DESIGN.md §12).
+//
+// Extends the PR 6 crash soak (soak_kill) with a hostile disk: every run
+// forks a real rsind daemon with a randomized --fault-spec, so each
+// syscall the journal and snapshot paths issue can fail with ENOSPC/EIO,
+// be torn short, storm EINTR, or die mid-write under a simulated power
+// cut. The daemon's contract under all of that:
+//
+//   - zero acknowledged-command loss: every command the client saw `ok`
+//     for survives any subsequent crash/recovery,
+//   - defined degradation: a failed commit rolls state back to the
+//     durable prefix and refuses mutations with `err code=read-only ...`
+//     (never a wrong answer, never a hang), then re-arms itself once the
+//     disk heals,
+//   - bitwise recovery: after the client has retried every refusal to
+//     `ok`, final per-tenant stats equal an uninterrupted golden run's
+//     stats exactly — every double, counter, and state hash.
+//
+// The harness drives that loop: a golden run per scenario, then N fault
+// schedules per scenario, each interleaved with SIGKILL points (restart
+// rolls a fresh random schedule half the time — disks do not heal just
+// because a process died). A daemon stuck read-only behind a persistent
+// fault (e.g. power cut) gets the runbook treatment: SIGKILL plus a
+// clean-disk `--recover` restart, which must also land bitwise.
+//
+// Emits BENCH_soak_faultfs.json for CI artifact upload. Any stats
+// divergence, lost acknowledgment, failed recovery, unexpected error
+// body, or non-zero drain exits 1.
+//
+// Usage:
+//   soak_faultfs [--scenarios=N] [--schedules=M] [--kills=K] [--seed=S]
+//                [--dir=DIR] [--json=PATH]
+//
+//   --scenarios=N  randomized command scripts (default 20)
+//   --schedules=M  fault schedules per scenario (default 10; the gate
+//                  wants scenarios*schedules >= 200)
+//   --kills=K      SIGKILL points per fault run (default 2)
+//   --seed=S       master seed (default 2026)
+//   --dir=DIR      scratch directory (default /tmp, a subdir is created)
+//   --json=PATH    report path (default BENCH_soak_faultfs.json)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
+#include "util/rng.hpp"
+
+#ifndef RSIND_PATH
+#error "RSIND_PATH must be defined (path to the rsind binary)"
+#endif
+
+namespace {
+
+using namespace rsin;
+
+struct Options {
+  std::int64_t scenarios = 20;
+  std::int64_t schedules = 10;
+  std::int64_t kills = 2;
+  std::uint64_t seed = 2026;
+  std::string dir = "/tmp";
+  std::string json = "BENCH_soak_faultfs.json";
+};
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--scenarios") {
+      options.scenarios = std::stoll(value);
+    } else if (key == "--schedules") {
+      options.schedules = std::stoll(value);
+    } else if (key == "--kills") {
+      options.kills = std::stoll(value);
+    } else if (key == "--seed") {
+      options.seed = std::stoull(value);
+    } else if (key == "--dir") {
+      options.dir = value;
+    } else if (key == "--json") {
+      options.json = value;
+    } else {
+      std::cerr << "usage: soak_faultfs [--scenarios=N] [--schedules=M]"
+                   " [--kills=K] [--seed=S] [--dir=DIR] [--json=PATH]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Tallies that end up in the JSON report.
+struct Totals {
+  std::int64_t fault_runs = 0;
+  std::int64_t commands = 0;
+  std::int64_t kills = 0;
+  std::int64_t refusals_retried = 0;
+  std::int64_t rescue_restarts = 0;
+  std::int64_t duplicate_tenant_acks = 0;
+};
+
+/// One daemon under test: fork/exec of RSIND_PATH on a private socket+dir,
+/// optionally with a --fault-spec hostile disk.
+class Daemon {
+ public:
+  Daemon(std::string socket_path, std::string dir)
+      : socket_path_(std::move(socket_path)), dir_(std::move(dir)) {}
+  ~Daemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+  }
+
+  void start(bool recover, const std::string& fault_spec) {
+    std::cout.flush();  // fork() would duplicate any buffered output.
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: quiet stdout (the harness output is the report).
+      ::freopen("/dev/null", "w", stdout);
+      std::vector<const char*> argv = {
+          RSIND_PATH, "--socket", socket_path_.c_str(), "--dir",
+          dir_.c_str(),
+          // Durable commits so fdatasync faults are on the hot path; tiny
+          // probe backoff so read-only re-arms within the retry budget.
+          "--durable", "--io-probe-backoff-ms", "5", "--poll-timeout-ms",
+          "10"};
+      if (recover) argv.push_back("--recover");
+      if (!fault_spec.empty()) {
+        argv.push_back("--fault-spec");
+        argv.push_back(fault_spec.c_str());
+      }
+      argv.push_back(nullptr);
+      ::execv(RSIND_PATH, const_cast<char* const*>(argv.data()));
+      ::_exit(127);
+    }
+    if (pid < 0) {
+      std::cerr << "fork failed\n";
+      std::exit(1);
+    }
+    pid_ = pid;
+  }
+
+  /// SIGKILL — the crash under test. Reaps the corpse.
+  void kill_hard() {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::cerr << "FAIL: daemon did not die from SIGKILL (status=" << status
+                << ")\n";
+      std::exit(1);
+    }
+  }
+
+  /// SIGTERM — the graceful drain. Must exit 0 even on a hostile disk.
+  bool drain() {
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return socket_path_;
+  }
+
+ private:
+  std::string socket_path_;
+  std::string dir_;
+  pid_t pid_ = -1;
+};
+
+svc::Client make_client(const Daemon& daemon) {
+  svc::ClientOptions options;
+  options.socket_path = daemon.socket_path();
+  options.timeout_ms = 5000;
+  options.retries = 12;   // Daemon restarts ride inside the retry loop.
+  options.backoff_ms = 20;
+  return svc::Client(options);
+}
+
+/// A deterministic command script plus where its stats are read.
+struct Scenario {
+  std::vector<std::string> commands;
+  std::vector<std::string> tenants;
+};
+
+// Same command mix as soak_kill, plus occasional `snapshot` requests so
+// the tmp-write/fsync/rename fault windows sit on the scripted path too.
+Scenario make_scenario(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Scenario scenario;
+
+  static const char* kTopologies[] = {"omega", "baseline", "cube"};
+  static const char* kSchedulers[] = {"breaker", "warm", "dinic", "greedy"};
+  const std::int64_t tenant_count = rng.uniform_int(1, 2);
+  for (std::int64_t t = 0; t < tenant_count; ++t) {
+    const std::string name = "t" + std::to_string(t);
+    const std::string topology = kTopologies[rng.uniform_int(0, 2)];
+    const std::int32_t n = rng.uniform_int(0, 1) == 0 ? 8 : 16;
+    scenario.tenants.push_back(name);
+    scenario.commands.push_back(
+        "tenant name=" + name + " topology=" + topology +
+        " n=" + std::to_string(n) +
+        " seed=" + std::to_string(rng.uniform_int(1, 1 << 20)) +
+        " scheduler=" + kSchedulers[rng.uniform_int(0, 3)] +
+        " max-pending=" + std::to_string(rng.uniform_int(4, 64)));
+  }
+
+  const std::int64_t body = rng.uniform_int(80, 140);
+  std::uint64_t next_id = 1;
+  for (std::int64_t i = 0; i < body; ++i) {
+    const std::string& tenant =
+        scenario.tenants[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(scenario.tenants.size()) - 1))];
+    const std::int64_t roll = rng.uniform_int(0, 99);
+    if (roll < 53) {
+      scenario.commands.push_back(
+          "req tenant=" + tenant + " id=" + std::to_string(next_id++) +
+          " proc=" + std::to_string(rng.uniform_int(0, 7)) +
+          " prio=" + std::to_string(rng.uniform_int(0, 3)));
+    } else if (roll < 83) {
+      scenario.commands.push_back("cycle tenant=" + tenant +
+                                  " id=" + std::to_string(next_id++));
+    } else if (roll < 88) {
+      scenario.commands.push_back("inject-fault tenant=" + tenant +
+                                  " link=" +
+                                  std::to_string(rng.uniform_int(0, 7)));
+    } else if (roll < 93) {
+      scenario.commands.push_back("repair tenant=" + tenant + " link=" +
+                                  std::to_string(rng.uniform_int(0, 7)));
+    } else if (roll < 96) {
+      scenario.commands.push_back(
+          "set tenant=" + tenant +
+          " batch-window=" + std::to_string(rng.uniform_int(1, 3)));
+    } else if (roll < 98) {
+      scenario.commands.push_back(
+          "set tenant=" + tenant +
+          " level=" + std::to_string(rng.uniform_int(0, 2)));
+    } else {
+      scenario.commands.push_back("snapshot");
+    }
+  }
+  // Settle: everything in flight retires, queues drain where they can.
+  for (const std::string& tenant : scenario.tenants) {
+    scenario.commands.push_back("set tenant=" + tenant + " batch-window=1");
+    for (int i = 0; i < 25; ++i) {
+      scenario.commands.push_back("cycle tenant=" + tenant +
+                                  " id=" + std::to_string(next_id++));
+    }
+  }
+  return scenario;
+}
+
+/// One randomized fault schedule in the --fault-spec mini-language. Every
+/// rule is finite (bounded count) except the power cut, whose "disk is
+/// gone until restart" persistence is the point — the rescue-restart path
+/// below is what clears it.
+std::string make_fault_spec(util::Rng& rng) {
+  std::vector<std::string> rules;
+  const std::int64_t rule_count = rng.uniform_int(1, 3);
+  for (std::int64_t r = 0; r < rule_count; ++r) {
+    const std::string after = std::to_string(rng.uniform_int(2, 160));
+    switch (rng.uniform_int(0, 7)) {
+      case 0:
+        rules.push_back("op=write,path=journal,after=" + after + ",count=" +
+                        std::to_string(rng.uniform_int(1, 6)) +
+                        ",err=ENOSPC");
+        break;
+      case 1:
+        rules.push_back("op=write,path=journal,after=" + after + ",count=" +
+                        std::to_string(rng.uniform_int(1, 4)) + ",err=EIO");
+        break;
+      case 2:  // EINTR storm: call sites must absorb it invisibly.
+        rules.push_back("op=write,after=" + after + ",count=" +
+                        std::to_string(rng.uniform_int(5, 40)) +
+                        ",err=EINTR");
+        break;
+      case 3:  // Torn writes: journal framing must shrug them off.
+        rules.push_back("op=write,path=journal,after=" + after + ",count=" +
+                        std::to_string(rng.uniform_int(10, 80)) + ",short=" +
+                        std::to_string(rng.uniform_int(1, 7)));
+        break;
+      case 4:  // Durable mode puts fdatasync on every commit.
+        rules.push_back("op=fdatasync,after=" +
+                        std::to_string(rng.uniform_int(0, 30)) + ",count=" +
+                        std::to_string(rng.uniform_int(1, 3)) + ",err=EIO");
+        break;
+      case 5:  // Snapshot tmp-file and rename fault windows.
+        rules.push_back("op=write,path=.tmp,after=" +
+                        std::to_string(rng.uniform_int(0, 4)) + ",count=" +
+                        std::to_string(rng.uniform_int(1, 3)) +
+                        ",err=ENOSPC");
+        break;
+      case 6:
+        rules.push_back("op=rename,path=snapshot,count=1,err=EIO");
+        break;
+      case 7:  // Power cut mid-journal-write: torn tail, then a dead disk.
+        rules.push_back("op=write,path=journal,after=" + after +
+                        ",count=1,short=" +
+                        std::to_string(rng.uniform_int(0, 5)) + ",cut=1");
+        break;
+    }
+  }
+  std::string spec;
+  for (const std::string& rule : rules) {
+    if (!spec.empty()) spec += ';';
+    spec += rule;
+  }
+  return spec;
+}
+
+[[nodiscard]] bool is_coded_refusal(const std::string& body) {
+  return body.rfind("code=", 0) == 0;
+}
+
+/// Send one command, riding out degraded-mode refusals. Coded refusals
+/// (`err code=read-only ...`, `code=io`, `code=busy`) mean "not applied,
+/// state rolled back" — the client retries until the daemon re-arms. If
+/// the disk never heals (power cut), apply the runbook: SIGKILL and
+/// restart --recover on a clean disk, then retry. The one asymmetry is
+/// `tenant`, the only verb without an idempotent id: a commit that fails
+/// *after* the flush landed leaves the record durable-but-unacknowledged,
+/// so the retry may come back "already exists" — that IS the ack.
+void send_checked(svc::Client& client, Daemon& daemon,
+                  const std::string& command, Totals& totals) {
+  const bool is_tenant = command.rfind("tenant ", 0) == 0;
+  int rescues_left = 4;
+  int attempts_before_rescue = 300;  // ~3s of 10ms waits per rescue.
+  while (true) {
+    const svc::Response reply = client.request(command);
+    if (reply.ok) return;
+    if (is_tenant &&
+        reply.body.find("already exists") != std::string::npos) {
+      // Durable-but-unacknowledged create, replayed at rollback or
+      // recovery; the duplicate refusal is proof it survived.
+      ++totals.duplicate_tenant_acks;
+      return;
+    }
+    if (!is_coded_refusal(reply.body)) {
+      std::cerr << "FAIL: unexpected error for \"" << command
+                << "\": " << reply.body << '\n';
+      std::exit(1);
+    }
+    ++totals.refusals_retried;
+    if (--attempts_before_rescue <= 0) {
+      if (--rescues_left < 0) {
+        std::cerr << "FAIL: \"" << command
+                  << "\" still refused after rescue restarts: " << reply.body
+                  << '\n';
+        std::exit(1);
+      }
+      // Runbook rescue: the disk never healed; replace it (clean spec)
+      // and recover. Acknowledged state must ride through unharmed.
+      daemon.kill_hard();
+      daemon.start(/*recover=*/true, /*fault_spec=*/"");
+      ++totals.rescue_restarts;
+      attempts_before_rescue = 300;
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::vector<std::string> read_stats(svc::Client& client,
+                                    const Scenario& scenario) {
+  std::vector<std::string> stats;
+  for (const std::string& tenant : scenario.tenants) {
+    const svc::Response reply = client.request("stats tenant=" + tenant);
+    if (!reply.ok) {
+      std::cerr << "FAIL: stats refused: " << reply.body << '\n';
+      std::exit(1);
+    }
+    stats.push_back(reply.body);
+  }
+  return stats;
+}
+
+void reset_dir(const std::string& dir) {
+  const std::string command =
+      "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  if (std::system(command.c_str()) != 0) {
+    std::cerr << "FAIL: cannot reset " << dir << '\n';
+    std::exit(1);
+  }
+}
+
+void write_report(const Options& options, const Totals& totals, bool pass) {
+  std::ofstream out(options.json);
+  out << "{\n"
+      << "  \"bench\": \"soak_faultfs\",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << ",\n"
+      << "  \"seed\": " << options.seed << ",\n"
+      << "  \"scenarios\": " << options.scenarios << ",\n"
+      << "  \"schedules_per_scenario\": " << options.schedules << ",\n"
+      << "  \"fault_runs\": " << totals.fault_runs << ",\n"
+      << "  \"commands\": " << totals.commands << ",\n"
+      << "  \"sigkills\": " << totals.kills << ",\n"
+      << "  \"refusals_retried\": " << totals.refusals_retried << ",\n"
+      << "  \"rescue_restarts\": " << totals.rescue_restarts << ",\n"
+      << "  \"duplicate_tenant_acks\": " << totals.duplicate_tenant_acks
+      << "\n"
+      << "}\n";
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << options.json << '\n';
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  const std::string base =
+      options.dir + "/soak_faultfs." + std::to_string(::getpid());
+  util::Rng master(options.seed);
+  Totals totals;
+
+  for (std::int64_t s = 0; s < options.scenarios; ++s) {
+    const std::uint64_t scenario_seed = master();
+    const Scenario scenario = make_scenario(scenario_seed);
+    const auto total = static_cast<std::int64_t>(scenario.commands.size());
+
+    // --- golden: uninterrupted run, healthy disk ------------------------
+    const std::string golden_dir = base + "/golden";
+    reset_dir(golden_dir);
+    std::vector<std::string> golden_stats;
+    {
+      Daemon daemon(golden_dir + "/rsind.sock", golden_dir);
+      daemon.start(/*recover=*/false, /*fault_spec=*/"");
+      svc::Client client = make_client(daemon);
+      for (const std::string& command : scenario.commands) {
+        const svc::Response reply = client.request(command);
+        if (!reply.ok) {
+          std::cerr << "FAIL: golden run refused \"" << command
+                    << "\": " << reply.body << '\n';
+          return 1;
+        }
+      }
+      golden_stats = read_stats(client, scenario);
+      if (!daemon.drain()) {
+        std::cerr << "FAIL: golden drain did not exit 0 (scenario " << s
+                  << ")\n";
+        return 1;
+      }
+      const svc::Journal::ScanResult scan =
+          svc::Journal::scan(golden_dir + "/journal.bin");
+      if (scan.truncated) {
+        std::cerr << "FAIL: golden journal has a torn tail at offset "
+                  << scan.damage_offset << ": " << scan.damage << '\n';
+        return 1;
+      }
+    }
+
+    // --- fault runs: hostile disk + SIGKILL points ----------------------
+    for (std::int64_t f = 0; f < options.schedules; ++f) {
+      util::Rng chaos(scenario_seed ^
+                      (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(f) + 1)));
+      std::vector<std::int64_t> kill_points;
+      while (static_cast<std::int64_t>(kill_points.size()) <
+             std::min(options.kills, total - 1)) {
+        const std::int64_t point = chaos.uniform_int(1, total - 1);
+        if (std::find(kill_points.begin(), kill_points.end(), point) ==
+            kill_points.end()) {
+          kill_points.push_back(point);
+        }
+      }
+      std::sort(kill_points.begin(), kill_points.end());
+
+      const std::string fault_dir = base + "/fault";
+      reset_dir(fault_dir);
+      Daemon daemon(fault_dir + "/rsind.sock", fault_dir);
+      daemon.start(/*recover=*/false, make_fault_spec(chaos));
+      ++totals.fault_runs;
+      svc::Client client = make_client(daemon);
+      std::size_t next_kill = 0;
+      for (std::int64_t i = 0; i < total; ++i) {
+        const bool kill_here = next_kill < kill_points.size() &&
+                               kill_points[next_kill] == i;
+        // `tenant` creation is the one command without an idempotent id;
+        // the post-ack resend flavor is handled by send_checked's
+        // already-exists acknowledgment, but boundary kills keep the
+        // common case clean.
+        const bool resendable =
+            scenario.commands[i].rfind("tenant ", 0) != 0;
+        const bool after_ack =
+            kill_here && resendable && chaos.uniform_int(0, 1) == 1;
+        // Half the restarts roll a fresh hostile schedule — a crash does
+        // not heal a disk. The other half model a disk swap.
+        const auto restart_spec = [&]() -> std::string {
+          return chaos.uniform_int(0, 1) == 1 ? make_fault_spec(chaos)
+                                              : std::string();
+        };
+        if (kill_here && !after_ack) {
+          // Boundary kill: crash before this command is ever sent.
+          daemon.kill_hard();
+          daemon.start(/*recover=*/true, restart_spec());
+          ++totals.kills;
+        }
+        send_checked(client, daemon, scenario.commands[i], totals);
+        ++totals.commands;
+        if (kill_here && after_ack) {
+          // Post-ack kill: the command is journaled (group commit ran
+          // before the reply); the restart must answer the re-send as a
+          // duplicate / no-op, not double-execute it.
+          daemon.kill_hard();
+          daemon.start(/*recover=*/true, restart_spec());
+          ++totals.kills;
+          send_checked(client, daemon, scenario.commands[i], totals);
+        }
+        if (kill_here) ++next_kill;
+      }
+      const std::vector<std::string> fault_stats =
+          read_stats(client, scenario);
+      if (!daemon.drain()) {
+        std::cerr << "FAIL: fault-run drain did not exit 0 (scenario " << s
+                  << ", schedule " << f << ")\n";
+        write_report(options, totals, /*pass=*/false);
+        return 1;
+      }
+
+      if (fault_stats != golden_stats) {
+        std::cerr << "FAIL: scenario " << s << " schedule " << f << " (seed "
+                  << scenario_seed << ") diverged under faults:\n";
+        for (std::size_t t = 0; t < golden_stats.size(); ++t) {
+          std::cerr << "  golden: " << golden_stats[t] << '\n'
+                    << "  fault:  " << fault_stats[t] << '\n';
+        }
+        write_report(options, totals, /*pass=*/false);
+        return 1;
+      }
+    }
+    std::cout << "scenario " << s << ": " << total << " commands x "
+              << options.schedules << " fault schedules, bitwise match\n";
+  }
+
+  (void)std::system(("rm -rf '" + base + "'").c_str());
+  write_report(options, totals, /*pass=*/true);
+  std::cout << "soak_faultfs: " << totals.fault_runs
+            << " hostile-disk runs, " << totals.kills << " SIGKILLs, "
+            << totals.refusals_retried << " refusals retried, "
+            << totals.rescue_restarts << " rescue restarts, all "
+            << "recoveries bitwise-identical, all drains exit 0\n";
+  return 0;
+}

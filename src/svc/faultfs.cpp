@@ -1,0 +1,307 @@
+#include "svc/faultfs.hpp"
+
+#include <cerrno>
+#include <stdexcept>
+
+namespace rsin::svc {
+namespace {
+
+using Op = FaultFs::Rule::Op;
+
+Op parse_op(const std::string& name) {
+  if (name == "any") return Op::kAny;
+  if (name == "open") return Op::kOpen;
+  if (name == "read") return Op::kRead;
+  if (name == "write") return Op::kWrite;
+  if (name == "fsync") return Op::kFsync;
+  if (name == "fdatasync") return Op::kFdatasync;
+  if (name == "ftruncate") return Op::kFtruncate;
+  if (name == "rename") return Op::kRename;
+  if (name == "unlink") return Op::kUnlink;
+  if (name == "close") return Op::kClose;
+  throw std::invalid_argument("faultfs: unknown op \"" + name + "\"");
+}
+
+int parse_errno(const std::string& name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EINTR") return EINTR;
+  if (name == "EDQUOT") return EDQUOT;
+  if (name == "EROFS") return EROFS;
+  if (name == "EMFILE") return EMFILE;
+  if (name == "EACCES") return EACCES;
+  try {
+    return std::stoi(name);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("faultfs: unknown errno \"" + name + "\"");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& key) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("faultfs: bad number for " + key + ": \"" +
+                                value + "\"");
+  }
+}
+
+}  // namespace
+
+std::vector<FaultFs::Rule> FaultFs::parse_spec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string chunk =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (chunk.empty()) continue;
+
+    Rule rule;
+    bool has_effect = false;
+    std::size_t field = 0;
+    while (field <= chunk.size()) {
+      const std::size_t comma = chunk.find(',', field);
+      const std::string pair =
+          chunk.substr(field, comma == std::string::npos ? std::string::npos
+                                                         : comma - field);
+      field = comma == std::string::npos ? chunk.size() + 1 : comma + 1;
+      if (pair.empty()) continue;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("faultfs: rule field is not key=value: \"" +
+                                    pair + "\"");
+      }
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      if (key == "op") {
+        rule.op = parse_op(value);
+      } else if (key == "path") {
+        rule.path_contains = value;
+      } else if (key == "after") {
+        rule.after = parse_u64(value, key);
+      } else if (key == "count") {
+        rule.count = value == "inf" ? Rule::kPersistent : parse_u64(value, key);
+      } else if (key == "err") {
+        rule.error = parse_errno(value);
+        has_effect = true;
+      } else if (key == "short") {
+        rule.short_bytes = parse_u64(value, key);
+        has_effect = true;
+      } else if (key == "cut") {
+        rule.power_cut = parse_u64(value, key) != 0;
+        has_effect = has_effect || rule.power_cut;
+      } else {
+        throw std::invalid_argument("faultfs: unknown rule key \"" + key +
+                                    "\"");
+      }
+    }
+    if (!has_effect) {
+      throw std::invalid_argument(
+          "faultfs: rule has no effect (needs err=, short=, or cut=1): \"" +
+          chunk + "\"");
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+void FaultFs::schedule(Rule rule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(std::move(rule));
+  matched_.push_back(0);
+}
+
+void FaultFs::schedule_all(const std::vector<Rule>& rules) {
+  for (const Rule& rule : rules) schedule(rule);
+}
+
+void FaultFs::heal() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  matched_.clear();
+  cut_paths_.clear();
+}
+
+FaultFs::Stats FaultFs::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string FaultFs::fd_path(int fd) const {
+  const auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+FaultFs::Decision FaultFs::decide(Rule::Op op, const std::string& path) {
+  ++stats_.ops;
+  Decision decision;
+
+  // An active power cut dominates the schedule: the disk is gone for the
+  // matching paths until heal() (i.e. until the "machine" restarts).
+  if (op == Op::kWrite || op == Op::kFsync || op == Op::kFdatasync ||
+      op == Op::kFtruncate) {
+    for (const std::string& cut : cut_paths_) {
+      if (cut.empty() || path.find(cut) != std::string::npos) {
+        ++stats_.injected;
+        decision.inject = true;
+        decision.error = EIO;
+        return decision;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    Rule& rule = rules_[i];
+    const bool op_match = rule.op == Op::kAny || rule.op == op;
+    if (!op_match) continue;
+    if (!rule.path_contains.empty() &&
+        path.find(rule.path_contains) == std::string::npos) {
+      continue;
+    }
+    const std::uint64_t seen = matched_[i]++;
+    if (seen < rule.after) continue;
+    if (rule.count != Rule::kPersistent && seen >= rule.after + rule.count) {
+      continue;
+    }
+
+    if (rule.power_cut) {
+      ++stats_.power_cuts;
+      cut_paths_.push_back(rule.path_contains);
+    }
+    if (rule.short_bytes != ~0ull && op == Op::kWrite && !rule.power_cut &&
+        rule.error == 0) {
+      ++stats_.short_writes;
+      decision.short_bytes = rule.short_bytes;
+      return decision;  // Short delivery, no error.
+    }
+    ++stats_.injected;
+    decision.inject = true;
+    decision.error = rule.error != 0 ? rule.error : EIO;
+    decision.short_bytes = rule.short_bytes;  // Power cut: torn then fail.
+    return decision;
+  }
+  return decision;
+}
+
+int FaultFs::open(const char* path, int flags, int mode) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kOpen, path);
+    if (decision.inject) return -decision.error;
+  }
+  const int fd = inner_->open(path, flags, mode);
+  if (fd >= 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+ssize_t FaultFs::read(int fd, void* buf, std::size_t n) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kRead, fd_path(fd));
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->read(fd, buf, n);
+}
+
+ssize_t FaultFs::write(int fd, const void* buf, std::size_t n) {
+  Decision decision;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    decision = decide(Op::kWrite, fd_path(fd));
+  }
+  if (!decision.inject && decision.short_bytes == ~0ull) {
+    return inner_->write(fd, buf, n);
+  }
+  // A plain injected error delivers nothing: the bytes never reached the
+  // disk, exactly like a real ENOSPC/EIO before any page was dirtied.
+  if (decision.inject && decision.short_bytes == ~0ull) {
+    return -decision.error;
+  }
+  // Torn delivery: hand the inner Vfs the first `short_bytes` for both the
+  // plain short write and the power cut (whose partial bytes then fail).
+  std::size_t deliver = n;
+  if (decision.short_bytes != ~0ull && decision.short_bytes < n) {
+    deliver = static_cast<std::size_t>(decision.short_bytes);
+  }
+  ssize_t wrote = 0;
+  if (deliver > 0) {
+    wrote = inner_->write(fd, buf, deliver);
+    if (wrote < 0) wrote = 0;
+  }
+  if (!decision.inject) return wrote;  // Plain short write.
+  return -decision.error;
+}
+
+int FaultFs::fsync(int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kFsync, fd_path(fd));
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->fsync(fd);
+}
+
+int FaultFs::fdatasync(int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kFdatasync, fd_path(fd));
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->fdatasync(fd);
+}
+
+int FaultFs::ftruncate(int fd, off_t size) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kFtruncate, fd_path(fd));
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->ftruncate(fd, size);
+}
+
+off_t FaultFs::lseek(int fd, off_t offset, int whence) {
+  return inner_->lseek(fd, offset, whence);
+}
+
+int FaultFs::rename(const char* from, const char* to) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Rename matches either side so one `path=snapshot` rule covers both
+    // the tmp source and the final destination.
+    Decision decision = decide(Op::kRename, std::string(from) + "|" + to);
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->rename(from, to);
+}
+
+int FaultFs::unlink(const char* path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kUnlink, path);
+    if (decision.inject) return -decision.error;
+  }
+  return inner_->unlink(path);
+}
+
+int FaultFs::close(int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Decision decision = decide(Op::kClose, fd_path(fd));
+    fd_paths_.erase(fd);
+    if (decision.inject) {
+      // The fd still has to reach the inner close — leaking real fds to
+      // simulate a close error would starve the process, not the test.
+      inner_->close(fd);
+      return -decision.error;
+    }
+  }
+  return inner_->close(fd);
+}
+
+}  // namespace rsin::svc

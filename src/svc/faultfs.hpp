@@ -1,0 +1,122 @@
+// svc::FaultFs — a util::Vfs decorator that injects scripted storage
+// faults into the rsind durability path (DESIGN.md §12).
+//
+// A FaultFs wraps an inner Vfs (the real one by default) and evaluates a
+// schedule of Rules against every operation. A rule names an operation
+// kind, an optional path substring (open/rename/unlink match their path
+// argument; fd operations match the path the fd was opened with), how many
+// matching operations pass through untouched first (`after`), and how many
+// are then affected (`count`, u64-max = persistent). What "affected" means
+// is the rule's flavor:
+//
+//   err=ENOSPC/EIO/...   the operation fails with -errno (EINTR here with
+//                        a large count is the "EINTR storm")
+//   short=K              a write delivers at most K bytes to the inner Vfs
+//                        and returns the short count — no error at all,
+//                        exactly what a real kernel may do
+//   cut=1 (with short=K) the "power cut": the triggering write delivers K
+//                        bytes and fails, and every later write/sync on
+//                        paths matching the rule fails persistently with
+//                        EIO — the torn tail stays torn until the process
+//                        (the "machine") is restarted with a healthy disk
+//
+// Rules are independent; the first one that matches an operation decides
+// it. Schedules are scriptable as text (`parse_spec`) so a fork/exec'd
+// daemon can be started on a faulty disk:
+//
+//   op=write,path=journal,after=120,count=2,err=ENOSPC;op=fdatasync,err=EIO
+//
+// Thread-safety: the rsind poll loop is single-threaded; FaultFs keeps a
+// mutex anyway so harness threads can read stats() while the daemon runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/vfs.hpp"
+
+namespace rsin::svc {
+
+class FaultFs final : public util::Vfs {
+ public:
+  struct Rule {
+    enum class Op {
+      kAny,
+      kOpen,
+      kRead,
+      kWrite,
+      kFsync,
+      kFdatasync,
+      kFtruncate,
+      kRename,
+      kUnlink,
+      kClose,
+    };
+    static constexpr std::uint64_t kPersistent = ~0ull;
+
+    Op op = Op::kAny;
+    std::string path_contains;        ///< Empty = every path.
+    std::uint64_t after = 0;          ///< Matching ops to let through first.
+    std::uint64_t count = 1;          ///< Ops affected once triggered.
+    int error = 0;                    ///< errno to inject (0 = none).
+    std::uint64_t short_bytes = ~0ull;  ///< Max bytes a write delivers.
+    bool power_cut = false;           ///< Torn write, then persistent EIO.
+  };
+
+  struct Stats {
+    std::uint64_t ops = 0;            ///< Operations evaluated.
+    std::uint64_t injected = 0;       ///< Errors injected.
+    std::uint64_t short_writes = 0;   ///< Short writes delivered.
+    std::uint64_t power_cuts = 0;     ///< Cut rules triggered.
+  };
+
+  explicit FaultFs(util::Vfs* inner = nullptr)
+      : inner_(inner != nullptr ? inner : &util::Vfs::real()) {}
+
+  /// Parses the `;`-separated rule spec (see file comment). Accepted keys:
+  /// op, path, after, count, err (symbolic ENOSPC/EIO/EINTR/EDQUOT/EROFS/
+  /// EMFILE or a number), short, cut. Throws std::invalid_argument.
+  [[nodiscard]] static std::vector<Rule> parse_spec(const std::string& spec);
+
+  void schedule(Rule rule);
+  void schedule_all(const std::vector<Rule>& rules);
+  /// Drops every rule and active power cut; counters keep running.
+  void heal();
+  [[nodiscard]] Stats stats() const;
+
+  // --- util::Vfs -----------------------------------------------------------
+  int open(const char* path, int flags, int mode) override;
+  ssize_t read(int fd, void* buf, std::size_t n) override;
+  ssize_t write(int fd, const void* buf, std::size_t n) override;
+  int fsync(int fd) override;
+  int fdatasync(int fd) override;
+  int ftruncate(int fd, off_t size) override;
+  off_t lseek(int fd, off_t offset, int whence) override;
+  int rename(const char* from, const char* to) override;
+  int unlink(const char* path) override;
+  int close(int fd) override;
+
+ private:
+  struct Decision {
+    bool inject = false;
+    int error = 0;
+    std::uint64_t short_bytes = ~0ull;
+  };
+
+  /// Evaluates the schedule for one (op, path); must hold mutex_.
+  Decision decide(Rule::Op op, const std::string& path);
+  [[nodiscard]] std::string fd_path(int fd) const;
+
+  util::Vfs* inner_;
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::vector<std::uint64_t> matched_;      ///< Per-rule match count.
+  std::vector<std::string> cut_paths_;      ///< Power-cut path filters.
+  std::map<int, std::string> fd_paths_;
+  Stats stats_;
+};
+
+}  // namespace rsin::svc

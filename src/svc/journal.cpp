@@ -6,8 +6,6 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 namespace rsin::svc {
@@ -18,6 +16,10 @@ constexpr std::size_t kHeaderSize = Journal::kHeaderBytes;
 constexpr std::size_t kFrameSize = 4 + 4;       // size + crc per record
 /// Upper bound on one record; a larger declared size is damage, not data.
 constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+util::Vfs& pick(util::Vfs* vfs) {
+  return vfs != nullptr ? *vfs : util::Vfs::real();
+}
 
 void put_u32(std::string& out, std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
@@ -49,18 +51,32 @@ std::uint64_t get_u64(const char* bytes) {
   return value;
 }
 
-void write_all(int fd, const char* data, std::size_t size,
-               const std::string& path) {
+/// open() with EINTR retry; returns fd >= 0 or the final -errno.
+int open_retry(util::Vfs& vfs, const std::string& path, int flags, int mode) {
+  while (true) {
+    const int fd = vfs.open(path.c_str(), flags, mode);
+    if (fd != -EINTR) return fd;
+  }
+}
+
+/// Writes [data, data+size) fully, riding out EINTR and short writes.
+/// Returns the bytes that reached the file (== size on success) and sets
+/// *err to the terminal -errno (0 on success) — the caller decides whether
+/// a partial delivery is a torn tail or a resumable retry point.
+std::size_t write_all(util::Vfs& vfs, int fd, const char* data,
+                      std::size_t size, int* err) {
   std::size_t done = 0;
+  *err = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
+    const ssize_t n = vfs.write(fd, data + done, size - done);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw JournalError(0, "write failed for " + path + ": " +
-                                std::strerror(errno));
+      if (n == -EINTR) continue;
+      *err = static_cast<int>(-n);
+      return done;
     }
     done += static_cast<std::size_t>(n);
   }
+  return done;
 }
 
 const std::array<std::uint32_t, 256>& crc_table() {
@@ -99,7 +115,9 @@ Journal::Journal(Journal&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
       epoch_(other.epoch_),
+      vfs_(other.vfs_),
       buffer_(std::move(other.buffer_)),
+      flushed_(other.flushed_),
       appended_(other.appended_),
       pending_(other.pending_) {}
 
@@ -109,7 +127,9 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     epoch_ = other.epoch_;
+    vfs_ = other.vfs_;
     buffer_ = std::move(other.buffer_);
+    flushed_ = other.flushed_;
     appended_ = other.appended_;
     pending_ = other.pending_;
   }
@@ -118,49 +138,70 @@ Journal& Journal::operator=(Journal&& other) noexcept {
 
 Journal::~Journal() { close(); }
 
-Journal Journal::create(const std::string& path, std::uint64_t epoch) {
-  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) {
+Journal Journal::create(const std::string& path, std::uint64_t epoch,
+                        util::Vfs* vfs) {
+  util::Vfs& fs = pick(vfs);
+  util::Fd fd(fs, open_retry(fs, path, O_CREAT | O_TRUNC | O_WRONLY, 0644));
+  if (!fd.valid()) {
     throw JournalError(0, "cannot create " + path + ": " +
-                              std::strerror(errno));
+                              std::strerror(-fd.get()));
   }
   std::string header(kMagic, sizeof(kMagic));
   put_u32(header, kVersion);
   put_u64(header, epoch);
-  write_all(fd, header.data(), header.size(), path);
-  return Journal(fd, path, epoch);
+  int err = 0;
+  const std::size_t wrote =
+      write_all(fs, fd.get(), header.data(), header.size(), &err);
+  if (wrote != header.size()) {
+    throw JournalError(wrote, "cannot write header of " + path + ": " +
+                                  std::strerror(err));
+  }
+  return Journal(fd.release(), path, epoch, &fs);
 }
 
-Journal Journal::append_to(const std::string& path, const ScanResult& scan) {
-  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
-  if (fd < 0) {
+Journal Journal::append_to(const std::string& path, const ScanResult& scan,
+                           util::Vfs* vfs) {
+  util::Vfs& fs = pick(vfs);
+  util::Fd fd(fs, open_retry(fs, path, O_WRONLY, 0644));
+  if (!fd.valid()) {
     throw JournalError(0, "cannot open " + path + ": " +
-                              std::strerror(errno));
+                              std::strerror(-fd.get()));
   }
   // Drop the torn tail (if any) so new records append to intact framing.
-  if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
-    const int err = errno;
-    ::close(fd);
+  const int trunc =
+      fs.ftruncate(fd.get(), static_cast<off_t>(scan.valid_bytes));
+  if (trunc != 0) {
     throw JournalError(scan.valid_bytes, "cannot truncate torn tail of " +
                                              path + ": " +
-                                             std::strerror(err));
+                                             std::strerror(-trunc));
   }
-  if (::lseek(fd, 0, SEEK_END) < 0) {
-    const int err = errno;
-    ::close(fd);
-    throw JournalError(0, "cannot seek " + path + ": " + std::strerror(err));
+  const off_t seek = fs.lseek(fd.get(), 0, SEEK_END);
+  if (seek < 0) {
+    throw JournalError(0, "cannot seek " + path + ": " +
+                              std::strerror(static_cast<int>(-seek)));
   }
-  return Journal(fd, path, scan.epoch);
+  return Journal(fd.release(), path, scan.epoch, &fs);
 }
 
-Journal::ScanResult Journal::scan(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    throw JournalError(0, "cannot open " + path + " for reading");
+Journal::ScanResult Journal::scan(const std::string& path, util::Vfs* vfs) {
+  util::Vfs& fs = pick(vfs);
+  util::Fd fd(fs, open_retry(fs, path, O_RDONLY, 0));
+  if (!fd.valid()) {
+    throw JournalError(0, "cannot open " + path + " for reading: " +
+                              std::strerror(-fd.get()));
   }
-  std::ostringstream raw;
-  raw << in.rdbuf();
-  const std::string bytes = raw.str();
+  std::string bytes;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = fs.read(fd.get(), buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (n == -EINTR) continue;
+      throw JournalError(bytes.size(), "cannot read " + path + ": " +
+                                           std::strerror(static_cast<int>(-n)));
+    }
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
 
   if (bytes.size() < kHeaderSize) {
     throw JournalError(bytes.size(),
@@ -237,18 +278,39 @@ void Journal::append(std::string_view payload) {
 
 void Journal::flush() {
   if (fd_ < 0 || buffer_.empty()) return;
-  write_all(fd_, buffer_.data(), buffer_.size(), path_);
+  // Resume where the previous (failed) flush stopped: bytes before
+  // flushed_ are already on the file, re-writing them would interleave
+  // duplicate frames after the partial tail.
+  int err = 0;
+  flushed_ += write_all(*vfs_, fd_, buffer_.data() + flushed_,
+                        buffer_.size() - flushed_, &err);
+  if (flushed_ != buffer_.size()) {
+    throw JournalError(flushed_, "write failed for " + path_ + ": " +
+                                     std::strerror(err));
+  }
   buffer_.clear();
+  flushed_ = 0;
   pending_ = 0;
 }
 
 void Journal::sync() {
   flush();
   if (fd_ >= 0) {
-    if (::fdatasync(fd_) != 0 && errno != EINVAL && errno != ENOSYS) {
+    const int rc = vfs_->fdatasync(fd_);
+    if (rc != 0 && rc != -EINVAL && rc != -ENOSYS) {
       throw JournalError(0, "fdatasync failed for " + path_ + ": " +
-                                std::strerror(errno));
+                                std::strerror(-rc));
     }
+  }
+}
+
+void Journal::abandon() {
+  buffer_.clear();
+  flushed_ = 0;
+  pending_ = 0;
+  if (fd_ >= 0) {
+    vfs_->close(fd_);
+    fd_ = -1;
   }
 }
 
@@ -260,7 +322,7 @@ void Journal::close() {
     // Destructor path: swallow; the torn tail is exactly what scan()
     // tolerates.
   }
-  ::close(fd_);
+  vfs_->close(fd_);
   fd_ = -1;
 }
 

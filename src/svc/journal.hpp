@@ -27,6 +27,13 @@
 // unsupported version throws JournalError (offset + reason) outright.
 // append_to() truncates the damaged tail before appending, so fresh
 // records never sit behind garbage.
+//
+// Every syscall goes through a util::Vfs (the real one by default), which
+// is how the fault soak injects ENOSPC/EIO/EINTR storms/short writes into
+// this exact code. flush() is *resumable*: it remembers how many buffered
+// bytes reached the file, so a failed or short write can be retried later
+// without duplicating bytes — the file's framing stays an intact prefix
+// plus at most one torn tail, which is precisely what scan() recovers.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/vfs.hpp"
 
 namespace rsin::svc {
 
@@ -80,23 +89,34 @@ class Journal {
 
   /// Creates (or truncates) the journal at `path` with the given epoch.
   [[nodiscard]] static Journal create(const std::string& path,
-                                      std::uint64_t epoch);
+                                      std::uint64_t epoch,
+                                      util::Vfs* vfs = nullptr);
   /// Reopens `path` for appending after a scan(): truncates the file to
   /// scan.valid_bytes (dropping any torn tail), positions at the end.
   [[nodiscard]] static Journal append_to(const std::string& path,
-                                         const ScanResult& scan);
+                                         const ScanResult& scan,
+                                         util::Vfs* vfs = nullptr);
   /// Reads every intact record. See the file comment for the damage model.
   /// A missing file throws JournalError (callers decide whether that means
   /// "fresh start" before calling).
-  [[nodiscard]] static ScanResult scan(const std::string& path);
+  [[nodiscard]] static ScanResult scan(const std::string& path,
+                                       util::Vfs* vfs = nullptr);
 
   /// Buffers one record; nothing reaches the file until flush().
   void append(std::string_view payload);
-  /// Writes all buffered records to the file (group commit point).
+  /// Writes all buffered records to the file (group commit point). Throws
+  /// JournalError on persistent I/O failure, after recording how much of
+  /// the buffer reached the file — a later flush() resumes exactly there,
+  /// so retries never duplicate or interleave bytes.
   void flush();
   /// flush() + fdatasync for durability across power loss.
   void sync();
   void close();
+  /// Closes WITHOUT flushing, discarding buffered records. The rollback
+  /// path uses this after a failed group commit: the unflushed records were
+  /// never acknowledged, and flushing them after the rollback decision has
+  /// been made would put records on disk that memory no longer contains.
+  void abandon();
 
   [[nodiscard]] bool is_open() const { return fd_ >= 0; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
@@ -106,14 +126,21 @@ class Journal {
   /// Records currently buffered and not yet on the file.
   [[nodiscard]] std::uint64_t records_pending() const { return pending_; }
 
+  /// Buffered bytes already on the file after a partially failed flush().
+  [[nodiscard]] std::size_t partial_flushed_bytes() const {
+    return flushed_;
+  }
+
  private:
-  Journal(int fd, std::string path, std::uint64_t epoch)
-      : fd_(fd), path_(std::move(path)), epoch_(epoch) {}
+  Journal(int fd, std::string path, std::uint64_t epoch, util::Vfs* vfs)
+      : fd_(fd), path_(std::move(path)), epoch_(epoch), vfs_(vfs) {}
 
   int fd_ = -1;
   std::string path_;
   std::uint64_t epoch_ = 0;
+  util::Vfs* vfs_ = nullptr;
   std::string buffer_;
+  std::size_t flushed_ = 0;  ///< Prefix of buffer_ already written.
   std::uint64_t appended_ = 0;
   std::uint64_t pending_ = 0;
 };

@@ -129,6 +129,11 @@ Response Response::error(std::string reason) {
   return r;
 }
 
+Response Response::refused(std::string_view code, std::string detail) {
+  return Response::error("code=" + std::string(code) + " " +
+                         std::move(detail));
+}
+
 std::string format_exact(double value) {
   char buf[64];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);

@@ -66,6 +66,10 @@ struct Response {
   [[nodiscard]] std::string wire() const;  ///< Full framed text to send.
   static Response okay(std::string body = "");
   static Response error(std::string reason);
+  /// A *coded* refusal: "err code=<code> <detail>". Machine-matchable
+  /// degraded-mode errors (read-only disk, io breaker, overload) carry a
+  /// code so clients can distinguish "retry later" from "you sent garbage".
+  static Response refused(std::string_view code, std::string detail);
 };
 
 // --- exact numeric round-trips -------------------------------------------

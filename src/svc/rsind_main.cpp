@@ -3,19 +3,29 @@
 //   rsind --socket /run/rsind.sock --dir /var/lib/rsind [--recover]
 //         [--durable] [--pool-shards N] [--watchdog-ms N]
 //         [--note-metrics-every N]
+//         [--idle-timeout-ms N] [--line-timeout-ms N] [--write-stall-ms N]
+//         [--poll-timeout-ms N] [--max-line-bytes N] [--max-in-bytes N]
+//         [--max-out-bytes N] [--max-clients N]
+//         [--io-retries N] [--io-probe-backoff-ms N] [--fault-spec SPEC]
 //
 // Serves the line-framed protocol over a Unix-domain socket (see
 // svc/protocol.hpp). SIGTERM/SIGINT drain gracefully: stop admitting,
 // flush the journal, snapshot, exit 0. After a SIGKILL (or power cut with
 // --durable), `rsind --recover` replays snapshot + journal and resumes
 // with bitwise-identical state.
+//
+// --fault-spec installs a svc::FaultFs between the service and the real
+// file system (syntax in svc/faultfs.hpp) — the hook the fault-injection
+// soak drives a real daemon process with. Never set it in production.
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include <unistd.h>
 
+#include "svc/faultfs.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -34,7 +44,14 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --socket PATH --dir PATH [--recover] [--durable]\n"
                "             [--pool-shards N] [--watchdog-ms N] "
-               "[--note-metrics-every N]\n";
+               "[--note-metrics-every N]\n"
+               "             [--idle-timeout-ms N] [--line-timeout-ms N] "
+               "[--write-stall-ms N]\n"
+               "             [--poll-timeout-ms N] [--max-line-bytes N] "
+               "[--max-in-bytes N]\n"
+               "             [--max-out-bytes N] [--max-clients N] "
+               "[--io-retries N]\n"
+               "             [--io-probe-backoff-ms N] [--fault-spec SPEC]\n";
   return 2;
 }
 
@@ -43,6 +60,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   rsin::svc::ServerConfig config;
   bool recover = false;
+  std::string fault_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -67,6 +85,28 @@ int main(int argc, char** argv) {
       config.watchdog_ms = std::stoi(value());
     } else if (arg == "--note-metrics-every") {
       config.note_metrics_every = std::stoi(value());
+    } else if (arg == "--idle-timeout-ms") {
+      config.idle_timeout_ms = std::stoi(value());
+    } else if (arg == "--line-timeout-ms") {
+      config.line_timeout_ms = std::stoi(value());
+    } else if (arg == "--write-stall-ms") {
+      config.write_stall_ms = std::stoi(value());
+    } else if (arg == "--poll-timeout-ms") {
+      config.poll_timeout_ms = std::stoi(value());
+    } else if (arg == "--max-line-bytes") {
+      config.max_line_bytes = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--max-in-bytes") {
+      config.max_in_bytes = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--max-out-bytes") {
+      config.max_out_bytes = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--max-clients") {
+      config.max_clients = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--io-retries") {
+      config.service.io.flush_retries = std::stoi(value());
+    } else if (arg == "--io-probe-backoff-ms") {
+      config.service.io.probe_backoff_ms = std::stoi(value());
+    } else if (arg == "--fault-spec") {
+      fault_spec = value();
     } else {
       return usage(argv[0]);
     }
@@ -76,6 +116,13 @@ int main(int argc, char** argv) {
   }
 
   try {
+    std::unique_ptr<rsin::svc::FaultFs> faultfs;
+    if (!fault_spec.empty()) {
+      faultfs = std::make_unique<rsin::svc::FaultFs>();
+      faultfs->schedule_all(rsin::svc::FaultFs::parse_spec(fault_spec));
+      config.service.vfs = faultfs.get();
+      std::cout << "rsind fault-spec armed: " << fault_spec << std::endl;
+    }
     rsin::svc::Server server(config);
     g_wake_fd = server.wake_fd();
     struct sigaction action{};

@@ -96,12 +96,16 @@ Server::Server(ServerConfig config)
   wake_write_fd_ = fds[1];
   set_nonblocking(wake_read_fd_);
   set_nonblocking(wake_write_fd_);
+  // Reserved so accept() can always momentarily get a descriptor when the
+  // process hits EMFILE (see accept_clients).
+  spare_fd_ = ::open("/dev/null", O_RDONLY);
 }
 
 Server::~Server() {
   watchdog_.reset();
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  if (spare_fd_ >= 0) ::close(spare_fd_);
 }
 
 int Server::listen_socket() {
@@ -148,13 +152,63 @@ int Server::run(bool recover) {
   }
 }
 
+void Server::accept_clients(int listen_fd, std::vector<ClientConn>& clients) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if ((errno == EMFILE || errno == ENFILE) && spare_fd_ >= 0) {
+        // Out of descriptors: momentarily free the reserve, take the
+        // pending connection, and drop it — otherwise it sits in the
+        // kernel queue keeping the listen fd readable and poll spinning.
+        ::close(spare_fd_);
+        spare_fd_ = -1;
+        const int doomed = ::accept(listen_fd, nullptr, nullptr);
+        if (doomed >= 0) {
+          ++sheds_;
+          ::close(doomed);
+        }
+        spare_fd_ = ::open("/dev/null", O_RDONLY);
+        continue;
+      }
+      break;  // EAGAIN (queue drained) or a transient error: next poll.
+    }
+    if (clients.size() >= config_.max_clients) {
+      // Shed with a coded refusal; the socket buffer absorbs the short
+      // write or it is simply lost — either way the fd is not retained.
+      ++sheds_;
+      const std::string refusal =
+          Response::refused("busy", "max clients reached, retry later")
+              .wire();
+      (void)!::write(fd, refusal.data(), refusal.size());
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    ClientConn client;
+    client.fd = fd;
+    client.last_activity = std::chrono::steady_clock::now();
+    clients.push_back(std::move(client));
+  }
+}
+
 void Server::read_client(ClientConn& client) {
   char buf[4096];
   while (true) {
     const ssize_t n = ::read(client.fd, buf, sizeof(buf));
     if (n > 0) {
       client.in.append(buf, static_cast<std::size_t>(n));
-      if (client.in.size() > config_.max_line_bytes) {
+      client.last_activity = std::chrono::steady_clock::now();
+      // Input caps: a buffer past max_in_bytes, or a single line past
+      // max_line_bytes with no newline in sight, is hostile or broken —
+      // cut it before it becomes a memory bill.
+      if (client.in.size() > config_.max_in_bytes) {
+        ++caps_cut_;
+        client.broken = true;
+        return;
+      }
+      if (client.in.size() > config_.max_line_bytes &&
+          client.in.find('\n') == std::string::npos) {
+        ++caps_cut_;
         client.broken = true;
         return;
       }
@@ -177,12 +231,47 @@ void Server::flush_client(ClientConn& client) {
                               client.out.size());
     if (n > 0) {
       client.out.erase(0, static_cast<std::size_t>(n));
+      client.last_activity = std::chrono::steady_clock::now();
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     client.broken = true;
     return;
+  }
+  client.out_since = client.out.empty()
+                         ? std::chrono::steady_clock::time_point{}
+                         : (client.out_since.time_since_epoch().count() != 0
+                                ? client.out_since
+                                : std::chrono::steady_clock::now());
+}
+
+void Server::enforce_deadlines(ClientConn& client,
+                               std::chrono::steady_clock::time_point now) {
+  if (client.broken || client.fd < 0) return;
+  const auto expired = [now](std::chrono::steady_clock::time_point since,
+                             std::int32_t limit_ms) {
+    return limit_ms > 0 && since.time_since_epoch().count() != 0 &&
+           now - since > std::chrono::milliseconds(limit_ms);
+  };
+  // A reader that stopped reading (backlog never drains) ...
+  if (expired(client.out_since, config_.write_stall_ms)) {
+    ++timeouts_cut_;
+    client.broken = true;
+    return;
+  }
+  // ... a writer dribbling a line one byte at a time (slowloris) ...
+  if (client.out.empty() && !client.in.empty() &&
+      expired(client.partial_since, config_.line_timeout_ms)) {
+    ++timeouts_cut_;
+    client.broken = true;
+    return;
+  }
+  // ... or a connection doing nothing at all.
+  if (client.out.empty() && client.in.empty() &&
+      expired(client.last_activity, config_.idle_timeout_ms)) {
+    ++timeouts_cut_;
+    client.broken = true;
   }
 }
 
@@ -231,10 +320,26 @@ std::string Server::handle_line(const std::string& line) {
 
 int Server::graceful_drain(std::vector<ClientConn>& clients, int listen_fd) {
   // Stop admitting, flush what is journaled, snapshot, exit 0. Replies
-  // already queued get a best-effort blocking flush first.
+  // already queued get a best-effort blocking flush first. On a failing
+  // disk the drain stays graceful: commit() returning false means the
+  // durable prefix is already consistent (rollback ran), and a snapshot
+  // failure rolls itself back — both leave a recoverable pair on disk.
   service_.begin_drain();
-  service_.commit();
-  service_.snapshot();
+  if (!service_.commit()) {
+    std::cerr << "rsind: drain commit failed, exiting on durable prefix: "
+              << service_.last_io_error() << '\n';
+  } else if (service_.read_only()) {
+    // commit() is vacuously true with the journal closed; the snapshot
+    // path needs a live journal, so exit on the durable prefix instead.
+    std::cerr << "rsind: drain while read-only, snapshot skipped: "
+              << service_.last_io_error() << '\n';
+  } else {
+    try {
+      service_.snapshot();
+    } catch (const IoError& e) {
+      std::cerr << "rsind: drain snapshot skipped: " << e.what() << '\n';
+    }
+  }
   for (ClientConn& client : clients) {
     if (client.broken || client.fd < 0) continue;
     const int flags = ::fcntl(client.fd, F_GETFL, 0);
@@ -263,7 +368,11 @@ int Server::run_loop() {
       fds.push_back(pollfd{client.fd, events, 0});
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    // Bounded wait: deadline enforcement and the read-only re-arm probe
+    // must run even when no descriptor ever turns ready.
+    const int timeout_ms =
+        config_.poll_timeout_ms > 0 ? config_.poll_timeout_ms : -1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw std::logic_error(std::string("poll failed: ") +
@@ -282,14 +391,7 @@ int Server::run_loop() {
     const std::size_t polled = fds.size() - 2;
 
     if ((fds[0].revents & POLLIN) != 0 && !shutdown_requested) {
-      while (true) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) break;
-        set_nonblocking(fd);
-        ClientConn client;
-        client.fd = fd;
-        clients.push_back(std::move(client));
-      }
+      accept_clients(listen_fd, clients);
     }
 
     // 1. Read every ready client.
@@ -317,9 +419,21 @@ int Server::run_loop() {
         if (!line.empty() && line.back() == '\r') line.pop_back();
         start = newline + 1;
         if (line.empty()) continue;
+        if (line.size() > config_.max_line_bytes) {
+          ++caps_cut_;
+          client.broken = true;
+          break;
+        }
         replies.push_back(PendingReply{i, handle_line(line)});
       }
       client.in.erase(0, start);
+      // Leftover bytes are a partial line: start (or keep) its slowloris
+      // clock; a consumed buffer resets it.
+      if (client.in.empty()) {
+        client.partial_since = {};
+      } else if (client.partial_since.time_since_epoch().count() == 0) {
+        client.partial_since = std::chrono::steady_clock::now();
+      }
     }
 
     // Periodic journaled metrics checkpoints ride the same commit.
@@ -336,18 +450,44 @@ int Server::run_loop() {
     }
 
     // 3. Group commit: every record of this batch becomes durable...
-    service_.commit();
+    const bool committed = service_.commit();
+    if (!committed) {
+      // The breaker opened: memory was rolled back to the durable prefix,
+      // so an "ok" queued for this batch would acknowledge state that no
+      // longer exists. Every reply of the batch becomes a coded refusal —
+      // clients retry (idempotent ids make the retry safe).
+      const std::string refusal =
+          Response::refused("read-only",
+                           "commit failed, state rolled back: " +
+                               service_.last_io_error())
+              .wire();
+      for (PendingReply& reply : replies) reply.wire = refusal;
+    }
     // 4. ...and only now can any client observe success.
     for (PendingReply& reply : replies) {
-      clients[reply.client].out += reply.wire;
+      ClientConn& client = clients[reply.client];
+      client.out += reply.wire;
+      if (client.out.size() > config_.max_out_bytes) {
+        // A client that floods commands without reading replies does not
+        // get an unbounded reply queue — it gets cut.
+        ++caps_cut_;
+        client.broken = true;
+      }
     }
     for (ClientConn& client : clients) {
       if (!client.out.empty()) flush_client(client);
     }
 
-    // 5. Reap finished/broken clients.
+    // While read-only, the bounded poll tick doubles as the breaker's
+    // probe clock.
+    (void)service_.maybe_rearm();
+
+    // 5. Reap finished/broken clients; deadline violations count as
+    //    broken.
+    const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = clients.size(); i > 0; --i) {
       ClientConn& client = clients[i - 1];
+      enforce_deadlines(client, now);
       if (client.broken || (client.eof && client.out.empty())) {
         ::close(client.fd);
         clients.erase(clients.begin() + static_cast<std::ptrdiff_t>(i - 1));

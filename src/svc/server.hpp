@@ -22,9 +22,31 @@
 // `inject-delay ms=K` is handled at this layer (wall-clock sleep in the
 // command path, never journaled): it exists to let tests and the soak
 // harness make the watchdog fire deterministically.
+//
+// --- hostile-client edge (DESIGN.md §12) -----------------------------------
+//
+// The loop assumes every client may be malicious and bounds what each one
+// can cost:
+//
+//  * per-connection byte caps: the unconsumed input buffer and the queued
+//    output backlog are both capped; crossing either cap cuts the client.
+//  * max-line-length: input that grows past max_line_bytes without a
+//    newline is a protocol violation, not a memory bill.
+//  * slowloris: a connection holding a *partial* line longer than
+//    line_timeout_ms is cut, as is one idle (no traffic at all) past
+//    idle_timeout_ms, or one whose replies have not drained for
+//    write_stall_ms. The poll timeout is bounded (poll_timeout_ms), so
+//    these deadlines fire even when no fd is ready — the same tick drives
+//    the read-only re-arm probe.
+//  * fd exhaustion: beyond max_clients new connections are shed with a
+//    coded refusal; EMFILE/ENFILE on accept() is absorbed by closing a
+//    spare reserve fd, accepting, closing the connection, and re-taking
+//    the reserve — the kernel queue drains instead of spinning poll hot.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +64,22 @@ struct ServerConfig {
   std::int32_t note_metrics_every = 0;
   /// Lines longer than this are a protocol violation; the client is cut.
   std::size_t max_line_bytes = 1 << 20;
+  /// Cap on a connection's unconsumed input buffer.
+  std::size_t max_in_bytes = 2 << 20;
+  /// Cap on a connection's queued-but-unsent output.
+  std::size_t max_out_bytes = 8 << 20;
+  /// Upper bound on one poll(2) wait; keeps timeout checks and the
+  /// read-only re-arm probe running even when no fd turns ready.
+  std::int32_t poll_timeout_ms = 250;
+  /// Cut a connection holding a partial line this long (slowloris). 0 off.
+  std::int32_t line_timeout_ms = 10000;
+  /// Cut a connection with no traffic in either direction this long. 0 off.
+  std::int32_t idle_timeout_ms = 60000;
+  /// Cut a connection whose output backlog has not fully drained for this
+  /// long (reader stopped reading). 0 off.
+  std::int32_t write_stall_ms = 10000;
+  /// Connections beyond this are shed at accept with "err code=busy".
+  std::size_t max_clients = 256;
 };
 
 class Server {
@@ -70,13 +108,24 @@ class Server {
     std::string out;
     bool eof = false;
     bool broken = false;
+    /// Deadline bookkeeping (all steady_clock). last_activity advances on
+    /// any byte moved in either direction; partial_since marks when an
+    /// incomplete line started waiting; out_since when the backlog became
+    /// non-empty.
+    std::chrono::steady_clock::time_point last_activity{};
+    std::chrono::steady_clock::time_point partial_since{};
+    std::chrono::steady_clock::time_point out_since{};
   };
   struct Watchdog;
 
   int run_loop();
   int listen_socket();
+  void accept_clients(int listen_fd, std::vector<ClientConn>& clients);
   void read_client(ClientConn& client);
   void flush_client(ClientConn& client);
+  /// Applies idle / partial-line / write-stall deadlines to `client`.
+  void enforce_deadlines(ClientConn& client,
+                         std::chrono::steady_clock::time_point now);
   /// Executes one line; returns the wire reply. May journal (group commit
   /// happens per batch, after all lines).
   std::string handle_line(const std::string& line);
@@ -88,8 +137,14 @@ class Server {
   RecoveryReport recovery_;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
+  /// Reserve fd closed/re-taken to absorb EMFILE/ENFILE on accept().
+  int spare_fd_ = -1;
   std::unique_ptr<Watchdog> watchdog_;
   std::int64_t batches_ = 0;
+  // Edge-defense counters (observable via logs and tests).
+  std::uint64_t sheds_ = 0;
+  std::uint64_t timeouts_cut_ = 0;
+  std::uint64_t caps_cut_ = 0;
 };
 
 }  // namespace rsin::svc

@@ -4,10 +4,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -28,28 +28,95 @@ long long file_size(const std::string& path) {
   return static_cast<long long>(st.st_size);
 }
 
-void write_file_durable(const std::string& path, const std::string& bytes) {
-  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  RSIN_ENSURE(fd >= 0, "cannot create " + path + ": " +
-                           std::strerror(errno));
+int open_retry(util::Vfs& vfs, const std::string& path, int flags, int mode) {
+  while (true) {
+    const int fd = vfs.open(path.c_str(), flags, mode);
+    if (fd != -EINTR) return fd;
+  }
+}
+
+/// Reads the whole file through the Vfs. False + *error on failure.
+bool read_file(util::Vfs& vfs, const std::string& path, std::string* out,
+               std::string* error) {
+  util::Fd fd(vfs, open_retry(vfs, path, O_RDONLY, 0));
+  if (!fd.valid()) {
+    *error = "cannot open " + path + ": " + std::strerror(-fd.get());
+    return false;
+  }
+  out->clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = vfs.read(fd.get(), buf, sizeof(buf));
+    if (n == 0) return true;
+    if (n < 0) {
+      if (n == -EINTR) continue;
+      *error = "cannot read " + path + ": " +
+               std::strerror(static_cast<int>(-n));
+      return false;
+    }
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// tmp-file writer for the snapshot path: create, write fully, fsync,
+/// close — every fd on every path RAII-owned. False + *error on failure
+/// (the caller unlinks the tmp; nothing else changed).
+bool write_file_durable(util::Vfs& vfs, const std::string& path,
+                        const std::string& bytes, std::string* error) {
+  util::Fd fd(vfs, open_retry(vfs, path, O_CREAT | O_TRUNC | O_WRONLY, 0644));
+  if (!fd.valid()) {
+    *error = "cannot create " + path + ": " + std::strerror(-fd.get());
+    return false;
+  }
   std::size_t done = 0;
   while (done < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    const ssize_t n =
+        vfs.write(fd.get(), bytes.data() + done, bytes.size() - done);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      throw std::logic_error("write failed for " + path + ": " +
-                             std::strerror(err));
+      if (n == -EINTR) continue;
+      *error = "write failed for " + path + ": " +
+               std::strerror(static_cast<int>(-n));
+      return false;
     }
     done += static_cast<std::size_t>(n);
   }
-  const bool synced = ::fsync(fd) == 0 || errno == EINVAL || errno == ENOSYS;
-  ::close(fd);
-  RSIN_ENSURE(synced, "fsync failed for " + path);
+  const int sync_rc = vfs.fsync(fd.get());
+  if (sync_rc != 0 && sync_rc != -EINVAL && sync_rc != -ENOSYS) {
+    *error = "fsync failed for " + path + ": " + std::strerror(-sync_rc);
+    return false;
+  }
+  const int close_rc = vfs.close(fd.release());
+  if (close_rc != 0) {
+    // Treat a failed close like a failed write: the kernel may have
+    // deferred an error to here (NFS/quota semantics).
+    *error = "close failed for " + path + ": " + std::strerror(-close_rc);
+    return false;
+  }
+  return true;
+}
+
+/// Verbs that append journal records (or rotate the journal) — exactly the
+/// set the read-only mode must refuse.
+bool requires_journal(const std::string& verb) {
+  return verb == "tenant" || verb == "req" || verb == "cycle" ||
+         verb == "set" || verb == "inject-fault" || verb == "repair" ||
+         verb == "watchdog-trip" || verb == "note-metrics" ||
+         verb == "snapshot";
 }
 
 }  // namespace
+
+const char* to_string(IoMode mode) {
+  switch (mode) {
+    case IoMode::kNormal:
+      return "normal";
+    case IoMode::kReadOnly:
+      return "read-only";
+    case IoMode::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
 
 std::string RecoveryReport::to_args() const {
   std::string args;
@@ -63,11 +130,16 @@ std::string RecoveryReport::to_args() const {
   if (journal_truncated) {
     args += " damage-offset=" + std::to_string(damage_offset);
   }
+  if (orphans_removed > 0) {
+    args += " orphans-removed=" + std::to_string(orphans_removed);
+  }
   return args;
 }
 
 Service::Service(ServiceConfig config)
-    : config_(std::move(config)), pool_(config_.pool_shards) {
+    : config_(std::move(config)),
+      vfs_(config_.vfs != nullptr ? config_.vfs : &util::Vfs::real()),
+      pool_(config_.pool_shards) {
   RSIN_REQUIRE(!config_.dir.empty(), "service dir must be set");
 }
 
@@ -83,21 +155,50 @@ std::string Service::snapshot_tmp_path() const {
   return config_.dir + "/" + kSnapshotTmpFile;
 }
 
+std::size_t Service::cleanup_orphan_tmp_files() {
+  // A crash between tmp create and rename leaves snapshot.tmp (or any
+  // sibling *.tmp) behind; it was never renamed, so it is dead weight that
+  // would otherwise accumulate and confuse operators. Enumerating the
+  // directory is read-only metadata work, so std::filesystem is fine; the
+  // unlink itself goes through the Vfs.
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".tmp") != 0) {
+      continue;
+    }
+    if (vfs_->unlink(entry.path().string().c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
 void Service::start_fresh() {
   // A stale snapshot next to a fresh epoch-0 journal would poison a later
   // recovery (the epoch rule would prefer the snapshot); remove both.
-  ::unlink(snapshot_path().c_str());
-  ::unlink(snapshot_tmp_path().c_str());
-  journal_ = Journal::create(journal_path(), 0);
+  (void)cleanup_orphan_tmp_files();
+  (void)vfs_->unlink(snapshot_path().c_str());
+  journal_ = Journal::create(journal_path(), 0, vfs_);
+  durable_journal_exists_ = true;
+  durable_epoch_ = 0;
+  durable_valid_bytes_ = Journal::kHeaderBytes;
+  io_mode_ = IoMode::kNormal;
 }
 
-RecoveryReport Service::recover() {
+RecoveryReport Service::load_state() {
+  domains_.clear();
   RecoveryReport report;
 
   // 1. Snapshot, if one exists.
   if (file_size(snapshot_path()) >= 0) {
-    std::ifstream in(snapshot_path());
-    RSIN_ENSURE(in.is_open(), "cannot open " + snapshot_path());
+    std::string bytes;
+    std::string error;
+    if (!read_file(*vfs_, snapshot_path(), &bytes, &error)) {
+      throw RecoveryError(error);
+    }
+    std::istringstream in(bytes);
     std::string line;
     if (!std::getline(in, line)) {
       throw RecoveryError("snapshot is empty: " + snapshot_path());
@@ -121,19 +222,20 @@ RecoveryReport Service::recover() {
   }
 
   // 2. Journal, per the epoch rules (see service.hpp).
+  durable_journal_exists_ = false;
+  durable_epoch_ = report.snapshot_epoch;
+  durable_valid_bytes_ = 0;
   const long long size = file_size(journal_path());
   if (size < 0) {
-    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
     return report;
   }
   if (size < static_cast<long long>(Journal::kHeaderBytes)) {
     // Torn create: the header is written before any record can exist, so
     // this journal never held state. Recreate at the snapshot's epoch.
     report.had_journal = true;
-    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
     return report;
   }
-  Journal::ScanResult scan = Journal::scan(journal_path());
+  Journal::ScanResult scan = Journal::scan(journal_path(), vfs_);
   report.had_journal = true;
   report.journal_epoch = scan.epoch;
   report.journal_truncated = scan.truncated;
@@ -150,14 +252,33 @@ RecoveryReport Service::recover() {
     // Crash hit between snapshot rename and journal swap: every record in
     // this journal is already folded into the snapshot.
     report.journal_stale = true;
-    journal_ = Journal::create(journal_path(), report.snapshot_epoch);
     return report;
   }
   for (const std::string& record : scan.records) {
     replay_record(record);
     ++report.replayed;
   }
-  journal_ = Journal::append_to(journal_path(), scan);
+  durable_journal_exists_ = true;
+  durable_epoch_ = scan.epoch;
+  durable_valid_bytes_ = scan.valid_bytes;
+  return report;
+}
+
+RecoveryReport Service::recover() {
+  RecoveryReport report = load_state();
+  report.orphans_removed = cleanup_orphan_tmp_files();
+  if (!durable_journal_exists_) {
+    journal_ = Journal::create(journal_path(), durable_epoch_, vfs_);
+    durable_journal_exists_ = true;
+    durable_valid_bytes_ = Journal::kHeaderBytes;
+  } else {
+    const Journal::ScanResult scan = Journal::scan(journal_path(), vfs_);
+    RSIN_ENSURE(scan.epoch == durable_epoch_ &&
+                    scan.valid_bytes == durable_valid_bytes_,
+                "journal changed between scan and reopen");
+    journal_ = Journal::append_to(journal_path(), scan, vfs_);
+  }
+  io_mode_ = IoMode::kNormal;
   return report;
 }
 
@@ -167,12 +288,102 @@ void Service::journal_append(const std::string& line) {
   journal_.append(line);
 }
 
-void Service::commit() {
-  if (!journal_.is_open()) return;
-  if (config_.durable) {
-    journal_.sync();
-  } else {
-    journal_.flush();
+bool Service::commit() {
+  // A closed journal means read-only mode (or pre-start): dispatch already
+  // refused every journaled verb, so nothing is staged and there is nothing
+  // to fail. Returning true keeps read replies standing — a false here
+  // would make the server rewrite a whole reads-only batch into commit
+  // refusals while degraded.
+  if (!journal_.is_open()) return true;
+  const bool writes_pending = journal_.records_pending() > 0 ||
+                              journal_.partial_flushed_bytes() > 0;
+  const std::int32_t attempts =
+      1 + std::max<std::int32_t>(0, config_.io.flush_retries);
+  for (std::int32_t attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      if (config_.durable) {
+        journal_.sync();
+      } else {
+        journal_.flush();
+      }
+      if (io_mode_ == IoMode::kHalfOpen && writes_pending) {
+        // The probe traffic reached the disk: the breaker closes.
+        io_mode_ = IoMode::kNormal;
+        backoff_ms_ = 0;
+        ++rearms_;
+      }
+      return true;
+    } catch (const JournalError& e) {
+      // The flush is resumable (the journal tracks the bytes that landed),
+      // so trying again is safe and exactly what an EINTR storm or a
+      // transient ENOSPC wants.
+      ++io_failures_;
+      last_io_error_ = e.what();
+    }
+  }
+  enter_read_only("group commit failed after " + std::to_string(attempts) +
+                  " attempts: " + last_io_error_);
+  return false;
+}
+
+void Service::enter_read_only(const std::string& reason) {
+  ++breaker_trips_;
+  last_io_error_ = reason;
+  // Unflushed records were never acknowledged; drop them WITHOUT flushing
+  // (a late flush would put records on disk that memory rolls back past).
+  journal_.abandon();
+  try {
+    (void)load_state();
+  } catch (const std::exception& e) {
+    throw FatalServiceError(
+        "cannot roll back to the durable state after an IO failure — "
+        "memory is no longer trustworthy: " +
+        std::string(e.what()) + " (trigger: " + reason + ")");
+  }
+  io_mode_ = IoMode::kReadOnly;
+  backoff_ms_ = backoff_ms_ <= 0
+                    ? std::max<std::int32_t>(0, config_.io.probe_backoff_ms)
+                    : std::min(backoff_ms_ * 2,
+                               config_.io.probe_backoff_max_ms);
+  probe_at_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(backoff_ms_);
+}
+
+bool Service::maybe_rearm() {
+  if (io_mode_ != IoMode::kReadOnly) return false;
+  if (std::chrono::steady_clock::now() < probe_at_) return false;
+  ++rearm_attempts_;
+  try {
+    if (!durable_journal_exists_) {
+      journal_ = Journal::create(journal_path(), durable_epoch_, vfs_);
+      durable_journal_exists_ = true;
+      durable_valid_bytes_ = Journal::kHeaderBytes;
+    } else {
+      const Journal::ScanResult scan = Journal::scan(journal_path(), vfs_);
+      if (scan.epoch != durable_epoch_ ||
+          scan.valid_bytes != durable_valid_bytes_) {
+        // The durable prefix memory was rebuilt from no longer matches the
+        // file — re-arming would acknowledge commands against unknown
+        // state. Stay read-only (the next probe re-checks).
+        throw IoError("durable journal prefix changed while read-only "
+                      "(expected epoch " +
+                      std::to_string(durable_epoch_) + "/" +
+                      std::to_string(durable_valid_bytes_) +
+                      " bytes, found " + std::to_string(scan.epoch) + "/" +
+                      std::to_string(scan.valid_bytes) + " bytes)");
+      }
+      journal_ = Journal::append_to(journal_path(), scan, vfs_);
+    }
+    io_mode_ = IoMode::kHalfOpen;
+    return true;
+  } catch (const std::exception& e) {
+    ++io_failures_;
+    last_io_error_ = e.what();
+    backoff_ms_ = std::min(std::max(backoff_ms_, 1) * 2,
+                           config_.io.probe_backoff_max_ms);
+    probe_at_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(backoff_ms_);
+    return false;
   }
 }
 
@@ -180,6 +391,8 @@ Response Service::execute(const std::string& line) {
   try {
     const Command command = parse_command(line);
     return dispatch(command, /*replay=*/false);
+  } catch (const FatalServiceError&) {
+    throw;  // Must reach the server's top level (exit 1), not a client.
   } catch (const std::exception& e) {
     return Response::error(e.what());
   }
@@ -226,25 +439,79 @@ std::uint64_t Service::snapshot() {
       << '\n';
   for (const auto& [name, domain] : domains_) domain.save(out);
   out << "endsnapshot\n";
-  // tmp -> fsync -> rename is atomic under every crash window; the journal
-  // swap after it is what the epoch rule protects.
-  write_file_durable(snapshot_tmp_path(), out.str());
-  RSIN_ENSURE(
-      std::rename(snapshot_tmp_path().c_str(), snapshot_path().c_str()) == 0,
-      "cannot rename snapshot into place: " + std::string(strerror(errno)));
+  // tmp -> fsync -> rename is atomic under every crash window AND under
+  // every fault window: a failure before the rename only costs the tmp
+  // file (unlinked here, swept by cleanup_orphan_tmp_files otherwise);
+  // journal and memory are untouched, so normal service continues.
+  std::string error;
+  if (!write_file_durable(*vfs_, snapshot_tmp_path(), out.str(), &error)) {
+    (void)vfs_->unlink(snapshot_tmp_path().c_str());
+    ++io_failures_;
+    last_io_error_ = error;
+    throw IoError("snapshot rolled back (journal and state untouched): " +
+                  error);
+  }
+  const int rc =
+      vfs_->rename(snapshot_tmp_path().c_str(), snapshot_path().c_str());
+  if (rc != 0) {
+    (void)vfs_->unlink(snapshot_tmp_path().c_str());
+    ++io_failures_;
+    last_io_error_ = std::strerror(-rc);
+    throw IoError(
+        "snapshot rename rolled back (journal and state untouched): " +
+        std::string(std::strerror(-rc)));
+  }
+  // The snapshot is durable. Swap the journal; buffered records (if any)
+  // are folded into the snapshot, so close() losing them to a write error
+  // would still be safe — the epoch rule discards this journal either way.
   journal_.close();
-  journal_ = Journal::create(journal_path(), epoch);
+  try {
+    journal_ = Journal::create(journal_path(), epoch, vfs_);
+  } catch (const JournalError& e) {
+    // Valid durable pair on disk (new snapshot + stale journal); memory is
+    // intact but nothing can be journaled — that is exactly read-only.
+    enter_read_only(std::string("journal swap after snapshot failed: ") +
+                    e.what());
+    throw IoError(std::string(
+                      "snapshot is durable but the journal swap failed; "
+                      "service is read-only: ") +
+                  e.what());
+  }
+  durable_journal_exists_ = true;
+  durable_epoch_ = epoch;
+  durable_valid_bytes_ = Journal::kHeaderBytes;
   return epoch;
+}
+
+Response Service::io_status_response() const {
+  return Response::okay(
+      std::string("mode=") + to_string(io_mode_) +
+      " trips=" + std::to_string(breaker_trips_) +
+      " failures=" + std::to_string(io_failures_) +
+      " rearm-attempts=" + std::to_string(rearm_attempts_) +
+      " rearms=" + std::to_string(rearms_) +
+      " backoff-ms=" + std::to_string(backoff_ms_) +
+      " epoch=" + std::to_string(journal_.epoch()));
 }
 
 Response Service::dispatch(const Command& command, bool replay) {
   const std::string& verb = command.verb;
+
+  // Degraded storage gate: while the breaker is open, every command that
+  // would need a journal record is refused with a machine-matchable code;
+  // reads below keep serving. Replay is exempt (it IS the rollback path).
+  if (!replay && io_mode_ == IoMode::kReadOnly && requires_journal(verb)) {
+    return Response::refused(
+        "read-only", "storage degraded, mutation refused (" +
+                         last_io_error_ + "); retry after re-arm");
+  }
 
   // --- read-only / control (never journaled) -------------------------------
   if (verb == "ping") return Response::okay("pong");
   if (verb == "epoch") {
     return Response::okay("epoch=" + std::to_string(journal_.epoch()));
   }
+  if (verb == "io-status") return io_status_response();
   if (verb == "journal-stats") {
     return Response::okay(
         "epoch=" + std::to_string(journal_.epoch()) +
@@ -285,7 +552,11 @@ Response Service::dispatch(const Command& command, bool replay) {
   }
   if (verb == "snapshot") {
     RSIN_REQUIRE(!replay, "snapshot cannot appear in a journal");
-    return Response::okay("epoch=" + std::to_string(snapshot()));
+    try {
+      return Response::okay("epoch=" + std::to_string(snapshot()));
+    } catch (const IoError& e) {
+      return Response::refused("io", e.what());
+    }
   }
   if (verb == "drain") {
     RSIN_REQUIRE(!replay, "drain cannot appear in a journal");
@@ -295,7 +566,7 @@ Response Service::dispatch(const Command& command, bool replay) {
 
   // --- state-changing (journaled on success) -------------------------------
   if (verb == "tenant") {
-    RSIN_REQUIRE(!draining_, "draining: not accepting new tenants");
+    RSIN_REQUIRE(!draining_ || replay, "draining: not accepting new tenants");
     const std::string& name = command.str("name");
     RSIN_REQUIRE(!name.empty(), "tenant name must be non-empty");
     RSIN_REQUIRE(!domains_.contains(name),
@@ -309,7 +580,7 @@ Response Service::dispatch(const Command& command, bool replay) {
     return Response::okay("tenant=" + name);
   }
   if (verb == "req") {
-    RSIN_REQUIRE(!draining_, "draining: not admitting requests");
+    RSIN_REQUIRE(!draining_ || replay, "draining: not admitting requests");
     Domain& domain = require_tenant(command);
     const std::uint64_t id = command.u64("id");
     const auto processor =
@@ -328,7 +599,7 @@ Response Service::dispatch(const Command& command, bool replay) {
     return Response::okay(std::string("status=") + to_string(result));
   }
   if (verb == "cycle") {
-    RSIN_REQUIRE(!draining_, "draining: not running cycles");
+    RSIN_REQUIRE(!draining_ || replay, "draining: not running cycles");
     Domain& domain = require_tenant(command);
     const std::uint64_t id = command.u64("id");
     if (domain.seen(id) && !replay) {

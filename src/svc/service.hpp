@@ -32,8 +32,45 @@
 // Every crash window in that protocol leaves a recoverable pair: tmp-file
 // crashes are invisible, post-rename crashes leave a stale journal the
 // epoch rule discards, torn journal creates are empty by construction.
+//
+// --- degraded storage (DESIGN.md §12) ------------------------------------
+//
+// All file I/O goes through a util::Vfs, and storage failure has *defined*
+// behavior instead of a crash. The invariant defended throughout is
+//
+//     in-memory state == replay(durable on-disk state),
+//
+// which is what makes "zero acknowledged-command loss" checkable. The IO
+// circuit breaker mirrors the scheduler breaker's closed/open/half-open
+// semantics:
+//
+//  * commit() retries a failed journal flush (the flush is resumable, so
+//    retries never corrupt framing). If every attempt fails, the breaker
+//    OPENS: the service discards the unflushed records, REBUILDS its
+//    memory from the durable prefix on disk (snapshot + intact journal
+//    records — the same machinery as crash recovery), and enters
+//    read-only mode. The batch's clients get a coded refusal, never an ok,
+//    so nothing acknowledged was lost.
+//  * in read-only mode every state-changing command is refused with
+//    "err code=read-only ..."; reads (ping/stats/tenants/metrics/epoch/
+//    io-status) keep serving.
+//  * maybe_rearm() probes the disk after an exponential backoff: it
+//    re-scans the journal, verifies the durable prefix is unchanged, and
+//    reopens it for appending — the breaker goes HALF-OPEN, admitting
+//    mutations again. The first commit that actually writes decides:
+//    success closes the breaker, failure re-opens it (rollback + doubled
+//    backoff).
+//  * snapshot() failures before the rename are rolled back by deleting the
+//    tmp file — journal and memory untouched, normal service continues.
+//    A failure creating the post-snapshot journal flips to read-only (the
+//    renamed snapshot plus the stale journal are a valid durable pair).
+//  * if the rollback itself cannot re-read the durable state, memory can
+//    no longer be trusted: FatalServiceError propagates out of execute()
+//    and the server exits 1 — a disk that can't be read is beyond
+//    degraded modes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -43,8 +80,19 @@
 #include "svc/domain.hpp"
 #include "svc/journal.hpp"
 #include "svc/protocol.hpp"
+#include "util/vfs.hpp"
 
 namespace rsin::svc {
+
+/// Closed/open/half-open breaker knobs for the storage path.
+struct IoBreakerConfig {
+  /// Extra flush attempts inside one commit() before the breaker opens
+  /// (1 + flush_retries consecutive write failures trip it).
+  std::int32_t flush_retries = 2;
+  /// First open -> half-open probe delay; doubles per failed probe.
+  std::int32_t probe_backoff_ms = 100;
+  std::int32_t probe_backoff_max_ms = 5000;
+};
 
 struct ServiceConfig {
   /// Data directory holding journal.bin / snapshot.txt. Must exist.
@@ -53,6 +101,10 @@ struct ServiceConfig {
   /// fdatasync on every commit (power-loss durability). Off by default:
   /// surviving SIGKILL of the daemon only needs the flush.
   bool durable = false;
+  /// File-system seam; nullptr = the real syscalls. Tests and the fault
+  /// soak install a svc::FaultFs here.
+  util::Vfs* vfs = nullptr;
+  IoBreakerConfig io;
 };
 
 /// What recover() found and did; surfaced by `rsind --recover` logging and
@@ -67,6 +119,7 @@ struct RecoveryReport {
   bool journal_truncated = false; ///< A torn tail was dropped.
   std::uint64_t damage_offset = 0;
   std::string damage;
+  std::size_t orphans_removed = 0; ///< Stale *.tmp files cleaned up.
 
   [[nodiscard]] std::string to_args() const;
 };
@@ -79,6 +132,27 @@ class RecoveryError : public std::runtime_error {
   explicit RecoveryError(const std::string& what)
       : std::runtime_error("recovery: " + what) {}
 };
+
+/// A storage operation failed but the service remains in a defined state
+/// (the caller gets a coded refusal; degraded modes take over).
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what)
+      : std::runtime_error("io: " + what) {}
+};
+
+/// Memory can no longer be proven equal to the durable state (the rollback
+/// re-read failed). Deliberately NOT caught by execute(): it must reach the
+/// server's top level, which exits 1.
+class FatalServiceError : public std::runtime_error {
+ public:
+  explicit FatalServiceError(const std::string& what)
+      : std::runtime_error("fatal: " + what) {}
+};
+
+enum class IoMode { kNormal, kReadOnly, kHalfOpen };
+
+[[nodiscard]] const char* to_string(IoMode mode);
 
 class Service {
  public:
@@ -95,11 +169,17 @@ class Service {
   /// Executes one protocol line. State-changing commands buffer a journal
   /// record; nothing is durable until commit(). Never throws on bad input —
   /// malformed or failing commands return an err response (and are not
-  /// journaled).
+  /// journaled). Only FatalServiceError escapes.
   Response execute(const std::string& line);
-  /// Group-commit point: flushes buffered journal records (fdatasync when
-  /// configured durable). Callers reply to clients only after this returns.
-  void commit();
+  /// Group-commit point. Returns true when every buffered record is
+  /// durable; callers reply ok to clients only after a true return. On
+  /// false the breaker has opened: state was rolled back to the durable
+  /// prefix and every reply of the batch must become a coded refusal.
+  [[nodiscard]] bool commit();
+
+  /// Probes the disk when read-only and the backoff has elapsed; true when
+  /// the journal was re-armed (breaker half-open, mutations admitted).
+  bool maybe_rearm();
 
   /// Journals a watchdog trip escalating `tenant` one degradation level
   /// (capped at greedy). Called by the server at a command boundary when
@@ -107,7 +187,8 @@ class Service {
   Response trip_watchdog(const std::string& tenant);
 
   /// Writes the epoch-bumped snapshot and swaps the journal (see header
-  /// comment). Returns the new epoch.
+  /// comment). Returns the new epoch. Throws IoError on storage failure
+  /// (tmp/rename failures leave journal + memory untouched).
   std::uint64_t snapshot();
 
   /// Drain mode: admission-changing commands are refused (read-only and
@@ -115,6 +196,14 @@ class Service {
   /// flight, snapshots, and exits 0.
   void begin_drain() { draining_ = true; }
   [[nodiscard]] bool draining() const { return draining_; }
+
+  [[nodiscard]] IoMode io_mode() const { return io_mode_; }
+  [[nodiscard]] bool read_only() const {
+    return io_mode_ == IoMode::kReadOnly;
+  }
+  [[nodiscard]] const std::string& last_io_error() const {
+    return last_io_error_;
+  }
 
   [[nodiscard]] std::uint64_t epoch() const { return journal_.epoch(); }
   [[nodiscard]] const Journal& journal() const { return journal_; }
@@ -136,11 +225,38 @@ class Service {
   void journal_append(const std::string& line);
   [[nodiscard]] std::string snapshot_tmp_path() const;
 
+  /// Rebuilds domains_ from snapshot + journal scan (no journal reopen).
+  RecoveryReport load_state();
+  /// Deletes orphaned *.tmp files a crash mid-snapshot left behind.
+  std::size_t cleanup_orphan_tmp_files();
+  /// Opens the breaker: discard unflushed records, re-read durable state,
+  /// refuse mutations, schedule a probe. Throws FatalServiceError when the
+  /// durable state cannot be re-read.
+  void enter_read_only(const std::string& reason);
+  [[nodiscard]] Response io_status_response() const;
+
   ServiceConfig config_;
+  util::Vfs* vfs_ = nullptr;
   core::WarmContextPool pool_;
   std::map<std::string, Domain> domains_;
   Journal journal_;
   bool draining_ = false;
+
+  // --- IO breaker state ----------------------------------------------------
+  IoMode io_mode_ = IoMode::kNormal;
+  std::string last_io_error_;
+  std::int32_t backoff_ms_ = 0;
+  std::chrono::steady_clock::time_point probe_at_{};
+  /// Durable identity remembered at rollback so a probe can verify the
+  /// disk did not change while the breaker was open.
+  std::uint64_t durable_epoch_ = 0;
+  std::uint64_t durable_valid_bytes_ = 0;
+  bool durable_journal_exists_ = false;
+  // Counters surfaced by the io-status verb.
+  std::uint64_t io_failures_ = 0;
+  std::uint64_t breaker_trips_ = 0;
+  std::uint64_t rearm_attempts_ = 0;
+  std::uint64_t rearms_ = 0;
 };
 
 }  // namespace rsin::svc

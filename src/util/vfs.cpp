@@ -1,0 +1,53 @@
+#include "util/vfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace rsin::util {
+namespace {
+
+class RealVfs final : public Vfs {
+ public:
+  int open(const char* path, int flags, int mode) override {
+    const int fd = ::open(path, flags, mode);
+    return fd >= 0 ? fd : -errno;
+  }
+  ssize_t read(int fd, void* buf, std::size_t n) override {
+    const ssize_t r = ::read(fd, buf, n);
+    return r >= 0 ? r : -errno;
+  }
+  ssize_t write(int fd, const void* buf, std::size_t n) override {
+    const ssize_t r = ::write(fd, buf, n);
+    return r >= 0 ? r : -errno;
+  }
+  int fsync(int fd) override { return ::fsync(fd) == 0 ? 0 : -errno; }
+  int fdatasync(int fd) override {
+    return ::fdatasync(fd) == 0 ? 0 : -errno;
+  }
+  int ftruncate(int fd, off_t size) override {
+    return ::ftruncate(fd, size) == 0 ? 0 : -errno;
+  }
+  off_t lseek(int fd, off_t offset, int whence) override {
+    const off_t r = ::lseek(fd, offset, whence);
+    return r >= 0 ? r : static_cast<off_t>(-errno);
+  }
+  int rename(const char* from, const char* to) override {
+    return std::rename(from, to) == 0 ? 0 : -errno;
+  }
+  int unlink(const char* path) override {
+    return ::unlink(path) == 0 ? 0 : -errno;
+  }
+  int close(int fd) override { return ::close(fd) == 0 ? 0 : -errno; }
+};
+
+}  // namespace
+
+Vfs& Vfs::real() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+}  // namespace rsin::util

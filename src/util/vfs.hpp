@@ -1,0 +1,92 @@
+// util::Vfs — the file-system seam every durable-state syscall goes
+// through.
+//
+// The rsind journal and snapshot path used to call ::open/::write/
+// ::fdatasync/::rename directly, which made "what happens when the disk
+// fails" untestable short of filling a real partition. Vfs is the
+// dependency-injection point: production code uses Vfs::real() (thin
+// wrappers over the raw syscalls), tests and the fault soak install
+// svc::FaultFs, which scripts ENOSPC / EIO / EINTR storms / short writes /
+// mid-write power cuts against the same call sites.
+//
+// Error convention: every operation returns the syscall's result, with
+// failures mapped to -errno (open returns a non-negative fd or -errno,
+// write returns bytes written or -errno, the int-returning ops return 0 or
+// -errno). Callers therefore never consult the global errno, which keeps
+// fault fakes race-free and makes the injected error explicit at the call
+// site. EINTR is *not* retried here — resilience to interrupt storms is
+// the caller's contract, and the fault schedule tests exactly that.
+//
+// Fd is the RAII companion: a file descriptor bound to the Vfs that opened
+// it, closed exactly once on every path out of scope (the journal and
+// snapshot writers used to leak fds on their throw paths).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <utility>
+
+namespace rsin::util {
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Returns a file descriptor >= 0, or -errno.
+  [[nodiscard]] virtual int open(const char* path, int flags, int mode) = 0;
+  /// Returns bytes read (0 = EOF), or -errno.
+  [[nodiscard]] virtual ssize_t read(int fd, void* buf, std::size_t n) = 0;
+  /// Returns bytes written (may be short), or -errno.
+  [[nodiscard]] virtual ssize_t write(int fd, const void* buf,
+                                      std::size_t n) = 0;
+  /// 0 or -errno.
+  [[nodiscard]] virtual int fsync(int fd) = 0;
+  [[nodiscard]] virtual int fdatasync(int fd) = 0;
+  [[nodiscard]] virtual int ftruncate(int fd, off_t size) = 0;
+  /// Resulting offset or -errno.
+  [[nodiscard]] virtual off_t lseek(int fd, off_t offset, int whence) = 0;
+  [[nodiscard]] virtual int rename(const char* from, const char* to) = 0;
+  [[nodiscard]] virtual int unlink(const char* path) = 0;
+  virtual int close(int fd) = 0;
+
+  /// The raw-syscall implementation (a process-lifetime singleton).
+  [[nodiscard]] static Vfs& real();
+};
+
+/// RAII file descriptor owned by a Vfs. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  Fd(Vfs& vfs, int fd) : vfs_(&vfs), fd_(fd) {}
+  Fd(Fd&& other) noexcept
+      : vfs_(other.vfs_), fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vfs_ = other.vfs_;
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Gives up ownership without closing.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset() {
+    if (fd_ >= 0) {
+      vfs_->close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  Vfs* vfs_ = nullptr;
+  int fd_ = -1;
+};
+
+}  // namespace rsin::util

@@ -1,0 +1,409 @@
+// Hostile-environment storage: the FaultFs schedule grammar, the IO
+// circuit breaker (read-only degraded mode, rollback to the durable
+// prefix, re-arm probes), EINTR storms and short writes at the journal
+// call sites, snapshot rollback under fault, and orphan tmp cleanup
+// (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/faultfs.hpp"
+#include "svc/service.hpp"
+
+namespace rsin::svc {
+namespace {
+
+using Op = FaultFs::Rule::Op;
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+/// Service wired to `fs`, with a fast breaker (1 retry, 1 ms probe).
+ServiceConfig faulty_config(const TempDir& dir, FaultFs* fs) {
+  ServiceConfig config;
+  config.dir = dir.path;
+  config.pool_shards = 2;
+  config.vfs = fs;
+  config.io.flush_retries = 1;
+  config.io.probe_backoff_ms = 1;
+  return config;
+}
+
+FaultFs::Rule write_error_rule(const std::string& path, int error,
+                               std::uint64_t count) {
+  FaultFs::Rule rule;
+  rule.op = Op::kWrite;
+  rule.path_contains = path;
+  rule.error = error;
+  rule.count = count;
+  return rule;
+}
+
+void seed_tenant(Service& service) {
+  ASSERT_TRUE(
+      service.execute("tenant name=t0 topology=omega n=8 seed=7 "
+                      "scheduler=breaker")
+          .ok);
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(service
+                    .execute("req tenant=t0 id=" + std::to_string(i) +
+                             " proc=" + std::to_string(i % 5) + " prio=0")
+                    .ok);
+  }
+  ASSERT_TRUE(service.execute("cycle tenant=t0 id=100").ok);
+}
+
+/// Blocks until the probe backoff elapsed and the re-arm attempt ran.
+bool rearm_with_patience(Service& service) {
+  for (int i = 0; i < 200; ++i) {
+    if (service.maybe_rearm()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(FaultFs, ParseSpecBuildsTheSchedule) {
+  const std::vector<FaultFs::Rule> rules = FaultFs::parse_spec(
+      "op=write,path=journal,after=120,count=2,err=ENOSPC;"
+      "op=fdatasync,err=EIO;"
+      "op=write,short=3,cut=1;"
+      "op=write,count=inf,err=5");
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].op, Op::kWrite);
+  EXPECT_EQ(rules[0].path_contains, "journal");
+  EXPECT_EQ(rules[0].after, 120u);
+  EXPECT_EQ(rules[0].count, 2u);
+  EXPECT_EQ(rules[0].error, ENOSPC);
+  EXPECT_EQ(rules[1].op, Op::kFdatasync);
+  EXPECT_EQ(rules[1].error, EIO);
+  EXPECT_EQ(rules[1].count, 1u);
+  EXPECT_EQ(rules[2].short_bytes, 3u);
+  EXPECT_TRUE(rules[2].power_cut);
+  EXPECT_EQ(rules[3].count, FaultFs::Rule::kPersistent);
+  EXPECT_EQ(rules[3].error, 5);
+
+  EXPECT_THROW((void)FaultFs::parse_spec("op=write"), std::invalid_argument);
+  EXPECT_THROW((void)FaultFs::parse_spec("op=warp,err=EIO"),
+               std::invalid_argument);
+  EXPECT_THROW((void)FaultFs::parse_spec("nonsense"), std::invalid_argument);
+  EXPECT_THROW((void)FaultFs::parse_spec("op=write,err=EWHAT"),
+               std::invalid_argument);
+}
+
+TEST(FaultFs, WriteFailureTripsTheBreakerWithNoAcknowledgedLoss) {
+  TempDir dir("faultfs_trip");
+  FaultFs fs;
+  Service service(faulty_config(dir, &fs));
+  service.start_fresh();
+  seed_tenant(service);
+  ASSERT_TRUE(service.commit());
+  const std::string durable_stats =
+      service.execute("stats tenant=t0").body;
+
+  // Disk full, persistently. The next batch executes in memory, fails to
+  // commit, and must be rolled back wholesale.
+  fs.schedule(
+      write_error_rule("journal", ENOSPC, FaultFs::Rule::kPersistent));
+  ASSERT_TRUE(service.execute("req tenant=t0 id=50 proc=1 prio=0").ok);
+  EXPECT_FALSE(service.commit());
+  EXPECT_TRUE(service.read_only());
+  EXPECT_EQ(service.io_mode(), IoMode::kReadOnly);
+
+  // Memory equals the durable prefix again — the unacknowledged id=50 is
+  // gone, nothing acknowledged was lost.
+  EXPECT_EQ(service.execute("stats tenant=t0").body, durable_stats);
+
+  // Mutations get the coded refusal; reads keep serving.
+  const Response refused =
+      service.execute("req tenant=t0 id=51 proc=1 prio=0");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.body.rfind("code=read-only", 0), 0u) << refused.body;
+  EXPECT_TRUE(service.execute("ping").ok);
+  EXPECT_TRUE(service.execute("stats tenant=t0").ok);
+  const Response io_status = service.execute("io-status");
+  ASSERT_TRUE(io_status.ok);
+  EXPECT_NE(io_status.body.find("mode=read-only"), std::string::npos)
+      << io_status.body;
+  EXPECT_NE(io_status.body.find("trips=1"), std::string::npos)
+      << io_status.body;
+
+  // Probes keep failing while the disk is down: still read-only.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // (A probe only touches open/ftruncate/lseek — it can succeed even with
+  // writes down; what must NOT happen is the breaker closing. Half-open
+  // commits that fail re-open it.)
+  if (service.maybe_rearm()) {
+    ASSERT_TRUE(service.execute("req tenant=t0 id=52 proc=1 prio=0").ok);
+    EXPECT_FALSE(service.commit());
+    EXPECT_TRUE(service.read_only());
+  }
+
+  // Disk comes back: probe re-arms, mutations resume, and the rolled-back
+  // id is admitted fresh (not `duplicate` — proof the rollback ran).
+  fs.heal();
+  ASSERT_TRUE(rearm_with_patience(service));
+  EXPECT_EQ(service.io_mode(), IoMode::kHalfOpen);
+  const Response retried =
+      service.execute("req tenant=t0 id=50 proc=1 prio=0");
+  ASSERT_TRUE(retried.ok);
+  EXPECT_EQ(retried.body, "status=admitted");
+  EXPECT_TRUE(service.commit());
+  EXPECT_EQ(service.io_mode(), IoMode::kNormal);
+  const std::string live_stats = service.execute("stats tenant=t0").body;
+
+  // A restart from disk agrees bitwise with the survivor.
+  Service recovered(faulty_config(dir, nullptr));
+  (void)recovered.recover();
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body, live_stats);
+}
+
+TEST(FaultFs, EintrStormIsAbsorbedByTheCallSites) {
+  TempDir dir("faultfs_eintr");
+  FaultFs fs;
+  Service service(faulty_config(dir, &fs));
+  service.start_fresh();
+  seed_tenant(service);
+  // Every journal write EINTRs 7 times before getting through; the
+  // journal's write loop must ride it out without a single failed commit.
+  fs.schedule(write_error_rule("journal", EINTR, 7));
+  ASSERT_TRUE(service.execute("req tenant=t0 id=60 proc=2 prio=0").ok);
+  EXPECT_TRUE(service.commit());
+  EXPECT_FALSE(service.read_only());
+  EXPECT_GE(fs.stats().injected, 7u);
+
+  // Interrupted opens during recovery are retried the same way.
+  FaultFs reopen_fs;
+  FaultFs::Rule open_rule;
+  open_rule.op = Op::kOpen;
+  open_rule.error = EINTR;
+  open_rule.count = 3;
+  reopen_fs.schedule(open_rule);
+  Service recovered(faulty_config(dir, &reopen_fs));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_GT(report.replayed, 0u);
+  EXPECT_TRUE(recovered.execute("stats tenant=t0").ok);
+}
+
+TEST(FaultFs, ShortWritesNeverCorruptTheJournal) {
+  TempDir dir("faultfs_short");
+  FaultFs fs;
+  Service service(faulty_config(dir, &fs));
+  service.start_fresh();
+  // The kernel delivers one byte at a time for the first 200 writes: legal
+  // POSIX behavior the write loop must absorb with intact framing.
+  FaultFs::Rule rule;
+  rule.op = Op::kWrite;
+  rule.path_contains = "journal";
+  rule.short_bytes = 1;
+  rule.count = 200;
+  fs.schedule(rule);
+  seed_tenant(service);
+  EXPECT_TRUE(service.commit());
+  EXPECT_GT(fs.stats().short_writes, 0u);
+  const std::string live_stats = service.execute("stats tenant=t0").body;
+
+  Service recovered(faulty_config(dir, nullptr));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_FALSE(report.journal_truncated);
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body, live_stats);
+}
+
+TEST(FaultFs, PowerCutLeavesATornTailRecoveryDrops) {
+  TempDir dir("faultfs_cut");
+  std::string durable_stats;
+  {
+    FaultFs fs;
+    Service service(faulty_config(dir, &fs));
+    service.start_fresh();
+    seed_tenant(service);
+    ASSERT_TRUE(service.commit());
+    durable_stats = service.execute("stats tenant=t0").body;
+
+    // Mid-write power cut: 3 bytes of the next journal flush land, then
+    // the disk is gone (every later write fails) until "reboot".
+    FaultFs::Rule rule;
+    rule.op = Op::kWrite;
+    rule.path_contains = "journal";
+    rule.short_bytes = 3;
+    rule.power_cut = true;
+    fs.schedule(rule);
+    ASSERT_TRUE(service.execute("req tenant=t0 id=70 proc=3 prio=0").ok);
+    EXPECT_FALSE(service.commit());
+    EXPECT_TRUE(service.read_only());
+    EXPECT_EQ(fs.stats().power_cuts, 1u);
+    // The dead disk keeps probes failing.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(service.maybe_rearm());
+    // The survivor still serves the durable state.
+    EXPECT_EQ(service.execute("stats tenant=t0").body, durable_stats);
+  }
+
+  // Machine restart on a healthy disk: the 3-byte torn tail is dropped,
+  // state is exactly the durable prefix, and the lost command can rerun.
+  Service recovered(faulty_config(dir, nullptr));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_TRUE(report.journal_truncated);
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body, durable_stats);
+  const Response rerun =
+      recovered.execute("req tenant=t0 id=70 proc=3 prio=0");
+  ASSERT_TRUE(rerun.ok);
+  EXPECT_EQ(rerun.body, "status=admitted");
+}
+
+TEST(FaultFs, SnapshotFaultRollsBackCleanly) {
+  TempDir dir("faultfs_snap");
+  FaultFs fs;
+  Service service(faulty_config(dir, &fs));
+  service.start_fresh();
+  seed_tenant(service);
+  ASSERT_TRUE(service.commit());
+
+  // Disk full for the snapshot tmp file: the snapshot command is refused
+  // with a coded error, the tmp file is gone, and NORMAL service continues
+  // (journal and memory untouched — no read-only trip).
+  FaultFs::Rule rule;
+  rule.op = Op::kWrite;
+  rule.path_contains = ".tmp";
+  rule.error = ENOSPC;
+  rule.count = FaultFs::Rule::kPersistent;
+  fs.schedule(rule);
+  const Response refused = service.execute("snapshot");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.body.rfind("code=io", 0), 0u) << refused.body;
+  EXPECT_FALSE(service.read_only());
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_FALSE(
+      std::filesystem::exists(dir.path + "/snapshot.tmp"));
+  ASSERT_TRUE(service.execute("req tenant=t0 id=80 proc=0 prio=0").ok);
+  EXPECT_TRUE(service.commit());
+
+  // Same story when the rename is what fails.
+  fs.heal();
+  FaultFs::Rule rename_rule;
+  rename_rule.op = Op::kRename;
+  rename_rule.path_contains = "snapshot";
+  rename_rule.error = EIO;
+  fs.schedule(rename_rule);
+  const Response rename_refused = service.execute("snapshot");
+  EXPECT_FALSE(rename_refused.ok);
+  EXPECT_FALSE(service.read_only());
+  EXPECT_EQ(service.epoch(), 0u);
+
+  // Disk healed: the snapshot goes through and recovery sees it.
+  const Response ok = service.execute("snapshot");
+  ASSERT_TRUE(ok.ok) << ok.body;
+  EXPECT_EQ(service.epoch(), 1u);
+}
+
+TEST(FaultFs, JournalSwapFailureAfterSnapshotGoesReadOnly) {
+  TempDir dir("faultfs_swap");
+  FaultFs fs;
+  Service service(faulty_config(dir, &fs));
+  service.start_fresh();
+  seed_tenant(service);
+  ASSERT_TRUE(service.commit());
+  const std::string pre_stats = service.execute("stats tenant=t0").body;
+
+  // The snapshot itself lands (tmp + rename fine) but recreating the
+  // journal fails once: a valid durable pair exists on disk, nothing can
+  // be journaled — exactly read-only, NOT a crash.
+  FaultFs::Rule rule;
+  rule.op = Op::kOpen;
+  rule.path_contains = "journal.bin";
+  rule.error = EACCES;
+  rule.count = 1;
+  fs.schedule(rule);
+  const Response refused = service.execute("snapshot");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.body.rfind("code=io", 0), 0u) << refused.body;
+  EXPECT_TRUE(service.read_only());
+  EXPECT_EQ(service.execute("stats tenant=t0").body, pre_stats);
+
+  // The one-shot fault is exhausted: the probe re-creates the journal at
+  // the snapshot's epoch and mutations resume.
+  ASSERT_TRUE(rearm_with_patience(service));
+  EXPECT_EQ(service.io_mode(), IoMode::kHalfOpen);
+  EXPECT_EQ(service.epoch(), 1u);
+  ASSERT_TRUE(service.execute("req tenant=t0 id=90 proc=1 prio=0").ok);
+  EXPECT_TRUE(service.commit());
+  EXPECT_EQ(service.io_mode(), IoMode::kNormal);
+  const std::string live_stats = service.execute("stats tenant=t0").body;
+
+  Service recovered(faulty_config(dir, nullptr));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_TRUE(report.had_snapshot);
+  EXPECT_EQ(report.snapshot_epoch, 1u);
+  EXPECT_EQ(recovered.execute("stats tenant=t0").body, live_stats);
+}
+
+TEST(FaultFs, OrphanTmpFilesAreRemovedOnStartup) {
+  TempDir dir("faultfs_orphans");
+  {
+    Service service(faulty_config(dir, nullptr));
+    service.start_fresh();
+    seed_tenant(service);
+    ASSERT_TRUE(service.commit());
+  }
+  // A crash mid-snapshot leaves tmp files behind; recovery sweeps every
+  // *.tmp sibling and reports the count, leaving real files alone.
+  std::ofstream(dir.path + "/snapshot.tmp") << "half-written snapshot";
+  std::ofstream(dir.path + "/other.tmp") << "junk";
+  std::ofstream(dir.path + "/keep.txt") << "not a tmp file";
+
+  Service recovered(faulty_config(dir, nullptr));
+  const RecoveryReport report = recovered.recover();
+  EXPECT_EQ(report.orphans_removed, 2u);
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/snapshot.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/other.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/keep.txt"));
+  EXPECT_NE(report.to_args().find("orphans-removed=2"), std::string::npos);
+}
+
+TEST(FaultFs, FdatasyncFailureUnderDurableModeTripsTheBreaker) {
+  TempDir dir("faultfs_sync");
+  FaultFs fs;
+  ServiceConfig config = faulty_config(dir, &fs);
+  config.durable = true;
+  Service service(config);
+  service.start_fresh();
+  seed_tenant(service);
+  ASSERT_TRUE(service.commit());
+  const std::string durable_stats =
+      service.execute("stats tenant=t0").body;
+
+  FaultFs::Rule rule;
+  rule.op = Op::kFdatasync;
+  rule.error = EIO;
+  rule.count = FaultFs::Rule::kPersistent;
+  fs.schedule(rule);
+  ASSERT_TRUE(service.execute("req tenant=t0 id=95 proc=2 prio=0").ok);
+  EXPECT_FALSE(service.commit());
+  EXPECT_TRUE(service.read_only());
+  // The flush preceding the failed fdatasync DID land id=95 in the journal,
+  // so the rollback replays it: memory advances past the pre-fault stats
+  // (durable-but-unacknowledged is allowed — the refused client's retry is
+  // answered `duplicate`, which under idempotent ids means "already done").
+  EXPECT_NE(service.execute("stats tenant=t0").body, durable_stats);
+  fs.heal();
+  ASSERT_TRUE(rearm_with_patience(service));
+  const Response retry = service.execute("req tenant=t0 id=95 proc=2 prio=0");
+  ASSERT_TRUE(retry.ok);
+  EXPECT_EQ(retry.body, "status=duplicate");
+  EXPECT_TRUE(service.commit());
+}
+
+}  // namespace
+}  // namespace rsin::svc

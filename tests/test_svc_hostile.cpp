@@ -1,0 +1,371 @@
+// Hostile-client edge defenses of the rsind server: oversized lines,
+// slowloris partial lines, idle connections, unread-reply floods, connection
+// count shedding, and binary garbage — every one must cost the attacker
+// their connection, never the daemon its responsiveness (DESIGN.md §12).
+// Plus the protocol parser's CRLF / embedded-NUL / control-byte handling.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/faultfs.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+
+namespace rsin::svc {
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+/// In-process server with aggressive (test-speed) edge limits.
+struct HostileFixture {
+  TempDir dir;
+  std::string socket_path;
+  ServerConfig config;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit HostileFixture(const std::string& name)
+      : dir("hostile_" + name), socket_path(dir.path + "/rsind.sock") {
+    config.socket_path = socket_path;
+    config.service.dir = dir.path;
+    config.service.pool_shards = 2;
+    config.watchdog_ms = 0;
+    config.poll_timeout_ms = 10;
+  }
+
+  void start() {
+    server = std::make_unique<Server>(config);
+    thread = std::thread([this] { exit_code = server->run(false); });
+  }
+
+  int stop() {
+    const char byte = 's';
+    EXPECT_EQ(::write(server->wake_fd(), &byte, 1), 1);
+    thread.join();
+    return exit_code;
+  }
+
+  ~HostileFixture() {
+    if (thread.joinable()) stop();
+  }
+
+  Client client() {
+    ClientOptions options;
+    options.socket_path = socket_path;
+    options.timeout_ms = 5000;
+    options.retries = 12;
+    options.backoff_ms = 10;
+    return Client(options);
+  }
+};
+
+/// A raw, misbehaving connection (no protocol library, no retries).
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(const std::string& socket_path) {
+    // Retry the connect while the server thread is still binding.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) break;
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return;
+      }
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// True when every byte was handed to the kernel.
+  bool send_all(const std::string& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until '\n' (returning the line without it), "" on EOF/timeout.
+  std::string read_line(int timeout_ms = 2000) {
+    std::string line;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    timeval tv{0, 50 * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    while (std::chrono::steady_clock::now() < deadline) {
+      char ch = 0;
+      const ssize_t n = ::recv(fd, &ch, 1, 0);
+      if (n == 1) {
+        if (ch == '\n') return line;
+        line.push_back(ch);
+        continue;
+      }
+      if (n == 0) return line;  // EOF.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return line;
+    }
+    return line;
+  }
+
+  /// True once the server has closed this connection (EOF observed).
+  bool closed_by_peer(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    timeval tv{0, 20 * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[256];
+    while (std::chrono::steady_clock::now() < deadline) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0 && errno != EINTR && errno != EAGAIN &&
+          errno != EWOULDBLOCK) {
+        return true;  // Reset counts as closed.
+      }
+    }
+    return false;
+  }
+};
+
+TEST(HostileClient, OversizedLineIsCutWithoutHarm) {
+  HostileFixture fixture("bigline");
+  fixture.config.max_line_bytes = 1024;
+  fixture.start();
+  RawConn attacker(fixture.socket_path);
+  ASSERT_GE(attacker.fd, 0);
+  // 64 KB of verb with no newline: the server must cut the connection at
+  // the cap, not buffer until the newline maybe arrives.
+  ASSERT_TRUE(attacker.send_all(std::string(64 * 1024, 'a')));
+  EXPECT_TRUE(attacker.closed_by_peer(3000));
+
+  Client survivor = fixture.client();
+  EXPECT_EQ(survivor.request("ping").body, "pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, SlowlorisPartialLineIsTimedOut) {
+  HostileFixture fixture("slowloris");
+  fixture.config.line_timeout_ms = 50;
+  fixture.config.idle_timeout_ms = 0;
+  fixture.start();
+  RawConn attacker(fixture.socket_path);
+  ASSERT_GE(attacker.fd, 0);
+  // Three bytes of a command, then silence: the classic slowloris hold.
+  ASSERT_TRUE(attacker.send_all("pin"));
+  EXPECT_TRUE(attacker.closed_by_peer(3000));
+
+  Client survivor = fixture.client();
+  EXPECT_EQ(survivor.request("ping").body, "pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, IdleConnectionIsReaped) {
+  HostileFixture fixture("idle");
+  fixture.config.idle_timeout_ms = 50;
+  fixture.start();
+  RawConn loiterer(fixture.socket_path);
+  ASSERT_GE(loiterer.fd, 0);
+  // Send one complete command so the connection is live, then go silent.
+  ASSERT_TRUE(loiterer.send_all("ping\n"));
+  EXPECT_EQ(loiterer.read_line(), "ok pong");
+  EXPECT_TRUE(loiterer.closed_by_peer(3000));
+
+  Client survivor = fixture.client();
+  EXPECT_EQ(survivor.request("ping").body, "pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, UnreadReplyFloodTripsTheOutputCap) {
+  HostileFixture fixture("flood");
+  fixture.config.max_out_bytes = 32 * 1024;
+  fixture.start();
+  {
+    Client setup = fixture.client();
+    ASSERT_TRUE(setup
+                    .request("tenant name=t0 topology=omega n=8 seed=1 "
+                             "scheduler=breaker")
+                    .ok);
+  }
+  RawConn attacker(fixture.socket_path);
+  ASSERT_GE(attacker.fd, 0);
+  // Thousands of metrics dumps requested, zero replies read: the backlog
+  // must hit max_out_bytes and cost the attacker the connection instead of
+  // growing without bound.
+  std::string burst;
+  for (int i = 0; i < 4000; ++i) burst += "metrics tenant=t0\n";
+  (void)attacker.send_all(burst);  // May fail midway once the server cuts.
+  EXPECT_TRUE(attacker.closed_by_peer(5000));
+
+  Client survivor = fixture.client();
+  EXPECT_EQ(survivor.request("ping").body, "pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, ConnectionsBeyondMaxClientsAreShed) {
+  HostileFixture fixture("shed");
+  fixture.config.max_clients = 2;
+  fixture.start();
+  RawConn first(fixture.socket_path);
+  RawConn second(fixture.socket_path);
+  ASSERT_GE(first.fd, 0);
+  ASSERT_GE(second.fd, 0);
+  // Round-trips guarantee both connections are registered, not just queued
+  // in the kernel.
+  ASSERT_TRUE(first.send_all("ping\n"));
+  EXPECT_EQ(first.read_line(), "ok pong");
+  ASSERT_TRUE(second.send_all("ping\n"));
+  EXPECT_EQ(second.read_line(), "ok pong");
+
+  RawConn third(fixture.socket_path);
+  ASSERT_GE(third.fd, 0);
+  const std::string refusal = third.read_line();
+  EXPECT_NE(refusal.find("code=busy"), std::string::npos) << refusal;
+  EXPECT_TRUE(third.closed_by_peer(3000));
+
+  // The registered clients are unaffected.
+  ASSERT_TRUE(first.send_all("ping\n"));
+  EXPECT_EQ(first.read_line(), "ok pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, BinaryGarbageGetsErrorsNotCrashes) {
+  HostileFixture fixture("garbage");
+  fixture.start();
+  RawConn attacker(fixture.socket_path);
+  ASSERT_GE(attacker.fd, 0);
+
+  // Control bytes inside a line: parse error, reply, connection lives.
+  ASSERT_TRUE(attacker.send_all("\x01\x02\x03\n"));
+  EXPECT_EQ(attacker.read_line().rfind("err", 0), 0u);
+  // Embedded NUL: same.
+  ASSERT_TRUE(attacker.send_all(std::string("ping\0x=1\n", 9)));
+  EXPECT_EQ(attacker.read_line().rfind("err", 0), 0u);
+  // CRLF framing is accepted (the \r is stripped, not a parse error).
+  ASSERT_TRUE(attacker.send_all("ping\r\n"));
+  EXPECT_EQ(attacker.read_line(), "ok pong");
+  // Blank CRLF lines are ignored, and the connection still serves.
+  ASSERT_TRUE(attacker.send_all("\r\n\r\nping\n"));
+  EXPECT_EQ(attacker.read_line(), "ok pong");
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+TEST(HostileClient, ReadsKeepServingThroughTheServerWhileReadOnly) {
+  HostileFixture fixture("readonly_reads");
+  FaultFs fs;
+  fixture.config.service.vfs = &fs;
+  fixture.config.service.io.flush_retries = 0;
+  // Park the re-arm probe far in the future so the daemon demonstrably
+  // stays in read-only mode for the whole test.
+  fixture.config.service.io.probe_backoff_ms = 60'000;
+  fixture.start();
+  Client client = fixture.client();
+  ASSERT_TRUE(client
+                  .request("tenant name=t0 topology=omega n=8 seed=7 "
+                           "scheduler=breaker")
+                  .ok);
+  ASSERT_TRUE(client.request("req tenant=t0 id=1 proc=0 prio=0").ok);
+  const std::string durable_stats =
+      client.request("stats tenant=t0").body;
+
+  FaultFs::Rule rule;
+  rule.op = FaultFs::Rule::Op::kWrite;
+  rule.path_contains = "journal";
+  rule.error = ENOSPC;
+  fs.schedule(rule);
+
+  // The tripping batch gets the commit-failure refusal.
+  const Response tripped = client.request("req tenant=t0 id=2 proc=0 prio=0");
+  EXPECT_FALSE(tripped.ok);
+  EXPECT_EQ(tripped.body.rfind("code=read-only", 0), 0u) << tripped.body;
+
+  // Reads keep serving through the live server: same socket, same daemon,
+  // same degraded state. A reads-only batch must not be rewritten into
+  // commit refusals.
+  const Response stats = client.request("stats tenant=t0");
+  ASSERT_TRUE(stats.ok) << stats.body;
+  EXPECT_EQ(stats.body, durable_stats);
+  const Response io_status = client.request("io-status");
+  ASSERT_TRUE(io_status.ok) << io_status.body;
+  EXPECT_NE(io_status.body.find("mode=read-only"), std::string::npos)
+      << io_status.body;
+
+  // Later mutations get the dispatch-side refusal pointing at the re-arm.
+  const Response refused = client.request("req tenant=t0 id=3 proc=0 prio=0");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.body.rfind("code=read-only", 0), 0u) << refused.body;
+
+  // A SIGTERM drain while read-only still exits 0 (durable prefix rule).
+  EXPECT_EQ(fixture.stop(), 0);
+}
+
+// --- protocol parser edge cases -------------------------------------------
+
+TEST(SvcProtocol, RejectsControlCharactersAndEmbeddedNul) {
+  EXPECT_THROW((void)parse_command(std::string("ping\0", 5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_command("ping\r"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("pi\tng"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("req tenant=\x7f"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_command(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("   "), std::invalid_argument);
+}
+
+TEST(SvcProtocol, RejectsMalformedPairsButKeepsOrder) {
+  EXPECT_THROW((void)parse_command("req tenant"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("req =value"), std::invalid_argument);
+  const Command command = parse_command("req a=1  b=2 c==x");
+  EXPECT_EQ(command.verb, "req");
+  ASSERT_EQ(command.args.size(), 3u);
+  EXPECT_EQ(command.args[2].second, "=x");  // Value may contain '='.
+}
+
+TEST(SvcProtocol, RefusedResponsesCarryAMachineMatchableCode) {
+  const Response refused = Response::refused("read-only", "disk gone");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.body, "code=read-only disk gone");
+  EXPECT_EQ(refused.wire(), "err code=read-only disk gone\n");
+  // Newlines smuggled into an error reason cannot desync the framing.
+  const Response smuggled = Response::error("a\nb\rc");
+  EXPECT_EQ(smuggled.wire(), "err a b c\n");
+}
+
+}  // namespace
+}  // namespace rsin::svc

@@ -205,5 +205,68 @@ TEST(Journal, Crc32MatchesKnownVectors) {
   EXPECT_EQ(crc32(""), 0x00000000u);
 }
 
+TEST(Journal, ZeroLengthRecordRoundTrips) {
+  TempFile file("journal_zero.bin");
+  {
+    Journal journal = Journal::create(file.path, 4);
+    journal.append("");
+    journal.append(kRecords[0]);
+    journal.flush();
+  }
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_FALSE(scan.truncated);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0], "");
+  EXPECT_EQ(scan.records[1], kRecords[0]);
+}
+
+TEST(Journal, MaxLengthFieldIsDamageNotAnAllocation) {
+  TempFile file("journal_maxlen.bin");
+  write_journal(file.path, 1);
+  std::string bytes = read_bytes(file.path).substr(0, record_offset(3));
+  // A frame whose size field is all-ones (0xffffffff) — what a torn or
+  // bit-rotted length write can look like. Scanning must neither try to
+  // allocate 4 GB nor walk off the end.
+  bytes += std::string(4, '\xff');
+  bytes += std::string(4, '\0');
+  write_bytes(file.path, bytes);
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_EQ(scan.damage_offset, record_offset(3));
+  EXPECT_EQ(scan.valid_bytes, record_offset(3));
+  EXPECT_EQ(scan.records, kRecords);
+  EXPECT_NE(scan.damage.find("implausible"), std::string::npos)
+      << scan.damage;
+}
+
+TEST(Journal, CrcFlipInFinalRecordDropsOnlyThatRecord) {
+  TempFile file("journal_final_crc.bin");
+  write_journal(file.path, 1);
+  std::string bytes = read_bytes(file.path);
+  // Flip one bit of the final record's *stored checksum* (not payload):
+  // the common single-bit rot in the frame itself.
+  bytes[record_offset(2) + 4] ^= 0x01;
+  write_bytes(file.path, bytes);
+
+  const Journal::ScanResult scan = Journal::scan(file.path);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_EQ(scan.damage_offset, record_offset(2));
+  EXPECT_EQ(scan.valid_bytes, record_offset(2));
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0], kRecords[0]);
+  EXPECT_EQ(scan.records[1], kRecords[1]);
+  // append_to over the damage heals the file for new traffic.
+  {
+    Journal journal = Journal::append_to(file.path, scan);
+    journal.append(kRecords[2]);
+    journal.flush();
+  }
+  const Journal::ScanResult healed = Journal::scan(file.path);
+  EXPECT_FALSE(healed.truncated);
+  ASSERT_EQ(healed.records.size(), 3u);
+  EXPECT_EQ(healed.records[2], kRecords[2]);
+}
+
 }  // namespace
 }  // namespace rsin::svc

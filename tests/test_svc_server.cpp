@@ -66,7 +66,7 @@ std::string run_script(Service& service) {
     const Response reply = service.execute(line);
     EXPECT_TRUE(reply.ok) << line << " -> " << reply.body;
   }
-  service.commit();
+  EXPECT_TRUE(service.commit());
   return service.execute("stats tenant=t0").body;
 }
 
@@ -150,7 +150,7 @@ TEST(SvcServer, SnapshotFoldsTheJournalAndBumpsTheEpoch) {
     // Post-snapshot traffic lands in the epoch-1 journal.
     EXPECT_TRUE(
         service.execute("req tenant=t0 id=500 proc=2 prio=1").ok);
-    service.commit();
+    ASSERT_TRUE(service.commit());
   }
   Service recovered(service_config(dir));
   const RecoveryReport report = recovered.recover();
