@@ -6,8 +6,10 @@
 //   rsin_cli dot      [topology] [n]
 //
 // schedulers: dinic | ford-fulkerson | edmonds-karp | push-relabel |
-//             mincost | greedy | random | token | warm | breaker
-// Every argument is optional; defaults are omega 8 dinic.
+//             mincost | greedy | greedy-local | random | randomized-match |
+//             threshold | token | hetero-lp | warm | breaker
+// Every argument is optional; defaults are omega 8 dinic. --scheduler=NAME
+// selects a scheduler by flag (wins over the positional argument).
 //
 // Fault / degraded-mode flags (anywhere on the command line):
 //   --fail-links=K   permanently fail the first K fabric links before the
@@ -61,6 +63,7 @@
 #include "core/batching.hpp"
 #include "core/hetero.hpp"
 #include "core/scheduler.hpp"
+#include "core/zoo.hpp"
 #include "fault/fault_injector.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
@@ -157,34 +160,11 @@ int run_client(const std::vector<std::string>& args, std::int32_t timeout_ms,
 }
 
 std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
-  if (name == "dinic") {
-    return std::make_unique<core::MaxFlowScheduler>(
-        flow::MaxFlowAlgorithm::kDinic);
-  }
-  if (name == "ford-fulkerson") {
-    return std::make_unique<core::MaxFlowScheduler>(
-        flow::MaxFlowAlgorithm::kFordFulkerson);
-  }
-  if (name == "edmonds-karp") {
-    return std::make_unique<core::MaxFlowScheduler>(
-        flow::MaxFlowAlgorithm::kEdmondsKarp);
-  }
-  if (name == "push-relabel") {
-    return std::make_unique<core::MaxFlowScheduler>(
-        flow::MaxFlowAlgorithm::kPushRelabel);
-  }
-  if (name == "mincost") return std::make_unique<core::MinCostScheduler>();
-  if (name == "greedy") return std::make_unique<core::GreedyScheduler>();
-  if (name == "random") {
-    return std::make_unique<core::RandomScheduler>(util::Rng(1));
-  }
+  // token and hetero-lp live outside rsin_core; everything else (the flow
+  // solvers and the scheduler zoo) comes from the shared factory.
   if (name == "token") return std::make_unique<token::TokenScheduler>();
   if (name == "hetero-lp") return std::make_unique<core::HeteroLpScheduler>();
-  if (name == "warm") return std::make_unique<core::WarmMaxFlowScheduler>();
-  if (name == "breaker") {
-    return std::make_unique<core::CircuitBreakerScheduler>();
-  }
-  throw std::invalid_argument("unknown scheduler: " + name);
+  return core::make_named_scheduler(name, /*seed=*/1);
 }
 
 int usage() {
@@ -197,8 +177,10 @@ int usage() {
          "[command...]\n"
          "topologies: omega baseline cube butterfly benes crossbar gamma\n"
          "schedulers: dinic ford-fulkerson edmonds-karp push-relabel\n"
-         "            mincost greedy random token hetero-lp warm breaker\n"
-         "flags: --fail-links=K --mttf=X --mttr=X --deadline=S\n"
+         "            mincost greedy greedy-local random randomized-match\n"
+         "            threshold token hetero-lp warm breaker\n"
+         "flags: --scheduler=NAME (overrides the positional scheduler)\n"
+         "       --fail-links=K --mttf=X --mttr=X --deadline=S\n"
          "       --max-queue=K --shed-policy=drop-tail|oldest-first\n"
          "       --record-trace=PATH --replay=PATH\n"
          "       --batch-window=K --batch-deadline=K (system mode)\n"
@@ -222,6 +204,7 @@ struct Options {
   std::string trace_events;
   std::int32_t timeout_ms = 2000;  ///< Client mode: per-attempt deadline.
   std::int32_t retries = 5;        ///< Client mode: retry attempts.
+  std::string scheduler;  ///< --scheduler=NAME; wins over the positional.
 };
 
 /// Splits argv into positional arguments and recognized --flags.
@@ -279,6 +262,11 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
         throw std::invalid_argument("--trace-events requires a path");
       }
       options.trace_events = value;
+    } else if (key == "--scheduler") {
+      if (value.empty()) {
+        throw std::invalid_argument("--scheduler requires a name");
+      }
+      options.scheduler = value;
     } else if (key == "--timeout-ms") {
       options.timeout_ms = std::stoi(value);
     } else if (key == "--retries") {
@@ -323,7 +311,8 @@ int main(int argc, char** argv) {
     }
     const std::string topology = arg(1, "omega");
     const std::int32_t n = std::stoi(arg(2, "8"));
-    const std::string scheduler_name = arg(3, "dinic");
+    const std::string scheduler_name =
+        !options.scheduler.empty() ? options.scheduler : arg(3, "dinic");
 
     topo::Network net = topo::make_named(topology, n);
     if (options.fail_links > 0) fail_links(net, options.fail_links);

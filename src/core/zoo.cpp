@@ -1,0 +1,369 @@
+#include "core/zoo.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/routing.hpp"
+#include "util/error.hpp"
+
+namespace rsin::core {
+
+namespace {
+
+/// Scratch for building one matching proposal: a private network copy with
+/// the proposal's circuits established plus the matched/used bookkeeping.
+struct Proposal {
+  topo::Network net;
+  std::vector<char> request_matched;                // by request index
+  std::vector<char> resource_used;                  // by resource id
+  std::vector<const FreeResource*> resource_info;   // by resource id
+  ScheduleResult result;
+
+  explicit Proposal(const Problem& problem)
+      : net(*problem.network),
+        request_matched(problem.requests.size(), 0),
+        resource_used(static_cast<std::size_t>(net.resource_count()), 0),
+        resource_info(static_cast<std::size_t>(net.resource_count()),
+                      nullptr) {
+    for (const FreeResource& resource : problem.free_resources) {
+      resource_info[static_cast<std::size_t>(resource.resource)] = &resource;
+    }
+  }
+};
+
+/// Attempts to match request `index` to exactly `resource`; on success the
+/// circuit is established in the proposal's network and the pair recorded.
+bool try_pair(Proposal& proposal, const Problem& problem, std::size_t index,
+              topo::ResourceId resource) {
+  const Request& request = problem.requests[index];
+  const auto r = static_cast<std::size_t>(resource);
+  const FreeResource* info = proposal.resource_info[r];
+  if (info == nullptr || proposal.resource_used[r] != 0 ||
+      info->type != request.type || proposal.request_matched[index] != 0) {
+    return false;
+  }
+  auto paths = enumerate_free_paths(proposal.net, request.processor, resource,
+                                    /*limit=*/1);
+  proposal.result.operations +=
+      static_cast<std::int64_t>(proposal.net.link_count());
+  if (paths.empty()) return false;
+  proposal.net.establish(paths.front());
+  proposal.request_matched[index] = 1;
+  proposal.resource_used[r] = 1;
+  Assignment assignment;
+  assignment.request = request;
+  assignment.resource = *info;
+  assignment.circuit = std::move(paths.front());
+  proposal.result.assignments.push_back(std::move(assignment));
+  return true;
+}
+
+/// Extends a proposal to a maximal matching with random choices: unmatched
+/// requests are visited in a random order and each tries every compatible
+/// unused resource in a random order. Because establishing circuits only
+/// removes free links, a resource unreachable at its attempt stays
+/// unreachable, so the end state is maximal over the visited requests.
+void extend_randomly(Proposal& proposal, const Problem& problem,
+                     util::Rng& rng) {
+  std::vector<std::size_t> order;
+  order.reserve(problem.requests.size());
+  for (std::size_t i = 0; i < problem.requests.size(); ++i) {
+    if (proposal.request_matched[i] == 0) order.push_back(i);
+  }
+  rng.shuffle(order);
+  std::vector<topo::ResourceId> candidates;
+  for (const std::size_t index : order) {
+    const Request& request = problem.requests[index];
+    candidates.clear();
+    for (const FreeResource& resource : problem.free_resources) {
+      if (proposal.resource_used[static_cast<std::size_t>(
+              resource.resource)] == 0 &&
+          resource.type == request.type) {
+        candidates.push_back(resource.resource);
+      }
+    }
+    rng.shuffle(candidates);
+    for (const topo::ResourceId resource : candidates) {
+      if (try_pair(proposal, problem, index, resource)) break;
+    }
+  }
+}
+
+}  // namespace
+
+RandomizedMatchScheduler::RandomizedMatchScheduler(
+    RandomizedMatchConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void RandomizedMatchScheduler::reset() {
+  retained_.clear();
+  rng_.reseed(config_.seed);
+}
+
+ScheduleResult RandomizedMatchScheduler::schedule(const Problem& problem) {
+  problem.validate();
+
+  // Fresh proposal: an independent random maximal matching.
+  Proposal fresh(problem);
+  extend_randomly(fresh, problem, rng_);
+
+  ScheduleResult chosen;
+  std::int64_t discarded_operations = 0;
+  bool retained_won = false;
+  if (config_.pick_and_compare && !retained_.empty()) {
+    // Compare proposal: last cycle's matching re-validated pair by pair on
+    // the current problem (a pair survives only if the processor still
+    // requests, the resource is still free and type-compatible, and a free
+    // circuit still connects them), then completed maximally at random.
+    std::vector<std::int32_t> request_of(
+        static_cast<std::size_t>(problem.network->processor_count()), -1);
+    for (std::size_t i = 0; i < problem.requests.size(); ++i) {
+      request_of[static_cast<std::size_t>(problem.requests[i].processor)] =
+          static_cast<std::int32_t>(i);
+    }
+    Proposal compare(problem);
+    for (const auto& [processor, resource] : retained_) {
+      const std::int32_t index =
+          request_of[static_cast<std::size_t>(processor)];
+      if (index < 0) continue;  // the processor no longer requests
+      try_pair(compare, problem, static_cast<std::size_t>(index), resource);
+    }
+    extend_randomly(compare, problem, rng_);
+    // Pick-and-compare: keep the larger matching; ties keep the retained
+    // proposal so a stable matching is not churned for nothing.
+    if (compare.result.allocated() >= fresh.result.allocated()) {
+      discarded_operations = fresh.result.operations;
+      chosen = std::move(compare.result);
+      retained_won = true;
+    } else {
+      discarded_operations = compare.result.operations;
+      chosen = std::move(fresh.result);
+    }
+  } else {
+    chosen = std::move(fresh.result);
+  }
+  chosen.operations += discarded_operations;
+
+  retained_.clear();
+  for (const Assignment& assignment : chosen.assignments) {
+    retained_.emplace_back(assignment.request.processor,
+                           assignment.resource.resource);
+  }
+  chosen.cost = schedule_cost(problem, chosen);
+
+  if (obs_cycles_ != nullptr) {
+    obs_cycles_->add();
+    obs_matched_->add(static_cast<std::int64_t>(chosen.allocated()));
+    if (retained_won) obs_retained_wins_->add();
+  }
+  return chosen;
+}
+
+void RandomizedMatchScheduler::bind_obs(const obs::Handle& handle) {
+  obs_cycles_ = nullptr;
+  obs_matched_ = nullptr;
+  obs_retained_wins_ = nullptr;
+  if (!handle.enabled()) return;
+  const std::string prefix = "core.zoo." + obs::metric_label(name()) + ".";
+  obs_cycles_ = &handle.registry->counter(prefix + "cycles");
+  obs_matched_ = &handle.registry->counter(prefix + "matched");
+  obs_retained_wins_ = &handle.registry->counter(prefix + "retained_wins");
+}
+
+ThresholdScheduler::ThresholdScheduler(ThresholdConfig config)
+    : config_(config) {
+  RSIN_REQUIRE(config.reserve >= 0,
+               "ThresholdConfig.reserve must be >= 0");
+}
+
+std::string ThresholdScheduler::name() const {
+  return "threshold(reserve=" + std::to_string(config_.reserve) + ")";
+}
+
+ScheduleResult ThresholdScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  topo::Network net = *problem.network;
+
+  std::vector<char> resource_used(
+      static_cast<std::size_t>(net.resource_count()), 0);
+  std::vector<const FreeResource*> resource_info(
+      static_cast<std::size_t>(net.resource_count()), nullptr);
+  // Per-class admission budget: free count minus the reserve headroom.
+  std::map<std::int32_t, std::int64_t> budget;
+  for (const FreeResource& resource : problem.free_resources) {
+    resource_info[static_cast<std::size_t>(resource.resource)] = &resource;
+    ++budget[resource.type];
+  }
+  for (auto& [type, remaining] : budget) {
+    remaining = std::max<std::int64_t>(0, remaining - config_.reserve);
+  }
+
+  // Highest priority first; problem order breaks ties (deterministic).
+  std::vector<std::size_t> order(problem.requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.requests[a].priority >
+                            problem.requests[b].priority;
+                   });
+
+  ScheduleResult result;
+  std::int64_t withheld = 0;
+  for (const std::size_t index : order) {
+    const Request& request = problem.requests[index];
+    const auto it = budget.find(request.type);
+    if (it == budget.end()) continue;  // no free resource of the class
+    if (it->second <= 0) {
+      ++withheld;  // class at its admission threshold
+      continue;
+    }
+    auto circuit = first_free_path(
+        net, request.processor,
+        [&](topo::ResourceId r) {
+          return resource_info[static_cast<std::size_t>(r)] != nullptr &&
+                 !resource_used[static_cast<std::size_t>(r)] &&
+                 resource_info[static_cast<std::size_t>(r)]->type ==
+                     request.type;
+        },
+        &result.operations);
+    if (!circuit) continue;
+    net.establish(*circuit);
+    resource_used[static_cast<std::size_t>(circuit->resource)] = 1;
+    --it->second;
+    Assignment assignment;
+    assignment.request = request;
+    assignment.resource =
+        *resource_info[static_cast<std::size_t>(circuit->resource)];
+    assignment.circuit = std::move(*circuit);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = schedule_cost(problem, result);
+
+  if (obs_cycles_ != nullptr) {
+    obs_cycles_->add();
+    obs_matched_->add(static_cast<std::int64_t>(result.allocated()));
+    if (withheld > 0) obs_withheld_->add(withheld);
+  }
+  return result;
+}
+
+void ThresholdScheduler::bind_obs(const obs::Handle& handle) {
+  obs_cycles_ = nullptr;
+  obs_matched_ = nullptr;
+  obs_withheld_ = nullptr;
+  if (!handle.enabled()) return;
+  const std::string prefix = "core.zoo." + obs::metric_label(name()) + ".";
+  obs_cycles_ = &handle.registry->counter(prefix + "cycles");
+  obs_matched_ = &handle.registry->counter(prefix + "matched");
+  obs_withheld_ = &handle.registry->counter(prefix + "withheld");
+}
+
+ScheduleResult GreedyLocalScheduler::schedule(const Problem& problem) {
+  problem.validate();
+  topo::Network net = *problem.network;
+
+  std::vector<char> resource_used(
+      static_cast<std::size_t>(net.resource_count()), 0);
+  std::vector<const FreeResource*> resource_info(
+      static_cast<std::size_t>(net.resource_count()), nullptr);
+  for (const FreeResource& resource : problem.free_resources) {
+    resource_info[static_cast<std::size_t>(resource.resource)] = &resource;
+  }
+
+  const std::size_t count = problem.requests.size();
+  const std::size_t start =
+      count > 0 ? static_cast<std::size_t>(rotation_ % count) : 0;
+  ++rotation_;
+
+  ScheduleResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Request& request = problem.requests[(start + i) % count];
+    auto circuit = first_free_path(
+        net, request.processor,
+        [&](topo::ResourceId r) {
+          return resource_info[static_cast<std::size_t>(r)] != nullptr &&
+                 !resource_used[static_cast<std::size_t>(r)] &&
+                 resource_info[static_cast<std::size_t>(r)]->type ==
+                     request.type;
+        },
+        &result.operations);
+    if (!circuit) continue;
+    net.establish(*circuit);
+    resource_used[static_cast<std::size_t>(circuit->resource)] = 1;
+    Assignment assignment;
+    assignment.request = request;
+    assignment.resource =
+        *resource_info[static_cast<std::size_t>(circuit->resource)];
+    assignment.circuit = std::move(*circuit);
+    result.assignments.push_back(std::move(assignment));
+  }
+  result.cost = schedule_cost(problem, result);
+
+  if (obs_cycles_ != nullptr) {
+    obs_cycles_->add();
+    obs_matched_->add(static_cast<std::int64_t>(result.allocated()));
+  }
+  return result;
+}
+
+void GreedyLocalScheduler::bind_obs(const obs::Handle& handle) {
+  obs_cycles_ = nullptr;
+  obs_matched_ = nullptr;
+  if (!handle.enabled()) return;
+  const std::string prefix = "core.zoo." + obs::metric_label(name()) + ".";
+  obs_cycles_ = &handle.registry->counter(prefix + "cycles");
+  obs_matched_ = &handle.registry->counter(prefix + "matched");
+}
+
+std::unique_ptr<Scheduler> make_named_scheduler(const std::string& name,
+                                                std::uint64_t seed) {
+  if (name == "dinic") {
+    return std::make_unique<MaxFlowScheduler>(flow::MaxFlowAlgorithm::kDinic);
+  }
+  if (name == "ford-fulkerson") {
+    return std::make_unique<MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kFordFulkerson);
+  }
+  if (name == "edmonds-karp") {
+    return std::make_unique<MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kEdmondsKarp);
+  }
+  if (name == "push-relabel") {
+    return std::make_unique<MaxFlowScheduler>(
+        flow::MaxFlowAlgorithm::kPushRelabel);
+  }
+  if (name == "mincost") return std::make_unique<MinCostScheduler>();
+  if (name == "greedy") return std::make_unique<GreedyScheduler>();
+  if (name == "greedy-local") return std::make_unique<GreedyLocalScheduler>();
+  if (name == "random") {
+    return std::make_unique<RandomScheduler>(util::Rng(seed));
+  }
+  if (name == "randomized-match") {
+    return std::make_unique<RandomizedMatchScheduler>(
+        RandomizedMatchConfig{seed, /*pick_and_compare=*/true});
+  }
+  if (name == "threshold") return std::make_unique<ThresholdScheduler>();
+  if (name == "warm") return std::make_unique<WarmMaxFlowScheduler>();
+  if (name == "breaker") {
+    return std::make_unique<CircuitBreakerScheduler>();
+  }
+  std::string known;
+  for (const std::string& candidate : scheduler_names()) {
+    if (!known.empty()) known += ' ';
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown scheduler: " + name +
+                              " (expected one of: " + known + ")");
+}
+
+const std::vector<std::string>& scheduler_names() {
+  static const std::vector<std::string> names = {
+      "dinic",  "ford-fulkerson", "edmonds-karp",     "push-relabel",
+      "mincost", "greedy",        "greedy-local",     "random",
+      "randomized-match", "threshold", "warm", "breaker"};
+  return names;
+}
+
+}  // namespace rsin::core

@@ -50,7 +50,28 @@ void atomic_max_double(std::atomic<double>& target, double v) noexcept {
   }
 }
 
+bool valid_label_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+         c == '-';
+}
+
 }  // namespace
+
+std::string metric_label(std::string_view raw) {
+  std::string label;
+  label.reserve(raw.size());
+  for (const char c : raw) {
+    if (valid_label_char(c)) {
+      label.push_back(c);
+    } else if (!label.empty() && label.back() != '-') {
+      label.push_back('-');
+    }
+  }
+  while (!label.empty() && label.back() == '-') label.pop_back();
+  if (label.empty()) return "unnamed";
+  return label;
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {

@@ -150,6 +150,14 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Sanitizes an arbitrary label (a scheduler name like "threshold(reserve=1)")
+/// into a legal metric-name segment: characters outside [A-Za-z0-9_.:-] become
+/// '-', runs of '-' collapse, and leading/trailing '-' are stripped. An input
+/// with no legal character at all yields "unnamed" so the result is always a
+/// valid Registry name segment. Used for per-scheduler labeled instrument
+/// families ("core.zoo.<label>.matched").
+[[nodiscard]] std::string metric_label(std::string_view raw);
+
 /// Named instrument directory. Lookup takes a mutex and is meant for setup
 /// paths (bind once, cache the pointer); the returned references are
 /// node-stable for the registry's lifetime. Re-requesting a name returns

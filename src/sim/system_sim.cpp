@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/schedule.hpp"
+#include "core/zoo.hpp"
 #include "sim/des.hpp"
 #include "sim/trace.hpp"
 #include "util/error.hpp"
@@ -28,6 +29,8 @@ const char* to_string(DegradationLevel level) {
       return "optimal";
     case DegradationLevel::kRelaxed:
       return "relaxed";
+    case DegradationLevel::kRandomizedMatch:
+      return "randomized-match";
     case DegradationLevel::kGreedy:
       return "greedy";
   }
@@ -94,6 +97,10 @@ struct Task {
   std::int32_t priority = 0;
   double eligible_after = 0.0;  ///< Backoff gate after a teardown retry.
   std::int32_t attempts = 0;    ///< Transmissions started (and interrupted).
+  /// Arrival index of the task (order of arrival events). In workload-replay
+  /// mode the service time is a pure function of (config.seed, id), so every
+  /// scheduler compared on the trace sees the same marked point process.
+  std::int64_t id = 0;
 };
 
 /// Instrument pointers resolved once per run from SystemConfig.obs (all
@@ -127,6 +134,13 @@ struct SimObs {
   }
 };
 
+/// Seed for the ladder's randomized-matching rung, derived from the run
+/// seed so the matcher's stream is independent of the arrival/service RNG.
+std::uint64_t matcher_seed(std::uint64_t seed) {
+  std::uint64_t sm = seed ^ 0x6d61746368657221ULL;  // "matcher!"
+  return util::splitmix64(sm);
+}
+
 /// Full mutable state of the simulated system.
 struct SystemState {
   topo::Network net;
@@ -153,7 +167,11 @@ struct SystemState {
   // discipline is flow::ScheduleContext).
   core::Problem problem;
 
-  // Level-2 degradation path (first-fit greedy; stateless).
+  // Degraded scheduling rungs: randomized maximal matching at
+  // kRandomizedMatch, first-fit greedy (stateless) at kGreedy. The matcher
+  // draws from its own seeded generator, never from `rng`, so the recorded
+  // arrival/service streams stay independent of ladder position.
+  core::RandomizedMatchScheduler matcher;
   core::GreedyScheduler greedy;
 
   // Record/replay plumbing (either may be null).
@@ -162,12 +180,18 @@ struct SystemState {
   std::size_t replay_cycle = 0;
   bool halted = false;  ///< Crashed-trace replay reached its crash point.
 
+  // Workload-replay mode (simulate_workload): arrivals and faults come from
+  // this trace while the scheduler runs live; null otherwise.
+  const Trace* workload = nullptr;
+  std::int64_t next_arrival_id = 0;
+
   SimObs obs;  ///< Observability instruments (null members when off).
 
   TimeWeightedStat busy_resources;
   TimeWeightedStat queued_tasks;
   TimeWeightedStat faulty_links;
   RunningStat response_time;
+  std::vector<double> response_samples;  ///< Measured; backs the p99 rank.
   RunningStat wait_time;
   std::map<std::int32_t, RunningStat> wait_by_priority;
   std::int64_t opportunities = 0;
@@ -198,11 +222,15 @@ struct SystemState {
   double ewma_queue = 0.0;
   std::int32_t cycles_since_transition = 0;
   double level_clock = 0.0;  ///< When the current level was entered.
-  std::array<double, kDegradationLevels> time_in_level = {0.0, 0.0, 0.0};
-  std::int64_t level_transitions = 0;  // measured
+  std::array<double, kDegradationLevels> time_in_level{};
+  std::int64_t level_transitions = 0;   // measured
+  std::vector<std::int32_t> level_path; // measured ladder walk
 
   explicit SystemState(const topo::Network& base, const SystemConfig& config)
-      : net(base), rng(config.seed) {
+      : net(base),
+        rng(config.seed),
+        matcher(core::RandomizedMatchConfig{matcher_seed(config.seed),
+                                            /*pick_and_compare=*/true}) {
     net.release_all();
     queue.resize(static_cast<std::size_t>(net.processor_count()));
     transmitting.assign(static_cast<std::size_t>(net.processor_count()), 0);
@@ -305,7 +333,10 @@ void update_overload(SystemState& state, const SystemConfig& config,
   state.time_in_level[static_cast<std::size_t>(state.level)] +=
       now - state.level_clock;
   state.level_clock = now;
-  if (state.measuring) ++state.level_transitions;
+  if (state.measuring) {
+    ++state.level_transitions;
+    state.level_path.push_back(target);
+  }
   const std::int32_t old = state.level;
   state.level = target;
   state.cycles_since_transition = 0;
@@ -313,9 +344,14 @@ void update_overload(SystemState& state, const SystemConfig& config,
   if (scheduler != nullptr) {
     if (old == 0 && target == 1) scheduler->set_relaxed(true);
     if (old == 1 && target == 0) scheduler->set_relaxed(false);
-    // Leaving the greedy era: the primary scheduler's warm-start state is
-    // stale (it did not observe the greedy cycles' network churn).
-    if (old == 2 && target == 1) scheduler->reset();
+    // Re-entering the primary scheduler's era: its warm-start state is
+    // stale (it did not observe the degraded cycles' network churn), and
+    // the matcher's retained pairs are from a closed chapter too — drop
+    // both so each rung starts its next era fresh.
+    if (old == 2 && target == 1) {
+      scheduler->reset();
+      state.matcher.reset();
+    }
   }
 }
 
@@ -484,7 +520,9 @@ void apply_assignment(SystemState& state, const SystemConfig& config,
         ++state.tasks_completed;
         ++state.completed_total;
         if (state.measuring) {
-          state.response_time.add(state.events.now() - task.arrival);
+          const double response = state.events.now() - task.arrival;
+          state.response_time.add(response);
+          state.response_samples.push_back(response);
         }
       });
 }
@@ -576,10 +614,15 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
         apply_assignment(state, config, asg.circuit, asg.service_time);
       }
     } else {
-      // Live path: the overload controller picks the scheduling discipline.
-      core::Scheduler* active =
-          state.level >= 2 ? static_cast<core::Scheduler*>(&state.greedy)
-                           : scheduler;
+      // Live path: the overload controller picks the scheduling discipline —
+      // the configured scheduler up to kRelaxed, the randomized-matching
+      // rung at kRandomizedMatch, first-fit greedy at the bottom.
+      core::Scheduler* active = scheduler;
+      if (state.level >= 3) {
+        active = &state.greedy;
+      } else if (state.level == 2) {
+        active = &state.matcher;
+      }
       // The span (solve-latency histogram + optional trace event) closes
       // after the solve returns but before the result is applied — the
       // timed region is exactly the scheduler call.
@@ -606,8 +649,24 @@ void run_scheduling_cycle(SystemState& state, const SystemConfig& config,
         state.recorder->begin_cycle(now, outcome);
       }
       for (const core::Assignment& assignment : result.assignments) {
-        const double service =
-            state.rng.exponential(1.0 / config.mean_service_time);
+        // Workload-replay mode derives each task's service time from its
+        // arrival index so the marked process is identical under every
+        // scheduler; the ordinary live path draws from the run stream.
+        double service = 0.0;
+        if (state.workload != nullptr) {
+          const auto p =
+              static_cast<std::size_t>(assignment.circuit.processor);
+          RSIN_ENSURE(p < state.queue.size() && !state.queue[p].empty(),
+                      "assignment names a processor with no pending task");
+          std::uint64_t sm =
+              config.seed ^
+              (0x9e3779b97f4a7c15ULL *
+               (static_cast<std::uint64_t>(state.queue[p].front().id) + 1));
+          util::Rng task_rng(util::splitmix64(sm));
+          service = task_rng.exponential(1.0 / config.mean_service_time);
+        } else {
+          service = state.rng.exponential(1.0 / config.mean_service_time);
+        }
         if (state.recorder != nullptr) {
           state.recorder->assignment(assignment.circuit, service);
         }
@@ -664,6 +723,7 @@ void schedule_arrival(SystemState& state, const SystemConfig& config,
       state.rng.exponential(arrival_rate_at(config, state.events.now()));
   state.events.schedule_in(gap, [&state, &config, p] {
     Task task;
+    task.id = state.next_arrival_id++;
     task.arrival = state.events.now();
     task.type = config.resource_types > 1
                     ? static_cast<std::int32_t>(
@@ -687,11 +747,13 @@ void schedule_arrival(SystemState& state, const SystemConfig& config,
 SystemMetrics run_simulation(const topo::Network& base,
                              core::Scheduler* scheduler,
                              const SystemConfig& config,
-                             TraceRecorder* recorder, const Trace* replay) {
+                             TraceRecorder* recorder, const Trace* replay,
+                             const Trace* workload = nullptr) {
   config.validate();
   SystemState state(base, config);
   state.recorder = recorder;
   state.replay = replay;
+  state.workload = workload;
   state.obs.bind(config.obs);
   if (scheduler != nullptr && config.obs.enabled()) {
     scheduler->bind_obs(config.obs);
@@ -699,17 +761,22 @@ SystemMetrics run_simulation(const topo::Network& base,
   if (recorder != nullptr) recorder->begin(config, state.net.shape_hash());
 
   try {
-    if (replay != nullptr) {
+    // Replay and workload modes both drive the run off a recorded trace;
+    // replay additionally re-applies recorded decisions (scheduler == null),
+    // workload re-schedules the recorded offered load with a live scheduler.
+    const Trace* external = replay != nullptr ? replay : workload;
+    if (external != nullptr) {
       // External inputs come from the trace: recorded faults, then recorded
       // arrivals (admission control re-runs deterministically on them).
-      for (const fault::FaultEvent& event : replay->faults) {
+      for (const fault::FaultEvent& event : external->faults) {
         state.events.schedule(event.time, [&state, &config, event] {
           handle_fault_event(state, config, event);
         });
       }
-      for (const TraceArrival& arrival : replay->arrivals) {
+      for (const TraceArrival& arrival : external->arrivals) {
         state.events.schedule(arrival.time, [&state, &config, arrival] {
           Task task;
+          task.id = state.next_arrival_id++;
           task.arrival = arrival.time;
           task.type = arrival.type;
           task.priority = arrival.priority;
@@ -761,8 +828,9 @@ SystemMetrics run_simulation(const topo::Network& base,
                               state.net.faulty_link_count());
     state.tasks_arrived = 0;
     state.tasks_completed = 0;
-    state.time_in_level = {0.0, 0.0, 0.0};
+    state.time_in_level.fill(0.0);
     state.level_clock = state.events.now();
+    state.level_path.assign(1, state.level);
 
     state.events.run_until(end_time);
 
@@ -779,6 +847,17 @@ SystemMetrics run_simulation(const topo::Network& base,
         state.busy_resources.average(end_time) /
         static_cast<double>(state.net.resource_count());
     metrics.mean_response_time = state.response_time.mean();
+    if (!state.response_samples.empty()) {
+      // Exact rank selection (not an approximate sketch) so replays stay
+      // bitwise identical.
+      std::vector<double> samples = state.response_samples;
+      std::size_t rank = (samples.size() * 99) / 100;
+      if (rank >= samples.size()) rank = samples.size() - 1;
+      std::nth_element(samples.begin(),
+                       samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                       samples.end());
+      metrics.p99_response_time = samples[rank];
+    }
     metrics.mean_wait_time = state.wait_time.mean();
     metrics.blocking_probability =
         state.opportunities > 0
@@ -808,15 +887,20 @@ SystemMetrics run_simulation(const topo::Network& base,
     metrics.retries = state.retries;
     metrics.tasks_dropped = state.tasks_dropped;
     metrics.tasks_shed = state.tasks_shed;
+    metrics.requests_granted = state.allocated;
+    metrics.grant_opportunities = state.opportunities;
     if (span > 0) {
       for (std::size_t level = 0; level < kDegradationLevels; ++level) {
         metrics.time_in_level[level] = state.time_in_level[level] / span;
       }
-      metrics.overload_fraction =
-          metrics.time_in_level[1] + metrics.time_in_level[2];
+      metrics.overload_fraction = 0.0;
+      for (std::size_t level = 1; level < kDegradationLevels; ++level) {
+        metrics.overload_fraction += metrics.time_in_level[level];
+      }
     }
     metrics.degradation_transitions = state.level_transitions;
     metrics.final_level = static_cast<DegradationLevel>(state.level);
+    metrics.level_path = state.level_path;
 
     if (recorder != nullptr) {
       recorder->note_metric("tasks_arrived",
@@ -865,6 +949,15 @@ SystemMetrics simulate_system(const topo::Network& net,
                               const SystemConfig& config,
                               TraceRecorder& recorder) {
   return run_simulation(net, &scheduler, config, &recorder, nullptr);
+}
+
+SystemMetrics simulate_workload(const topo::Network& net,
+                                core::Scheduler& scheduler,
+                                const Trace& workload,
+                                const SystemConfig& config) {
+  RSIN_REQUIRE(net.shape_hash() == workload.shape_hash,
+               "workload: network shape does not match the recorded trace");
+  return run_simulation(net, &scheduler, config, nullptr, nullptr, &workload);
 }
 
 SystemMetrics replay_system(const topo::Network& net, const Trace& trace) {

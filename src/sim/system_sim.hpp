@@ -24,7 +24,8 @@
 // Overload: per-processor queues can be bounded (`max_queue`) with a
 // configurable shed policy, and an optional hysteretic overload detector
 // steps the runtime through degradation levels (optimal scheduling →
-// checks-off fast path → greedy) so the system stays stable through
+// checks-off fast path → randomized maximal matching → greedy) so the
+// system stays stable through
 // arrival bursts (`burst_*`) and fault storms, recovering when load drops.
 // Heavy-traffic resource-sharing networks need exactly these simple-form
 // control policies to remain stable (Budhiraja & Johnson; Shah & Shin).
@@ -40,6 +41,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/scheduler.hpp"
 #include "fault/fault_injector.hpp"
@@ -66,10 +68,13 @@ enum class DegradationLevel : std::uint8_t {
   kOptimal = 0,  ///< Configured scheduler, all self-checks on.
   kRelaxed = 1,  ///< Configured scheduler, optional self-checks suspended
                  ///< (warm differential check, per-cycle verify_schedule).
-  kGreedy = 2,   ///< First-fit greedy scheduling only.
+  kRandomizedMatch = 2,  ///< Randomized maximal matching (Shah–Shin
+                         ///< pick-and-compare) — near-optimal matched
+                         ///< counts at a fraction of the solve cost.
+  kGreedy = 3,   ///< First-fit greedy scheduling only (last resort).
 };
 
-inline constexpr std::size_t kDegradationLevels = 3;
+inline constexpr std::size_t kDegradationLevels = 4;
 
 [[nodiscard]] const char* to_string(DegradationLevel level);
 
@@ -160,6 +165,10 @@ struct SystemConfig {
 struct SystemMetrics {
   double resource_utilization = 0.0;  ///< Busy fraction of the pool.
   double mean_response_time = 0.0;    ///< Arrival -> task completion.
+  /// 99th percentile of per-task response times over the measured horizon
+  /// (0 when nothing completed). Deterministic: computed by rank selection
+  /// over the exact sample set, so record/replay reproduces it bitwise.
+  double p99_response_time = 0.0;
   double mean_wait_time = 0.0;        ///< Arrival -> circuit established.
   /// Mean wait per priority level (only filled when priority_levels > 0);
   /// shows whether the scheduling discipline differentiates service.
@@ -175,6 +184,12 @@ struct SystemMetrics {
   /// the drain cycle, not lost.
   std::int64_t scheduling_cycles = 0;
   std::int64_t deferred_cycles = 0;
+  /// Raw grant accounting behind blocking_probability: circuits granted and
+  /// per-cycle matchable opportunities over the served cycles. The
+  /// optimality-gap harness compares requests_granted across schedulers on
+  /// an identical replayed workload.
+  std::int64_t requests_granted = 0;
+  std::int64_t grant_opportunities = 0;
 
   // Fault / degraded-mode metrics (trivial on a fault-free run).
   double availability = 1.0;  ///< Time-weighted fraction of non-faulty links.
@@ -195,10 +210,15 @@ struct SystemMetrics {
   /// Time-weighted fraction of the measured horizon above kOptimal.
   double overload_fraction = 0.0;
   /// Time-weighted fraction of the measured horizon in each level.
-  std::array<double, kDegradationLevels> time_in_level = {1.0, 0.0, 0.0};
+  std::array<double, kDegradationLevels> time_in_level = {1.0, 0.0, 0.0, 0.0};
   std::int64_t degradation_transitions = 0;  ///< Level changes (measured).
   /// Degradation level when measurement ended (recovery checks).
   DegradationLevel final_level = DegradationLevel::kOptimal;
+  /// Ladder walk over the measured horizon: the level at measurement start
+  /// followed by every level entered, in order. The controller only steps
+  /// one level at a time, so consecutive entries differ by exactly 1 — the
+  /// monotone-transition property the ladder tests assert.
+  std::vector<std::int32_t> level_path;
 };
 
 class TraceRecorder;  // sim/trace.hpp
@@ -216,6 +236,20 @@ SystemMetrics simulate_system(const topo::Network& net,
                               core::Scheduler& scheduler,
                               const SystemConfig& config,
                               TraceRecorder& recorder);
+
+/// Replays a recorded trace's *workload* — its arrival and fault streams —
+/// through a live `scheduler` (the optimality-gap harness mode). Unlike
+/// replay_system, scheduling decisions are made fresh each cycle, so
+/// different schedulers can be compared on an identical marked arrival
+/// process: each task's service time is derived deterministically from
+/// (config.seed, arrival index) instead of the live RNG stream, making the
+/// workload common random numbers across schedulers. `config` supplies the
+/// run parameters (typically trace.config with obs attached); throws
+/// std::invalid_argument when `net`'s shape does not match the trace.
+SystemMetrics simulate_workload(const topo::Network& net,
+                                core::Scheduler& scheduler,
+                                const Trace& workload,
+                                const SystemConfig& config);
 
 /// Re-executes a recorded run from its trace: same config, same arrival and
 /// fault streams, and the recorded per-cycle decisions instead of a live

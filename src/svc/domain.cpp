@@ -474,7 +474,12 @@ sim::SystemMetrics Domain::metrics() const {
   m.retries = retries_;
   m.tasks_shed = shed_;
   m.degradation_transitions = level_transitions_;
-  m.final_level = static_cast<sim::DegradationLevel>(level_);
+  // The domain's journaled ladder stays 3-level (optimal/relaxed/greedy);
+  // map its top rung explicitly so widening the sim ladder cannot silently
+  // relabel it.
+  m.final_level = level_ >= 2   ? sim::DegradationLevel::kGreedy
+                  : level_ == 1 ? sim::DegradationLevel::kRelaxed
+                                : sim::DegradationLevel::kOptimal;
   return m;
 }
 

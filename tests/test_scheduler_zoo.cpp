@@ -1,0 +1,274 @@
+// Property tests for the scheduler zoo (core/zoo.hpp): every discipline
+// must emit realizable schedules on randomized topology x fault x burst
+// sweeps, be deterministic under a fixed seed, restart cleanly from
+// reset(), and stay within the expected optimality gap of the cold Dinic
+// solve. The name-based factory is covered too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/scheduler.hpp"
+#include "core/zoo.hpp"
+#include "test_helpers.hpp"
+#include "topo/builders.hpp"
+#include "util/rng.hpp"
+
+namespace rsin {
+namespace {
+
+/// Flattens a schedule into its (processor, resource) pairs, in emission
+/// order, for cross-instance determinism comparisons.
+std::vector<std::pair<topo::ProcessorId, topo::ResourceId>> pairs_of(
+    const core::ScheduleResult& result) {
+  std::vector<std::pair<topo::ProcessorId, topo::ResourceId>> pairs;
+  pairs.reserve(result.assignments.size());
+  for (const core::Assignment& a : result.assignments) {
+    pairs.emplace_back(a.request.processor, a.resource.resource);
+  }
+  return pairs;
+}
+
+/// The zoo under test, freshly constructed per call site.
+std::vector<std::unique_ptr<core::Scheduler>> make_zoo(std::uint64_t seed) {
+  std::vector<std::unique_ptr<core::Scheduler>> zoo;
+  zoo.push_back(std::make_unique<core::RandomizedMatchScheduler>(
+      core::RandomizedMatchConfig{seed, /*pick_and_compare=*/true}));
+  zoo.push_back(std::make_unique<core::ThresholdScheduler>());
+  zoo.push_back(std::make_unique<core::GreedyLocalScheduler>());
+  return zoo;
+}
+
+TEST(SchedulerZoo, FeasibilityAcrossTopologyFaultBurstSweep) {
+  // Every zoo scheduler must emit a realizable schedule (link-disjoint free
+  // circuits, no double-booking, matching types) on every instance of a
+  // randomized sweep across topologies, permanent link faults, and request
+  // densities from idle to full burst.
+  util::Rng rng(2024);
+  for (const char* topology : {"omega", "benes", "crossbar"}) {
+    const topo::Network base = topo::make_named(topology, 8);
+    for (const std::int32_t failed_links : {0, 2, 5}) {
+      topo::Network net = base;
+      for (std::int32_t f = 0; f < failed_links; ++f) {
+        net.fail_link(rng.uniform_int(0, net.link_count() - 1));
+      }
+      auto zoo = make_zoo(rng());
+      for (const double p_request : {0.25, 0.6, 1.0}) {
+        for (int round = 0; round < 8; ++round) {
+          const core::Problem problem =
+              test::random_problem(rng, net, p_request, 0.7);
+          for (const auto& scheduler : zoo) {
+            const core::ScheduleResult result = scheduler->schedule(problem);
+            const auto violation = core::verify_schedule(problem, result);
+            EXPECT_FALSE(violation.has_value())
+                << scheduler->name() << " on " << topology << " ("
+                << failed_links << " failed links, p_request=" << p_request
+                << ", round " << round << "): " << *violation;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerZoo, DeterminismUnderFixedSeed) {
+  // Two instances constructed with the same seed and fed the same problem
+  // sequence must emit identical assignment sequences — the property the
+  // record/replay machinery and the gap benches lean on.
+  const topo::Network net = topo::make_named("omega", 8);
+  util::Rng problem_rng(7);
+  std::vector<core::Problem> problems;
+  for (int i = 0; i < 20; ++i) {
+    problems.push_back(test::random_problem(problem_rng, net, 0.7, 0.7));
+  }
+  auto first = make_zoo(99);
+  auto second = make_zoo(99);
+  for (std::size_t s = 0; s < first.size(); ++s) {
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      const core::ScheduleResult a = first[s]->schedule(problems[i]);
+      const core::ScheduleResult b = second[s]->schedule(problems[i]);
+      EXPECT_EQ(pairs_of(a), pairs_of(b))
+          << first[s]->name() << " diverged at cycle " << i;
+    }
+  }
+}
+
+TEST(SchedulerZoo, MatchingsStayWithinTwiceOptimal) {
+  // Optimality gap: a maximal matching is at least half a maximum matching,
+  // and empirically the bound carries over to link-constrained circuit
+  // allocation on these fabrics. Randomized-match and greedy-local are both
+  // maximal, so 2x their matched count must cover the cold Dinic optimum on
+  // every instance of the (fixed-seed) sweep.
+  util::Rng rng(4242);
+  for (const char* topology : {"omega", "benes", "crossbar"}) {
+    const topo::Network base = topo::make_named(topology, 8);
+    for (const std::int32_t failed_links : {0, 3}) {
+      topo::Network net = base;
+      for (std::int32_t f = 0; f < failed_links; ++f) {
+        net.fail_link(rng.uniform_int(0, net.link_count() - 1));
+      }
+      core::RandomizedMatchScheduler randomized(
+          core::RandomizedMatchConfig{rng()});
+      core::GreedyLocalScheduler greedy_local;
+      core::MaxFlowScheduler dinic;
+      for (int round = 0; round < 10; ++round) {
+        const core::Problem problem =
+            test::random_problem(rng, net, 0.8, 0.8);
+        const std::size_t optimal = dinic.schedule(problem).allocated();
+        const std::size_t matched =
+            randomized.schedule(problem).allocated();
+        const std::size_t local = greedy_local.schedule(problem).allocated();
+        EXPECT_GE(2 * matched, optimal)
+            << "randomized-match on " << topology << " round " << round;
+        EXPECT_GE(2 * local, optimal)
+            << "greedy-local on " << topology << " round " << round;
+      }
+    }
+  }
+}
+
+TEST(SchedulerZoo, ThresholdRespectsPerClassReserve) {
+  // With reserve = r, each resource class must keep r free resources
+  // unallocated; with reserve = 0 the scheduler is work-conserving and can
+  // only do better. Priorities break admission ties within a class.
+  const topo::Network net = topo::make_named("crossbar", 8);
+  core::Problem problem;
+  problem.network = &net;
+  for (topo::ProcessorId p = 0; p < net.processor_count(); ++p) {
+    problem.requests.push_back({p, /*priority=*/p % 3, /*type=*/p % 2});
+  }
+  for (topo::ResourceId r = 0; r < net.resource_count(); ++r) {
+    problem.free_resources.push_back({r, /*preference=*/0, /*type=*/r % 2});
+  }
+  problem.validate();
+
+  for (const std::int32_t reserve : {0, 1, 2}) {
+    core::ThresholdScheduler scheduler(core::ThresholdConfig{reserve});
+    const core::ScheduleResult result = scheduler.schedule(problem);
+    ASSERT_FALSE(core::verify_schedule(problem, result).has_value());
+    std::map<std::int32_t, std::int64_t> granted;
+    for (const core::Assignment& a : result.assignments) {
+      ++granted[a.resource.type];
+    }
+    std::map<std::int32_t, std::int64_t> free_count;
+    for (const core::FreeResource& r : problem.free_resources) {
+      ++free_count[r.type];
+    }
+    for (const auto& [type, count] : granted) {
+      EXPECT_LE(count, std::max<std::int64_t>(0, free_count[type] - reserve))
+          << "class " << type << " overshot its budget at reserve="
+          << reserve;
+    }
+  }
+
+  // reserve=0 admits at least as much as any positive reserve.
+  core::ThresholdScheduler conserving(core::ThresholdConfig{0});
+  core::ThresholdScheduler reserved(core::ThresholdConfig{2});
+  EXPECT_GE(conserving.schedule(problem).allocated(),
+            reserved.schedule(problem).allocated());
+
+  // Admission is priority-ordered: when one budget slot remains in a class,
+  // the highest-priority request of that class wins it.
+  core::Problem contended;
+  contended.network = &net;
+  contended.requests.push_back({0, /*priority=*/0, /*type=*/0});
+  contended.requests.push_back({1, /*priority=*/5, /*type=*/0});
+  contended.free_resources.push_back({0, 0, /*type=*/0});
+  contended.free_resources.push_back({1, 0, /*type=*/0});
+  contended.validate();
+  core::ThresholdScheduler tie_breaker(core::ThresholdConfig{1});
+  const core::ScheduleResult winner = tie_breaker.schedule(contended);
+  ASSERT_EQ(winner.allocated(), 1u);
+  EXPECT_EQ(winner.assignments[0].request.processor, 1);
+}
+
+TEST(SchedulerZoo, ResetRestartsCleanly) {
+  // reset() must return a stateful scheduler to freshly constructed
+  // behavior even mid-stream: run a prefix, reset, and the suffix must
+  // match what a brand-new instance emits on the same suffix.
+  const topo::Network net = topo::make_named("omega", 8);
+  util::Rng problem_rng(11);
+  std::vector<core::Problem> prefix;
+  std::vector<core::Problem> suffix;
+  for (int i = 0; i < 6; ++i) {
+    prefix.push_back(test::random_problem(problem_rng, net, 0.7, 0.7));
+  }
+  for (int i = 0; i < 6; ++i) {
+    suffix.push_back(test::random_problem(problem_rng, net, 0.7, 0.7));
+  }
+  auto warmed = make_zoo(5);
+  auto fresh = make_zoo(5);
+  for (std::size_t s = 0; s < warmed.size(); ++s) {
+    for (const core::Problem& problem : prefix) {
+      (void)warmed[s]->schedule(problem);
+    }
+    warmed[s]->reset();
+    for (const core::Problem& problem : suffix) {
+      EXPECT_EQ(pairs_of(warmed[s]->schedule(problem)),
+                pairs_of(fresh[s]->schedule(problem)))
+          << warmed[s]->name() << " did not reset to fresh behavior";
+    }
+  }
+}
+
+TEST(SchedulerZoo, RetainedMatchingSurvivesFaultRounds) {
+  // Pick-and-compare across rounds where links fail and repair mid-stream:
+  // the retained matching must be re-validated against the current network,
+  // never producing an infeasible schedule, and its circuits must actually
+  // establish on the live network.
+  topo::Network net = topo::make_named("benes", 8);
+  core::RandomizedMatchScheduler scheduler(core::RandomizedMatchConfig{17});
+  util::Rng rng(3);
+  for (int round = 0; round < 30; ++round) {
+    const topo::LinkId victim =
+        static_cast<topo::LinkId>(rng.uniform_int(0, net.link_count() - 1));
+    net.fail_link(victim);
+    const core::Problem problem = test::random_problem(rng, net, 0.8, 0.8);
+    const core::ScheduleResult result = scheduler.schedule(problem);
+    const auto violation = core::verify_schedule(problem, result);
+    ASSERT_FALSE(violation.has_value())
+        << "round " << round << ": " << *violation;
+    core::establish_schedule(net, result);
+    net.release_all();
+    net.repair_link(victim);
+  }
+  // The retained matching holds (processor, resource) pairs from the last
+  // round's winning proposal.
+  for (const auto& [processor, resource] : scheduler.retained()) {
+    EXPECT_GE(processor, 0);
+    EXPECT_GE(resource, 0);
+  }
+}
+
+TEST(SchedulerZoo, FactoryMakesEveryNamedScheduler) {
+  for (const std::string& name : core::scheduler_names()) {
+    const std::unique_ptr<core::Scheduler> scheduler =
+        core::make_named_scheduler(name, /*seed=*/7);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_FALSE(scheduler->name().empty()) << name;
+  }
+  // The zoo names resolve to the zoo types, and the advertised list covers
+  // them.
+  const auto& names = core::scheduler_names();
+  for (const char* expected :
+       {"randomized-match", "threshold", "greedy-local", "dinic", "greedy"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from scheduler_names()";
+  }
+  EXPECT_EQ(core::make_named_scheduler("randomized-match")->name(),
+            "randomized-match");
+  EXPECT_EQ(core::make_named_scheduler("greedy-local")->name(),
+            "greedy-local");
+  EXPECT_THROW(core::make_named_scheduler("no-such-discipline"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -11,6 +11,8 @@
 
 #include "core/batching.hpp"
 #include "core/scheduler.hpp"
+#include "core/zoo.hpp"
+#include "obs/obs.hpp"
 #include "sim/system_sim.hpp"
 #include "sim/trace.hpp"
 #include "topo/builders.hpp"
@@ -59,6 +61,10 @@ void expect_identical(const sim::SystemMetrics& a,
   EXPECT_EQ(a.availability, b.availability);
   EXPECT_EQ(a.degraded_cycle_fraction, b.degraded_cycle_fraction);
   EXPECT_EQ(a.mean_wait_by_priority, b.mean_wait_by_priority);
+  EXPECT_EQ(a.p99_response_time, b.p99_response_time);
+  EXPECT_EQ(a.requests_granted, b.requests_granted);
+  EXPECT_EQ(a.grant_opportunities, b.grant_opportunities);
+  EXPECT_EQ(a.level_path, b.level_path);
 }
 
 TEST(Trace, SaveLoadRoundTripsExactly) {
@@ -181,6 +187,38 @@ TEST(Trace, ReplayReproducesBatchedRunBitwise) {
   const sim::Trace reloaded = sim::Trace::load(stream);
   const sim::SystemMetrics replayed = sim::replay_system(net, reloaded);
   expect_identical(live, replayed);
+}
+
+TEST(Trace, ReplayBitwiseForEveryZooScheduler) {
+  // Record once under each zoo scheduler, replay the trace scheduler-free,
+  // and every metric must come back bitwise — with observability both off
+  // and on (obs is observation-only; attaching a registry to the replay
+  // must not perturb a single double).
+  const topo::Network net = topo::make_named("omega", 8);
+  for (const char* name : {"randomized-match", "threshold", "greedy-local"}) {
+    const auto scheduler = core::make_named_scheduler(name);
+    sim::SystemConfig config = short_config();
+    config.max_queue = 32;  // zoo disciplines leave more work queued
+    sim::TraceRecorder recorder;
+    const sim::SystemMetrics live =
+        sim::simulate_system(net, *scheduler, config, recorder);
+    EXPECT_GT(live.tasks_completed, 0) << name;
+
+    // Round-trip through the on-disk format, then replay without obs...
+    std::stringstream stream;
+    recorder.trace().save(stream);
+    const sim::Trace reloaded = sim::Trace::load(stream);
+    const sim::SystemMetrics replayed = sim::replay_system(net, reloaded);
+    expect_identical(live, replayed);
+
+    // ...and again with a live registry attached: identical metrics, and
+    // the instruments actually saw the run.
+    obs::Registry registry;
+    const sim::SystemMetrics observed =
+        sim::replay_system(net, reloaded, obs::Handle{&registry, nullptr});
+    expect_identical(live, observed);
+    EXPECT_FALSE(registry.snapshot().counters.empty()) << name;
+  }
 }
 
 TEST(Trace, SameSeedSameMetricsAcrossRepeatedRuns) {
