@@ -1,0 +1,252 @@
+// E25 — federation acceptance sweep (ISSUE 10 / DESIGN.md §14).
+//
+// Sweeps the two-level federation across N clusters x uplink capacity x
+// tenant skew, printing per-cluster and federation throughput / response /
+// loss curves, and enforces three CI gates:
+//
+//   1. Symmetric load: federated admission (optimal Dinic per cluster +
+//      coflow-style uplink admission) must grant at least
+//      kFlatFactorFloor of what one flat fabric of K*n terminals grants
+//      on the identical common-random-number workload.
+//   2. Cluster kill: losing one of N clusters must cost at most
+//      1/N + kKillSlack of total throughput, and sibling clusters must
+//      each keep at least kSiblingFloor of their no-kill throughput.
+//   3. Differential: across randomized scenarios (skew, bursts, kills,
+//      partitions), replaying every cluster's recorded inputs into a
+//      standalone Cluster must reproduce its schedule hash bitwise.
+//
+// Results land in BENCH_federation.json (obs::write_json shape) for the CI
+// artifact; the process exits nonzero on any gate miss.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/admission.hpp"
+#include "fed/cluster.hpp"
+#include "fed/federation.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "sim/federated.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rsin;
+
+// Gate floors. Measured at the pinned seeds: symmetric-load federated /
+// flat ~ 0.999 (the flat fabric pools free resources, so it is the upper
+// reference; saturated points lose ~1.7%); killing 1-of-4 costs almost
+// nothing because spill re-homes the dead cluster's backlog, and sibling
+// throughput stays within noise of no-kill. Floors leave margin for
+// scheduling noise, not for regressions.
+constexpr double kFlatFactorFloor = 0.85;
+constexpr double kKillSlack = 0.10;      // allowed loss beyond 1/N
+constexpr double kSiblingFloor = 0.95;   // sibling granted vs no-kill run
+constexpr int kDifferentialScenarios = 10;
+
+sim::FederatedScenario base_scenario(std::int32_t clusters, std::int32_t n,
+                                     std::int64_t uplink_capacity) {
+  sim::FederatedScenario scenario;
+  scenario.federation.clusters = clusters;
+  scenario.federation.cluster.topology = "omega";
+  scenario.federation.cluster.n = n;
+  scenario.federation.cluster.scheduler = "warm";
+  scenario.federation.uplink_capacity = uplink_capacity;
+  scenario.federation.spill = true;
+  scenario.federation.spill_after = 1;
+  scenario.cycles = 300;
+  scenario.arrival_rate = 0.25;
+  scenario.mean_service = 3.0;
+  scenario.tenants_per_cluster = 8;
+  scenario.seed = 20250807;
+  return scenario;
+}
+
+void record_run(obs::Registry& out, const std::string& label,
+                const sim::FederatedMetrics& metrics) {
+  out.gauge("bench.federation." + label + ".offered")
+      .set(static_cast<double>(metrics.offered));
+  out.gauge("bench.federation." + label + ".granted")
+      .set(static_cast<double>(metrics.granted));
+  out.gauge("bench.federation." + label + ".grant_rate")
+      .set(metrics.grant_rate);
+  out.gauge("bench.federation." + label + ".mean_response")
+      .set(metrics.mean_response);
+  out.gauge("bench.federation." + label + ".spill_moved")
+      .set(static_cast<double>(metrics.spill_moved));
+  for (std::size_t c = 0; c < metrics.clusters.size(); ++c) {
+    out.gauge("bench.federation." + label + ".c" + std::to_string(c) +
+              ".granted")
+        .set(static_cast<double>(metrics.clusters[c].granted));
+  }
+}
+
+void print_run(const std::string& label, const sim::FederatedMetrics& m) {
+  std::cout << std::left << std::setw(34) << label << " offered "
+            << std::setw(6) << m.offered << " granted " << std::setw(6)
+            << m.granted << " rate " << std::fixed << std::setprecision(3)
+            << m.grant_rate << " resp " << std::setprecision(2)
+            << m.mean_response << " spill " << m.spill_moved << " | per-cluster";
+  for (const auto& c : m.clusters) std::cout << ' ' << c.granted;
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bool gate_pass = true;
+  obs::Registry out;
+  std::cout << "E25: hierarchical federation sweep "
+               "(N x uplink capacity x skew)\n\n";
+
+  // --- Sweep: throughput/response/loss curves ------------------------------
+  for (const std::int32_t clusters : {2, 4}) {
+    for (const std::int64_t uplink : {1, 4}) {
+      for (const double skew : {0.0, 1.2}) {
+        for (const double load : {0.25, 0.45}) {
+        sim::FederatedScenario scenario = base_scenario(clusters, 8, uplink);
+        scenario.zipf_s = skew;
+        scenario.arrival_rate = load;
+        const sim::FederatedMetrics fedm =
+            sim::run_federated_experiment(scenario);
+        const sim::FederatedMetrics flat = sim::run_flat_baseline(scenario);
+        const std::string label = "n" + std::to_string(clusters) + ".u" +
+                                  std::to_string(uplink) + ".s" +
+                                  (skew > 0.0 ? "zipf" : "uni") + ".l" +
+                                  std::to_string(static_cast<int>(load * 100));
+        record_run(out, label, fedm);
+        out.gauge("bench.federation." + label + ".flat_granted")
+            .set(static_cast<double>(flat.granted));
+        const double loss_vs_flat =
+            flat.granted > 0 ? 1.0 - static_cast<double>(fedm.granted) /
+                                         static_cast<double>(flat.granted)
+                             : 0.0;
+        out.gauge("bench.federation." + label + ".loss_vs_flat")
+            .set(loss_vs_flat);
+        print_run(label, fedm);
+        std::cout << std::left << std::setw(34) << ("  flat(" + label + ")")
+                  << " granted " << flat.granted << "  loss-vs-flat "
+                  << std::fixed << std::setprecision(3) << loss_vs_flat
+                  << "\n";
+        }
+      }
+    }
+  }
+
+  // --- Gate 1: symmetric load within a fixed factor of the flat optimum ----
+  {
+    sim::FederatedScenario scenario = base_scenario(4, 8, 4);
+    const sim::FederatedMetrics fedm = sim::run_federated_experiment(scenario);
+    const sim::FederatedMetrics flat = sim::run_flat_baseline(scenario);
+    const double factor =
+        flat.granted > 0 ? static_cast<double>(fedm.granted) /
+                               static_cast<double>(flat.granted)
+                         : 1.0;
+    const bool pass = factor >= kFlatFactorFloor;
+    gate_pass = gate_pass && pass;
+    out.gauge("bench.federation.gate.flat_factor").set(factor);
+    std::cout << "\ngate 1: symmetric federated/flat factor " << std::fixed
+              << std::setprecision(3) << factor << " (floor "
+              << kFlatFactorFloor << ") " << (pass ? "PASS" : "FAIL") << "\n";
+  }
+
+  // --- Gate 2: single-cluster kill costs <= 1/N + slack, siblings intact ---
+  {
+    sim::FederatedScenario healthy = base_scenario(4, 8, 4);
+    const sim::FederatedMetrics base = sim::run_federated_experiment(healthy);
+    sim::FederatedScenario killed = healthy;
+    killed.kill_cluster = 0;
+    killed.kill_at = 50;  // dead for the last 5/6 of the run, never rejoins
+    const sim::FederatedMetrics after = sim::run_federated_experiment(killed);
+
+    const double n = static_cast<double>(healthy.federation.clusters);
+    const double floor_total =
+        (1.0 - 1.0 / n - kKillSlack) * static_cast<double>(base.granted);
+    bool pass = static_cast<double>(after.granted) >= floor_total;
+    double worst_sibling = 1.0;
+    for (std::size_t c = 1; c < after.clusters.size(); ++c) {
+      const double ratio =
+          base.clusters[c].granted > 0
+              ? static_cast<double>(after.clusters[c].granted) /
+                    static_cast<double>(base.clusters[c].granted)
+              : 1.0;
+      worst_sibling = std::min(worst_sibling, ratio);
+    }
+    pass = pass && worst_sibling >= kSiblingFloor;
+    gate_pass = gate_pass && pass;
+    out.gauge("bench.federation.gate.kill_total_ratio")
+        .set(static_cast<double>(after.granted) /
+             static_cast<double>(base.granted));
+    out.gauge("bench.federation.gate.kill_worst_sibling").set(worst_sibling);
+    std::cout << "gate 2: kill 1/" << healthy.federation.clusters
+              << " total " << after.granted << "/" << base.granted
+              << " (floor " << std::setprecision(0) << floor_total
+              << "), worst sibling ratio " << std::setprecision(3)
+              << worst_sibling << " (floor " << kSiblingFloor << ") "
+              << (pass ? "PASS" : "FAIL") << "\n";
+  }
+
+  // --- Gate 3: randomized differential — standalone replay is bitwise -----
+  {
+    util::Rng rng(0xe25dULL);
+    int failures = 0;
+    for (int round = 0; round < kDifferentialScenarios; ++round) {
+      sim::FederatedScenario scenario = base_scenario(
+          static_cast<std::int32_t>(rng.uniform_int(2, 4)), 4,
+          rng.uniform_int(1, 3));
+      scenario.cycles = 120;
+      scenario.arrival_rate = rng.uniform(0.15, 0.45);
+      scenario.zipf_s = rng.uniform(0.0, 1.5);
+      scenario.seed = rng();
+      if (rng.bernoulli(0.5)) {
+        scenario.kill_cluster = 0;
+        scenario.kill_at = rng.uniform_int(20, 60);
+        scenario.rejoin_at =
+            rng.bernoulli(0.5) ? scenario.kill_at + 30 : -1;
+      }
+      if (rng.bernoulli(0.4)) {
+        scenario.partition_cluster = scenario.federation.clusters - 1;
+        scenario.partition_at = rng.uniform_int(10, 50);
+        scenario.heal_at = scenario.partition_at + 25;
+      }
+      if (rng.bernoulli(0.5)) {
+        scenario.burst_cluster = 0;
+        scenario.burst_factor = 4.0;
+        scenario.burst_from = 30;
+        scenario.burst_until = 70;
+      }
+      fed::Federation federation(scenario.federation);
+      federation.record_inputs(true);
+      (void)sim::drive_federation(federation, scenario);
+      for (std::int32_t c = 0; c < federation.clusters(); ++c) {
+        const fed::Cluster& original = federation.cluster(c);
+        const std::unique_ptr<fed::Cluster> replayed = fed::replay_cluster(
+            original.config(), original.inputs(), scenario.cycles);
+        if (replayed->schedule_hash() != original.schedule_hash()) {
+          ++failures;
+          std::cout << "  differential MISMATCH: round " << round
+                    << " cluster " << c << "\n";
+        }
+      }
+    }
+    const bool pass = failures == 0;
+    gate_pass = gate_pass && pass;
+    out.gauge("bench.federation.gate.differential_failures")
+        .set(static_cast<double>(failures));
+    std::cout << "gate 3: " << kDifferentialScenarios
+              << " randomized scenarios, " << failures
+              << " standalone-replay mismatches "
+              << (pass ? "PASS" : "FAIL") << "\n";
+  }
+
+  std::cout << "\nE25 gates: " << (gate_pass ? "PASS" : "FAIL") << "\n";
+  out.gauge("bench.federation.pass").set(gate_pass ? 1.0 : 0.0);
+  std::ofstream json_out("BENCH_federation.json");
+  obs::write_json(out.snapshot(), json_out);
+  return gate_pass ? 0 : 1;
+}

@@ -1,9 +1,10 @@
 // rsin_cli — command-line driver over the library's main entry points.
 //
 // Usage:
-//   rsin_cli blocking [topology] [n] [scheduler] [trials] [load]
-//   rsin_cli system   [topology] [n] [scheduler] [arrival_rate]
-//   rsin_cli dot      [topology] [n]
+//   rsin_cli blocking   [topology] [n] [scheduler] [trials] [load]
+//   rsin_cli system     [topology] [n] [scheduler] [arrival_rate]
+//   rsin_cli federation [topology] [n] [scheduler] [arrival_rate] [cycles]
+//   rsin_cli dot        [topology] [n]
 //
 // schedulers: dinic | ford-fulkerson | edmonds-karp | push-relabel |
 //             mincost | greedy | greedy-local | random | randomized-match |
@@ -41,6 +42,14 @@
 //                         at chrome://tracing. Incompatible with --replay
 //                         (a replay is already a recorded timeline).
 //
+// Federation flags (federation mode; see DESIGN.md §14):
+//   --clusters=K      number of independent cluster domains (default 4);
+//                     each owns its own [topology] x [n] fabric
+//   --uplink-cap=C    per-directed-pair inter-cluster uplink capacity in
+//                     tasks per cycle (default 2)
+//   --spill=on|off    coflow-style spill/retry of backlogged tasks to
+//                     sibling clusters (default on)
+//
 // Service-client mode (talks to a running rsind daemon):
 //   rsin_cli client SOCKET [--timeout-ms=N] [--retries=N] [command...]
 // With command words, sends that one command ("rsin_cli client /run/r.sock
@@ -65,6 +74,8 @@
 #include "core/scheduler.hpp"
 #include "core/zoo.hpp"
 #include "fault/fault_injector.hpp"
+#include "fed/federation.hpp"
+#include "sim/federated.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "sim/static_experiment.hpp"
@@ -161,10 +172,22 @@ int run_client(const std::vector<std::string>& args, std::int32_t timeout_ms,
 
 std::unique_ptr<core::Scheduler> make_scheduler(const std::string& name) {
   // token and hetero-lp live outside rsin_core; everything else (the flow
-  // solvers and the scheduler zoo) comes from the shared factory.
+  // solvers and the scheduler zoo) comes from the shared factory. An
+  // unknown name must enumerate the CLI's full vocabulary, not just the
+  // factory's, so the factory error is rewrapped with the extras appended.
   if (name == "token") return std::make_unique<token::TokenScheduler>();
   if (name == "hetero-lp") return std::make_unique<core::HeteroLpScheduler>();
-  return core::make_named_scheduler(name, /*seed=*/1);
+  try {
+    return core::make_named_scheduler(name, /*seed=*/1);
+  } catch (const std::invalid_argument&) {
+    std::string known;
+    for (const std::string& candidate : core::scheduler_names()) {
+      known += candidate + ' ';
+    }
+    throw std::invalid_argument("unknown scheduler: " + name +
+                                " (expected one of: " + known +
+                                "token hetero-lp)");
+  }
 }
 
 int usage() {
@@ -172,6 +195,8 @@ int usage() {
       << "usage: rsin_cli blocking [topology] [n] [scheduler] [trials] "
          "[load]\n"
          "       rsin_cli system   [topology] [n] [scheduler] [arrival]\n"
+         "       rsin_cli federation [topology] [n] [scheduler] [arrival] "
+         "[cycles]\n"
          "       rsin_cli dot      [topology] [n]\n"
          "       rsin_cli client   SOCKET [--timeout-ms=N] [--retries=N] "
          "[command...]\n"
@@ -184,6 +209,7 @@ int usage() {
          "       --max-queue=K --shed-policy=drop-tail|oldest-first\n"
          "       --record-trace=PATH --replay=PATH\n"
          "       --batch-window=K --batch-deadline=K (system mode)\n"
+         "       --clusters=K --uplink-cap=C --spill=on|off (federation)\n"
          "       --metrics-out=PATH --trace-events=PATH\n";
   return 2;
 }
@@ -204,6 +230,9 @@ struct Options {
   std::string trace_events;
   std::int32_t timeout_ms = 2000;  ///< Client mode: per-attempt deadline.
   std::int32_t retries = 5;        ///< Client mode: retry attempts.
+  std::int32_t clusters = 4;       ///< Federation mode: cluster domains.
+  std::int64_t uplink_cap = 2;     ///< Federation mode: per-pair uplink cap.
+  bool spill = true;               ///< Federation mode: cross-cluster spill.
   std::string scheduler;  ///< --scheduler=NAME; wins over the positional.
 };
 
@@ -271,6 +300,24 @@ std::vector<std::string> parse_args(int argc, char** argv, Options& options) {
       options.timeout_ms = std::stoi(value);
     } else if (key == "--retries") {
       options.retries = std::stoi(value);
+    } else if (key == "--clusters") {
+      options.clusters = std::stoi(value);
+      if (options.clusters < 1) {
+        throw std::invalid_argument("--clusters must be >= 1");
+      }
+    } else if (key == "--uplink-cap") {
+      options.uplink_cap = std::stoll(value);
+      if (options.uplink_cap < 0) {
+        throw std::invalid_argument("--uplink-cap must be >= 0");
+      }
+    } else if (key == "--spill") {
+      if (value == "on") {
+        options.spill = true;
+      } else if (value == "off") {
+        options.spill = false;
+      } else {
+        throw std::invalid_argument("--spill takes on|off, got: " + value);
+      }
     } else {
       throw std::invalid_argument("unknown flag: " + arg);
     }
@@ -364,6 +411,44 @@ int main(int argc, char** argv) {
         g_signal_flush.flush = nullptr;
       }
     } flush_guard;
+
+    if (mode == "federation") {
+      // Two-level run: K independent cluster fabrics under the coflow-style
+      // uplink admission layer (DESIGN.md §14). Builds its own networks, so
+      // the flat `net` above is unused here.
+      sim::FederatedScenario scenario;
+      scenario.federation.clusters = options.clusters;
+      scenario.federation.cluster.topology = topology;
+      scenario.federation.cluster.n = n;
+      scenario.federation.cluster.scheduler = scheduler_name;
+      scenario.federation.uplink_capacity = options.uplink_cap;
+      scenario.federation.spill = options.spill;
+      scenario.arrival_rate = args.size() > 4 ? std::stod(args[4]) : 0.3;
+      scenario.cycles = args.size() > 5 ? std::stoll(args[5]) : 400;
+      scenario.validate();
+      fed::Federation federation(scenario.federation);
+      const sim::FederatedMetrics metrics =
+          sim::drive_federation(federation, scenario);
+      if (!options.metrics_out.empty()) federation.export_registry(registry);
+      write_obs_outputs();
+      util::Table table({"cluster", "arrivals", "spill in/out", "granted",
+                         "shed", "mean response"});
+      for (std::size_t c = 0; c < metrics.clusters.size(); ++c) {
+        const sim::FederatedClusterMetrics& cluster = metrics.clusters[c];
+        table.add("c" + std::to_string(c), cluster.arrivals,
+                  std::to_string(cluster.spill_in) + " / " +
+                      std::to_string(cluster.spill_out),
+                  cluster.granted, cluster.shed,
+                  util::fixed(cluster.mean_response, 3));
+      }
+      table.add("federation", metrics.offered,
+                std::to_string(metrics.spill_admitted) + " / " +
+                    std::to_string(metrics.spill_moved),
+                metrics.granted, metrics.offered - metrics.granted,
+                util::fixed(metrics.mean_response, 3));
+      std::cout << table;
+      return 0;
+    }
 
     auto scheduler = make_scheduler(scheduler_name);
     if (options.deadline > 0.0) {

@@ -13,12 +13,12 @@ echo "=== tier 1: fault/robustness subset under ASan+UBSan ==="
 cmake --preset asan >/dev/null
 cmake --build build-asan -j "$(nproc)"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep|Overload|Trace|CircuitBreaker|WarmStart|WarmPool|Batching|Obs|MetricsRegistry|Svc|Journal|BitSet|DinicScale|FaultFs|HostileClient|SchedulerZoo)'
+  -R '(Fault|SystemSim|TokenMachine|ElementMachine|TopoNetwork|PropertySweep|Overload|Trace|CircuitBreaker|WarmStart|WarmPool|Batching|Obs|MetricsRegistry|Svc|Journal|BitSet|DinicScale|FaultFs|HostileClient|SchedulerZoo|Federation|FedAdmission)'
 
 echo "=== tier 1: pool/parallel-experiment subset under TSan ==="
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$(nproc)"
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R '(WarmPool|Batching|StaticExperiment|Obs|MetricsRegistry|Svc|Journal|BitSet|DinicScale|FaultFs|HostileClient|SchedulerZoo)'
+  -R '(WarmPool|Batching|StaticExperiment|Obs|MetricsRegistry|Svc|Journal|BitSet|DinicScale|FaultFs|HostileClient|SchedulerZoo|Federation|FedAdmission)'
 
 echo "tier 1 OK"

@@ -255,6 +255,8 @@ const char* to_string(ScheduleOutcome outcome) {
       return "cold-fallback";
     case ScheduleOutcome::kDeferred:
       return "deferred";
+    case ScheduleOutcome::kSpilled:
+      return "spilled";
   }
   return "unknown";
 }

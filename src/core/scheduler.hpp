@@ -203,6 +203,9 @@ enum class ScheduleOutcome : std::uint8_t {
   kColdFallback,  ///< Warm path tripped/open; optimal cold solver answered.
   kDeferred,  ///< BatchingScheduler queued the cycle; no solve was run and
               ///< the empty result must not be accounted as a served cycle.
+  kSpilled,   ///< Request left this scheduling domain: the federation layer
+              ///< admitted it across an uplink to a sibling cluster, which
+              ///< serves it under its own outcome accounting.
 };
 
 [[nodiscard]] const char* to_string(ScheduleOutcome outcome);

@@ -1,0 +1,174 @@
+#include "fed/admission.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/max_flow.hpp"
+#include "flow/network.hpp"
+
+namespace rsin::fed {
+
+UplinkGraph::UplinkGraph(std::int32_t clusters, std::int64_t uniform_capacity)
+    : clusters_(clusters),
+      capacity_(static_cast<std::size_t>(clusters) *
+                    static_cast<std::size_t>(clusters),
+                0),
+      partitioned_(static_cast<std::size_t>(clusters), 0) {
+  RSIN_REQUIRE(clusters >= 1, "federation needs at least one cluster");
+  RSIN_REQUIRE(uniform_capacity >= 0, "uplink capacity must be >= 0");
+  for (std::int32_t i = 0; i < clusters_; ++i) {
+    for (std::int32_t j = 0; j < clusters_; ++j) {
+      if (i != j) capacity_[index(i, j)] = uniform_capacity;
+    }
+  }
+}
+
+void UplinkGraph::set_capacity(std::int32_t from, std::int32_t to,
+                               std::int64_t cap) {
+  RSIN_REQUIRE(from != to, "uplink graph has no self-links");
+  RSIN_REQUIRE(cap >= 0, "uplink capacity must be >= 0");
+  capacity_[index(from, to)] = cap;
+}
+
+std::int64_t UplinkGraph::capacity(std::int32_t from, std::int32_t to) const {
+  const std::size_t at = index(from, to);
+  if (from == to) return 0;
+  if (partitioned_[static_cast<std::size_t>(from)] != 0 ||
+      partitioned_[static_cast<std::size_t>(to)] != 0) {
+    return 0;
+  }
+  return capacity_[at];
+}
+
+void UplinkGraph::partition(std::int32_t cluster) {
+  RSIN_REQUIRE(cluster >= 0 && cluster < clusters_,
+               "uplink cluster id out of range");
+  partitioned_[static_cast<std::size_t>(cluster)] = 1;
+}
+
+void UplinkGraph::heal(std::int32_t cluster) {
+  RSIN_REQUIRE(cluster >= 0 && cluster < clusters_,
+               "uplink cluster id out of range");
+  partitioned_[static_cast<std::size_t>(cluster)] = 0;
+}
+
+bool UplinkGraph::partitioned(std::int32_t cluster) const {
+  RSIN_REQUIRE(cluster >= 0 && cluster < clusters_,
+               "uplink cluster id out of range");
+  return partitioned_[static_cast<std::size_t>(cluster)] != 0;
+}
+
+namespace {
+
+void check_instance(const UplinkGraph& uplinks,
+                    const std::vector<std::int64_t>& demand,
+                    const std::vector<std::int64_t>& slots) {
+  const auto k = static_cast<std::size_t>(uplinks.clusters());
+  RSIN_REQUIRE(demand.size() == k && slots.size() == k,
+               "admission instance must have one demand and one slot entry "
+               "per cluster");
+  for (std::size_t i = 0; i < k; ++i) {
+    RSIN_REQUIRE(demand[i] >= 0 && slots[i] >= 0,
+                 "admission demands and slots must be >= 0");
+  }
+}
+
+}  // namespace
+
+AdmissionResult admit_coflow(const UplinkGraph& uplinks,
+                             const std::vector<std::int64_t>& demand,
+                             const std::vector<std::int64_t>& slots) {
+  check_instance(uplinks, demand, slots);
+  const std::int32_t k = uplinks.clusters();
+
+  AdmissionResult result;
+  result.demand = std::accumulate(demand.begin(), demand.end(),
+                                  static_cast<std::int64_t>(0));
+  if (result.demand == 0) return result;
+
+  // Each source cluster's spill batch is one coflow. Its bottleneck
+  // completion estimate is demand / (aggregate bandwidth it could use right
+  // now); serving shortest-bottleneck coflows first is the 2604.22146-style
+  // ordering that keeps small spill batches from starving behind bulk ones.
+  struct Coflow {
+    std::int32_t src;
+    std::int64_t demand;
+    std::int64_t bandwidth;  // sum_j min(cap(src,j), slots[j])
+  };
+  std::vector<Coflow> order;
+  order.reserve(static_cast<std::size_t>(k));
+  for (std::int32_t i = 0; i < k; ++i) {
+    const std::int64_t d = demand[static_cast<std::size_t>(i)];
+    if (d == 0) continue;
+    std::int64_t bw = 0;
+    for (std::int32_t j = 0; j < k; ++j) {
+      bw += std::min(uplinks.capacity(i, j), slots[static_cast<std::size_t>(j)]);
+    }
+    order.push_back(Coflow{i, d, bw});
+  }
+  // demand/bandwidth ascending without division: d1*b2 < d2*b1. Zero
+  // bandwidth sorts last (it cannot admit anything this cycle anyway).
+  std::sort(order.begin(), order.end(), [](const Coflow& a, const Coflow& b) {
+    if (a.bandwidth == 0 || b.bandwidth == 0) {
+      if ((a.bandwidth == 0) != (b.bandwidth == 0)) return b.bandwidth == 0;
+      return a.src < b.src;
+    }
+    const auto lhs = a.demand * b.bandwidth;
+    const auto rhs = b.demand * a.bandwidth;
+    if (lhs != rhs) return lhs < rhs;
+    return a.src < b.src;
+  });
+
+  std::vector<std::int64_t> free_slots = slots;
+  for (const Coflow& coflow : order) {
+    std::int64_t remaining = coflow.demand;
+    for (std::int32_t j = 0; j < k && remaining > 0; ++j) {
+      const std::int64_t grant =
+          std::min({remaining, uplinks.capacity(coflow.src, j),
+                    free_slots[static_cast<std::size_t>(j)]});
+      if (grant <= 0) continue;
+      free_slots[static_cast<std::size_t>(j)] -= grant;
+      remaining -= grant;
+      result.admitted += grant;
+      result.grants.push_back(SpillGrant{coflow.src, j, grant});
+    }
+  }
+  // Maximality: a source only leaves demand behind when, for every
+  // destination, either the pair's uplink or the destination's slots were
+  // exhausted at its turn — and slots only shrink afterwards, so no later
+  // state could admit more on that pair. Maximal => >= 1/2 of admit_exact.
+  return result;
+}
+
+std::int64_t admit_exact(const UplinkGraph& uplinks,
+                         const std::vector<std::int64_t>& demand,
+                         const std::vector<std::int64_t>& slots) {
+  check_instance(uplinks, demand, slots);
+  const std::int32_t k = uplinks.clusters();
+
+  flow::FlowNetwork net;
+  const flow::NodeId source = net.add_node("s");
+  const flow::NodeId sink = net.add_node("t");
+  std::vector<flow::NodeId> src_nodes;
+  std::vector<flow::NodeId> dst_nodes;
+  for (std::int32_t i = 0; i < k; ++i) {
+    src_nodes.push_back(net.add_node("src" + std::to_string(i)));
+    dst_nodes.push_back(net.add_node("dst" + std::to_string(i)));
+  }
+  for (std::int32_t i = 0; i < k; ++i) {
+    const auto at = static_cast<std::size_t>(i);
+    if (demand[at] > 0) net.add_arc(source, src_nodes[at], demand[at]);
+    if (slots[at] > 0) net.add_arc(dst_nodes[at], sink, slots[at]);
+    for (std::int32_t j = 0; j < k; ++j) {
+      const std::int64_t cap = uplinks.capacity(i, j);
+      if (cap > 0) {
+        net.add_arc(src_nodes[at], dst_nodes[static_cast<std::size_t>(j)], cap);
+      }
+    }
+  }
+  net.set_source(source);
+  net.set_sink(sink);
+  return flow::max_flow(net, flow::MaxFlowAlgorithm::kDinic).value;
+}
+
+}  // namespace rsin::fed

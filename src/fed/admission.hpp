@@ -1,0 +1,96 @@
+// Inter-cluster admission for the two-level RSIN federation.
+//
+// The paper's cost curves (Section IV) show a single flat Omega/Clos RSIN
+// stops scaling long before datacenter sizes; the federation composes K
+// independent cluster fabrics and moves only *spilled* requests between
+// them. The inter-cluster layer is deliberately cheap: cluster fabrics run
+// the optimal Dinic schedulers, while cross-cluster admission solves a tiny
+// K-node transportation problem with a coflow-style greedy approximation
+// (arXiv 2604.22146 flavor): each source cluster's spill batch is one
+// coflow, coflows are served shortest-bottleneck-first, and each admission
+// pass does O(K) work per coflow. The grant is maximal, so it is at least
+// half the exact optimum (which admit_exact computes via Dinic on the same
+// graph for gap measurement and CI gates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsin::fed {
+
+/// Capacity of the inter-cluster uplink mesh: capacity(i, j) is the number
+/// of spilled requests cluster i may hand to cluster j per scheduling cycle
+/// (i != j; the diagonal is always zero — local traffic never touches an
+/// uplink). Partition state is tracked separately from the configured
+/// capacities so heal() restores exactly the pre-partition mesh.
+class UplinkGraph {
+ public:
+  /// K clusters, every ordered pair starting at `uniform_capacity`.
+  UplinkGraph(std::int32_t clusters, std::int64_t uniform_capacity);
+
+  [[nodiscard]] std::int32_t clusters() const { return clusters_; }
+
+  /// Overwrites one directed pair's capacity (non-negative, i != j).
+  void set_capacity(std::int32_t from, std::int32_t to, std::int64_t cap);
+
+  /// Effective capacity this cycle: 0 when i == j or either endpoint is
+  /// partitioned, the configured capacity otherwise.
+  [[nodiscard]] std::int64_t capacity(std::int32_t from, std::int32_t to) const;
+
+  /// Severs every uplink touching `cluster` (both directions) until heal().
+  /// The cluster's fabric keeps scheduling its local queue — partition is
+  /// an inter-cluster event, not a cluster fault.
+  void partition(std::int32_t cluster);
+  void heal(std::int32_t cluster);
+  [[nodiscard]] bool partitioned(std::int32_t cluster) const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::int32_t from, std::int32_t to) const {
+    RSIN_REQUIRE(from >= 0 && from < clusters_ && to >= 0 && to < clusters_,
+                 "uplink cluster id out of range");
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(clusters_) +
+           static_cast<std::size_t>(to);
+  }
+
+  std::int32_t clusters_;
+  std::vector<std::int64_t> capacity_;  // row-major K x K, diagonal 0
+  std::vector<char> partitioned_;
+};
+
+/// One admitted (source, destination, count) spill grant.
+struct SpillGrant {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int64_t count = 0;
+};
+
+struct AdmissionResult {
+  /// Grants in admission order (deterministic: shortest-bottleneck source
+  /// first, destination index ascending within a source).
+  std::vector<SpillGrant> grants;
+  std::int64_t admitted = 0;  ///< Sum of grant counts.
+  std::int64_t demand = 0;    ///< Sum of the demand vector.
+};
+
+/// Coflow-style approximate admission. `demand[i]` is the number of spill
+/// candidates homed at cluster i; `slots[j]` is the number of requests
+/// cluster j can additionally serve this cycle. A feasible grant respects
+/// g(i,j) <= capacity(i,j), sum_j g(i,j) <= demand[i], and
+/// sum_i g(i,j) <= slots[j]; the returned grant is additionally *maximal*
+/// (no single g(i,j) can be raised), which bounds it below by half the
+/// admit_exact optimum. Deterministic: no randomness, ties broken by
+/// cluster index.
+[[nodiscard]] AdmissionResult admit_coflow(const UplinkGraph& uplinks,
+                                           const std::vector<std::int64_t>& demand,
+                                           const std::vector<std::int64_t>& slots);
+
+/// Exact transportation optimum for the same instance (Dinic on the K-node
+/// bipartite graph). Reference for tests / the E25 gap gate; the federation
+/// hot path never calls it.
+[[nodiscard]] std::int64_t admit_exact(const UplinkGraph& uplinks,
+                                       const std::vector<std::int64_t>& demand,
+                                       const std::vector<std::int64_t>& slots);
+
+}  // namespace rsin::fed

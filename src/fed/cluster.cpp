@@ -1,0 +1,414 @@
+#include "fed/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "obs/obs.hpp"
+#include "topo/builders.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::fed {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t sm = seed ^ salt;
+  return util::splitmix64(sm);
+}
+
+std::uint64_t name_shard(const std::string& name) {
+  std::uint64_t hash = kFnvOffset;
+  for (const char ch : name) {
+    hash = fnv_mix(hash, static_cast<unsigned char>(ch));
+  }
+  return hash;
+}
+
+constexpr std::int32_t kMaxLevel = 3;
+
+}  // namespace
+
+void ClusterConfig::validate() const {
+  RSIN_REQUIRE(n >= 1, "cluster fabric needs at least one terminal pair");
+  RSIN_REQUIRE(max_queue_per_processor >= 0,
+               "max_queue_per_processor must be >= 0");
+  RSIN_REQUIRE(overload_on >= 0.0 && overload_off >= 0.0,
+               "overload thresholds must be >= 0");
+  RSIN_REQUIRE(overload_on == 0.0 || overload_off == 0.0 ||
+                   overload_off <= overload_on,
+               "overload_off must not exceed overload_on");
+  RSIN_REQUIRE(overload_dwell >= 0, "overload_dwell must be >= 0");
+  RSIN_REQUIRE(overload_window >= 1.0, "overload_window must be >= 1 cycle");
+  if (faults.link_mttf > 0.0 || faults.switch_mttf > 0.0) faults.validate();
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      net_(topo::make_named(config.topology, config.n)),
+      pool_(1),
+      matcher_(core::RandomizedMatchConfig{
+          derive_seed(config.seed, 0x6665642d6d617463ULL),
+          /*pick_and_compare=*/true}),
+      schedule_hash_(kFnvOffset) {
+  config_.validate();
+  queues_.resize(static_cast<std::size_t>(net_.processor_count()));
+  resource_free_at_.resize(static_cast<std::size_t>(net_.resource_count()), 0);
+  resource_busy_.resize(static_cast<std::size_t>(net_.resource_count()), 0);
+  if (config_.faults.link_mttf > 0.0 || config_.faults.switch_mttf > 0.0) {
+    fault_schedule_ = fault::FaultInjector(config_.faults).make_schedule(net_);
+  }
+  pool_.bind_obs(obs::Handle{&registry_, nullptr});
+  build_schedulers();
+  obs_cycles_ = &registry_.counter("fed.cluster.cycles");
+  obs_arrivals_ = &registry_.counter("fed.cluster.arrivals");
+  obs_spill_in_ = &registry_.counter("fed.cluster.spill_in");
+  obs_spill_out_ = &registry_.counter("fed.cluster.spill_out");
+  obs_granted_ = &registry_.counter("fed.cluster.granted");
+  obs_shed_ = &registry_.counter("fed.cluster.shed");
+  obs_lost_ = &registry_.counter("fed.cluster.lost_inflight");
+  obs_faults_ = &registry_.counter("fed.cluster.fault_events");
+  obs_level_ = &registry_.gauge("fed.cluster.level");
+  obs_wait_ = &registry_.histogram(
+      "fed.cluster.wait_cycles",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 12));
+}
+
+void Cluster::build_schedulers() {
+  // Strict verification off and canonical mode on: the warm scheduler's
+  // assignments are bitwise the cold Dinic solver's, so a rejoined cluster
+  // (whose warm residuals were discarded) schedules identically to one
+  // that never failed — a precondition of the differential replay.
+  constexpr bool kVerify = false;
+  constexpr bool kCanonical = true;
+  const std::size_t shard = static_cast<std::size_t>(name_shard(config_.name));
+  if (config_.scheduler == "warm") {
+    primary_ = std::make_unique<core::WarmMaxFlowScheduler>(
+        pool_.checkout(shard, net_), kVerify, kCanonical);
+  } else if (config_.scheduler == "breaker") {
+    primary_ = std::make_unique<core::CircuitBreakerScheduler>(
+        core::BreakerConfig{},
+        std::make_unique<core::WarmMaxFlowScheduler>(pool_.checkout(shard, net_),
+                                                     kVerify, kCanonical));
+  } else {
+    primary_ = core::make_named_scheduler(config_.scheduler, config_.seed);
+  }
+  const obs::Handle handle{&registry_, nullptr};
+  primary_->bind_obs(handle);
+  matcher_.bind_obs(handle);
+  greedy_.bind_obs(handle);
+  primary_->set_relaxed(level_ == 1);
+}
+
+core::Scheduler& Cluster::active_scheduler() {
+  switch (level_) {
+    case 0:
+    case 1:
+      return *primary_;
+    case 2:
+      return matcher_;
+    default:
+      return greedy_;
+  }
+}
+
+void Cluster::record(ClusterInput input) {
+  if (recording_) inputs_.push_back(std::move(input));
+}
+
+bool Cluster::submit(Task task) {
+  task.arrival_cycle = clock_;
+  {
+    ClusterInput input;
+    input.kind = ClusterInput::Kind::kSubmit;
+    input.cycle = clock_;
+    input.task = task;
+    record(std::move(input));
+  }
+  auto& queue = queues_[static_cast<std::size_t>(task.processor)];
+  if (config_.max_queue_per_processor > 0 &&
+      static_cast<std::int32_t>(queue.size()) >=
+          config_.max_queue_per_processor) {
+    ++stats_.shed;
+    obs_shed_->add(1);
+    return false;
+  }
+  if (task.remote) {
+    ++stats_.spill_in;
+    obs_spill_in_->add(1);
+  } else {
+    ++stats_.arrivals;
+    obs_arrivals_->add(1);
+  }
+  queue.push_back(task);
+  ++queued_;
+  return true;
+}
+
+void Cluster::apply_due_faults() {
+  while (next_fault_ < fault_schedule_.size() &&
+         fault_schedule_[next_fault_].time <= static_cast<double>(clock_)) {
+    fault::apply_event(net_, fault_schedule_[next_fault_]);
+    ++next_fault_;
+    ++stats_.fault_events;
+    obs_faults_->add(1);
+  }
+}
+
+void Cluster::change_level(std::int32_t level) {
+  level = std::clamp(level, 0, kMaxLevel);
+  if (level == level_) return;
+  level_ = level;
+  last_level_change_ = clock_;
+  ++stats_.level_changes;
+  stats_.level = level_;
+  stats_.max_level = std::max(stats_.max_level, level_);
+  obs_level_->set(static_cast<double>(level_));
+  primary_->set_relaxed(level_ == 1);
+}
+
+void Cluster::update_ladder() {
+  if (config_.overload_on <= 0.0) return;
+  const double alpha = 1.0 / config_.overload_window;
+  ewma_ += alpha * (static_cast<double>(queued_) - ewma_);
+  if (clock_ - last_level_change_ < config_.overload_dwell) return;
+  const double off = config_.overload_off > 0.0 ? config_.overload_off
+                                                : config_.overload_on / 2.0;
+  if (ewma_ >= config_.overload_on && level_ < kMaxLevel) {
+    change_level(level_ + 1);
+  } else if (ewma_ <= off && level_ > 0) {
+    change_level(level_ - 1);
+  }
+}
+
+void Cluster::run_cycle() {
+  apply_due_faults();
+  // Service completions due this cycle free their resources.
+  for (std::size_t r = 0; r < resource_busy_.size(); ++r) {
+    if (resource_busy_[r] != 0 && resource_free_at_[r] <= clock_) {
+      resource_busy_[r] = 0;
+      ++stats_.completed;
+    }
+  }
+  if (!alive_) {
+    ++clock_;
+    ++stats_.cycles;
+    obs_cycles_->add(1);
+    return;
+  }
+  update_ladder();
+
+  core::Problem problem;
+  problem.network = &net_;
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    if (queues_[p].empty()) continue;
+    problem.requests.push_back(
+        core::Request{static_cast<topo::ProcessorId>(p), 0, 0});
+  }
+  for (std::size_t r = 0; r < resource_busy_.size(); ++r) {
+    if (resource_busy_[r] == 0) {
+      problem.free_resources.push_back(
+          core::FreeResource{static_cast<topo::ResourceId>(r), 0, 0});
+    }
+  }
+  if (!problem.requests.empty() && !problem.free_resources.empty()) {
+    const core::ScheduleResult result = active_scheduler().schedule(problem);
+    for (const core::Assignment& assignment : result.assignments) {
+      const auto p = static_cast<std::size_t>(assignment.request.processor);
+      const auto r = static_cast<std::size_t>(assignment.resource.resource);
+      Task task = queues_[p].front();
+      queues_[p].pop_front();
+      --queued_;
+      resource_busy_[r] = 1;
+      resource_free_at_[r] = clock_ + task.service_cycles;
+      completion_log_.push_back(clock_ + task.service_cycles);
+      schedule_hash_ = fnv_mix(schedule_hash_,
+                               static_cast<std::uint64_t>(clock_));
+      schedule_hash_ = fnv_mix(
+          schedule_hash_, static_cast<std::uint64_t>(assignment.request.processor));
+      schedule_hash_ = fnv_mix(
+          schedule_hash_,
+          static_cast<std::uint64_t>(assignment.resource.resource));
+      const double wait = static_cast<double>(clock_ - task.birth_cycle);
+      stats_.wait_sum += wait;
+      stats_.response_sum += wait + static_cast<double>(task.service_cycles);
+      ++stats_.granted;
+      obs_granted_->add(1);
+      obs_wait_->observe(wait);
+    }
+  }
+  ++clock_;
+  ++stats_.cycles;
+  obs_cycles_->add(1);
+}
+
+void Cluster::fail() {
+  {
+    ClusterInput input;
+    input.kind = ClusterInput::Kind::kFail;
+    input.cycle = clock_;
+    record(std::move(input));
+  }
+  if (!alive_) return;
+  alive_ = false;
+  for (std::size_t r = 0; r < resource_busy_.size(); ++r) {
+    if (resource_busy_[r] != 0) {
+      resource_busy_[r] = 0;
+      ++stats_.lost_inflight;
+      obs_lost_->add(1);
+    }
+  }
+}
+
+void Cluster::rejoin() {
+  {
+    ClusterInput input;
+    input.kind = ClusterInput::Kind::kRejoin;
+    input.cycle = clock_;
+    record(std::move(input));
+  }
+  if (alive_) return;
+  alive_ = true;
+  for (topo::LinkId id = 0; id < net_.link_count(); ++id) {
+    if (net_.link_failed(id)) net_.repair_link(id);
+  }
+  for (topo::SwitchId sw = 0; sw < net_.switch_count(); ++sw) {
+    if (net_.switch_failed(sw)) net_.repair_switch(sw);
+  }
+  // Stale warm residuals / retained matchings must not leak across the
+  // outage: a rejoined cluster schedules like a freshly built one.
+  primary_->reset();
+  matcher_.reset();
+  greedy_.reset();
+}
+
+void Cluster::set_level(std::int32_t level) {
+  {
+    ClusterInput input;
+    input.kind = ClusterInput::Kind::kSetLevel;
+    input.cycle = clock_;
+    input.level = level;
+    record(std::move(input));
+  }
+  change_level(level);
+}
+
+std::int64_t Cluster::spare_slots() const {
+  if (!alive_) return 0;
+  std::int64_t free = 0;
+  for (std::size_t r = 0; r < resource_busy_.size(); ++r) {
+    if (resource_busy_[r] == 0 || resource_free_at_[r] <= clock_) ++free;
+  }
+  return std::max<std::int64_t>(0, free - queued_);
+}
+
+std::int64_t Cluster::spillable(std::int64_t min_wait) const {
+  if (!alive_) return queued_;
+  std::int64_t count = 0;
+  for (const auto& queue : queues_) {
+    for (const Task& task : queue) {
+      if (clock_ - task.arrival_cycle >= min_wait) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<Task> Cluster::extract_spillable(std::int64_t count,
+                                             std::int64_t min_wait) {
+  {
+    ClusterInput input;
+    input.kind = ClusterInput::Kind::kExtract;
+    input.cycle = clock_;
+    input.count = count;
+    input.min_wait = min_wait;
+    record(std::move(input));
+  }
+  const std::int64_t threshold = alive_ ? min_wait : 0;
+  std::vector<Task> extracted;
+  bool took = true;
+  // Oldest-first, one per processor per round: spreads extraction across
+  // processors instead of draining one queue while siblings starve.
+  while (static_cast<std::int64_t>(extracted.size()) < count && took) {
+    took = false;
+    for (std::size_t p = 0;
+         p < queues_.size() &&
+         static_cast<std::int64_t>(extracted.size()) < count;
+         ++p) {
+      auto& queue = queues_[p];
+      if (queue.empty()) continue;
+      if (clock_ - queue.front().arrival_cycle < threshold) continue;
+      extracted.push_back(queue.front());
+      queue.pop_front();
+      --queued_;
+      took = true;
+    }
+  }
+  stats_.spill_out += static_cast<std::int64_t>(extracted.size());
+  obs_spill_out_->add(static_cast<std::int64_t>(extracted.size()));
+  return extracted;
+}
+
+std::int64_t Cluster::completed_by(std::int64_t horizon) const {
+  std::int64_t count = 0;
+  for (const std::int64_t completion : completion_log_) {
+    if (completion <= horizon) ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<Cluster> replay_cluster(const ClusterConfig& config,
+                                        const std::vector<ClusterInput>& inputs,
+                                        std::int64_t cycles) {
+  auto cluster = std::make_unique<Cluster>(config);
+  std::size_t next = 0;
+  const auto apply_due = [&](std::int64_t cycle) {
+    while (next < inputs.size() && inputs[next].cycle == cycle) {
+      const ClusterInput& input = inputs[next];
+      switch (input.kind) {
+        case ClusterInput::Kind::kSubmit:
+          (void)cluster->submit(input.task);
+          break;
+        case ClusterInput::Kind::kExtract:
+          (void)cluster->extract_spillable(input.count, input.min_wait);
+          break;
+        case ClusterInput::Kind::kFail:
+          cluster->fail();
+          break;
+        case ClusterInput::Kind::kRejoin:
+          cluster->rejoin();
+          break;
+        case ClusterInput::Kind::kSetLevel:
+          cluster->set_level(input.level);
+          break;
+      }
+      ++next;
+    }
+  };
+  for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+    apply_due(cycle);
+    cluster->run_cycle();
+  }
+  // The federation's spill phase runs after the final cycle's solves, so a
+  // recording can end with inputs stamped at the horizon clock; apply them
+  // (they cannot affect the schedule hash — no further cycle runs).
+  apply_due(cycles);
+  RSIN_REQUIRE(next == inputs.size(),
+               "replay_cluster: recorded inputs extend past the horizon");
+  return cluster;
+}
+
+}  // namespace rsin::fed

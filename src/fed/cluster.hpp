@@ -1,0 +1,243 @@
+// One federation cluster: a private RSIN fabric plus everything needed to
+// schedule it independently of its siblings.
+//
+// A Cluster owns its own topo::Network, its own WarmContextPool-backed
+// scheduler stack, its own fault-injection schedule, its own 4-level
+// degradation ladder, and its own obs::Registry — nothing here is shared
+// with any other cluster, which is what makes fault domains genuinely
+// independent (killing one cluster can, by construction, never block a
+// sibling's scheduling loop).
+//
+// Clusters run a deterministic cycle-driven model: every externally driven
+// mutation (submit / extract / fail / rejoin / set_level) is an *input*,
+// and the schedule a cluster produces is a pure function of its input
+// sequence. The Federation records each cluster's inputs; replaying them
+// into a standalone Cluster must reproduce the schedule hash bitwise — the
+// E25 differential gate that proves the federation adds no hidden coupling
+// between clusters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/warm_pool.hpp"
+#include "core/zoo.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "topo/network.hpp"
+
+namespace rsin::fed {
+
+struct ClusterConfig {
+  std::string name = "c0";         ///< Metric / diagnostic label segment.
+  std::string topology = "omega";  ///< topo::make_named family.
+  std::int32_t n = 8;              ///< Terminals per side of the fabric.
+  /// Intra-cluster discipline (core::make_named_scheduler name). "warm" and
+  /// "breaker" are pool-backed and run in canonical mode, so their
+  /// schedules are bitwise those of the cold Dinic solver.
+  std::string scheduler = "warm";
+  std::uint64_t seed = 1;
+  /// Per-processor queue bound; arrivals beyond it are shed. 0 = unbounded.
+  std::int32_t max_queue_per_processor = 0;
+  /// 4-level degradation ladder driven by an EWMA of the queued-task count:
+  /// level 0 strict optimal, 1 relaxed optimal, 2 randomized matching,
+  /// 3 greedy. Escalates when the EWMA reaches overload_on, de-escalates at
+  /// overload_off (defaults to on/2 when 0), with `overload_dwell` cycles
+  /// of hysteresis between moves. overload_on == 0 disables the ladder.
+  double overload_on = 0.0;
+  double overload_off = 0.0;
+  std::int32_t overload_dwell = 8;
+  double overload_window = 16.0;  ///< EWMA window, in cycles.
+  /// Per-cluster fault schedule; times are in cycle units. Disabled by
+  /// default (mttf == 0).
+  fault::FaultConfig faults;
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+/// One request flowing through the federation. `processor` is relative to
+/// the cluster currently queueing the task (re-homed on spill).
+struct Task {
+  std::uint64_t id = 0;
+  std::int32_t tenant = 0;
+  topo::ProcessorId processor = 0;
+  std::int32_t service_cycles = 1;
+  /// Cycle of the task's first submission anywhere in the federation
+  /// (response time is measured from here, across spills).
+  std::int64_t birth_cycle = 0;
+  /// Cycle the task entered the *current* cluster's queue (set by submit).
+  std::int64_t arrival_cycle = 0;
+  bool remote = false;  ///< Arrived over an uplink rather than home arrival.
+};
+
+/// One recorded external input, for the standalone differential replay.
+struct ClusterInput {
+  enum class Kind : std::uint8_t {
+    kSubmit,
+    kExtract,
+    kFail,
+    kRejoin,
+    kSetLevel,
+  };
+  Kind kind = Kind::kSubmit;
+  std::int64_t cycle = 0;  ///< Cluster clock value when the input landed.
+  Task task;               ///< kSubmit payload.
+  std::int64_t count = 0;      ///< kExtract budget.
+  std::int64_t min_wait = 0;   ///< kExtract eligibility threshold.
+  std::int32_t level = 0;      ///< kSetLevel payload.
+};
+
+/// Counters a cluster accumulates over its lifetime (cycle-unit times).
+struct ClusterStats {
+  std::int64_t cycles = 0;
+  std::int64_t arrivals = 0;  ///< Home arrivals (remote == false).
+  std::int64_t spill_in = 0;  ///< Tasks accepted over uplinks.
+  std::int64_t spill_out = 0;  ///< Tasks extracted for siblings.
+  std::int64_t granted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;           ///< Arrivals dropped by the queue bound.
+  std::int64_t lost_inflight = 0;  ///< In-service tasks destroyed by fail().
+  std::int64_t fault_events = 0;
+  std::int64_t level_changes = 0;
+  std::int32_t level = 0;
+  std::int32_t max_level = 0;
+  double wait_sum = 0.0;      ///< Sum over grants of (grant - birth) cycles.
+  double response_sum = 0.0;  ///< wait + service, per grant.
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const topo::Network& network() const { return net_; }
+  [[nodiscard]] std::int64_t clock() const { return clock_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::int32_t level() const { return level_; }
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+  /// Queues a task on its processor. Returns false (and counts a shed) when
+  /// the processor's queue is at the configured bound. The task's
+  /// arrival_cycle is stamped with the current clock.
+  bool submit(Task task);
+
+  /// Runs one scheduling cycle: applies due fault events, updates the
+  /// ladder, solves the cycle's Problem with the ladder-selected
+  /// discipline, grants circuits (held for this cycle — the paper's
+  /// transmission), and advances the clock. A dead cluster only advances
+  /// its clock.
+  void run_cycle();
+
+  /// Whole-cluster loss: in-service work is destroyed (lost_inflight),
+  /// queued tasks stay put (the federation may extract them), and every
+  /// subsequent cycle is a no-op until rejoin().
+  void fail();
+  /// Rejoins with a repaired fabric and reset scheduler state.
+  void rejoin();
+
+  /// Forces the degradation ladder (0..3); the EWMA controller resumes from
+  /// the forced rung.
+  void set_level(std::int32_t level);
+
+  /// Tasks currently queued (all processors).
+  [[nodiscard]] std::int64_t queued() const { return queued_; }
+
+  /// Requests this cluster could additionally serve next cycle: free
+  /// resources not already spoken for by queued tasks. 0 when dead.
+  [[nodiscard]] std::int64_t spare_slots() const;
+
+  /// Queued tasks whose wait (clock - arrival_cycle) is >= min_wait — the
+  /// cluster's spill-candidate count. Every queued task qualifies when the
+  /// cluster is dead.
+  [[nodiscard]] std::int64_t spillable(std::int64_t min_wait) const;
+
+  /// Extracts up to `count` spill candidates, oldest-first one per
+  /// processor per round (deterministic). Extracted tasks leave this
+  /// cluster's queue; the caller re-homes them.
+  [[nodiscard]] std::vector<Task> extract_spillable(std::int64_t count,
+                                                    std::int64_t min_wait);
+
+  /// FNV-1a over every grant's (cycle, processor, resource) triple — the
+  /// bitwise fingerprint the differential replay compares.
+  [[nodiscard]] std::uint64_t schedule_hash() const { return schedule_hash_; }
+
+  /// Grants with completion_cycle <= `horizon` (throughput accounting that
+  /// excludes work still in flight at the horizon).
+  [[nodiscard]] std::int64_t completed_by(std::int64_t horizon) const;
+
+  /// Input recording for the standalone differential replay.
+  void record_inputs(bool on) { recording_ = on; }
+  [[nodiscard]] const std::vector<ClusterInput>& inputs() const {
+    return inputs_;
+  }
+
+ private:
+  void build_schedulers();
+  [[nodiscard]] core::Scheduler& active_scheduler();
+  void apply_due_faults();
+  void update_ladder();
+  void change_level(std::int32_t level);
+  void record(ClusterInput input);
+
+  ClusterConfig config_;
+  topo::Network net_;
+  // The registry must outlive the pool and schedulers below: releasing a
+  // warm lease on destruction bumps pool counters that point into it.
+  obs::Registry registry_;
+  core::WarmContextPool pool_;
+  std::unique_ptr<core::Scheduler> primary_;
+  core::RandomizedMatchScheduler matcher_;
+  core::GreedyScheduler greedy_;
+
+  std::vector<std::deque<Task>> queues_;       // per processor
+  std::vector<std::int64_t> resource_free_at_; // busy until this cycle
+  std::vector<char> resource_busy_;
+  std::vector<std::int64_t> completion_log_;   // completion cycle per grant
+
+  std::vector<fault::FaultEvent> fault_schedule_;
+  std::size_t next_fault_ = 0;
+
+  std::int64_t clock_ = 0;
+  std::int64_t queued_ = 0;
+  bool alive_ = true;
+  std::int32_t level_ = 0;
+  double ewma_ = 0.0;
+  std::int64_t last_level_change_ = 0;
+  std::uint64_t schedule_hash_;
+  ClusterStats stats_;
+
+  bool recording_ = false;
+  std::vector<ClusterInput> inputs_;
+
+  // Cached registry instruments (bound once at construction).
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_arrivals_ = nullptr;
+  obs::Counter* obs_spill_in_ = nullptr;
+  obs::Counter* obs_spill_out_ = nullptr;
+  obs::Counter* obs_granted_ = nullptr;
+  obs::Counter* obs_shed_ = nullptr;
+  obs::Counter* obs_lost_ = nullptr;
+  obs::Counter* obs_faults_ = nullptr;
+  obs::Gauge* obs_level_ = nullptr;
+  obs::Histogram* obs_wait_ = nullptr;
+};
+
+/// Rebuilds a cluster from config and drives it `cycles` cycles, applying
+/// the recorded inputs at their original clock values. The returned
+/// cluster's schedule_hash() must equal the recording cluster's — the
+/// standalone differential check.
+[[nodiscard]] std::unique_ptr<Cluster> replay_cluster(
+    const ClusterConfig& config, const std::vector<ClusterInput>& inputs,
+    std::int64_t cycles);
+
+}  // namespace rsin::fed

@@ -1,0 +1,140 @@
+#include "fed/federation.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::fed {
+
+void FederationConfig::validate() const {
+  RSIN_REQUIRE(clusters >= 1, "federation needs at least one cluster");
+  RSIN_REQUIRE(uplink_capacity >= 0, "uplink capacity must be >= 0");
+  RSIN_REQUIRE(spill_after >= 0, "spill_after must be >= 0");
+  cluster.validate();
+}
+
+Federation::Federation(const FederationConfig& config)
+    : config_(config),
+      uplinks_(config.clusters, config.uplink_capacity),
+      spill_cursor_(static_cast<std::size_t>(config.clusters), 0) {
+  config_.validate();
+  clusters_.reserve(static_cast<std::size_t>(config_.clusters));
+  for (std::int32_t i = 0; i < config_.clusters; ++i) {
+    ClusterConfig cc = config_.cluster;
+    cc.name = "c" + std::to_string(i);
+    // Per-cluster derived stream: sibling schedules stay independent of K
+    // and of each other's randomness.
+    std::uint64_t sm = config_.seed ^
+                       (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(i) + 1));
+    cc.seed = util::splitmix64(sm);
+    clusters_.push_back(std::make_unique<Cluster>(cc));
+  }
+  obs_cycles_ = &registry_.counter("fed.cycles");
+  obs_demand_ = &registry_.counter("fed.admission.demand");
+  obs_admitted_ = &registry_.counter("fed.admission.admitted");
+  obs_moved_ = &registry_.counter("fed.admission.moved");
+}
+
+Cluster& Federation::cluster(std::int32_t i) {
+  RSIN_REQUIRE(i >= 0 && i < clusters(), "cluster id out of range");
+  return *clusters_[static_cast<std::size_t>(i)];
+}
+
+const Cluster& Federation::cluster(std::int32_t i) const {
+  RSIN_REQUIRE(i >= 0 && i < clusters(), "cluster id out of range");
+  return *clusters_[static_cast<std::size_t>(i)];
+}
+
+std::int32_t Federation::home_of(std::int32_t tenant) const {
+  RSIN_REQUIRE(tenant >= 0, "tenant id must be >= 0");
+  return tenant % clusters();
+}
+
+bool Federation::submit(Task task) {
+  ++stats_.submitted;
+  return cluster(home_of(task.tenant)).submit(task);
+}
+
+void Federation::run_cycle() {
+  // Phase 1: every cluster schedules its own queue on its own fabric.
+  // Nothing a dead or degraded cluster does here can touch a sibling.
+  for (auto& cluster : clusters_) cluster->run_cycle();
+
+  // Phase 2: spill admission over the uplink mesh. Admitted tasks enter
+  // the destination queue now — i.e. after every cluster already ran this
+  // cycle — so they are first schedulable next cycle: the one-cycle uplink
+  // latency that keeps per-cluster schedules replayable standalone.
+  if (config_.spill && clusters() > 1) {
+    const auto k = static_cast<std::size_t>(clusters());
+    std::vector<std::int64_t> demand(k, 0);
+    std::vector<std::int64_t> slots(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!uplinks_.partitioned(static_cast<std::int32_t>(i))) {
+        demand[i] = clusters_[i]->spillable(config_.spill_after);
+      }
+      slots[i] = clusters_[i]->spare_slots();
+    }
+    const AdmissionResult admission = admit_coflow(uplinks_, demand, slots);
+    stats_.spill_demand += admission.demand;
+    stats_.spill_admitted += admission.admitted;
+    obs_demand_->add(admission.demand);
+    obs_admitted_->add(admission.admitted);
+    for (const SpillGrant& grant : admission.grants) {
+      std::vector<Task> moved = cluster(grant.src).extract_spillable(
+          grant.count, config_.spill_after);
+      Cluster& dst = cluster(grant.dst);
+      const auto dst_procs = dst.network().processor_count();
+      for (Task task : moved) {
+        // Re-home on a rotating destination processor so spilled load
+        // spreads instead of piling on processor 0.
+        auto& cursor = spill_cursor_[static_cast<std::size_t>(grant.dst)];
+        task.processor = cursor;
+        cursor = (cursor + 1) % dst_procs;
+        task.remote = true;
+        if (dst.submit(task)) {
+          ++stats_.spill_moved;
+          obs_moved_->add(1);
+        }
+      }
+    }
+  }
+  ++clock_;
+  ++stats_.cycles;
+  obs_cycles_->add(1);
+}
+
+void Federation::kill_cluster(std::int32_t i) { cluster(i).fail(); }
+
+void Federation::rejoin_cluster(std::int32_t i) { cluster(i).rejoin(); }
+
+void Federation::partition_cluster(std::int32_t i) { uplinks_.partition(i); }
+
+void Federation::heal_cluster(std::int32_t i) { uplinks_.heal(i); }
+
+std::int64_t Federation::total_granted() const {
+  std::int64_t total = 0;
+  for (const auto& cluster : clusters_) total += cluster->stats().granted;
+  return total;
+}
+
+std::int64_t Federation::total_completed_by(std::int64_t horizon) const {
+  std::int64_t total = 0;
+  for (const auto& cluster : clusters_) total += cluster->completed_by(horizon);
+  return total;
+}
+
+void Federation::export_registry(obs::Registry& out) const {
+  out.merge(registry_);
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    out.merge(clusters_[i]->registry());  // aggregate: names fold across
+    out.merge(clusters_[i]->registry(),
+              "fed.c" + std::to_string(i) + ".");  // labeled per-cluster view
+  }
+}
+
+void Federation::record_inputs(bool on) {
+  for (auto& cluster : clusters_) cluster->record_inputs(on);
+}
+
+}  // namespace rsin::fed

@@ -1,0 +1,113 @@
+// fed::Federation — the two-level cluster-of-fabrics coordinator.
+//
+// A Federation owns K independent Clusters and the inter-cluster uplink
+// mesh. Each request is routed to its tenant's *home* cluster, where the
+// cluster's own (optimal, warm-started) scheduler serves it. When a home
+// cluster falls behind — overload, degradation, partition, or outright
+// loss — queued requests become *spill candidates*, and the coflow-style
+// approximate admission scheduler (fed/admission.hpp) decides which of them
+// cross which uplinks this cycle. Admitted spills travel one cycle on the
+// uplink and enter the sibling's queue the next cycle, which keeps every
+// cluster's schedule a pure function of its own input sequence: the
+// federation can record those inputs and replay any cluster standalone,
+// bitwise (the E25 differential gate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fed/admission.hpp"
+#include "fed/cluster.hpp"
+#include "obs/metrics.hpp"
+
+namespace rsin::fed {
+
+struct FederationConfig {
+  std::int32_t clusters = 4;  ///< K.
+  /// Template for every cluster; per-cluster name ("c<i>") and derived seed
+  /// are stamped by the Federation.
+  ClusterConfig cluster;
+  /// Uplink capacity per ordered cluster pair per cycle (spilled requests).
+  std::int64_t uplink_capacity = 2;
+  /// Cross-cluster spill/retry on (off = K isolated fabrics).
+  bool spill = true;
+  /// Cycles a request must wait at home before it may spill. Requests of a
+  /// dead cluster are always eligible.
+  std::int64_t spill_after = 2;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct FederationStats {
+  std::int64_t cycles = 0;
+  std::int64_t submitted = 0;
+  std::int64_t spill_demand = 0;   ///< Candidate-cycles offered to admission.
+  std::int64_t spill_admitted = 0; ///< Grants admitted across uplinks.
+  std::int64_t spill_moved = 0;    ///< Tasks actually re-homed.
+};
+
+class Federation {
+ public:
+  explicit Federation(const FederationConfig& config);
+
+  [[nodiscard]] const FederationConfig& config() const { return config_; }
+  [[nodiscard]] std::int32_t clusters() const {
+    return static_cast<std::int32_t>(clusters_.size());
+  }
+  [[nodiscard]] Cluster& cluster(std::int32_t i);
+  [[nodiscard]] const Cluster& cluster(std::int32_t i) const;
+  [[nodiscard]] UplinkGraph& uplinks() { return uplinks_; }
+  [[nodiscard]] const UplinkGraph& uplinks() const { return uplinks_; }
+  [[nodiscard]] std::int64_t clock() const { return clock_; }
+  [[nodiscard]] const FederationStats& stats() const { return stats_; }
+
+  /// Tenant-affinity routing: tenant t homes at cluster t mod K.
+  [[nodiscard]] std::int32_t home_of(std::int32_t tenant) const;
+
+  /// Routes the task to its tenant's home cluster. `task.processor` is the
+  /// processor index within that cluster. Returns false when the home
+  /// cluster shed the task (queue bound).
+  bool submit(Task task);
+
+  /// One federation cycle: every cluster runs its own scheduling cycle
+  /// (dead clusters just advance their clocks — sibling independence),
+  /// then the spill phase offers laggard requests to the coflow admission
+  /// scheduler and re-homes the admitted ones for next cycle.
+  void run_cycle();
+
+  /// Whole-cluster fault-domain controls (fabric loss vs uplink partition).
+  void kill_cluster(std::int32_t i);
+  void rejoin_cluster(std::int32_t i);
+  void partition_cluster(std::int32_t i);
+  void heal_cluster(std::int32_t i);
+
+  /// Sum of per-cluster grants / horizon-bounded completions.
+  [[nodiscard]] std::int64_t total_granted() const;
+  [[nodiscard]] std::int64_t total_completed_by(std::int64_t horizon) const;
+
+  /// Folds every registry into `out`: the federation's own instruments and
+  /// each cluster's, twice — once unprefixed (aggregate: same-name
+  /// instruments sum across clusters) and once under "fed.c<i>." (the
+  /// per-cluster labeled view). One export serves both dashboards.
+  void export_registry(obs::Registry& out) const;
+
+  /// Forwards input recording to every cluster (differential replay).
+  void record_inputs(bool on);
+
+ private:
+  FederationConfig config_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  UplinkGraph uplinks_;
+  std::vector<std::int32_t> spill_cursor_;  // per-dst processor round-robin
+  std::int64_t clock_ = 0;
+  FederationStats stats_;
+  obs::Registry registry_;  // federation-level instruments
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_demand_ = nullptr;
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_moved_ = nullptr;
+};
+
+}  // namespace rsin::fed

@@ -221,6 +221,30 @@ void Registry::merge(const Registry& other) {
   }
 }
 
+void Registry::merge(const Registry& other, std::string_view prefix) {
+  if (prefix.empty()) {
+    merge(other);
+    return;
+  }
+  RSIN_REQUIRE(&other != this,
+               "prefixed self-merge would mutate the map being iterated");
+  RSIN_REQUIRE(valid_name(prefix),
+               "merge prefix must be a non-empty [A-Za-z0-9_.:-]+ fragment");
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, c] : other.counters_) {
+    counters_.try_emplace(std::string(prefix) + name)
+        .first->second.add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_.try_emplace(std::string(prefix) + name)
+        .first->second.add(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_.try_emplace(std::string(prefix) + name, h.bounds())
+        .first->second.merge(h);
+  }
+}
+
 Registry::Snapshot Registry::snapshot() const {
   Snapshot snap;
   const std::lock_guard<std::mutex> lock(mutex_);

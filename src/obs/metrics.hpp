@@ -130,8 +130,15 @@ class Histogram {
   /// An empty histogram reports 0.0 for every percentile.
   [[nodiscard]] double percentile(double p) const;
 
-  /// Adds another histogram's buckets into this one. Throws
-  /// std::invalid_argument when the bucket bounds differ.
+  /// Adds another histogram's buckets into this one.
+  ///
+  /// Precondition: both histograms were built with *identical* bounds
+  /// vectors — bucket-wise merge is meaningless otherwise, so a bounds
+  /// mismatch throws std::invalid_argument and leaves this histogram
+  /// unchanged. Cross-registry aggregation (per-worker registries,
+  /// fed::Federation::export_registry) relies on this check: every site
+  /// that creates a shared-name histogram must use the same bounds, and a
+  /// drifted site fails fast at merge time instead of corrupting buckets.
   void merge(const Histogram& other);
 
   /// `n` exponential bounds: start, start*factor, start*factor^2, ...
@@ -178,8 +185,17 @@ class Registry {
 
   /// Folds another registry in by name: counters/gauges add, histograms
   /// merge bucket-wise (creating any missing instrument). Per-worker
-  /// aggregation; `other` should be quiescent.
+  /// aggregation; `other` should be quiescent. Histograms sharing a name
+  /// must share bounds (see Histogram::merge) — a mismatch throws
+  /// std::invalid_argument.
   void merge(const Registry& other);
+
+  /// Labeled fold: like merge(other), but every instrument lands under
+  /// `prefix` + name ("fed.c3." + "fed.cluster.granted", ...). Used for
+  /// per-source views (one federation export carrying per-cluster series)
+  /// alongside the unprefixed aggregate. The prefix must itself be a legal
+  /// metric-name fragment ([A-Za-z0-9_.:-]*).
+  void merge(const Registry& other, std::string_view prefix);
 
   // --- exporter snapshot ---------------------------------------------------
   struct HistogramSnapshot {

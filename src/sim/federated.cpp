@@ -1,0 +1,199 @@
+#include "sim/federated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsin::sim {
+
+namespace {
+
+constexpr std::uint64_t kCycleSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kTenantSalt = 0x517cc1b727220a95ULL;
+constexpr std::uint64_t kProcSalt = 0x6669642d70726f63ULL;
+
+/// Uniform [0, 1) as a pure function of the key (splitmix64 finalizer).
+double hash01(std::uint64_t key) {
+  return static_cast<double>(util::splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Service time as a pure function of (seed, task id) — the simulate_workload
+/// common-random-number discipline: the draw never depends on which cluster
+/// (or which discipline) serves the task.
+std::int32_t service_cycles(std::uint64_t seed, std::uint64_t id,
+                            double mean_service) {
+  std::uint64_t sm = seed ^ (kCycleSalt * (id + 1));
+  util::Rng rng(util::splitmix64(sm));
+  const double extra = rng.exponential(1.0 / std::max(1e-9, mean_service - 1.0));
+  return 1 + static_cast<std::int32_t>(std::min(63.0, std::floor(extra)));
+}
+
+}  // namespace
+
+void FederatedScenario::validate() const {
+  federation.validate();
+  RSIN_REQUIRE(cycles >= 1, "scenario needs at least one cycle");
+  RSIN_REQUIRE(arrival_rate >= 0.0, "arrival_rate must be >= 0");
+  RSIN_REQUIRE(mean_service >= 1.0, "mean_service must be >= 1 cycle");
+  RSIN_REQUIRE(tenants_per_cluster >= 1, "need at least one tenant");
+  RSIN_REQUIRE(zipf_s >= 0.0, "zipf_s must be >= 0");
+  RSIN_REQUIRE(burst_factor >= 0.0, "burst_factor must be >= 0");
+  const std::int32_t k = federation.clusters;
+  RSIN_REQUIRE(burst_cluster < k, "burst_cluster out of range");
+  RSIN_REQUIRE(kill_cluster < k, "kill_cluster out of range");
+  RSIN_REQUIRE(partition_cluster < k, "partition_cluster out of range");
+}
+
+FederatedMetrics drive_federation(fed::Federation& federation,
+                                  const FederatedScenario& scenario,
+                                  bool flatten) {
+  scenario.validate();
+  const std::int32_t k = scenario.federation.clusters;
+  const std::int32_t n = scenario.federation.cluster.n;
+  const std::int32_t tenants = k * scenario.tenants_per_cluster;
+  if (flatten) {
+    RSIN_REQUIRE(federation.clusters() == 1 &&
+                     federation.cluster(0).network().processor_count() == k * n,
+                 "flat baseline needs one cluster of clusters * n terminals");
+  } else {
+    RSIN_REQUIRE(federation.clusters() == k,
+                 "federation does not match the scenario geometry");
+  }
+
+  // Zipf weights over tenant rank; per-tenant arrival probability is scaled
+  // so the expected total per cycle is arrival_rate * k * n regardless of
+  // skew (clamped per-tenant — one arrival per tenant per cycle).
+  std::vector<double> weight(static_cast<std::size_t>(tenants));
+  double weight_sum = 0.0;
+  for (std::int32_t t = 0; t < tenants; ++t) {
+    weight[static_cast<std::size_t>(t)] =
+        1.0 / std::pow(static_cast<double>(t + 1), scenario.zipf_s);
+    weight_sum += weight[static_cast<std::size_t>(t)];
+  }
+  const double offered_per_cycle =
+      scenario.arrival_rate * static_cast<double>(k) * static_cast<double>(n);
+
+  FederatedMetrics metrics;
+  std::uint64_t next_id = 0;
+  for (std::int64_t cycle = 0; cycle < scenario.cycles; ++cycle) {
+    if (!flatten) {
+      if (scenario.kill_cluster >= 0 && cycle == scenario.kill_at) {
+        federation.kill_cluster(scenario.kill_cluster);
+      }
+      if (scenario.kill_cluster >= 0 && cycle == scenario.rejoin_at) {
+        federation.rejoin_cluster(scenario.kill_cluster);
+      }
+      if (scenario.partition_cluster >= 0 && cycle == scenario.partition_at) {
+        federation.partition_cluster(scenario.partition_cluster);
+      }
+      if (scenario.partition_cluster >= 0 && cycle == scenario.heal_at) {
+        federation.heal_cluster(scenario.partition_cluster);
+      }
+    }
+
+    // Burst reweighting is applied per cycle (the window shifts mass onto
+    // the bursting cluster's tenants without changing other cycles).
+    double cycle_weight_sum = weight_sum;
+    const bool burst_now = scenario.burst_cluster >= 0 &&
+                           cycle >= scenario.burst_from &&
+                           cycle < scenario.burst_until;
+    if (burst_now) {
+      cycle_weight_sum = 0.0;
+      for (std::int32_t t = 0; t < tenants; ++t) {
+        const double w = weight[static_cast<std::size_t>(t)];
+        cycle_weight_sum +=
+            (t % k == scenario.burst_cluster) ? w * scenario.burst_factor : w;
+      }
+    }
+
+    for (std::int32_t tenant = 0; tenant < tenants; ++tenant) {
+      double w = weight[static_cast<std::size_t>(tenant)];
+      if (burst_now && tenant % k == scenario.burst_cluster) {
+        w *= scenario.burst_factor;
+      }
+      const double prob =
+          std::min(0.95, offered_per_cycle * w / cycle_weight_sum);
+      const std::uint64_t key =
+          scenario.seed ^ (kCycleSalt * (static_cast<std::uint64_t>(cycle) + 1)) ^
+          (kTenantSalt * (static_cast<std::uint64_t>(tenant) + 1));
+      if (hash01(key) >= prob) continue;
+
+      fed::Task task;
+      task.id = next_id++;
+      task.tenant = tenant;
+      task.birth_cycle = cycle;
+      task.service_cycles =
+          service_cycles(scenario.seed, task.id, scenario.mean_service);
+      std::uint64_t pkey = scenario.seed ^ (kProcSalt * (task.id + 1));
+      const auto proc =
+          static_cast<std::int32_t>(util::splitmix64(pkey) %
+                                    static_cast<std::uint64_t>(n));
+      const std::int32_t home = tenant % k;
+      task.processor = flatten ? home * n + proc : proc;
+      if (flatten) task.tenant = 0;  // single home on the flat fabric
+      ++metrics.offered;
+      (void)federation.submit(task);
+    }
+    federation.run_cycle();
+  }
+
+  metrics.granted = federation.total_granted();
+  metrics.completed = federation.total_completed_by(scenario.cycles);
+  metrics.spill_demand = federation.stats().spill_demand;
+  metrics.spill_admitted = federation.stats().spill_admitted;
+  metrics.spill_moved = federation.stats().spill_moved;
+  double response_sum = 0.0;
+  for (std::int32_t i = 0; i < federation.clusters(); ++i) {
+    const fed::ClusterStats& stats = federation.cluster(i).stats();
+    FederatedClusterMetrics cm;
+    cm.arrivals = stats.arrivals;
+    cm.spill_in = stats.spill_in;
+    cm.spill_out = stats.spill_out;
+    cm.granted = stats.granted;
+    cm.completed = federation.cluster(i).completed_by(scenario.cycles);
+    cm.shed = stats.shed;
+    cm.lost_inflight = stats.lost_inflight;
+    cm.max_level = stats.max_level;
+    cm.mean_wait =
+        stats.granted > 0 ? stats.wait_sum / static_cast<double>(stats.granted)
+                          : 0.0;
+    cm.mean_response = stats.granted > 0
+                           ? stats.response_sum /
+                                 static_cast<double>(stats.granted)
+                           : 0.0;
+    cm.schedule_hash = federation.cluster(i).schedule_hash();
+    response_sum += stats.response_sum;
+    metrics.clusters.push_back(cm);
+  }
+  metrics.grant_rate =
+      metrics.offered > 0
+          ? static_cast<double>(metrics.granted) /
+                static_cast<double>(metrics.offered)
+          : 0.0;
+  metrics.mean_response =
+      metrics.granted > 0
+          ? response_sum / static_cast<double>(metrics.granted)
+          : 0.0;
+  return metrics;
+}
+
+FederatedMetrics run_federated_experiment(const FederatedScenario& scenario) {
+  scenario.validate();
+  fed::Federation federation(scenario.federation);
+  return drive_federation(federation, scenario, /*flatten=*/false);
+}
+
+FederatedMetrics run_flat_baseline(const FederatedScenario& scenario) {
+  scenario.validate();
+  fed::FederationConfig flat = scenario.federation;
+  flat.clusters = 1;
+  flat.cluster.n = scenario.federation.clusters * scenario.federation.cluster.n;
+  flat.spill = false;
+  fed::Federation federation(flat);
+  return drive_federation(federation, scenario, /*flatten=*/true);
+}
+
+}  // namespace rsin::sim

@@ -1,0 +1,112 @@
+// Cluster-granular federation scenarios under common random numbers.
+//
+// Extends the simulate_workload discipline (system_sim.hpp) to the
+// two-level federation: the offered load is a pure function of the
+// scenario seed — per-tenant Bernoulli arrivals with Zipf skew, and
+// per-task service times a pure function of (seed, task id) — so every
+// discipline under comparison (spill on/off, different uplink capacities,
+// the flat single-fabric baseline) sees the *identical* workload and
+// differences in the curves are differences between disciplines, not
+// between random draws.
+//
+// Scenarios cover what a single flat network cannot express: whole-cluster
+// loss and rejoin, uplink partition, cross-cluster burst imbalance, and
+// tenant skew concentrating load on some home clusters. The flat baseline
+// (run_flat_baseline) maps the same arrival stream onto one fabric of
+// K * n terminals — the "flat-network optimum" the E25 gate compares
+// federated admission against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fed/federation.hpp"
+
+namespace rsin::sim {
+
+struct FederatedScenario {
+  fed::FederationConfig federation;
+  std::int64_t cycles = 400;
+
+  /// Offered load: expected arrivals per processor per cycle across the
+  /// whole federation (split over tenants by the Zipf weights).
+  double arrival_rate = 0.35;
+  /// Mean service time in cycles (>= 1; exponential, shifted by 1).
+  double mean_service = 3.0;
+  /// Tenants per cluster; tenant t homes at cluster t mod K, so the tenant
+  /// space is clusters * tenants_per_cluster.
+  std::int32_t tenants_per_cluster = 8;
+  /// Zipf exponent over tenant ranks (tenant 0 hottest). 0 = uniform; a
+  /// positive value skews load toward low-numbered tenants and therefore
+  /// toward their home clusters (cluster 0 first) — the tenant-skew
+  /// scenario.
+  double zipf_s = 0.0;
+
+  /// Cross-cluster burst imbalance: multiply the arrival weight of every
+  /// tenant homed at `burst_cluster` by `burst_factor` during
+  /// [burst_from, burst_until). -1 disables.
+  std::int32_t burst_cluster = -1;
+  double burst_factor = 1.0;
+  std::int64_t burst_from = 0;
+  std::int64_t burst_until = 0;
+
+  /// Whole-cluster loss: kill_cluster's fabric dies at kill_at and rejoins
+  /// at rejoin_at (-1 = never). -1 disables.
+  std::int32_t kill_cluster = -1;
+  std::int64_t kill_at = 0;
+  std::int64_t rejoin_at = -1;
+
+  /// Uplink partition (fabric stays up, uplinks sever) over
+  /// [partition_at, heal_at). -1 disables.
+  std::int32_t partition_cluster = -1;
+  std::int64_t partition_at = 0;
+  std::int64_t heal_at = -1;
+
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct FederatedClusterMetrics {
+  std::int64_t arrivals = 0;
+  std::int64_t spill_in = 0;
+  std::int64_t spill_out = 0;
+  std::int64_t granted = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t lost_inflight = 0;
+  std::int32_t max_level = 0;
+  double mean_wait = 0.0;
+  double mean_response = 0.0;
+  std::uint64_t schedule_hash = 0;
+};
+
+struct FederatedMetrics {
+  std::vector<FederatedClusterMetrics> clusters;
+  std::int64_t offered = 0;   ///< Tasks generated (== submitted).
+  std::int64_t granted = 0;
+  std::int64_t completed = 0; ///< Completions within the horizon.
+  std::int64_t spill_demand = 0;
+  std::int64_t spill_admitted = 0;
+  std::int64_t spill_moved = 0;
+  double grant_rate = 0.0;      ///< granted / offered (0 when no offer).
+  double mean_response = 0.0;   ///< Cycles, birth -> completion, over grants.
+};
+
+/// Drives an existing federation through the scenario's workload. With
+/// `flatten`, the federation must be a single cluster of clusters * n
+/// terminals, and each arrival lands on processor home * n + p — the same
+/// stream reshaped onto the flat fabric. Cluster fault/partition events
+/// only apply to the federated (non-flat) geometry.
+FederatedMetrics drive_federation(fed::Federation& federation,
+                                  const FederatedScenario& scenario,
+                                  bool flatten = false);
+
+/// Builds a Federation from the scenario and runs it. The E25 main path.
+FederatedMetrics run_federated_experiment(const FederatedScenario& scenario);
+
+/// Same workload on one flat fabric of clusters * n terminals with spill
+/// disabled — the flat-network optimum reference curve.
+FederatedMetrics run_flat_baseline(const FederatedScenario& scenario);
+
+}  // namespace rsin::sim

@@ -1,0 +1,302 @@
+// Federation coordinator tests (fed/federation.hpp): tenant-affinity
+// routing, spill/retry through coflow admission, cluster kill / rejoin /
+// partition fault domains, labeled registry export, and the standalone
+// differential replay — each cluster's schedule must be bitwise
+// reproducible from its recorded inputs alone, proving the federation adds
+// no hidden coupling between clusters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fed/cluster.hpp"
+#include "fed/federation.hpp"
+#include "obs/metrics.hpp"
+#include "sim/federated.hpp"
+
+namespace rsin {
+namespace {
+
+fed::FederationConfig small_config(std::int32_t clusters, bool spill) {
+  fed::FederationConfig config;
+  config.clusters = clusters;
+  config.cluster.topology = "omega";
+  config.cluster.n = 4;
+  config.cluster.scheduler = "warm";
+  config.uplink_capacity = 2;
+  config.spill = spill;
+  config.spill_after = 1;
+  config.seed = 7;
+  return config;
+}
+
+fed::Task make_task(std::uint64_t id, std::int32_t tenant,
+                    std::int32_t processor, std::int64_t birth,
+                    std::int32_t service = 2) {
+  fed::Task task;
+  task.id = id;
+  task.tenant = tenant;
+  task.processor = processor;
+  task.service_cycles = service;
+  task.birth_cycle = birth;
+  return task;
+}
+
+/// Submits `per_cluster[c]` tasks to each cluster c every cycle (tenant ==
+/// cluster id, processors rotating), for `cycles` cycles. Deterministic.
+void drive(fed::Federation& federation,
+           const std::vector<std::int32_t>& per_cluster, std::int64_t cycles) {
+  std::uint64_t next_id = 1;
+  for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t c = 0; c < per_cluster.size(); ++c) {
+      for (std::int32_t i = 0; i < per_cluster[c]; ++i) {
+        const auto tenant = static_cast<std::int32_t>(c);
+        const auto proc = static_cast<std::int32_t>(
+            (cycle + i) % federation.cluster(tenant).network().processor_count());
+        (void)federation.submit(
+            make_task(next_id++, tenant, proc, federation.clock()));
+      }
+    }
+    federation.run_cycle();
+  }
+}
+
+std::int64_t counter_value(const obs::Registry::Snapshot& snap,
+                           const std::string& name) {
+  for (const auto& [counter_name, value] : snap.counters) {
+    if (counter_name == name) return value;
+  }
+  return -1;
+}
+
+TEST(Federation, RoutesTenantsToHomeClusters) {
+  fed::Federation federation(small_config(3, true));
+  // Tenants 0..5: homes 0,1,2,0,1,2.
+  for (std::int32_t tenant = 0; tenant < 6; ++tenant) {
+    EXPECT_EQ(federation.home_of(tenant), tenant % 3);
+    (void)federation.submit(
+        make_task(static_cast<std::uint64_t>(tenant) + 1, tenant, 0, 0));
+  }
+  for (std::int32_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(federation.cluster(c).stats().arrivals, 2)
+        << "cluster " << c << " should hold its two tenants' arrivals";
+  }
+}
+
+TEST(Federation, SpillServesBacklogOnIdleSiblings) {
+  // Cluster 0 offered ~2x its fabric, cluster 1 idle: with spill the
+  // federation must move overflow across the uplinks and grant more in
+  // total than two isolated fabrics would.
+  const std::vector<std::int32_t> load = {8, 0};
+  fed::Federation with_spill(small_config(2, true));
+  drive(with_spill, load, 60);
+  fed::Federation no_spill(small_config(2, false));
+  drive(no_spill, load, 60);
+
+  EXPECT_GT(with_spill.cluster(1).stats().spill_in, 0)
+      << "idle sibling never received spilled work";
+  EXPECT_GT(with_spill.stats().spill_moved, 0);
+  EXPECT_GT(with_spill.total_granted(), no_spill.total_granted())
+      << "spill failed to raise total throughput under imbalance";
+  EXPECT_EQ(no_spill.stats().spill_moved, 0);
+}
+
+TEST(Federation, KillingOneClusterLeavesSiblingSchedulesBitwiseIntact) {
+  // With spill off, sibling clusters of a killed cluster must schedule
+  // bitwise exactly as in a run where the kill never happened: fault
+  // domains share nothing.
+  const std::vector<std::int32_t> load = {3, 3, 3};
+  fed::Federation baseline(small_config(3, false));
+  drive(baseline, load, 50);
+
+  fed::Federation killed(small_config(3, false));
+  {
+    std::uint64_t next_id = 1;
+    for (std::int64_t cycle = 0; cycle < 50; ++cycle) {
+      if (cycle == 20) killed.kill_cluster(0);
+      for (std::size_t c = 0; c < load.size(); ++c) {
+        for (std::int32_t i = 0; i < load[c]; ++i) {
+          const auto tenant = static_cast<std::int32_t>(c);
+          const auto proc = static_cast<std::int32_t>(
+              (cycle + i) % killed.cluster(tenant).network().processor_count());
+          (void)killed.submit(
+              make_task(next_id++, tenant, proc, killed.clock()));
+        }
+      }
+      killed.run_cycle();
+    }
+  }
+  EXPECT_EQ(killed.cluster(1).schedule_hash(),
+            baseline.cluster(1).schedule_hash());
+  EXPECT_EQ(killed.cluster(2).schedule_hash(),
+            baseline.cluster(2).schedule_hash());
+  EXPECT_LT(killed.cluster(0).stats().granted,
+            baseline.cluster(0).stats().granted)
+      << "the killed cluster should have lost throughput";
+  EXPECT_GT(killed.cluster(1).stats().granted, 0);
+}
+
+TEST(Federation, StandaloneReplayReproducesEveryClusterBitwise) {
+  // The differential gate: record every cluster's inputs during a run with
+  // active spilling, a mid-run cluster loss, and a rejoin; replaying each
+  // cluster's inputs into a standalone Cluster must reproduce its schedule
+  // hash exactly.
+  fed::FederationConfig config = small_config(3, true);
+  fed::Federation federation(config);
+  federation.record_inputs(true);
+  const std::vector<std::int32_t> load = {7, 1, 1};  // skew onto cluster 0
+  std::uint64_t next_id = 1;
+  const std::int64_t cycles = 60;
+  for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+    if (cycle == 25) federation.kill_cluster(2);
+    if (cycle == 40) federation.rejoin_cluster(2);
+    for (std::size_t c = 0; c < load.size(); ++c) {
+      for (std::int32_t i = 0; i < load[c]; ++i) {
+        const auto tenant = static_cast<std::int32_t>(c);
+        const auto proc = static_cast<std::int32_t>(
+            (cycle + i) %
+            federation.cluster(tenant).network().processor_count());
+        (void)federation.submit(
+            make_task(next_id++, tenant, proc, federation.clock()));
+      }
+    }
+    federation.run_cycle();
+  }
+  ASSERT_GT(federation.stats().spill_moved, 0)
+      << "scenario must actually exercise cross-cluster spills";
+  for (std::int32_t c = 0; c < federation.clusters(); ++c) {
+    const fed::Cluster& original = federation.cluster(c);
+    const std::unique_ptr<fed::Cluster> replayed =
+        fed::replay_cluster(original.config(), original.inputs(), cycles);
+    EXPECT_EQ(replayed->schedule_hash(), original.schedule_hash())
+        << "cluster " << c << " schedule is not a pure function of its inputs";
+    EXPECT_EQ(replayed->stats().granted, original.stats().granted);
+  }
+}
+
+TEST(Federation, RejoinRestoresKilledClusterThroughput) {
+  fed::Federation federation(small_config(2, false));
+  const std::vector<std::int32_t> load = {2, 2};
+  std::uint64_t next_id = 1;
+  std::int64_t granted_at_rejoin = -1;
+  for (std::int64_t cycle = 0; cycle < 60; ++cycle) {
+    if (cycle == 10) federation.kill_cluster(0);
+    if (cycle == 30) {
+      federation.rejoin_cluster(0);
+      granted_at_rejoin = federation.cluster(0).stats().granted;
+    }
+    for (std::size_t c = 0; c < load.size(); ++c) {
+      for (std::int32_t i = 0; i < load[c]; ++i) {
+        const auto tenant = static_cast<std::int32_t>(c);
+        (void)federation.submit(make_task(
+            next_id++, tenant,
+            static_cast<std::int32_t>((cycle + i) % 4), federation.clock()));
+      }
+    }
+    federation.run_cycle();
+  }
+  EXPECT_TRUE(federation.cluster(0).alive());
+  EXPECT_GT(federation.cluster(0).stats().granted, granted_at_rejoin)
+      << "rejoined cluster never granted again";
+  EXPECT_GT(federation.cluster(0).stats().lost_inflight, 0)
+      << "kill with work in flight should count losses";
+}
+
+TEST(Federation, PartitionBlocksSpillUntilHealed) {
+  fed::Federation federation(small_config(2, true));
+  federation.partition_cluster(0);
+  const std::vector<std::int32_t> overload = {8, 0};
+  drive(federation, overload, 30);
+  EXPECT_EQ(federation.stats().spill_moved, 0)
+      << "partitioned cluster must not spill over severed uplinks";
+  EXPECT_GT(federation.cluster(0).stats().granted, 0)
+      << "partition is an uplink event; the fabric must keep scheduling";
+
+  federation.heal_cluster(0);
+  drive(federation, overload, 30);
+  EXPECT_GT(federation.stats().spill_moved, 0)
+      << "healing the partition must let the backlog spill";
+}
+
+TEST(Federation, ExportAggregatesAndLabelsPerClusterRegistries) {
+  fed::Federation federation(small_config(2, true));
+  drive(federation, {4, 1}, 30);
+  obs::Registry out;
+  federation.export_registry(out);
+  const obs::Registry::Snapshot snap = out.snapshot();
+
+  const std::int64_t granted0 = federation.cluster(0).stats().granted;
+  const std::int64_t granted1 = federation.cluster(1).stats().granted;
+  EXPECT_EQ(counter_value(snap, "fed.cluster.granted"), granted0 + granted1)
+      << "aggregate view must fold same-name instruments across clusters";
+  EXPECT_EQ(counter_value(snap, "fed.c0.fed.cluster.granted"), granted0);
+  EXPECT_EQ(counter_value(snap, "fed.c1.fed.cluster.granted"), granted1);
+  EXPECT_EQ(counter_value(snap, "fed.cycles"), 30);
+  EXPECT_EQ(counter_value(snap, "fed.admission.moved"),
+            federation.stats().spill_moved);
+}
+
+TEST(Federation, DeadClusterCyclesAreNoopsButSiblingsKeepServing) {
+  fed::Federation federation(small_config(3, true));
+  federation.kill_cluster(1);
+  drive(federation, {2, 2, 2}, 40);
+  EXPECT_EQ(federation.cluster(1).stats().granted, 0);
+  EXPECT_GT(federation.cluster(0).stats().granted, 0);
+  EXPECT_GT(federation.cluster(2).stats().granted, 0);
+  // Cluster 1's queued tenants were eligible to spill to live siblings.
+  EXPECT_GT(federation.cluster(1).stats().spill_out, 0)
+      << "a dead cluster's backlog should drain through the uplinks";
+}
+
+TEST(Federation, CommonRandomNumbersKeepWorkloadsComparable) {
+  // The sim harness must offer the *identical* workload to every discipline
+  // under comparison — spill on, spill off, and the flat baseline — so the
+  // curves differ only by discipline.
+  sim::FederatedScenario scenario;
+  scenario.federation = small_config(2, true);
+  // Skewed but not saturated: cluster 0 runs hot while cluster 1 keeps
+  // slack, so spilling has headroom to exploit.
+  scenario.cycles = 120;
+  scenario.arrival_rate = 0.22;
+  scenario.zipf_s = 1.2;
+  scenario.seed = 42;
+
+  const sim::FederatedMetrics spilled = sim::run_federated_experiment(scenario);
+  sim::FederatedScenario isolated = scenario;
+  isolated.federation.spill = false;
+  const sim::FederatedMetrics no_spill =
+      sim::run_federated_experiment(isolated);
+  const sim::FederatedMetrics flat = sim::run_flat_baseline(scenario);
+
+  EXPECT_EQ(spilled.offered, no_spill.offered);
+  EXPECT_EQ(spilled.offered, flat.offered);
+  ASSERT_GT(spilled.offered, 0);
+  // Under tenant skew, spilling must not lose throughput vs isolation, and
+  // pooling every resource in one flat fabric is the upper reference.
+  EXPECT_GE(spilled.granted, no_spill.granted);
+  EXPECT_GT(flat.grant_rate, 0.0);
+  // Re-running the same scenario is bitwise reproducible.
+  const sim::FederatedMetrics again = sim::run_federated_experiment(scenario);
+  EXPECT_EQ(again.granted, spilled.granted);
+  ASSERT_EQ(again.clusters.size(), spilled.clusters.size());
+  for (std::size_t c = 0; c < again.clusters.size(); ++c) {
+    EXPECT_EQ(again.clusters[c].schedule_hash,
+              spilled.clusters[c].schedule_hash);
+  }
+}
+
+TEST(Federation, ScenarioValidationRejectsNonsense) {
+  sim::FederatedScenario scenario;
+  scenario.federation = small_config(2, true);
+  scenario.cycles = 0;
+  EXPECT_THROW(sim::run_federated_experiment(scenario), std::invalid_argument);
+  scenario.cycles = 10;
+  scenario.kill_cluster = 5;
+  EXPECT_THROW(sim::run_federated_experiment(scenario), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rsin

@@ -152,6 +152,23 @@ TEST(ObsHistogram, MergeAddsBucketwiseAndChecksBounds) {
   EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
 }
 
+TEST(ObsHistogram, FailedMergeLeavesDestinationUnchanged) {
+  // merge requires identical bounds (same constructor vector) — on a
+  // mismatch it throws *before* touching any bucket, so the destination
+  // is still exactly what it was. See the precondition in metrics.hpp.
+  Histogram a({1.0, 2.0});
+  a.observe(1.5);
+  Histogram mismatched({1.0, 3.0});
+  mismatched.observe(0.5);
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.bucket_count(0), 0);
+  EXPECT_EQ(a.bucket_count(1), 1);
+  Histogram wrong_size({1.0});
+  EXPECT_THROW(a.merge(wrong_size), std::invalid_argument);
+  EXPECT_EQ(a.count(), 1);
+}
+
 TEST(ObsHistogram, ExponentialBoundsAndDefaultLatencyLadder) {
   const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
   ASSERT_EQ(bounds.size(), 4u);
@@ -211,6 +228,39 @@ TEST(MetricsRegistry, SelfMergeIsANoop) {
   registry.counter("c").add(7);
   registry.merge(registry);
   EXPECT_EQ(registry.counter("c").value(), 7);
+}
+
+TEST(MetricsRegistry, MergeRejectsSameNameHistogramWithDifferentBounds) {
+  Registry total;
+  total.histogram("lat", {1.0, 2.0}).observe(1.5);
+  Registry worker;
+  worker.histogram("lat", {1.0, 4.0}).observe(1.5);
+  EXPECT_THROW(total.merge(worker), std::invalid_argument);
+  EXPECT_EQ(total.histogram("lat", {1.0, 2.0}).count(), 1)
+      << "a rejected merge must not disturb the destination histogram";
+}
+
+TEST(MetricsRegistry, PrefixedMergeCreatesLabeledCopies) {
+  // The federation export path: each cluster registry is folded twice,
+  // once unprefixed (aggregate) and once under "fed.c<i>." (per-cluster).
+  Registry total;
+  Registry worker;
+  worker.counter("granted").add(4);
+  worker.gauge("level").set(2.0);
+  worker.histogram("wait", {1.0, 2.0}).observe(1.5);
+  total.merge(worker, "fed.c3.");
+  EXPECT_EQ(total.counter("fed.c3.granted").value(), 4);
+  EXPECT_DOUBLE_EQ(total.gauge("fed.c3.level").value(), 2.0);
+  EXPECT_EQ(total.histogram("fed.c3.wait", {1.0, 2.0}).count(), 1);
+  total.merge(worker, "fed.c3.");
+  EXPECT_EQ(total.counter("fed.c3.granted").value(), 8)
+      << "prefixed merge must accumulate, not overwrite";
+  total.merge(worker, "");
+  EXPECT_EQ(total.counter("granted").value(), 4)
+      << "empty prefix degrades to the plain aggregate merge";
+  EXPECT_THROW(total.merge(worker, "bad prefix "), std::invalid_argument);
+  EXPECT_THROW(total.merge(total, "p."), std::invalid_argument)
+      << "prefixed self-merge would mutate the map being iterated";
 }
 
 TEST(MetricsRegistry, SnapshotIsNameSortedWithPercentiles) {

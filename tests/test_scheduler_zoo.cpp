@@ -266,8 +266,19 @@ TEST(SchedulerZoo, FactoryMakesEveryNamedScheduler) {
             "randomized-match");
   EXPECT_EQ(core::make_named_scheduler("greedy-local")->name(),
             "greedy-local");
-  EXPECT_THROW(core::make_named_scheduler("no-such-discipline"),
-               std::invalid_argument);
+  // An unknown name must say what WOULD have worked: the error enumerates
+  // every name the factory accepts, so --scheduler=typo is self-diagnosing.
+  try {
+    core::make_named_scheduler("no-such-discipline");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("no-such-discipline"), std::string::npos);
+    for (const std::string& name : core::scheduler_names()) {
+      EXPECT_NE(what.find(name), std::string::npos)
+          << "factory error must enumerate '" << name << "'";
+    }
+  }
 }
 
 }  // namespace

@@ -178,6 +178,46 @@ TEST(SvcDomain, DegradationLadderSwitchesScheduler) {
   EXPECT_GT(domain.metrics().degraded_cycle_fraction, 0.0);
 }
 
+TEST(SvcDomain, DegradedTenantNeverPerturbsItsNeighbor) {
+  // Multi-domain isolation: two tenants share one warm pool; "bad" takes a
+  // barrage of fabric faults and is forced down the degradation ladder
+  // mid-run, while "good" must produce the exact same schedule as a
+  // control run in which "bad" never existed. Canonical warm mode is what
+  // makes this hold even though the pool's residual state is shared.
+  core::WarmContextPool pool(2);
+  Domain good("good", small_config("breaker"), &pool);
+  Domain bad("bad", small_config("breaker"), &pool);
+  core::WarmContextPool control_pool(2);
+  Domain control("good", small_config("breaker"), &control_pool);
+
+  std::uint64_t id = 1;
+  for (int round = 0; round < 6; ++round) {
+    for (std::int32_t p = 0; p < 6; ++p) {
+      good.admit(id, p, p % 3);
+      control.admit(id, p, p % 3);
+      bad.admit(id, (p + 1) % 8, p % 2);
+      ++id;
+    }
+    if (round == 2) {
+      for (topo::LinkId link = 0; link < 6; ++link) {
+        bad.inject_link_fault(link);
+      }
+      bad.set_level(2);  // bottom rung: greedy only
+    }
+    good.run_cycle();
+    control.run_cycle();
+    bad.run_cycle();
+    good.run_cycle();
+    control.run_cycle();
+    bad.run_cycle();
+  }
+  EXPECT_GT(bad.metrics().degraded_cycle_fraction, 0.0)
+      << "the noisy tenant must actually have degraded";
+  EXPECT_EQ(good.state_hash(), control.state_hash())
+      << "a degraded sibling leaked into another tenant's schedule";
+  EXPECT_EQ(good.stats_args(), control.stats_args());
+}
+
 TEST(SvcDomain, ConfigValidationNamesTheOffendingField) {
   DomainConfig config = small_config();
   config.scheduler = "bogus";

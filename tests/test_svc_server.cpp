@@ -96,6 +96,59 @@ TEST(SvcServer, RecoveryReproducesTheUninterruptedRunBitwise) {
   EXPECT_EQ(recovered.execute("stats tenant=t0").body, golden_stats);
 }
 
+TEST(SvcServer, NoisyTenantLeavesCalmTenantCommittingBitwise) {
+  // Multi-domain isolation at the Service layer: tenant "calm" runs the
+  // standard script while tenant "noisy" soaks up fabric faults and is
+  // shoved to the bottom of the degradation ladder. calm's stats (which
+  // carry its state hash) must be bitwise equal to a control service
+  // where noisy never existed, and every calm command keeps committing.
+  TempDir control_dir("svc_iso_control");
+  Service control(service_config(control_dir));
+  control.start_fresh();
+  for (const std::string& line : script()) {
+    ASSERT_TRUE(control.execute(line).ok);
+  }
+  ASSERT_TRUE(control.commit());
+  const std::string control_stats = control.execute("stats tenant=t0").body;
+
+  TempDir shared_dir("svc_iso_shared");
+  Service shared(service_config(shared_dir));
+  shared.start_fresh();
+  ASSERT_TRUE(shared
+                  .execute("tenant name=noisy topology=omega n=8 seed=9 "
+                           "scheduler=breaker")
+                  .ok);
+  std::uint64_t noisy_id = 1;
+  bool degraded = false;
+  for (const std::string& line : script()) {
+    ASSERT_TRUE(shared.execute(line).ok) << line;
+    ASSERT_TRUE(shared.commit()) << "calm-tenant command failed to commit";
+    // Interleave noisy-tenant chaos between every calm command.
+    ASSERT_TRUE(shared
+                    .execute("req tenant=noisy id=" +
+                             std::to_string(noisy_id++) + " proc=" +
+                             std::to_string(noisy_id % 8) + " prio=0")
+                    .ok);
+    if (!degraded && noisy_id > 4) {
+      for (int link = 0; link < 6; ++link) {
+        ASSERT_TRUE(shared
+                        .execute("inject-fault tenant=noisy link=" +
+                                 std::to_string(link))
+                        .ok);
+      }
+      ASSERT_TRUE(shared.execute("set tenant=noisy level=2").ok);
+      degraded = true;
+    }
+    ASSERT_TRUE(shared
+                    .execute("cycle tenant=noisy id=" +
+                             std::to_string(1000000 + noisy_id))
+                    .ok);
+  }
+  ASSERT_TRUE(shared.commit());
+  EXPECT_EQ(shared.execute("stats tenant=t0").body, control_stats)
+      << "noisy tenant's degradation leaked into the calm tenant";
+}
+
 TEST(SvcServer, DuplicateRequestIdSurvivesRecovery) {
   TempDir dir("svc_dup");
   {
